@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Design ablation: PM's asymmetric control. The paper lowers frequency
+ * on a single offending 10 ms sample but raises only after 100 ms of
+ * consecutive agreeing samples. This harness sweeps the raise window
+ * (1 = symmetric control) and reports the violation/performance
+ * trade-off on the bursty and phase-alternating workloads.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace aapm_bench;
+    setLogLevel(LogLevel::Quiet);
+    Bench &b = bench();
+
+    const double limit = 13.5;
+    std::printf("Ablation — PM raise window (samples) at %.1f W\n\n",
+                limit);
+
+    for (const char *name : {"galgel", "ammp", "gcc"}) {
+        const Workload &w = b.workload(name);
+        const RunResult free =
+            b.platform.runAtPState(w, b.config.pstates.maxIndex());
+        TextTable t;
+        t.header({"raise window", "over-limit (%)", "slowdown (%)",
+                  "transitions"});
+        for (size_t window : {size_t(1), size_t(3), size_t(10),
+                              size_t(30)}) {
+            PerformanceMaximizer pm(
+                b.powerEstimator(),
+                PmConfig{.powerLimitW = limit, .guardbandW = 0.5,
+                         .raiseWindow = window});
+            const RunResult r = b.platform.run(w, pm);
+            t.row({TextTable::num(static_cast<int64_t>(window)),
+                   TextTable::num(
+                       r.trace.fractionOverLimit(limit, 10) * 100.0, 2),
+                   TextTable::num(
+                       (r.seconds / free.seconds - 1.0) * 100.0, 1),
+                   TextTable::num(static_cast<int64_t>(
+                       r.dvfs.transitions))});
+        }
+        std::printf("%s:\n%s\n", name, t.str().c_str());
+    }
+    std::printf("expected: window 1 (symmetric) raises eagerly — more "
+                "transitions and more limit violations on bursty "
+                "workloads; long windows trade a little performance "
+                "for cleaner adherence.\n");
+    return 0;
+}

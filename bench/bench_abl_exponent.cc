@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Section IV-B.2 ablation: the performance-model exponent. The paper
+ * found 0.81 and 0.59 were both local minima of the training error;
+ * re-running with 0.59 brought mcf back inside the 80% floor and
+ * improved art. This harness compares the trained exponent, the
+ * paper's 0.81, and the alternative 0.59 on the violators and on the
+ * suite.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace aapm_bench;
+    setLogLevel(LogLevel::Quiet);
+    Bench &b = bench();
+
+    std::printf("Ablation — PS exponent: trained (%.2f) vs paper 0.81 "
+                "vs alternate 0.59, 80%% floor\n\n",
+                b.models.perf.exponent);
+
+    const SuiteResult full = runSuiteAtPState(
+        b.platform, b.suite, b.config.pstates.maxIndex());
+
+    const std::vector<std::pair<std::string, double>> variants = {
+        {"trained", b.models.perf.exponent},
+        {"paper-0.81", PerfEstimator::PaperExponent},
+        {"alt-0.59", PerfEstimator::AlternateExponent},
+    };
+
+    TextTable t;
+    t.header({"exponent", "art loss (%)", "mcf loss (%)",
+              "suite loss (%)", "suite savings (%)"});
+    for (const auto &[label, exponent] : variants) {
+        const PerfEstimator est(b.models.perf.threshold, exponent);
+        const SuiteResult r =
+            runSuite(b.platform, b.suite, [&] {
+                return std::make_unique<PowerSave>(
+                    b.config.pstates, est, PsConfig{0.8});
+            });
+        auto loss = [&](const std::string &name) {
+            return (1.0 - full.byName(name).seconds /
+                              r.byName(name).seconds) * 100.0;
+        };
+        t.row({label, TextTable::num(loss("art"), 1),
+               TextTable::num(loss("mcf"), 1),
+               TextTable::num(
+                   (1.0 - full.totalSeconds() / r.totalSeconds()) *
+                       100.0, 1),
+               TextTable::num((1.0 - r.totalMeasuredEnergyJ() /
+                                         full.totalMeasuredEnergyJ()) *
+                                  100.0, 1)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("allowed loss at the 80%% floor: 20%%. paper: with "
+                "0.81, art 42.2%% / mcf 27.7%%; with 0.59, mcf 17.9%% "
+                "(within) and art 26.3%% (closer). The lower exponent "
+                "trades some energy savings for floor adherence.\n");
+    return 0;
+}

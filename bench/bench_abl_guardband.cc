@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Design ablation: PM's guardband. The paper adds 0.5 W to every
+ * estimate to absorb model error and system variability. This harness
+ * sweeps the guardband and reports violations vs performance on a
+ * suite subset spanning the power spectrum.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace aapm_bench;
+    setLogLevel(LogLevel::Quiet);
+    Bench &b = bench();
+
+    const double limit = 13.5;
+    std::printf("Ablation — PM guardband at %.1f W\n\n", limit);
+
+    const std::vector<std::string> names = {"crafty", "galgel", "gzip",
+                                            "ammp", "swim"};
+
+    TextTable t;
+    t.header({"guardband (W)", "worst over-limit (%)",
+              "suite slowdown (%)"});
+    double t_free = 0.0;
+    for (const auto &name : names)
+        t_free += b.platform
+                      .runAtPState(b.workload(name),
+                                   b.config.pstates.maxIndex())
+                      .seconds;
+    for (double guard : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+        double worst_over = 0.0;
+        double total = 0.0;
+        for (const auto &name : names) {
+            PerformanceMaximizer pm(
+                b.powerEstimator(),
+                PmConfig{.powerLimitW = limit, .guardbandW = guard});
+            const RunResult r = b.platform.run(b.workload(name), pm);
+            worst_over = std::max(
+                worst_over, r.trace.fractionOverLimit(limit, 10));
+            total += r.seconds;
+        }
+        t.row({TextTable::num(guard, 2),
+               TextTable::num(worst_over * 100.0, 2),
+               TextTable::num((total / t_free - 1.0) * 100.0, 1)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("expected: violations shrink monotonically with the "
+                "guardband while the performance cost grows; the "
+                "paper's 0.5 W sits at the knee.\n");
+    return 0;
+}

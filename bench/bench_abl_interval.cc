@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Design ablation: the monitoring/control interval. The paper fixes it
+ * at 10 ms; this harness sweeps 5–100 ms and measures what the choice
+ * buys — responsiveness to galgel's bursts (PM limit adherence) and to
+ * ammp's phase alternation (PS floor tracking) — against the DVFS
+ * transition overhead that faster control incurs.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace aapm_bench;
+    setLogLevel(LogLevel::Quiet);
+    Bench &b = bench();
+
+    std::printf("Ablation — monitoring/control interval\n\n");
+
+    TextTable t;
+    t.header({"interval (ms)", "galgel over 13.5 W (%)",
+              "galgel transitions", "ammp PS-80 perf (%)",
+              "ammp PS-80 savings (%)"});
+    for (Tick ms : {Tick(5), Tick(10), Tick(20), Tick(50), Tick(100)}) {
+        PlatformConfig config = b.config;
+        config.sampleInterval = ms * TicksPerMs;
+        Platform platform(config);
+
+        // PM on galgel: window length rescaled to keep the same 100 ms
+        // raise horizon the paper uses.
+        const Workload galgel =
+            specWorkload("galgel", config.core, targetSeconds());
+        PmConfig pm_cfg;
+        pm_cfg.powerLimitW = 13.5;
+        pm_cfg.raiseWindow = std::max<size_t>(
+            1, static_cast<size_t>(100 / ms));
+        PerformanceMaximizer pm(b.powerEstimator(), pm_cfg);
+        const RunResult rg = platform.run(galgel, pm);
+        const size_t win = std::max<size_t>(1, 100 / ms);
+
+        // PS on ammp.
+        const Workload ammp =
+            specWorkload("ammp", config.core, targetSeconds());
+        const RunResult base = platform.runAtPState(
+            ammp, config.pstates.maxIndex());
+        auto ps = b.makePs(0.8);
+        const RunResult ra = platform.run(ammp, *ps);
+
+        t.row({TextTable::num(static_cast<int64_t>(ms)),
+               TextTable::num(
+                   rg.trace.fractionOverLimit(13.5, win) * 100.0, 1),
+               TextTable::num(
+                   static_cast<int64_t>(rg.dvfs.transitions)),
+               TextTable::num(base.seconds / ra.seconds * 100.0, 1),
+               TextTable::num((1.0 - ra.trueEnergyJ /
+                                         base.trueEnergyJ) * 100.0,
+                              1)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("expected: slower control reacts late to galgel's "
+                "bursts and tracks ammp's phases loosely (less saving "
+                "or floor slippage); much faster control buys little "
+                "beyond 10 ms because the paper's asymmetric window "
+                "already filters single-sample noise.\n");
+    return 0;
+}

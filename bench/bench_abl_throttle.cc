@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Actuation-mechanism ablation: DVFS vs clock throttling (the paper's
+ * companion report studies both). Same PS governor, same floors, same
+ * workloads — one system exposes the Pentium M DVFS menu, the other
+ * only duty-cycle modulation of the 2 GHz point (frequency falls,
+ * voltage does not). Throttling saves far less energy per unit of
+ * performance given up, because it forfeits the V² term.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace aapm_bench;
+    setLogLevel(LogLevel::Quiet);
+    Bench &b = bench();
+
+    std::printf("Ablation — actuation mechanism under PS: DVFS vs "
+                "clock throttling\n\n");
+
+    // Throttle-only platform: 8 duty levels of the 2 GHz point.
+    PlatformConfig throttle_config = b.config;
+    throttle_config.pstates =
+        throttleTable(b.config.pstates[b.config.pstates.maxIndex()], 8);
+    throttle_config.initialPState =
+        throttle_config.pstates.maxIndex();
+    Platform throttle_platform(throttle_config);
+
+    // Train models for the throttle menu too — the methodology is
+    // actuation-agnostic.
+    TrainingSetup setup;
+    setup.pstates = throttle_config.pstates;
+    setup.core = throttle_config.core;
+    setup.power = throttle_config.power;
+    setup.sensor = throttle_config.sensor;
+    const auto points =
+        collectTrainingPoints(b.models.trainingPhases, setup);
+    const PowerTrainingResult throttle_power =
+        trainPowerModel(points, setup.pstates);
+    const PerfTrainingResult throttle_perf =
+        trainPerfModel(b.models.trainingPhases, setup);
+
+    TextTable t;
+    t.header({"workload", "floor", "DVFS save (%)", "DVFS loss (%)",
+              "throttle save (%)", "throttle loss (%)"});
+    for (const char *name : {"swim", "gzip", "ammp"}) {
+        const Workload &w = b.workload(name);
+        const RunResult base_d =
+            b.platform.runAtPState(w, b.config.pstates.maxIndex());
+        const RunResult base_t = throttle_platform.runAtPState(
+            w, throttle_config.pstates.maxIndex());
+        for (double floor : {0.8, 0.6}) {
+            auto ps_d = b.makePs(floor);
+            const RunResult rd = b.platform.run(w, *ps_d);
+            PowerSave ps_t(throttle_config.pstates,
+                           throttle_perf.makeEstimator(),
+                           PsConfig{floor});
+            const RunResult rt = throttle_platform.run(w, ps_t);
+            t.row({name, TextTable::num(floor * 100.0, 0),
+                   TextTable::num(
+                       (1.0 - rd.trueEnergyJ / base_d.trueEnergyJ) *
+                           100.0, 1),
+                   TextTable::num(
+                       (1.0 - base_d.seconds / rd.seconds) * 100.0, 1),
+                   TextTable::num(
+                       (1.0 - rt.trueEnergyJ / base_t.trueEnergyJ) *
+                           100.0, 1),
+                   TextTable::num(
+                       (1.0 - base_t.seconds / rt.seconds) * 100.0,
+                       1)});
+        }
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    std::printf("fitted power model at the lowest actuation point:\n");
+    std::printf("  DVFS    600 MHz/0.998 V: alpha %.2f  beta %.2f\n",
+                b.models.power.coeffs[0].alpha,
+                b.models.power.coeffs[0].beta);
+    std::printf("  throttle 250 MHz/1.340 V: alpha %.2f  beta %.2f\n",
+                throttle_power.coeffs[0].alpha,
+                throttle_power.coeffs[0].beta);
+    std::printf("\nexpected: at equal performance loss, DVFS saves a "
+                "multiple of what throttling saves — throttling keeps "
+                "full voltage, so leakage and the V^2 term remain.\n");
+    return 0;
+}

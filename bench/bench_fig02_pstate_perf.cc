@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 2 reproduction: workload-specific performance impact of three
+ * p-states (1600/1800/2000 MHz) for the paper's three exemplars —
+ * memory-bound swim (flat), in-between gap, core-bound sixtrack
+ * (linear in frequency).
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace aapm_bench;
+    setLogLevel(LogLevel::Quiet);
+    Bench &b = bench();
+
+    std::printf("Fig 2 — performance across p-states, normalized to "
+                "2000 MHz\n\n");
+
+    const std::vector<double> freqs = {1600.0, 1800.0, 2000.0};
+
+    TextTable t;
+    t.header({"benchmark", "1600 MHz", "1800 MHz", "2000 MHz",
+              "paper shape"});
+    const std::vector<std::pair<std::string, std::string>> cases = {
+        {"swim", "flat (memory-bound)"},
+        {"gap", "in-between"},
+        {"sixtrack", "linear (core-bound)"},
+    };
+    for (const auto &[name, shape] : cases) {
+        const Workload &w = b.workload(name);
+        double base_seconds = 0.0;
+        std::vector<double> perf;
+        for (double mhz : freqs) {
+            const size_t idx = b.config.pstates.indexOfMhz(mhz);
+            const RunResult r = b.platform.runAtPState(w, idx);
+            if (mhz == 2000.0)
+                base_seconds = r.seconds;
+            perf.push_back(r.seconds);
+        }
+        t.row({name, TextTable::num(base_seconds / perf[0], 3),
+               TextTable::num(base_seconds / perf[1], 3),
+               TextTable::num(base_seconds / perf[2], 3), shape});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("expected: swim ~1.0 everywhere; sixtrack ~0.8/0.9/1.0;"
+                " gap in between\n");
+    return 0;
+}

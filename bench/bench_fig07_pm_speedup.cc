@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 7 reproduction: per-benchmark speedup of PM over static
+ * clocking at a 17.5 W limit (static frequency: 1800 MHz), and the
+ * unconstrained 2000 MHz speedup over the same baseline. Benchmarks
+ * are sorted by the unconstrained speedup (the paper's x-axis order).
+ * The headline: PM recovers ~86% of the possible suite speedup.
+ */
+
+#include <algorithm>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace aapm_bench;
+    setLogLevel(LogLevel::Quiet);
+    Bench &b = bench();
+
+    const double limit = 17.5;
+    std::printf("Fig 7 — PM speedup and unconstrained speedup over "
+                "static 1800 MHz (limit %.1f W)\n\n", limit);
+
+    const auto worst = worstCasePowerTable(b.platform);
+    const size_t sidx = StaticClock::chooseForLimit(worst, limit);
+    const SuiteResult fixed =
+        runSuiteAtPState(b.platform, b.suite, sidx);
+    const SuiteResult free = runSuiteAtPState(
+        b.platform, b.suite, b.config.pstates.maxIndex());
+    const SuiteResult pm = runSuite(
+        b.platform, b.suite, [&] { return b.makePm(limit); });
+
+    struct Row
+    {
+        std::string name;
+        double pm_speedup;
+        double max_speedup;
+    };
+    std::vector<Row> rows;
+    for (const auto &w : b.suite) {
+        const double t_static = fixed.byName(w.name()).seconds;
+        rows.push_back({w.name(),
+                        t_static / pm.byName(w.name()).seconds - 1.0,
+                        t_static / free.byName(w.name()).seconds - 1.0});
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &c) {
+        return a.max_speedup < c.max_speedup;
+    });
+
+    TextTable t;
+    t.header({"benchmark", "PM speedup (%)", "2000 MHz speedup (%)"});
+    auto csv = maybeCsv("fig07_pm_speedup");
+    if (csv)
+        csv->row({"benchmark", "pm_speedup", "max_speedup"});
+    for (const auto &r : rows) {
+        t.row({r.name, TextTable::num(r.pm_speedup * 100.0, 1),
+               TextTable::num(r.max_speedup * 100.0, 1)});
+        if (csv) {
+            csv->row({r.name, std::to_string(r.pm_speedup),
+                      std::to_string(r.max_speedup)});
+        }
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    const double pm_total =
+        fixed.totalSeconds() / pm.totalSeconds() - 1.0;
+    const double max_total =
+        fixed.totalSeconds() / free.totalSeconds() - 1.0;
+    std::printf("suite speedup: PM %.1f%%, unconstrained %.1f%% -> PM "
+                "recovers %.0f%% of the possible speedup "
+                "(paper: 86%%)\n",
+                pm_total * 100.0, max_total * 100.0,
+                pm_total / max_total * 100.0);
+    std::printf("expected ordering: swim-like memory-bound codes gain "
+                "~0 at either end; sixtrack gains the full ~11%%; "
+                "high-power crafty/perlbmk/galgel/bzip2 are throttled "
+                "by PM and trail the unconstrained bar.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 11 reproduction: per-workload performance reduction under
+ * each PowerSave floor, sorted by the maximum reduction at the 600 MHz
+ * p-state, with the ALLBENCH aggregate. Also flags floor violations —
+ * the paper finds art and mcf exceed the allowed loss at the 80% (and
+ * art also at the 60%) setting, traced to IPC-model error in the
+ * in-between region.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace aapm_bench;
+    setLogLevel(LogLevel::Quiet);
+    Bench &b = bench();
+
+    std::printf("Fig 11 — per-workload performance reduction vs PS "
+                "floor\n\n");
+
+    const SuiteResult full = runSuiteAtPState(
+        b.platform, b.suite, b.config.pstates.maxIndex());
+    const SuiteResult slow = runSuiteAtPState(b.platform, b.suite, 0);
+
+    std::map<std::string, std::map<int, double>> reduction;
+    std::map<int, double> all;
+    for (double floor : paperFloors()) {
+        const SuiteResult r = runSuite(
+            b.platform, b.suite, [&] { return b.makePs(floor); });
+        const int key = static_cast<int>(floor * 100.0);
+        for (const auto &run : r.runs) {
+            reduction[run.workloadName][key] =
+                1.0 - full.byName(run.workloadName).seconds /
+                          run.seconds;
+        }
+        all[key] = 1.0 - full.totalSeconds() / r.totalSeconds();
+    }
+
+    struct Row
+    {
+        std::string name;
+        double max_reduction;
+    };
+    std::vector<Row> rows;
+    for (const auto &w : b.suite) {
+        rows.push_back({w.name(),
+                        1.0 - full.byName(w.name()).seconds /
+                              slow.byName(w.name()).seconds});
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &c) {
+        return a.max_reduction < c.max_reduction;
+    });
+
+    auto csv = maybeCsv("fig11_ps_perf");
+    if (csv) {
+        csv->row({"benchmark", "red_80", "red_60", "red_40", "red_20",
+                  "bound_600"});
+        for (const auto &r : rows) {
+            csv->row({r.name, std::to_string(reduction[r.name][80]),
+                      std::to_string(reduction[r.name][60]),
+                      std::to_string(reduction[r.name][40]),
+                      std::to_string(reduction[r.name][20]),
+                      std::to_string(r.max_reduction)});
+        }
+    }
+    TextTable t;
+    t.header({"benchmark", "80% (%)", "60% (%)", "40% (%)", "20% (%)",
+              "600MHz bound (%)", "violations"});
+    for (const auto &r : rows) {
+        std::string viol;
+        for (double floor : paperFloors()) {
+            const int key = static_cast<int>(floor * 100.0);
+            if (reduction[r.name][key] > (1.0 - floor) + 0.01) {
+                if (!viol.empty())
+                    viol += ",";
+                viol += std::to_string(key) + "%";
+            }
+        }
+        t.row({r.name, TextTable::num(reduction[r.name][80] * 100.0, 1),
+               TextTable::num(reduction[r.name][60] * 100.0, 1),
+               TextTable::num(reduction[r.name][40] * 100.0, 1),
+               TextTable::num(reduction[r.name][20] * 100.0, 1),
+               TextTable::num(r.max_reduction * 100.0, 1),
+               viol.empty() ? "-" : viol});
+    }
+    t.row({"ALLBENCH", TextTable::num(all[80] * 100.0, 1),
+           TextTable::num(all[60] * 100.0, 1),
+           TextTable::num(all[40] * 100.0, 1),
+           TextTable::num(all[20] * 100.0, 1),
+           TextTable::num(
+               (1.0 - full.totalSeconds() / slow.totalSeconds()) *
+                   100.0, 1),
+           "-"});
+    std::printf("%s\n", t.str().c_str());
+    std::printf("paper: art (42.2%%) and mcf (27.7%%) violate the 80%% "
+                "floor's allowed 20%% loss; art also violates at 60%% "
+                "(54.3%% > 40%%). Memory-bound codes show the least "
+                "reduction (left), core-bound the most (right).\n");
+    return 0;
+}

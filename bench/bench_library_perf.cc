@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Library hot-path microbenchmarks (google-benchmark): the costs that
+ * bound simulation throughput — cache accesses, core-model advance,
+ * governor decisions, PMU absorption, event-queue churn, model
+ * training primitives.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "aapm.hh"
+
+namespace
+{
+
+using namespace aapm;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache({"L1", 32 * 1024, 64, 8, 3});
+    Rng rng(1);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 64) & ((1 << 16) - 1);
+        benchmark::DoNotOptimize(cache.access(addr, false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_CacheAccessRandom(benchmark::State &state)
+{
+    Cache cache({"L2", 2 * 1024 * 1024, 64, 8, 10});
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 24) * 8, false));
+    }
+}
+BENCHMARK(BM_CacheAccessRandom);
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    MemoryHierarchy hier(HierarchyConfig{});
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hier.access(rng.below(1 << 22) * 8, false));
+    }
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void
+BM_CoreModelCpi(benchmark::State &state)
+{
+    CoreModel core;
+    Phase p;
+    p.instructions = 1000;
+    p.baseCpi = 0.8;
+    p.l1MissPerInstr = 0.05;
+    p.l2MissPerInstr = 0.02;
+    p.memPerInstr = 0.4;
+    double f = 0.6;
+    for (auto _ : state) {
+        f = f >= 2.0 ? 0.6 : f + 0.2;
+        benchmark::DoNotOptimize(core.cpi(p, f));
+    }
+}
+BENCHMARK(BM_CoreModelCpi);
+
+void
+BM_CoreModelAdvance10ms(benchmark::State &state)
+{
+    CoreModel core;
+    Phase p;
+    p.instructions = 1ull << 62;
+    p.baseCpi = 0.8;
+    p.memPerInstr = 0.4;
+    Workload w("w");
+    w.add(p);
+    WorkloadCursor cursor(w);
+    std::vector<ExecChunk> chunks;
+    for (auto _ : state) {
+        chunks.clear();
+        benchmark::DoNotOptimize(
+            core.advance(cursor, 2.0, 10 * TicksPerMs, chunks));
+    }
+}
+BENCHMARK(BM_CoreModelAdvance10ms);
+
+void
+BM_TruthPowerEval(benchmark::State &state)
+{
+    TruthPowerModel model;
+    ActivityRates rates;
+    rates.busyFrac = 0.8;
+    rates.dpc = 1.5;
+    rates.fpc = 0.4;
+    rates.l2pc = 0.02;
+    rates.buspc = 0.01;
+    const PState ps{2000.0, 1.34};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.power(rates, ps, 55.0));
+}
+BENCHMARK(BM_TruthPowerEval);
+
+void
+BM_PmDecide(benchmark::State &state)
+{
+    PerformanceMaximizer pm(PowerEstimator::paperPentiumM(),
+                            PmConfig{.powerLimitW = 14.5});
+    MonitorSample s;
+    s.intervalSeconds = 0.01;
+    s.cycles = 20'000'000;
+    s.dpc = 1.3;
+    s.pstate = 7;
+    size_t current = 7;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(current = pm.decide(s, current));
+}
+BENCHMARK(BM_PmDecide);
+
+void
+BM_PsDecide(benchmark::State &state)
+{
+    PowerSave ps(PStateTable::pentiumM(), PerfEstimator(1.21, 0.81),
+                 PsConfig{0.8});
+    MonitorSample s;
+    s.intervalSeconds = 0.01;
+    s.cycles = 20'000'000;
+    s.ipc = 0.6;
+    s.dcuPerCycle = 1.0;
+    s.pstate = 7;
+    size_t current = 7;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(current = ps.decide(s, current));
+}
+BENCHMARK(BM_PsDecide);
+
+void
+BM_PmuAbsorb(benchmark::State &state)
+{
+    Pmu pmu;
+    pmu.configure(0, PmuEvent::InstructionsRetired);
+    pmu.configure(1, PmuEvent::DcuMissOutstanding);
+    EventTotals e;
+    e.cycles = 2e7;
+    e.instructionsRetired = 1.5e7;
+    e.dcuMissOutstanding = 4e6;
+    for (auto _ : state)
+        pmu.absorb(e);
+}
+BENCHMARK(BM_PmuAbsorb);
+
+void
+BM_SensorSample(benchmark::State &state)
+{
+    PowerSensor sensor(SensorConfig{});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sensor.sample(14.2));
+}
+BENCHMARK(BM_SensorSample);
+
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    EventQueue eq;
+    EventFunctionWrapper *self = nullptr;
+    EventFunctionWrapper ev("tick", [&] {
+        eq.schedule(self, eq.now() + 100);
+    });
+    self = &ev;
+    eq.schedule(&ev, 100);
+    for (auto _ : state)
+        eq.step();
+    eq.deschedule(&ev);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void
+BM_LadFit(benchmark::State &state)
+{
+    Rng rng(9);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 96; ++i) {
+        xs.push_back(rng.uniform(0.0, 2.5));
+        ys.push_back(3.0 * xs.back() + 12.0 + rng.gaussian(0.0, 0.4));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fitLeastAbsolute(xs, ys));
+}
+BENCHMARK(BM_LadFit);
+
+void
+BM_PlatformRunSecond(benchmark::State &state)
+{
+    // End-to-end simulation throughput: one simulated second at a
+    // fixed p-state (100 sampling intervals).
+    Platform platform;
+    Phase p;
+    p.instructions = 2'000'000'000;
+    p.baseCpi = 1.0;
+    p.memPerInstr = 0.3;
+    Workload w("w");
+    w.add(p);
+    for (auto _ : state) {
+        RunOptions opts;
+        opts.recordTrace = false;
+        benchmark::DoNotOptimize(platform.runAtPState(w, 7, opts));
+    }
+}
+BENCHMARK(BM_PlatformRunSecond)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

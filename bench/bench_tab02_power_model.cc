@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table II reproduction: train the per-p-state DPC power model on the
+ * MS-Loops training set and print the fitted (α, β) next to the
+ * paper's published coefficients.
+ */
+
+#include <cstdio>
+
+#include "aapm.hh"
+
+int
+main()
+{
+    using namespace aapm;
+    setLogLevel(LogLevel::Quiet);
+
+    PlatformConfig config;
+    const TrainedModels models = trainModels(config);
+    const PowerEstimator paper = PowerEstimator::paperPentiumM();
+
+    std::printf("Table II — DPC-based power model per p-state\n");
+    std::printf("(fitted on this platform vs. published Pentium M"
+                " coefficients)\n\n");
+
+    TextTable t;
+    t.header({"freq (MHz)", "voltage (V)", "alpha", "beta",
+              "paper alpha", "paper beta", "fit MAE (W)"});
+    for (size_t i = 0; i < config.pstates.size(); ++i) {
+        const PState &ps = config.pstates[i];
+        t.row({TextTable::num(ps.freqMhz, 0),
+               TextTable::num(ps.voltage, 3),
+               TextTable::num(models.power.coeffs[i].alpha, 2),
+               TextTable::num(models.power.coeffs[i].beta, 2),
+               TextTable::num(paper.coeffs(i).alpha, 2),
+               TextTable::num(paper.coeffs(i).beta, 2),
+               TextTable::num(models.power.meanAbsErrorW[i], 3)});
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    std::printf("Training points at 2000 MHz (DPC vs measured W):\n");
+    TextTable pts;
+    pts.header({"loop", "DPC", "IPC", "DCU/IPC", "power (W)"});
+    const size_t top = config.pstates.size() - 1;
+    for (const auto &pt : models.power.points) {
+        if (pt.pstate != top)
+            continue;
+        pts.row({pt.name, TextTable::num(pt.dpc, 3),
+                 TextTable::num(pt.ipc, 3),
+                 TextTable::num(pt.ipc > 0 ? pt.dcuPerCycle / pt.ipc
+                                           : 0.0, 2),
+                 TextTable::num(pt.powerW, 2)});
+    }
+    std::printf("%s\n", pts.str().c_str());
+
+    std::printf("Performance model training: threshold=%.2f "
+                "exponent=%.2f (paper: %.2f / %.2f), loss=%.4f\n",
+                models.perf.threshold, models.perf.exponent,
+                PerfEstimator::PaperThreshold,
+                PerfEstimator::PaperExponent, models.perf.loss);
+    if (!models.perf.exponentMinima.empty()) {
+        std::printf("exponent local minima:");
+        for (const auto &[e, l] : models.perf.exponentMinima)
+            std::printf(" %.2f(loss %.4f)", e, l);
+        std::printf("\n");
+    }
+    return 0;
+}

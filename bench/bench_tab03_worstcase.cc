@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table III reproduction: power of the worst-case workload (the
+ * L2-resident FMA-256KB loop) at every p-state — the basis for the
+ * static-clocking baseline's frequency choice.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace aapm_bench;
+    setLogLevel(LogLevel::Quiet);
+    Bench &b = bench();
+
+    // Paper Table III.
+    const std::vector<double> paper = {3.86, 5.21, 6.56, 8.16,
+                                       10.16, 12.46, 15.29, 17.78};
+
+    const auto ours = worstCasePowerTable(b.platform);
+
+    std::printf("Table III — worst-case (FMA-256KB) power vs "
+                "frequency\n\n");
+    TextTable t;
+    t.header({"freq (MHz)", "measured (W)", "paper (W)"});
+    for (size_t i = 0; i < b.config.pstates.size(); ++i) {
+        t.row({TextTable::num(b.config.pstates[i].freqMhz, 0),
+               TextTable::num(ours[i], 2), TextTable::num(paper[i], 2)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}

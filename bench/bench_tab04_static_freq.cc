@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table IV reproduction: the static frequency a worst-case-provisioned
+ * system must choose for each power limit, from the Table III
+ * worst-case power curve.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace aapm_bench;
+    setLogLevel(LogLevel::Quiet);
+    Bench &b = bench();
+
+    const auto worst = worstCasePowerTable(b.platform);
+    // Paper Table IV for reference.
+    const std::vector<std::pair<double, int>> paper = {
+        {17.5, 1800}, {16.5, 1800}, {15.5, 1800}, {14.5, 1600},
+        {13.5, 1600}, {12.5, 1600}, {11.5, 1400}, {10.5, 1400},
+    };
+
+    std::printf("Table IV — power-limit-determined static "
+                "frequencies\n\n");
+    TextTable t;
+    t.header({"power limit (W)", "static freq (MHz)", "paper (MHz)"});
+    for (const auto &[limit, paper_mhz] : paper) {
+        const size_t idx = StaticClock::chooseForLimit(worst, limit);
+        t.row({TextTable::num(limit, 1),
+               TextTable::num(b.config.pstates[idx].freqMhz, 0),
+               TextTable::num(static_cast<int64_t>(paper_mhz))});
+    }
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Shared setup for the experiment harnesses: one platform
+ * configuration, one trained model set, one suite build — plus the
+ * helpers the figures share (normalized performance, violation
+ * accounting).
+ *
+ * Environment knobs:
+ *   AAPM_SECONDS  per-benchmark duration at 2 GHz (default 12).
+ *   AAPM_CSV_DIR  if set, each harness also writes its series there
+ *                 as <bench>.csv for external plotting.
+ */
+
+#ifndef AAPM_BENCH_BENCH_UTIL_HH
+#define AAPM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aapm.hh"
+
+namespace aapm_bench
+{
+
+using namespace aapm;
+
+/** Per-benchmark target duration at full speed, seconds. */
+inline double
+targetSeconds()
+{
+    if (const char *env = std::getenv("AAPM_SECONDS")) {
+        const double v = std::atof(env);
+        if (v > 0.0)
+            return v;
+    }
+    return 12.0;
+}
+
+/** Everything the harnesses share. */
+struct Bench
+{
+    PlatformConfig config;
+    Platform platform{config};
+    TrainedModels models = trainModels(config);
+    std::vector<Workload> suite =
+        specSuite(config.core, targetSeconds());
+
+    PowerEstimator
+    powerEstimator() const
+    {
+        return models.powerEstimator(config.pstates);
+    }
+
+    PerfEstimator
+    perfEstimator() const
+    {
+        return models.perfEstimator();
+    }
+
+    std::unique_ptr<PerformanceMaximizer>
+    makePm(double limit_w) const
+    {
+        return std::make_unique<PerformanceMaximizer>(
+            powerEstimator(), PmConfig{.powerLimitW = limit_w});
+    }
+
+    std::unique_ptr<PowerSave>
+    makePs(double floor) const
+    {
+        return std::make_unique<PowerSave>(
+            config.pstates, perfEstimator(), PsConfig{floor});
+    }
+
+    const Workload &
+    workload(const std::string &name) const
+    {
+        for (const auto &w : suite) {
+            if (w.name() == name)
+                return w;
+        }
+        aapm_fatal("no workload '%s'", name.c_str());
+    }
+};
+
+/** Lazily-constructed shared bench state (training is not free). */
+inline Bench &
+bench()
+{
+    static Bench b;
+    return b;
+}
+
+/**
+ * CSV sink for a harness's series; null unless AAPM_CSV_DIR is set.
+ * The directory is created on demand.
+ */
+inline std::unique_ptr<CsvWriter>
+maybeCsv(const std::string &bench_name)
+{
+    const char *dir = std::getenv("AAPM_CSV_DIR");
+    if (!dir || !*dir)
+        return nullptr;
+    std::filesystem::create_directories(dir);
+    return std::make_unique<CsvWriter>(
+        std::string(dir) + "/" + bench_name + ".csv");
+}
+
+/** Dump a full trace (time, power, frequency, IPC, temp) to CSV. */
+inline void
+traceToCsv(CsvWriter &csv, const std::string &label,
+           const PowerTrace &trace)
+{
+    for (const auto &s : trace.samples()) {
+        csv.row({label, std::to_string(ticksToSeconds(s.when)),
+                 std::to_string(s.measuredW), std::to_string(s.trueW),
+                 std::to_string(s.freqMhz), std::to_string(s.ipc),
+                 std::to_string(s.dpc), std::to_string(s.tempC)});
+    }
+}
+
+/** The paper's eight PM power limits, Watts. */
+inline std::vector<double>
+paperPowerLimits()
+{
+    return {17.5, 16.5, 15.5, 14.5, 13.5, 12.5, 11.5, 10.5};
+}
+
+/** The paper's four PS performance floors. */
+inline std::vector<double>
+paperFloors()
+{
+    return {0.8, 0.6, 0.4, 0.2};
+}
+
+} // namespace aapm_bench
+
+#endif // AAPM_BENCH_BENCH_UTIL_HH

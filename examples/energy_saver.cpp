@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Scenario: saving energy under full load. Demand-based switching
+ * (Linux ondemand-style) saves nothing when the machine is always
+ * busy; PowerSave trades an explicit, bounded slice of performance for
+ * real savings — more on memory-bound work, less on core-bound work.
+ */
+
+#include <cstdio>
+
+#include "aapm.hh"
+
+int
+main()
+{
+    using namespace aapm;
+    setLogLevel(LogLevel::Quiet);
+
+    PlatformConfig config;
+    Platform platform(config);
+    const TrainedModels models = trainModels(config);
+
+    const std::vector<std::string> names = {"swim", "ammp", "gzip",
+                                            "sixtrack"};
+    std::printf("energy under full load: DBS baseline vs PowerSave "
+                "floors\n\n");
+    std::printf("%-10s %12s %14s | %21s | %21s\n", "workload",
+                "base (J)", "DBS", "PS 80% floor", "PS 60% floor");
+
+    for (const auto &name : names) {
+        const Workload w = specWorkload(name, config.core, 6.0);
+        const RunResult base =
+            platform.runAtPState(w, config.pstates.maxIndex());
+
+        DemandBasedSwitching dbs(config.pstates);
+        const RunResult r_dbs = platform.run(w, dbs);
+
+        auto run_ps = [&](double floor) {
+            PowerSave ps(config.pstates, models.perfEstimator(),
+                         {floor});
+            return platform.run(w, ps);
+        };
+        const RunResult r80 = run_ps(0.8);
+        const RunResult r60 = run_ps(0.6);
+
+        auto cell = [&](const RunResult &r) {
+            static char buf[64];
+            std::snprintf(buf, sizeof(buf), "%5.1f%% save %5.1f%% slow",
+                          (1.0 - r.trueEnergyJ / base.trueEnergyJ) *
+                              100.0,
+                          (r.seconds / base.seconds - 1.0) * 100.0);
+            return std::string(buf);
+        };
+        std::printf("%-10s %12.1f %8.1f%% save | %s | %s\n",
+                    name.c_str(), base.trueEnergyJ,
+                    (1.0 - r_dbs.trueEnergyJ / base.trueEnergyJ) *
+                        100.0,
+                    cell(r80).c_str(), cell(r60).c_str());
+    }
+
+    std::printf("\ntakeaway: DBS never lowers frequency at 100%% load; "
+                "PS saves real energy with an explicit performance "
+                "contract, and memory-bound work (swim) gives up far "
+                "less performance for it than core-bound work "
+                "(sixtrack).\n");
+    return 0;
+}

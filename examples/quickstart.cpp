@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: build the simulated platform, train the online models,
+ * and run one benchmark under each solution.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "aapm.hh"
+
+int
+main()
+{
+    using namespace aapm;
+    setLogLevel(LogLevel::Quiet);
+
+    // 1. Describe the platform (defaults model a Pentium M 755 system
+    //    with sense-resistor power measurement).
+    PlatformConfig config;
+    Platform platform(config);
+
+    // 2. Train the online power and performance models on the MS-Loops
+    //    microbenchmarks — characterized by actual cache simulation.
+    const TrainedModels models = trainModels(config);
+    std::printf("trained power model at 2000 MHz: P = %.2f*DPC + %.2f\n",
+                models.power.coeffs.back().alpha,
+                models.power.coeffs.back().beta);
+
+    // 3. Pick a workload. ammp alternates memory- and core-bound
+    //    phases, so there is something for the governors to adapt to.
+    const Workload ammp = specWorkload("ammp", config.core, 10.0);
+
+    // 4a. Unconstrained run at the fastest p-state.
+    const RunResult base =
+        platform.runAtPState(ammp, config.pstates.maxIndex());
+    std::printf("[2000 MHz ] %5.2f s  %6.1f J  avg %5.2f W\n",
+                base.seconds, base.trueEnergyJ, base.avgTruePowerW);
+
+    // 4b. PerformanceMaximizer under a 14.5 W limit.
+    PerformanceMaximizer pm(models.powerEstimator(config.pstates),
+                            {.powerLimitW = 14.5});
+    const RunResult capped = platform.run(ammp, pm);
+    std::printf("[PM 14.5 W] %5.2f s  %6.1f J  avg %5.2f W  "
+                "(%.1f%% slower, limit respected: %s)\n",
+                capped.seconds, capped.trueEnergyJ, capped.avgTruePowerW,
+                (capped.seconds / base.seconds - 1.0) * 100.0,
+                capped.trace.fractionOverLimit(14.5, 10) < 0.01
+                    ? "yes" : "no");
+
+    // 4c. PowerSave with an 80% performance floor.
+    PowerSave ps(config.pstates, models.perfEstimator(),
+                 {.performanceFloor = 0.8});
+    const RunResult saved = platform.run(ammp, ps);
+    std::printf("[PS 80%%   ] %5.2f s  %6.1f J  avg %5.2f W  "
+                "(%.1f%% slower, %.1f%% energy saved)\n",
+                saved.seconds, saved.trueEnergyJ, saved.avgTruePowerW,
+                (saved.seconds / base.seconds - 1.0) * 100.0,
+                (1.0 - saved.trueEnergyJ / base.trueEnergyJ) * 100.0);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Scenario: thermal emergency on a cooling-constrained machine — the
+ * fan fails, the effective thermal resistance triples, and the
+ * governor must keep the die under its cap using every actuation level
+ * it has, including the clock-modulation states *below* the DVFS range
+ * (how the real Pentium M's thermal monitor behaves past the bottom of
+ * SpeedStep).
+ */
+
+#include <cstdio>
+
+#include "aapm.hh"
+
+int
+main()
+{
+    using namespace aapm;
+    setLogLevel(LogLevel::Quiet);
+
+    // A platform whose p-state menu is extended below 600 MHz with
+    // duty-modulated throttle states, on a passively-cooled chassis.
+    PlatformConfig config;
+    config.pstates = pentiumMWithThrottling();
+    config.initialPState = config.pstates.maxIndex();
+    config.thermal.rTh = 4.0;   // fanless: 4 C/W
+    Platform platform(config);
+
+    std::printf("p-state menu (throttle states marked *):\n ");
+    for (size_t i = 0; i < config.pstates.size(); ++i) {
+        std::printf(" %.0f%s", config.pstates[i].freqMhz,
+                    isThrottleState(config.pstates, i) ? "*" : "");
+    }
+    std::printf(" MHz\n\n");
+
+    // Train models for this menu (actuation-agnostic methodology).
+    TrainedModels models = trainModels(config);
+
+    const double cap_c = 75.0;
+    ThermalCapConfig tc;
+    tc.maxTempC = cap_c;
+    tc.rThermal = config.thermal.rTh;
+    tc.ambientC = config.thermal.ambientC;
+    ThermalCap governor(models.powerEstimator(config.pstates), tc);
+
+    const Workload crafty = specWorkload("crafty", config.core, 60.0);
+    const RunResult r = platform.run(crafty, governor);
+    const RunResult free =
+        platform.runAtPState(crafty, config.pstates.maxIndex());
+
+    double peak = 0.0, over_s = 0.0;
+    for (const auto &s : r.trace.samples()) {
+        peak = std::max(peak, s.tempC);
+        if (s.tempC > cap_c)
+            over_s += 0.01;
+    }
+    std::printf("thermal cap %.0f C on a %.0f C/W chassis running "
+                "crafty:\n", cap_c, config.thermal.rTh);
+    std::printf("  uncapped: settles toward %.1f C (limit exceeded)\n",
+                free.finalTempC);
+    std::printf("  capped:   peak %.1f C, %.2f s over cap, %.1f%% "
+                "slower\n", peak, over_s,
+                (r.seconds / free.seconds - 1.0) * 100.0);
+
+    std::printf("  residency:\n");
+    for (size_t i = 0; i < r.dvfs.residency.size(); ++i) {
+        const double frac =
+            ticksToSeconds(r.dvfs.residency[i]) / r.seconds;
+        if (frac > 0.01) {
+            std::printf("    %6.0f MHz%s %5.1f%%\n",
+                        config.pstates[i].freqMhz,
+                        isThrottleState(config.pstates, i) ? "*" : " ",
+                        frac * 100.0);
+        }
+    }
+    std::printf("\n(*) duty-modulated states: frequency without the "
+                "voltage drop — the emergency reserve below the DVFS "
+                "range.\n");
+    return 0;
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Build, test and regenerate every experiment — the repository's full
+# verification pass. Outputs land in test_output.txt / bench_output.txt
+# at the repo root (and CSV series in bench_csv/ if requested).
+#
+# Usage: scripts/run_all.sh [--csv] [--seconds N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SECONDS_OPT=12
+CSV=0
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --csv) CSV=1 ;;
+      --seconds) SECONDS_OPT="$2"; shift ;;
+      *) echo "unknown option $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
+
+export AAPM_SECONDS="$SECONDS_OPT"
+if [[ "$CSV" == 1 ]]; then
+    export AAPM_CSV_DIR="$PWD/bench_csv"
+fi
+
+{
+    for b in build/bench/*; do
+        echo "===== $b ====="
+        "$b"
+        echo
+    done
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt"

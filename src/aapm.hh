@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Umbrella header: the public API of the application-aware power
+ * management library.
+ *
+ * Typical use:
+ * @code
+ *   aapm::PlatformConfig config;
+ *   aapm::Platform platform(config);
+ *   aapm::TrainedModels models = aapm::trainModels(config);
+ *   aapm::PerformanceMaximizer pm(
+ *       models.powerEstimator(config.pstates), {.powerLimitW = 14.5});
+ *   auto result = platform.run(
+ *       aapm::specWorkload("ammp", config.core), pm);
+ * @endcode
+ */
+
+#ifndef AAPM_AAPM_HH
+#define AAPM_AAPM_HH
+
+#include "common/fit.hh"
+#include "common/logging.hh"
+#include "common/moving_window.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "cpu/core_model.hh"
+#include "dvfs/dvfs_controller.hh"
+#include "dvfs/pstate.hh"
+#include "dvfs/throttle.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+#include "mem/prefetcher.hh"
+#include "mgmt/demand_based.hh"
+#include "mgmt/governor.hh"
+#include "mgmt/performance_maximizer.hh"
+#include "mgmt/pm_adaptive.hh"
+#include "mgmt/pm_feedback.hh"
+#include "mgmt/power_save.hh"
+#include "mgmt/static_clock.hh"
+#include "mgmt/thermal_cap.hh"
+#include "models/model_io.hh"
+#include "models/online_fit.hh"
+#include "models/perf_estimator.hh"
+#include "models/power_estimator.hh"
+#include "models/trainer.hh"
+#include "models/validator.hh"
+#include "platform/experiment.hh"
+#include "platform/platform.hh"
+#include "pmu/events.hh"
+#include "pmu/pmu.hh"
+#include "pmu/rotation.hh"
+#include "power/truth_power.hh"
+#include "sensor/power_sensor.hh"
+#include "validation/trace_sim.hh"
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+#include "workload/microbench.hh"
+#include "workload/phase.hh"
+#include "workload/spec_suite.hh"
+#include "workload/synthetic.hh"
+#include "workload/workload.hh"
+
+#endif // AAPM_AAPM_HH

@@ -1,0 +1,146 @@
+#include "cli/options.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+CliOptions::CliOptions(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description))
+{
+}
+
+void
+CliOptions::addFlag(const std::string &name, const std::string &help)
+{
+    aapm_assert(!specs_.count(name), "duplicate option --%s",
+                name.c_str());
+    specs_[name] = {true, "", "", help};
+    order_.push_back(name);
+}
+
+void
+CliOptions::addOption(const std::string &name,
+                      const std::string &value_name,
+                      const std::string &def, const std::string &help)
+{
+    aapm_assert(!specs_.count(name), "duplicate option --%s",
+                name.c_str());
+    specs_[name] = {false, value_name, def, help};
+    order_.push_back(name);
+    if (!def.empty())
+        values_[name] = def;
+}
+
+bool
+CliOptions::parse(const std::vector<std::string> &args,
+                  std::string *error)
+{
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--help" || arg == "-h") {
+            helpRequested_ = true;
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positionals_.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string inline_value;
+        bool has_inline = false;
+        const size_t eq = name.find('=');
+        if (eq != std::string::npos) {
+            inline_value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_inline = true;
+        }
+        const auto it = specs_.find(name);
+        if (it == specs_.end()) {
+            if (error)
+                *error = "unknown option --" + name;
+            return false;
+        }
+        if (it->second.isFlag) {
+            if (has_inline) {
+                if (error)
+                    *error = "flag --" + name + " takes no value";
+                return false;
+            }
+            flags_[name] = true;
+        } else if (has_inline) {
+            values_[name] = inline_value;
+        } else {
+            if (i + 1 >= args.size()) {
+                if (error)
+                    *error = "option --" + name + " needs a value";
+                return false;
+            }
+            values_[name] = args[++i];
+        }
+    }
+    return true;
+}
+
+bool
+CliOptions::flag(const std::string &name) const
+{
+    const auto it = flags_.find(name);
+    return it != flags_.end() && it->second;
+}
+
+bool
+CliOptions::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+CliOptions::str(const std::string &name) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        aapm_fatal("option --%s is required", name.c_str());
+    return it->second;
+}
+
+double
+CliOptions::num(const std::string &name) const
+{
+    const std::string v = str(name);
+    char *end = nullptr;
+    const double x = std::strtod(v.c_str(), &end);
+    if (!end || *end != '\0')
+        aapm_fatal("option --%s expects a number, got '%s'",
+                   name.c_str(), v.c_str());
+    return x;
+}
+
+std::string
+CliOptions::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << program_ << " [options]\n"
+       << "  " << description_ << "\n\noptions:\n";
+    for (const auto &name : order_) {
+        const Spec &spec = specs_.at(name);
+        std::string left = "  --" + name;
+        if (!spec.isFlag)
+            left += " <" + spec.valueName + ">";
+        os << left;
+        if (left.size() < 26)
+            os << std::string(26 - left.size(), ' ');
+        else
+            os << "\n" << std::string(26, ' ');
+        os << spec.help;
+        if (!spec.def.empty())
+            os << " (default: " << spec.def << ")";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace aapm

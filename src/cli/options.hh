@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Minimal command-line option parser for the aapm tool: long options
+ * (`--name value` or `--name=value`), boolean flags, positionals, and
+ * generated usage text. No external dependencies.
+ */
+
+#ifndef AAPM_CLI_OPTIONS_HH
+#define AAPM_CLI_OPTIONS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aapm
+{
+
+/** Declarative option set + parser for one (sub)command. */
+class CliOptions
+{
+  public:
+    /**
+     * @param program Name shown in usage (e.g. "aapm run").
+     * @param description One-line summary for the usage text.
+     */
+    CliOptions(std::string program, std::string description);
+
+    /** Declare a boolean flag (present/absent). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Declare a value option.
+     * @param value_name Placeholder in usage (e.g. "WATTS").
+     * @param def Default value; empty string means "unset".
+     */
+    void addOption(const std::string &name,
+                   const std::string &value_name, const std::string &def,
+                   const std::string &help);
+
+    /**
+     * Parse argv (excluding the program/command tokens).
+     * @param error Receives a message on failure.
+     * @return true on success; false on error or --help (check
+     *         helpRequested()).
+     */
+    bool parse(const std::vector<std::string> &args, std::string *error);
+
+    /** True when parse() consumed a --help. */
+    bool helpRequested() const { return helpRequested_; }
+
+    /** True when the flag was present. */
+    bool flag(const std::string &name) const;
+
+    /** True when the option has a (given or default) value. */
+    bool has(const std::string &name) const;
+
+    /** The option's string value; fatal() if unset. */
+    std::string str(const std::string &name) const;
+
+    /** The option's numeric value; fatal() on non-numeric. */
+    double num(const std::string &name) const;
+
+    /** Non-option arguments, in order. */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    /** Generated usage text. */
+    std::string usage() const;
+
+  private:
+    struct Spec
+    {
+        bool isFlag = false;
+        std::string valueName;
+        std::string def;
+        std::string help;
+    };
+
+    std::string program_;
+    std::string description_;
+    std::vector<std::string> order_;
+    std::map<std::string, Spec> specs_;
+    std::map<std::string, std::string> values_;
+    std::map<std::string, bool> flags_;
+    std::vector<std::string> positionals_;
+    bool helpRequested_ = false;
+};
+
+} // namespace aapm
+
+#endif // AAPM_CLI_OPTIONS_HH

@@ -1,0 +1,198 @@
+#include "common/fit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+double
+LinearFit::meanAbsError(const std::vector<double> &xs,
+                        const std::vector<double> &ys) const
+{
+    aapm_assert(xs.size() == ys.size(), "size mismatch");
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i)
+        sum += std::abs(ys[i] - eval(xs[i]));
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+LinearFit::maxAbsError(const std::vector<double> &xs,
+                       const std::vector<double> &ys) const
+{
+    aapm_assert(xs.size() == ys.size(), "size mismatch");
+    double m = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i)
+        m = std::max(m, std::abs(ys[i] - eval(xs[i])));
+    return m;
+}
+
+namespace
+{
+
+/** Weighted least squares for y = a*x + b. */
+LinearFit
+weightedLsq(const std::vector<double> &xs, const std::vector<double> &ys,
+            const std::vector<double> &ws)
+{
+    double sw = 0.0, swx = 0.0, swy = 0.0, swxx = 0.0, swxy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        const double w = ws[i];
+        sw += w;
+        swx += w * xs[i];
+        swy += w * ys[i];
+        swxx += w * xs[i] * xs[i];
+        swxy += w * xs[i] * ys[i];
+    }
+    LinearFit fit;
+    const double denom = sw * swxx - swx * swx;
+    if (std::abs(denom) < 1e-12 * std::max(1.0, swxx * sw)) {
+        fit.slope = 0.0;
+        fit.intercept = sw > 0.0 ? swy / sw : 0.0;
+    } else {
+        fit.slope = (sw * swxy - swx * swy) / denom;
+        fit.intercept = (swy - fit.slope * swx) / sw;
+    }
+    return fit;
+}
+
+} // namespace
+
+LinearFit
+fitLeastSquares(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    aapm_assert(xs.size() == ys.size(), "size mismatch");
+    aapm_assert(xs.size() >= 2, "need at least 2 points, got %zu",
+                xs.size());
+    std::vector<double> ws(xs.size(), 1.0);
+    return weightedLsq(xs, ys, ws);
+}
+
+LinearFit
+fitLeastAbsolute(const std::vector<double> &xs, const std::vector<double> &ys,
+                 int max_iters, double eps)
+{
+    aapm_assert(xs.size() == ys.size(), "size mismatch");
+    aapm_assert(xs.size() >= 2, "need at least 2 points, got %zu",
+                xs.size());
+    LinearFit fit = fitLeastSquares(xs, ys);
+    std::vector<double> ws(xs.size(), 1.0);
+    double prev_loss = fit.meanAbsError(xs, ys);
+    for (int iter = 0; iter < max_iters; ++iter) {
+        for (size_t i = 0; i < xs.size(); ++i) {
+            const double r = std::abs(ys[i] - fit.eval(xs[i]));
+            ws[i] = 1.0 / std::max(r, eps);
+        }
+        const LinearFit next = weightedLsq(xs, ys, ws);
+        const double loss = next.meanAbsError(xs, ys);
+        // IRLS can oscillate near the optimum; keep the better iterate.
+        if (loss <= prev_loss) {
+            fit = next;
+            if (prev_loss - loss < 1e-12)
+                break;
+            prev_loss = loss;
+        } else {
+            break;
+        }
+    }
+    return fit;
+}
+
+double
+GridAxis::at(int i) const
+{
+    aapm_assert(i >= 0 && i < steps, "grid index %d out of [0,%d)",
+                i, steps);
+    if (steps == 1)
+        return lo;
+    return lo + (hi - lo) * static_cast<double>(i) /
+           static_cast<double>(steps - 1);
+}
+
+GridResult
+gridSearch(const std::vector<GridAxis> &axes,
+           const std::function<double(const std::vector<double> &)> &loss)
+{
+    aapm_assert(!axes.empty(), "grid search needs at least one axis");
+    size_t total = 1;
+    for (const auto &ax : axes) {
+        aapm_assert(ax.steps >= 1, "axis needs >= 1 step");
+        total *= static_cast<size_t>(ax.steps);
+    }
+    aapm_assert(total <= 20'000'000, "grid too large (%zu points)", total);
+
+    std::vector<double> losses(total);
+    std::vector<int> idx(axes.size(), 0);
+    std::vector<double> params(axes.size());
+
+    auto flatten = [&](const std::vector<int> &ix) {
+        size_t flat = 0;
+        for (size_t d = 0; d < axes.size(); ++d)
+            flat = flat * static_cast<size_t>(axes[d].steps) +
+                   static_cast<size_t>(ix[d]);
+        return flat;
+    };
+
+    GridResult result;
+    result.bestLoss = std::numeric_limits<double>::infinity();
+
+    // Enumerate the full grid.
+    for (size_t flat = 0; flat < total; ++flat) {
+        size_t rem = flat;
+        for (size_t d = axes.size(); d-- > 0;) {
+            idx[d] = static_cast<int>(
+                rem % static_cast<size_t>(axes[d].steps));
+            rem /= static_cast<size_t>(axes[d].steps);
+        }
+        for (size_t d = 0; d < axes.size(); ++d)
+            params[d] = axes[d].at(idx[d]);
+        const double l = loss(params);
+        losses[flat] = l;
+        if (l < result.bestLoss) {
+            result.bestLoss = l;
+            result.best = params;
+        }
+    }
+
+    // Identify grid-local minima: points no neighbor (±1 along any
+    // single axis) improves upon.
+    for (size_t flat = 0; flat < total; ++flat) {
+        size_t rem = flat;
+        for (size_t d = axes.size(); d-- > 0;) {
+            idx[d] = static_cast<int>(
+                rem % static_cast<size_t>(axes[d].steps));
+            rem /= static_cast<size_t>(axes[d].steps);
+        }
+        bool is_min = true;
+        for (size_t d = 0; d < axes.size() && is_min; ++d) {
+            for (int delta : {-1, 1}) {
+                const int ni = idx[d] + delta;
+                if (ni < 0 || ni >= axes[d].steps)
+                    continue;
+                std::vector<int> nidx = idx;
+                nidx[d] = ni;
+                if (losses[flatten(nidx)] < losses[flat]) {
+                    is_min = false;
+                    break;
+                }
+            }
+        }
+        if (is_min) {
+            for (size_t d = 0; d < axes.size(); ++d)
+                params[d] = axes[d].at(idx[d]);
+            result.localMinima.emplace_back(params, losses[flat]);
+        }
+    }
+    std::sort(result.localMinima.begin(), result.localMinima.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second;
+              });
+    return result;
+}
+
+} // namespace aapm

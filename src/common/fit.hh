@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Model-fitting utilities: ordinary least squares, least absolute
+ * deviations (the paper fits its DPC power model by minimizing
+ * absolute-value error), and a simple grid optimizer used to train the
+ * performance-model threshold and exponent.
+ */
+
+#ifndef AAPM_COMMON_FIT_HH
+#define AAPM_COMMON_FIT_HH
+
+#include <functional>
+#include <vector>
+
+namespace aapm
+{
+
+/** Result of a univariate linear fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+
+    /** Model prediction at x. */
+    double eval(double x) const { return slope * x + intercept; }
+
+    /** Mean absolute error over the given points. */
+    double meanAbsError(const std::vector<double> &xs,
+                        const std::vector<double> &ys) const;
+
+    /** Maximum absolute error over the given points. */
+    double maxAbsError(const std::vector<double> &xs,
+                       const std::vector<double> &ys) const;
+};
+
+/**
+ * Ordinary least-squares fit of y = slope*x + intercept.
+ * Requires at least 2 points; with zero x-variance the slope is 0 and
+ * the intercept is the mean of y.
+ */
+LinearFit fitLeastSquares(const std::vector<double> &xs,
+                          const std::vector<double> &ys);
+
+/**
+ * Least-absolute-deviations fit of y = slope*x + intercept, via
+ * iteratively reweighted least squares. Matches the paper's power-model
+ * construction ("minimizing the absolute-value error").
+ *
+ * @param max_iters IRLS iteration cap.
+ * @param eps Huber-style smoothing floor on |residual| weights.
+ */
+LinearFit fitLeastAbsolute(const std::vector<double> &xs,
+                           const std::vector<double> &ys,
+                           int max_iters = 60, double eps = 1e-6);
+
+/** One dimension of a grid search. */
+struct GridAxis
+{
+    double lo;      ///< first value
+    double hi;      ///< last value (inclusive)
+    int steps;      ///< number of samples along the axis (>= 1)
+
+    /** Value at index i in [0, steps). */
+    double at(int i) const;
+};
+
+/** Result of a grid search. */
+struct GridResult
+{
+    std::vector<double> best;       ///< best parameter vector
+    double bestLoss = 0.0;          ///< loss at best
+    /** All local minima found on the grid (loss-sorted, best first). */
+    std::vector<std::pair<std::vector<double>, double>> localMinima;
+};
+
+/**
+ * Exhaustive grid search over up to a few axes; records grid-local
+ * minima so callers can inspect alternative optima (the paper found two
+ * local minima, exponents 0.81 and 0.59, for its performance model).
+ *
+ * @param axes Parameter axes.
+ * @param loss Loss function over a parameter vector; lower is better.
+ */
+GridResult gridSearch(const std::vector<GridAxis> &axes,
+                      const std::function<double(
+                          const std::vector<double> &)> &loss);
+
+} // namespace aapm
+
+#endif // AAPM_COMMON_FIT_HH

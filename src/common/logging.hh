@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Logging and error-reporting primitives.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (a bug in this library), fatal() for unrecoverable user errors (bad
+ * configuration, invalid arguments), warn()/inform() for non-fatal
+ * status messages.
+ */
+
+#ifndef AAPM_COMMON_LOGGING_HH
+#define AAPM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <sstream>
+#include <string>
+
+namespace aapm
+{
+
+/** Verbosity levels for status messages. */
+enum class LogLevel
+{
+    Quiet,   ///< suppress inform(); warnings still print
+    Normal,  ///< default: inform() and warn() print
+    Verbose  ///< additionally print debug() messages
+};
+
+/** Set the global verbosity for status messages. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort with a message; use for conditions that indicate a bug in the
+ * library itself, never for user error.
+ */
+#define aapm_panic(...) \
+    ::aapm::detail::panicImpl(__FILE__, __LINE__, \
+                              ::aapm::detail::format(__VA_ARGS__))
+
+/**
+ * Exit with a message; use for unrecoverable conditions caused by the
+ * user (bad configuration, invalid arguments).
+ */
+#define aapm_fatal(...) \
+    ::aapm::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::aapm::detail::format(__VA_ARGS__))
+
+/** Print a warning about questionable but survivable conditions. */
+#define aapm_warn(...) \
+    ::aapm::detail::warnImpl(::aapm::detail::format(__VA_ARGS__))
+
+/** Print an informational status message. */
+#define aapm_inform(...) \
+    ::aapm::detail::informImpl(::aapm::detail::format(__VA_ARGS__))
+
+/** Print a debug message (only at Verbose log level). */
+#define aapm_debug(...) \
+    ::aapm::detail::debugImpl(::aapm::detail::format(__VA_ARGS__))
+
+/** panic() unless the given condition holds. */
+#define aapm_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::aapm::detail::panicImpl(__FILE__, __LINE__, \
+                std::string("assertion failed: " #cond " — ") + \
+                ::aapm::detail::format(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace aapm
+
+#endif // AAPM_COMMON_LOGGING_HH

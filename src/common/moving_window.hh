@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fixed-capacity moving window over a scalar sample stream.
+ *
+ * PerformanceMaximizer enforces its power limit over a moving window of
+ * ten 10 ms samples (a 100 ms moving average); this class provides that
+ * primitive, plus the "all samples agree" predicate used for the
+ * asymmetric raise decision.
+ */
+
+#ifndef AAPM_COMMON_MOVING_WINDOW_HH
+#define AAPM_COMMON_MOVING_WINDOW_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+/** Circular buffer of the most recent N doubles with O(1) mean. */
+class MovingWindow
+{
+  public:
+    /** @param capacity Window length in samples; must be >= 1. */
+    explicit MovingWindow(size_t capacity)
+        : buf_(capacity, 0.0), head_(0), size_(0), sum_(0.0)
+    {
+        aapm_assert(capacity >= 1, "window capacity must be >= 1");
+    }
+
+    /** Push one sample, evicting the oldest when full. */
+    void
+    push(double x)
+    {
+        if (size_ == buf_.size()) {
+            sum_ -= buf_[head_];
+        } else {
+            ++size_;
+        }
+        buf_[head_] = x;
+        sum_ += x;
+        head_ = (head_ + 1) % buf_.size();
+    }
+
+    /** Remove all samples. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+        sum_ = 0.0;
+    }
+
+    /** Samples currently held. */
+    size_t size() const { return size_; }
+
+    /** Window length. */
+    size_t capacity() const { return buf_.size(); }
+
+    /** True once capacity() samples have been pushed. */
+    bool full() const { return size_ == buf_.size(); }
+
+    /** Mean of the held samples; 0 when empty. */
+    double
+    mean() const
+    {
+        return size_ > 0 ? sum_ / static_cast<double>(size_) : 0.0;
+    }
+
+    /** Sum of the held samples. */
+    double sum() const { return sum_; }
+
+    /**
+     * True when the window is full and *every* held sample satisfies
+     * pred. Used for the "raise frequency only after a full window of
+     * consecutive agreeing samples" rule.
+     */
+    template <typename Pred>
+    bool
+    allOf(Pred pred) const
+    {
+        if (!full())
+            return false;
+        for (size_t i = 0; i < size_; ++i) {
+            if (!pred(buf_[i]))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::vector<double> buf_;
+    size_t head_;
+    size_t size_;
+    double sum_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_COMMON_MOVING_WINDOW_HH

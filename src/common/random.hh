@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the simulated platform (sensor noise,
+ * workload burstiness, random access streams) draw from explicitly
+ * seeded Rng instances so every experiment is exactly reproducible.
+ */
+
+#ifndef AAPM_COMMON_RANDOM_HH
+#define AAPM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace aapm
+{
+
+/**
+ * Small, fast, deterministic PRNG (xoshiro256** core with splitmix64
+ * seeding). Not cryptographic; intended for simulation reproducibility.
+ */
+class Rng
+{
+  public:
+    /** Construct with the given seed; equal seeds yield equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed the generator, restarting its stream. */
+    void seed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n) — n must be > 0. */
+    uint64_t below(uint64_t n);
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+  private:
+    uint64_t s_[4];
+    bool haveSpare_;
+    double spare_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_COMMON_RANDOM_HH

@@ -1,0 +1,179 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+void
+RunningStats::reset()
+{
+    count_ = 0;
+    weight_ = 0.0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+RunningStats::add(double x)
+{
+    addWeighted(x, 1.0);
+}
+
+void
+RunningStats::addWeighted(double x, double weight)
+{
+    aapm_assert(weight >= 0.0, "negative weight %f", weight);
+    if (weight == 0.0)
+        return;
+    ++count_;
+    weight_ += weight;
+    const double delta = x - mean_;
+    mean_ += delta * (weight / weight_);
+    m2_ += weight * delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::mean() const
+{
+    return weight_ > 0.0 ? mean_ : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    return (count_ >= 2 && weight_ > 0.0) ? m2_ / weight_ : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0), total_(0), underflow_(0),
+      overflow_(0)
+{
+    aapm_assert(hi > lo, "bad histogram range [%f, %f]", lo, hi);
+    aapm_assert(bins >= 1, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    size_t bin;
+    if (x < lo_) {
+        ++underflow_;
+        bin = 0;
+    } else if (x >= hi_) {
+        if (x > hi_)
+            ++overflow_;
+        bin = counts_.size() - 1;
+    } else {
+        const double frac = (x - lo_) / (hi_ - lo_);
+        bin = std::min(counts_.size() - 1,
+                       static_cast<size_t>(frac * counts_.size()));
+    }
+    ++counts_[bin];
+}
+
+uint64_t
+Histogram::binCount(size_t bin) const
+{
+    aapm_assert(bin < counts_.size(), "bin %zu out of range", bin);
+    return counts_[bin];
+}
+
+double
+Histogram::binCenter(size_t bin) const
+{
+    aapm_assert(bin < counts_.size(), "bin %zu out of range", bin);
+    const double width = (hi_ - lo_) / counts_.size();
+    return lo_ + (bin + 0.5) * width;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    aapm_assert(q >= 0.0 && q <= 1.0, "quantile %f out of [0,1]", q);
+    if (total_ == 0)
+        return lo_;
+    const uint64_t target =
+        static_cast<uint64_t>(q * static_cast<double>(total_));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen > target)
+            return binCenter(i);
+    }
+    return binCenter(counts_.size() - 1);
+}
+
+double
+SampleSeries::quantile(double q) const
+{
+    aapm_assert(q >= 0.0 && q <= 1.0, "quantile %f out of [0,1]", q);
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * (sorted.size() - 1);
+    const size_t i = static_cast<size_t>(pos);
+    if (i + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = pos - static_cast<double>(i);
+    return sorted[i] * (1.0 - frac) + sorted[i + 1] * frac;
+}
+
+double
+SampleSeries::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SampleSeries::min() const
+{
+    double m = std::numeric_limits<double>::infinity();
+    for (double s : samples_)
+        m = std::min(m, s);
+    return m;
+}
+
+double
+SampleSeries::max() const
+{
+    double m = -std::numeric_limits<double>::infinity();
+    for (double s : samples_)
+        m = std::max(m, s);
+    return m;
+}
+
+double
+SampleSeries::fractionAbove(double threshold) const
+{
+    if (samples_.empty())
+        return 0.0;
+    size_t n = 0;
+    for (double s : samples_) {
+        if (s > threshold)
+            ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(samples_.size());
+}
+
+} // namespace aapm

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Streaming statistics accumulators and histograms.
+ */
+
+#ifndef AAPM_COMMON_STATS_HH
+#define AAPM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace aapm
+{
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    RunningStats() { reset(); }
+
+    /** Discard all accumulated samples. */
+    void reset();
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Add a sample with a non-negative weight (e.g. time-weighted). */
+    void addWeighted(double x, double weight);
+
+    /** Number of samples added (unweighted count). */
+    uint64_t count() const { return count_; }
+
+    /** Sum of weights (equals count() when unweighted). */
+    double totalWeight() const { return weight_; }
+
+    /** Weighted arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Weighted population variance; 0 when fewer than 2 samples. */
+    double variance() const;
+
+    /** Square root of variance(). */
+    double stddev() const;
+
+    /** Smallest sample seen; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample seen; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of (weighted) samples. */
+    double sum() const { return mean_ * weight_; }
+
+  private:
+    uint64_t count_;
+    double weight_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+};
+
+/**
+ * Fixed-bin histogram over a closed value range; out-of-range samples
+ * are clamped into the first/last bin and counted separately.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the tracked range.
+     * @param hi Upper bound (must exceed lo).
+     * @param bins Number of equal-width bins (must be >= 1).
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Count in the given bin. */
+    uint64_t binCount(size_t bin) const;
+
+    /** Center value of the given bin. */
+    double binCenter(size_t bin) const;
+
+    /** Number of bins. */
+    size_t numBins() const { return counts_.size(); }
+
+    /** Total samples added. */
+    uint64_t total() const { return total_; }
+
+    /** Samples that fell below the range (clamped into bin 0). */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Samples that fell above the range (clamped into the last bin). */
+    uint64_t overflow() const { return overflow_; }
+
+    /**
+     * Value below which the given fraction of samples fall
+     * (approximated at bin granularity). q in [0,1].
+     */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_;
+    uint64_t underflow_;
+    uint64_t overflow_;
+};
+
+/**
+ * Exact-percentile tracker that stores all samples. Suitable for the
+ * 10 ms-granularity traces used in the experiments (1e4..1e6 samples).
+ */
+class SampleSeries
+{
+  public:
+    /** Add one sample. */
+    void add(double x) { samples_.push_back(x); }
+
+    /** Number of samples. */
+    size_t size() const { return samples_.size(); }
+
+    /** Direct access to sample i in insertion order. */
+    double operator[](size_t i) const { return samples_[i]; }
+
+    /** Exact q-quantile (linear interpolation); q in [0,1]. */
+    double quantile(double q) const;
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Minimum; +inf when empty. */
+    double min() const;
+
+    /** Maximum; -inf when empty. */
+    double max() const;
+
+    /** Fraction of samples strictly greater than the threshold. */
+    double fractionAbove(double threshold) const;
+
+    /** All samples, insertion-ordered. */
+    const std::vector<double> &data() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_COMMON_STATS_HH

@@ -1,0 +1,158 @@
+#include "common/table.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end && *end == '\0';
+}
+
+} // namespace
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::num(int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string cell = i < cells.size() ? cells[i] : "";
+            const size_t pad = widths[i] - cell.size();
+            if (looksNumeric(cell)) {
+                os << std::string(pad, ' ') << cell;
+            } else {
+                os << cell << std::string(pad, ' ');
+            }
+            os << (i + 1 < widths.size() ? "  " : "");
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w;
+        total += widths.empty() ? 0 : 2 * (widths.size() - 1);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+struct CsvWriter::Impl
+{
+    std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string &path) : impl_(new Impl)
+{
+    impl_->out.open(path);
+    if (!impl_->out)
+        aapm_fatal("cannot open CSV output file '%s'", path.c_str());
+}
+
+CsvWriter::~CsvWriter()
+{
+    delete impl_;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const std::string &c = cells[i];
+        const bool quote = c.find_first_of(",\"\n") != std::string::npos;
+        if (quote) {
+            impl_->out << '"';
+            for (char ch : c) {
+                if (ch == '"')
+                    impl_->out << '"';
+                impl_->out << ch;
+            }
+            impl_->out << '"';
+        } else {
+            impl_->out << c;
+        }
+        if (i + 1 < cells.size())
+            impl_->out << ',';
+    }
+    impl_->out << '\n';
+}
+
+void
+CsvWriter::rowNums(const std::vector<double> &cells)
+{
+    std::vector<std::string> s;
+    s.reserve(cells.size());
+    for (double v : cells) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        s.emplace_back(buf);
+    }
+    row(s);
+}
+
+} // namespace aapm

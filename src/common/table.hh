@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ASCII table and CSV writers for the benchmark harnesses, which print
+ * the rows/series the paper's tables and figures report.
+ */
+
+#ifndef AAPM_COMMON_TABLE_HH
+#define AAPM_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aapm
+{
+
+/**
+ * Column-aligned ASCII table. Cells are strings; numeric helpers format
+ * with fixed precision. Right-aligns cells that parse as numbers.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (cell count should match the header). */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format an integer. */
+    static std::string num(int64_t v);
+
+    /** Render to the given stream with a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Number of data rows. */
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Minimal CSV writer (RFC-4180-style quoting) so experiment output can
+ * be re-plotted outside the harness.
+ */
+class CsvWriter
+{
+  public:
+    /** Open the given path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Write one row of cells, quoting as needed. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Convenience: write a row of doubles at full precision. */
+    void rowNums(const std::vector<double> &cells);
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_COMMON_TABLE_HH

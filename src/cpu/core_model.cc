@@ -1,0 +1,151 @@
+#include "cpu/core_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+EventTotals &
+EventTotals::operator+=(const EventTotals &o)
+{
+    cycles += o.cycles;
+    instructionsRetired += o.instructionsRetired;
+    instructionsDecoded += o.instructionsDecoded;
+    dcuMissOutstanding += o.dcuMissOutstanding;
+    resourceStalls += o.resourceStalls;
+    l2Requests += o.l2Requests;
+    busMemoryRequests += o.busMemoryRequests;
+    fpOps += o.fpOps;
+    return *this;
+}
+
+CoreModel::CoreModel(CoreParams params) : params_(params)
+{
+    if (params_.l2HitLatency <= 0.0 || params_.dramLatencyNs <= 0.0)
+        aapm_fatal("core latencies must be positive");
+}
+
+double
+CoreModel::cpi(const Phase &phase, double freq_ghz) const
+{
+    aapm_assert(freq_ghz > 0.0, "bad frequency %f GHz", freq_ghz);
+    if (phase.idle) {
+        // Sleep slots are fixed in wall-clock time: scale cycles with
+        // frequency so time per slot is frequency-invariant.
+        return phase.baseCpi * freq_ghz / params_.idleCalibrationGhz;
+    }
+    const double l2_cpi = phase.l2ServicedPerInstr() *
+                          params_.l2HitLatency / phase.l2Mlp;
+    const double dram_cpi = phase.dramDemandPerInstr() *
+                            params_.dramLatencyNs * freq_ghz / phase.mlp;
+    const double latency_cpi = phase.baseCpi + l2_cpi + dram_cpi;
+    // DRAM bandwidth floor: all line traffic (including prefetches)
+    // must cross the bus, so the time per instruction cannot drop below
+    // traffic / peak-bandwidth regardless of how well latency is
+    // hidden. Like the latency term this is fixed in *time*, hence
+    // scales with f in cycles.
+    const double bw_cpi = bandwidthFloorNsPerInstr(phase) * freq_ghz;
+    return std::max(latency_cpi, bw_cpi);
+}
+
+double
+CoreModel::bandwidthFloorNsPerInstr(const Phase &phase) const
+{
+    return phase.dramTrafficPerInstr() * params_.dramLineBytes /
+           params_.dramPeakBandwidthGBs;
+}
+
+double
+CoreModel::ipc(const Phase &phase, double freq_ghz) const
+{
+    return 1.0 / cpi(phase, freq_ghz);
+}
+
+double
+CoreModel::dcuOutstandingPerInstr(const Phase &phase,
+                                  double freq_ghz) const
+{
+    // Occupancy: cycles with at least one DL1 miss outstanding. L2-
+    // serviced misses occupy ~L2 latency each; DRAM misses occupy the
+    // full DRAM latency (in cycles) divided by their overlap. When the
+    // bus is saturated, misses queue behind the bandwidth bottleneck:
+    // every cycle beyond the core's own work has a miss pending.
+    const double l2_occ = phase.l2ServicedPerInstr() *
+                          params_.l2HitLatency / phase.l2Mlp;
+    const double dram_lat_occ = phase.dramDemandPerInstr() *
+                                params_.dramLatencyNs * freq_ghz /
+                                phase.mlp;
+    const double bw_cpi = bandwidthFloorNsPerInstr(phase) * freq_ghz;
+    const double bw_occ = bw_cpi - phase.baseCpi - l2_occ;
+    return l2_occ + std::max(dram_lat_occ, bw_occ);
+}
+
+EventTotals
+CoreModel::eventsFor(const Phase &phase, double freq_ghz,
+                     double instructions) const
+{
+    EventTotals ev;
+    const double phase_cpi = cpi(phase, freq_ghz);
+    // Memory-induced stall cycles per instruction (latency- or
+    // bandwidth-bound, whichever governs).
+    const double dram_stall_cpi = std::max(
+        0.0, phase_cpi - phase.baseCpi -
+                 phase.l2ServicedPerInstr() * params_.l2HitLatency /
+                     phase.l2Mlp);
+    ev.cycles = instructions * phase_cpi;
+    ev.instructionsRetired = instructions;
+    ev.instructionsDecoded = instructions * phase.decodeRatio;
+    ev.dcuMissOutstanding =
+        instructions * dcuOutstandingPerInstr(phase, freq_ghz);
+    ev.resourceStalls =
+        instructions * (phase.resourceStallFrac * phase.baseCpi +
+                        params_.robStallFactor * dram_stall_cpi);
+    ev.l2Requests = instructions * phase.l1MissPerInstr;
+    ev.busMemoryRequests = instructions * phase.dramTrafficPerInstr();
+    ev.fpOps = instructions * phase.fpPerInstr;
+    return ev;
+}
+
+Tick
+CoreModel::advance(WorkloadCursor &cursor, double freq_ghz, Tick budget,
+                   std::vector<ExecChunk> &out) const
+{
+    aapm_assert(freq_ghz > 0.0, "bad frequency %f GHz", freq_ghz);
+    Tick used = 0;
+    while (used < budget && !cursor.done()) {
+        const Phase &phase = cursor.currentPhase();
+        const double phase_cpi = cpi(phase, freq_ghz);
+        // ps per instruction = (cycles/instr) / (cycles/ns) * 1000
+        const double tpi_ps = phase_cpi / freq_ghz * 1000.0;
+        const Tick left = budget - used;
+        const double fit_f = static_cast<double>(left) / tpi_ps;
+        uint64_t fit = static_cast<uint64_t>(fit_f);
+        const uint64_t remaining = cursor.remainingInPhase();
+        uint64_t n = std::min<uint64_t>(fit, remaining);
+        if (n == 0) {
+            // Budget too small to retire one more instruction; burn the
+            // remainder as a partial instruction (no events).
+            used = budget;
+            break;
+        }
+        Tick dur = static_cast<Tick>(static_cast<double>(n) * tpi_ps);
+        if (dur > left)
+            dur = left;
+        ExecChunk chunk;
+        chunk.phase = &phase;
+        chunk.freqGhz = freq_ghz;
+        chunk.instructions = n;
+        chunk.duration = dur;
+        chunk.events = eventsFor(phase, freq_ghz,
+                                 static_cast<double>(n));
+        out.push_back(chunk);
+        cursor.retire(n);
+        used += dur;
+    }
+    return used;
+}
+
+} // namespace aapm

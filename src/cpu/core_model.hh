@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Analytical Pentium M-class core timing model.
+ *
+ * The model advances a workload cursor through simulated time at a given
+ * clock frequency. Per-instruction cost splits into:
+ *
+ *   CPI(f) = baseCpi                          (core, scales with f)
+ *          + l2Serviced * L2lat / l2Mlp       (on-chip, scales with f)
+ *          + dramDemand * DRAMns * f / mlp    (off-chip, fixed in *time*)
+ *
+ * The last term is what creates the paper's central phenomenon: DRAM
+ * latency is constant in nanoseconds, so it costs more *cycles* at
+ * higher frequency — memory-bound workloads gain almost nothing from
+ * raising f, while core-bound workloads scale linearly.
+ */
+
+#ifndef AAPM_CPU_CORE_MODEL_HH
+#define AAPM_CPU_CORE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ticks.hh"
+#include "workload/phase.hh"
+#include "workload/workload.hh"
+
+namespace aapm
+{
+
+/** Fixed microarchitectural parameters of the modeled core. */
+struct CoreParams
+{
+    /** L2 hit (load-to-use) latency in core cycles. */
+    double l2HitLatency = 10.0;
+    /** DRAM access latency in nanoseconds (frequency-independent). */
+    double dramLatencyNs = 110.0;
+    /** Peak DRAM bandwidth, GB/s (bounds streaming loops like MCOPY). */
+    double dramPeakBandwidthGBs = 4.0;
+    /** DRAM transfer unit (cache line), bytes. */
+    double dramLineBytes = 64.0;
+    /**
+     * Fraction of DRAM stall cycles that also show up as resource
+     * (ROB/RS-full) stalls.
+     */
+    double robStallFactor = 0.7;
+    /**
+     * Frequency at which idle phases' baseCpi is specified. OS idle is
+     * a *duration* (sleep until the next timer), so idle wall-clock
+     * time must not scale with the core clock; cycles per idle "slot"
+     * therefore scale as f / idleCalibrationGhz.
+     */
+    double idleCalibrationGhz = 2.0;
+};
+
+/**
+ * Raw PMU-visible event totals over some stretch of execution. Doubles,
+ * because they accumulate fractional per-instruction rates; the PMU
+ * quantizes on read.
+ */
+struct EventTotals
+{
+    double cycles = 0.0;
+    double instructionsRetired = 0.0;
+    double instructionsDecoded = 0.0;
+    double dcuMissOutstanding = 0.0;   ///< cycles with a DL1 miss pending
+    double resourceStalls = 0.0;       ///< cycles stalled on resources
+    double l2Requests = 0.0;
+    double busMemoryRequests = 0.0;    ///< DRAM line transfers
+    double fpOps = 0.0;
+
+    EventTotals &operator+=(const EventTotals &o);
+};
+
+/**
+ * One homogeneous stretch of execution: a single phase at a single
+ * frequency. The power model integrates energy chunk-by-chunk, so power
+ * tracks phase changes within a sampling quantum.
+ */
+struct ExecChunk
+{
+    /** The phase executed; nullptr for a stall chunk (DVFS transition). */
+    const Phase *phase = nullptr;
+    /** Clock frequency during the chunk, GHz. */
+    double freqGhz = 0.0;
+    /** Retired instructions. */
+    uint64_t instructions = 0;
+    /** Wall-clock duration in ticks. */
+    Tick duration = 0;
+    /** Event totals for this chunk. */
+    EventTotals events;
+};
+
+/**
+ * The core model. Stateless apart from its parameters: all progress
+ * state lives in the WorkloadCursor.
+ */
+class CoreModel
+{
+  public:
+    explicit CoreModel(CoreParams params = CoreParams());
+
+    /** Cycles per instruction for the given phase at freq (GHz). */
+    double cpi(const Phase &phase, double freq_ghz) const;
+
+    /** Instructions per cycle for the given phase at freq (GHz). */
+    double ipc(const Phase &phase, double freq_ghz) const;
+
+    /** Instructions per second for the given phase at freq (GHz). */
+    double
+    instrPerSec(const Phase &phase, double freq_ghz) const
+    {
+        return ipc(phase, freq_ghz) * freq_ghz * 1e9;
+    }
+
+    /**
+     * DL1-miss-outstanding cycles per instruction for the phase at the
+     * given frequency — the quantity whose ratio to 1 instruction
+     * (DCU/IPC) the paper uses to classify memory-boundedness.
+     */
+    double dcuOutstandingPerInstr(const Phase &phase,
+                                  double freq_ghz) const;
+
+    /**
+     * Minimum wall-clock time per instruction imposed by DRAM
+     * bandwidth: total line traffic divided by peak bandwidth.
+     */
+    double bandwidthFloorNsPerInstr(const Phase &phase) const;
+
+    /**
+     * Advance the cursor at the given frequency for at most `budget`
+     * ticks, splitting the result into homogeneous chunks (one per
+     * phase crossed).
+     *
+     * @param cursor Workload position (mutated).
+     * @param freq_ghz Core clock in GHz.
+     * @param budget Maximum simulated time to consume.
+     * @param out Chunks are appended here.
+     * @return Ticks actually consumed (== budget unless the workload
+     *         finished first).
+     */
+    Tick advance(WorkloadCursor &cursor, double freq_ghz, Tick budget,
+                 std::vector<ExecChunk> &out) const;
+
+    /**
+     * Build the event totals for executing n instructions of the given
+     * phase at the given frequency.
+     */
+    EventTotals eventsFor(const Phase &phase, double freq_ghz,
+                          double instructions) const;
+
+    /** The model's fixed parameters. */
+    const CoreParams &params() const { return params_; }
+
+  private:
+    CoreParams params_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_CPU_CORE_MODEL_HH

@@ -1,0 +1,49 @@
+#include "dvfs/dvfs_controller.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+DvfsController::DvfsController(PStateTable table, size_t initial,
+                               DvfsConfig config)
+    : table_(std::move(table)), current_(initial), config_(config)
+{
+    if (initial >= table_.size())
+        aapm_fatal("initial p-state %zu out of range (%zu states)",
+                   initial, table_.size());
+    if (config_.transitionUs < 0.0 || config_.slewUsPer100mV < 0.0)
+        aapm_fatal("negative DVFS transition costs");
+    stats_.residency.assign(table_.size(), 0);
+}
+
+Tick
+DvfsController::requestPState(size_t target)
+{
+    if (target >= table_.size())
+        aapm_fatal("p-state %zu out of range (%zu states)", target,
+                   table_.size());
+    if (target == current_)
+        return 0;
+    const double dv_mv =
+        std::abs(table_[target].voltage - table_[current_].voltage) *
+        1000.0;
+    const double stall_us =
+        config_.transitionUs + config_.slewUsPer100mV * dv_mv / 100.0;
+    const Tick stall =
+        static_cast<Tick>(stall_us * static_cast<double>(TicksPerUs));
+    current_ = target;
+    ++stats_.transitions;
+    stats_.stallTicks += stall;
+    return stall;
+}
+
+void
+DvfsController::accountResidency(Tick ticks)
+{
+    stats_.residency[current_] += ticks;
+}
+
+} // namespace aapm

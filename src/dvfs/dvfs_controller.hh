@@ -1,0 +1,88 @@
+/**
+ * @file
+ * DVFS actuator: the modeled equivalent of writing the Pentium M's
+ * machine-specific registers that retune the PLL and the external
+ * voltage-identification (VID) pins of the voltage regulator.
+ *
+ * A p-state change is not free: the core halts for a transition window
+ * (PLL relock + VRM slew). The controller exposes the pending stall so
+ * the platform can account it as dead time at the *new* voltage.
+ */
+
+#ifndef AAPM_DVFS_DVFS_CONTROLLER_HH
+#define AAPM_DVFS_DVFS_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dvfs/pstate.hh"
+#include "sim/ticks.hh"
+
+namespace aapm
+{
+
+/** Transition-cost parameters. */
+struct DvfsConfig
+{
+    /** Core-halt duration for any p-state change, microseconds. */
+    double transitionUs = 10.0;
+    /** Additional VRM slew per 100 mV of voltage change, microseconds. */
+    double slewUsPer100mV = 5.0;
+};
+
+/** Controller statistics. */
+struct DvfsStats
+{
+    uint64_t transitions = 0;
+    Tick stallTicks = 0;
+    /** Residency (ticks) per p-state index. */
+    std::vector<Tick> residency;
+};
+
+/**
+ * Tracks the current p-state and the halt window implied by each
+ * change request.
+ */
+class DvfsController
+{
+  public:
+    /**
+     * @param table The available p-states.
+     * @param initial Index of the initial p-state.
+     * @param config Transition costs.
+     */
+    DvfsController(PStateTable table, size_t initial,
+                   DvfsConfig config = DvfsConfig());
+
+    /** The p-state menu. */
+    const PStateTable &table() const { return table_; }
+
+    /** Index of the current p-state. */
+    size_t currentIndex() const { return current_; }
+
+    /** The current operating point. */
+    const PState &current() const { return table_[current_]; }
+
+    /**
+     * Request a p-state change. No-op when target == current.
+     * @param target Index of the requested p-state.
+     * @return Core-halt duration in ticks caused by this change.
+     */
+    Tick requestPState(size_t target);
+
+    /** Record that `ticks` of wall-clock time passed at current state. */
+    void accountResidency(Tick ticks);
+
+    /** Statistics. */
+    const DvfsStats &stats() const { return stats_; }
+
+  private:
+    PStateTable table_;
+    size_t current_;
+    DvfsConfig config_;
+    DvfsStats stats_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_DVFS_DVFS_CONTROLLER_HH

@@ -1,0 +1,80 @@
+#include "dvfs/pstate.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+PStateTable::PStateTable(std::vector<PState> states)
+    : states_(std::move(states))
+{
+    validate();
+}
+
+PStateTable
+PStateTable::pentiumM()
+{
+    // Frequencies and voltages from Table II of the paper.
+    return PStateTable({
+        {600.0, 0.998},
+        {800.0, 1.052},
+        {1000.0, 1.100},
+        {1200.0, 1.148},
+        {1400.0, 1.196},
+        {1600.0, 1.244},
+        {1800.0, 1.292},
+        {2000.0, 1.340},
+    });
+}
+
+void
+PStateTable::validate() const
+{
+    if (states_.empty())
+        aapm_fatal("p-state table is empty");
+    for (size_t i = 0; i < states_.size(); ++i) {
+        if (states_[i].freqMhz <= 0.0 || states_[i].voltage <= 0.0)
+            aapm_fatal("p-state %zu has non-positive freq/voltage", i);
+        if (i > 0 && states_[i].freqMhz <= states_[i - 1].freqMhz)
+            aapm_fatal("p-state table not frequency-ascending at %zu", i);
+    }
+}
+
+const PState &
+PStateTable::operator[](size_t i) const
+{
+    aapm_assert(i < states_.size(), "p-state %zu out of range", i);
+    return states_[i];
+}
+
+size_t
+PStateTable::maxIndex() const
+{
+    aapm_assert(!states_.empty(), "empty p-state table");
+    return states_.size() - 1;
+}
+
+size_t
+PStateTable::indexOfMhz(double freq_mhz) const
+{
+    for (size_t i = 0; i < states_.size(); ++i) {
+        if (std::abs(states_[i].freqMhz - freq_mhz) < 0.5)
+            return i;
+    }
+    aapm_fatal("no p-state with frequency %f MHz", freq_mhz);
+}
+
+size_t
+PStateTable::highestAtOrBelowMhz(double freq_mhz) const
+{
+    size_t best = 0;
+    for (size_t i = 0; i < states_.size(); ++i) {
+        if (states_[i].freqMhz <= freq_mhz + 0.5)
+            best = i;
+    }
+    return best;
+}
+
+} // namespace aapm

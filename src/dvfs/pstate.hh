@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ACPI p-state table: discrete (frequency, voltage) operating points.
+ *
+ * The default table is the Pentium M 755 (Dothan) Enhanced SpeedStep
+ * menu from the paper's Table II: 600–2000 MHz, 0.998–1.340 V.
+ */
+
+#ifndef AAPM_DVFS_PSTATE_HH
+#define AAPM_DVFS_PSTATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aapm
+{
+
+/** One operating point. */
+struct PState
+{
+    double freqMhz = 0.0;
+    double voltage = 0.0;
+
+    /** Frequency in GHz. */
+    double freqGhz() const { return freqMhz / 1000.0; }
+};
+
+/**
+ * Ordered set of p-states, ascending by frequency. Index 0 is the
+ * slowest/lowest-voltage state.
+ */
+class PStateTable
+{
+  public:
+    /** Empty table; add states before use. */
+    PStateTable() = default;
+
+    /** Build from a list (validated, must be frequency-ascending). */
+    explicit PStateTable(std::vector<PState> states);
+
+    /** The Pentium M 755 table from the paper (8 states). */
+    static PStateTable pentiumM();
+
+    /** Number of states. */
+    size_t size() const { return states_.size(); }
+
+    /** State at index i (0 = slowest). */
+    const PState &operator[](size_t i) const;
+
+    /** Index of the fastest state. */
+    size_t maxIndex() const;
+
+    /** Index of the state with the given frequency; fatal if absent. */
+    size_t indexOfMhz(double freq_mhz) const;
+
+    /** Highest index whose frequency is <= the given MHz; 0 if none. */
+    size_t highestAtOrBelowMhz(double freq_mhz) const;
+
+    /** All states. */
+    const std::vector<PState> &states() const { return states_; }
+
+  private:
+    void validate() const;
+
+    std::vector<PState> states_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_DVFS_PSTATE_HH

@@ -1,0 +1,51 @@
+#include "dvfs/throttle.hh"
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+PStateTable
+throttleTable(const PState &base, size_t steps)
+{
+    if (steps < 2)
+        aapm_fatal("throttle table needs >= 2 duty levels");
+    std::vector<PState> states;
+    states.reserve(steps);
+    for (size_t i = 1; i <= steps; ++i) {
+        const double duty =
+            static_cast<double>(i) / static_cast<double>(steps);
+        states.push_back({base.freqMhz * duty, base.voltage});
+    }
+    return PStateTable(std::move(states));
+}
+
+PStateTable
+pentiumMWithThrottling()
+{
+    const PStateTable dvfs = PStateTable::pentiumM();
+    const PState lowest = dvfs[0];
+    std::vector<PState> states;
+    // Duty 2/8 .. 7/8 of the lowest DVFS state, then the DVFS menu.
+    for (int i = 2; i <= 7; ++i) {
+        const double duty = static_cast<double>(i) / 8.0;
+        states.push_back({lowest.freqMhz * duty, lowest.voltage});
+    }
+    for (const auto &ps : dvfs.states())
+        states.push_back(ps);
+    return PStateTable(std::move(states));
+}
+
+bool
+isThrottleState(const PStateTable &table, size_t i)
+{
+    aapm_assert(i < table.size(), "state %zu out of range", i);
+    // A throttle state shares its voltage with a faster state.
+    for (size_t j = i + 1; j < table.size(); ++j) {
+        if (table[j].voltage == table[i].voltage)
+            return true;
+    }
+    return false;
+}
+
+} // namespace aapm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Clock-throttling (duty-cycle modulation) operating points.
+ *
+ * The paper's companion report (Rajamani et al., RC24007) studies both
+ * DVFS and clock throttling as actuation mechanisms. Throttling gates
+ * the clock for a fraction of each modulation window: effective
+ * frequency drops to duty × f while the supply voltage stays put — so
+ * dynamic power falls only *linearly* (no V² term) and leakage not at
+ * all, which is why DVFS dominates it for energy and why real parts
+ * (including the Pentium M's thermal-monitor modulation) use
+ * throttling only below the lowest DVFS state or as an emergency
+ * thermal response.
+ *
+ * A throttled point is representable exactly as a PState with the
+ * reduced frequency at the unreduced voltage, so the whole stack
+ * (timing, power, models, governors) works on throttle tables
+ * unchanged.
+ */
+
+#ifndef AAPM_DVFS_THROTTLE_HH
+#define AAPM_DVFS_THROTTLE_HH
+
+#include <cstddef>
+
+#include "dvfs/pstate.hh"
+
+namespace aapm
+{
+
+/**
+ * Build a throttle-only table: `steps` duty levels of the given base
+ * operating point, duty = 1/steps .. steps/steps, all at the base
+ * voltage (Intel clock modulation exposes 8 such levels).
+ *
+ * @param base Operating point being modulated.
+ * @param steps Number of duty levels (>= 2).
+ */
+PStateTable throttleTable(const PState &base, size_t steps = 8);
+
+/**
+ * The Pentium M menu extended below 600 MHz with throttle states of
+ * the lowest DVFS point (duties 7/8 .. 2/8 of 600 MHz at 0.998 V) —
+ * how the real part behaves when the thermal monitor engages past the
+ * bottom of the SpeedStep range.
+ */
+PStateTable pentiumMWithThrottling();
+
+/**
+ * True if state `i` of the table is a throttle state (frequency below
+ * the table's own voltage-scaling knee — i.e. shares its voltage with
+ * a faster state).
+ */
+bool isThrottleState(const PStateTable &table, size_t i);
+
+} // namespace aapm
+
+#endif // AAPM_DVFS_THROTTLE_HH

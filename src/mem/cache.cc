@@ -1,0 +1,188 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+uint64_t
+CacheConfig::numSets() const
+{
+    return sizeBytes / (static_cast<uint64_t>(lineBytes) * ways);
+}
+
+void
+CacheConfig::validate() const
+{
+    if (lineBytes == 0 || !isPow2(lineBytes))
+        aapm_fatal("%s: line size %u must be a power of two",
+                   name.c_str(), lineBytes);
+    if (ways == 0)
+        aapm_fatal("%s: associativity must be >= 1", name.c_str());
+    if (sizeBytes % (static_cast<uint64_t>(lineBytes) * ways) != 0)
+        aapm_fatal("%s: size %llu not divisible by line*ways",
+                   name.c_str(),
+                   static_cast<unsigned long long>(sizeBytes));
+    if (!isPow2(numSets()))
+        aapm_fatal("%s: set count %llu must be a power of two",
+                   name.c_str(),
+                   static_cast<unsigned long long>(numSets()));
+}
+
+double
+CacheStats::missRate() const
+{
+    return accesses > 0
+        ? static_cast<double>(misses) / static_cast<double>(accesses)
+        : 0.0;
+}
+
+Cache::Cache(CacheConfig config)
+    : config_(std::move(config)), sets_(0), lruCounter_(0)
+{
+    config_.validate();
+    sets_ = config_.numSets();
+    lines_.resize(sets_ * config_.ways);
+}
+
+uint64_t
+Cache::lineAddr(uint64_t addr) const
+{
+    return addr / config_.lineBytes;
+}
+
+uint64_t
+Cache::setIndex(uint64_t line_addr) const
+{
+    return line_addr & (sets_ - 1);
+}
+
+uint64_t
+Cache::tagOf(uint64_t line_addr) const
+{
+    return line_addr / sets_;
+}
+
+Cache::Line *
+Cache::find(uint64_t line_addr)
+{
+    const uint64_t set = setIndex(line_addr);
+    const uint64_t tag = tagOf(line_addr);
+    Line *base = &lines_[set * config_.ways];
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(uint64_t line_addr) const
+{
+    return const_cast<Cache *>(this)->find(line_addr);
+}
+
+Cache::Line &
+Cache::victim(uint64_t set)
+{
+    Line *base = &lines_[set * config_.ways];
+    Line *lru = &base[0];
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lruStamp < lru->lruStamp)
+            lru = &base[w];
+    }
+    return *lru;
+}
+
+void
+Cache::install(Line &v, uint64_t line_addr, bool prefetched,
+               AccessResult &result)
+{
+    if (v.valid) {
+        ++stats_.evictions;
+        if (v.dirty) {
+            ++stats_.writebacks;
+            result.writeback = true;
+            result.writebackAddr =
+                (v.tag * sets_ + (&v - lines_.data()) / config_.ways) *
+                config_.lineBytes;
+        }
+    }
+    v.valid = true;
+    v.tag = tagOf(line_addr);
+    v.dirty = false;
+    v.prefetched = prefetched;
+    v.lruStamp = ++lruCounter_;
+}
+
+Cache::AccessResult
+Cache::access(uint64_t addr, bool write)
+{
+    AccessResult result;
+    ++stats_.accesses;
+    const uint64_t la = lineAddr(addr);
+    Line *line = find(la);
+    if (line) {
+        ++stats_.hits;
+        result.hit = true;
+        if (line->prefetched) {
+            result.hitWasPrefetched = true;
+            ++stats_.prefetchHits;
+            line->prefetched = false;
+        }
+        line->lruStamp = ++lruCounter_;
+        if (write)
+            line->dirty = true;
+        return result;
+    }
+    ++stats_.misses;
+    Line &v = victim(setIndex(la));
+    install(v, la, false, result);
+    if (write)
+        v.dirty = true;
+    return result;
+}
+
+bool
+Cache::prefetchFill(uint64_t addr)
+{
+    const uint64_t la = lineAddr(addr);
+    if (find(la))
+        return false;
+    AccessResult dummy;
+    Line &v = victim(setIndex(la));
+    install(v, la, true, dummy);
+    ++stats_.prefetchFills;
+    return true;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    return find(lineAddr(addr)) != nullptr;
+}
+
+void
+Cache::flush(bool reset_stats)
+{
+    for (auto &l : lines_)
+        l = Line();
+    lruCounter_ = 0;
+    if (reset_stats)
+        resetStats();
+}
+
+} // namespace aapm

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Set-associative cache model with true-LRU replacement and
+ * write-back/write-allocate policy.
+ *
+ * Used to characterize the MS-Loops microbenchmarks: their actual
+ * address streams are run through a modeled Pentium M hierarchy to
+ * derive footprint-dependent hit/miss rates, rather than hand-typing
+ * those rates.
+ */
+
+#ifndef AAPM_MEM_CACHE_HH
+#define AAPM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aapm
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint64_t sizeBytes = 32 * 1024;
+    uint32_t lineBytes = 64;
+    uint32_t ways = 8;
+    /** Load-to-use latency in core cycles on a hit. */
+    uint32_t hitLatency = 3;
+
+    /** Number of sets implied by the geometry. */
+    uint64_t numSets() const;
+
+    /** Validate invariants (power-of-two line count etc.). */
+    void validate() const;
+};
+
+/** Hit/miss statistics for one cache. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+    uint64_t prefetchFills = 0;
+    uint64_t prefetchHits = 0;   ///< demand hits on prefetched lines
+
+    /** misses / accesses; 0 when no accesses. */
+    double missRate() const;
+};
+
+/**
+ * One level of set-associative cache. The model tracks tags only (no
+ * data), with per-line dirty and prefetched bits.
+ */
+class Cache
+{
+  public:
+    explicit Cache(CacheConfig config);
+
+    /** Result of a lookup-and-fill access. */
+    struct AccessResult
+    {
+        bool hit = false;
+        /** The hit line had been brought in by the prefetcher. */
+        bool hitWasPrefetched = false;
+        /** A dirty victim was evicted and must be written back. */
+        bool writeback = false;
+        /** Line address of the written-back victim (if writeback). */
+        uint64_t writebackAddr = 0;
+    };
+
+    /**
+     * Demand access: look up addr, fill on miss (evicting LRU).
+     * @param addr Byte address.
+     * @param write True for stores (marks line dirty).
+     */
+    AccessResult access(uint64_t addr, bool write);
+
+    /**
+     * Prefetch fill: insert the line for addr if absent. Does not count
+     * as a demand access. @return true if a new line was installed.
+     */
+    bool prefetchFill(uint64_t addr);
+
+    /** True when the line containing addr is resident. */
+    bool contains(uint64_t addr) const;
+
+    /** Invalidate all lines and (optionally) reset statistics. */
+    void flush(bool reset_stats = false);
+
+    /** Statistics accumulated since construction / last reset. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Zero the statistics (contents untouched). */
+    void resetStats() { stats_ = CacheStats(); }
+
+    /** This cache's configuration. */
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        uint64_t lruStamp = 0;
+    };
+
+    uint64_t lineAddr(uint64_t addr) const;
+    uint64_t setIndex(uint64_t line_addr) const;
+    uint64_t tagOf(uint64_t line_addr) const;
+
+    /** Find the line holding line_addr, or nullptr. */
+    Line *find(uint64_t line_addr);
+    const Line *find(uint64_t line_addr) const;
+
+    /** Choose the victim way in the given set (invalid first, else LRU). */
+    Line &victim(uint64_t set);
+
+    /** Install line_addr over victim v; reports writeback via result. */
+    void install(Line &v, uint64_t line_addr, bool prefetched,
+                 AccessResult &result);
+
+    CacheConfig config_;
+    uint64_t sets_;
+    std::vector<Line> lines_;   ///< sets_ * ways, set-major
+    uint64_t lruCounter_;
+    CacheStats stats_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MEM_CACHE_HH

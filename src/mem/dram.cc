@@ -1,0 +1,23 @@
+#include "mem/dram.hh"
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+Dram::Dram(DramConfig config) : config_(config)
+{
+    if (config_.latencyNs <= 0.0)
+        aapm_fatal("DRAM latency must be positive");
+    if (config_.peakBandwidth <= 0.0)
+        aapm_fatal("DRAM bandwidth must be positive");
+}
+
+double
+Dram::minServiceNs() const
+{
+    return static_cast<double>(config_.lineBytes) /
+           config_.peakBandwidth * 1e9;
+}
+
+} // namespace aapm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Main-memory model: fixed access latency (in nanoseconds — crucially
+ * *frequency-independent*, which is what makes memory-bound workloads
+ * insensitive to core DVFS) plus a peak-bandwidth constraint.
+ */
+
+#ifndef AAPM_MEM_DRAM_HH
+#define AAPM_MEM_DRAM_HH
+
+#include <cstdint>
+
+namespace aapm
+{
+
+/** DRAM timing/bandwidth parameters (DDR-333-era defaults). */
+struct DramConfig
+{
+    /** Idle random-access latency, ns (row activate + CAS + transfer). */
+    double latencyNs = 110.0;
+    /** Peak sustainable bandwidth, bytes per second. */
+    double peakBandwidth = 2.7e9;
+    /** Cache line (transfer unit) size in bytes. */
+    uint32_t lineBytes = 64;
+};
+
+/** DRAM statistics. */
+struct DramStats
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+
+    uint64_t accesses() const { return reads + writes; }
+};
+
+/**
+ * Analytical DRAM model. Latency is constant in wall-clock time; under
+ * heavy streaming the effective per-line service time is bounded below
+ * by line size / peak bandwidth, which the hierarchy uses to model
+ * bandwidth-bound loops such as MCOPY.
+ */
+class Dram
+{
+  public:
+    explicit Dram(DramConfig config);
+
+    /** Record a line read. */
+    void read() { ++stats_.reads; }
+
+    /** Record a line write (writeback). */
+    void write() { ++stats_.writes; }
+
+    /** Unloaded access latency in nanoseconds. */
+    double latencyNs() const { return config_.latencyNs; }
+
+    /** Minimum per-line service time at peak bandwidth, ns. */
+    double minServiceNs() const;
+
+    /** Configuration. */
+    const DramConfig &config() const { return config_; }
+
+    /** Statistics. */
+    const DramStats &stats() const { return stats_; }
+
+    /** Zero the statistics. */
+    void resetStats() { stats_ = DramStats(); }
+
+  private:
+    DramConfig config_;
+    DramStats stats_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MEM_DRAM_HH

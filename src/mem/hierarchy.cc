@@ -1,0 +1,101 @@
+#include "mem/hierarchy.hh"
+
+namespace aapm
+{
+
+double
+HierarchyStats::l1HitRate() const
+{
+    return accesses > 0
+        ? static_cast<double>(l1Hits) / static_cast<double>(accesses)
+        : 0.0;
+}
+
+double
+HierarchyStats::l2LocalHitRate() const
+{
+    const uint64_t l2_accesses = accesses - l1Hits;
+    return l2_accesses > 0
+        ? static_cast<double>(l2Hits) / static_cast<double>(l2_accesses)
+        : 0.0;
+}
+
+MemoryHierarchy::MemoryHierarchy(HierarchyConfig config)
+    : config_(config), l1_(config.l1), l2_(config.l2),
+      prefetcher_(config.prefetcher), dram_(config.dram)
+{
+}
+
+MemoryHierarchy::AccessResult
+MemoryHierarchy::access(uint64_t addr, bool write)
+{
+    AccessResult result;
+    ++stats_.accesses;
+
+    const auto r1 = l1_.access(addr, write);
+    if (r1.hit) {
+        ++stats_.l1Hits;
+        result.level = ServiceLevel::L1;
+        return result;
+    }
+
+    // L1 miss: the prefetcher observes the miss stream.
+    if (config_.enablePrefetcher) {
+        prefetchBuf_.clear();
+        prefetcher_.observe(addr, prefetchBuf_);
+    }
+
+    const auto r2 = l2_.access(addr, false);
+    if (r2.hit) {
+        ++stats_.l2Hits;
+        result.level = ServiceLevel::L2;
+        if (r2.hitWasPrefetched) {
+            result.prefetchCovered = true;
+            ++stats_.prefetchCovered;
+        }
+    } else {
+        ++stats_.dramAccesses;
+        dram_.read();
+        result.level = ServiceLevel::Dram;
+        if (r2.writeback)
+            dram_.write();
+    }
+
+    // L1 writebacks land in L2 (tag-only model: count them as L2 writes
+    // but do not recurse).
+    if (r1.writeback)
+        l2_.access(r1.writebackAddr, true);
+
+    // Issue the prefetches collected above into L2 after the demand
+    // access so the demand line itself is never displaced by them.
+    if (config_.enablePrefetcher) {
+        for (uint64_t pf_addr : prefetchBuf_) {
+            if (l2_.prefetchFill(pf_addr)) {
+                dram_.read();
+                ++result.prefetchFills;
+            }
+        }
+    }
+
+    return result;
+}
+
+void
+MemoryHierarchy::flush()
+{
+    l1_.flush();
+    l2_.flush();
+    prefetcher_.reset();
+}
+
+void
+MemoryHierarchy::resetStats()
+{
+    l1_.resetStats();
+    l2_.resetStats();
+    prefetcher_.reset();
+    dram_.resetStats();
+    stats_ = HierarchyStats();
+}
+
+} // namespace aapm

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Two-level cache hierarchy (L1D + unified L2) over DRAM with an L2
+ * stride prefetcher, modeled on the Pentium M 755 (Dothan): 32 KB 8-way
+ * L1D, 2 MB 8-way L2, 64 B lines.
+ *
+ * The hierarchy serves two purposes:
+ *  - characterization: microbenchmark address streams are replayed
+ *    through it to obtain per-access service-level distributions;
+ *  - counter semantics: it defines which accesses appear as L2 Requests
+ *    and Memory (DRAM) Requests in the PMU model.
+ */
+
+#ifndef AAPM_MEM_HIERARCHY_HH
+#define AAPM_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/prefetcher.hh"
+
+namespace aapm
+{
+
+/** Where a demand access was serviced. */
+enum class ServiceLevel
+{
+    L1,     ///< L1D hit
+    L2,     ///< L1D miss, L2 hit
+    Dram    ///< miss in both caches
+};
+
+/** Configuration of the full hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1 = {"L1D", 32 * 1024, 64, 8, 3};
+    CacheConfig l2 = {"L2", 2 * 1024 * 1024, 64, 8, 10};
+    PrefetcherConfig prefetcher;
+    DramConfig dram;
+    bool enablePrefetcher = true;
+};
+
+/** Aggregate access counts by service level. */
+struct HierarchyStats
+{
+    uint64_t accesses = 0;
+    uint64_t l1Hits = 0;
+    uint64_t l2Hits = 0;
+    uint64_t dramAccesses = 0;
+    /** Demand L2 hits that were covered by a prefetch. */
+    uint64_t prefetchCovered = 0;
+
+    double l1HitRate() const;
+    double l2LocalHitRate() const;
+};
+
+/**
+ * The hierarchy: inclusive-enough two-level cache stack; prefetcher
+ * observes L1 misses and fills into L2.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(HierarchyConfig config);
+
+    /** Result of one demand access. */
+    struct AccessResult
+    {
+        ServiceLevel level = ServiceLevel::L1;
+        /** Serviced from a prefetched L2 line (latency mostly hidden). */
+        bool prefetchCovered = false;
+        /** Prefetch lines fetched from DRAM as a side effect. */
+        uint8_t prefetchFills = 0;
+    };
+
+    /**
+     * Perform one demand access.
+     * @param addr Byte address.
+     * @param write True for stores.
+     */
+    AccessResult access(uint64_t addr, bool write);
+
+    /** Invalidate both caches and reset prefetcher training. */
+    void flush();
+
+    /** Reset all statistics (cache, prefetcher, DRAM, aggregate). */
+    void resetStats();
+
+    /** Aggregate statistics. */
+    const HierarchyStats &stats() const { return stats_; }
+
+    /** The L1 data cache. */
+    const Cache &l1() const { return l1_; }
+
+    /** The unified L2 cache. */
+    const Cache &l2() const { return l2_; }
+
+    /** The DRAM model. */
+    const Dram &dram() const { return dram_; }
+
+    /** The configuration this hierarchy was built with. */
+    const HierarchyConfig &config() const { return config_; }
+
+  private:
+    HierarchyConfig config_;
+    Cache l1_;
+    Cache l2_;
+    StridePrefetcher prefetcher_;
+    Dram dram_;
+    HierarchyStats stats_;
+    std::vector<uint64_t> prefetchBuf_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MEM_HIERARCHY_HH

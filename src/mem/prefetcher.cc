@@ -1,0 +1,95 @@
+#include "mem/prefetcher.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+StridePrefetcher::StridePrefetcher(PrefetcherConfig config)
+    : config_(config), streams_(config.streams), lruCounter_(0)
+{
+    aapm_assert(config_.streams >= 1, "need at least one stream");
+    aapm_assert(config_.lineBytes > 0, "bad line size");
+}
+
+void
+StridePrefetcher::observe(uint64_t addr, std::vector<uint64_t> &out)
+{
+    ++stats_.observed;
+    const uint64_t line = addr / config_.lineBytes;
+
+    // Find the stream whose last line is closest (within max stride).
+    Stream *best = nullptr;
+    int64_t best_dist = config_.maxStrideLines + 1;
+    for (auto &s : streams_) {
+        if (!s.valid)
+            continue;
+        const int64_t d = static_cast<int64_t>(line) -
+                          static_cast<int64_t>(s.lastLine);
+        if (d != 0 && std::llabs(d) <= config_.maxStrideLines &&
+            std::llabs(d) < best_dist) {
+            best = &s;
+            best_dist = std::llabs(d);
+        }
+    }
+
+    if (best) {
+        const int64_t d = static_cast<int64_t>(line) -
+                          static_cast<int64_t>(best->lastLine);
+        if (d == best->stride) {
+            if (best->confidence < config_.trainThreshold) {
+                ++best->confidence;
+                if (best->confidence == config_.trainThreshold)
+                    ++stats_.trained;
+            }
+        } else {
+            best->stride = d;
+            best->confidence = 1;
+        }
+        best->lastLine = line;
+        best->lruStamp = ++lruCounter_;
+        if (best->confidence >= config_.trainThreshold) {
+            for (uint32_t i = 1; i <= config_.degree; ++i) {
+                const int64_t target =
+                    static_cast<int64_t>(line) +
+                    best->stride * static_cast<int64_t>(i);
+                if (target < 0)
+                    break;
+                out.push_back(static_cast<uint64_t>(target) *
+                              config_.lineBytes);
+                ++stats_.issued;
+            }
+        }
+        return;
+    }
+
+    // Allocate a new stream over the LRU (or first invalid) entry.
+    Stream *victim = &streams_[0];
+    for (auto &s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lruStamp < victim->lruStamp)
+            victim = &s;
+    }
+    victim->valid = true;
+    victim->lastLine = line;
+    victim->stride = 0;
+    victim->confidence = 0;
+    victim->lruStamp = ++lruCounter_;
+}
+
+void
+StridePrefetcher::reset()
+{
+    for (auto &s : streams_)
+        s = Stream();
+    lruCounter_ = 0;
+    stats_ = PrefetcherStats();
+}
+
+} // namespace aapm

@@ -1,0 +1,28 @@
+#include "mgmt/demand_based.hh"
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+DemandBasedSwitching::DemandBasedSwitching(PStateTable table,
+                                           DbsConfig config)
+    : table_(std::move(table)), config_(config)
+{
+    if (config_.upThreshold <= config_.downThreshold)
+        aapm_fatal("DBS up threshold must exceed down threshold");
+}
+
+size_t
+DemandBasedSwitching::decide(const MonitorSample &sample, size_t current)
+{
+    // ondemand semantics: jump straight to max on high utilization,
+    // step down one state at a time when utilization is low.
+    if (sample.utilization > config_.upThreshold)
+        return table_.maxIndex();
+    if (sample.utilization < config_.downThreshold && current > 0)
+        return current - 1;
+    return current;
+}
+
+} // namespace aapm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Demand-Based Switching baseline (Intel DBS / Linux "ondemand"-style).
+ *
+ * Raises frequency when OS-visible utilization is high and lowers it
+ * when the system idles. Included as the foil the paper argues against:
+ * under the always-100%-busy SPEC workloads it simply sits at maximum
+ * frequency and saves nothing, which is exactly why PS exists.
+ */
+
+#ifndef AAPM_MGMT_DEMAND_BASED_HH
+#define AAPM_MGMT_DEMAND_BASED_HH
+
+#include "dvfs/pstate.hh"
+#include "mgmt/governor.hh"
+
+namespace aapm
+{
+
+/** DBS tuning knobs (ondemand-style thresholds). */
+struct DbsConfig
+{
+    /** Jump to max frequency when utilization exceeds this. */
+    double upThreshold = 0.80;
+    /** Step down when utilization falls below this. */
+    double downThreshold = 0.30;
+};
+
+/** The utilization-driven baseline governor. */
+class DemandBasedSwitching : public Governor
+{
+  public:
+    DemandBasedSwitching(PStateTable table, DbsConfig config = DbsConfig());
+
+    const char *name() const override { return "DBS"; }
+
+    void
+    configureCounters(Pmu &pmu) override
+    {
+        (void)pmu;   // utilization comes from the OS, not the PMU
+    }
+
+    size_t decide(const MonitorSample &sample, size_t current) override;
+
+  private:
+    PStateTable table_;
+    DbsConfig config_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MGMT_DEMAND_BASED_HH

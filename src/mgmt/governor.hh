@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Governor interface: the Monitor → Estimate/Predict → Control loop.
+ *
+ * A governor declares which PMU events it needs (the PMU has only two
+ * programmable slots), then at every monitoring tick receives the
+ * sample the monitor layer could assemble from those counters and
+ * returns the p-state to run next. Runtime constraint changes (the
+ * paper's SIGUSR1/SIGUSR2 delivery of new power limits) arrive through
+ * setPowerLimit()/setPerformanceFloor().
+ */
+
+#ifndef AAPM_MGMT_GOVERNOR_HH
+#define AAPM_MGMT_GOVERNOR_HH
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "pmu/pmu.hh"
+
+namespace aapm
+{
+
+/**
+ * One monitoring-interval sample. Rate fields a governor's counter
+ * configuration cannot provide are NaN — a governor must work within
+ * its declared counter budget.
+ */
+struct MonitorSample
+{
+    double intervalSeconds = 0.0;
+    uint64_t cycles = 0;          ///< from the free-running counter
+    double ipc = NAN;             ///< retired instructions / cycle
+    double dpc = NAN;             ///< decoded instructions / cycle
+    double dcuPerCycle = NAN;     ///< DL1-miss-outstanding / cycle
+    double measuredPowerW = NAN;  ///< sense-resistor reading
+    double tempC = NAN;           ///< thermal-diode reading, °C
+    size_t pstate = 0;            ///< state during the interval
+    double utilization = 1.0;     ///< OS-visible busy fraction
+
+    /** True when the named field was measured. */
+    static bool available(double field) { return !std::isnan(field); }
+};
+
+/** Abstract p-state governor. */
+class Governor
+{
+  public:
+    virtual ~Governor() = default;
+
+    /** Display name ("PM", "PS", ...). */
+    virtual const char *name() const = 0;
+
+    /** Program the PMU slots this governor needs. */
+    virtual void configureCounters(Pmu &pmu) = 0;
+
+    /**
+     * Control decision for the elapsed interval.
+     * @param sample The interval's measurements.
+     * @param current Current p-state index.
+     * @return P-state index to run next (may equal current).
+     */
+    virtual size_t decide(const MonitorSample &sample, size_t current) = 0;
+
+    /** Discard adaptive state between runs. */
+    virtual void reset() {}
+
+    /** Deliver a new power limit (Watts); default ignores it. */
+    virtual void setPowerLimit(double watts) { (void)watts; }
+
+    /** Deliver a new performance floor (fraction); default ignores it. */
+    virtual void setPerformanceFloor(double floor) { (void)floor; }
+};
+
+} // namespace aapm
+
+#endif // AAPM_MGMT_GOVERNOR_HH

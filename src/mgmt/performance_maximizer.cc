@@ -1,0 +1,103 @@
+#include "mgmt/performance_maximizer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+PerformanceMaximizer::PerformanceMaximizer(PowerEstimator estimator,
+                                           PmConfig config)
+    : estimator_(std::move(estimator)), config_(config),
+      raiseStreak_(0), raiseTarget_(0)
+{
+    if (config_.powerLimitW <= 0.0)
+        aapm_fatal("power limit must be positive");
+    if (config_.guardbandW < 0.0)
+        aapm_fatal("guardband must be non-negative");
+    if (config_.raiseWindow < 1)
+        aapm_fatal("raise window must be >= 1");
+}
+
+void
+PerformanceMaximizer::configureCounters(Pmu &pmu)
+{
+    // PM only needs the decoded-instruction rate — one slot.
+    pmu.configure(0, PmuEvent::InstructionsDecoded);
+}
+
+void
+PerformanceMaximizer::reset()
+{
+    raiseStreak_ = 0;
+    raiseTarget_ = 0;
+}
+
+void
+PerformanceMaximizer::setPowerLimit(double watts)
+{
+    if (watts <= 0.0)
+        aapm_fatal("power limit must be positive");
+    config_.powerLimitW = watts;
+    // A new limit invalidates any raise evidence gathered under the
+    // old one.
+    raiseStreak_ = 0;
+}
+
+double
+PerformanceMaximizer::predictPower(size_t from, double dpc, size_t to,
+                                   const MonitorSample &sample) const
+{
+    (void)sample;
+    return estimator_.estimateAt(from, dpc, to);
+}
+
+size_t
+PerformanceMaximizer::highestSafe(const MonitorSample &sample,
+                                  size_t current) const
+{
+    const size_t n = estimator_.table().size();
+    aapm_assert(MonitorSample::available(sample.dpc),
+                "PM requires the decoded-instruction counter");
+    // Scan from the fastest state down; fall back to the slowest state
+    // when nothing fits (best effort under an infeasible limit).
+    for (size_t i = n; i-- > 0;) {
+        const double est =
+            predictPower(current, sample.dpc, i, sample) +
+            config_.guardbandW;
+        if (est <= config_.powerLimitW)
+            return i;
+    }
+    return 0;
+}
+
+size_t
+PerformanceMaximizer::decide(const MonitorSample &sample, size_t current)
+{
+    const size_t safe = highestSafe(sample, current);
+
+    if (safe < current) {
+        // Lower immediately on a single offending sample.
+        raiseStreak_ = 0;
+        return safe;
+    }
+    if (safe == current) {
+        raiseStreak_ = 0;
+        return current;
+    }
+
+    // safe > current: raise only after a full window of consecutive
+    // samples that all allow at least some raise; go to the most
+    // conservative (lowest) target seen during the streak.
+    if (raiseStreak_ == 0 || safe < raiseTarget_)
+        raiseTarget_ = safe;
+    ++raiseStreak_;
+    if (raiseStreak_ >= config_.raiseWindow) {
+        raiseStreak_ = 0;
+        return raiseTarget_;
+    }
+    return current;
+}
+
+} // namespace aapm

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * PerformanceMaximizer (PM): run as fast as the power limit allows.
+ *
+ * Monitor DPC every interval; predict power at every p-state with the
+ * counter-based power model (DPC projected by Equation 4); pick the
+ * highest-frequency state whose predicted power (plus a guardband for
+ * model error and system variability) stays under the limit. Control is
+ * asymmetric: the frequency is lowered the moment a single sample says
+ * so, but raised only after a full window (ten 10 ms samples in the
+ * paper) of consecutive samples agrees — limiting violations during
+ * hard-to-predict stretches.
+ */
+
+#ifndef AAPM_MGMT_PERFORMANCE_MAXIMIZER_HH
+#define AAPM_MGMT_PERFORMANCE_MAXIMIZER_HH
+
+#include <cstddef>
+
+#include "mgmt/governor.hh"
+#include "models/power_estimator.hh"
+
+namespace aapm
+{
+
+/** PM tuning knobs. */
+struct PmConfig
+{
+    double powerLimitW = 17.5;
+    /** Added to every estimate to absorb model error (paper: 0.5 W). */
+    double guardbandW = 0.5;
+    /** Consecutive agreeing samples required before raising. */
+    size_t raiseWindow = 10;
+};
+
+/** The PM governor. */
+class PerformanceMaximizer : public Governor
+{
+  public:
+    /**
+     * @param estimator Trained (or paper Table II) power model.
+     * @param config Tuning knobs.
+     */
+    PerformanceMaximizer(PowerEstimator estimator,
+                         PmConfig config = PmConfig());
+
+    const char *name() const override { return "PM"; }
+    void configureCounters(Pmu &pmu) override;
+    size_t decide(const MonitorSample &sample, size_t current) override;
+    void reset() override;
+    void setPowerLimit(double watts) override;
+
+    /** Current power limit, Watts. */
+    double powerLimit() const { return config_.powerLimitW; }
+
+    /** The power model in use. */
+    const PowerEstimator &estimator() const { return estimator_; }
+
+  protected:
+    /**
+     * Estimated power if running at p-state `to`, for a DPC measured at
+     * `from`. Virtual so the measured-power-feedback variant can scale
+     * it.
+     */
+    virtual double predictPower(size_t from, double dpc, size_t to,
+                                const MonitorSample &sample) const;
+
+  private:
+    /** Highest-index p-state predicted to fit under the limit. */
+    size_t highestSafe(const MonitorSample &sample, size_t current) const;
+
+    PowerEstimator estimator_;
+    PmConfig config_;
+    size_t raiseStreak_;
+    size_t raiseTarget_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MGMT_PERFORMANCE_MAXIMIZER_HH

@@ -1,0 +1,76 @@
+#include "mgmt/pm_adaptive.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+PmAdaptive::PmAdaptive(PowerEstimator estimator, PmConfig pm_config,
+                       PmAdaptiveConfig ad_config)
+    : PerformanceMaximizer(estimator, pm_config), adConfig_(ad_config),
+      residual_(0.0)
+{
+    if (adConfig_.residualAlpha <= 0.0 || adConfig_.residualAlpha > 1.0)
+        aapm_fatal("residual EWMA alpha out of (0, 1]");
+    const size_t n = this->estimator().table().size();
+    fits_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        fits_.emplace_back(adConfig_.forgetting);
+        fits_.back().seed(this->estimator().coeffs(i).alpha,
+                          this->estimator().coeffs(i).beta);
+    }
+}
+
+void
+PmAdaptive::reset()
+{
+    PerformanceMaximizer::reset();
+    residual_ = 0.0;
+    for (size_t i = 0; i < fits_.size(); ++i) {
+        fits_[i].reset();
+        fits_[i].seed(estimator().coeffs(i).alpha,
+                      estimator().coeffs(i).beta);
+    }
+}
+
+const OnlineLinearFit &
+PmAdaptive::onlineFit(size_t pstate) const
+{
+    aapm_assert(pstate < fits_.size(), "p-state %zu out of range",
+                pstate);
+    return fits_[pstate];
+}
+
+double
+PmAdaptive::predictPower(size_t from, double dpc, size_t to,
+                         const MonitorSample &sample) const
+{
+    (void)sample;
+    const double projected = estimator().projectDpc(from, to, dpc);
+    const OnlineLinearFit &fit = fits_[to];
+    if (fit.mature(adConfig_.matureCount))
+        return fit.eval(projected);
+    // Unvisited state: offline model shifted by the residual the
+    // current workload shows against the offline model elsewhere.
+    return estimator().estimate(to, projected) + residual_;
+}
+
+size_t
+PmAdaptive::decide(const MonitorSample &sample, size_t current)
+{
+    if (MonitorSample::available(sample.measuredPowerW) &&
+        MonitorSample::available(sample.dpc)) {
+        fits_[current].update(sample.dpc, sample.measuredPowerW);
+        const double offline =
+            estimator().estimate(current, sample.dpc);
+        residual_ =
+            (1.0 - adConfig_.residualAlpha) * residual_ +
+            adConfig_.residualAlpha *
+                (sample.measuredPowerW - offline);
+    }
+    return PerformanceMaximizer::decide(sample, current);
+}
+
+} // namespace aapm

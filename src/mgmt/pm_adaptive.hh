@@ -1,0 +1,67 @@
+/**
+ * @file
+ * PM with online model recalibration (PM-A) — the second fix the paper
+ * sketches for hard-to-predict workloads: "PM could adapt model
+ * coefficients on the fly".
+ *
+ * Each p-state's (α, β) pair is seeded from the offline model and then
+ * refined at runtime by recursive least squares over the (DPC,
+ * measured power) samples observed *at that p-state*. Once a state's
+ * online fit has seen enough spread to be identifiable, its prediction
+ * replaces the offline one; a conservative blend covers states the
+ * workload has not exercised recently: their offline prediction is
+ * shifted by the current state's observed residual.
+ */
+
+#ifndef AAPM_MGMT_PM_ADAPTIVE_HH
+#define AAPM_MGMT_PM_ADAPTIVE_HH
+
+#include <vector>
+
+#include "mgmt/performance_maximizer.hh"
+#include "models/online_fit.hh"
+
+namespace aapm
+{
+
+/** PM-A tuning knobs. */
+struct PmAdaptiveConfig
+{
+    /** RLS forgetting factor (≈ 50-sample horizon at 0.98). */
+    double forgetting = 0.98;
+    /** Observations before an online fit overrides the offline one. */
+    uint64_t matureCount = 20;
+    /** EWMA factor for the cross-state residual shift. */
+    double residualAlpha = 0.3;
+};
+
+/** The adaptive-coefficients PM variant. */
+class PmAdaptive : public PerformanceMaximizer
+{
+  public:
+    PmAdaptive(PowerEstimator estimator, PmConfig pm_config = PmConfig(),
+               PmAdaptiveConfig ad_config = PmAdaptiveConfig());
+
+    const char *name() const override { return "PM-A"; }
+    size_t decide(const MonitorSample &sample, size_t current) override;
+    void reset() override;
+
+    /** The online fit for one p-state (for inspection/tests). */
+    const OnlineLinearFit &onlineFit(size_t pstate) const;
+
+    /** Current cross-state residual shift, Watts. */
+    double residualShiftW() const { return residual_; }
+
+  protected:
+    double predictPower(size_t from, double dpc, size_t to,
+                        const MonitorSample &sample) const override;
+
+  private:
+    PmAdaptiveConfig adConfig_;
+    std::vector<OnlineLinearFit> fits_;
+    double residual_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MGMT_PM_ADAPTIVE_HH

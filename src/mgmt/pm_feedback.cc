@@ -1,0 +1,58 @@
+#include "mgmt/pm_feedback.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+PmFeedback::PmFeedback(PowerEstimator estimator, PmConfig pm_config,
+                       PmFeedbackConfig fb_config)
+    : PerformanceMaximizer(std::move(estimator), pm_config),
+      fbConfig_(fb_config), ratio_(1.0)
+{
+    if (fbConfig_.ratioAlpha <= 0.0 || fbConfig_.ratioAlpha > 1.0)
+        aapm_fatal("EWMA alpha %f out of (0, 1]", fbConfig_.ratioAlpha);
+    if (fbConfig_.ratioMin <= 0.0 ||
+        fbConfig_.ratioMax < fbConfig_.ratioMin)
+        aapm_fatal("bad ratio clamp [%f, %f]", fbConfig_.ratioMin,
+                   fbConfig_.ratioMax);
+}
+
+void
+PmFeedback::reset()
+{
+    PerformanceMaximizer::reset();
+    ratio_ = 1.0;
+}
+
+double
+PmFeedback::predictPower(size_t from, double dpc, size_t to,
+                         const MonitorSample &sample) const
+{
+    (void)sample;
+    return ratio_ * estimator().estimateAt(from, dpc, to);
+}
+
+size_t
+PmFeedback::decide(const MonitorSample &sample, size_t current)
+{
+    // Update the correction from this interval's measurement before
+    // deciding, so a mispredicted burst is reacted to immediately.
+    if (MonitorSample::available(sample.measuredPowerW) &&
+        MonitorSample::available(sample.dpc)) {
+        const double predicted =
+            estimator().estimate(current, sample.dpc);
+        if (predicted > 0.1) {
+            const double inst = sample.measuredPowerW / predicted;
+            ratio_ = (1.0 - fbConfig_.ratioAlpha) * ratio_ +
+                     fbConfig_.ratioAlpha * inst;
+            ratio_ = std::clamp(ratio_, fbConfig_.ratioMin,
+                                fbConfig_.ratioMax);
+        }
+    }
+    return PerformanceMaximizer::decide(sample, current);
+}
+
+} // namespace aapm

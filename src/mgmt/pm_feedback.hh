@@ -1,0 +1,57 @@
+/**
+ * @file
+ * PM with measured-power feedback — the extension the paper sketches as
+ * future work for workloads (galgel) the static DPC model mispredicts:
+ * "PM could adapt model coefficients on the fly or scale measured power
+ * for p-state changes".
+ *
+ * This variant keeps an exponentially-weighted ratio of measured to
+ * predicted power at the current p-state and scales every cross-state
+ * prediction by it, so a workload running hotter than the model thinks
+ * is throttled sooner.
+ */
+
+#ifndef AAPM_MGMT_PM_FEEDBACK_HH
+#define AAPM_MGMT_PM_FEEDBACK_HH
+
+#include "mgmt/performance_maximizer.hh"
+
+namespace aapm
+{
+
+/** Feedback-specific knobs. */
+struct PmFeedbackConfig
+{
+    /** EWMA smoothing for the measured/predicted ratio. */
+    double ratioAlpha = 0.3;
+    /** Clamp on the correction ratio. */
+    double ratioMin = 0.7;
+    double ratioMax = 1.6;
+};
+
+/** PM variant that corrects the model with sensor readings. */
+class PmFeedback : public PerformanceMaximizer
+{
+  public:
+    PmFeedback(PowerEstimator estimator, PmConfig pm_config = PmConfig(),
+               PmFeedbackConfig fb_config = PmFeedbackConfig());
+
+    const char *name() const override { return "PM-F"; }
+    size_t decide(const MonitorSample &sample, size_t current) override;
+    void reset() override;
+
+    /** Current correction ratio (measured / predicted). */
+    double correctionRatio() const { return ratio_; }
+
+  protected:
+    double predictPower(size_t from, double dpc, size_t to,
+                        const MonitorSample &sample) const override;
+
+  private:
+    PmFeedbackConfig fbConfig_;
+    double ratio_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MGMT_PM_FEEDBACK_HH

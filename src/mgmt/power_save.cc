@@ -1,0 +1,62 @@
+#include "mgmt/power_save.hh"
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+PowerSave::PowerSave(PStateTable table, PerfEstimator estimator,
+                     PsConfig config)
+    : table_(std::move(table)), estimator_(estimator), config_(config)
+{
+    if (config_.performanceFloor <= 0.0 ||
+        config_.performanceFloor > 1.0)
+        aapm_fatal("performance floor %f out of (0, 1]",
+                   config_.performanceFloor);
+}
+
+void
+PowerSave::configureCounters(Pmu &pmu)
+{
+    // PS needs both slots: retired instructions and DL1-miss-
+    // outstanding cycles.
+    pmu.configure(0, PmuEvent::InstructionsRetired);
+    pmu.configure(1, PmuEvent::DcuMissOutstanding);
+}
+
+void
+PowerSave::setPerformanceFloor(double floor)
+{
+    if (floor <= 0.0 || floor > 1.0)
+        aapm_fatal("performance floor %f out of (0, 1]", floor);
+    config_.performanceFloor = floor;
+}
+
+size_t
+PowerSave::decide(const MonitorSample &sample, size_t current)
+{
+    aapm_assert(MonitorSample::available(sample.ipc) &&
+                    MonitorSample::available(sample.dcuPerCycle),
+                "PS requires IPC and DCU counters");
+    const double f_mhz = table_[current].freqMhz;
+    const size_t top = table_.maxIndex();
+
+    // Projected peak performance at the fastest state.
+    const double peak = estimator_.projectPerf(
+        sample.ipc, sample.dcuPerCycle, f_mhz, table_[top].freqMhz);
+    const double required = config_.performanceFloor * peak;
+
+    // Lowest state whose projected performance clears the floor. The
+    // comparison uses a relative tolerance: discrete frequency ratios
+    // often land *exactly* on the floor (1600/2000 at 80%), and these
+    // must qualify despite rounding.
+    for (size_t i = 0; i <= top; ++i) {
+        const double perf = estimator_.projectPerf(
+            sample.ipc, sample.dcuPerCycle, f_mhz, table_[i].freqMhz);
+        if (perf >= required * (1.0 - 1e-9))
+            return i;
+    }
+    return top;
+}
+
+} // namespace aapm

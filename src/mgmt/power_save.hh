@@ -1,0 +1,61 @@
+/**
+ * @file
+ * PowerSave (PS): save energy while honoring a performance floor —
+ * even at 100% load, unlike utilization-driven schemes.
+ *
+ * Monitor retired IPC and DCU-miss-outstanding cycles (two counters);
+ * classify the workload core- vs memory-bound; project performance
+ * (IPC × f) to every p-state with Equation 3; pick the lowest-frequency
+ * state whose projected performance stays at or above the floor
+ * fraction of projected peak (full-speed) performance.
+ */
+
+#ifndef AAPM_MGMT_POWER_SAVE_HH
+#define AAPM_MGMT_POWER_SAVE_HH
+
+#include "dvfs/pstate.hh"
+#include "mgmt/governor.hh"
+#include "models/perf_estimator.hh"
+
+namespace aapm
+{
+
+/** PS tuning knobs. */
+struct PsConfig
+{
+    /** Minimum acceptable performance as a fraction of peak (0..1]. */
+    double performanceFloor = 0.8;
+};
+
+/** The PS governor. */
+class PowerSave : public Governor
+{
+  public:
+    /**
+     * @param table P-state menu.
+     * @param estimator Trained performance model.
+     * @param config Tuning knobs.
+     */
+    PowerSave(PStateTable table, PerfEstimator estimator,
+              PsConfig config = PsConfig());
+
+    const char *name() const override { return "PS"; }
+    void configureCounters(Pmu &pmu) override;
+    size_t decide(const MonitorSample &sample, size_t current) override;
+    void setPerformanceFloor(double floor) override;
+
+    /** Current performance floor (fraction of peak). */
+    double performanceFloor() const { return config_.performanceFloor; }
+
+    /** The performance model in use. */
+    const PerfEstimator &estimator() const { return estimator_; }
+
+  private:
+    PStateTable table_;
+    PerfEstimator estimator_;
+    PsConfig config_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MGMT_POWER_SAVE_HH

@@ -1,0 +1,32 @@
+#include "mgmt/static_clock.hh"
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+StaticClock::StaticClock(size_t pstate) : pstate_(pstate)
+{
+}
+
+size_t
+StaticClock::chooseForLimit(const std::vector<double> &worst_case_power,
+                            double limit_w)
+{
+    if (worst_case_power.empty())
+        aapm_fatal("empty worst-case power table");
+    size_t best = 0;
+    bool found = false;
+    for (size_t i = 0; i < worst_case_power.size(); ++i) {
+        if (worst_case_power[i] <= limit_w) {
+            best = i;
+            found = true;
+        }
+    }
+    if (!found)
+        aapm_warn("no static frequency fits %.2f W; using the slowest",
+                  limit_w);
+    return best;
+}
+
+} // namespace aapm

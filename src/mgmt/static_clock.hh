@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Static-clocking baseline: the conventional alternative to PM.
+ *
+ * A system without dynamic control must provision for the worst case:
+ * given a power limit, it picks the highest *fixed* frequency whose
+ * worst-case-workload power stays under the limit (the paper uses the
+ * L2-resident FMA loop — the hottest MS-Loops point — as the
+ * worst-case proxy, Tables III and IV), then never changes it.
+ */
+
+#ifndef AAPM_MGMT_STATIC_CLOCK_HH
+#define AAPM_MGMT_STATIC_CLOCK_HH
+
+#include <vector>
+
+#include "dvfs/pstate.hh"
+#include "mgmt/governor.hh"
+
+namespace aapm
+{
+
+/** Fixed-frequency governor. */
+class StaticClock : public Governor
+{
+  public:
+    /**
+     * Pin the platform at the given p-state.
+     * @param pstate P-state index to hold.
+     */
+    explicit StaticClock(size_t pstate);
+
+    /**
+     * Choose the static frequency for a power limit from a worst-case
+     * power-vs-p-state table (Table IV's construction).
+     *
+     * @param worst_case_power Power of the worst-case workload at each
+     *        p-state, index-aligned with the p-state table.
+     * @param limit_w The power limit.
+     * @return Highest index whose worst-case power is <= limit (0 when
+     *         even the slowest state exceeds the limit).
+     */
+    static size_t chooseForLimit(const std::vector<double>
+                                     &worst_case_power,
+                                 double limit_w);
+
+    const char *name() const override { return "static"; }
+
+    void
+    configureCounters(Pmu &pmu) override
+    {
+        (void)pmu;   // needs no counters
+    }
+
+    size_t
+    decide(const MonitorSample &sample, size_t current) override
+    {
+        (void)sample;
+        (void)current;
+        return pstate_;
+    }
+
+    /** The pinned p-state. */
+    size_t pstate() const { return pstate_; }
+
+  private:
+    size_t pstate_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MGMT_STATIC_CLOCK_HH

@@ -1,0 +1,89 @@
+#include "mgmt/thermal_cap.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+ThermalCap::ThermalCap(PowerEstimator estimator, ThermalCapConfig config)
+    : estimator_(std::move(estimator)), config_(config),
+      raiseStreak_(0), raiseTarget_(0)
+{
+    if (config_.maxTempC <= config_.ambientC)
+        aapm_fatal("temperature cap %.1f C not above ambient %.1f C",
+                   config_.maxTempC, config_.ambientC);
+    if (config_.rThermal <= 0.0)
+        aapm_fatal("thermal resistance must be positive");
+    if (config_.raiseWindow < 1)
+        aapm_fatal("raise window must be >= 1");
+}
+
+void
+ThermalCap::configureCounters(Pmu &pmu)
+{
+    pmu.configure(0, PmuEvent::InstructionsDecoded);
+}
+
+void
+ThermalCap::reset()
+{
+    raiseStreak_ = 0;
+    raiseTarget_ = 0;
+}
+
+double
+ThermalCap::steadyTempAt(size_t from, double dpc, size_t to) const
+{
+    const double watts = estimator_.estimateAt(from, dpc, to);
+    return config_.ambientC + watts * config_.rThermal;
+}
+
+size_t
+ThermalCap::decide(const MonitorSample &sample, size_t current)
+{
+    aapm_assert(MonitorSample::available(sample.dpc),
+                "ThermalCap requires the decoded-instruction counter");
+    const size_t n = estimator_.table().size();
+    const double budget = config_.maxTempC - config_.marginC;
+
+    // Predictive choice: fastest state whose steady-state temperature
+    // stays under the cap minus margin.
+    size_t safe = 0;
+    for (size_t i = n; i-- > 0;) {
+        if (steadyTempAt(current, sample.dpc, i) <= budget) {
+            safe = i;
+            break;
+        }
+    }
+
+    // Reactive backstop: if the diode already reads at/above the cap,
+    // step below whatever the model claims is safe.
+    if (MonitorSample::available(sample.tempC) &&
+        sample.tempC >= config_.maxTempC && current > 0) {
+        raiseStreak_ = 0;
+        return std::min(safe, current - 1);
+    }
+
+    if (safe < current) {
+        raiseStreak_ = 0;
+        return safe;
+    }
+    if (safe == current) {
+        raiseStreak_ = 0;
+        return current;
+    }
+    // Raising: same full-window rule as PM — thermal time constants
+    // are long, so there is no hurry.
+    if (raiseStreak_ == 0 || safe < raiseTarget_)
+        raiseTarget_ = safe;
+    ++raiseStreak_;
+    if (raiseStreak_ >= config_.raiseWindow) {
+        raiseStreak_ = 0;
+        return raiseTarget_;
+    }
+    return current;
+}
+
+} // namespace aapm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ThermalCap: application-aware thermal management — the third
+ * management objective the paper's introduction motivates (power *and
+ * thermal* envelopes), built from the same Monitor → Estimate →
+ * Control loop.
+ *
+ * Instead of reacting only to the thermal diode (the conventional
+ * throttle-on-trip approach), ThermalCap *predicts*: it projects power
+ * to every p-state with the counter-based power model, converts each
+ * to a steady-state die temperature through the package's thermal
+ * resistance, and picks the fastest state whose steady state stays
+ * under the cap. The diode reading is kept as a reactive backstop for
+ * model error.
+ */
+
+#ifndef AAPM_MGMT_THERMAL_CAP_HH
+#define AAPM_MGMT_THERMAL_CAP_HH
+
+#include "mgmt/governor.hh"
+#include "models/power_estimator.hh"
+
+namespace aapm
+{
+
+/** ThermalCap tuning knobs. */
+struct ThermalCapConfig
+{
+    /** Die-temperature cap, °C. */
+    double maxTempC = 70.0;
+    /** Predictive margin below the cap, °C. */
+    double marginC = 2.0;
+    /** Package junction-to-ambient thermal resistance, °C/W. */
+    double rThermal = 0.9;
+    /** Assumed ambient temperature, °C. */
+    double ambientC = 35.0;
+    /** Consecutive agreeing samples before raising (as in PM). */
+    size_t raiseWindow = 10;
+};
+
+/** The predictive thermal-cap governor. */
+class ThermalCap : public Governor
+{
+  public:
+    ThermalCap(PowerEstimator estimator,
+               ThermalCapConfig config = ThermalCapConfig());
+
+    const char *name() const override { return "ThermalCap"; }
+    void configureCounters(Pmu &pmu) override;
+    size_t decide(const MonitorSample &sample, size_t current) override;
+    void reset() override;
+
+    /** The active configuration. */
+    const ThermalCapConfig &config() const { return config_; }
+
+  private:
+    /** Predicted steady-state temperature at a target p-state. */
+    double steadyTempAt(size_t from, double dpc, size_t to) const;
+
+    PowerEstimator estimator_;
+    ThermalCapConfig config_;
+    size_t raiseStreak_;
+    size_t raiseTarget_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MGMT_THERMAL_CAP_HH

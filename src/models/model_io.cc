@@ -1,0 +1,99 @@
+#include "models/model_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+namespace
+{
+constexpr const char *kMagic = "aapm-models";
+constexpr int kVersion = 1;
+} // namespace
+
+PowerEstimator
+ModelFile::powerEstimator(const PStateTable &table) const
+{
+    return PowerEstimator(table, power);
+}
+
+PerfEstimator
+ModelFile::perfEstimator() const
+{
+    return PerfEstimator(threshold, exponent);
+}
+
+void
+saveModelFile(const std::string &path, const ModelFile &models)
+{
+    if (models.power.empty())
+        aapm_fatal("refusing to save a model file with no power "
+                   "coefficients");
+    std::ofstream out(path);
+    if (!out)
+        aapm_fatal("cannot open '%s' for writing", path.c_str());
+    out.precision(17);
+    out << kMagic << " " << kVersion << "\n";
+    out << "perf " << models.threshold << " " << models.exponent
+        << "\n";
+    out << "pstates " << models.power.size() << "\n";
+    for (const auto &c : models.power)
+        out << "power " << c.alpha << " " << c.beta << "\n";
+    if (!out)
+        aapm_fatal("write to '%s' failed", path.c_str());
+}
+
+ModelFile
+loadModelFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        aapm_fatal("cannot open model file '%s'", path.c_str());
+
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    if (magic != kMagic)
+        aapm_fatal("'%s' is not a model file (bad magic '%s')",
+                   path.c_str(), magic.c_str());
+    if (version != kVersion)
+        aapm_fatal("model file '%s' has unsupported version %d",
+                   path.c_str(), version);
+
+    ModelFile models;
+    size_t expected = 0;
+    std::string key;
+    while (in >> key) {
+        if (key == "perf") {
+            if (!(in >> models.threshold >> models.exponent))
+                aapm_fatal("malformed 'perf' record in '%s'",
+                           path.c_str());
+        } else if (key == "pstates") {
+            if (!(in >> expected))
+                aapm_fatal("malformed 'pstates' record in '%s'",
+                           path.c_str());
+        } else if (key == "power") {
+            PowerCoeffs c;
+            if (!(in >> c.alpha >> c.beta))
+                aapm_fatal("malformed 'power' record in '%s'",
+                           path.c_str());
+            models.power.push_back(c);
+        } else {
+            aapm_fatal("unknown record '%s' in '%s'", key.c_str(),
+                       path.c_str());
+        }
+    }
+    if (expected == 0 || models.power.size() != expected)
+        aapm_fatal("model file '%s' is incomplete (%zu of %zu p-state "
+                   "records)", path.c_str(), models.power.size(),
+                   expected);
+    if (models.exponent <= 0.0)
+        aapm_fatal("model file '%s' missing the perf record",
+                   path.c_str());
+    return models;
+}
+
+} // namespace aapm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Model persistence: save trained model constants to a small text file
+ * and load them back — the "characterize once at platform bring-up,
+ * deploy everywhere" workflow a production power manager would use
+ * (the paper's models are exactly such platform constants).
+ */
+
+#ifndef AAPM_MODELS_MODEL_IO_HH
+#define AAPM_MODELS_MODEL_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "models/perf_estimator.hh"
+#include "models/power_estimator.hh"
+
+namespace aapm
+{
+
+/** The trained platform constants, as persisted. */
+struct ModelFile
+{
+    /** Per-p-state (α, β), slowest state first. */
+    std::vector<PowerCoeffs> power;
+    /** Performance-model DCU/IPC classification threshold. */
+    double threshold = 0.0;
+    /** Performance-model memory-class exponent. */
+    double exponent = 0.0;
+
+    /** Build the power estimator (table must match the save). */
+    PowerEstimator powerEstimator(const PStateTable &table) const;
+
+    /** Build the performance estimator. */
+    PerfEstimator perfEstimator() const;
+};
+
+/**
+ * Write the constants to `path` in a line-oriented text format
+ * (versioned header, `key value...` records). fatal() on I/O error.
+ */
+void saveModelFile(const std::string &path, const ModelFile &models);
+
+/**
+ * Read constants back. fatal() on I/O error, unknown version, or a
+ * malformed/incomplete file.
+ */
+ModelFile loadModelFile(const std::string &path);
+
+} // namespace aapm
+
+#endif // AAPM_MODELS_MODEL_IO_HH

@@ -1,0 +1,73 @@
+#include "models/online_fit.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+OnlineLinearFit::OnlineLinearFit(double forgetting, double init_variance)
+    : lambda_(forgetting), initVariance_(init_variance)
+{
+    if (lambda_ <= 0.0 || lambda_ > 1.0)
+        aapm_fatal("forgetting factor %f out of (0, 1]", lambda_);
+    if (initVariance_ <= 0.0)
+        aapm_fatal("initial variance must be positive");
+    reset();
+}
+
+void
+OnlineLinearFit::reset()
+{
+    slope_ = 0.0;
+    intercept_ = 0.0;
+    p00_ = initVariance_;
+    p01_ = 0.0;
+    p11_ = initVariance_;
+    count_ = 0;
+    xMin_ = std::numeric_limits<double>::infinity();
+    xMax_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+OnlineLinearFit::seed(double slope, double intercept)
+{
+    slope_ = slope;
+    intercept_ = intercept;
+}
+
+void
+OnlineLinearFit::update(double x, double y)
+{
+    // Standard RLS with regressor phi = (x, 1).
+    const double px0 = p00_ * x + p01_;   // P * phi, row 0
+    const double px1 = p01_ * x + p11_;   // P * phi, row 1
+    const double denom = lambda_ + x * px0 + px1;
+    aapm_assert(denom > 0.0, "RLS denominator collapsed");
+    const double k0 = px0 / denom;
+    const double k1 = px1 / denom;
+    const double err = y - (slope_ * x + intercept_);
+    slope_ += k0 * err;
+    intercept_ += k1 * err;
+    // P = (P - K * phi' * P) / lambda, kept symmetric.
+    const double n00 = (p00_ - k0 * px0) / lambda_;
+    const double n01 = (p01_ - k0 * px1) / lambda_;
+    const double n11 = (p11_ - k1 * px1) / lambda_;
+    p00_ = n00;
+    p01_ = n01;
+    p11_ = n11;
+    ++count_;
+    xMin_ = std::min(xMin_, x);
+    xMax_ = std::max(xMax_, x);
+}
+
+bool
+OnlineLinearFit::mature(uint64_t min_count) const
+{
+    // Without x-spread the slope is unidentifiable; require some.
+    return count_ >= min_count && (xMax_ - xMin_) > 1e-3;
+}
+
+} // namespace aapm

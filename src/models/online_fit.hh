@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Online (recursive) linear fitting.
+ *
+ * The paper's discussion of galgel proposes that "PM could adapt model
+ * coefficients on the fly". OnlineLinearFit is the primitive for that:
+ * a recursive-least-squares estimator of y = slope·x + intercept with
+ * exponential forgetting, cheap enough to update every 10 ms sample.
+ */
+
+#ifndef AAPM_MODELS_ONLINE_FIT_HH
+#define AAPM_MODELS_ONLINE_FIT_HH
+
+#include <cstdint>
+
+namespace aapm
+{
+
+/** Recursive least squares for a univariate linear model. */
+class OnlineLinearFit
+{
+  public:
+    /**
+     * @param forgetting Exponential forgetting factor λ in (0, 1]:
+     *        1 = infinite memory; 0.98 ≈ 50-sample horizon.
+     * @param init_variance Initial parameter-covariance scale; larger
+     *        means faster initial adaptation.
+     */
+    explicit OnlineLinearFit(double forgetting = 0.98,
+                             double init_variance = 100.0);
+
+    /** Incorporate one (x, y) observation. */
+    void update(double x, double y);
+
+    /** Current slope estimate. */
+    double slope() const { return slope_; }
+
+    /** Current intercept estimate. */
+    double intercept() const { return intercept_; }
+
+    /** Model prediction at x. */
+    double eval(double x) const { return slope_ * x + intercept_; }
+
+    /** Observations incorporated since construction / reset. */
+    uint64_t count() const { return count_; }
+
+    /**
+     * True once enough observations with enough x-spread have been
+     * seen for the slope to be meaningful.
+     */
+    bool mature(uint64_t min_count = 20) const;
+
+    /** Forget everything (back to the initial state). */
+    void reset();
+
+    /**
+     * Re-initialize the parameter estimate (e.g. from an offline
+     * model) while keeping adaptation enabled.
+     */
+    void seed(double slope, double intercept);
+
+  private:
+    double lambda_;
+    double initVariance_;
+    double slope_;
+    double intercept_;
+    // Parameter covariance (symmetric 2x2): [xx xy; xy yy] over the
+    // (slope, intercept) parameter vector.
+    double p00_, p01_, p11_;
+    uint64_t count_;
+    double xMin_, xMax_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MODELS_ONLINE_FIT_HH

@@ -1,0 +1,45 @@
+#include "models/perf_estimator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+PerfEstimator::PerfEstimator(double threshold, double exponent)
+    : threshold_(threshold), exponent_(exponent)
+{
+    if (threshold_ < 0.0)
+        aapm_fatal("negative DCU/IPC threshold %f", threshold_);
+    if (exponent_ < 0.0 || exponent_ > 1.0)
+        aapm_fatal("exponent %f out of [0,1]", exponent_);
+}
+
+bool
+PerfEstimator::isMemoryBound(double ipc, double dcu_per_cycle) const
+{
+    if (ipc <= 0.0)
+        return true;   // fully stalled: certainly not core-bound
+    return dcu_per_cycle / ipc >= threshold_;
+}
+
+double
+PerfEstimator::projectIpc(double ipc, double dcu_per_cycle, double f_mhz,
+                          double fp_mhz) const
+{
+    aapm_assert(f_mhz > 0.0 && fp_mhz > 0.0, "bad frequencies %f -> %f",
+                f_mhz, fp_mhz);
+    if (!isMemoryBound(ipc, dcu_per_cycle))
+        return ipc;
+    return ipc * std::pow(f_mhz / fp_mhz, exponent_);
+}
+
+double
+PerfEstimator::projectPerf(double ipc, double dcu_per_cycle, double f_mhz,
+                           double fp_mhz) const
+{
+    return projectIpc(ipc, dcu_per_cycle, f_mhz, fp_mhz) * fp_mhz;
+}
+
+} // namespace aapm

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The paper's online performance model (Section III-A.2, Equation 3).
+ *
+ * Workloads are classified core-bound vs memory-bound by DCU/IPC — the
+ * DL1-miss-outstanding cycles per retired instruction. Core-bound IPC
+ * is frequency-invariant (performance scales with f); memory-bound IPC
+ * scales as (f/f')^e with the trained exponent e (0.81 in the paper;
+ * 0.59 was the alternative local minimum examined in Section IV-B.2).
+ */
+
+#ifndef AAPM_MODELS_PERF_ESTIMATOR_HH
+#define AAPM_MODELS_PERF_ESTIMATOR_HH
+
+#include <cstddef>
+
+namespace aapm
+{
+
+/** The counter-based IPC/performance projection model. */
+class PerfEstimator
+{
+  public:
+    /** The paper's trained threshold. */
+    static constexpr double PaperThreshold = 1.21;
+    /** The paper's primary exponent. */
+    static constexpr double PaperExponent = 0.81;
+    /** The alternative local-minimum exponent from Section IV-B.2. */
+    static constexpr double AlternateExponent = 0.59;
+
+    /**
+     * @param threshold DCU/IPC classification boundary.
+     * @param exponent Frequency-dependence exponent for memory-bound.
+     */
+    explicit PerfEstimator(double threshold = PaperThreshold,
+                           double exponent = PaperExponent);
+
+    /** True when DCU/IPC >= threshold (memory-bound class). */
+    bool isMemoryBound(double ipc, double dcu_per_cycle) const;
+
+    /**
+     * Equation 3: project IPC measured at frequency f to frequency fp.
+     * @param ipc Measured instructions retired per cycle.
+     * @param dcu_per_cycle Measured DL1-miss-outstanding per cycle.
+     * @param f_mhz Frequency the measurement was taken at.
+     * @param fp_mhz Frequency being predicted.
+     */
+    double projectIpc(double ipc, double dcu_per_cycle, double f_mhz,
+                      double fp_mhz) const;
+
+    /**
+     * Projected performance (instructions per second, arbitrary
+     * units: IPC × MHz) at the target frequency.
+     */
+    double projectPerf(double ipc, double dcu_per_cycle, double f_mhz,
+                       double fp_mhz) const;
+
+    /** Classification threshold. */
+    double threshold() const { return threshold_; }
+
+    /** Memory-class exponent. */
+    double exponent() const { return exponent_; }
+
+  private:
+    double threshold_;
+    double exponent_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MODELS_PERF_ESTIMATOR_HH

@@ -1,0 +1,68 @@
+#include "models/power_estimator.hh"
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+PowerEstimator::PowerEstimator(PStateTable table,
+                               std::vector<PowerCoeffs> coeffs)
+    : table_(std::move(table)), coeffs_(std::move(coeffs))
+{
+    if (coeffs_.size() != table_.size())
+        aapm_fatal("coefficient count %zu != p-state count %zu",
+                   coeffs_.size(), table_.size());
+}
+
+PowerEstimator
+PowerEstimator::paperPentiumM()
+{
+    // Table II of the paper.
+    return PowerEstimator(PStateTable::pentiumM(),
+                          {{0.34, 2.58},
+                           {0.54, 3.56},
+                           {0.77, 4.49},
+                           {1.06, 5.60},
+                           {1.42, 6.95},
+                           {1.82, 8.44},
+                           {2.36, 10.18},
+                           {2.93, 12.11}});
+}
+
+double
+PowerEstimator::estimate(size_t pstate, double dpc) const
+{
+    const PowerCoeffs &c = coeffs(pstate);
+    return c.alpha * dpc + c.beta;
+}
+
+double
+PowerEstimator::projectDpc(size_t from, size_t to, double dpc) const
+{
+    aapm_assert(from < table_.size() && to < table_.size(),
+                "p-state out of range");
+    const double f = table_[from].freqMhz;
+    const double fp = table_[to].freqMhz;
+    // Equation 4: lowering frequency keeps the decode rate per *second*
+    // (so per-cycle DPC rises by f/f'); raising keeps per-cycle DPC —
+    // both conservative (power-overestimating) choices.
+    if (fp <= f)
+        return dpc * (f / fp);
+    return dpc;
+}
+
+double
+PowerEstimator::estimateAt(size_t from, double dpc, size_t to) const
+{
+    return estimate(to, projectDpc(from, to, dpc));
+}
+
+const PowerCoeffs &
+PowerEstimator::coeffs(size_t pstate) const
+{
+    aapm_assert(pstate < coeffs_.size(), "p-state %zu out of range",
+                pstate);
+    return coeffs_[pstate];
+}
+
+} // namespace aapm

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The paper's online power model (Section III-A.1).
+ *
+ * Power at each p-state is a linear function of the decoded-
+ * instructions-per-cycle rate: P = α·DPC + β, with a distinct (α, β)
+ * per p-state (Table II). Cross-p-state prediction composes the DPC
+ * projection of Equation 4 — DPC scales with f/f' when lowering
+ * frequency (constant decode rate per second) and is held constant when
+ * raising (conservative) — with the target state's linear model.
+ */
+
+#ifndef AAPM_MODELS_POWER_ESTIMATOR_HH
+#define AAPM_MODELS_POWER_ESTIMATOR_HH
+
+#include <vector>
+
+#include "dvfs/pstate.hh"
+
+namespace aapm
+{
+
+/** Per-p-state linear model coefficients. */
+struct PowerCoeffs
+{
+    double alpha = 0.0;   ///< Watts per unit DPC
+    double beta = 0.0;    ///< Watts at DPC = 0
+};
+
+/** The counter-based power estimator. */
+class PowerEstimator
+{
+  public:
+    /**
+     * @param table P-state menu the coefficients correspond to.
+     * @param coeffs One (α, β) pair per p-state, same order.
+     */
+    PowerEstimator(PStateTable table, std::vector<PowerCoeffs> coeffs);
+
+    /** The published Table II model for the Pentium M 755. */
+    static PowerEstimator paperPentiumM();
+
+    /** Estimated power at a p-state for a DPC observed *at* that state. */
+    double estimate(size_t pstate, double dpc) const;
+
+    /**
+     * Equation 4: project a DPC observed at p-state `from` to p-state
+     * `to`.
+     */
+    double projectDpc(size_t from, size_t to, double dpc) const;
+
+    /**
+     * Full cross-state estimate: project DPC from the current state,
+     * then apply the target state's linear model.
+     * @param from P-state the DPC was measured at.
+     * @param dpc Measured decoded-instructions-per-cycle.
+     * @param to P-state whose power is being predicted.
+     */
+    double estimateAt(size_t from, double dpc, size_t to) const;
+
+    /** Coefficients for one p-state. */
+    const PowerCoeffs &coeffs(size_t pstate) const;
+
+    /** The p-state table. */
+    const PStateTable &table() const { return table_; }
+
+  private:
+    PStateTable table_;
+    std::vector<PowerCoeffs> coeffs_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MODELS_POWER_ESTIMATOR_HH

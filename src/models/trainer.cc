@@ -1,0 +1,181 @@
+#include "models/trainer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+/** Exact activity rates for a phase at a p-state. */
+ActivityRates
+ratesFor(const Phase &phase, const CoreModel &core, double freq_ghz)
+{
+    ExecChunk chunk;
+    chunk.phase = &phase;
+    chunk.freqGhz = freq_ghz;
+    chunk.instructions = 1'000'000;
+    chunk.events = core.eventsFor(phase, freq_ghz, 1e6);
+    return ActivityRates::fromChunk(chunk);
+}
+
+} // namespace
+
+PowerEstimator
+PowerTrainingResult::makeEstimator(const PStateTable &table) const
+{
+    return PowerEstimator(table, coeffs);
+}
+
+PerfEstimator
+PerfTrainingResult::makeEstimator() const
+{
+    return PerfEstimator(threshold, exponent);
+}
+
+std::vector<TrainingPoint>
+collectTrainingPoints(
+    const std::vector<std::pair<std::string, Phase>> &training_phases,
+    const TrainingSetup &setup)
+{
+    if (training_phases.empty())
+        aapm_fatal("empty training set");
+    CoreModel core(setup.core);
+    TruthPowerModel truth(setup.power);
+    PowerSensor sensor(setup.sensor);
+
+    std::vector<TrainingPoint> points;
+    points.reserve(training_phases.size() * setup.pstates.size());
+    for (size_t ps = 0; ps < setup.pstates.size(); ++ps) {
+        const PState &state = setup.pstates[ps];
+        for (const auto &[name, phase] : training_phases) {
+            const double f = state.freqGhz();
+            TrainingPoint pt;
+            pt.name = name;
+            pt.pstate = ps;
+            pt.ipc = core.ipc(phase, f);
+            pt.dpc = phase.decodeRatio * pt.ipc;
+            pt.dcuPerCycle =
+                core.dcuOutstandingPerInstr(phase, f) * pt.ipc;
+
+            // "Measure" power: true power passed through the sensing
+            // chain, averaged over samplesPerPoint samples (the loops
+            // are steady, so averaging reduces noise, not signal).
+            ActivityRates rates = ratesFor(phase, core, f);
+            const double true_w = truth.power(rates, state);
+            double acc = 0.0;
+            const int n = std::max(1, setup.samplesPerPoint);
+            for (int i = 0; i < n; ++i)
+                acc += sensor.sample(true_w);
+            pt.powerW = acc / n;
+            points.push_back(pt);
+        }
+    }
+    return points;
+}
+
+PowerTrainingResult
+trainPowerModel(const std::vector<TrainingPoint> &points,
+                const PStateTable &pstates)
+{
+    PowerTrainingResult result;
+    result.coeffs.resize(pstates.size());
+    result.meanAbsErrorW.resize(pstates.size(), 0.0);
+    result.points = points;
+
+    for (size_t ps = 0; ps < pstates.size(); ++ps) {
+        std::vector<double> xs, ys;
+        for (const auto &pt : points) {
+            if (pt.pstate == ps) {
+                xs.push_back(pt.dpc);
+                ys.push_back(pt.powerW);
+            }
+        }
+        if (xs.size() < 2)
+            aapm_fatal("p-state %zu has %zu training points (need >= 2)",
+                       ps, xs.size());
+        const LinearFit fit = fitLeastAbsolute(xs, ys);
+        result.coeffs[ps] = {fit.slope, fit.intercept};
+        result.meanAbsErrorW[ps] = fit.meanAbsError(xs, ys);
+    }
+    return result;
+}
+
+PerfTrainingResult
+trainPerfModel(
+    const std::vector<std::pair<std::string, Phase>> &training_phases,
+    const TrainingSetup &setup)
+{
+    if (training_phases.empty())
+        aapm_fatal("empty training set");
+    CoreModel core(setup.core);
+    const size_t n_ps = setup.pstates.size();
+    const size_t n_ph = training_phases.size();
+
+    // Precompute exact IPC and DCU/cycle for every (phase, p-state).
+    std::vector<double> ipc(n_ph * n_ps), dcu(n_ph * n_ps);
+    for (size_t w = 0; w < n_ph; ++w) {
+        for (size_t ps = 0; ps < n_ps; ++ps) {
+            const double f = setup.pstates[ps].freqGhz();
+            const Phase &phase = training_phases[w].second;
+            ipc[w * n_ps + ps] = core.ipc(phase, f);
+            dcu[w * n_ps + ps] =
+                core.dcuOutstandingPerInstr(phase, f) *
+                ipc[w * n_ps + ps];
+        }
+    }
+
+    // Train on downward projections from the fastest state — the
+    // direction PM and PS actually use the model in (they start at full
+    // speed and ask "what happens if I slow down?").
+    const size_t from = n_ps - 1;
+    auto loss_fn = [&](const std::vector<double> &params) {
+        const PerfEstimator est(params[0], params[1]);
+        double loss = 0.0;
+        size_t count = 0;
+        for (size_t w = 0; w < n_ph; ++w) {
+            const double f_mhz = setup.pstates[from].freqMhz;
+            const double ipc_f = ipc[w * n_ps + from];
+            const double dcu_f = dcu[w * n_ps + from];
+            for (size_t to = 0; to < n_ps; ++to) {
+                if (to == from)
+                    continue;
+                const double fp_mhz = setup.pstates[to].freqMhz;
+                const double pred =
+                    est.projectIpc(ipc_f, dcu_f, f_mhz, fp_mhz);
+                const double truth = ipc[w * n_ps + to];
+                loss += std::abs(pred - truth) / truth;
+                ++count;
+            }
+        }
+        // The training set's middle region is sparse, so a whole range
+        // of thresholds can be exactly equi-loss. Break ties toward the
+        // *smallest* threshold — just above the last core-bound
+        // training point — maximizing the p-state range PS can exploit.
+        // The nudge is far below any real loss difference.
+        return loss / static_cast<double>(count) + 1e-9 * params[0];
+    };
+
+    // Threshold axis in DCU/IPC, exponent axis in [0, 1].
+    const std::vector<GridAxis> axes = {
+        {0.10, 3.00, 59},    // threshold, step 0.05
+        {0.00, 1.00, 101},   // exponent, step 0.01
+    };
+    const GridResult grid = gridSearch(axes, loss_fn);
+
+    PerfTrainingResult result;
+    result.threshold = grid.best[0];
+    result.exponent = grid.best[1];
+    result.loss = grid.bestLoss;
+    for (const auto &[params, l] : grid.localMinima) {
+        // Report distinct exponent minima at the best threshold slice.
+        if (std::abs(params[0] - result.threshold) < 1e-9)
+            result.exponentMinima.emplace_back(params[1], l);
+    }
+    return result;
+}
+
+} // namespace aapm

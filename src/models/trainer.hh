@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Model training pipeline.
+ *
+ * Replays the MS-Loops training set (4 loops × 3 footprints) at every
+ * p-state on the simulated platform to produce:
+ *  - the per-p-state linear DPC power model (least-absolute-deviation
+ *    fit, like the paper), and
+ *  - the performance model's classification threshold and memory-class
+ *    exponent (grid search minimizing cross-p-state IPC prediction
+ *    error; the grid's local minima are reported, mirroring the
+ *    paper's observation that 0.81 and 0.59 were both local minima).
+ */
+
+#ifndef AAPM_MODELS_TRAINER_HH
+#define AAPM_MODELS_TRAINER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/fit.hh"
+#include "cpu/core_model.hh"
+#include "dvfs/pstate.hh"
+#include "models/perf_estimator.hh"
+#include "models/power_estimator.hh"
+#include "power/truth_power.hh"
+#include "sensor/power_sensor.hh"
+#include "workload/phase.hh"
+
+namespace aapm
+{
+
+/** One characterization measurement. */
+struct TrainingPoint
+{
+    std::string name;       ///< microbenchmark display name
+    size_t pstate = 0;
+    double dpc = 0.0;       ///< decoded instructions per cycle
+    double ipc = 0.0;       ///< retired instructions per cycle
+    double dcuPerCycle = 0.0;
+    double powerW = 0.0;    ///< measured (sensor) power
+};
+
+/** Result of power-model training. */
+struct PowerTrainingResult
+{
+    std::vector<PowerCoeffs> coeffs;       ///< per p-state
+    std::vector<double> meanAbsErrorW;     ///< per p-state fit residual
+    std::vector<TrainingPoint> points;     ///< the raw training data
+
+    /** Wrap the coefficients into an estimator. */
+    PowerEstimator makeEstimator(const PStateTable &table) const;
+};
+
+/** Result of performance-model training. */
+struct PerfTrainingResult
+{
+    double threshold = 0.0;
+    double exponent = 0.0;
+    double loss = 0.0;     ///< mean abs relative IPC prediction error
+    /** Exponents at grid-local minima (best first). */
+    std::vector<std::pair<double, double>> exponentMinima;
+
+    /** Wrap into an estimator. */
+    PerfEstimator makeEstimator() const;
+};
+
+/** Everything the trainer needs to "run" the training workloads. */
+struct TrainingSetup
+{
+    PStateTable pstates = PStateTable::pentiumM();
+    CoreParams core;
+    TruthPowerConfig power;
+    /**
+     * Number of 10 ms power samples averaged per training point
+     * (measurement noise shrinks with more samples).
+     */
+    int samplesPerPoint = 200;
+    /** Sensor model used to take the measurements. */
+    SensorConfig sensor;
+};
+
+/**
+ * Produce the training measurements for the given phases at every
+ * p-state: analytically-exact rates plus sensor-modeled power.
+ */
+std::vector<TrainingPoint>
+collectTrainingPoints(const std::vector<std::pair<std::string, Phase>>
+                          &training_phases,
+                      const TrainingSetup &setup);
+
+/** Fit the per-p-state linear DPC power model (LAD, like the paper). */
+PowerTrainingResult
+trainPowerModel(const std::vector<TrainingPoint> &points,
+                const PStateTable &pstates);
+
+/**
+ * Train the performance model: grid-search the (threshold, exponent)
+ * pair minimizing the mean absolute relative error of cross-p-state
+ * IPC prediction over all ordered p-state pairs of the training set.
+ */
+PerfTrainingResult
+trainPerfModel(const std::vector<std::pair<std::string, Phase>>
+                   &training_phases,
+               const TrainingSetup &setup);
+
+} // namespace aapm
+
+#endif // AAPM_MODELS_TRAINER_HH

@@ -1,0 +1,40 @@
+#include "models/validator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+PowerValidation
+validatePowerModel(const PowerTrace &trace,
+                   const PowerEstimator &estimator, double guardband_w)
+{
+    PowerValidation v;
+    double sum = 0.0, sum_abs = 0.0, sum_sq = 0.0;
+    size_t under = 0;
+    for (const auto &s : trace.samples()) {
+        const double predicted =
+            estimator.estimate(s.pstateIndex, s.dpc);
+        const double err = predicted - s.measuredW;
+        sum += err;
+        sum_abs += std::abs(err);
+        sum_sq += err * err;
+        if (err < -guardband_w)
+            ++under;
+        if (std::abs(err) > std::abs(v.worstErrorW))
+            v.worstErrorW = err;
+        ++v.samples;
+    }
+    if (v.samples == 0)
+        return v;
+    const double n = static_cast<double>(v.samples);
+    v.meanErrorW = sum / n;
+    v.meanAbsErrorW = sum_abs / n;
+    v.rmsErrorW = std::sqrt(sum_sq / n);
+    v.underPredictedFrac = static_cast<double>(under) / n;
+    return v;
+}
+
+} // namespace aapm

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Model-validation utilities.
+ *
+ * The paper distinguishes itself from prior counter-based power models
+ * by evaluating *per-sample* accuracy (tight runtime control) instead
+ * of program-average accuracy (where over- and under-estimates cancel).
+ * This module computes both, from a run's recorded trace, so the
+ * distinction is measurable on any workload/model pair.
+ */
+
+#ifndef AAPM_MODELS_VALIDATOR_HH
+#define AAPM_MODELS_VALIDATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "models/power_estimator.hh"
+#include "sensor/power_sensor.hh"
+
+namespace aapm
+{
+
+/** Per-sample power-model accuracy over one run. */
+struct PowerValidation
+{
+    size_t samples = 0;
+    /** Mean of (predicted - measured), Watts: program-average bias. */
+    double meanErrorW = 0.0;
+    /** Mean of |predicted - measured|: the per-sample metric. */
+    double meanAbsErrorW = 0.0;
+    /** Largest |error| and its sign. */
+    double worstErrorW = 0.0;
+    /** RMS error. */
+    double rmsErrorW = 0.0;
+    /** Fraction of samples under-predicted by more than the guardband. */
+    double underPredictedFrac = 0.0;
+
+    /**
+     * The paper's point in one predicate: a model can look excellent
+     * on average while being loose per sample.
+     */
+    bool
+    biasHidesSampleError() const
+    {
+        return std::abs(meanErrorW) < 0.5 * meanAbsErrorW;
+    }
+};
+
+/**
+ * Validate a power model against a recorded trace: for each sample,
+ * predict from the sample's p-state and DPC and compare with the
+ * measured power.
+ *
+ * @param trace A run's trace (needs dpc/pstate/measuredW per sample).
+ * @param estimator The model under test.
+ * @param guardband_w Threshold for the under-prediction fraction.
+ */
+PowerValidation validatePowerModel(const PowerTrace &trace,
+                                   const PowerEstimator &estimator,
+                                   double guardband_w = 0.5);
+
+} // namespace aapm
+
+#endif // AAPM_MODELS_VALIDATOR_HH

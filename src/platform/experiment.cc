@@ -1,0 +1,120 @@
+#include "platform/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+PowerEstimator
+TrainedModels::powerEstimator(const PStateTable &table) const
+{
+    return power.makeEstimator(table);
+}
+
+PerfEstimator
+TrainedModels::perfEstimator() const
+{
+    return perf.makeEstimator();
+}
+
+TrainedModels
+trainModels(const PlatformConfig &config)
+{
+    TrainedModels out;
+
+    // Characterize the 12 MS-Loops points against the cache hierarchy.
+    const auto set = msLoopsTrainingSet(config.hierarchy, config.core,
+                                        100'000'000);
+    for (const auto &[spec, phase] : set)
+        out.trainingPhases.emplace_back(spec.displayName(), phase);
+
+    TrainingSetup setup;
+    setup.pstates = config.pstates;
+    setup.core = config.core;
+    setup.power = config.power;
+    setup.sensor = config.sensor;
+
+    const auto points = collectTrainingPoints(out.trainingPhases, setup);
+    out.power = trainPowerModel(points, setup.pstates);
+    out.perf = trainPerfModel(out.trainingPhases, setup);
+    return out;
+}
+
+std::vector<double>
+worstCasePowerTable(const Platform &platform)
+{
+    const auto &config = platform.config();
+    const LoopSpec worst{LoopKind::Fma, 256 * 1024};
+    const Phase phase = characterizeLoop(worst, config.hierarchy,
+                                         config.core, 1'000'000);
+    std::vector<double> table;
+    table.reserve(config.pstates.size());
+    for (size_t i = 0; i < config.pstates.size(); ++i)
+        table.push_back(platform.steadyPower(phase, i));
+    return table;
+}
+
+double
+SuiteResult::totalSeconds() const
+{
+    double t = 0.0;
+    for (const auto &r : runs)
+        t += r.seconds;
+    return t;
+}
+
+double
+SuiteResult::totalMeasuredEnergyJ() const
+{
+    double e = 0.0;
+    for (const auto &r : runs)
+        e += r.measuredEnergyJ;
+    return e;
+}
+
+double
+SuiteResult::totalTrueEnergyJ() const
+{
+    double e = 0.0;
+    for (const auto &r : runs)
+        e += r.trueEnergyJ;
+    return e;
+}
+
+const RunResult &
+SuiteResult::byName(const std::string &name) const
+{
+    for (const auto &r : runs) {
+        if (r.workloadName == name)
+            return r;
+    }
+    aapm_fatal("no run result for workload '%s'", name.c_str());
+}
+
+SuiteResult
+runSuite(Platform &platform, const std::vector<Workload> &workloads,
+         const std::function<std::unique_ptr<Governor>()> &make_governor,
+         const RunOptions &options)
+{
+    SuiteResult result;
+    result.runs.reserve(workloads.size());
+    for (const auto &w : workloads) {
+        auto governor = make_governor();
+        result.runs.push_back(platform.run(w, *governor, options));
+    }
+    return result;
+}
+
+SuiteResult
+runSuiteAtPState(Platform &platform,
+                 const std::vector<Workload> &workloads, size_t pstate,
+                 const RunOptions &options)
+{
+    SuiteResult result;
+    result.runs.reserve(workloads.size());
+    for (const auto &w : workloads)
+        result.runs.push_back(platform.runAtPState(w, pstate, options));
+    return result;
+}
+
+} // namespace aapm

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Experiment helpers shared by the benchmark harnesses and examples:
+ * the canonical model-training flow, the worst-case static-clocking
+ * tables, and suite-level aggregation.
+ */
+
+#ifndef AAPM_PLATFORM_EXPERIMENT_HH
+#define AAPM_PLATFORM_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "models/trainer.hh"
+#include "platform/platform.hh"
+#include "workload/microbench.hh"
+
+namespace aapm
+{
+
+/** Everything the training flow produces. */
+struct TrainedModels
+{
+    PowerTrainingResult power;
+    PerfTrainingResult perf;
+    /** The training phases (4 loops × 3 footprints). */
+    std::vector<std::pair<std::string, Phase>> trainingPhases;
+
+    /** The trained power estimator. */
+    PowerEstimator powerEstimator(const PStateTable &table) const;
+
+    /** The trained performance estimator. */
+    PerfEstimator perfEstimator() const;
+};
+
+/**
+ * Run the paper's full characterization flow on the given platform
+ * configuration: characterize MS-Loops by cache simulation, measure
+ * power at every p-state through the sensing chain, fit the per-p-state
+ * DPC power model and train the performance model.
+ */
+TrainedModels trainModels(const PlatformConfig &config);
+
+/**
+ * Worst-case power per p-state, Table III style: the power of the
+ * L2-resident FMA loop (the hottest MS-Loops point) at each p-state.
+ */
+std::vector<double> worstCasePowerTable(const Platform &platform);
+
+/**
+ * Result of one suite run under one configuration. Totals follow the
+ * paper's methodology: suite performance is total execution time.
+ */
+struct SuiteResult
+{
+    std::vector<RunResult> runs;
+
+    double totalSeconds() const;
+    double totalMeasuredEnergyJ() const;
+    double totalTrueEnergyJ() const;
+
+    /** Run result for a benchmark by name; fatal if absent. */
+    const RunResult &byName(const std::string &name) const;
+};
+
+/**
+ * Run every workload in the list under governors produced per-run by
+ * the factory (a fresh governor per workload keeps adaptive state from
+ * leaking across benchmarks).
+ */
+SuiteResult runSuite(Platform &platform,
+                     const std::vector<Workload> &workloads,
+                     const std::function<std::unique_ptr<Governor>()>
+                         &make_governor,
+                     const RunOptions &options = RunOptions());
+
+/** Run every workload pinned at one p-state. */
+SuiteResult runSuiteAtPState(Platform &platform,
+                             const std::vector<Workload> &workloads,
+                             size_t pstate,
+                             const RunOptions &options = RunOptions());
+
+} // namespace aapm
+
+#endif // AAPM_PLATFORM_EXPERIMENT_HH

@@ -1,0 +1,269 @@
+#include "platform/platform.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "mgmt/static_clock.hh"
+
+namespace aapm
+{
+
+Platform::Platform(PlatformConfig config)
+    : config_(std::move(config)), core_(config_.core),
+      truth_(config_.power), runSeq_(0)
+{
+    if (config_.initialPState >= config_.pstates.size())
+        aapm_fatal("initial p-state %zu out of range",
+                   config_.initialPState);
+    if (config_.sampleInterval == 0)
+        aapm_fatal("sample interval must be positive");
+}
+
+double
+Platform::steadyPower(const Phase &phase, size_t pstate) const
+{
+    const PState &state = config_.pstates[pstate];
+    ExecChunk chunk;
+    chunk.phase = &phase;
+    chunk.freqGhz = state.freqGhz();
+    chunk.instructions = 1'000'000;
+    chunk.events = core_.eventsFor(phase, state.freqGhz(), 1e6);
+    const ActivityRates rates = ActivityRates::fromChunk(chunk);
+
+    if (!config_.thermalFeedback)
+        return truth_.power(rates, state);
+
+    // Solve the power/temperature fixed point: leakage grows with the
+    // steady-state temperature that this power level itself produces.
+    ThermalModel thermal(config_.thermal);
+    double p = truth_.power(rates, state);
+    for (int i = 0; i < 32; ++i) {
+        const double t = thermal.steadyStateC(p);
+        const double next = truth_.power(rates, state, t);
+        if (std::abs(next - p) < 1e-9)
+            return next;
+        p = next;
+    }
+    return p;
+}
+
+RunResult
+Platform::run(const Workload &workload, Governor &governor,
+              const RunOptions &options)
+{
+    ++runSeq_;
+    EventQueue eq;
+    WorkloadCursor cursor(workload);
+    DvfsController dvfs(config_.pstates, config_.initialPState,
+                        config_.dvfs);
+    Pmu pmu;
+    ThermalModel thermal(config_.thermal);
+    PowerSensor sensor(config_.sensor);
+
+    governor.reset();
+    governor.configureCounters(pmu);
+
+    RunResult result;
+    result.workloadName = workload.name();
+    result.governorName = governor.name();
+    if (options.recordTrace)
+        result.trace.markStart(0);
+
+    // Commands sorted by delivery time.
+    std::vector<ScheduledCommand> commands = options.commands;
+    std::sort(commands.begin(), commands.end(),
+              [](const auto &a, const auto &b) { return a.when < b.when; });
+    size_t next_cmd = 0;
+
+    Tick pending_stall = 0;
+    Tick end_tick = 0;
+    std::array<uint64_t, Pmu::NumSlots> slot_last{};
+    std::vector<ExecChunk> chunks;
+
+    const double interval_s = ticksToSeconds(config_.sampleInterval);
+    bool stop = false;
+
+    auto on_sample = [&](EventFunctionWrapper *self) {
+        const Tick interval_start = eq.now() - config_.sampleInterval;
+
+        // --- Advance the machine over the elapsed interval. ---
+        chunks.clear();
+        Tick budget = config_.sampleInterval;
+        Tick used_total = 0;
+        while (budget > 0 && !cursor.done()) {
+            if (pending_stall > 0) {
+                const Tick s = std::min(pending_stall, budget);
+                ExecChunk stall;
+                stall.phase = nullptr;
+                stall.freqGhz = dvfs.current().freqGhz();
+                stall.duration = s;
+                chunks.push_back(stall);
+                pending_stall -= s;
+                budget -= s;
+                used_total += s;
+                continue;
+            }
+            const Tick used = core_.advance(
+                cursor, dvfs.current().freqGhz(), budget, chunks);
+            budget -= used;
+            used_total += used;
+            if (used == 0)
+                break;   // defensive: cannot make progress
+        }
+        const Tick actual_dt = used_total;
+        end_tick = interval_start + actual_dt;
+
+        // --- Integrate power/energy/thermals; feed the PMU. ---
+        double interval_energy = 0.0;
+        Tick idle_ticks = 0;
+        EventTotals interval_events;   // experimenter-side counters
+        for (const auto &chunk : chunks) {
+            if (chunk.phase && chunk.phase->idle)
+                idle_ticks += chunk.duration;
+            interval_events += chunk.events;
+            const double t_c = config_.thermalFeedback
+                ? thermal.temperature()
+                : truth_.config().leakNominalTempC;
+            const double p = truth_.power(chunk, dvfs.current(), t_c);
+            const double dt = ticksToSeconds(chunk.duration);
+            interval_energy += p * dt;
+            if (config_.thermalFeedback)
+                thermal.step(p, dt);
+            pmu.absorb(chunk.events);
+        }
+        result.trueEnergyJ += interval_energy;
+        dvfs.accountResidency(actual_dt);
+
+        const double dt_s = ticksToSeconds(actual_dt);
+        if (dt_s <= 0.0) {
+            stop = true;
+            return;
+        }
+
+        // --- Assemble the monitor sample from the counters. ---
+        MonitorSample sample;
+        sample.intervalSeconds = dt_s;
+        sample.cycles = pmu.cyclesSinceLast();
+        sample.pstate = dvfs.currentIndex();
+        sample.utilization =
+            1.0 - static_cast<double>(idle_ticks) /
+                      static_cast<double>(actual_dt);
+        const double cyc = static_cast<double>(sample.cycles);
+        for (size_t s = 0; s < Pmu::NumSlots; ++s) {
+            const auto ev = pmu.slotEvent(s);
+            if (!ev)
+                continue;
+            const uint64_t cur = pmu.read(s);
+            // A governor may reprogram (and thereby zero) a slot
+            // between samples; a count below the previous reading
+            // means the counter restarted this interval.
+            const uint64_t delta =
+                cur >= slot_last[s] ? cur - slot_last[s] : cur;
+            slot_last[s] = cur;
+            const double rate = cyc > 0.0
+                ? static_cast<double>(delta) / cyc
+                : 0.0;
+            switch (*ev) {
+              case PmuEvent::InstructionsRetired:
+                sample.ipc = rate;
+                break;
+              case PmuEvent::InstructionsDecoded:
+                sample.dpc = rate;
+                break;
+              case PmuEvent::DcuMissOutstanding:
+                sample.dcuPerCycle = rate;
+                break;
+              default:
+                break;   // other events are readable but unnamed here
+            }
+        }
+        const double true_avg = interval_energy / dt_s;
+        sample.measuredPowerW = sensor.sample(true_avg);
+        // Thermal diode: half-degree quantization.
+        sample.tempC = std::round(thermal.temperature() * 2.0) / 2.0;
+        result.measuredEnergyJ += sample.measuredPowerW * dt_s;
+
+        if (options.recordTrace) {
+            // The trace is the experimenter's instrumentation: its
+            // rates come from dedicated counter collection, not from
+            // whatever the governor happened to program.
+            TraceSample ts;
+            ts.when = end_tick;
+            ts.measuredW = sample.measuredPowerW;
+            ts.trueW = true_avg;
+            ts.freqMhz = dvfs.current().freqMhz;
+            ts.pstateIndex = dvfs.currentIndex();
+            const double cycles = interval_events.cycles;
+            ts.ipc = cycles > 0.0
+                ? interval_events.instructionsRetired / cycles
+                : 0.0;
+            ts.dpc = cycles > 0.0
+                ? interval_events.instructionsDecoded / cycles
+                : 0.0;
+            ts.tempC = thermal.temperature();
+            result.trace.add(ts);
+        }
+
+        // --- Deliver any constraint changes that have arrived. ---
+        while (next_cmd < commands.size() &&
+               commands[next_cmd].when <= eq.now()) {
+            const auto &cmd = commands[next_cmd++];
+            if (cmd.kind == ScheduledCommand::Kind::SetPowerLimit)
+                governor.setPowerLimit(cmd.value);
+            else
+                governor.setPerformanceFloor(cmd.value);
+        }
+
+        // --- Control. ---
+        if (cursor.done()) {
+            stop = true;
+            return;
+        }
+        if (options.maxTime != 0 && eq.now() >= options.maxTime) {
+            stop = true;
+            return;
+        }
+        const size_t next = governor.decide(sample, dvfs.currentIndex());
+        if (next != dvfs.currentIndex())
+            pending_stall += dvfs.requestPState(next);
+        eq.schedule(self, eq.now() + config_.sampleInterval);
+    };
+
+    EventFunctionWrapper *self_ptr = nullptr;
+    EventFunctionWrapper sample_ev("sample",
+                                   [&] { on_sample(self_ptr); });
+    self_ptr = &sample_ev;
+    eq.schedule(&sample_ev, config_.sampleInterval);
+
+    while (!stop && eq.step()) {
+    }
+
+    result.seconds = ticksToSeconds(end_tick);
+    result.instructions = cursor.retired();
+    result.finished = cursor.done();
+    result.finalTempC = thermal.temperature();
+    result.avgTruePowerW =
+        result.seconds > 0.0 ? result.trueEnergyJ / result.seconds : 0.0;
+    result.dvfs = dvfs.stats();
+    if (options.recordTrace)
+        result.trace.markEnd(end_tick);
+    return result;
+}
+
+RunResult
+Platform::runAtPState(const Workload &workload, size_t pstate,
+                      const RunOptions &options)
+{
+    if (pstate >= config_.pstates.size())
+        aapm_fatal("p-state %zu out of range", pstate);
+    StaticClock governor(pstate);
+    // Boot directly in the pinned state so no transition is charged.
+    PlatformConfig saved = config_;
+    config_.initialPState = pstate;
+    RunResult result = run(workload, governor, options);
+    config_ = saved;
+    return result;
+}
+
+} // namespace aapm

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The full simulated system: core + memory-derived workloads + DVFS +
+ * ground-truth power + thermal + sense-resistor measurement + PMU,
+ * driven by a 10 ms monitor/control loop — the modeled equivalent of
+ * the paper's instrumented Pentium M testbed.
+ */
+
+#ifndef AAPM_PLATFORM_PLATFORM_HH
+#define AAPM_PLATFORM_PLATFORM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/core_model.hh"
+#include "dvfs/dvfs_controller.hh"
+#include "mem/hierarchy.hh"
+#include "mgmt/governor.hh"
+#include "pmu/pmu.hh"
+#include "power/truth_power.hh"
+#include "sensor/power_sensor.hh"
+#include "sim/event_queue.hh"
+#include "workload/workload.hh"
+
+namespace aapm
+{
+
+/** Everything configurable about the simulated system. */
+struct PlatformConfig
+{
+    CoreParams core;
+    HierarchyConfig hierarchy;
+    TruthPowerConfig power;
+    ThermalConfig thermal;
+    /** Couple die temperature back into leakage. */
+    bool thermalFeedback = true;
+    SensorConfig sensor;
+    DvfsConfig dvfs;
+    PStateTable pstates = PStateTable::pentiumM();
+    /** Monitoring/control interval (paper: 10 ms). */
+    Tick sampleInterval = 10 * TicksPerMs;
+    /** P-state the platform boots in; default = fastest. */
+    size_t initialPState = 7;
+};
+
+/** A scheduled runtime constraint change (the paper's SIGUSR1/2). */
+struct ScheduledCommand
+{
+    enum class Kind
+    {
+        SetPowerLimit,
+        SetPerformanceFloor
+    };
+
+    Tick when = 0;
+    Kind kind = Kind::SetPowerLimit;
+    double value = 0.0;
+};
+
+/** Per-run options. */
+struct RunOptions
+{
+    /** Record the full 10 ms trace (cheap; on by default). */
+    bool recordTrace = true;
+    /** Abort the run after this much simulated time; 0 = unlimited. */
+    Tick maxTime = 0;
+    /** Constraint changes delivered during the run. */
+    std::vector<ScheduledCommand> commands;
+};
+
+/** Everything measured about one run. */
+struct RunResult
+{
+    std::string workloadName;
+    std::string governorName;
+    double seconds = 0.0;              ///< wall-clock execution time
+    uint64_t instructions = 0;
+    double trueEnergyJ = 0.0;          ///< exact integrated energy
+    double measuredEnergyJ = 0.0;      ///< summed sensor samples
+    double avgTruePowerW = 0.0;
+    double finalTempC = 0.0;
+    bool finished = false;             ///< false if maxTime hit first
+    PowerTrace trace;
+    DvfsStats dvfs;
+
+    /** Instructions per second over the whole run. */
+    double
+    perf() const
+    {
+        return seconds > 0.0
+            ? static_cast<double>(instructions) / seconds
+            : 0.0;
+    }
+};
+
+/**
+ * The simulated testbed. A Platform is reusable: every run starts from
+ * a cold boot (fresh PMU, thermal state, DVFS controller and sensor
+ * noise stream).
+ */
+class Platform
+{
+  public:
+    explicit Platform(PlatformConfig config = PlatformConfig());
+
+    /**
+     * Execute a workload to completion under a governor.
+     * @param workload The workload to run.
+     * @param governor Control policy (reset() is called first).
+     * @param options Per-run options.
+     */
+    RunResult run(const Workload &workload, Governor &governor,
+                  const RunOptions &options = RunOptions());
+
+    /** Execute pinned at a p-state (static clocking / baselines). */
+    RunResult runAtPState(const Workload &workload, size_t pstate,
+                          const RunOptions &options = RunOptions());
+
+    /**
+     * Steady-state true power of a phase at a p-state (no sensor
+     * noise) — used for characterization tables.
+     */
+    double steadyPower(const Phase &phase, size_t pstate) const;
+
+    /** The configuration. */
+    const PlatformConfig &config() const { return config_; }
+
+    /** The core timing model. */
+    const CoreModel &core() const { return core_; }
+
+    /** The ground-truth power model. */
+    const TruthPowerModel &truthPower() const { return truth_; }
+
+    /** The p-state menu. */
+    const PStateTable &pstates() const { return config_.pstates; }
+
+  private:
+    PlatformConfig config_;
+    CoreModel core_;
+    TruthPowerModel truth_;
+    uint64_t runSeq_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_PLATFORM_PLATFORM_HH

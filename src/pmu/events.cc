@@ -1,0 +1,55 @@
+#include "pmu/events.hh"
+
+#include "common/logging.hh"
+#include "cpu/core_model.hh"
+
+namespace aapm
+{
+
+const char *
+pmuEventName(PmuEvent ev)
+{
+    switch (ev) {
+      case PmuEvent::InstructionsRetired:
+        return "INSTR_RETIRED";
+      case PmuEvent::InstructionsDecoded:
+        return "INSTR_DECODED";
+      case PmuEvent::DcuMissOutstanding:
+        return "DCU_MISS_OUTSTANDING";
+      case PmuEvent::ResourceStalls:
+        return "RESOURCE_STALLS";
+      case PmuEvent::L2Requests:
+        return "L2_REQUESTS";
+      case PmuEvent::BusMemoryRequests:
+        return "BUS_MEM_REQUESTS";
+      case PmuEvent::FpOps:
+        return "FP_OPS";
+      default:
+        aapm_panic("invalid PMU event %d", static_cast<int>(ev));
+    }
+}
+
+double
+pmuEventValue(const EventTotals &totals, PmuEvent ev)
+{
+    switch (ev) {
+      case PmuEvent::InstructionsRetired:
+        return totals.instructionsRetired;
+      case PmuEvent::InstructionsDecoded:
+        return totals.instructionsDecoded;
+      case PmuEvent::DcuMissOutstanding:
+        return totals.dcuMissOutstanding;
+      case PmuEvent::ResourceStalls:
+        return totals.resourceStalls;
+      case PmuEvent::L2Requests:
+        return totals.l2Requests;
+      case PmuEvent::BusMemoryRequests:
+        return totals.busMemoryRequests;
+      case PmuEvent::FpOps:
+        return totals.fpOps;
+      default:
+        aapm_panic("invalid PMU event %d", static_cast<int>(ev));
+    }
+}
+
+} // namespace aapm

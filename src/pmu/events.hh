@@ -1,0 +1,46 @@
+/**
+ * @file
+ * PMU event menu.
+ *
+ * The real Pentium M exposes 92 events through 2 programmable counters;
+ * this model provides the subset the paper's methodology uses, plus the
+ * always-running timestamp (cycle) counter.
+ */
+
+#ifndef AAPM_PMU_EVENTS_HH
+#define AAPM_PMU_EVENTS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace aapm
+{
+
+struct EventTotals;
+
+/** Countable PMU events. */
+enum class PmuEvent : uint8_t
+{
+    InstructionsRetired,
+    InstructionsDecoded,     ///< includes speculative (wrong-path) work
+    DcuMissOutstanding,      ///< cycles a DL1 miss is outstanding
+    ResourceStalls,          ///< cycles stalled for ROB/RS resources
+    L2Requests,
+    BusMemoryRequests,       ///< DRAM line transfers
+    FpOps,
+    NumEvents
+};
+
+/** Number of selectable events. */
+constexpr size_t NumPmuEvents =
+    static_cast<size_t>(PmuEvent::NumEvents);
+
+/** Human-readable event name. */
+const char *pmuEventName(PmuEvent ev);
+
+/** Extract the value of one event from an EventTotals record. */
+double pmuEventValue(const EventTotals &totals, PmuEvent ev);
+
+} // namespace aapm
+
+#endif // AAPM_PMU_EVENTS_HH

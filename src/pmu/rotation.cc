@@ -1,0 +1,74 @@
+#include "pmu/rotation.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+RotatingCounter::RotatingCounter(size_t slot,
+                                 std::vector<PmuEvent> events)
+    : slot_(slot), events_(std::move(events)),
+      rates_(events_.size(), NAN),
+      lastSeen_(events_.size(),
+                std::numeric_limits<uint64_t>::max()),
+      index_(0), now_(0), started_(false)
+{
+    if (events_.empty())
+        aapm_fatal("rotation needs at least one event");
+    if (slot_ >= Pmu::NumSlots)
+        aapm_fatal("slot %zu out of range", slot_);
+}
+
+void
+RotatingCounter::start(Pmu &pmu)
+{
+    index_ = 0;
+    pmu.configure(slot_, events_[index_]);
+    started_ = true;
+}
+
+void
+RotatingCounter::tick(Pmu &pmu, uint64_t interval_cycles)
+{
+    aapm_assert(started_, "tick() before start()");
+    ++now_;
+    if (interval_cycles > 0) {
+        const uint64_t count = pmu.read(slot_);
+        rates_[index_] = static_cast<double>(count) /
+                         static_cast<double>(interval_cycles);
+        lastSeen_[index_] = now_;
+    }
+    index_ = (index_ + 1) % events_.size();
+    // Reprogramming zeroes the slot, starting the next interval clean.
+    pmu.configure(slot_, events_[index_]);
+}
+
+size_t
+RotatingCounter::indexOf(PmuEvent event) const
+{
+    for (size_t i = 0; i < events_.size(); ++i) {
+        if (events_[i] == event)
+            return i;
+    }
+    aapm_fatal("event %s is not in this rotation",
+               pmuEventName(event));
+}
+
+double
+RotatingCounter::rate(PmuEvent event) const
+{
+    return rates_[indexOf(event)];
+}
+
+uint64_t
+RotatingCounter::age(PmuEvent event) const
+{
+    const uint64_t seen = lastSeen_[indexOf(event)];
+    if (seen == std::numeric_limits<uint64_t>::max())
+        return seen;
+    return now_ - seen;
+}
+
+} // namespace aapm

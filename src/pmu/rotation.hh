@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Counter rotation: time-multiplexing more events than the PMU has
+ * slots (the technique Isci et al. used to track 24 events on 15
+ * counters, cited by the paper; its own solutions deliberately fit in
+ * the 2 real slots, but extensions — like the EDP governor example —
+ * need more).
+ *
+ * A RotatingCounter owns one PMU slot and cycles a list of events
+ * through it, one monitoring interval each, keeping the last observed
+ * per-cycle rate of every event.
+ */
+
+#ifndef AAPM_PMU_ROTATION_HH
+#define AAPM_PMU_ROTATION_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "pmu/pmu.hh"
+
+namespace aapm
+{
+
+/** One PMU slot multiplexed across several events. */
+class RotatingCounter
+{
+  public:
+    /**
+     * @param slot PMU slot this rotation owns.
+     * @param events Events to cycle through (>= 1).
+     */
+    RotatingCounter(size_t slot, std::vector<PmuEvent> events);
+
+    /** Program the slot with the first event of the cycle. */
+    void start(Pmu &pmu);
+
+    /**
+     * End-of-interval service: read the active event's count, record
+     * its rate, and rotate the slot to the next event.
+     *
+     * @param pmu The PMU.
+     * @param interval_cycles Cycles elapsed in the interval.
+     */
+    void tick(Pmu &pmu, uint64_t interval_cycles);
+
+    /** Last observed per-cycle rate of an event; NaN before seen. */
+    double rate(PmuEvent event) const;
+
+    /** Age (in ticks) of an event's last observation; huge if never. */
+    uint64_t age(PmuEvent event) const;
+
+    /** The event currently occupying the slot. */
+    PmuEvent active() const { return events_[index_]; }
+
+  private:
+    size_t indexOf(PmuEvent event) const;
+
+    size_t slot_;
+    std::vector<PmuEvent> events_;
+    std::vector<double> rates_;
+    std::vector<uint64_t> lastSeen_;
+    size_t index_;
+    uint64_t now_;
+    bool started_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_PMU_ROTATION_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Ground-truth processor power model — the simulated stand-in for the
+ * physical quantity the paper measures through sense resistors.
+ *
+ * Dynamic power follows P = Ceff · V² · f with an effective switched
+ * capacitance built from per-unit activity (clock tree, gated core
+ * logic, decode/issue, FP, L2, bus pads), so fixed-frequency power
+ * varies strongly across workloads (Fig 1) and is approximately — but
+ * not exactly — linear in decoded-instructions-per-cycle, giving the
+ * paper's DPC model realistic residuals. Leakage depends on voltage and
+ * (optionally) temperature.
+ */
+
+#ifndef AAPM_POWER_TRUTH_POWER_HH
+#define AAPM_POWER_TRUTH_POWER_HH
+
+#include "cpu/core_model.hh"
+#include "dvfs/pstate.hh"
+
+namespace aapm
+{
+
+/**
+ * Effective-capacitance and leakage constants. Units: capacitances in
+ * nF (so nF · V² · GHz = W); leakage terms in W at the given voltage.
+ * Defaults are calibrated so the Pentium M table reproduces the paper's
+ * Tables II/III to first order.
+ */
+struct TruthPowerConfig
+{
+    /** Ungateable clock tree / global clocking. */
+    double cTree = 2.50;
+    /** Gated core logic, scaled by the busy (non-stalled) fraction. */
+    double cCore = 0.10;
+    /** Per decoded instruction per cycle (front end + issue + ALUs). */
+    double cDecode = 0.72;
+    /** Per floating-point operation per cycle. */
+    double cFp = 0.25;
+    /** Per L2 request per cycle. */
+    double cL2 = 7.0;
+    /** Per DRAM bus line-transfer per cycle (pads, FSB interface). */
+    double cBus = 2.0;
+    /** Leakage: P_leak = leakV1 * V + leakV3 * V^3 (Watts). */
+    double leakV1 = 0.10;
+    double leakV3 = 1.05;
+    /** Leakage temperature coefficient, fraction per degree C. */
+    double leakTempCoeff = 0.004;
+    /** Temperature at which leakV1/leakV3 are specified, °C. */
+    double leakNominalTempC = 50.0;
+};
+
+/** Per-cycle activity rates extracted from an execution chunk. */
+struct ActivityRates
+{
+    double busyFrac = 0.0;    ///< fraction of cycles doing core work
+    double dpc = 0.0;         ///< decoded instructions / cycle
+    double fpc = 0.0;         ///< FP ops / cycle
+    double l2pc = 0.0;        ///< L2 requests / cycle
+    double buspc = 0.0;       ///< DRAM transfers / cycle
+
+    /** Extract the rates from a chunk (all-zero for stall chunks). */
+    static ActivityRates fromChunk(const ExecChunk &chunk);
+};
+
+/** The ground-truth model. */
+class TruthPowerModel
+{
+  public:
+    explicit TruthPowerModel(TruthPowerConfig config = TruthPowerConfig());
+
+    /**
+     * Instantaneous power for the given activity at an operating point.
+     * @param rates Per-cycle activity.
+     * @param pstate Operating point (frequency, voltage).
+     * @param temp_c Die temperature; defaults to the leakage nominal.
+     */
+    double power(const ActivityRates &rates, const PState &pstate,
+                 double temp_c) const;
+
+    /** Power for a chunk executed at the given operating point. */
+    double power(const ExecChunk &chunk, const PState &pstate,
+                 double temp_c) const;
+
+    /** Convenience overload at the nominal temperature. */
+    double power(const ActivityRates &rates, const PState &pstate) const;
+
+    /** Convenience overload at the nominal temperature. */
+    double power(const ExecChunk &chunk, const PState &pstate) const;
+
+    /** Dynamic component only. */
+    double dynamicPower(const ActivityRates &rates,
+                        const PState &pstate) const;
+
+    /** Leakage component only. */
+    double leakagePower(double voltage, double temp_c) const;
+
+    /** The constants in use. */
+    const TruthPowerConfig &config() const { return config_; }
+
+  private:
+    TruthPowerConfig config_;
+};
+
+/**
+ * First-order RC thermal model of the package: C_th dT/dt = P - (T -
+ * T_amb) / R_th. Couples back into leakage when the platform enables
+ * thermal feedback.
+ */
+struct ThermalConfig
+{
+    double rTh = 0.9;        ///< junction-to-ambient, °C/W
+    double cTh = 8.0;        ///< thermal capacitance, J/°C
+    double ambientC = 35.0;  ///< ambient temperature, °C
+};
+
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(ThermalConfig config = ThermalConfig());
+
+    /** Advance by dt seconds while dissipating `power` Watts. */
+    void step(double power, double dt_seconds);
+
+    /** Current die temperature, °C. */
+    double temperature() const { return tempC_; }
+
+    /** Steady-state temperature for a constant power level. */
+    double steadyStateC(double power) const;
+
+    /** Reset to ambient. */
+    void reset();
+
+    /** Configuration. */
+    const ThermalConfig &config() const { return config_; }
+
+  private:
+    ThermalConfig config_;
+    double tempC_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_POWER_TRUTH_POWER_HH

@@ -1,0 +1,132 @@
+#include "sensor/power_sensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+PowerSensor::PowerSensor(SensorConfig config)
+    : config_(config), rng_(config.seed)
+{
+    if (config_.fullScaleW <= 0.0)
+        aapm_fatal("sensor full scale must be positive");
+    if (config_.adcBits < 4 || config_.adcBits > 24)
+        aapm_fatal("implausible ADC resolution %u bits", config_.adcBits);
+    gain_ = 1.0 + rng_.uniform(-config_.gainErrorMax,
+                               config_.gainErrorMax);
+    offset_ = rng_.uniform(-config_.offsetErrorMaxW,
+                           config_.offsetErrorMaxW);
+}
+
+double
+PowerSensor::quantStepW() const
+{
+    return config_.fullScaleW /
+           static_cast<double>(1u << config_.adcBits);
+}
+
+double
+PowerSensor::sample(double true_avg_watts)
+{
+    aapm_assert(true_avg_watts >= 0.0, "negative power %f",
+                true_avg_watts);
+    // Fault injection first: a stuck buffer repeats the last reading,
+    // a glitch replaces the sample with garbage anywhere in range.
+    if (config_.stuckProb > 0.0 && rng_.chance(config_.stuckProb))
+        return last_;
+    if (config_.glitchProb > 0.0 && rng_.chance(config_.glitchProb)) {
+        last_ = rng_.uniform(0.0, config_.fullScaleW);
+        return last_;
+    }
+    double v = gain_ * true_avg_watts + offset_ +
+               rng_.gaussian(0.0, config_.noiseSigmaW);
+    v = std::clamp(v, 0.0, config_.fullScaleW);
+    const double q = quantStepW();
+    last_ = std::round(v / q) * q;
+    return last_;
+}
+
+void
+PowerSensor::reseed(uint64_t seed)
+{
+    rng_.seed(seed);
+}
+
+void
+PowerTrace::markStart(Tick when)
+{
+    start_ = when;
+}
+
+void
+PowerTrace::markEnd(Tick when)
+{
+    end_ = when;
+}
+
+void
+PowerTrace::add(const TraceSample &sample)
+{
+    samples_.push_back(sample);
+}
+
+double
+PowerTrace::durationSeconds() const
+{
+    aapm_assert(end_ >= start_, "trace end precedes start");
+    return ticksToSeconds(end_ - start_);
+}
+
+double
+PowerTrace::measuredEnergyJ(double interval_s) const
+{
+    double e = 0.0;
+    for (const auto &s : samples_)
+        e += s.measuredW * interval_s;
+    return e;
+}
+
+double
+PowerTrace::trueEnergyJ(double interval_s) const
+{
+    double e = 0.0;
+    for (const auto &s : samples_)
+        e += s.trueW * interval_s;
+    return e;
+}
+
+std::vector<double>
+PowerTrace::movingAverage(size_t window) const
+{
+    aapm_assert(window >= 1, "window must be >= 1");
+    std::vector<double> out;
+    out.reserve(samples_.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < samples_.size(); ++i) {
+        acc += samples_[i].measuredW;
+        if (i >= window)
+            acc -= samples_[i - window].measuredW;
+        const size_t n = std::min(window, i + 1);
+        out.push_back(acc / static_cast<double>(n));
+    }
+    return out;
+}
+
+double
+PowerTrace::fractionOverLimit(double limit_w, size_t window) const
+{
+    if (samples_.empty())
+        return 0.0;
+    const auto avg = movingAverage(window);
+    size_t over = 0;
+    for (double v : avg) {
+        if (v > limit_w)
+            ++over;
+    }
+    return static_cast<double>(over) / static_cast<double>(avg.size());
+}
+
+} // namespace aapm

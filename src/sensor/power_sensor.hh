@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Power-measurement chain model.
+ *
+ * The paper measures processor power with high-precision sense
+ * resistors between the voltage regulators and the processor, filtered,
+ * amplified and digitized by an NI SCXI-1125 + PCI-6052E DAQ at 10 ms
+ * intervals. This model reproduces the chain's observable properties:
+ * per-sample averaging over the sampling window, calibration gain and
+ * offset error, additive noise, and ADC quantization. A GPIO-style
+ * marker channel synchronizes workload start/end with the trace.
+ */
+
+#ifndef AAPM_SENSOR_POWER_SENSOR_HH
+#define AAPM_SENSOR_POWER_SENSOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "sim/ticks.hh"
+
+namespace aapm
+{
+
+/** Measurement-chain parameters. */
+struct SensorConfig
+{
+    /** Additive Gaussian noise sigma on each sample, Watts. */
+    double noiseSigmaW = 0.06;
+    /** Worst-case calibration gain error (uniform ±), fraction. */
+    double gainErrorMax = 0.005;
+    /** Worst-case calibration offset error (uniform ±), Watts. */
+    double offsetErrorMaxW = 0.05;
+    /** ADC full-scale range, Watts. */
+    double fullScaleW = 40.0;
+    /** ADC resolution in bits. */
+    uint32_t adcBits = 12;
+    /**
+     * Fault injection: probability that a sample is a glitch — a
+     * corrupted reading drawn uniformly over the ADC range (loose
+     * probe, EMI burst, DAQ hiccup). 0 disables injection.
+     */
+    double glitchProb = 0.0;
+    /**
+     * Fault injection: probability that the chain drops a sample and
+     * repeats the previous reading (a stuck DAQ buffer).
+     */
+    double stuckProb = 0.0;
+    /** Seed for the instance's noise and calibration draw. */
+    uint64_t seed = 12345;
+};
+
+/**
+ * Converts true interval-average power into what the DAQ reports.
+ * Calibration error is drawn once at construction (a property of the
+ * physical setup); noise is drawn per sample.
+ */
+class PowerSensor
+{
+  public:
+    explicit PowerSensor(SensorConfig config = SensorConfig());
+
+    /**
+     * Measure one sampling interval.
+     * @param true_avg_watts True average power over the interval.
+     * @return The value the measurement system reports.
+     */
+    double sample(double true_avg_watts);
+
+    /** The ADC quantization step, Watts. */
+    double quantStepW() const;
+
+    /** Reset the noise stream (calibration error is kept). */
+    void reseed(uint64_t seed);
+
+    /** Configuration. */
+    const SensorConfig &config() const { return config_; }
+
+  private:
+    SensorConfig config_;
+    Rng rng_;
+    double gain_;
+    double offset_;
+    double last_ = 0.0;
+};
+
+/** One recorded sample of a run. */
+struct TraceSample
+{
+    Tick when = 0;             ///< end of the sampling interval
+    double measuredW = 0.0;    ///< what the DAQ reported
+    double trueW = 0.0;        ///< ground-truth average power
+    double freqMhz = 0.0;      ///< operating frequency at sample end
+    size_t pstateIndex = 0;    ///< p-state at sample end
+    double ipc = 0.0;          ///< retired IPC over the interval
+    double dpc = 0.0;          ///< decoded-instr per cycle over interval
+    double tempC = 0.0;        ///< die temperature at sample end
+};
+
+/**
+ * Trace of a full run: samples plus GPIO-style start/end markers, from
+ * which execution time and energy are computed exactly as the paper
+ * does (summing 10 ms power samples).
+ */
+class PowerTrace
+{
+  public:
+    /** Record the GPIO start marker. */
+    void markStart(Tick when);
+
+    /** Record the GPIO end marker. */
+    void markEnd(Tick when);
+
+    /** Append one sample. */
+    void add(const TraceSample &sample);
+
+    /** All samples. */
+    const std::vector<TraceSample> &samples() const { return samples_; }
+
+    /** Start marker tick. */
+    Tick startTick() const { return start_; }
+
+    /** End marker tick. */
+    Tick endTick() const { return end_; }
+
+    /** Wall-clock duration between the markers, seconds. */
+    double durationSeconds() const;
+
+    /**
+     * Energy over the run from *measured* samples (sum of sample power
+     * times the sample interval), Joules.
+     * @param interval_s Sampling interval in seconds.
+     */
+    double measuredEnergyJ(double interval_s) const;
+
+    /** Energy from ground-truth samples, Joules. */
+    double trueEnergyJ(double interval_s) const;
+
+    /**
+     * Moving average of measured power with the given window length,
+     * evaluated at every sample (partial windows at the head use the
+     * samples available). Used to evaluate power-limit adherence over
+     * 100 ms windows.
+     */
+    std::vector<double> movingAverage(size_t window) const;
+
+    /**
+     * Fraction of moving-average points strictly above the limit.
+     * @param window Moving-average length in samples.
+     */
+    double fractionOverLimit(double limit_w, size_t window) const;
+
+  private:
+    std::vector<TraceSample> samples_;
+    Tick start_ = 0;
+    Tick end_ = 0;
+};
+
+} // namespace aapm
+
+#endif // AAPM_SENSOR_POWER_SENSOR_HH

@@ -1,0 +1,95 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+Event::Event(std::string name, int priority)
+    : name_(std::move(name)), priority_(priority), scheduled_(false),
+      when_(0), seq_(0)
+{
+}
+
+Event::~Event()
+{
+    // Deleting a still-scheduled event would leave a dangling pointer in
+    // the queue; that is a caller bug.
+    if (scheduled_)
+        aapm_warn("event '%s' destroyed while scheduled", name_.c_str());
+}
+
+EventQueue::EventQueue() : now_(0), nextSeq_(0), processed_(0)
+{
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    aapm_assert(ev != nullptr, "null event");
+    aapm_assert(!ev->scheduled_, "event '%s' already scheduled",
+                ev->name().c_str());
+    aapm_assert(when >= now_,
+                "event '%s' scheduled in the past (%llu < %llu)",
+                ev->name().c_str(),
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(now_));
+    ev->when_ = when;
+    ev->seq_ = nextSeq_++;
+    ev->scheduled_ = true;
+    queue_.insert(ev);
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    aapm_assert(ev != nullptr, "null event");
+    aapm_assert(ev->scheduled_, "event '%s' not scheduled",
+                ev->name().c_str());
+    queue_.erase(ev);
+    ev->scheduled_ = false;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    return queue_.empty() ? MaxTick : (*queue_.begin())->when();
+}
+
+uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    uint64_t n = 0;
+    while (!queue_.empty() && (*queue_.begin())->when() <= limit) {
+        step();
+        ++n;
+    }
+    if (now_ < limit)
+        now_ = limit;
+    return n;
+}
+
+bool
+EventQueue::step()
+{
+    if (queue_.empty())
+        return false;
+    Event *ev = *queue_.begin();
+    queue_.erase(queue_.begin());
+    aapm_assert(ev->when_ >= now_, "time went backwards");
+    now_ = ev->when_;
+    ev->scheduled_ = false;
+    ++processed_;
+    ev->process();
+    return true;
+}
+
+} // namespace aapm

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Events are scheduled at absolute ticks; equal-tick events are ordered
+ * by priority, then by scheduling sequence number, so execution is fully
+ * deterministic.
+ */
+
+#ifndef AAPM_SIM_EVENT_QUEUE_HH
+#define AAPM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace aapm
+{
+
+class EventQueue;
+
+/**
+ * Base class for schedulable events. Derived classes implement
+ * process(); an event may be rescheduled from within its own process().
+ */
+class Event
+{
+  public:
+    /** Default priority; lower values run first at equal ticks. */
+    static constexpr int DefaultPriority = 0;
+
+    /**
+     * @param name Diagnostic name.
+     * @param priority Tie-break at equal ticks (lower runs first).
+     */
+    explicit Event(std::string name, int priority = DefaultPriority);
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Called by the queue when the event's tick is reached. */
+    virtual void process() = 0;
+
+    /** Diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** True while the event sits in a queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick the event is scheduled for (valid only when scheduled). */
+    Tick when() const { return when_; }
+
+    /** Tie-break priority. */
+    int priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    std::string name_;
+    int priority_;
+    bool scheduled_;
+    Tick when_;
+    uint64_t seq_;
+};
+
+/** An Event that invokes a bound callable. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::string name, std::function<void()> fn,
+                         int priority = DefaultPriority)
+        : Event(std::move(name), priority), fn_(std::move(fn))
+    {
+    }
+
+    void process() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * The event queue: schedules, cancels and executes events in
+ * deterministic tick/priority/sequence order.
+ */
+class EventQueue
+{
+  public:
+    EventQueue();
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule ev at absolute tick when (>= now). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove ev from the queue; panics if not scheduled. */
+    void deschedule(Event *ev);
+
+    /** Deschedule (if needed) and schedule at a new tick. */
+    void reschedule(Event *ev, Tick when);
+
+    /** Number of pending events. */
+    size_t size() const { return queue_.size(); }
+
+    /** True when no events are pending. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Tick of the next pending event; MaxTick when empty. */
+    Tick nextTick() const;
+
+    /**
+     * Execute events until the queue is empty or the next event lies
+     * beyond the limit. Events exactly at the limit ARE executed.
+     * @return Number of events processed.
+     */
+    uint64_t runUntil(Tick limit);
+
+    /** Execute exactly one event if one is pending. @return true if so. */
+    bool step();
+
+    /** Total events processed over the queue's lifetime. */
+    uint64_t processedCount() const { return processed_; }
+
+  private:
+    struct Cmp
+    {
+        bool
+        operator()(const Event *a, const Event *b) const
+        {
+            if (a->when() != b->when())
+                return a->when() < b->when();
+            if (a->priority() != b->priority())
+                return a->priority() < b->priority();
+            return a->seq_ < b->seq_;
+        }
+    };
+
+    Tick now_;
+    uint64_t nextSeq_;
+    uint64_t processed_;
+    std::set<Event *, Cmp> queue_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Simulated time base.
+ *
+ * One Tick is one picosecond, giving exact integer representation of
+ * every period of interest: 2 GHz core cycles (500 ticks), 10 ms sample
+ * intervals (1e10 ticks), and microsecond-scale DVFS transitions.
+ */
+
+#ifndef AAPM_SIM_TICKS_HH
+#define AAPM_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace aapm
+{
+
+/** Simulated time in picoseconds. */
+using Tick = uint64_t;
+
+/** The largest representable time; used as "never". */
+constexpr Tick MaxTick = ~static_cast<Tick>(0);
+
+constexpr Tick TicksPerNs = 1000ull;
+constexpr Tick TicksPerUs = 1000ull * TicksPerNs;
+constexpr Tick TicksPerMs = 1000ull * TicksPerUs;
+constexpr Tick TicksPerSec = 1000ull * TicksPerMs;
+
+/** Convert seconds (double) to ticks, rounding to nearest. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(TicksPerSec) + 0.5);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(TicksPerSec);
+}
+
+/** Clock period in ticks for a frequency in MHz (rounded). */
+constexpr Tick
+periodFromMhz(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz + 0.5);
+}
+
+} // namespace aapm
+
+#endif // AAPM_SIM_TICKS_HH

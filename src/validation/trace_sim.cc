@@ -1,0 +1,154 @@
+#include "validation/trace_sim.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+/**
+ * Fixed-depth window of outstanding-miss completion times. Issuing
+ * into a full window stalls the core until the oldest completes.
+ */
+class MissWindow
+{
+  public:
+    explicit MissWindow(size_t depth) : depth_(std::max<size_t>(1, depth))
+    {
+    }
+
+    /**
+     * Issue a miss at core time `clock` completing at `completion`.
+     * @return The (possibly advanced) core time after any stall.
+     */
+    double
+    issue(double clock, double completion)
+    {
+        if (entries_.size() >= depth_) {
+            // Stall for the oldest outstanding miss.
+            const double oldest = entries_.front();
+            entries_.erase(entries_.begin());
+            clock = std::max(clock, oldest);
+        }
+        // Retire everything that has already completed.
+        std::erase_if(entries_, [&](double t) { return t <= clock; });
+        entries_.push_back(completion);
+        return clock;
+    }
+
+    /** Core time after waiting for every outstanding miss. */
+    double
+    drain(double clock) const
+    {
+        for (double t : entries_)
+            clock = std::max(clock, t);
+        return clock;
+    }
+
+  private:
+    size_t depth_;
+    std::vector<double> entries_;
+};
+
+} // namespace
+
+TraceSimResult
+simulateLoopTiming(const LoopSpec &spec, const HierarchyConfig &hier_config,
+                   const CoreParams &core_params, double freq_ghz,
+                   uint64_t elements, uint64_t seed)
+{
+    aapm_assert(freq_ghz > 0.0, "bad frequency %f", freq_ghz);
+    aapm_assert(elements > 0, "need at least one element");
+
+    const LoopProperties &traits = loopProperties(spec.kind);
+    MemoryHierarchy hier(hier_config);
+    LoopStream stream(spec, seed);
+    Rng timeliness_rng(seed * 77 + 1);
+    std::vector<MemRef> refs;
+
+    // Latencies in core cycles at this frequency.
+    const double l2_lat = core_params.l2HitLatency;
+    const double dram_lat = core_params.dramLatencyNs * freq_ghz;
+    // DRAM bus service time per line, in core cycles.
+    const double bus_per_line = core_params.dramLineBytes /
+                                core_params.dramPeakBandwidthGBs *
+                                freq_ghz;
+
+    // Warm up the caches (timing not measured).
+    for (uint64_t i = 0; i < stream.elementsPerPass(); ++i) {
+        stream.next(refs);
+        for (const auto &r : refs)
+            hier.access(r.addr, r.write);
+    }
+    hier.resetStats();
+
+    MissWindow l2_window(static_cast<size_t>(traits.l2Mlp + 0.5));
+    MissWindow dram_window(static_cast<size_t>(traits.mlp + 0.5));
+    double clock = 0.0;
+    double bus_free = 0.0;
+    TraceSimResult result;
+
+    for (uint64_t i = 0; i < elements; ++i) {
+        // The element op's core work.
+        clock += traits.instrPerElem * traits.baseCpi;
+        stream.next(refs);
+        for (const auto &r : refs) {
+            const auto res = hier.access(r.addr, r.write);
+            // Prefetch fills consume DRAM bandwidth (no core stall).
+            if (res.prefetchFills > 0) {
+                bus_free = std::max(bus_free, clock) +
+                           res.prefetchFills * bus_per_line;
+                result.busBusyCycles +=
+                    res.prefetchFills * bus_per_line;
+            }
+            switch (res.level) {
+              case ServiceLevel::L1:
+                ++result.l1Hits;
+                break;
+              case ServiceLevel::L2: {
+                // Prefetch-covered lines hide the DRAM latency only
+                // when the prefetch was timely; late ones expose it
+                // like a demand miss (but the line is already in
+                // flight: no extra bus charge).
+                const bool timely = !res.prefetchCovered ||
+                    timeliness_rng.chance(
+                        hier_config.prefetcher.timeliness);
+                if (timely) {
+                    ++result.l2Hits;
+                    clock = l2_window.issue(clock, clock + l2_lat);
+                } else {
+                    ++result.dramAccesses;
+                    clock = dram_window.issue(clock, clock + dram_lat);
+                }
+                break;
+              }
+              case ServiceLevel::Dram: {
+                ++result.dramAccesses;
+                const double start = std::max(clock, bus_free);
+                bus_free = start + bus_per_line;
+                result.busBusyCycles += bus_per_line;
+                clock = dram_window.issue(clock, start + dram_lat);
+                break;
+              }
+            }
+        }
+        // A dependent chase consumes its load before the next element.
+        if (spec.kind == LoopKind::MloadRand)
+            clock = dram_window.drain(l2_window.drain(clock));
+    }
+    clock = dram_window.drain(l2_window.drain(clock));
+
+    result.elements = elements;
+    result.instructions =
+        static_cast<double>(elements) * traits.instrPerElem;
+    result.cycles = clock;
+    return result;
+}
+
+} // namespace aapm

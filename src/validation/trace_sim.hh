@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Trace-driven memory-timing simulator.
+ *
+ * An independent, more detailed reference model used to validate the
+ * analytical CoreModel: instead of closed-form per-instruction rates,
+ * it walks a loop's *actual address stream* through the cache
+ * hierarchy and timestamps every miss against finite miss-level
+ * parallelism windows and a DRAM bandwidth bus. The analytical model's
+ * CPI(f) must track this simulator's across loops, footprints and
+ * frequencies — checked by tests and printed by
+ * `bench_validation_model`.
+ */
+
+#ifndef AAPM_VALIDATION_TRACE_SIM_HH
+#define AAPM_VALIDATION_TRACE_SIM_HH
+
+#include <cstdint>
+
+#include "cpu/core_model.hh"
+#include "mem/hierarchy.hh"
+#include "workload/microbench.hh"
+
+namespace aapm
+{
+
+/** Result of one trace-driven simulation. */
+struct TraceSimResult
+{
+    uint64_t elements = 0;        ///< element ops executed
+    double instructions = 0.0;    ///< retired instructions
+    double cycles = 0.0;          ///< core cycles consumed
+    uint64_t l1Hits = 0;
+    uint64_t l2Hits = 0;          ///< incl. timely prefetch coverage
+    uint64_t dramAccesses = 0;    ///< demand + late-prefetch exposures
+    double busBusyCycles = 0.0;   ///< DRAM bus occupancy
+
+    /** Cycles per retired instruction. */
+    double
+    cpi() const
+    {
+        return instructions > 0.0 ? cycles / instructions : 0.0;
+    }
+
+    /** Instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles > 0.0 ? instructions / cycles : 0.0;
+    }
+};
+
+/**
+ * Simulate `elements` element-ops of a loop at the given core
+ * frequency.
+ *
+ * Timing model: an in-order core issues each element op's work
+ * (instrPerElem x baseCpi cycles), and its memory references enter the
+ * hierarchy. L2-serviced references occupy a finite overlap window of
+ * depth l2Mlp; DRAM references occupy a window of depth mlp and
+ * serialize on a shared bus with the configured peak bandwidth. When a
+ * window is full the core stalls for the oldest entry. A warmup pass
+ * establishes steady-state cache residency before measurement.
+ *
+ * @param spec Loop and footprint.
+ * @param hier_config Cache hierarchy configuration.
+ * @param core_params Latency/bandwidth parameters (shared with the
+ *        analytical model, so the comparison isolates the *structure*,
+ *        not the constants).
+ * @param freq_ghz Core frequency.
+ * @param elements Element ops to measure.
+ * @param seed Stream RNG seed.
+ */
+TraceSimResult simulateLoopTiming(const LoopSpec &spec,
+                                  const HierarchyConfig &hier_config,
+                                  const CoreParams &core_params,
+                                  double freq_ghz, uint64_t elements,
+                                  uint64_t seed = 7);
+
+} // namespace aapm
+
+#endif // AAPM_VALIDATION_TRACE_SIM_HH

@@ -1,0 +1,264 @@
+#include "workload/microbench.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+const LoopProperties &
+loopProperties(LoopKind kind)
+{
+    // Pentium M-class 3-wide core. MLOAD_RAND is a dependent pointer
+    // chase (mlp = 1); the streaming kernels overlap several misses.
+    static const LoopProperties daxpy =
+        {6.0, 3.0, 2.0, 0.75, 1.08, 1.8, 3.0, 0.04};
+    static const LoopProperties fma =
+        {5.0, 2.0, 2.0, 0.50, 1.06, 1.8, 3.0, 0.03};
+    static const LoopProperties mcopy =
+        {4.0, 2.0, 0.0, 0.70, 1.10, 2.0, 3.0, 0.05};
+    static const LoopProperties mload =
+        {7.0, 1.0, 0.0, 0.80, 1.15, 1.0, 1.0, 0.08};
+    switch (kind) {
+      case LoopKind::Daxpy:
+        return daxpy;
+      case LoopKind::Fma:
+        return fma;
+      case LoopKind::Mcopy:
+        return mcopy;
+      case LoopKind::MloadRand:
+        return mload;
+      default:
+        aapm_panic("invalid loop kind %d", static_cast<int>(kind));
+    }
+}
+
+namespace
+{
+
+constexpr uint64_t kArrayBase = 1ull << 30;
+constexpr uint64_t kElemBytes = 8;   // double
+
+uint64_t
+passElements(LoopKind kind, uint64_t footprint)
+{
+    switch (kind) {
+      case LoopKind::Daxpy:
+      case LoopKind::Mcopy:
+        return footprint / 2 / kElemBytes;
+      case LoopKind::Fma:
+        return footprint / kElemBytes / 2;
+      case LoopKind::MloadRand:
+        return footprint / kElemBytes;
+      default:
+        aapm_panic("invalid loop kind");
+    }
+}
+
+} // namespace
+
+LoopStream::LoopStream(const LoopSpec &spec, uint64_t seed)
+    : spec_(spec), rng_(seed), pass_(0), index_(0)
+{
+    if (spec_.footprintBytes < 4096)
+        aapm_fatal("footprint %llu too small",
+                   static_cast<unsigned long long>(
+                       spec_.footprintBytes));
+    pass_ = passElements(spec_.kind, spec_.footprintBytes);
+    aapm_assert(pass_ > 0, "empty pass");
+}
+
+void
+LoopStream::next(std::vector<MemRef> &out)
+{
+    out.clear();
+    const uint64_t footprint = spec_.footprintBytes;
+    // Streams wrap around their data; 4*pass keeps FMA's pair
+    // traversal aligned across wraps.
+    const uint64_t i = index_++ % (4 * pass_);
+    switch (spec_.kind) {
+      case LoopKind::Daxpy: {
+        const uint64_t n = footprint / 2 / kElemBytes;
+        const uint64_t j = i % n;
+        const uint64_t x = kArrayBase + j * kElemBytes;
+        const uint64_t y = kArrayBase + footprint / 2 + j * kElemBytes;
+        out.push_back({x, false});
+        out.push_back({y, false});
+        out.push_back({y, true});
+        break;
+      }
+      case LoopKind::Fma: {
+        const uint64_t n = footprint / kElemBytes;
+        const uint64_t j = (2 * i) % n;
+        out.push_back({kArrayBase + j * kElemBytes, false});
+        out.push_back({kArrayBase + ((j + 1) % n) * kElemBytes, false});
+        break;
+      }
+      case LoopKind::Mcopy: {
+        const uint64_t n = footprint / 2 / kElemBytes;
+        const uint64_t j = i % n;
+        out.push_back({kArrayBase + j * kElemBytes, false});
+        out.push_back(
+            {kArrayBase + footprint / 2 + j * kElemBytes, true});
+        break;
+      }
+      case LoopKind::MloadRand: {
+        const uint64_t n = footprint / kElemBytes;
+        out.push_back({kArrayBase + rng_.below(n) * kElemBytes, false});
+        break;
+      }
+      default:
+        aapm_panic("invalid loop kind");
+    }
+}
+
+const char *
+loopKindName(LoopKind kind)
+{
+    switch (kind) {
+      case LoopKind::Daxpy:
+        return "DAXPY";
+      case LoopKind::Fma:
+        return "FMA";
+      case LoopKind::Mcopy:
+        return "MCOPY";
+      case LoopKind::MloadRand:
+        return "MLOAD_RAND";
+      default:
+        aapm_panic("invalid loop kind %d", static_cast<int>(kind));
+    }
+}
+
+std::string
+LoopSpec::displayName() const
+{
+    char buf[64];
+    if (footprintBytes >= 1024 * 1024) {
+        std::snprintf(buf, sizeof(buf), "%s-%lluMB", loopKindName(kind),
+                      static_cast<unsigned long long>(
+                          footprintBytes / (1024 * 1024)));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s-%lluKB", loopKindName(kind),
+                      static_cast<unsigned long long>(
+                          footprintBytes / 1024));
+    }
+    return buf;
+}
+
+std::vector<uint64_t>
+standardFootprints()
+{
+    // L1-resident, L2-resident (the paper's FMA-256KB worst case), and
+    // DRAM-resident.
+    return {16 * 1024, 256 * 1024, 8 * 1024 * 1024};
+}
+
+Phase
+characterizeLoop(const LoopSpec &spec, const HierarchyConfig &hier_config,
+                 const CoreParams &core_params, uint64_t instructions,
+                 uint64_t seed)
+{
+    const LoopProperties &traits = loopProperties(spec.kind);
+    MemoryHierarchy hier(hier_config);
+    LoopStream stream(spec, seed);
+    std::vector<MemRef> refs;
+
+    const uint64_t pass = stream.elementsPerPass();
+
+    // Warm up with one full pass so residency reflects steady state.
+    for (uint64_t i = 0; i < pass; ++i) {
+        stream.next(refs);
+        for (const auto &r : refs)
+            hier.access(r.addr, r.write);
+    }
+    hier.resetStats();
+
+    // Measure: enough passes for stability, capped for speed.
+    const uint64_t measure_elems =
+        std::clamp<uint64_t>(2 * pass, 65536, 4'000'000);
+    uint64_t l2_covered = 0;
+    uint64_t dram_demand = 0;
+    for (uint64_t i = 0; i < measure_elems; ++i) {
+        stream.next(refs);
+        for (const auto &r : refs) {
+            const auto res = hier.access(r.addr, r.write);
+            if (res.level == ServiceLevel::Dram)
+                ++dram_demand;
+            else if (res.prefetchCovered)
+                ++l2_covered;
+        }
+    }
+
+    const auto &hs = hier.stats();
+    const double instrs =
+        static_cast<double>(measure_elems) * traits.instrPerElem;
+    const double l1_miss = static_cast<double>(hs.accesses - hs.l1Hits);
+    const double would_be_dram =
+        static_cast<double>(dram_demand + l2_covered);
+
+    Phase phase;
+    phase.name = spec.displayName();
+    phase.instructions = instructions;
+    phase.baseCpi = traits.baseCpi;
+    phase.decodeRatio = traits.decodeRatio;
+    phase.memPerInstr = traits.accessesPerElem / traits.instrPerElem;
+    phase.l1MissPerInstr = l1_miss / instrs;
+    phase.l2MissPerInstr = would_be_dram / instrs;
+    // Raw coverage from the (timing-less) cache simulation, derated by
+    // the prefetcher's timeliness: only timely prefetches hide the
+    // DRAM latency; late ones still expose it to the demand stream.
+    phase.prefetchCoverage =
+        would_be_dram > 0.0
+            ? static_cast<double>(l2_covered) / would_be_dram *
+                  hier_config.prefetcher.timeliness
+            : 0.0;
+    phase.mlp = traits.mlp;
+    phase.l2Mlp = traits.l2Mlp;
+    phase.fpPerInstr = traits.flopsPerElem / traits.instrPerElem;
+    phase.resourceStallFrac = traits.resourceStallFrac;
+
+    // Guard against measurement artifacts that would violate Phase
+    // invariants (e.g. rounding making l2Miss marginally exceed l1Miss).
+    phase.l2MissPerInstr =
+        std::min(phase.l2MissPerInstr, phase.l1MissPerInstr);
+    phase.l1MissPerInstr =
+        std::min(phase.l1MissPerInstr, phase.memPerInstr);
+
+    (void)core_params;   // bandwidth limiting lives in the core model
+    phase.validate();
+    return phase;
+}
+
+Workload
+microbenchWorkload(const LoopSpec &spec, const HierarchyConfig &hier_config,
+                   const CoreParams &core_params, uint64_t instructions,
+                   uint64_t seed)
+{
+    Workload w(spec.displayName());
+    w.add(characterizeLoop(spec, hier_config, core_params, instructions,
+                           seed));
+    return w;
+}
+
+std::vector<std::pair<LoopSpec, Phase>>
+msLoopsTrainingSet(const HierarchyConfig &hier_config,
+                   const CoreParams &core_params,
+                   uint64_t instructions_per_point)
+{
+    std::vector<std::pair<LoopSpec, Phase>> out;
+    for (LoopKind kind : {LoopKind::Daxpy, LoopKind::Fma, LoopKind::Mcopy,
+                          LoopKind::MloadRand}) {
+        for (uint64_t fp : standardFootprints()) {
+            LoopSpec spec{kind, fp};
+            out.emplace_back(spec,
+                             characterizeLoop(spec, hier_config,
+                                              core_params,
+                                              instructions_per_point));
+        }
+    }
+    return out;
+}
+
+} // namespace aapm

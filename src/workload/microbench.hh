@@ -1,0 +1,145 @@
+/**
+ * @file
+ * MS-Loops microbenchmarks (Table I of the paper): DAXPY, FMA, MCOPY
+ * and MLOAD_RAND, each configurable to an L1-, L2- or DRAM-sized data
+ * footprint.
+ *
+ * Instead of hand-typing their memory behavior, each loop's actual
+ * address stream is replayed through the modeled cache hierarchy
+ * (set-associative L1/L2 + stride prefetcher) and the measured miss and
+ * coverage rates become the loop's Phase descriptor. The 4 loops × 3
+ * footprints form the 12-point training set for the online models.
+ */
+
+#ifndef AAPM_WORKLOAD_MICROBENCH_HH
+#define AAPM_WORKLOAD_MICROBENCH_HH
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "cpu/core_model.hh"
+#include "mem/hierarchy.hh"
+#include "workload/workload.hh"
+
+namespace aapm
+{
+
+/** The four MS-Loops kernels. */
+enum class LoopKind
+{
+    Daxpy,      ///< y[i] = a*x[i] + y[i] (two streams, RMW)
+    Fma,        ///< dot-product of adjacent pairs (prefetch-friendly)
+    Mcopy,      ///< b[i] = a[i] (pure bandwidth)
+    MloadRand   ///< dependent random loads (pure latency)
+};
+
+/** Name of a loop kind ("DAXPY", ...). */
+const char *loopKindName(LoopKind kind);
+
+/** A loop at a specific data footprint. */
+struct LoopSpec
+{
+    LoopKind kind = LoopKind::Daxpy;
+    uint64_t footprintBytes = 16 * 1024;
+
+    /** "FMA-256KB"-style display name. */
+    std::string displayName() const;
+};
+
+/** The paper's three footprints: L1-, L2- and DRAM-resident. */
+std::vector<uint64_t> standardFootprints();
+
+/** Footprint-independent properties of one kernel. */
+struct LoopProperties
+{
+    double instrPerElem;      ///< retired instructions per element op
+    double accessesPerElem;   ///< loads + stores per element op
+    double flopsPerElem;
+    double baseCpi;           ///< all-L1-hit CPI
+    double decodeRatio;
+    double mlp;               ///< DRAM-miss overlap window
+    double l2Mlp;             ///< L2-serviced overlap window
+    double resourceStallFrac;
+};
+
+/** Static properties of a kernel. */
+const LoopProperties &loopProperties(LoopKind kind);
+
+/** One memory reference of a loop's element stream. */
+struct MemRef
+{
+    uint64_t addr;
+    bool write;
+};
+
+/**
+ * Generator for a loop's actual address stream, element op by element
+ * op — shared by the cache-simulation characterization and the
+ * trace-driven timing simulator.
+ */
+class LoopStream
+{
+  public:
+    /**
+     * @param spec Loop and footprint.
+     * @param seed RNG seed (MLOAD_RAND's index stream).
+     */
+    explicit LoopStream(const LoopSpec &spec, uint64_t seed = 7);
+
+    /** Append the next element op's references to `out` (cleared). */
+    void next(std::vector<MemRef> &out);
+
+    /** Element ops in one full pass over the data. */
+    uint64_t elementsPerPass() const { return pass_; }
+
+    /** Elements generated so far. */
+    uint64_t generated() const { return index_; }
+
+    /** The loop being generated. */
+    const LoopSpec &spec() const { return spec_; }
+
+  private:
+    LoopSpec spec_;
+    Rng rng_;
+    uint64_t pass_;
+    uint64_t index_;
+};
+
+/**
+ * Characterize a loop by cache simulation: replay its address stream
+ * through the given hierarchy and convert the measured rates into a
+ * Phase of the requested instruction count.
+ *
+ * @param spec Loop and footprint.
+ * @param hier_config Cache hierarchy to characterize against.
+ * @param core_params Core parameters (for the bandwidth clamp).
+ * @param instructions Phase length in retired instructions.
+ * @param seed RNG seed for MLOAD_RAND's index stream.
+ */
+Phase characterizeLoop(const LoopSpec &spec,
+                       const HierarchyConfig &hier_config,
+                       const CoreParams &core_params,
+                       uint64_t instructions, uint64_t seed = 7);
+
+/**
+ * Single-phase workload wrapping characterizeLoop().
+ * @param instructions Total retired instructions for the workload.
+ */
+Workload microbenchWorkload(const LoopSpec &spec,
+                            const HierarchyConfig &hier_config,
+                            const CoreParams &core_params,
+                            uint64_t instructions, uint64_t seed = 7);
+
+/**
+ * The full 12-point MS-Loops training set (4 loops × 3 footprints),
+ * each phase sized to the given instruction count.
+ */
+std::vector<std::pair<LoopSpec, Phase>>
+msLoopsTrainingSet(const HierarchyConfig &hier_config,
+                   const CoreParams &core_params,
+                   uint64_t instructions_per_point);
+
+} // namespace aapm
+
+#endif // AAPM_WORKLOAD_MICROBENCH_HH

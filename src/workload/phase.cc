@@ -1,0 +1,65 @@
+#include "workload/phase.hh"
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+void
+Phase::validate() const
+{
+    if (instructions == 0)
+        aapm_fatal("phase '%s': zero instructions", name.c_str());
+    if (baseCpi <= 0.0)
+        aapm_fatal("phase '%s': baseCpi must be positive", name.c_str());
+    if (decodeRatio < 1.0)
+        aapm_fatal("phase '%s': decodeRatio %f < 1", name.c_str(),
+                   decodeRatio);
+    if (memPerInstr < 0.0 || memPerInstr > 3.0)
+        aapm_fatal("phase '%s': memPerInstr %f out of range",
+                   name.c_str(), memPerInstr);
+    if (l1MissPerInstr < 0.0 || l1MissPerInstr > memPerInstr + 1e-12)
+        aapm_fatal("phase '%s': l1MissPerInstr %f exceeds memPerInstr %f",
+                   name.c_str(), l1MissPerInstr, memPerInstr);
+    if (l2MissPerInstr < 0.0 || l2MissPerInstr > l1MissPerInstr + 1e-12)
+        aapm_fatal("phase '%s': l2MissPerInstr %f exceeds l1MissPerInstr "
+                   "%f", name.c_str(), l2MissPerInstr, l1MissPerInstr);
+    if (prefetchCoverage < 0.0 || prefetchCoverage > 1.0)
+        aapm_fatal("phase '%s': prefetchCoverage %f out of [0,1]",
+                   name.c_str(), prefetchCoverage);
+    if (mlp < 1.0)
+        aapm_fatal("phase '%s': mlp %f < 1", name.c_str(), mlp);
+    if (l2Mlp < 1.0)
+        aapm_fatal("phase '%s': l2Mlp %f < 1", name.c_str(), l2Mlp);
+    if (fpPerInstr < 0.0 || fpPerInstr > 2.0)
+        aapm_fatal("phase '%s': fpPerInstr %f out of range",
+                   name.c_str(), fpPerInstr);
+    if (resourceStallFrac < 0.0 || resourceStallFrac > 1.0)
+        aapm_fatal("phase '%s': resourceStallFrac %f out of [0,1]",
+                   name.c_str(), resourceStallFrac);
+}
+
+double
+Phase::l2ServicedPerInstr() const
+{
+    return (l1MissPerInstr - l2MissPerInstr) +
+           l2MissPerInstr * prefetchCoverage;
+}
+
+double
+Phase::dramDemandPerInstr() const
+{
+    return l2MissPerInstr * (1.0 - prefetchCoverage);
+}
+
+double
+Phase::dramTrafficPerInstr() const
+{
+    // Prefetched lines still cross the DRAM bus; add a small waste
+    // factor for inaccurate prefetches.
+    constexpr double prefetch_waste = 1.10;
+    return l2MissPerInstr * (1.0 - prefetchCoverage) +
+           l2MissPerInstr * prefetchCoverage * prefetch_waste;
+}
+
+} // namespace aapm

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Phase descriptors: the unit of workload behavior.
+ *
+ * A phase summarizes a stretch of execution by its per-instruction
+ * microarchitectural rates. The analytical core model turns a phase +
+ * p-state into timing and PMU event rates; the ground-truth power model
+ * turns the same activity into Watts. Workloads are sequences of phases,
+ * which is how phase-alternating (ammp) and bursty (galgel) behavior is
+ * expressed.
+ */
+
+#ifndef AAPM_WORKLOAD_PHASE_HH
+#define AAPM_WORKLOAD_PHASE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace aapm
+{
+
+/**
+ * Per-instruction characteristics of one execution phase.
+ *
+ * All rates are averages per *retired* instruction unless stated
+ * otherwise. The decode stream (speculative) is wider than the
+ * retirement stream by decodeRatio.
+ */
+struct Phase
+{
+    /** Diagnostic name ("compute", "stream", ...). */
+    std::string name = "phase";
+
+    /** Retired instructions in one occurrence of this phase. */
+    uint64_t instructions = 0;
+
+    /**
+     * Core cycles per instruction when every memory access hits in L1
+     * (includes branch-misprediction and dependency effects).
+     */
+    double baseCpi = 1.0;
+
+    /** Decoded instructions per retired instruction (>= 1). */
+    double decodeRatio = 1.3;
+
+    /** Loads + stores per instruction. */
+    double memPerInstr = 0.4;
+
+    /** L1D misses per instruction (<= memPerInstr). */
+    double l1MissPerInstr = 0.0;
+
+    /** L2 misses (lines fetched from DRAM) per instr (<= l1Miss). */
+    double l2MissPerInstr = 0.0;
+
+    /**
+     * Fraction of would-be DRAM misses whose latency is hidden by the
+     * hardware prefetcher (the demand access then sees ~L2 latency).
+     * The lines still consume DRAM bandwidth.
+     */
+    double prefetchCoverage = 0.0;
+
+    /** Memory-level parallelism for DRAM misses (>= 1). */
+    double mlp = 1.5;
+
+    /** Overlap factor for L2-serviced accesses (>= 1). */
+    double l2Mlp = 2.0;
+
+    /** Floating-point operations per instruction (power proxy). */
+    double fpPerInstr = 0.0;
+
+    /**
+     * Fraction of non-memory cycles spent in resource (ROB/RS-full)
+     * stalls; feeds the Resource Stalls PMU event.
+     */
+    double resourceStallFrac = 0.05;
+
+    /**
+     * OS-idle phase (halt loop): the clock is gated, the scheduler
+     * reports the time as idle, and utilization-driven governors (DBS)
+     * see it. The paper's SPEC runs are always busy; idle phases model
+     * the under-utilized systems those governors were built for.
+     */
+    bool idle = false;
+
+    /** fatal() unless all fields are in their legal ranges. */
+    void validate() const;
+
+    /** L2-serviced accesses per instr (L2 hits + prefetch-covered). */
+    double l2ServicedPerInstr() const;
+
+    /** Demand DRAM accesses (full latency exposed) per instruction. */
+    double dramDemandPerInstr() const;
+
+    /** Total DRAM line traffic per instr (demand + prefetched lines). */
+    double dramTrafficPerInstr() const;
+};
+
+} // namespace aapm
+
+#endif // AAPM_WORKLOAD_PHASE_HH

@@ -1,0 +1,322 @@
+#include "workload/spec_suite.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+/**
+ * Phase recipe: per-instruction characteristics plus a nominal duration
+ * (seconds at 2 GHz) used to size the phase in instructions.
+ */
+struct PhaseRecipe
+{
+    const char *name;
+    double seconds;      ///< nominal duration of one occurrence at 2 GHz
+    double baseCpi;
+    double decodeRatio;
+    double memPerInstr;
+    double l1Miss;
+    double l2Miss;
+    double pfCov;
+    double mlp;
+    double l2Mlp;
+    double fp;
+    double rsFrac;
+};
+
+struct BenchRecipe
+{
+    const char *name;
+    std::vector<PhaseRecipe> phases;
+};
+
+/**
+ * The proxy table. Comments give the role each benchmark plays in the
+ * paper's figures.
+ */
+const std::vector<BenchRecipe> &
+recipes()
+{
+    static const std::vector<BenchRecipe> table = {
+        // ---- CINT2000 ----
+        // gzip: moderately core-bound integer code, mid power.
+        {"gzip", {
+            {"compress", 0.4, 0.75, 1.28, 0.38, 0.020, 0.0040, 0.30,
+             2.0, 2.0, 0.00, 0.06},
+            {"huffman", 0.2, 0.68, 1.30, 0.34, 0.012, 0.0015, 0.30,
+             2.0, 2.0, 0.00, 0.05},
+        }},
+        // vpr: place & route, pointer-heavy, mid-memory.
+        {"vpr", {
+            {"place", 0.5, 0.88, 1.30, 0.42, 0.030, 0.0070, 0.20,
+             1.7, 1.8, 0.02, 0.08},
+            {"route", 0.3, 0.92, 1.28, 0.44, 0.036, 0.0090, 0.18,
+             1.6, 1.8, 0.02, 0.08},
+        }},
+        // gcc: large instruction working set, bursty decode.
+        {"gcc", {
+            {"parse", 0.3, 0.80, 1.38, 0.40, 0.035, 0.0080, 0.25,
+             1.8, 2.0, 0.00, 0.07},
+            {"optimize", 0.4, 0.74, 1.42, 0.36, 0.025, 0.0050, 0.25,
+             1.8, 2.0, 0.00, 0.06},
+        }},
+        // mcf: the classic DRAM-latency-bound pointer chaser; one of the
+        // paper's "in-between" PS violators (true scaling worse than
+        // the 0.81-exponent model predicts).
+        {"mcf", {
+            {"simplex", 0.6, 0.90, 1.30, 0.48, 0.090, 0.0300, 0.10,
+             1.15, 1.8, 0.00, 0.12},
+        }},
+        // crafty: chess search — the highest-power SPEC workload
+        // (deep speculation, high decode rate, L1/L2 resident).
+        {"crafty", {
+            {"search", 0.5, 0.55, 1.62, 0.40, 0.012, 0.0010, 0.20,
+             2.0, 2.0, 0.00, 0.04},
+        }},
+        // parser: dictionary lookups, mid-memory integer.
+        {"parser", {
+            {"parse", 0.5, 0.85, 1.32, 0.42, 0.030, 0.0060, 0.20,
+             1.7, 1.9, 0.00, 0.08},
+        }},
+        // eon: C++ ray tracer, core-bound, moderate power.
+        {"eon", {
+            {"render", 0.5, 0.70, 1.22, 0.36, 0.006, 0.0010, 0.20,
+             2.0, 2.0, 0.15, 0.04},
+        }},
+        // perlbmk: interpreter dispatch — with crafty the highest
+        // average power in the suite.
+        {"perlbmk", {
+            {"interp", 0.5, 0.58, 1.58, 0.42, 0.010, 0.0020, 0.25,
+             2.0, 2.0, 0.00, 0.04},
+        }},
+        // gap: the paper's Fig 2 "in-between" example.
+        {"gap", {
+            {"groups", 0.5, 0.80, 1.25, 0.40, 0.030, 0.0120, 0.35,
+             2.0, 2.0, 0.05, 0.07},
+        }},
+        // vortex: OO database, core-leaning integer.
+        {"vortex", {
+            {"oodb", 0.5, 0.75, 1.35, 0.40, 0.025, 0.0050, 0.25,
+             1.9, 2.0, 0.00, 0.06},
+        }},
+        // bzip2: high activity, slightly below crafty/perlbmk in power.
+        {"bzip2", {
+            {"sort", 0.4, 0.66, 1.45, 0.40, 0.028, 0.0060, 0.30,
+             2.0, 2.0, 0.00, 0.06},
+            {"entropy", 0.3, 0.62, 1.42, 0.36, 0.015, 0.0020, 0.30,
+             2.0, 2.0, 0.00, 0.05},
+        }},
+        // twolf: place & route, core-leaning.
+        {"twolf", {
+            {"anneal", 0.5, 0.85, 1.30, 0.42, 0.030, 0.0040, 0.20,
+             1.8, 2.0, 0.02, 0.07},
+        }},
+        // ---- CFP2000 ----
+        // wupwise: QCD, mixed FP with prefetch-friendly streams.
+        {"wupwise", {
+            {"zgemm", 0.5, 0.65, 1.15, 0.40, 0.030, 0.0120, 0.50,
+             2.5, 2.5, 0.40, 0.05},
+        }},
+        // swim: shallow-water stencil — the paper's canonical
+        // memory-bound extreme (no benefit from frequency).
+        {"swim", {
+            {"stencil", 0.6, 0.55, 1.12, 0.45, 0.070, 0.0650, 0.35,
+             1.3, 2.5, 0.30, 0.10},
+        }},
+        // mgrid: multigrid, streaming FP with good prefetch.
+        {"mgrid", {
+            {"relax", 0.5, 0.70, 1.10, 0.42, 0.050, 0.0180, 0.60,
+             2.5, 2.5, 0.45, 0.06},
+        }},
+        // applu: memory-bound PDE solver.
+        {"applu", {
+            {"ssor", 0.6, 0.55, 1.12, 0.44, 0.065, 0.0550, 0.35,
+             1.3, 2.5, 0.38, 0.09},
+        }},
+        // mesa: software rasterizer, core-bound FP.
+        {"mesa", {
+            {"raster", 0.5, 0.68, 1.25, 0.38, 0.008, 0.0020, 0.25,
+             2.0, 2.0, 0.25, 0.04},
+        }},
+        // galgel: bursty — alternates L2-resident high-power FP blocks
+        // with memory-bound spells at ~10 ms granularity; exceeds the
+        // worst-case microbenchmark in individual samples.
+        {"galgel", {
+            // Dense FP blocks with heavy L2 traffic but a *low* decode
+            // rate: the DPC power model structurally under-predicts
+            // bursts, making galgel the paper's one PM violator and
+            // the top of the 10 ms sample distribution. Short bursts
+            // are absorbed by PM's 100 ms raise window; the occasional
+            // long burst lures PM up to an unsafe p-state, producing
+            // the ~10%-of-runtime violations the paper reports. The
+            // hot high-decode drain phase is predicted accurately and
+            // knocks the frequency back down. Built by galgelRecipe().
+        }},
+        // art: neural-net simulation — the paper's strongest PS
+        // violator: classified memory-bound but with substantial
+        // core-scaling behavior.
+        {"art", {
+            {"match", 0.6, 0.78, 1.15, 0.46, 0.070, 0.0120, 0.20,
+             1.5, 2.0, 0.30, 0.08},
+        }},
+        // equake: sparse-matrix earthquake sim, memory-bound.
+        {"equake", {
+            {"smvp", 0.6, 0.70, 1.20, 0.46, 0.055, 0.0480, 0.25,
+             1.25, 2.2, 0.25, 0.10},
+        }},
+        // facerec: FFT-ish FP, mid-memory.
+        {"facerec", {
+            {"graph", 0.5, 0.72, 1.15, 0.40, 0.040, 0.0150, 0.50,
+             2.3, 2.4, 0.35, 0.06},
+        }},
+        // ammp: molecular dynamics — the paper's trace example: clear
+        // alternation between memory-bound neighbor-list rebuilds and
+        // core-bound force computation (Figs 5 and 8).
+        {"ammp", {
+            {"mm-fv-update", 0.35, 0.65, 1.18, 0.44, 0.060, 0.0450,
+             0.30, 1.3, 2.2, 0.30, 0.09},
+            {"force-eval", 0.65, 0.62, 1.22, 0.38, 0.010, 0.0015,
+             0.25, 2.0, 2.0, 0.40, 0.04},
+        }},
+        // lucas: Lucas-Lehmer FFT, memory-bound.
+        {"lucas", {
+            {"fft", 0.6, 0.60, 1.10, 0.42, 0.065, 0.0580, 0.35,
+             1.35, 2.4, 0.28, 0.09},
+        }},
+        // fma3d: crash simulation, mid FP.
+        {"fma3d", {
+            {"elements", 0.5, 0.75, 1.20, 0.40, 0.030, 0.0100, 0.40,
+             2.1, 2.2, 0.35, 0.06},
+        }},
+        // sixtrack: particle tracking — the paper's core-bound extreme
+        // (performance scales linearly with frequency).
+        {"sixtrack", {
+            {"track", 0.5, 0.62, 1.08, 0.36, 0.004, 0.0005, 0.20,
+             2.0, 2.0, 0.30, 0.03},
+        }},
+        // apsi: pollution modeling, mid FP.
+        {"apsi", {
+            {"psim", 0.5, 0.78, 1.18, 0.42, 0.040, 0.0120, 0.40,
+             2.1, 2.2, 0.35, 0.06},
+        }},
+    };
+    return table;
+}
+
+/**
+ * galgel's structured burst pattern (see the recipe-table comment):
+ * ten short (8 ms) high-power FP bursts separated by hot but
+ * accurately-predicted drain phases, then one long (115 ms) burst that
+ * outlasts PM's 100 ms raise window.
+ */
+std::vector<PhaseRecipe>
+galgelRecipe()
+{
+    const PhaseRecipe burst = {"burst", 0.008, 0.50, 1.05, 0.45, 0.120,
+                               0.0020, 0.50, 2.5, 2.8, 1.00, 0.03};
+    const PhaseRecipe drain = {"drain", 0.017, 0.70, 1.85, 0.44, 0.050,
+                               0.0080, 0.35, 2.2, 2.2, 0.30, 0.06};
+    PhaseRecipe long_burst = burst;
+    long_burst.name = "long-burst";
+    long_burst.seconds = 0.115;
+
+    std::vector<PhaseRecipe> phases;
+    for (int i = 0; i < 20; ++i) {
+        phases.push_back(burst);
+        phases.push_back(drain);
+    }
+    phases.push_back(long_burst);
+    phases.push_back(drain);
+    return phases;
+}
+
+Phase
+buildPhase(const PhaseRecipe &r, const CoreParams &core_params)
+{
+    Phase p;
+    p.name = r.name;
+    p.baseCpi = r.baseCpi;
+    p.decodeRatio = r.decodeRatio;
+    p.memPerInstr = r.memPerInstr;
+    p.l1MissPerInstr = r.l1Miss;
+    p.l2MissPerInstr = r.l2Miss;
+    p.prefetchCoverage = r.pfCov;
+    p.mlp = r.mlp;
+    p.l2Mlp = r.l2Mlp;
+    p.fpPerInstr = r.fp;
+    p.resourceStallFrac = r.rsFrac;
+
+    // Size the phase so one occurrence lasts ~r.seconds at 2 GHz.
+    CoreModel model(core_params);
+    p.instructions = 1;   // placeholder so validate()/ipc() can run
+    const double ips = model.instrPerSec(p, 2.0);
+    p.instructions =
+        std::max<uint64_t>(1000, static_cast<uint64_t>(ips * r.seconds));
+    p.validate();
+    return p;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+specSuiteNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &r : recipes())
+            v.push_back(r.name);
+        return v;
+    }();
+    return names;
+}
+
+bool
+isSpecBenchmark(const std::string &name)
+{
+    const auto &names = specSuiteNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+Workload
+specWorkload(const std::string &name, const CoreParams &core_params,
+             double target_seconds)
+{
+    if (target_seconds <= 0.0)
+        aapm_fatal("target duration must be positive");
+    for (const auto &r : recipes()) {
+        if (name != r.name)
+            continue;
+        Workload w(r.name);
+        double iter_seconds = 0.0;
+        const std::vector<PhaseRecipe> phases =
+            r.phases.empty() ? galgelRecipe() : r.phases;
+        for (const auto &pr : phases) {
+            w.add(buildPhase(pr, core_params));
+            iter_seconds += pr.seconds;
+        }
+        const uint64_t reps = std::max<uint64_t>(
+            1, static_cast<uint64_t>(
+                   std::llround(target_seconds / iter_seconds)));
+        w.setRepeats(reps);
+        return w;
+    }
+    aapm_fatal("unknown SPEC benchmark '%s'", name.c_str());
+}
+
+std::vector<Workload>
+specSuite(const CoreParams &core_params, double target_seconds)
+{
+    std::vector<Workload> suite;
+    for (const auto &name : specSuiteNames())
+        suite.push_back(specWorkload(name, core_params, target_seconds));
+    return suite;
+}
+
+} // namespace aapm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic SPEC CPU2000 proxy suite.
+ *
+ * The paper evaluates PM and PS on the 26-benchmark SPEC CPU2000 suite
+ * on real hardware. The binaries and inputs are not available here, so
+ * each benchmark is modeled as a calibrated phase sequence that places
+ * it where the paper reports it on the two axes that drive every
+ * result:
+ *
+ *  - memory-boundedness (swim/lucas/equake/mcf/applu/art stall on DRAM;
+ *    perlbmk/mesa/eon/crafty/sixtrack are core-bound; the rest sit in
+ *    between, with art and mcf in the "in-between" region where the
+ *    paper's single-exponent performance model errs), and
+ *  - power at fixed frequency (crafty and perlbmk highest, then galgel
+ *    — which is bursty, exceeding the worst-case microbenchmark in
+ *    individual 10 ms samples; memory-bound codes lowest).
+ *
+ * Phase-alternating behavior (ammp) and 10 ms-scale burstiness (galgel)
+ * are expressed through the phase structure itself.
+ */
+
+#ifndef AAPM_WORKLOAD_SPEC_SUITE_HH
+#define AAPM_WORKLOAD_SPEC_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/core_model.hh"
+#include "workload/workload.hh"
+
+namespace aapm
+{
+
+/** All 26 SPEC CPU2000 benchmark names (12 CINT + 14 CFP). */
+const std::vector<std::string> &specSuiteNames();
+
+/** True if the given name is in the suite. */
+bool isSpecBenchmark(const std::string &name);
+
+/**
+ * Build the proxy workload for one benchmark.
+ *
+ * @param name Benchmark name, e.g. "swim".
+ * @param core_params Core parameters (used to size the run).
+ * @param target_seconds Approximate duration at the 2 GHz p-state.
+ */
+Workload specWorkload(const std::string &name,
+                      const CoreParams &core_params,
+                      double target_seconds = 20.0);
+
+/** Build every benchmark in suite order. */
+std::vector<Workload> specSuite(const CoreParams &core_params,
+                                double target_seconds = 20.0);
+
+} // namespace aapm
+
+#endif // AAPM_WORKLOAD_SPEC_SUITE_HH

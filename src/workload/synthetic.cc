@@ -1,0 +1,79 @@
+#include "workload/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+Phase
+idlePhase(double seconds, const CoreParams &core_params, double freq_ghz)
+{
+    if (seconds <= 0.0)
+        aapm_fatal("idle duration must be positive");
+    Phase p;
+    p.name = "idle";
+    p.idle = true;
+    p.baseCpi = 50.0;       // one timer wake-up per ~50 (gated) cycles
+    p.decodeRatio = 1.0;
+    p.memPerInstr = 0.0;
+    p.l1MissPerInstr = 0.0;
+    p.l2MissPerInstr = 0.0;
+    p.fpPerInstr = 0.0;
+    p.resourceStallFrac = 0.0;
+    CoreModel model(core_params);
+    p.instructions = std::max<uint64_t>(
+        1000, static_cast<uint64_t>(
+                  model.instrPerSec(p, freq_ghz) * seconds));
+    p.validate();
+    return p;
+}
+
+Workload
+dutyCycledWorkload(const std::string &name, Phase busy, double duty,
+                   double period_s, double total_s,
+                   const CoreParams &core_params, double freq_ghz)
+{
+    if (duty <= 0.0 || duty > 1.0)
+        aapm_fatal("duty %f out of (0, 1]", duty);
+    if (period_s <= 0.0 || total_s < period_s)
+        aapm_fatal("bad period/total (%f / %f s)", period_s, total_s);
+
+    CoreModel model(core_params);
+    busy.name = name + "-busy";
+    busy.idle = false;
+    busy.instructions = std::max<uint64_t>(
+        1000, static_cast<uint64_t>(model.instrPerSec(busy, freq_ghz) *
+                                    period_s * duty));
+    busy.validate();
+
+    const uint64_t periods = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(total_s / period_s)));
+    Workload w(name, periods);
+    w.add(busy);
+    if (duty < 1.0)
+        w.add(idlePhase(period_s * (1.0 - duty), core_params,
+                        freq_ghz));
+    return w;
+}
+
+Workload
+steadyWorkload(const std::string &name, Phase phase, double seconds,
+               const CoreParams &core_params, double freq_ghz)
+{
+    if (seconds <= 0.0)
+        aapm_fatal("duration must be positive");
+    CoreModel model(core_params);
+    phase.name = name;
+    phase.instructions = std::max<uint64_t>(
+        1000, static_cast<uint64_t>(
+                  model.instrPerSec(phase, freq_ghz) * seconds));
+    phase.validate();
+    Workload w(name);
+    w.add(phase);
+    return w;
+}
+
+} // namespace aapm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Synthetic workload constructors: idle phases and duty-cycled
+ * (partially-loaded) workloads.
+ *
+ * The paper's evaluation keeps the system 100% busy — which is exactly
+ * the regime where utilization-driven DVFS (Intel DBS, Linux ondemand)
+ * saves nothing and PowerSave earns its keep. These helpers build the
+ * under-utilized workloads that separate the two regimes.
+ */
+
+#ifndef AAPM_WORKLOAD_SYNTHETIC_HH
+#define AAPM_WORKLOAD_SYNTHETIC_HH
+
+#include "cpu/core_model.hh"
+#include "workload/phase.hh"
+#include "workload/workload.hh"
+
+namespace aapm
+{
+
+/**
+ * An OS-idle (halt-loop) phase lasting approximately the given time at
+ * the given frequency. Idle time is frequency-invariant in wall-clock
+ * terms (the OS sleeps for a duration, not an instruction count), so
+ * size it at the frequency the surrounding experiment runs at.
+ *
+ * @param seconds Idle duration.
+ * @param core_params Core parameters used to size the halt loop.
+ * @param freq_ghz Frequency the duration is calibrated at.
+ */
+Phase idlePhase(double seconds, const CoreParams &core_params,
+                double freq_ghz = 2.0);
+
+/**
+ * Interleave a busy phase with idle time at the given duty cycle:
+ * each period is `duty` busy and `1 - duty` idle.
+ *
+ * @param name Workload name.
+ * @param busy The busy phase (its `instructions` field is ignored).
+ * @param duty Busy fraction in (0, 1].
+ * @param period_s Alternation period, seconds at `freq_ghz`.
+ * @param total_s Total workload duration, seconds at `freq_ghz`.
+ * @param core_params Core parameters used for sizing.
+ * @param freq_ghz Calibration frequency.
+ */
+Workload dutyCycledWorkload(const std::string &name, Phase busy,
+                            double duty, double period_s,
+                            double total_s,
+                            const CoreParams &core_params,
+                            double freq_ghz = 2.0);
+
+/**
+ * A steady single-phase workload of the given duration — convenient
+ * for property tests and governor experiments.
+ */
+Workload steadyWorkload(const std::string &name, Phase phase,
+                        double seconds, const CoreParams &core_params,
+                        double freq_ghz = 2.0);
+
+} // namespace aapm
+
+#endif // AAPM_WORKLOAD_SYNTHETIC_HH

@@ -1,0 +1,118 @@
+#include "workload/workload.hh"
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+Workload::Workload(std::string name, uint64_t repeats)
+    : name_(std::move(name)), repeats_(repeats)
+{
+    if (repeats_ == 0)
+        aapm_fatal("workload '%s': repeats must be >= 1", name_.c_str());
+}
+
+Workload &
+Workload::add(Phase phase)
+{
+    phase.validate();
+    phases_.push_back(std::move(phase));
+    return *this;
+}
+
+void
+Workload::setRepeats(uint64_t repeats)
+{
+    if (repeats == 0)
+        aapm_fatal("workload '%s': repeats must be >= 1", name_.c_str());
+    repeats_ = repeats;
+}
+
+uint64_t
+Workload::instructionsPerIteration() const
+{
+    uint64_t total = 0;
+    for (const auto &p : phases_)
+        total += p.instructions;
+    return total;
+}
+
+uint64_t
+Workload::totalInstructions() const
+{
+    return instructionsPerIteration() * repeats_;
+}
+
+WorkloadCursor::WorkloadCursor(const Workload &workload)
+    : workload_(&workload), phaseIdx_(0), iter_(0), intoPhase_(0),
+      retired_(0)
+{
+    aapm_assert(!workload.phases().empty(),
+                "workload '%s' has no phases", workload.name().c_str());
+}
+
+bool
+WorkloadCursor::done() const
+{
+    return iter_ >= workload_->repeats();
+}
+
+const Phase &
+WorkloadCursor::currentPhase() const
+{
+    aapm_assert(!done(), "cursor past end of workload '%s'",
+                workload_->name().c_str());
+    return workload_->phases()[phaseIdx_];
+}
+
+uint64_t
+WorkloadCursor::remainingInPhase() const
+{
+    return currentPhase().instructions - intoPhase_;
+}
+
+void
+WorkloadCursor::retire(uint64_t n)
+{
+    aapm_assert(n <= remainingInPhase(),
+                "retiring %llu > remaining %llu",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(remainingInPhase()));
+    intoPhase_ += n;
+    retired_ += n;
+    if (intoPhase_ == currentPhase().instructions) {
+        intoPhase_ = 0;
+        ++phaseIdx_;
+        if (phaseIdx_ == workload_->phases().size()) {
+            phaseIdx_ = 0;
+            ++iter_;
+        }
+    }
+}
+
+double
+WorkloadCursor::progress() const
+{
+    const uint64_t total = workload_->totalInstructions();
+    return total > 0
+        ? static_cast<double>(retired_) / static_cast<double>(total)
+        : 1.0;
+}
+
+void
+WorkloadCursor::reset()
+{
+    phaseIdx_ = 0;
+    iter_ = 0;
+    intoPhase_ = 0;
+    retired_ = 0;
+}
+
+void
+WorkloadCursor::skipEmptyPhases()
+{
+    // Phases are validated to be non-empty; nothing to do. Kept for
+    // interface stability if zero-length phases are ever allowed.
+}
+
+} // namespace aapm

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Workload: a named, repeatable sequence of phases plus a cursor type
+ * the core model uses to execute it.
+ */
+
+#ifndef AAPM_WORKLOAD_WORKLOAD_HH
+#define AAPM_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/phase.hh"
+
+namespace aapm
+{
+
+/**
+ * A workload is an ordered phase list executed `repeats` times. Phase
+ * boundaries are the only points where behavior changes, so bursty or
+ * phase-alternating programs are built from short alternating phases.
+ */
+class Workload
+{
+  public:
+    /** Empty workload; add phases before use. */
+    explicit Workload(std::string name = "workload", uint64_t repeats = 1);
+
+    /** Append a phase (validated). @return *this for chaining. */
+    Workload &add(Phase phase);
+
+    /** Workload name. */
+    const std::string &name() const { return name_; }
+
+    /** Number of times the phase list is executed. */
+    uint64_t repeats() const { return repeats_; }
+
+    /** Set the repeat count (>= 1). */
+    void setRepeats(uint64_t repeats);
+
+    /** The phase list (one iteration). */
+    const std::vector<Phase> &phases() const { return phases_; }
+
+    /** Retired instructions in one iteration of the phase list. */
+    uint64_t instructionsPerIteration() const;
+
+    /** Total retired instructions over all repeats. */
+    uint64_t totalInstructions() const;
+
+    /**
+     * Instruction-weighted average of an arbitrary per-phase quantity.
+     * @param fn Maps a phase to the quantity being averaged.
+     */
+    template <typename Fn>
+    double
+    weightedAverage(Fn fn) const
+    {
+        double acc = 0.0;
+        uint64_t instrs = 0;
+        for (const auto &p : phases_) {
+            acc += fn(p) * static_cast<double>(p.instructions);
+            instrs += p.instructions;
+        }
+        return instrs > 0 ? acc / static_cast<double>(instrs) : 0.0;
+    }
+
+  private:
+    std::string name_;
+    uint64_t repeats_;
+    std::vector<Phase> phases_;
+};
+
+/**
+ * Execution cursor over a Workload: tracks the current phase and the
+ * instructions still to retire within it.
+ */
+class WorkloadCursor
+{
+  public:
+    /** Cursor at the start of the given workload. */
+    explicit WorkloadCursor(const Workload &workload);
+
+    /** True when every repeat of every phase has been retired. */
+    bool done() const;
+
+    /** The phase the cursor currently sits in; panics when done. */
+    const Phase &currentPhase() const;
+
+    /** Instructions remaining in the current phase occurrence. */
+    uint64_t remainingInPhase() const;
+
+    /**
+     * Retire n instructions from the current phase; n must not exceed
+     * remainingInPhase(). Advances to the next phase (and repeat) when
+     * the phase is exhausted.
+     */
+    void retire(uint64_t n);
+
+    /** Total instructions retired so far. */
+    uint64_t retired() const { return retired_; }
+
+    /** Fraction of the workload completed, in [0,1]. */
+    double progress() const;
+
+    /** Rewind to the start. */
+    void reset();
+
+  private:
+    void skipEmptyPhases();
+
+    const Workload *workload_;
+    size_t phaseIdx_;
+    uint64_t iter_;
+    uint64_t intoPhase_;
+    uint64_t retired_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_WORKLOAD_WORKLOAD_HH

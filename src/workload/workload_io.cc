@@ -1,0 +1,163 @@
+#include "workload/workload_io.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+/** Apply one `key value` pair to a phase. @return false if unknown. */
+bool
+applyKey(Phase &phase, const std::string &key, const std::string &value)
+{
+    auto num = [&] {
+        char *end = nullptr;
+        const double v = std::strtod(value.c_str(), &end);
+        if (!end || *end != '\0')
+            aapm_fatal("bad numeric value '%s' for key '%s'",
+                       value.c_str(), key.c_str());
+        return v;
+    };
+    if (key == "instructions")
+        phase.instructions = static_cast<uint64_t>(num());
+    else if (key == "baseCpi")
+        phase.baseCpi = num();
+    else if (key == "decodeRatio")
+        phase.decodeRatio = num();
+    else if (key == "memPerInstr")
+        phase.memPerInstr = num();
+    else if (key == "l1Miss")
+        phase.l1MissPerInstr = num();
+    else if (key == "l2Miss")
+        phase.l2MissPerInstr = num();
+    else if (key == "coverage")
+        phase.prefetchCoverage = num();
+    else if (key == "mlp")
+        phase.mlp = num();
+    else if (key == "l2Mlp")
+        phase.l2Mlp = num();
+    else if (key == "fp")
+        phase.fpPerInstr = num();
+    else if (key == "rsFrac")
+        phase.resourceStallFrac = num();
+    else if (key == "idle")
+        phase.idle = num() != 0.0;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+Workload
+parseWorkload(std::istream &in)
+{
+    std::string name = "workload";
+    uint64_t repeats = 1;
+    std::vector<Phase> phases;
+    std::string line;
+    int lineno = 0;
+    bool saw_header = false;
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip comments.
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string head;
+        if (!(ls >> head))
+            continue;   // blank line
+
+        if (head == "workload") {
+            if (saw_header)
+                aapm_fatal("line %d: duplicate 'workload' header",
+                           lineno);
+            saw_header = true;
+            if (!(ls >> name))
+                aapm_fatal("line %d: workload needs a name", lineno);
+            std::string key;
+            while (ls >> key) {
+                if (key == "repeats") {
+                    if (!(ls >> repeats) || repeats == 0)
+                        aapm_fatal("line %d: bad repeats", lineno);
+                } else {
+                    aapm_fatal("line %d: unknown workload key '%s'",
+                               lineno, key.c_str());
+                }
+            }
+        } else if (head == "phase") {
+            Phase p;
+            if (!(ls >> p.name))
+                aapm_fatal("line %d: phase needs a name", lineno);
+            std::string key, value;
+            while (ls >> key) {
+                if (!(ls >> value))
+                    aapm_fatal("line %d: key '%s' has no value",
+                               lineno, key.c_str());
+                if (!applyKey(p, key, value))
+                    aapm_fatal("line %d: unknown phase key '%s'",
+                               lineno, key.c_str());
+            }
+            p.validate();   // fatal()s with a precise message
+            phases.push_back(std::move(p));
+        } else {
+            aapm_fatal("line %d: unknown directive '%s'", lineno,
+                       head.c_str());
+        }
+    }
+    if (phases.empty())
+        aapm_fatal("workload definition has no phases");
+
+    Workload w(name, repeats);
+    for (auto &p : phases)
+        w.add(std::move(p));
+    return w;
+}
+
+Workload
+loadWorkloadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        aapm_fatal("cannot open workload file '%s'", path.c_str());
+    return parseWorkload(in);
+}
+
+void
+saveWorkloadFile(const std::string &path, const Workload &workload)
+{
+    std::ofstream out(path);
+    if (!out)
+        aapm_fatal("cannot open '%s' for writing", path.c_str());
+    out.precision(17);
+    out << "workload " << workload.name() << " repeats "
+        << workload.repeats() << "\n";
+    for (const auto &p : workload.phases()) {
+        out << "phase " << p.name << " instructions " << p.instructions
+            << " baseCpi " << p.baseCpi
+            << " decodeRatio " << p.decodeRatio
+            << " memPerInstr " << p.memPerInstr
+            << " l1Miss " << p.l1MissPerInstr
+            << " l2Miss " << p.l2MissPerInstr
+            << " coverage " << p.prefetchCoverage
+            << " mlp " << p.mlp
+            << " l2Mlp " << p.l2Mlp
+            << " fp " << p.fpPerInstr
+            << " rsFrac " << p.resourceStallFrac;
+        if (p.idle)
+            out << " idle 1";
+        out << "\n";
+    }
+    if (!out)
+        aapm_fatal("write to '%s' failed", path.c_str());
+}
+
+} // namespace aapm

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Workload persistence: a small line-oriented text format so users can
+ * define their own workloads (phase sequences) without recompiling —
+ * the input format of the command-line tool.
+ *
+ * Format (comments with '#', keys in any order after the phase name):
+ *
+ *   workload myapp repeats 3
+ *   phase stream instructions 50000000 baseCpi 0.7 decodeRatio 1.2 \
+ *       memPerInstr 0.4 l1Miss 0.05 l2Miss 0.02 coverage 0.3 \
+ *       mlp 1.5 l2Mlp 2.0 fp 0.2 rsFrac 0.05
+ *   phase think instructions 1000000 idle 1
+ */
+
+#ifndef AAPM_WORKLOAD_WORKLOAD_IO_HH
+#define AAPM_WORKLOAD_WORKLOAD_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload.hh"
+
+namespace aapm
+{
+
+/** Parse a workload definition from a stream; fatal() on bad input. */
+Workload parseWorkload(std::istream &in);
+
+/** Load a workload definition from a file; fatal() on error. */
+Workload loadWorkloadFile(const std::string &path);
+
+/** Serialize a workload into the same format. */
+void saveWorkloadFile(const std::string &path, const Workload &workload);
+
+} // namespace aapm
+
+#endif // AAPM_WORKLOAD_WORKLOAD_IO_HH

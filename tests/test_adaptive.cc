@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the online-recalibration extension: the RLS primitive and
+ * the adaptive-coefficients PM variant (PM-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "mgmt/pm_adaptive.hh"
+#include "models/online_fit.hh"
+#include "platform/experiment.hh"
+#include "workload/spec_suite.hh"
+
+namespace aapm
+{
+namespace
+{
+
+TEST(OnlineFit, ConvergesOnCleanLine)
+{
+    OnlineLinearFit fit;
+    for (int i = 0; i < 200; ++i) {
+        const double x = 0.1 * (i % 30);
+        fit.update(x, 3.0 * x + 12.0);
+    }
+    // Forgetting keeps a small covariance floor, so convergence is to
+    // within a hair, not machine epsilon.
+    EXPECT_NEAR(fit.slope(), 3.0, 1e-3);
+    EXPECT_NEAR(fit.intercept(), 12.0, 1e-3);
+    EXPECT_TRUE(fit.mature());
+}
+
+TEST(OnlineFit, ConvergesUnderNoise)
+{
+    OnlineLinearFit fit(0.995);
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.uniform(0.0, 2.5);
+        fit.update(x, 2.9 * x + 12.1 + rng.gaussian(0.0, 0.3));
+    }
+    EXPECT_NEAR(fit.slope(), 2.9, 0.15);
+    EXPECT_NEAR(fit.intercept(), 12.1, 0.2);
+}
+
+TEST(OnlineFit, ForgettingTracksModelChange)
+{
+    OnlineLinearFit fit(0.95);
+    for (int i = 0; i < 300; ++i)
+        fit.update(0.1 * (i % 25), 2.0 * 0.1 * (i % 25) + 10.0);
+    EXPECT_NEAR(fit.intercept(), 10.0, 0.1);
+    // The workload changes character: +3 W everywhere.
+    for (int i = 0; i < 300; ++i)
+        fit.update(0.1 * (i % 25), 2.0 * 0.1 * (i % 25) + 13.0);
+    EXPECT_NEAR(fit.intercept(), 13.0, 0.2);
+}
+
+TEST(OnlineFit, NotMatureWithoutSpread)
+{
+    OnlineLinearFit fit;
+    for (int i = 0; i < 100; ++i)
+        fit.update(1.0, 15.0);   // single x: slope unidentifiable
+    EXPECT_FALSE(fit.mature());
+    EXPECT_EQ(fit.count(), 100u);
+}
+
+TEST(OnlineFit, SeedSetsPredictionWithoutCount)
+{
+    OnlineLinearFit fit;
+    fit.seed(2.93, 12.11);
+    EXPECT_NEAR(fit.eval(1.0), 15.04, 1e-9);
+    EXPECT_EQ(fit.count(), 0u);
+    EXPECT_FALSE(fit.mature());
+}
+
+TEST(OnlineFit, ResetForgets)
+{
+    OnlineLinearFit fit;
+    for (int i = 0; i < 50; ++i)
+        fit.update(0.1 * i, 1.0 + 0.1 * i);
+    fit.reset();
+    EXPECT_EQ(fit.count(), 0u);
+    EXPECT_DOUBLE_EQ(fit.slope(), 0.0);
+}
+
+TEST(OnlineFit, RejectsBadParameters)
+{
+    EXPECT_THROW(OnlineLinearFit(0.0), std::runtime_error);
+    EXPECT_THROW(OnlineLinearFit(1.1), std::runtime_error);
+    EXPECT_THROW(OnlineLinearFit(0.98, -1.0), std::runtime_error);
+}
+
+MonitorSample
+hotSample(double dpc, double measured, size_t pstate)
+{
+    MonitorSample s;
+    s.intervalSeconds = 0.01;
+    s.cycles = 20'000'000;
+    s.dpc = dpc;
+    s.measuredPowerW = measured;
+    s.pstate = pstate;
+    return s;
+}
+
+TEST(PmAdaptiveTest, SeededFromOfflineModel)
+{
+    PmAdaptive pm(PowerEstimator::paperPentiumM(),
+                  {.powerLimitW = 17.5});
+    EXPECT_NEAR(pm.onlineFit(7).eval(1.0), 2.93 + 12.11, 1e-9);
+    EXPECT_FALSE(pm.onlineFit(7).mature());
+}
+
+TEST(PmAdaptiveTest, LearnsHotWorkloadAndThrottles)
+{
+    // Measured power runs 2.5 W above the offline model at DPC 1.5 —
+    // plain PM would keep 2000 MHz (est 16.5 + 0.5 < 17.5); PM-A must
+    // learn and back off.
+    PmAdaptive pm(PowerEstimator::paperPentiumM(),
+                  {.powerLimitW = 17.5});
+    PerformanceMaximizer plain(PowerEstimator::paperPentiumM(),
+                               {.powerLimitW = 17.5});
+    size_t state = 7;
+    Rng rng(3);
+    for (int i = 0; i < 60; ++i) {
+        const double dpc = 1.5 + rng.uniform(-0.2, 0.2);
+        const double measured =
+            2.93 * dpc + 12.11 + 2.5 + rng.gaussian(0.0, 0.1);
+        state = pm.decide(hotSample(dpc, measured, state), state);
+    }
+    EXPECT_LT(state, 7u);
+    EXPECT_EQ(plain.decide(hotSample(1.5, 20.0, 7), 7), 7u);
+}
+
+TEST(PmAdaptiveTest, ResidualShiftCoversUnvisitedStates)
+{
+    PmAdaptive pm(PowerEstimator::paperPentiumM(),
+                  {.powerLimitW = 17.5});
+    size_t state = 7;
+    // Consistent +2 W residual at the current state.
+    for (int i = 0; i < 30; ++i)
+        state = pm.decide(
+            hotSample(1.0, 2.93 * 1.0 + 12.11 + 2.0, state), state);
+    EXPECT_GT(pm.residualShiftW(), 1.0);
+}
+
+TEST(PmAdaptiveTest, ResetRestoresOfflineModel)
+{
+    PmAdaptive pm(PowerEstimator::paperPentiumM(),
+                  {.powerLimitW = 17.5});
+    size_t state = 7;
+    for (int i = 0; i < 40; ++i)
+        state = pm.decide(hotSample(1.5, 20.0, state), state);
+    pm.reset();
+    EXPECT_DOUBLE_EQ(pm.residualShiftW(), 0.0);
+    EXPECT_FALSE(pm.onlineFit(7).mature());
+    EXPECT_NEAR(pm.onlineFit(7).eval(0.0), 12.11, 1e-9);
+}
+
+TEST(PmAdaptiveTest, EndToEndFixesGalgel)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    const TrainedModels models = trainModels(config);
+    const Workload galgel = specWorkload("galgel", config.core, 4.0);
+    const double limit = 13.5;
+
+    PerformanceMaximizer plain(models.powerEstimator(config.pstates),
+                               {.powerLimitW = limit});
+    const RunResult rp = platform.run(galgel, plain);
+    PmAdaptive adaptive(models.powerEstimator(config.pstates),
+                        {.powerLimitW = limit});
+    const RunResult ra = platform.run(galgel, adaptive);
+
+    EXPECT_LT(ra.trace.fractionOverLimit(limit, 10),
+              rp.trace.fractionOverLimit(limit, 10));
+    EXPECT_LT(ra.trace.fractionOverLimit(limit, 10), 0.02);
+}
+
+TEST(PmAdaptiveTest, HarmlessOnWellModeledWorkloads)
+{
+    // On a workload the offline model already predicts well, PM-A
+    // should behave like PM.
+    PlatformConfig config;
+    Platform platform(config);
+    const TrainedModels models = trainModels(config);
+    const Workload gzip = specWorkload("gzip", config.core, 3.0);
+
+    PerformanceMaximizer plain(models.powerEstimator(config.pstates),
+                               {.powerLimitW = 14.5});
+    const RunResult rp = platform.run(gzip, plain);
+    PmAdaptive adaptive(models.powerEstimator(config.pstates),
+                        {.powerLimitW = 14.5});
+    const RunResult ra = platform.run(gzip, adaptive);
+    EXPECT_NEAR(ra.seconds, rp.seconds, 0.05 * rp.seconds);
+}
+
+} // namespace
+} // namespace aapm

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the CLI option parser and the workload file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/options.hh"
+#include "workload/workload_io.hh"
+
+namespace aapm
+{
+namespace
+{
+
+CliOptions
+runOptions()
+{
+    CliOptions opts("test run", "test");
+    opts.addOption("workload", "NAME", "", "workload");
+    opts.addOption("limit", "WATTS", "14.5", "limit");
+    opts.addFlag("verbose", "talk more");
+    return opts;
+}
+
+TEST(CliOptionsTest, DefaultsApply)
+{
+    CliOptions opts = runOptions();
+    std::string err;
+    ASSERT_TRUE(opts.parse({}, &err)) << err;
+    EXPECT_TRUE(opts.has("limit"));
+    EXPECT_DOUBLE_EQ(opts.num("limit"), 14.5);
+    EXPECT_FALSE(opts.has("workload"));
+    EXPECT_FALSE(opts.flag("verbose"));
+}
+
+TEST(CliOptionsTest, SpaceSeparatedValues)
+{
+    CliOptions opts = runOptions();
+    std::string err;
+    ASSERT_TRUE(opts.parse({"--workload", "swim", "--limit", "11.5"},
+                           &err))
+        << err;
+    EXPECT_EQ(opts.str("workload"), "swim");
+    EXPECT_DOUBLE_EQ(opts.num("limit"), 11.5);
+}
+
+TEST(CliOptionsTest, EqualsSyntax)
+{
+    CliOptions opts = runOptions();
+    std::string err;
+    ASSERT_TRUE(opts.parse({"--workload=ammp", "--limit=10.5"}, &err));
+    EXPECT_EQ(opts.str("workload"), "ammp");
+    EXPECT_DOUBLE_EQ(opts.num("limit"), 10.5);
+}
+
+TEST(CliOptionsTest, FlagsAndPositionals)
+{
+    CliOptions opts = runOptions();
+    std::string err;
+    ASSERT_TRUE(opts.parse({"pos1", "--verbose", "pos2"}, &err));
+    EXPECT_TRUE(opts.flag("verbose"));
+    ASSERT_EQ(opts.positionals().size(), 2u);
+    EXPECT_EQ(opts.positionals()[0], "pos1");
+    EXPECT_EQ(opts.positionals()[1], "pos2");
+}
+
+TEST(CliOptionsTest, UnknownOptionErrors)
+{
+    CliOptions opts = runOptions();
+    std::string err;
+    EXPECT_FALSE(opts.parse({"--bogus", "1"}, &err));
+    EXPECT_NE(err.find("bogus"), std::string::npos);
+}
+
+TEST(CliOptionsTest, MissingValueErrors)
+{
+    CliOptions opts = runOptions();
+    std::string err;
+    EXPECT_FALSE(opts.parse({"--workload"}, &err));
+    EXPECT_NE(err.find("needs a value"), std::string::npos);
+}
+
+TEST(CliOptionsTest, FlagWithValueErrors)
+{
+    CliOptions opts = runOptions();
+    std::string err;
+    EXPECT_FALSE(opts.parse({"--verbose=yes"}, &err));
+}
+
+TEST(CliOptionsTest, HelpRequested)
+{
+    CliOptions opts = runOptions();
+    std::string err;
+    EXPECT_FALSE(opts.parse({"--help"}, &err));
+    EXPECT_TRUE(opts.helpRequested());
+}
+
+TEST(CliOptionsTest, NonNumericValueFatal)
+{
+    CliOptions opts = runOptions();
+    std::string err;
+    ASSERT_TRUE(opts.parse({"--limit", "lots"}, &err));
+    EXPECT_THROW(opts.num("limit"), std::runtime_error);
+}
+
+TEST(CliOptionsTest, RequiredUnsetFatal)
+{
+    CliOptions opts = runOptions();
+    std::string err;
+    ASSERT_TRUE(opts.parse({}, &err));
+    EXPECT_THROW(opts.str("workload"), std::runtime_error);
+}
+
+TEST(CliOptionsTest, UsageMentionsEveryOption)
+{
+    CliOptions opts = runOptions();
+    const std::string u = opts.usage();
+    EXPECT_NE(u.find("--workload"), std::string::npos);
+    EXPECT_NE(u.find("--limit"), std::string::npos);
+    EXPECT_NE(u.find("--verbose"), std::string::npos);
+    EXPECT_NE(u.find("default: 14.5"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ //
+//                        Workload file format                         //
+// ------------------------------------------------------------------ //
+
+TEST(WorkloadIoTest, ParsesBasicDefinition)
+{
+    std::istringstream in(
+        "# a comment\n"
+        "workload myapp repeats 3\n"
+        "phase stream instructions 1000 baseCpi 0.7 decodeRatio 1.2 "
+        "memPerInstr 0.4 l1Miss 0.05 l2Miss 0.02 coverage 0.3 "
+        "mlp 1.5 l2Mlp 2.0 fp 0.2 rsFrac 0.05\n"
+        "phase think instructions 500 baseCpi 50 decodeRatio 1.0 "
+        "memPerInstr 0 l1Miss 0 l2Miss 0 idle 1\n");
+    const Workload w = parseWorkload(in);
+    EXPECT_EQ(w.name(), "myapp");
+    EXPECT_EQ(w.repeats(), 3u);
+    ASSERT_EQ(w.phases().size(), 2u);
+    EXPECT_EQ(w.phases()[0].name, "stream");
+    EXPECT_DOUBLE_EQ(w.phases()[0].baseCpi, 0.7);
+    EXPECT_DOUBLE_EQ(w.phases()[0].l2MissPerInstr, 0.02);
+    EXPECT_FALSE(w.phases()[0].idle);
+    EXPECT_TRUE(w.phases()[1].idle);
+    EXPECT_EQ(w.totalInstructions(), 3u * 1500u);
+}
+
+TEST(WorkloadIoTest, RoundTripThroughDisk)
+{
+    Workload w("roundtrip", 2);
+    Phase p;
+    p.name = "only";
+    p.instructions = 4242;
+    p.baseCpi = 0.9;
+    p.decodeRatio = 1.31;
+    p.memPerInstr = 0.41;
+    p.l1MissPerInstr = 0.061;
+    p.l2MissPerInstr = 0.021;
+    p.prefetchCoverage = 0.37;
+    p.mlp = 1.7;
+    p.l2Mlp = 2.3;
+    p.fpPerInstr = 0.13;
+    p.resourceStallFrac = 0.07;
+    w.add(p);
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "/wl_roundtrip.txt";
+    saveWorkloadFile(path, w);
+    const Workload loaded = loadWorkloadFile(path);
+    EXPECT_EQ(loaded.name(), "roundtrip");
+    EXPECT_EQ(loaded.repeats(), 2u);
+    ASSERT_EQ(loaded.phases().size(), 1u);
+    const Phase &q = loaded.phases()[0];
+    EXPECT_EQ(q.instructions, 4242u);
+    EXPECT_DOUBLE_EQ(q.baseCpi, 0.9);
+    EXPECT_DOUBLE_EQ(q.decodeRatio, 1.31);
+    EXPECT_DOUBLE_EQ(q.prefetchCoverage, 0.37);
+    EXPECT_DOUBLE_EQ(q.resourceStallFrac, 0.07);
+    std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, RejectsUnknownKey)
+{
+    std::istringstream in("phase p instructions 10 wibble 3\n");
+    EXPECT_THROW(parseWorkload(in), std::runtime_error);
+}
+
+TEST(WorkloadIoTest, RejectsBadNumber)
+{
+    std::istringstream in("phase p instructions ten\n");
+    EXPECT_THROW(parseWorkload(in), std::runtime_error);
+}
+
+TEST(WorkloadIoTest, RejectsEmptyDefinition)
+{
+    std::istringstream in("# nothing here\n");
+    EXPECT_THROW(parseWorkload(in), std::runtime_error);
+}
+
+TEST(WorkloadIoTest, RejectsInvalidPhaseValues)
+{
+    // decodeRatio < 1 violates the Phase invariant.
+    std::istringstream in(
+        "phase p instructions 10 decodeRatio 0.5\n");
+    EXPECT_THROW(parseWorkload(in), std::runtime_error);
+}
+
+TEST(WorkloadIoTest, RejectsDuplicateHeader)
+{
+    std::istringstream in("workload a\nworkload b\nphase p "
+                          "instructions 10\n");
+    EXPECT_THROW(parseWorkload(in), std::runtime_error);
+}
+
+TEST(WorkloadIoTest, RejectsUnknownDirective)
+{
+    std::istringstream in("pahse p instructions 10\n");
+    EXPECT_THROW(parseWorkload(in), std::runtime_error);
+}
+
+TEST(WorkloadIoTest, MissingFileFatal)
+{
+    EXPECT_THROW(loadWorkloadFile("/nonexistent/wl.txt"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace aapm

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Unit tests for the common library: logging, RNG, statistics, moving
+ * windows, fitting, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/fit.hh"
+#include "common/logging.hh"
+#include "common/moving_window.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace aapm
+{
+namespace
+{
+
+TEST(Logging, PanicThrows)
+{
+    EXPECT_THROW(aapm_panic("boom %d", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(aapm_fatal("bad config"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(aapm_assert(1 + 1 == 2, "math"));
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(aapm_assert(false, "must fail"), std::logic_error);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformBoundsRespected)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, BelowUnbiasedish)
+{
+    Rng rng(11);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.below(10)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 10 - n / 50);
+        EXPECT_LT(c, n / 10 + n / 50);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.gaussian(2.0, 3.0));
+    EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStats, WeightedMean)
+{
+    RunningStats s;
+    s.addWeighted(1.0, 1.0);
+    s.addWeighted(10.0, 3.0);
+    EXPECT_NEAR(s.mean(), (1.0 + 30.0) / 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.totalWeight(), 4.0);
+}
+
+TEST(RunningStats, ZeroWeightIgnored)
+{
+    RunningStats s;
+    s.add(5.0);
+    s.addWeighted(1000.0, 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(RunningStats, NegativeWeightPanics)
+{
+    RunningStats s;
+    EXPECT_THROW(s.addWeighted(1.0, -1.0), std::logic_error);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(3.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BinsAndCounts)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    for (size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.binCount(b), 1u);
+    EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, OutOfRangeClamped)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-5.0);
+    h.add(25.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+}
+
+TEST(Histogram, QuantileApprox)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, InvalidConfigFatal)
+{
+    EXPECT_THROW(Histogram(5.0, 5.0, 10), std::logic_error);
+}
+
+TEST(SampleSeries, ExactQuantiles)
+{
+    SampleSeries s;
+    for (int i = 0; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+}
+
+TEST(SampleSeries, FractionAbove)
+{
+    SampleSeries s;
+    for (int i = 1; i <= 10; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.fractionAbove(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(10.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(0.0), 1.0);
+}
+
+TEST(MovingWindow, MeanTracksWindow)
+{
+    MovingWindow w(3);
+    w.push(3.0);
+    EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+    w.push(6.0);
+    EXPECT_DOUBLE_EQ(w.mean(), 4.5);
+    w.push(9.0);
+    EXPECT_DOUBLE_EQ(w.mean(), 6.0);
+    w.push(12.0);   // evicts 3.0
+    EXPECT_DOUBLE_EQ(w.mean(), 9.0);
+}
+
+TEST(MovingWindow, FullFlag)
+{
+    MovingWindow w(2);
+    EXPECT_FALSE(w.full());
+    w.push(1.0);
+    EXPECT_FALSE(w.full());
+    w.push(1.0);
+    EXPECT_TRUE(w.full());
+}
+
+TEST(MovingWindow, AllOfRequiresFull)
+{
+    MovingWindow w(3);
+    w.push(1.0);
+    w.push(1.0);
+    EXPECT_FALSE(w.allOf([](double v) { return v > 0.0; }));
+    w.push(1.0);
+    EXPECT_TRUE(w.allOf([](double v) { return v > 0.0; }));
+    w.push(-1.0);
+    EXPECT_FALSE(w.allOf([](double v) { return v > 0.0; }));
+}
+
+TEST(MovingWindow, ClearResets)
+{
+    MovingWindow w(2);
+    w.push(5.0);
+    w.clear();
+    EXPECT_EQ(w.size(), 0u);
+    EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(LinearFitTest, LeastSquaresExact)
+{
+    std::vector<double> xs = {0, 1, 2, 3, 4};
+    std::vector<double> ys = {1, 3, 5, 7, 9};   // y = 2x + 1
+    const LinearFit fit = fitLeastSquares(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.meanAbsError(xs, ys), 0.0, 1e-12);
+}
+
+TEST(LinearFitTest, LeastSquaresDegenerateX)
+{
+    std::vector<double> xs = {2, 2, 2};
+    std::vector<double> ys = {1, 2, 3};
+    const LinearFit fit = fitLeastSquares(xs, ys);
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_NEAR(fit.intercept, 2.0, 1e-12);
+}
+
+TEST(LinearFitTest, LadRobustToOutlier)
+{
+    // y = x with one wild outlier; LAD should stay near slope 1 while
+    // OLS is dragged off.
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(i);
+        ys.push_back(i);
+    }
+    ys[10] = 200.0;
+    const LinearFit ols = fitLeastSquares(xs, ys);
+    const LinearFit lad = fitLeastAbsolute(xs, ys);
+    EXPECT_GT(std::abs(ols.intercept) + std::abs(ols.slope - 1.0),
+              std::abs(lad.intercept) + std::abs(lad.slope - 1.0));
+    EXPECT_NEAR(lad.slope, 1.0, 0.05);
+    EXPECT_NEAR(lad.intercept, 0.0, 0.5);
+}
+
+TEST(LinearFitTest, TooFewPointsPanics)
+{
+    std::vector<double> xs = {1.0};
+    std::vector<double> ys = {1.0};
+    EXPECT_THROW(fitLeastSquares(xs, ys), std::logic_error);
+}
+
+TEST(GridSearchTest, FindsQuadraticMinimum)
+{
+    const std::vector<GridAxis> axes = {{-2.0, 2.0, 81}};
+    const auto result = gridSearch(axes, [](const std::vector<double> &p) {
+        return (p[0] - 0.5) * (p[0] - 0.5);
+    });
+    EXPECT_NEAR(result.best[0], 0.5, 0.05);
+}
+
+TEST(GridSearchTest, FindsBothLocalMinima)
+{
+    // Double-well potential: minima near -1 and +1.
+    const std::vector<GridAxis> axes = {{-2.0, 2.0, 201}};
+    const auto result = gridSearch(axes, [](const std::vector<double> &p) {
+        const double x = p[0];
+        return (x * x - 1.0) * (x * x - 1.0) + 0.05 * x;
+    });
+    ASSERT_GE(result.localMinima.size(), 2u);
+    std::vector<double> locations;
+    for (const auto &[params, loss] : result.localMinima)
+        locations.push_back(params[0]);
+    std::sort(locations.begin(), locations.end());
+    EXPECT_NEAR(locations.front(), -1.0, 0.1);
+    EXPECT_NEAR(locations.back(), 1.0, 0.1);
+}
+
+TEST(GridSearchTest, TwoDimensional)
+{
+    const std::vector<GridAxis> axes = {{-1.0, 1.0, 41},
+                                        {-1.0, 1.0, 41}};
+    const auto result = gridSearch(axes, [](const std::vector<double> &p) {
+        return (p[0] - 0.25) * (p[0] - 0.25) +
+               (p[1] + 0.5) * (p[1] + 0.5);
+    });
+    EXPECT_NEAR(result.best[0], 0.25, 0.05);
+    EXPECT_NEAR(result.best[1], -0.5, 0.05);
+}
+
+TEST(GridAxisTest, EndpointsInclusive)
+{
+    GridAxis ax{1.0, 3.0, 5};
+    EXPECT_DOUBLE_EQ(ax.at(0), 1.0);
+    EXPECT_DOUBLE_EQ(ax.at(4), 3.0);
+    EXPECT_DOUBLE_EQ(ax.at(2), 2.0);
+}
+
+TEST(TextTableTest, AlignsAndCounts)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"alpha", TextTable::num(1.5)});
+    t.row({"beta", TextTable::num(int64_t(42))});
+    EXPECT_EQ(t.numRows(), 2u);
+    const std::string s = t.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(TextTable::num(int64_t(-7)), "-7");
+}
+
+TEST(CsvWriterTest, WritesRowsAndQuotes)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "/csv_test.csv";
+    {
+        CsvWriter csv(path);
+        csv.row({"plain", "has,comma", "has\"quote", "has\nnewline"});
+        csv.rowNums({1.5, -2.0, 0.125});
+    }
+    std::ifstream in(path);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(all.find("plain,\"has,comma\",\"has\"\"quote\""),
+              std::string::npos);
+    EXPECT_NE(all.find("1.5,-2,0.125"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, UnwritablePathFatal)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent/dir/out.csv"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace aapm

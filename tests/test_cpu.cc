@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the analytical core timing model: the frequency-scaling
+ * behavior every result in the paper depends on, event accounting, and
+ * the advance() loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/core_model.hh"
+#include "sim/ticks.hh"
+#include "workload/workload.hh"
+
+namespace aapm
+{
+namespace
+{
+
+Phase
+corePhase(uint64_t instrs = 1000)
+{
+    Phase p;
+    p.name = "core";
+    p.instructions = instrs;
+    p.baseCpi = 0.8;
+    p.decodeRatio = 1.3;
+    p.memPerInstr = 0.4;
+    p.l1MissPerInstr = 0.0;
+    p.l2MissPerInstr = 0.0;
+    return p;
+}
+
+Phase
+memPhase(uint64_t instrs = 1000)
+{
+    Phase p;
+    p.name = "mem";
+    p.instructions = instrs;
+    p.baseCpi = 0.8;
+    p.decodeRatio = 1.2;
+    p.memPerInstr = 0.5;
+    p.l1MissPerInstr = 0.08;
+    p.l2MissPerInstr = 0.06;
+    p.prefetchCoverage = 0.2;
+    p.mlp = 1.5;
+    return p;
+}
+
+TEST(CoreModel, CoreBoundCpiFrequencyInvariant)
+{
+    CoreModel core;
+    const Phase p = corePhase();
+    EXPECT_NEAR(core.cpi(p, 2.0), core.cpi(p, 0.6), 1e-12);
+}
+
+TEST(CoreModel, CoreBoundPerfScalesWithFrequency)
+{
+    CoreModel core;
+    const Phase p = corePhase();
+    const double perf2 = core.instrPerSec(p, 2.0);
+    const double perf1 = core.instrPerSec(p, 1.0);
+    EXPECT_NEAR(perf2 / perf1, 2.0, 1e-9);
+}
+
+TEST(CoreModel, MemoryBoundCpiGrowsWithFrequency)
+{
+    CoreModel core;
+    const Phase p = memPhase();
+    EXPECT_GT(core.cpi(p, 2.0), core.cpi(p, 1.0));
+    EXPECT_GT(core.cpi(p, 1.0), core.cpi(p, 0.6));
+}
+
+TEST(CoreModel, MemoryBoundPerfSublinearInFrequency)
+{
+    CoreModel core;
+    const Phase p = memPhase();
+    const double perf2 = core.instrPerSec(p, 2.0);
+    const double perf1 = core.instrPerSec(p, 1.0);
+    EXPECT_GT(perf2 / perf1, 1.0);
+    EXPECT_LT(perf2 / perf1, 2.0);
+}
+
+TEST(CoreModel, PerfStrictlyIncreasesWithFrequency)
+{
+    // Even the most memory-bound phase never runs *slower* at a higher
+    // frequency (time per instruction is non-increasing in f).
+    CoreModel core;
+    Phase p = memPhase();
+    p.mlp = 1.0;
+    p.l2MissPerInstr = 0.08;
+    p.l1MissPerInstr = 0.08;
+    double prev = 0.0;
+    for (double f = 0.6; f <= 2.01; f += 0.2) {
+        const double perf = core.instrPerSec(p, f);
+        EXPECT_GE(perf, prev);
+        prev = perf;
+    }
+}
+
+TEST(CoreModel, DcuOccupancyMatchesStallStructure)
+{
+    CoreModel core;
+    const Phase p = memPhase();
+    // Memory-bound phase: occupancy per instruction should be within
+    // (0, CPI].
+    const double docc = core.dcuOutstandingPerInstr(p, 2.0);
+    EXPECT_GT(docc, 0.0);
+    EXPECT_LE(docc, core.cpi(p, 2.0));
+    // Core phase: zero.
+    EXPECT_DOUBLE_EQ(core.dcuOutstandingPerInstr(corePhase(), 2.0), 0.0);
+}
+
+TEST(CoreModel, DcuPerInstrGrowsWithFrequency)
+{
+    CoreModel core;
+    const Phase p = memPhase();
+    EXPECT_GT(core.dcuOutstandingPerInstr(p, 2.0),
+              core.dcuOutstandingPerInstr(p, 0.6));
+}
+
+TEST(CoreModel, BandwidthFloorBindsStreamingPhases)
+{
+    CoreModel core;
+    Phase p = memPhase();
+    // Saturate: heavy fully-covered traffic, tiny demand latency.
+    p.l1MissPerInstr = 0.12;
+    p.l2MissPerInstr = 0.12;
+    p.prefetchCoverage = 1.0;
+    p.mlp = 8.0;
+    const double bw_ns = core.bandwidthFloorNsPerInstr(p);
+    EXPECT_GT(bw_ns, 0.0);
+    // At 2 GHz the bandwidth term must govern.
+    EXPECT_NEAR(core.cpi(p, 2.0), bw_ns * 2.0, 1e-9);
+}
+
+TEST(CoreModel, EventsScaleLinearlyWithInstructions)
+{
+    CoreModel core;
+    const Phase p = memPhase();
+    const EventTotals e1 = core.eventsFor(p, 2.0, 1000.0);
+    const EventTotals e2 = core.eventsFor(p, 2.0, 2000.0);
+    EXPECT_NEAR(e2.cycles, 2.0 * e1.cycles, 1e-6);
+    EXPECT_NEAR(e2.instructionsDecoded, 2.0 * e1.instructionsDecoded,
+                1e-6);
+    EXPECT_NEAR(e2.busMemoryRequests, 2.0 * e1.busMemoryRequests, 1e-6);
+}
+
+TEST(CoreModel, EventRatesMatchPhaseParameters)
+{
+    CoreModel core;
+    const Phase p = memPhase();
+    const EventTotals e = core.eventsFor(p, 2.0, 1e6);
+    EXPECT_NEAR(e.instructionsDecoded / e.instructionsRetired,
+                p.decodeRatio, 1e-9);
+    EXPECT_NEAR(e.l2Requests / e.instructionsRetired, p.l1MissPerInstr,
+                1e-9);
+    EXPECT_NEAR(e.cycles / e.instructionsRetired, core.cpi(p, 2.0),
+                1e-9);
+}
+
+TEST(CoreModel, AdvanceConsumesBudget)
+{
+    CoreModel core;
+    Workload w("w");
+    w.add(corePhase(100'000'000));
+    WorkloadCursor cursor(w);
+    std::vector<ExecChunk> chunks;
+    const Tick budget = 10 * TicksPerMs;
+    const Tick used = core.advance(cursor, 2.0, budget, chunks);
+    EXPECT_EQ(used, budget);
+    ASSERT_EQ(chunks.size(), 1u);
+    // 10 ms at 2 GHz / 0.8 CPI = 25M instructions.
+    EXPECT_NEAR(static_cast<double>(chunks[0].instructions), 25e6,
+                25e6 * 1e-3);
+    EXPECT_FALSE(cursor.done());
+}
+
+TEST(CoreModel, AdvanceStopsWhenWorkloadEnds)
+{
+    CoreModel core;
+    Workload w("w");
+    w.add(corePhase(1000));
+    WorkloadCursor cursor(w);
+    std::vector<ExecChunk> chunks;
+    const Tick used = core.advance(cursor, 2.0, TicksPerSec, chunks);
+    EXPECT_TRUE(cursor.done());
+    EXPECT_LT(used, TicksPerSec);
+    EXPECT_EQ(cursor.retired(), 1000u);
+}
+
+TEST(CoreModel, AdvanceCrossesPhaseBoundaries)
+{
+    CoreModel core;
+    Workload w("w");
+    w.add(corePhase(1'000'000));
+    w.add(memPhase(1'000'000));
+    WorkloadCursor cursor(w);
+    std::vector<ExecChunk> chunks;
+    core.advance(cursor, 2.0, TicksPerSec, chunks);
+    ASSERT_EQ(chunks.size(), 2u);
+    EXPECT_EQ(chunks[0].phase->name, "core");
+    EXPECT_EQ(chunks[1].phase->name, "mem");
+    EXPECT_EQ(chunks[0].instructions, 1'000'000u);
+    EXPECT_EQ(chunks[1].instructions, 1'000'000u);
+}
+
+TEST(CoreModel, AdvanceRespectsRepeats)
+{
+    CoreModel core;
+    Workload w("w", 3);
+    w.add(corePhase(1000));
+    WorkloadCursor cursor(w);
+    std::vector<ExecChunk> chunks;
+    core.advance(cursor, 2.0, TicksPerSec, chunks);
+    EXPECT_TRUE(cursor.done());
+    EXPECT_EQ(cursor.retired(), 3000u);
+    EXPECT_EQ(chunks.size(), 3u);
+}
+
+TEST(CoreModel, AdvanceDurationsSumToUsed)
+{
+    CoreModel core;
+    Workload w("w", 5);
+    w.add(corePhase(500'000));
+    w.add(memPhase(300'000));
+    WorkloadCursor cursor(w);
+    std::vector<ExecChunk> chunks;
+    const Tick used =
+        core.advance(cursor, 1.4, 7 * TicksPerMs, chunks);
+    Tick sum = 0;
+    for (const auto &c : chunks)
+        sum += c.duration;
+    // The budget may end mid-instruction; that sliver is consumed but
+    // not attributed to any chunk. It is bounded by one instruction
+    // time (a few ns).
+    EXPECT_LE(sum, used);
+    EXPECT_LT(used - sum, 10 * TicksPerNs);
+    EXPECT_LE(used, 7 * TicksPerMs);
+}
+
+TEST(CoreModel, LowerFrequencyRetiresFewerInstructionsPerQuantum)
+{
+    CoreModel core;
+    Workload w("w");
+    w.add(corePhase(1'000'000'000));
+    std::vector<ExecChunk> fast_chunks, slow_chunks;
+    WorkloadCursor fast(w), slow(w);
+    core.advance(fast, 2.0, 10 * TicksPerMs, fast_chunks);
+    core.advance(slow, 0.6, 10 * TicksPerMs, slow_chunks);
+    EXPECT_GT(fast.retired(), slow.retired());
+    EXPECT_NEAR(static_cast<double>(fast.retired()) / slow.retired(),
+                2.0 / 0.6, 0.01);
+}
+
+TEST(CoreModel, InvalidFrequencyPanics)
+{
+    CoreModel core;
+    const Phase p = corePhase();
+    EXPECT_THROW(core.cpi(p, 0.0), std::logic_error);
+    EXPECT_THROW(core.cpi(p, -1.0), std::logic_error);
+}
+
+TEST(EventTotalsTest, Accumulate)
+{
+    EventTotals a, b;
+    a.cycles = 10;
+    a.fpOps = 2;
+    b.cycles = 5;
+    b.fpOps = 1;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.cycles, 15.0);
+    EXPECT_DOUBLE_EQ(a.fpOps, 3.0);
+}
+
+// Property sweep over a grid of phases and frequencies: CPI decomposes
+// sanely and IPC stays positive/bounded.
+struct PhaseSweepParam
+{
+    double base_cpi;
+    double l2_miss;
+    double mlp;
+};
+
+class CoreModelSweep : public ::testing::TestWithParam<PhaseSweepParam>
+{
+};
+
+TEST_P(CoreModelSweep, IpcPositiveAndBounded)
+{
+    const auto param = GetParam();
+    CoreModel core;
+    Phase p = memPhase();
+    p.baseCpi = param.base_cpi;
+    p.l1MissPerInstr = std::max(p.l1MissPerInstr, param.l2_miss);
+    p.l2MissPerInstr = param.l2_miss;
+    p.mlp = param.mlp;
+    for (double f : {0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0}) {
+        const double ipc = core.ipc(p, f);
+        EXPECT_GT(ipc, 0.0);
+        EXPECT_LE(ipc, 1.0 / param.base_cpi + 1e-9);
+    }
+}
+
+TEST_P(CoreModelSweep, TimePerInstrMonotoneNonIncreasingInFreq)
+{
+    const auto param = GetParam();
+    CoreModel core;
+    Phase p = memPhase();
+    p.baseCpi = param.base_cpi;
+    p.l1MissPerInstr = std::max(p.l1MissPerInstr, param.l2_miss);
+    p.l2MissPerInstr = param.l2_miss;
+    p.mlp = param.mlp;
+    double prev_tpi = 1e18;
+    for (double f : {0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0}) {
+        const double tpi = core.cpi(p, f) / f;
+        EXPECT_LE(tpi, prev_tpi * (1.0 + 1e-12));
+        prev_tpi = tpi;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PhaseGrid, CoreModelSweep,
+    ::testing::Values(PhaseSweepParam{0.5, 0.0, 1.0},
+                      PhaseSweepParam{0.5, 0.02, 1.0},
+                      PhaseSweepParam{0.5, 0.06, 2.0},
+                      PhaseSweepParam{1.0, 0.0, 1.0},
+                      PhaseSweepParam{1.0, 0.04, 1.5},
+                      PhaseSweepParam{1.5, 0.08, 3.0},
+                      PhaseSweepParam{2.0, 0.01, 1.2}));
+
+} // namespace
+} // namespace aapm

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the p-state table and the DVFS actuator model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dvfs/dvfs_controller.hh"
+#include "dvfs/pstate.hh"
+#include "sim/ticks.hh"
+
+namespace aapm
+{
+namespace
+{
+
+TEST(PStateTableTest, PentiumMMatchesPaperTableII)
+{
+    const PStateTable t = PStateTable::pentiumM();
+    ASSERT_EQ(t.size(), 8u);
+    EXPECT_DOUBLE_EQ(t[0].freqMhz, 600.0);
+    EXPECT_DOUBLE_EQ(t[0].voltage, 0.998);
+    EXPECT_DOUBLE_EQ(t[7].freqMhz, 2000.0);
+    EXPECT_DOUBLE_EQ(t[7].voltage, 1.340);
+    EXPECT_DOUBLE_EQ(t[3].freqMhz, 1200.0);
+    EXPECT_DOUBLE_EQ(t[3].voltage, 1.148);
+}
+
+TEST(PStateTableTest, FrequencyAscending)
+{
+    const PStateTable t = PStateTable::pentiumM();
+    for (size_t i = 1; i < t.size(); ++i) {
+        EXPECT_GT(t[i].freqMhz, t[i - 1].freqMhz);
+        EXPECT_GT(t[i].voltage, t[i - 1].voltage);
+    }
+}
+
+TEST(PStateTableTest, FreqGhz)
+{
+    const PStateTable t = PStateTable::pentiumM();
+    EXPECT_DOUBLE_EQ(t[7].freqGhz(), 2.0);
+    EXPECT_DOUBLE_EQ(t[0].freqGhz(), 0.6);
+}
+
+TEST(PStateTableTest, IndexOfMhz)
+{
+    const PStateTable t = PStateTable::pentiumM();
+    EXPECT_EQ(t.indexOfMhz(1400.0), 4u);
+    EXPECT_THROW(t.indexOfMhz(1500.0), std::runtime_error);
+}
+
+TEST(PStateTableTest, HighestAtOrBelow)
+{
+    const PStateTable t = PStateTable::pentiumM();
+    EXPECT_EQ(t.highestAtOrBelowMhz(2000.0), 7u);
+    EXPECT_EQ(t.highestAtOrBelowMhz(1999.0), 6u);
+    EXPECT_EQ(t.highestAtOrBelowMhz(700.0), 0u);
+    EXPECT_EQ(t.highestAtOrBelowMhz(100.0), 0u);   // clamps to slowest
+}
+
+TEST(PStateTableTest, RejectsUnsortedTable)
+{
+    EXPECT_THROW(PStateTable({{1000.0, 1.1}, {800.0, 1.0}}),
+                 std::runtime_error);
+}
+
+TEST(PStateTableTest, RejectsEmptyTable)
+{
+    EXPECT_THROW(PStateTable(std::vector<PState>{}),
+                 std::runtime_error);
+}
+
+TEST(PStateTableTest, MaxIndex)
+{
+    EXPECT_EQ(PStateTable::pentiumM().maxIndex(), 7u);
+}
+
+TEST(DvfsController, StartsAtInitialState)
+{
+    DvfsController ctrl(PStateTable::pentiumM(), 3);
+    EXPECT_EQ(ctrl.currentIndex(), 3u);
+    EXPECT_DOUBLE_EQ(ctrl.current().freqMhz, 1200.0);
+}
+
+TEST(DvfsController, RejectsOutOfRangeInitial)
+{
+    EXPECT_THROW(DvfsController(PStateTable::pentiumM(), 8),
+                 std::runtime_error);
+}
+
+TEST(DvfsController, TransitionChangesStateAndCosts)
+{
+    DvfsController ctrl(PStateTable::pentiumM(), 7);
+    const Tick stall = ctrl.requestPState(0);
+    EXPECT_EQ(ctrl.currentIndex(), 0u);
+    EXPECT_GT(stall, 0u);
+    EXPECT_EQ(ctrl.stats().transitions, 1u);
+    EXPECT_EQ(ctrl.stats().stallTicks, stall);
+}
+
+TEST(DvfsController, NoOpTransitionIsFree)
+{
+    DvfsController ctrl(PStateTable::pentiumM(), 4);
+    EXPECT_EQ(ctrl.requestPState(4), 0u);
+    EXPECT_EQ(ctrl.stats().transitions, 0u);
+}
+
+TEST(DvfsController, LargerVoltageSwingCostsMore)
+{
+    DvfsController a(PStateTable::pentiumM(), 7);
+    DvfsController b(PStateTable::pentiumM(), 7);
+    const Tick small = a.requestPState(6);   // 1.340 -> 1.292 V
+    const Tick large = b.requestPState(0);   // 1.340 -> 0.998 V
+    EXPECT_GT(large, small);
+}
+
+TEST(DvfsController, TransitionCostMatchesConfig)
+{
+    DvfsConfig cfg;
+    cfg.transitionUs = 10.0;
+    cfg.slewUsPer100mV = 5.0;
+    DvfsController ctrl(PStateTable::pentiumM(), 7, cfg);
+    // 1.340 -> 0.998 V = 342 mV -> 10 + 5*3.42 = 27.1 us.
+    const Tick stall = ctrl.requestPState(0);
+    EXPECT_NEAR(static_cast<double>(stall) / TicksPerUs, 27.1, 0.01);
+}
+
+TEST(DvfsController, ResidencyAccounting)
+{
+    DvfsController ctrl(PStateTable::pentiumM(), 7);
+    ctrl.accountResidency(100);
+    ctrl.requestPState(0);
+    ctrl.accountResidency(250);
+    EXPECT_EQ(ctrl.stats().residency[7], 100u);
+    EXPECT_EQ(ctrl.stats().residency[0], 250u);
+    EXPECT_EQ(ctrl.stats().residency[4], 0u);
+}
+
+TEST(DvfsController, OutOfRangeRequestFatal)
+{
+    DvfsController ctrl(PStateTable::pentiumM(), 0);
+    EXPECT_THROW(ctrl.requestPState(12), std::runtime_error);
+}
+
+} // namespace
+} // namespace aapm

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Failure-injection tests: sensor glitches and stuck readings, and the
+ * feedback governors' robustness to them (a feedback loop built on a
+ * corrupted sensor must not be worse than no feedback at all).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mgmt/performance_maximizer.hh"
+#include "mgmt/pm_adaptive.hh"
+#include "mgmt/pm_feedback.hh"
+#include "platform/experiment.hh"
+#include "sensor/power_sensor.hh"
+#include "workload/spec_suite.hh"
+
+namespace aapm
+{
+namespace
+{
+
+TEST(SensorFaults, GlitchesAppearAtConfiguredRate)
+{
+    SensorConfig cfg;
+    cfg.glitchProb = 0.05;
+    cfg.noiseSigmaW = 0.0;
+    cfg.gainErrorMax = 0.0;
+    cfg.offsetErrorMaxW = 0.0;
+    PowerSensor sensor(cfg);
+    int far_off = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (std::abs(sensor.sample(15.0) - 15.0) > 2.0)
+            ++far_off;
+    }
+    // Glitches are uniform over 0..40 W; ~90% of them land > 2 W away.
+    EXPECT_NEAR(static_cast<double>(far_off) / n, 0.045, 0.01);
+}
+
+TEST(SensorFaults, StuckRepeatsPreviousReading)
+{
+    SensorConfig cfg;
+    cfg.stuckProb = 1.0;   // always stuck after the first sample
+    PowerSensor sensor(cfg);
+    const double first = sensor.sample(10.0);
+    (void)first;
+    // From now on every call repeats the last value regardless of
+    // input. (The first call may itself report the initial 0.)
+    const double a = sensor.sample(20.0);
+    const double b = sensor.sample(5.0);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SensorFaults, ZeroProbabilityIsFaultFree)
+{
+    SensorConfig clean;
+    SensorConfig same = clean;
+    same.glitchProb = 0.0;
+    same.stuckProb = 0.0;
+    PowerSensor a(clean), b(same);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.sample(12.0), b.sample(12.0));
+}
+
+class FaultyPlatformTest : public ::testing::Test
+{
+  protected:
+    static const TrainedModels &
+    models()
+    {
+        static const TrainedModels m = trainModels(PlatformConfig{});
+        return m;
+    }
+
+    static RunResult
+    runWithGlitches(Governor &governor, double glitch_prob)
+    {
+        PlatformConfig config;
+        config.sensor.glitchProb = glitch_prob;
+        Platform platform(config);
+        const Workload w = specWorkload("gzip", config.core, 3.0);
+        return platform.run(w, governor);
+    }
+};
+
+TEST_F(FaultyPlatformTest, PlainPmUnaffectedBySensorFaults)
+{
+    // PM never reads the sensor; glitches must not change its control.
+    PerformanceMaximizer clean_pm(
+        models().powerEstimator(PStateTable::pentiumM()),
+        PmConfig{.powerLimitW = 14.5});
+    const RunResult clean = runWithGlitches(clean_pm, 0.0);
+    PerformanceMaximizer faulty_pm(
+        models().powerEstimator(PStateTable::pentiumM()),
+        PmConfig{.powerLimitW = 14.5});
+    const RunResult faulty = runWithGlitches(faulty_pm, 0.05);
+    EXPECT_DOUBLE_EQ(clean.seconds, faulty.seconds);
+    EXPECT_EQ(clean.dvfs.transitions, faulty.dvfs.transitions);
+}
+
+TEST_F(FaultyPlatformTest, FeedbackPmDegradesGracefully)
+{
+    // PM-F consumes the sensor; its clamped EWMA must keep occasional
+    // glitches from wrecking performance (bounded slowdown vs clean).
+    PmFeedback clean_pm(
+        models().powerEstimator(PStateTable::pentiumM()),
+        PmConfig{.powerLimitW = 14.5});
+    const RunResult clean = runWithGlitches(clean_pm, 0.0);
+    PmFeedback faulty_pm(
+        models().powerEstimator(PStateTable::pentiumM()),
+        PmConfig{.powerLimitW = 14.5});
+    const RunResult faulty = runWithGlitches(faulty_pm, 0.02);
+    EXPECT_LT(faulty.seconds, clean.seconds * 1.15);
+    EXPECT_TRUE(faulty.finished);
+}
+
+TEST_F(FaultyPlatformTest, AdaptivePmSurvivesGlitches)
+{
+    // PM-A's RLS sees corrupted samples; forgetting plus the residual
+    // clamp keep the run sane.
+    PmAdaptive clean_pm(
+        models().powerEstimator(PStateTable::pentiumM()),
+        PmConfig{.powerLimitW = 14.5});
+    const RunResult clean = runWithGlitches(clean_pm, 0.0);
+    PmAdaptive faulty_pm(
+        models().powerEstimator(PStateTable::pentiumM()),
+        PmConfig{.powerLimitW = 14.5});
+    const RunResult faulty = runWithGlitches(faulty_pm, 0.02);
+    EXPECT_TRUE(faulty.finished);
+    EXPECT_LT(faulty.seconds, clean.seconds * 1.25);
+}
+
+} // namespace
+} // namespace aapm

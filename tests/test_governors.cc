@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Tests for the governors' decision logic in isolation: PM's
+ * asymmetric control and guardband, PS's floor arithmetic, the static
+ * and demand-based baselines, and the feedback variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mgmt/demand_based.hh"
+#include "mgmt/performance_maximizer.hh"
+#include "mgmt/pm_feedback.hh"
+#include "mgmt/power_save.hh"
+#include "mgmt/static_clock.hh"
+#include "pmu/pmu.hh"
+
+namespace aapm
+{
+namespace
+{
+
+MonitorSample
+sampleWithDpc(double dpc, size_t pstate)
+{
+    MonitorSample s;
+    s.intervalSeconds = 0.01;
+    s.cycles = 20'000'000;
+    s.dpc = dpc;
+    s.pstate = pstate;
+    return s;
+}
+
+MonitorSample
+sampleWithIpc(double ipc, double dcu, size_t pstate)
+{
+    MonitorSample s;
+    s.intervalSeconds = 0.01;
+    s.cycles = 20'000'000;
+    s.ipc = ipc;
+    s.dcuPerCycle = dcu;
+    s.pstate = pstate;
+    return s;
+}
+
+PerformanceMaximizer
+makePm(double limit, size_t window = 10)
+{
+    PmConfig cfg;
+    cfg.powerLimitW = limit;
+    cfg.guardbandW = 0.5;
+    cfg.raiseWindow = window;
+    return PerformanceMaximizer(PowerEstimator::paperPentiumM(), cfg);
+}
+
+TEST(PmTest, ConfiguresOneCounter)
+{
+    auto pm = makePm(17.5);
+    Pmu pmu;
+    pm.configureCounters(pmu);
+    EXPECT_EQ(*pmu.slotEvent(0), PmuEvent::InstructionsDecoded);
+    EXPECT_FALSE(pmu.slotEvent(1).has_value());
+}
+
+TEST(PmTest, HighLimitAllowsTopState)
+{
+    auto pm = makePm(30.0);
+    EXPECT_EQ(pm.decide(sampleWithDpc(1.0, 7), 7), 7u);
+}
+
+TEST(PmTest, LowersImmediately)
+{
+    // At 17.5 W with Table II, DPC = 2.0 predicts 2.93*2+12.11+0.5 =
+    // 18.48 W at 2000 MHz -> must drop on the very first sample.
+    auto pm = makePm(17.5);
+    const size_t next = pm.decide(sampleWithDpc(2.0, 7), 7);
+    EXPECT_LT(next, 7u);
+}
+
+TEST(PmTest, ChoosesHighestSafeState)
+{
+    auto pm = makePm(17.5);
+    // DPC 2.0 at 2000: projected DPC at 1800 = 2.0*2000/1800 = 2.22,
+    // est = 2.36*2.22 + 10.18 + 0.5 = 15.92 <= 17.5 -> 1800 is safe.
+    EXPECT_EQ(pm.decide(sampleWithDpc(2.0, 7), 7), 6u);
+}
+
+TEST(PmTest, InfeasibleLimitFallsToSlowest)
+{
+    auto pm = makePm(1.0);
+    EXPECT_EQ(pm.decide(sampleWithDpc(1.0, 7), 7), 0u);
+}
+
+TEST(PmTest, RaisesOnlyAfterFullWindow)
+{
+    auto pm = makePm(17.5, 10);
+    // Low DPC at a low state: raising is safe, but needs 10 samples.
+    for (int i = 0; i < 9; ++i)
+        EXPECT_EQ(pm.decide(sampleWithDpc(0.2, 3), 3), 3u) << i;
+    EXPECT_GT(pm.decide(sampleWithDpc(0.2, 3), 3), 3u);
+}
+
+TEST(PmTest, RaiseStreakResetsOnUnsafeSample)
+{
+    auto pm = makePm(17.5, 10);
+    for (int i = 0; i < 9; ++i)
+        pm.decide(sampleWithDpc(0.2, 3), 3);
+    // A sample hot enough that no raise is safe interrupts the streak.
+    pm.decide(sampleWithDpc(7.5, 3), 3);
+    for (int i = 0; i < 9; ++i)
+        EXPECT_EQ(pm.decide(sampleWithDpc(0.2, 3), 3), 3u) << i;
+    EXPECT_GT(pm.decide(sampleWithDpc(0.2, 3), 3), 3u);
+}
+
+TEST(PmTest, RaiseTargetIsMostConservativeInStreak)
+{
+    auto pm = makePm(17.5, 3);
+    // Mixed headroom during the streak: the raise goes to the minimum
+    // safe target seen, not the latest.
+    pm.decide(sampleWithDpc(0.1, 2), 2);    // very safe, target high
+    pm.decide(sampleWithDpc(1.8, 2), 2);    // mildly safe, target lower
+    const size_t next = pm.decide(sampleWithDpc(0.1, 2), 2);
+    EXPECT_GT(next, 2u);
+    // DPC 1.8 at 1000 MHz projected down: the safe state is what that
+    // sample allows; verify we didn't jump to 7.
+    EXPECT_LT(next, 7u);
+}
+
+TEST(PmTest, NewLimitTakesEffectImmediately)
+{
+    auto pm = makePm(30.0);
+    EXPECT_EQ(pm.decide(sampleWithDpc(2.0, 7), 7), 7u);
+    pm.setPowerLimit(14.5);
+    EXPECT_LT(pm.decide(sampleWithDpc(2.0, 7), 7), 7u);
+    EXPECT_DOUBLE_EQ(pm.powerLimit(), 14.5);
+}
+
+TEST(PmTest, GuardbandShrinksHeadroom)
+{
+    PmConfig tight;
+    tight.powerLimitW = 18.5;
+    tight.guardbandW = 0.0;
+    PmConfig guarded = tight;
+    guarded.guardbandW = 1.0;
+    PerformanceMaximizer a(PowerEstimator::paperPentiumM(), tight);
+    PerformanceMaximizer b(PowerEstimator::paperPentiumM(), guarded);
+    // est at 2000 for DPC 2.0 = 17.97: fits without guardband only.
+    EXPECT_EQ(a.decide(sampleWithDpc(2.0, 7), 7), 7u);
+    EXPECT_LT(b.decide(sampleWithDpc(2.0, 7), 7), 7u);
+}
+
+TEST(PmTest, MissingDpcCounterPanics)
+{
+    auto pm = makePm(17.5);
+    MonitorSample s;
+    s.pstate = 7;
+    EXPECT_THROW(pm.decide(s, 7), std::logic_error);
+}
+
+TEST(PmTest, RejectsBadConfig)
+{
+    PmConfig bad;
+    bad.powerLimitW = -5.0;
+    EXPECT_THROW(
+        PerformanceMaximizer(PowerEstimator::paperPentiumM(), bad),
+        std::runtime_error);
+    EXPECT_THROW(makePm(17.5).setPowerLimit(0.0), std::runtime_error);
+}
+
+PowerSave
+makePs(double floor)
+{
+    return PowerSave(PStateTable::pentiumM(),
+                     PerfEstimator(1.21, 0.81), {floor});
+}
+
+TEST(PsTest, ConfiguresBothCounters)
+{
+    auto ps = makePs(0.8);
+    Pmu pmu;
+    ps.configureCounters(pmu);
+    EXPECT_EQ(*pmu.slotEvent(0), PmuEvent::InstructionsRetired);
+    EXPECT_EQ(*pmu.slotEvent(1), PmuEvent::DcuMissOutstanding);
+}
+
+TEST(PsTest, CoreBoundWorkloadMapsFloorToFrequency)
+{
+    // Core-bound: perf ~ f, so floor 0.8 -> lowest f with f >= 0.8*fmax
+    // = 1600 MHz (index 5).
+    auto ps = makePs(0.8);
+    EXPECT_EQ(ps.decide(sampleWithIpc(1.5, 0.1, 7), 7), 5u);
+    // Floor 0.4 -> 800 MHz (index 1).
+    auto ps2 = makePs(0.4);
+    EXPECT_EQ(ps2.decide(sampleWithIpc(1.5, 0.1, 7), 7), 1u);
+}
+
+TEST(PsTest, MemoryBoundWorkloadDropsTo800At80Floor)
+{
+    // With e = 0.81: 600 MHz projects below an 80% floor, 800 MHz just
+    // above — the paper's discretization example.
+    auto ps = makePs(0.8);
+    EXPECT_EQ(ps.decide(sampleWithIpc(0.3, 2.0, 7), 7), 1u);
+}
+
+TEST(PsTest, MemoryBoundWorkloadHits600AtLowerFloors)
+{
+    auto ps = makePs(0.6);
+    EXPECT_EQ(ps.decide(sampleWithIpc(0.3, 2.0, 7), 7), 0u);
+}
+
+TEST(PsTest, Floor100StaysAtTop)
+{
+    auto ps = makePs(1.0);
+    EXPECT_EQ(ps.decide(sampleWithIpc(1.2, 0.1, 7), 7), 7u);
+}
+
+TEST(PsTest, DecisionWorksFromLowCurrentState)
+{
+    // Classification and projection happen from the current state.
+    auto ps = makePs(0.8);
+    // Core-bound at 600 MHz: must climb to >= 1600.
+    EXPECT_EQ(ps.decide(sampleWithIpc(1.5, 0.1, 0), 0), 5u);
+}
+
+TEST(PsTest, FloorChangeTakesEffect)
+{
+    auto ps = makePs(0.8);
+    EXPECT_EQ(ps.decide(sampleWithIpc(1.5, 0.1, 7), 7), 5u);
+    ps.setPerformanceFloor(0.2);
+    EXPECT_EQ(ps.decide(sampleWithIpc(1.5, 0.1, 7), 7), 0u);
+    EXPECT_DOUBLE_EQ(ps.performanceFloor(), 0.2);
+}
+
+TEST(PsTest, RejectsBadFloor)
+{
+    EXPECT_THROW(makePs(0.0), std::runtime_error);
+    EXPECT_THROW(makePs(1.5), std::runtime_error);
+    EXPECT_THROW(makePs(0.8).setPerformanceFloor(-1.0),
+                 std::runtime_error);
+}
+
+TEST(PsTest, MissingCountersPanic)
+{
+    auto ps = makePs(0.8);
+    MonitorSample s;
+    s.pstate = 7;
+    EXPECT_THROW(ps.decide(s, 7), std::logic_error);
+}
+
+TEST(StaticClockTest, AlwaysReturnsPinnedState)
+{
+    StaticClock gov(4);
+    MonitorSample s;
+    EXPECT_EQ(gov.decide(s, 0), 4u);
+    EXPECT_EQ(gov.decide(s, 7), 4u);
+    EXPECT_EQ(gov.pstate(), 4u);
+}
+
+TEST(StaticClockTest, ChooseForLimitMatchesPaperTableIV)
+{
+    // Paper Table III worst-case powers per p-state.
+    const std::vector<double> worst = {3.86, 5.21, 6.56, 8.16,
+                                       10.16, 12.46, 15.29, 17.78};
+    const PStateTable t = PStateTable::pentiumM();
+    // Paper Table IV: limit -> static frequency.
+    const std::vector<std::pair<double, double>> expect = {
+        {17.5, 1800.0}, {16.5, 1800.0}, {15.5, 1800.0}, {14.5, 1600.0},
+        {13.5, 1600.0}, {12.5, 1600.0}, {11.5, 1400.0}, {10.5, 1400.0},
+    };
+    for (const auto &[limit, freq] : expect) {
+        const size_t idx = StaticClock::chooseForLimit(worst, limit);
+        EXPECT_DOUBLE_EQ(t[idx].freqMhz, freq) << limit;
+    }
+}
+
+TEST(StaticClockTest, InfeasibleLimitWarnsAndUsesSlowest)
+{
+    const std::vector<double> worst = {3.86, 5.21};
+    EXPECT_EQ(StaticClock::chooseForLimit(worst, 2.0), 0u);
+}
+
+TEST(DbsTest, FullLoadPinsMaxFrequency)
+{
+    // The motivating observation for PS: utilization-driven DVFS never
+    // saves anything on an always-busy workload.
+    DemandBasedSwitching dbs(PStateTable::pentiumM());
+    MonitorSample s;
+    s.utilization = 1.0;
+    size_t state = 3;
+    for (int i = 0; i < 5; ++i)
+        state = dbs.decide(s, state);
+    EXPECT_EQ(state, 7u);
+}
+
+TEST(DbsTest, IdleStepsDownGradually)
+{
+    DemandBasedSwitching dbs(PStateTable::pentiumM());
+    MonitorSample s;
+    s.utilization = 0.1;
+    EXPECT_EQ(dbs.decide(s, 7), 6u);
+    EXPECT_EQ(dbs.decide(s, 1), 0u);
+    EXPECT_EQ(dbs.decide(s, 0), 0u);
+}
+
+TEST(DbsTest, MidUtilizationHolds)
+{
+    DemandBasedSwitching dbs(PStateTable::pentiumM());
+    MonitorSample s;
+    s.utilization = 0.5;
+    EXPECT_EQ(dbs.decide(s, 4), 4u);
+}
+
+TEST(DbsTest, RejectsInvertedThresholds)
+{
+    DbsConfig cfg;
+    cfg.upThreshold = 0.2;
+    cfg.downThreshold = 0.5;
+    EXPECT_THROW(DemandBasedSwitching(PStateTable::pentiumM(), cfg),
+                 std::runtime_error);
+}
+
+TEST(PmFeedbackTest, RatioStartsAtUnity)
+{
+    PmFeedback pm(PowerEstimator::paperPentiumM(),
+                  {.powerLimitW = 17.5});
+    EXPECT_DOUBLE_EQ(pm.correctionRatio(), 1.0);
+}
+
+TEST(PmFeedbackTest, LearnsHotWorkload)
+{
+    // A workload measuring hotter than predicted pushes the ratio up,
+    // making PM-F throttle where plain PM would not.
+    PmFeedback pmf(PowerEstimator::paperPentiumM(),
+                   {.powerLimitW = 17.5});
+    auto pm = makePm(17.5);
+
+    MonitorSample s = sampleWithDpc(1.5, 7);
+    // Table II estimate: 2.93*1.5+12.11 = 16.5; measured runs 2 W hot.
+    s.measuredPowerW = 18.5;
+    size_t fb_state = 7;
+    for (int i = 0; i < 20; ++i)
+        fb_state = pmf.decide(s, fb_state);
+    EXPECT_GT(pmf.correctionRatio(), 1.05);
+    EXPECT_LT(fb_state, 7u);
+    // Plain PM keeps trusting the model (16.5 + 0.5 < 17.5).
+    EXPECT_EQ(pm.decide(s, 7), 7u);
+}
+
+TEST(PmFeedbackTest, RatioClamped)
+{
+    PmFeedbackConfig fb;
+    fb.ratioAlpha = 1.0;
+    fb.ratioMin = 0.9;
+    fb.ratioMax = 1.2;
+    PmFeedback pmf(PowerEstimator::paperPentiumM(),
+                   {.powerLimitW = 17.5}, fb);
+    MonitorSample s = sampleWithDpc(1.0, 7);
+    s.measuredPowerW = 40.0;   // wildly hot
+    pmf.decide(s, 7);
+    EXPECT_LE(pmf.correctionRatio(), 1.2);
+}
+
+TEST(PmFeedbackTest, ResetRestoresUnity)
+{
+    PmFeedback pmf(PowerEstimator::paperPentiumM(),
+                   {.powerLimitW = 17.5});
+    MonitorSample s = sampleWithDpc(1.0, 7);
+    s.measuredPowerW = 20.0;
+    pmf.decide(s, 7);
+    pmf.reset();
+    EXPECT_DOUBLE_EQ(pmf.correctionRatio(), 1.0);
+}
+
+TEST(PmFeedbackTest, WithoutMeasurementBehavesLikePm)
+{
+    PmFeedback pmf(PowerEstimator::paperPentiumM(),
+                   {.powerLimitW = 17.5});
+    auto pm = makePm(17.5);
+    const MonitorSample s = sampleWithDpc(2.0, 7);   // no measuredPowerW
+    EXPECT_EQ(pmf.decide(s, 7), pm.decide(s, 7));
+}
+
+} // namespace
+} // namespace aapm

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * End-to-end integration tests: the paper's two solutions running on
+ * the full simulated platform with trained models, checked against the
+ * properties the paper claims (limit adherence, floor adherence,
+ * dynamic-over-static benefit, known violators).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mgmt/performance_maximizer.hh"
+#include "mgmt/pm_feedback.hh"
+#include "mgmt/power_save.hh"
+#include "mgmt/static_clock.hh"
+#include "platform/experiment.hh"
+#include "workload/spec_suite.hh"
+
+namespace aapm
+{
+namespace
+{
+
+/** Shared expensive fixtures: platform config + trained models. */
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    static const PlatformConfig &
+    config()
+    {
+        static const PlatformConfig c;
+        return c;
+    }
+
+    static const TrainedModels &
+    models()
+    {
+        static const TrainedModels m = trainModels(config());
+        return m;
+    }
+
+    static PerformanceMaximizer
+    makePm(double limit)
+    {
+        return PerformanceMaximizer(
+            models().powerEstimator(config().pstates),
+            PmConfig{.powerLimitW = limit});
+    }
+
+    static PowerSave
+    makePs(double floor)
+    {
+        return PowerSave(config().pstates, models().perfEstimator(),
+                         PsConfig{floor});
+    }
+};
+
+TEST_F(IntegrationTest, PmRespectsLimitOnSteadyWorkloads)
+{
+    Platform platform(config());
+    for (const char *name : {"swim", "sixtrack", "gzip", "ammp"}) {
+        const Workload w = specWorkload(name, config().core, 4.0);
+        for (double limit : {17.5, 14.5, 11.5}) {
+            auto pm = makePm(limit);
+            const RunResult r = platform.run(w, pm);
+            // 100 ms moving-average adherence (paper's metric): allow
+            // the small slack the paper itself reports.
+            EXPECT_LT(r.trace.fractionOverLimit(limit, 10), 0.02)
+                << name << " @ " << limit;
+        }
+    }
+}
+
+TEST_F(IntegrationTest, PmBeatsStaticClockingUnderSameLimit)
+{
+    Platform platform(config());
+    const auto worst = worstCasePowerTable(platform);
+    const Workload w = specWorkload("sixtrack", config().core, 3.0);
+    const double limit = 17.5;
+
+    auto pm = makePm(limit);
+    const RunResult dynamic = platform.run(w, pm);
+    const size_t static_idx = StaticClock::chooseForLimit(worst, limit);
+    const RunResult fixed = platform.runAtPState(w, static_idx);
+
+    // Dynamic clocking exploits sixtrack's low power to run faster.
+    EXPECT_LT(dynamic.seconds, fixed.seconds * 0.98);
+}
+
+TEST_F(IntegrationTest, PmAdaptsToWorkloadPhases)
+{
+    // On ammp under a tight limit, PM should use more than one p-state
+    // (Fig 5's modulation).
+    Platform platform(config());
+    auto pm = makePm(11.5);
+    const Workload ammp = specWorkload("ammp", config().core, 4.0);
+    const RunResult r = platform.run(ammp, pm);
+    int used = 0;
+    for (Tick t : r.dvfs.residency) {
+        if (t > 10 * TicksPerMs)
+            ++used;
+    }
+    EXPECT_GE(used, 2);
+}
+
+TEST_F(IntegrationTest, PsMeetsFloorOnWellBehavedWorkloads)
+{
+    Platform platform(config());
+    for (const char *name : {"swim", "sixtrack", "gzip", "ammp",
+                             "equake"}) {
+        const Workload w = specWorkload(name, config().core, 4.0);
+        const RunResult base =
+            platform.runAtPState(w, config().pstates.maxIndex());
+        for (double floor : {0.8, 0.6, 0.4}) {
+            auto ps = makePs(floor);
+            const RunResult r = platform.run(w, ps);
+            const double perf = base.seconds / r.seconds;
+            // Allow a small tolerance for discretization and noise.
+            EXPECT_GT(perf, floor - 0.04) << name << " @ " << floor;
+        }
+    }
+}
+
+TEST_F(IntegrationTest, PsSavesEnergy)
+{
+    Platform platform(config());
+    for (const char *name : {"swim", "ammp", "gzip"}) {
+        const Workload w = specWorkload(name, config().core, 3.0);
+        const RunResult base =
+            platform.runAtPState(w, config().pstates.maxIndex());
+        auto ps = makePs(0.8);
+        const RunResult r = platform.run(w, ps);
+        EXPECT_LT(r.trueEnergyJ, base.trueEnergyJ) << name;
+    }
+}
+
+TEST_F(IntegrationTest, PsSavesMoreOnMemoryBoundWork)
+{
+    Platform platform(config());
+    auto energy_saving = [&](const char *name) {
+        const Workload w = specWorkload(name, config().core, 3.0);
+        const RunResult base =
+            platform.runAtPState(w, config().pstates.maxIndex());
+        auto ps = makePs(0.8);
+        const RunResult r = platform.run(w, ps);
+        return 1.0 - r.trueEnergyJ / base.trueEnergyJ;
+    };
+    // Fig 10's ordering: swim (memory) saves much more than sixtrack
+    // (core).
+    EXPECT_GT(energy_saving("swim"), energy_saving("sixtrack") + 0.05);
+}
+
+TEST_F(IntegrationTest, ArtAndMcfViolateTheFloor)
+{
+    // Section IV-B.2: the in-between workloads art and mcf exceed the
+    // allowed 20% loss at the 80% floor with the trained exponent.
+    Platform platform(config());
+    for (const char *name : {"art", "mcf"}) {
+        const Workload w = specWorkload(name, config().core, 4.0);
+        const RunResult base =
+            platform.runAtPState(w, config().pstates.maxIndex());
+        auto ps = makePs(0.8);
+        const RunResult r = platform.run(w, ps);
+        const double reduction = 1.0 - base.seconds / r.seconds;
+        EXPECT_GT(reduction, 0.20) << name;
+    }
+}
+
+TEST_F(IntegrationTest, LowerExponentFixesMcf)
+{
+    // The paper's re-run with e = 0.59: mcf's reduction returns within
+    // the allowed 20%.
+    Platform platform(config());
+    const Workload w = specWorkload("mcf", config().core, 4.0);
+    const RunResult base =
+        platform.runAtPState(w, config().pstates.maxIndex());
+    PowerSave ps(config().pstates,
+                 PerfEstimator(models().perf.threshold,
+                               PerfEstimator::AlternateExponent),
+                 PsConfig{0.8});
+    const RunResult r = platform.run(w, ps);
+    const double reduction = 1.0 - base.seconds / r.seconds;
+    EXPECT_LT(reduction, 0.20 + 0.03);
+}
+
+TEST_F(IntegrationTest, GalgelIsHardForPm)
+{
+    // galgel's bursts exceed what the DPC model predicts; PM shows a
+    // visible (if bounded) violation fraction at a mid limit, and the
+    // measured-power feedback variant reduces it.
+    Platform platform(config());
+    const Workload galgel = specWorkload("galgel", config().core, 4.0);
+    const double limit = 13.5;
+
+    auto pm = makePm(limit);
+    const RunResult plain = platform.run(galgel, pm);
+    const double plain_over =
+        plain.trace.fractionOverLimit(limit, 10);
+
+    PmFeedback pmf(models().powerEstimator(config().pstates),
+                   PmConfig{.powerLimitW = limit});
+    const RunResult fb = platform.run(galgel, pmf);
+    const double fb_over = fb.trace.fractionOverLimit(limit, 10);
+
+    EXPECT_LE(fb_over, plain_over + 1e-9);
+}
+
+TEST_F(IntegrationTest, PmWithPaperCoefficientsAlsoWorks)
+{
+    // The governor is model-agnostic: the published Table II model
+    // drives the same platform acceptably.
+    Platform platform(config());
+    PerformanceMaximizer pm(PowerEstimator::paperPentiumM(),
+                            PmConfig{.powerLimitW = 14.5});
+    const Workload w = specWorkload("gzip", config().core, 3.0);
+    const RunResult r = platform.run(w, pm);
+    EXPECT_TRUE(r.finished);
+    EXPECT_LT(r.trace.fractionOverLimit(15.5, 10), 0.05);
+}
+
+TEST_F(IntegrationTest, TighterLimitsCostMorePerformance)
+{
+    Platform platform(config());
+    const Workload w = specWorkload("crafty", config().core, 3.0);
+    double prev_seconds = 0.0;
+    for (double limit : {17.5, 14.5, 12.5, 10.5}) {
+        auto pm = makePm(limit);
+        const RunResult r = platform.run(w, pm);
+        EXPECT_GE(r.seconds, prev_seconds * 0.999) << limit;
+        prev_seconds = r.seconds;
+    }
+}
+
+TEST_F(IntegrationTest, LowerFloorsSaveMoreEnergy)
+{
+    Platform platform(config());
+    const Workload w = specWorkload("gzip", config().core, 3.0);
+    double prev_energy = 1e18;
+    for (double floor : {0.8, 0.6, 0.4, 0.2}) {
+        auto ps = makePs(floor);
+        const RunResult r = platform.run(w, ps);
+        EXPECT_LE(r.trueEnergyJ, prev_energy * 1.001) << floor;
+        prev_energy = r.trueEnergyJ;
+    }
+}
+
+TEST_F(IntegrationTest, FullSuitePmAdherenceExceptGalgel)
+{
+    // The paper's claim verbatim: "PM is able to enforce the power
+    // limit for every benchmark except galgel."
+    Platform platform(config());
+    const auto suite = specSuite(config().core, 3.0);
+    const double limit = 13.5;
+    for (const auto &w : suite) {
+        auto pm = makePm(limit);
+        const RunResult r = platform.run(w, pm);
+        const double over = r.trace.fractionOverLimit(limit, 10);
+        if (w.name() == "galgel") {
+            EXPECT_GT(over, 0.02) << "galgel should misbehave";
+        } else {
+            EXPECT_LT(over, 0.02) << w.name();
+        }
+    }
+}
+
+TEST_F(IntegrationTest, FullSuitePsFloorExceptArtAndMcf)
+{
+    // Fig 11's violator set: only art and mcf break the 80% floor.
+    Platform platform(config());
+    const auto suite = specSuite(config().core, 3.0);
+    for (const auto &w : suite) {
+        const RunResult base =
+            platform.runAtPState(w, config().pstates.maxIndex());
+        auto ps = makePs(0.8);
+        const RunResult r = platform.run(w, ps);
+        const double perf = base.seconds / r.seconds;
+        if (w.name() == "art" || w.name() == "mcf") {
+            EXPECT_LT(perf, 0.80) << w.name()
+                                  << " should violate the floor";
+        } else {
+            EXPECT_GT(perf, 0.80 - 0.035) << w.name();
+        }
+    }
+}
+
+} // namespace
+} // namespace aapm

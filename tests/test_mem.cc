@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Unit and property tests for the memory substrate: cache geometry,
+ * LRU behavior, write-back semantics, the stride prefetcher, DRAM
+ * parameters and the two-level hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+#include "mem/prefetcher.hh"
+
+namespace aapm
+{
+namespace
+{
+
+CacheConfig
+smallCache()
+{
+    // 4 sets x 2 ways x 64 B lines = 512 B.
+    return {"test", 512, 64, 2, 1};
+}
+
+TEST(CacheConfigTest, NumSets)
+{
+    CacheConfig c{"c", 32 * 1024, 64, 8, 3};
+    EXPECT_EQ(c.numSets(), 64u);
+}
+
+TEST(CacheConfigTest, RejectsNonPow2Line)
+{
+    CacheConfig c{"c", 512, 48, 2, 1};
+    EXPECT_THROW(c.validate(), std::runtime_error);
+}
+
+TEST(CacheConfigTest, RejectsNonPow2Sets)
+{
+    CacheConfig c{"c", 3 * 64 * 2, 64, 2, 1};
+    EXPECT_THROW(c.validate(), std::runtime_error);
+}
+
+TEST(CacheConfigTest, RejectsZeroWays)
+{
+    CacheConfig c{"c", 512, 64, 0, 1};
+    EXPECT_THROW(c.validate(), std::runtime_error);
+}
+
+TEST(CacheTest, ColdMissThenHit)
+{
+    Cache cache(smallCache());
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x103F, false).hit);   // same line
+    EXPECT_FALSE(cache.access(0x1040, false).hit);  // next line
+}
+
+TEST(CacheTest, LruEviction)
+{
+    Cache cache(smallCache());   // 2 ways
+    // Three lines mapping to the same set (set stride = 4 lines).
+    const uint64_t a = 0;
+    const uint64_t b = 4 * 64;
+    const uint64_t c = 8 * 64;
+    cache.access(a, false);
+    cache.access(b, false);
+    cache.access(a, false);      // a most recent
+    cache.access(c, false);      // evicts b (LRU)
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_FALSE(cache.contains(b));
+    EXPECT_TRUE(cache.contains(c));
+}
+
+TEST(CacheTest, WritebackOnDirtyEviction)
+{
+    Cache cache(smallCache());
+    const uint64_t a = 0;
+    const uint64_t b = 4 * 64;
+    const uint64_t c = 8 * 64;
+    cache.access(a, true);       // dirty
+    cache.access(b, false);
+    const auto r = [&] {
+        cache.access(c, false);  // evicts dirty a
+        return cache.stats();
+    }();
+    EXPECT_EQ(r.writebacks, 1u);
+}
+
+TEST(CacheTest, WritebackAddressCorrect)
+{
+    Cache cache(smallCache());
+    const uint64_t a = 4 * 64;   // set 0, tag 1
+    cache.access(a, true);
+    cache.access(8 * 64, false);
+    const auto res = cache.access(12 * 64, false);
+    if (res.writeback)
+        EXPECT_EQ(res.writebackAddr, a);
+}
+
+TEST(CacheTest, CleanEvictionNoWriteback)
+{
+    Cache cache(smallCache());
+    cache.access(0, false);
+    cache.access(4 * 64, false);
+    cache.access(8 * 64, false);
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheTest, PrefetchFillInstallsLine)
+{
+    Cache cache(smallCache());
+    EXPECT_TRUE(cache.prefetchFill(0x2000));
+    EXPECT_FALSE(cache.prefetchFill(0x2000));   // already present
+    const auto r = cache.access(0x2000, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.hitWasPrefetched);
+    // Second touch is an ordinary hit.
+    EXPECT_FALSE(cache.access(0x2000, false).hitWasPrefetched);
+}
+
+TEST(CacheTest, FlushInvalidatesEverything)
+{
+    Cache cache(smallCache());
+    cache.access(0x3000, false);
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x3000));
+}
+
+TEST(CacheTest, StatsConsistency)
+{
+    Cache cache(smallCache());
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        cache.access(rng.below(64) * 64, rng.chance(0.3));
+    const auto &s = cache.stats();
+    EXPECT_EQ(s.accesses, 10000u);
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+    EXPECT_GT(s.missRate(), 0.0);
+    EXPECT_LT(s.missRate(), 1.0);
+}
+
+TEST(CacheTest, FitsWorkingSetPerfectlyAfterWarmup)
+{
+    // A working set equal to the cache size must be fully resident.
+    Cache cache(smallCache());   // 512 B = 8 lines
+    for (uint64_t pass = 0; pass < 2; ++pass)
+        for (uint64_t line = 0; line < 8; ++line)
+            cache.access(line * 64, false);
+    cache.resetStats();
+    for (uint64_t line = 0; line < 8; ++line)
+        cache.access(line * 64, false);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+// Parameterized sweep: miss rate of a streaming pass must be ~1/1 for
+// footprints over cache size, ~0 for under (after warmup).
+class CacheFootprintTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CacheFootprintTest, SteadyStateStreamMissBehavior)
+{
+    const uint64_t footprint = GetParam();
+    Cache cache({"c", 4096, 64, 4, 1});
+    const uint64_t lines = footprint / 64;
+    for (int pass = 0; pass < 2; ++pass)
+        for (uint64_t l = 0; l < lines; ++l)
+            cache.access(l * 64, false);
+    cache.resetStats();
+    for (uint64_t l = 0; l < lines; ++l)
+        cache.access(l * 64, false);
+    const double miss_rate = cache.stats().missRate();
+    if (footprint <= 4096) {
+        EXPECT_DOUBLE_EQ(miss_rate, 0.0) << footprint;
+    } else {
+        EXPECT_GT(miss_rate, 0.99) << footprint;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, CacheFootprintTest,
+                         ::testing::Values(1024, 2048, 4096, 8192,
+                                           16384, 65536));
+
+TEST(PrefetcherTest, TrainsOnAscendingStream)
+{
+    StridePrefetcher pf(PrefetcherConfig{});
+    std::vector<uint64_t> out;
+    for (int i = 0; i < 10; ++i) {
+        out.clear();
+        pf.observe(static_cast<uint64_t>(i) * 64, out);
+    }
+    EXPECT_GT(pf.stats().trained, 0u);
+    EXPECT_GT(pf.stats().issued, 0u);
+    // After training, the prefetcher predicts the next line(s).
+    out.clear();
+    pf.observe(10 * 64, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], 11u * 64);
+}
+
+TEST(PrefetcherTest, TrainsOnDescendingStream)
+{
+    StridePrefetcher pf(PrefetcherConfig{});
+    std::vector<uint64_t> out;
+    for (int i = 100; i > 80; --i) {
+        out.clear();
+        pf.observe(static_cast<uint64_t>(i) * 64, out);
+    }
+    out.clear();
+    pf.observe(80 * 64, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], 79u * 64);
+}
+
+TEST(PrefetcherTest, DoesNotTrainOnRandom)
+{
+    StridePrefetcher pf(PrefetcherConfig{});
+    Rng rng(5);
+    std::vector<uint64_t> out;
+    size_t issued = 0;
+    for (int i = 0; i < 2000; ++i) {
+        out.clear();
+        pf.observe(rng.below(1 << 20) * 64, out);
+        issued += out.size();
+    }
+    // Random addresses occasionally land near a tracker, but sustained
+    // issue should be rare.
+    EXPECT_LT(issued, 100u);
+}
+
+TEST(PrefetcherTest, TracksMultipleStreams)
+{
+    PrefetcherConfig cfg;
+    cfg.streams = 4;
+    StridePrefetcher pf(cfg);
+    std::vector<uint64_t> out;
+    // Interleave two streams far apart.
+    for (int i = 0; i < 20; ++i) {
+        out.clear();
+        pf.observe(static_cast<uint64_t>(i) * 64, out);
+        out.clear();
+        pf.observe((1 << 24) + static_cast<uint64_t>(i) * 64, out);
+    }
+    EXPECT_GE(pf.stats().trained, 2u);
+}
+
+TEST(PrefetcherTest, ResetClearsState)
+{
+    StridePrefetcher pf(PrefetcherConfig{});
+    std::vector<uint64_t> out;
+    for (int i = 0; i < 10; ++i) {
+        out.clear();
+        pf.observe(static_cast<uint64_t>(i) * 64, out);
+    }
+    pf.reset();
+    EXPECT_EQ(pf.stats().issued, 0u);
+    out.clear();
+    pf.observe(11 * 64, out);
+    EXPECT_TRUE(out.empty());   // training lost
+}
+
+TEST(DramTest, MinServiceTimeFromBandwidth)
+{
+    DramConfig cfg;
+    cfg.lineBytes = 64;
+    cfg.peakBandwidth = 3.2e9;
+    Dram dram(cfg);
+    EXPECT_NEAR(dram.minServiceNs(), 64.0 / 3.2, 1e-9);
+}
+
+TEST(DramTest, CountsReadsAndWrites)
+{
+    Dram dram(DramConfig{});
+    dram.read();
+    dram.read();
+    dram.write();
+    EXPECT_EQ(dram.stats().reads, 2u);
+    EXPECT_EQ(dram.stats().writes, 1u);
+    EXPECT_EQ(dram.stats().accesses(), 3u);
+}
+
+TEST(DramTest, RejectsBadConfig)
+{
+    DramConfig cfg;
+    cfg.latencyNs = -1.0;
+    EXPECT_THROW(Dram{cfg}, std::runtime_error);
+}
+
+TEST(HierarchyTest, ServiceLevels)
+{
+    HierarchyConfig cfg;
+    cfg.enablePrefetcher = false;
+    MemoryHierarchy hier(cfg);
+    // Cold: DRAM.
+    EXPECT_EQ(hier.access(0x100000, false).level, ServiceLevel::Dram);
+    // Warm in both: L1.
+    EXPECT_EQ(hier.access(0x100000, false).level, ServiceLevel::L1);
+}
+
+TEST(HierarchyTest, L2HitAfterL1Eviction)
+{
+    HierarchyConfig cfg;
+    cfg.enablePrefetcher = false;
+    cfg.l1 = {"L1", 4096, 64, 2, 3};     // tiny L1
+    cfg.l2 = {"L2", 1 << 20, 64, 8, 10};
+    MemoryHierarchy hier(cfg);
+    const uint64_t target = 0;
+    hier.access(target, false);   // DRAM; now in L1 and L2
+    // Thrash L1 set 0 (set stride = 32 lines x 64 B = 2 KiB).
+    for (uint64_t i = 1; i <= 4; ++i)
+        hier.access(i * 2048, false);
+    EXPECT_EQ(hier.access(target, false).level, ServiceLevel::L2);
+}
+
+TEST(HierarchyTest, PrefetcherCoversSequentialStream)
+{
+    HierarchyConfig cfg;
+    MemoryHierarchy hier(cfg);
+    // Long sequential stream through DRAM-resident data.
+    for (uint64_t i = 0; i < 4096; ++i)
+        hier.access(i * 64, false);
+    EXPECT_GT(hier.stats().prefetchCovered, 100u);
+}
+
+TEST(HierarchyTest, PrefetcherOffMeansNoCoverage)
+{
+    HierarchyConfig cfg;
+    cfg.enablePrefetcher = false;
+    MemoryHierarchy hier(cfg);
+    for (uint64_t i = 0; i < 4096; ++i)
+        hier.access(i * 64, false);
+    EXPECT_EQ(hier.stats().prefetchCovered, 0u);
+}
+
+TEST(HierarchyTest, StatsAddUp)
+{
+    MemoryHierarchy hier(HierarchyConfig{});
+    Rng rng(11);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hier.access(rng.below(1 << 16) * 8, rng.chance(0.25));
+    const auto &s = hier.stats();
+    EXPECT_EQ(s.accesses, static_cast<uint64_t>(n));
+    EXPECT_EQ(s.l1Hits + s.l2Hits + s.dramAccesses, s.accesses);
+}
+
+TEST(HierarchyTest, FlushForcesColdMisses)
+{
+    MemoryHierarchy hier(HierarchyConfig{});
+    hier.access(0x5000, false);
+    hier.flush();
+    EXPECT_EQ(hier.access(0x5000, false).level, ServiceLevel::Dram);
+}
+
+} // namespace
+} // namespace aapm

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the assembled platform: the 10 ms monitor loop, energy
+ * accounting, DVFS transitions during runs, trace recording, runtime
+ * command delivery, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mgmt/performance_maximizer.hh"
+#include "mgmt/power_save.hh"
+#include "mgmt/static_clock.hh"
+#include "platform/experiment.hh"
+#include "platform/platform.hh"
+#include "workload/spec_suite.hh"
+
+namespace aapm
+{
+namespace
+{
+
+Workload
+corePhaseWorkload(double seconds)
+{
+    // ~2e9 instr/s at 2 GHz with baseCpi 1.0.
+    Phase p;
+    p.name = "core";
+    p.instructions =
+        static_cast<uint64_t>(seconds * 2e9);
+    p.baseCpi = 1.0;
+    p.decodeRatio = 1.3;
+    p.memPerInstr = 0.3;
+    Workload w("core-w");
+    w.add(p);
+    return w;
+}
+
+TEST(PlatformTest, FixedFrequencyRunCompletes)
+{
+    Platform platform;
+    const RunResult r = platform.runAtPState(corePhaseWorkload(1.0), 7);
+    EXPECT_TRUE(r.finished);
+    EXPECT_NEAR(r.seconds, 1.0, 0.02);
+    EXPECT_EQ(r.instructions, corePhaseWorkload(1.0).totalInstructions());
+    EXPECT_EQ(r.governorName, "static");
+}
+
+TEST(PlatformTest, LowerFrequencyTakesLonger)
+{
+    Platform platform;
+    const Workload w = corePhaseWorkload(0.5);
+    const RunResult fast = platform.runAtPState(w, 7);
+    const RunResult slow = platform.runAtPState(w, 0);
+    EXPECT_NEAR(slow.seconds / fast.seconds, 2000.0 / 600.0, 0.02);
+}
+
+TEST(PlatformTest, LowerFrequencyUsesLessEnergyOnCoreBoundWork)
+{
+    Platform platform;
+    const Workload w = corePhaseWorkload(0.5);
+    const RunResult fast = platform.runAtPState(w, 7);
+    const RunResult slow = platform.runAtPState(w, 0);
+    // Despite running 3.3x longer, the V^2 drop wins by a wide margin.
+    EXPECT_LT(slow.trueEnergyJ, fast.trueEnergyJ);
+}
+
+TEST(PlatformTest, EnergyEqualsAvgPowerTimesTime)
+{
+    Platform platform;
+    const RunResult r = platform.runAtPState(corePhaseWorkload(0.5), 5);
+    EXPECT_NEAR(r.trueEnergyJ, r.avgTruePowerW * r.seconds, 1e-6);
+}
+
+TEST(PlatformTest, MeasuredEnergyTracksTrueEnergy)
+{
+    Platform platform;
+    const RunResult r = platform.runAtPState(corePhaseWorkload(1.0), 7);
+    EXPECT_NEAR(r.measuredEnergyJ, r.trueEnergyJ,
+                0.02 * r.trueEnergyJ);
+}
+
+TEST(PlatformTest, TraceHasOneSamplePerInterval)
+{
+    Platform platform;
+    const RunResult r = platform.runAtPState(corePhaseWorkload(0.5), 7);
+    // 0.5 s at 10 ms -> ~50 samples.
+    EXPECT_NEAR(static_cast<double>(r.trace.samples().size()), 50.0,
+                2.0);
+    for (const auto &s : r.trace.samples()) {
+        EXPECT_GT(s.measuredW, 0.0);
+        EXPECT_DOUBLE_EQ(s.freqMhz, 2000.0);
+    }
+}
+
+TEST(PlatformTest, TraceDisabledWhenRequested)
+{
+    Platform platform;
+    RunOptions opts;
+    opts.recordTrace = false;
+    const RunResult r =
+        platform.runAtPState(corePhaseWorkload(0.2), 7, opts);
+    EXPECT_TRUE(r.trace.samples().empty());
+    EXPECT_GT(r.trueEnergyJ, 0.0);   // accounting still works
+}
+
+TEST(PlatformTest, RunsAreDeterministic)
+{
+    Platform a, b;
+    const Workload w = corePhaseWorkload(0.3);
+    const RunResult ra = a.runAtPState(w, 6);
+    const RunResult rb = b.runAtPState(w, 6);
+    EXPECT_DOUBLE_EQ(ra.seconds, rb.seconds);
+    EXPECT_DOUBLE_EQ(ra.trueEnergyJ, rb.trueEnergyJ);
+    EXPECT_DOUBLE_EQ(ra.measuredEnergyJ, rb.measuredEnergyJ);
+}
+
+TEST(PlatformTest, MaxTimeCutsRunShort)
+{
+    Platform platform;
+    RunOptions opts;
+    opts.maxTime = 100 * TicksPerMs;
+    const RunResult r =
+        platform.runAtPState(corePhaseWorkload(10.0), 7, opts);
+    EXPECT_FALSE(r.finished);
+    EXPECT_LT(r.seconds, 0.2);
+}
+
+TEST(PlatformTest, ThermalFeedbackWarmsTheDie)
+{
+    PlatformConfig config;
+    config.thermalFeedback = true;
+    Platform platform(config);
+    const RunResult r = platform.runAtPState(corePhaseWorkload(2.0), 7);
+    EXPECT_GT(r.finalTempC, config.thermal.ambientC + 2.0);
+}
+
+TEST(PlatformTest, ThermalFeedbackRaisesLeakageSlightly)
+{
+    PlatformConfig with;
+    with.thermalFeedback = true;
+    PlatformConfig without = with;
+    without.thermalFeedback = false;
+    const Workload w = corePhaseWorkload(2.0);
+    const RunResult hot = Platform(with).runAtPState(w, 7);
+    const RunResult cold = Platform(without).runAtPState(w, 7);
+    EXPECT_NE(hot.trueEnergyJ, cold.trueEnergyJ);
+    EXPECT_NEAR(hot.trueEnergyJ, cold.trueEnergyJ,
+                0.05 * cold.trueEnergyJ);
+}
+
+TEST(PlatformTest, GovernorChangesFrequencyMidRun)
+{
+    // PS on ammp must actually modulate the p-state (Fig 8).
+    PlatformConfig config;
+    Platform platform(config);
+    PowerSave ps(config.pstates, PerfEstimator(1.21, 0.81), {0.8});
+    const Workload ammp = specWorkload("ammp", config.core, 3.0);
+    const RunResult r = platform.run(ammp, ps);
+    EXPECT_GT(r.dvfs.transitions, 2u);
+    // Residency spread across more than one state.
+    int states_used = 0;
+    for (Tick t : r.dvfs.residency) {
+        if (t > 0)
+            ++states_used;
+    }
+    EXPECT_GE(states_used, 2);
+}
+
+TEST(PlatformTest, DvfsTransitionsCostTime)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    PowerSave ps(config.pstates, PerfEstimator(1.21, 0.81), {0.8});
+    const Workload ammp = specWorkload("ammp", config.core, 3.0);
+    const RunResult r = platform.run(ammp, ps);
+    EXPECT_GT(r.dvfs.stallTicks, 0u);
+    // Stall overhead is tiny relative to the run (10s of us per 10 ms).
+    EXPECT_LT(ticksToSeconds(r.dvfs.stallTicks), 0.01 * r.seconds);
+}
+
+TEST(PlatformTest, ScheduledPowerLimitCommandApplies)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    const TrainedModels models = trainModels(config);
+    PerformanceMaximizer pm(models.powerEstimator(config.pstates),
+                            {.powerLimitW = 30.0});
+    RunOptions opts;
+    // Tighten the limit hard at t = 1 s.
+    opts.commands.push_back(
+        {TicksPerSec, ScheduledCommand::Kind::SetPowerLimit, 9.0});
+    const Workload w = corePhaseWorkload(2.0);
+    const RunResult r = platform.run(w, pm, opts);
+    // Before 1 s the platform runs at 2000 MHz; after, well below.
+    double before_hz = 0.0, after_hz = 0.0;
+    int before_n = 0, after_n = 0;
+    for (const auto &s : r.trace.samples()) {
+        if (s.when < TicksPerSec) {
+            before_hz += s.freqMhz;
+            ++before_n;
+        } else if (s.when > TicksPerSec + 200 * TicksPerMs) {
+            after_hz += s.freqMhz;
+            ++after_n;
+        }
+    }
+    ASSERT_GT(before_n, 0);
+    ASSERT_GT(after_n, 0);
+    EXPECT_GT(before_hz / before_n, 1900.0);
+    EXPECT_LT(after_hz / after_n, 1500.0);
+}
+
+TEST(PlatformTest, SteadyPowerMonotoneInPState)
+{
+    Platform platform;
+    Phase p;
+    p.instructions = 1000;
+    p.baseCpi = 0.8;
+    p.decodeRatio = 1.3;
+    p.memPerInstr = 0.3;
+    double prev = 0.0;
+    for (size_t i = 0; i < platform.pstates().size(); ++i) {
+        const double w = platform.steadyPower(p, i);
+        EXPECT_GT(w, prev);
+        prev = w;
+    }
+}
+
+TEST(PlatformTest, InvalidConfigRejected)
+{
+    PlatformConfig config;
+    config.initialPState = 12;
+    EXPECT_THROW(Platform{config}, std::runtime_error);
+    PlatformConfig config2;
+    config2.sampleInterval = 0;
+    EXPECT_THROW(Platform{config2}, std::runtime_error);
+}
+
+TEST(ExperimentTest, SuiteHelpersAggregate)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    std::vector<Workload> mini;
+    mini.push_back(specWorkload("sixtrack", config.core, 1.0));
+    mini.push_back(specWorkload("swim", config.core, 1.0));
+    const SuiteResult r = runSuiteAtPState(platform, mini, 7);
+    ASSERT_EQ(r.runs.size(), 2u);
+    EXPECT_NEAR(r.totalSeconds(),
+                r.runs[0].seconds + r.runs[1].seconds, 1e-12);
+    EXPECT_GT(r.totalTrueEnergyJ(), 0.0);
+    EXPECT_EQ(r.byName("swim").workloadName, "swim");
+    EXPECT_THROW(r.byName("mcf"), std::runtime_error);
+}
+
+TEST(ExperimentTest, RunSuiteWithGovernorFactory)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    const TrainedModels models = trainModels(config);
+    std::vector<Workload> mini;
+    mini.push_back(specWorkload("gzip", config.core, 1.0));
+    const SuiteResult r = runSuite(platform, mini, [&] {
+        return std::make_unique<PerformanceMaximizer>(
+            models.powerEstimator(config.pstates),
+            PmConfig{.powerLimitW = 14.5});
+    });
+    ASSERT_EQ(r.runs.size(), 1u);
+    EXPECT_EQ(r.runs[0].governorName, "PM");
+    EXPECT_TRUE(r.runs[0].finished);
+}
+
+} // namespace
+} // namespace aapm

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the PMU model: the two-programmable-counter constraint,
+ * event selection, and the free-running cycle counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_model.hh"
+#include "pmu/events.hh"
+#include "pmu/pmu.hh"
+
+namespace aapm
+{
+namespace
+{
+
+EventTotals
+someEvents()
+{
+    EventTotals e;
+    e.cycles = 1000.0;
+    e.instructionsRetired = 800.0;
+    e.instructionsDecoded = 1040.0;
+    e.dcuMissOutstanding = 300.0;
+    e.resourceStalls = 120.0;
+    e.l2Requests = 40.0;
+    e.busMemoryRequests = 12.0;
+    e.fpOps = 200.0;
+    return e;
+}
+
+TEST(PmuEvents, NamesAreDistinct)
+{
+    for (size_t i = 0; i < NumPmuEvents; ++i) {
+        for (size_t j = i + 1; j < NumPmuEvents; ++j) {
+            EXPECT_STRNE(pmuEventName(static_cast<PmuEvent>(i)),
+                         pmuEventName(static_cast<PmuEvent>(j)));
+        }
+    }
+}
+
+TEST(PmuEvents, ValueExtraction)
+{
+    const EventTotals e = someEvents();
+    EXPECT_DOUBLE_EQ(
+        pmuEventValue(e, PmuEvent::InstructionsRetired), 800.0);
+    EXPECT_DOUBLE_EQ(
+        pmuEventValue(e, PmuEvent::InstructionsDecoded), 1040.0);
+    EXPECT_DOUBLE_EQ(
+        pmuEventValue(e, PmuEvent::DcuMissOutstanding), 300.0);
+    EXPECT_DOUBLE_EQ(pmuEventValue(e, PmuEvent::ResourceStalls), 120.0);
+    EXPECT_DOUBLE_EQ(pmuEventValue(e, PmuEvent::L2Requests), 40.0);
+    EXPECT_DOUBLE_EQ(
+        pmuEventValue(e, PmuEvent::BusMemoryRequests), 12.0);
+    EXPECT_DOUBLE_EQ(pmuEventValue(e, PmuEvent::FpOps), 200.0);
+}
+
+TEST(Pmu, UnconfiguredSlotsCountNothing)
+{
+    Pmu pmu;
+    pmu.absorb(someEvents());
+    EXPECT_EQ(pmu.read(0), 0u);
+    EXPECT_EQ(pmu.read(1), 0u);
+    EXPECT_FALSE(pmu.slotEvent(0).has_value());
+}
+
+TEST(Pmu, ConfiguredSlotCounts)
+{
+    Pmu pmu;
+    pmu.configure(0, PmuEvent::InstructionsDecoded);
+    pmu.absorb(someEvents());
+    pmu.absorb(someEvents());
+    EXPECT_EQ(pmu.read(0), 2080u);
+    EXPECT_EQ(*pmu.slotEvent(0), PmuEvent::InstructionsDecoded);
+}
+
+TEST(Pmu, CycleCounterAlwaysRuns)
+{
+    Pmu pmu;
+    pmu.absorb(someEvents());
+    EXPECT_EQ(pmu.readCycles(), 1000u);
+    pmu.absorb(someEvents());
+    EXPECT_EQ(pmu.readCycles(), 2000u);
+}
+
+TEST(Pmu, CyclesSinceLastDeltas)
+{
+    Pmu pmu;
+    pmu.absorb(someEvents());
+    EXPECT_EQ(pmu.cyclesSinceLast(), 1000u);
+    pmu.absorb(someEvents());
+    pmu.absorb(someEvents());
+    EXPECT_EQ(pmu.cyclesSinceLast(), 2000u);
+    EXPECT_EQ(pmu.cyclesSinceLast(), 0u);
+}
+
+TEST(Pmu, ReconfigureZerosTheSlot)
+{
+    // The paper's constraint: a 2-counter PMU cannot watch a third
+    // event without losing one — reprogramming restarts the count.
+    Pmu pmu;
+    pmu.configure(0, PmuEvent::InstructionsRetired);
+    pmu.absorb(someEvents());
+    EXPECT_EQ(pmu.read(0), 800u);
+    pmu.configure(0, PmuEvent::FpOps);
+    EXPECT_EQ(pmu.read(0), 0u);
+    pmu.absorb(someEvents());
+    EXPECT_EQ(pmu.read(0), 200u);
+}
+
+TEST(Pmu, ReadAndClear)
+{
+    Pmu pmu;
+    pmu.configure(1, PmuEvent::L2Requests);
+    pmu.absorb(someEvents());
+    EXPECT_EQ(pmu.readAndClear(1), 40u);
+    EXPECT_EQ(pmu.read(1), 0u);
+    pmu.absorb(someEvents());
+    EXPECT_EQ(pmu.read(1), 40u);
+}
+
+TEST(Pmu, TwoSlotsIndependent)
+{
+    Pmu pmu;
+    pmu.configure(0, PmuEvent::InstructionsRetired);
+    pmu.configure(1, PmuEvent::DcuMissOutstanding);
+    pmu.absorb(someEvents());
+    EXPECT_EQ(pmu.read(0), 800u);
+    EXPECT_EQ(pmu.read(1), 300u);
+}
+
+TEST(Pmu, OnlyTwoSlots)
+{
+    Pmu pmu;
+    EXPECT_EQ(Pmu::NumSlots, 2u);
+    EXPECT_THROW(pmu.configure(2, PmuEvent::FpOps),
+                 std::runtime_error);
+}
+
+TEST(Pmu, FractionalEventsQuantizeOnRead)
+{
+    Pmu pmu;
+    pmu.configure(0, PmuEvent::FpOps);
+    EventTotals e;
+    e.fpOps = 0.6;
+    pmu.absorb(e);
+    EXPECT_EQ(pmu.read(0), 0u);   // floor(0.6)
+    pmu.absorb(e);
+    EXPECT_EQ(pmu.read(0), 1u);   // floor(1.2)
+}
+
+} // namespace
+} // namespace aapm

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the ground-truth power model and the RC thermal model: the
+ * CMOS scaling structure (P ~ V^2 f), activity sensitivity (the source
+ * of Fig 1's cross-workload power variation), leakage, and thermal
+ * dynamics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/core_model.hh"
+#include "dvfs/pstate.hh"
+#include "power/truth_power.hh"
+#include "workload/phase.hh"
+
+namespace aapm
+{
+namespace
+{
+
+ActivityRates
+busyRates()
+{
+    ActivityRates r;
+    r.busyFrac = 1.0;
+    r.dpc = 2.0;
+    r.fpc = 0.5;
+    r.l2pc = 0.05;
+    r.buspc = 0.0;
+    return r;
+}
+
+ActivityRates
+idleRates()
+{
+    return ActivityRates{};
+}
+
+const PState P600{600.0, 0.998};
+const PState P2000{2000.0, 1.340};
+
+TEST(TruthPower, HigherPStateCostsMore)
+{
+    TruthPowerModel model;
+    EXPECT_GT(model.power(busyRates(), P2000),
+              model.power(busyRates(), P600));
+    EXPECT_GT(model.power(idleRates(), P2000),
+              model.power(idleRates(), P600));
+}
+
+TEST(TruthPower, ActivityCostsPower)
+{
+    TruthPowerModel model;
+    EXPECT_GT(model.power(busyRates(), P2000),
+              model.power(idleRates(), P2000));
+}
+
+TEST(TruthPower, DynamicScalesWithVSquaredF)
+{
+    TruthPowerModel model;
+    const ActivityRates r = busyRates();
+    const PState a{1000.0, 1.0};
+    const PState b{2000.0, 1.0};   // same V, double f
+    EXPECT_NEAR(model.dynamicPower(r, b) / model.dynamicPower(r, a),
+                2.0, 1e-12);
+    const PState c{1000.0, 1.2};   // same f, 1.2x V
+    EXPECT_NEAR(model.dynamicPower(r, c) / model.dynamicPower(r, a),
+                1.44, 1e-12);
+}
+
+TEST(TruthPower, LeakageIndependentOfFrequency)
+{
+    TruthPowerModel model;
+    EXPECT_DOUBLE_EQ(model.leakagePower(1.2, 50.0),
+                     model.leakagePower(1.2, 50.0));
+    // Leakage grows with voltage.
+    EXPECT_GT(model.leakagePower(1.34, 50.0),
+              model.leakagePower(0.998, 50.0));
+}
+
+TEST(TruthPower, LeakageGrowsWithTemperature)
+{
+    TruthPowerModel model;
+    EXPECT_GT(model.leakagePower(1.2, 90.0),
+              model.leakagePower(1.2, 50.0));
+}
+
+TEST(TruthPower, PowerDecomposes)
+{
+    TruthPowerModel model;
+    const ActivityRates r = busyRates();
+    const double total = model.power(r, P2000, 50.0);
+    EXPECT_NEAR(total,
+                model.dynamicPower(r, P2000) +
+                    model.leakagePower(P2000.voltage, 50.0),
+                1e-12);
+}
+
+TEST(TruthPower, EachActivityTermContributes)
+{
+    TruthPowerModel model;
+    ActivityRates base = idleRates();
+    const double p0 = model.power(base, P2000);
+    base.busyFrac = 1.0;
+    const double p1 = model.power(base, P2000);
+    base.dpc = 1.0;
+    const double p2 = model.power(base, P2000);
+    base.fpc = 1.0;
+    const double p3 = model.power(base, P2000);
+    base.l2pc = 0.1;
+    const double p4 = model.power(base, P2000);
+    base.buspc = 0.05;
+    const double p5 = model.power(base, P2000);
+    EXPECT_LT(p0, p1);
+    EXPECT_LT(p1, p2);
+    EXPECT_LT(p2, p3);
+    EXPECT_LT(p3, p4);
+    EXPECT_LT(p4, p5);
+}
+
+TEST(TruthPower, StallChunkBurnsOnlyBaseline)
+{
+    TruthPowerModel model;
+    ExecChunk stall;   // phase == nullptr
+    stall.freqGhz = 2.0;
+    stall.duration = 1000;
+    const double p = model.power(stall, P2000);
+    const double idle = model.power(idleRates(), P2000);
+    EXPECT_DOUBLE_EQ(p, idle);
+}
+
+TEST(TruthPower, ChunkRatesExtraction)
+{
+    Phase phase;
+    phase.instructions = 100;
+    phase.baseCpi = 0.5;
+    phase.decodeRatio = 1.3;
+    phase.fpPerInstr = 0.4;
+
+    ExecChunk chunk;
+    chunk.phase = &phase;
+    chunk.freqGhz = 2.0;
+    chunk.instructions = 1000;
+    chunk.events.cycles = 1000.0;
+    chunk.events.instructionsRetired = 1000.0;
+    chunk.events.instructionsDecoded = 1300.0;
+    chunk.events.fpOps = 400.0;
+
+    const ActivityRates r = ActivityRates::fromChunk(chunk);
+    EXPECT_NEAR(r.dpc, 1.3, 1e-12);
+    EXPECT_NEAR(r.fpc, 0.4, 1e-12);
+    // busy = baseCpi * IPC = 0.5 * 1.0.
+    EXPECT_NEAR(r.busyFrac, 0.5, 1e-12);
+}
+
+TEST(TruthPower, BusyFracClampedToOne)
+{
+    Phase phase;
+    phase.instructions = 100;
+    phase.baseCpi = 3.0;   // IPC 1.0 would imply busy 3.0 -> clamp
+    ExecChunk chunk;
+    chunk.phase = &phase;
+    chunk.freqGhz = 1.0;
+    chunk.events.cycles = 1000.0;
+    chunk.events.instructionsRetired = 1000.0;
+    EXPECT_DOUBLE_EQ(ActivityRates::fromChunk(chunk).busyFrac, 1.0);
+}
+
+TEST(TruthPower, NegativeCapacitanceRejected)
+{
+    TruthPowerConfig cfg;
+    cfg.cDecode = -0.1;
+    EXPECT_THROW(TruthPowerModel{cfg}, std::runtime_error);
+}
+
+// Across the full Pentium M table, power at fixed activity must be
+// strictly increasing in p-state — the premise of DVFS control.
+class PStateMonotonicity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PStateMonotonicity, PowerIncreasesWithPState)
+{
+    const PStateTable table = PStateTable::pentiumM();
+    TruthPowerModel model;
+    ActivityRates r;
+    r.busyFrac = 0.25 * GetParam();
+    r.dpc = 0.5 * GetParam();
+    double prev = 0.0;
+    for (size_t i = 0; i < table.size(); ++i) {
+        const double p = model.power(r, table[i]);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Activities, PStateMonotonicity,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(ThermalModel, StartsAtAmbient)
+{
+    ThermalModel thermal;
+    EXPECT_DOUBLE_EQ(thermal.temperature(), thermal.config().ambientC);
+}
+
+TEST(ThermalModel, ApproachesSteadyState)
+{
+    ThermalModel thermal;
+    const double power = 15.0;
+    for (int i = 0; i < 100000; ++i)
+        thermal.step(power, 0.01);
+    EXPECT_NEAR(thermal.temperature(), thermal.steadyStateC(power),
+                1e-6);
+}
+
+TEST(ThermalModel, SteadyStateFormula)
+{
+    ThermalConfig cfg;
+    cfg.rTh = 1.0;
+    cfg.ambientC = 40.0;
+    ThermalModel thermal(cfg);
+    EXPECT_DOUBLE_EQ(thermal.steadyStateC(20.0), 60.0);
+}
+
+TEST(ThermalModel, HeatingIsGradual)
+{
+    ThermalModel thermal;
+    thermal.step(20.0, 0.01);
+    const double after_10ms = thermal.temperature();
+    EXPECT_GT(after_10ms, thermal.config().ambientC);
+    EXPECT_LT(after_10ms, thermal.steadyStateC(20.0));
+}
+
+TEST(ThermalModel, CoolsWhenPowerDrops)
+{
+    ThermalModel thermal;
+    for (int i = 0; i < 1000; ++i)
+        thermal.step(20.0, 0.1);
+    const double hot = thermal.temperature();
+    thermal.step(2.0, 5.0);
+    EXPECT_LT(thermal.temperature(), hot);
+}
+
+TEST(ThermalModel, ExactExponentialStep)
+{
+    // One big step must equal many small ones (exact ODE solution).
+    ThermalModel a, b;
+    a.step(15.0, 10.0);
+    for (int i = 0; i < 1000; ++i)
+        b.step(15.0, 0.01);
+    EXPECT_NEAR(a.temperature(), b.temperature(), 1e-9);
+}
+
+TEST(ThermalModel, ResetReturnsToAmbient)
+{
+    ThermalModel thermal;
+    thermal.step(25.0, 100.0);
+    thermal.reset();
+    EXPECT_DOUBLE_EQ(thermal.temperature(), thermal.config().ambientC);
+}
+
+TEST(ThermalModel, RejectsBadConfig)
+{
+    ThermalConfig cfg;
+    cfg.rTh = 0.0;
+    EXPECT_THROW(ThermalModel{cfg}, std::runtime_error);
+}
+
+} // namespace
+} // namespace aapm

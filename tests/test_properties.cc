@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Golden-model and fuzz property tests: randomized inputs checked
+ * against independent reference implementations or conservation laws.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/random.hh"
+#include "cpu/core_model.hh"
+#include "mem/cache.hh"
+#include "mgmt/performance_maximizer.hh"
+#include "mgmt/power_save.hh"
+#include "platform/platform.hh"
+#include "sim/event_queue.hh"
+#include "workload/synthetic.hh"
+
+namespace aapm
+{
+namespace
+{
+
+// ---------------------------------------------------------------- //
+//            Cache vs. a straightforward reference model            //
+// ---------------------------------------------------------------- //
+
+/** Obviously-correct set-associative LRU cache (lists of line addrs). */
+class ReferenceCache
+{
+  public:
+    ReferenceCache(uint64_t sets, uint32_t ways, uint32_t line)
+        : sets_(sets), ways_(ways), line_(line), lru_(sets)
+    {
+    }
+
+    bool
+    access(uint64_t addr)
+    {
+        const uint64_t la = addr / line_;
+        auto &set = lru_[la % sets_];
+        auto it = std::find(set.begin(), set.end(), la);
+        if (it != set.end()) {
+            set.erase(it);
+            set.push_front(la);
+            return true;
+        }
+        set.push_front(la);
+        if (set.size() > ways_)
+            set.pop_back();
+        return false;
+    }
+
+  private:
+    uint64_t sets_;
+    uint32_t ways_;
+    uint32_t line_;
+    std::vector<std::list<uint64_t>> lru_;
+};
+
+class CacheGoldenTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CacheGoldenTest, MatchesReferenceOnRandomStream)
+{
+    const uint64_t seed = GetParam();
+    CacheConfig cfg{"dut", 8 * 1024, 64, 4, 1};
+    Cache dut(cfg);
+    ReferenceCache ref(cfg.numSets(), cfg.ways, cfg.lineBytes);
+    Rng rng(seed);
+    for (int i = 0; i < 50000; ++i) {
+        // Mixture of localized and scattered accesses.
+        const uint64_t addr = rng.chance(0.7)
+            ? rng.below(16 * 1024)
+            : rng.below(1 << 24);
+        const bool dut_hit = dut.access(addr, rng.chance(0.3)).hit;
+        const bool ref_hit = ref.access(addr);
+        ASSERT_EQ(dut_hit, ref_hit) << "access " << i << " addr "
+                                    << addr << " seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheGoldenTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------- //
+//            Event queue vs. a sorted-vector reference              //
+// ---------------------------------------------------------------- //
+
+TEST(EventQueueFuzz, MatchesReferenceOrdering)
+{
+    // Random schedule/cancel churn; execution order must match a
+    // stable sort by (tick, sequence).
+    for (uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+        Rng rng(seed);
+        EventQueue eq;
+        std::vector<int> fired;
+        std::vector<std::unique_ptr<EventFunctionWrapper>> events;
+        struct RefEntry
+        {
+            Tick when;
+            uint64_t seq;
+            int id;
+        };
+        std::vector<RefEntry> ref;
+        uint64_t seq = 0;
+        for (int id = 0; id < 300; ++id) {
+            const Tick when = 1 + rng.below(1000);
+            events.push_back(std::make_unique<EventFunctionWrapper>(
+                "ev", [&fired, id] { fired.push_back(id); }));
+            eq.schedule(events.back().get(), when);
+            ref.push_back({when, seq++, id});
+            // Randomly cancel an earlier still-scheduled event.
+            if (rng.chance(0.25) && !ref.empty()) {
+                const size_t victim = rng.below(ref.size());
+                Event *ev = events[ref[victim].id].get();
+                if (ev->scheduled()) {
+                    eq.deschedule(ev);
+                    ref.erase(ref.begin() +
+                              static_cast<long>(victim));
+                }
+            }
+        }
+        eq.runUntil(2000);
+        std::stable_sort(ref.begin(), ref.end(),
+                         [](const RefEntry &a, const RefEntry &b) {
+                             if (a.when != b.when)
+                                 return a.when < b.when;
+                             return a.seq < b.seq;
+                         });
+        ASSERT_EQ(fired.size(), ref.size()) << "seed " << seed;
+        for (size_t i = 0; i < ref.size(); ++i)
+            ASSERT_EQ(fired[i], ref[i].id) << "seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------- //
+//                  Core-model conservation laws                     //
+// ---------------------------------------------------------------- //
+
+TEST(CoreModelFuzz, ChoppedAdvanceMatchesWholeAdvance)
+{
+    // Advancing in many random-sized quanta must retire the same
+    // instructions in (nearly) the same total time as one big call.
+    CoreParams params;
+    CoreModel core(params);
+    Workload w("w", 3);
+    Phase a;
+    a.name = "a";
+    a.instructions = 40'000'000;
+    a.baseCpi = 0.7;
+    a.decodeRatio = 1.3;
+    a.memPerInstr = 0.4;
+    a.l1MissPerInstr = 0.03;
+    a.l2MissPerInstr = 0.01;
+    Phase b = a;
+    b.name = "b";
+    b.baseCpi = 1.1;
+    b.l2MissPerInstr = 0.004;
+    w.add(a).add(b);
+
+    std::vector<ExecChunk> chunks;
+    WorkloadCursor whole(w);
+    const Tick t_whole =
+        core.advance(whole, 1.4, 3600 * TicksPerSec, chunks);
+    ASSERT_TRUE(whole.done());
+
+    for (uint64_t seed : {7ull, 17ull, 27ull}) {
+        Rng rng(seed);
+        WorkloadCursor chopped(w);
+        Tick t_chopped = 0;
+        chunks.clear();
+        while (!chopped.done()) {
+            const Tick quantum =
+                TicksPerUs + rng.below(20 * TicksPerMs);
+            t_chopped += core.advance(chopped, 1.4, quantum, chunks);
+        }
+        EXPECT_EQ(chopped.retired(), w.totalInstructions());
+        // Sub-instruction slivers at quantum boundaries bound the
+        // drift: one instruction time per quantum at most.
+        const double rel =
+            std::abs(static_cast<double>(t_chopped) -
+                     static_cast<double>(t_whole)) /
+            static_cast<double>(t_whole);
+        EXPECT_LT(rel, 1e-4) << "seed " << seed;
+    }
+}
+
+TEST(CoreModelFuzz, EventTotalsConservedAcrossChopping)
+{
+    CoreParams params;
+    CoreModel core(params);
+    Phase p;
+    p.instructions = 30'000'000;
+    p.baseCpi = 0.9;
+    p.decodeRatio = 1.4;
+    p.memPerInstr = 0.4;
+    p.l1MissPerInstr = 0.05;
+    p.l2MissPerInstr = 0.02;
+    Workload w("w");
+    w.add(p);
+
+    auto run = [&](Tick quantum) {
+        WorkloadCursor cursor(w);
+        std::vector<ExecChunk> chunks;
+        while (!cursor.done())
+            core.advance(cursor, 2.0, quantum, chunks);
+        EventTotals total;
+        for (const auto &c : chunks)
+            total += c.events;
+        return total;
+    };
+    const EventTotals big = run(3600 * TicksPerSec);
+    const EventTotals small = run(3 * TicksPerMs);
+    EXPECT_NEAR(big.cycles, small.cycles, big.cycles * 1e-9);
+    EXPECT_NEAR(big.instructionsDecoded, small.instructionsDecoded,
+                1e-3);
+    EXPECT_NEAR(big.busMemoryRequests, small.busMemoryRequests, 1e-3);
+}
+
+// ---------------------------------------------------------------- //
+//                Platform invariants under sampling                 //
+// ---------------------------------------------------------------- //
+
+TEST(PlatformProperty, FixedFreqResultsInvariantToSampleInterval)
+{
+    Phase p;
+    p.baseCpi = 0.9;
+    p.decodeRatio = 1.3;
+    p.memPerInstr = 0.4;
+    p.l1MissPerInstr = 0.04;
+    p.l2MissPerInstr = 0.015;
+
+    PlatformConfig c10;
+    const Workload w = steadyWorkload("steady", p, 1.0, c10.core);
+    PlatformConfig c5 = c10;
+    c5.sampleInterval = 5 * TicksPerMs;
+
+    const RunResult r10 = Platform(c10).runAtPState(w, 6);
+    const RunResult r5 = Platform(c5).runAtPState(w, 6);
+    EXPECT_NEAR(r10.seconds, r5.seconds, 1e-6);
+    EXPECT_NEAR(r10.trueEnergyJ, r5.trueEnergyJ,
+                0.001 * r10.trueEnergyJ);
+}
+
+TEST(PlatformProperty, TraceEnergyMatchesAccountedEnergy)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    Phase p;
+    p.baseCpi = 0.8;
+    p.decodeRatio = 1.2;
+    p.memPerInstr = 0.3;
+    const Workload w = steadyWorkload("steady", p, 1.0, config.core);
+    const RunResult r = platform.runAtPState(w, 7);
+    // Summing the trace's true samples over their (uniform) interval
+    // must reproduce the integrated energy.
+    const double from_trace =
+        r.trace.trueEnergyJ(ticksToSeconds(config.sampleInterval));
+    EXPECT_NEAR(from_trace, r.trueEnergyJ, 0.02 * r.trueEnergyJ);
+}
+
+// ---------------------------------------------------------------- //
+//                Governor decision-level invariants                 //
+// ---------------------------------------------------------------- //
+
+class PmSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(PmSweep, ChosenStatePredictedSafeWheneverFeasible)
+{
+    const double limit = std::get<0>(GetParam());
+    const double dpc = std::get<1>(GetParam());
+    const PowerEstimator est = PowerEstimator::paperPentiumM();
+    PerformanceMaximizer pm(est, {.powerLimitW = limit});
+    MonitorSample s;
+    s.dpc = dpc;
+    s.pstate = 7;
+    const size_t next = pm.decide(s, 7);
+    const double predicted = est.estimateAt(7, dpc, next) + 0.5;
+    const bool any_feasible = [&] {
+        for (size_t i = 0; i < 8; ++i) {
+            if (est.estimateAt(7, dpc, i) + 0.5 <= limit)
+                return true;
+        }
+        return false;
+    }();
+    if (any_feasible) {
+        EXPECT_LE(predicted, limit) << "limit " << limit << " dpc "
+                                    << dpc;
+        // And no faster state would also have been safe.
+        for (size_t i = next + 1; i < 8; ++i)
+            EXPECT_GT(est.estimateAt(7, dpc, i) + 0.5, limit);
+    } else {
+        EXPECT_EQ(next, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PmSweep,
+    ::testing::Combine(::testing::Values(10.5, 12.5, 14.5, 17.5, 25.0),
+                       ::testing::Values(0.1, 0.5, 1.0, 1.5, 2.0,
+                                         3.0)));
+
+class PsSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(PsSweep, ChosenStateIsLowestClearingTheFloor)
+{
+    const double floor = std::get<0>(GetParam());
+    const double dcu_over_ipc = std::get<1>(GetParam());
+    const PStateTable table = PStateTable::pentiumM();
+    const PerfEstimator est(1.21, 0.81);
+    PowerSave ps(table, est, {floor});
+    MonitorSample s;
+    s.ipc = 0.8;
+    s.dcuPerCycle = dcu_over_ipc * s.ipc;
+    s.pstate = 7;
+    const size_t next = ps.decide(s, 7);
+    const double peak = est.projectPerf(s.ipc, s.dcuPerCycle, 2000.0,
+                                        2000.0);
+    const double chosen = est.projectPerf(s.ipc, s.dcuPerCycle, 2000.0,
+                                          table[next].freqMhz);
+    EXPECT_GE(chosen, floor * peak * (1.0 - 1e-9));
+    if (next > 0) {
+        const double below = est.projectPerf(
+            s.ipc, s.dcuPerCycle, 2000.0, table[next - 1].freqMhz);
+        EXPECT_LT(below, floor * peak * (1.0 - 1e-9));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PsSweep,
+    ::testing::Combine(::testing::Values(0.2, 0.4, 0.6, 0.8, 0.95),
+                       ::testing::Values(0.0, 0.5, 1.0, 1.3, 2.0,
+                                         5.0)));
+
+} // namespace
+} // namespace aapm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for PMU counter rotation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_model.hh"
+#include "pmu/rotation.hh"
+
+namespace aapm
+{
+namespace
+{
+
+EventTotals
+interval()
+{
+    EventTotals e;
+    e.cycles = 1000.0;
+    e.instructionsRetired = 700.0;
+    e.instructionsDecoded = 900.0;
+    e.dcuMissOutstanding = 250.0;
+    e.fpOps = 100.0;
+    return e;
+}
+
+TEST(RotationTest, CyclesThroughEvents)
+{
+    Pmu pmu;
+    RotatingCounter rot(1, {PmuEvent::InstructionsDecoded,
+                            PmuEvent::DcuMissOutstanding,
+                            PmuEvent::FpOps});
+    rot.start(pmu);
+    EXPECT_EQ(rot.active(), PmuEvent::InstructionsDecoded);
+
+    pmu.absorb(interval());
+    rot.tick(pmu, 1000);
+    EXPECT_EQ(rot.active(), PmuEvent::DcuMissOutstanding);
+    EXPECT_NEAR(rot.rate(PmuEvent::InstructionsDecoded), 0.9, 1e-9);
+    EXPECT_TRUE(std::isnan(rot.rate(PmuEvent::FpOps)));
+
+    pmu.absorb(interval());
+    rot.tick(pmu, 1000);
+    EXPECT_NEAR(rot.rate(PmuEvent::DcuMissOutstanding), 0.25, 1e-9);
+
+    pmu.absorb(interval());
+    rot.tick(pmu, 1000);
+    EXPECT_NEAR(rot.rate(PmuEvent::FpOps), 0.1, 1e-9);
+    // Back to the first event.
+    EXPECT_EQ(rot.active(), PmuEvent::InstructionsDecoded);
+}
+
+TEST(RotationTest, AgesTrackStaleness)
+{
+    Pmu pmu;
+    RotatingCounter rot(0, {PmuEvent::InstructionsRetired,
+                            PmuEvent::FpOps});
+    rot.start(pmu);
+    pmu.absorb(interval());
+    rot.tick(pmu, 1000);
+    EXPECT_EQ(rot.age(PmuEvent::InstructionsRetired), 0u);
+    pmu.absorb(interval());
+    rot.tick(pmu, 1000);
+    EXPECT_EQ(rot.age(PmuEvent::InstructionsRetired), 1u);
+    EXPECT_EQ(rot.age(PmuEvent::FpOps), 0u);
+}
+
+TEST(RotationTest, SingleEventDegeneratesToPlainCounter)
+{
+    Pmu pmu;
+    RotatingCounter rot(0, {PmuEvent::InstructionsRetired});
+    rot.start(pmu);
+    for (int i = 0; i < 3; ++i) {
+        pmu.absorb(interval());
+        rot.tick(pmu, 1000);
+        EXPECT_NEAR(rot.rate(PmuEvent::InstructionsRetired), 0.7,
+                    1e-9);
+    }
+}
+
+TEST(RotationTest, ZeroCycleIntervalSkipsUpdate)
+{
+    Pmu pmu;
+    RotatingCounter rot(0, {PmuEvent::FpOps,
+                            PmuEvent::InstructionsRetired});
+    rot.start(pmu);
+    rot.tick(pmu, 0);   // stalled interval: no rate recorded
+    EXPECT_TRUE(std::isnan(rot.rate(PmuEvent::FpOps)));
+}
+
+TEST(RotationTest, ErrorsOnMisuse)
+{
+    EXPECT_THROW(RotatingCounter(0, {}), std::runtime_error);
+    EXPECT_THROW(RotatingCounter(5, {PmuEvent::FpOps}),
+                 std::runtime_error);
+    Pmu pmu;
+    RotatingCounter rot(0, {PmuEvent::FpOps});
+    EXPECT_THROW(rot.tick(pmu, 100), std::logic_error);   // no start()
+    rot.start(pmu);
+    EXPECT_THROW(rot.rate(PmuEvent::L2Requests), std::runtime_error);
+}
+
+} // namespace
+} // namespace aapm

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the measurement-chain model and the trace container.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+#include "sensor/power_sensor.hh"
+
+namespace aapm
+{
+namespace
+{
+
+TEST(PowerSensor, QuantStep)
+{
+    SensorConfig cfg;
+    cfg.fullScaleW = 40.0;
+    cfg.adcBits = 12;
+    PowerSensor sensor(cfg);
+    EXPECT_NEAR(sensor.quantStepW(), 40.0 / 4096.0, 1e-12);
+}
+
+TEST(PowerSensor, UnbiasedNearTruth)
+{
+    PowerSensor sensor(SensorConfig{});
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(sensor.sample(15.0));
+    // Mean within calibration error + noise shrinkage.
+    EXPECT_NEAR(stats.mean(), 15.0, 0.2);
+    // Noise sigma roughly as configured.
+    EXPECT_NEAR(stats.stddev(), 0.06, 0.02);
+}
+
+TEST(PowerSensor, Deterministic)
+{
+    SensorConfig cfg;
+    cfg.seed = 42;
+    PowerSensor a(cfg), b(cfg);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.sample(10.0), b.sample(10.0));
+}
+
+TEST(PowerSensor, DifferentSeedsDiffer)
+{
+    SensorConfig ca, cb;
+    ca.seed = 1;
+    cb.seed = 2;
+    PowerSensor a(ca), b(cb);
+    bool any_diff = false;
+    for (int i = 0; i < 50; ++i) {
+        if (a.sample(10.0) != b.sample(10.0))
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(PowerSensor, ClampsToFullScale)
+{
+    SensorConfig cfg;
+    cfg.fullScaleW = 20.0;
+    PowerSensor sensor(cfg);
+    for (int i = 0; i < 100; ++i) {
+        const double v = sensor.sample(19.99);
+        EXPECT_LE(v, 20.0);
+    }
+}
+
+TEST(PowerSensor, NeverNegative)
+{
+    SensorConfig cfg;
+    cfg.noiseSigmaW = 1.0;
+    PowerSensor sensor(cfg);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(sensor.sample(0.05), 0.0);
+}
+
+TEST(PowerSensor, NegativeTruthPanics)
+{
+    PowerSensor sensor(SensorConfig{});
+    EXPECT_THROW(sensor.sample(-1.0), std::logic_error);
+}
+
+TEST(PowerSensor, RejectsSillyAdc)
+{
+    SensorConfig cfg;
+    cfg.adcBits = 2;
+    EXPECT_THROW(PowerSensor{cfg}, std::runtime_error);
+}
+
+TEST(PowerSensor, OutputIsQuantized)
+{
+    SensorConfig cfg;
+    cfg.noiseSigmaW = 0.0;
+    cfg.gainErrorMax = 0.0;
+    cfg.offsetErrorMaxW = 0.0;
+    PowerSensor sensor(cfg);
+    const double q = sensor.quantStepW();
+    const double v = sensor.sample(13.377);
+    const double steps = v / q;
+    EXPECT_NEAR(steps, std::round(steps), 1e-9);
+    EXPECT_NEAR(v, 13.377, q);
+}
+
+TEST(PowerTrace, MarkersAndDuration)
+{
+    PowerTrace trace;
+    trace.markStart(0);
+    trace.markEnd(5 * TicksPerSec);
+    EXPECT_DOUBLE_EQ(trace.durationSeconds(), 5.0);
+}
+
+TEST(PowerTrace, EnergyFromSamples)
+{
+    PowerTrace trace;
+    for (int i = 0; i < 100; ++i) {
+        TraceSample s;
+        s.measuredW = 10.0;
+        s.trueW = 11.0;
+        trace.add(s);
+    }
+    EXPECT_NEAR(trace.measuredEnergyJ(0.01), 10.0, 1e-9);
+    EXPECT_NEAR(trace.trueEnergyJ(0.01), 11.0, 1e-9);
+}
+
+TEST(PowerTrace, MovingAverageWindow)
+{
+    PowerTrace trace;
+    for (int i = 0; i < 20; ++i) {
+        TraceSample s;
+        s.measuredW = (i < 10) ? 0.0 : 10.0;
+        trace.add(s);
+    }
+    const auto avg = trace.movingAverage(10);
+    ASSERT_EQ(avg.size(), 20u);
+    EXPECT_DOUBLE_EQ(avg[9], 0.0);
+    EXPECT_DOUBLE_EQ(avg[14], 5.0);   // half the window at 10 W
+    EXPECT_DOUBLE_EQ(avg[19], 10.0);
+}
+
+TEST(PowerTrace, MovingAveragePartialHead)
+{
+    PowerTrace trace;
+    for (int i = 0; i < 5; ++i) {
+        TraceSample s;
+        s.measuredW = 4.0;
+        trace.add(s);
+    }
+    const auto avg = trace.movingAverage(10);
+    for (double v : avg)
+        EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(PowerTrace, FractionOverLimit)
+{
+    PowerTrace trace;
+    for (int i = 0; i < 100; ++i) {
+        TraceSample s;
+        s.measuredW = (i % 4 == 0) ? 20.0 : 10.0;
+        trace.add(s);
+    }
+    // With window 1, exactly 25% of samples exceed 15 W.
+    EXPECT_DOUBLE_EQ(trace.fractionOverLimit(15.0, 1), 0.25);
+    // A 4-sample average of {20,10,10,10} = 12.5 < 15 everywhere
+    // (after the partial head).
+    EXPECT_LT(trace.fractionOverLimit(15.0, 4), 0.05);
+}
+
+TEST(PowerTrace, EmptyTraceSafeDefaults)
+{
+    PowerTrace trace;
+    EXPECT_DOUBLE_EQ(trace.fractionOverLimit(1.0, 10), 0.0);
+    EXPECT_DOUBLE_EQ(trace.measuredEnergyJ(0.01), 0.0);
+}
+
+} // namespace
+} // namespace aapm

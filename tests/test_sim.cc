@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel and the tick time base.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace aapm
+{
+namespace
+{
+
+TEST(Ticks, Conversions)
+{
+    EXPECT_EQ(secondsToTicks(1.0), TicksPerSec);
+    EXPECT_EQ(secondsToTicks(0.01), 10 * TicksPerMs);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(TicksPerSec), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(TicksPerMs), 1e-3);
+}
+
+TEST(Ticks, PeriodFromMhz)
+{
+    EXPECT_EQ(periodFromMhz(2000.0), 500u);   // 2 GHz -> 500 ps
+    EXPECT_EQ(periodFromMhz(600.0), 1667u);
+    EXPECT_EQ(periodFromMhz(1000.0), 1000u);
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    EventFunctionWrapper a("a", [&] { order.push_back(1); });
+    EventFunctionWrapper b("b", [&] { order.push_back(2); });
+    EventFunctionWrapper c("c", [&] { order.push_back(3); });
+    eq.schedule(&c, 300);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 200);
+    eq.runUntil(1000);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 1000u);
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    EventFunctionWrapper low("low", [&] { order.push_back(2); }, 5);
+    EventFunctionWrapper high("high", [&] { order.push_back(1); }, -5);
+    eq.schedule(&low, 100);
+    eq.schedule(&high, 100);
+    eq.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, SequenceBreaksEqualPriorityTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    EventFunctionWrapper first("first", [&] { order.push_back(1); });
+    EventFunctionWrapper second("second", [&] { order.push_back(2); });
+    eq.schedule(&first, 50);
+    eq.schedule(&second, 50);
+    eq.runUntil(50);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EventsAtLimitExecute)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventFunctionWrapper ev("ev", [&] { ran = true; });
+    eq.schedule(&ev, 100);
+    eq.runUntil(100);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, EventsPastLimitDoNotExecute)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventFunctionWrapper ev("ev", [&] { ran = true; });
+    eq.schedule(&ev, 101);
+    eq.runUntil(100);
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(ev.scheduled());
+    eq.deschedule(&ev);
+}
+
+TEST(EventQueue, SelfReschedulingEvent)
+{
+    EventQueue eq;
+    int count = 0;
+    EventFunctionWrapper *self = nullptr;
+    EventFunctionWrapper ev("tick", [&] {
+        ++count;
+        if (count < 5)
+            eq.schedule(self, eq.now() + 10);
+    });
+    self = &ev;
+    eq.schedule(&ev, 10);
+    eq.runUntil(1000);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.nextTick(), MaxTick);
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventFunctionWrapper ev("ev", [&] { ran = true; });
+    eq.schedule(&ev, 100);
+    eq.deschedule(&ev);
+    EXPECT_FALSE(ev.scheduled());
+    eq.runUntil(200);
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    EventFunctionWrapper ev("ev", [&] { fired_at = eq.now(); });
+    eq.schedule(&ev, 100);
+    eq.reschedule(&ev, 500);
+    eq.runUntil(1000);
+    EXPECT_EQ(fired_at, 500u);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    EventFunctionWrapper a("a", [] {});
+    EventFunctionWrapper b("b", [] {});
+    eq.schedule(&a, 100);
+    eq.runUntil(100);
+    EXPECT_THROW(eq.schedule(&b, 50), std::logic_error);
+}
+
+TEST(EventQueue, DoubleScheduleSameEventPanics)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev("ev", [] {});
+    eq.schedule(&ev, 100);
+    EXPECT_THROW(eq.schedule(&ev, 200), std::logic_error);
+    eq.deschedule(&ev);
+}
+
+TEST(EventQueue, DescheduleUnscheduledPanics)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev("ev", [] {});
+    EXPECT_THROW(eq.deschedule(&ev), std::logic_error);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int count = 0;
+    EventFunctionWrapper a("a", [&] { ++count; });
+    EventFunctionWrapper b("b", [&] { ++count; });
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ProcessedCountAccumulates)
+{
+    EventQueue eq;
+    EventFunctionWrapper a("a", [] {});
+    EventFunctionWrapper b("b", [] {});
+    eq.schedule(&a, 1);
+    eq.schedule(&b, 2);
+    eq.runUntil(10);
+    EXPECT_EQ(eq.processedCount(), 2u);
+}
+
+TEST(EventQueue, NowAdvancesToEventTime)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    EventFunctionWrapper ev("ev", [&] { seen = eq.now(); });
+    eq.schedule(&ev, 777);
+    eq.step();
+    EXPECT_EQ(seen, 777u);
+    EXPECT_EQ(eq.now(), 777u);
+}
+
+TEST(EventQueue, EventScheduledAtNow)
+{
+    // An event may schedule another at the current tick (runs after).
+    EventQueue eq;
+    std::vector<int> order;
+    EventFunctionWrapper second("second", [&] { order.push_back(2); });
+    EventFunctionWrapper first("first", [&] {
+        order.push_back(1);
+        eq.schedule(&second, eq.now());
+    });
+    eq.schedule(&first, 10);
+    eq.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+} // namespace
+} // namespace aapm

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for the workload generators: MS-Loops characterization against
+ * the cache simulator and the SPEC CPU2000 proxy suite's calibrated
+ * placement (memory- vs core-bound, power ordering).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cpu/core_model.hh"
+#include "dvfs/pstate.hh"
+#include "power/truth_power.hh"
+#include "workload/microbench.hh"
+#include "workload/spec_suite.hh"
+
+namespace aapm
+{
+namespace
+{
+
+class MicrobenchTest : public ::testing::Test
+{
+  protected:
+    HierarchyConfig hier_;
+    CoreParams core_;
+};
+
+TEST_F(MicrobenchTest, LoopNames)
+{
+    EXPECT_STREQ(loopKindName(LoopKind::Daxpy), "DAXPY");
+    EXPECT_STREQ(loopKindName(LoopKind::Fma), "FMA");
+    EXPECT_STREQ(loopKindName(LoopKind::Mcopy), "MCOPY");
+    EXPECT_STREQ(loopKindName(LoopKind::MloadRand), "MLOAD_RAND");
+}
+
+TEST_F(MicrobenchTest, DisplayName)
+{
+    EXPECT_EQ((LoopSpec{LoopKind::Fma, 256 * 1024}).displayName(),
+              "FMA-256KB");
+    EXPECT_EQ((LoopSpec{LoopKind::Daxpy, 8 * 1024 * 1024}).displayName(),
+              "DAXPY-8MB");
+}
+
+TEST_F(MicrobenchTest, StandardFootprintsCoverHierarchy)
+{
+    const auto fps = standardFootprints();
+    ASSERT_EQ(fps.size(), 3u);
+    EXPECT_LT(fps[0], hier_.l1.sizeBytes);            // L1-resident
+    EXPECT_LT(fps[1], hier_.l2.sizeBytes);            // L2-resident
+    EXPECT_GT(fps[2], hier_.l2.sizeBytes);            // DRAM-resident
+}
+
+TEST_F(MicrobenchTest, L1ResidentHasNoMisses)
+{
+    for (LoopKind kind : {LoopKind::Daxpy, LoopKind::Fma, LoopKind::Mcopy,
+                          LoopKind::MloadRand}) {
+        const Phase p = characterizeLoop({kind, 16 * 1024}, hier_, core_,
+                                         1000);
+        EXPECT_LT(p.l1MissPerInstr, 1e-3) << loopKindName(kind);
+        EXPECT_LT(p.l2MissPerInstr, 1e-4) << loopKindName(kind);
+    }
+}
+
+TEST_F(MicrobenchTest, L2ResidentMissesL1NotL2)
+{
+    for (LoopKind kind : {LoopKind::Daxpy, LoopKind::Fma, LoopKind::Mcopy,
+                          LoopKind::MloadRand}) {
+        const Phase p = characterizeLoop({kind, 256 * 1024}, hier_,
+                                         core_, 1000);
+        EXPECT_GT(p.l1MissPerInstr, 0.005) << loopKindName(kind);
+        EXPECT_LT(p.l2MissPerInstr, 0.3 * p.l1MissPerInstr)
+            << loopKindName(kind);
+    }
+}
+
+TEST_F(MicrobenchTest, DramResidentMissesBothLevels)
+{
+    for (LoopKind kind : {LoopKind::Daxpy, LoopKind::Fma, LoopKind::Mcopy,
+                          LoopKind::MloadRand}) {
+        const Phase p = characterizeLoop({kind, 8 * 1024 * 1024}, hier_,
+                                         core_, 1000);
+        EXPECT_GT(p.l2MissPerInstr, 0.01) << loopKindName(kind);
+    }
+}
+
+TEST_F(MicrobenchTest, SequentialLoopsGetPrefetchCoverage)
+{
+    const Phase fma = characterizeLoop({LoopKind::Fma, 8 * 1024 * 1024},
+                                       hier_, core_, 1000);
+    EXPECT_GT(fma.prefetchCoverage, 0.2);
+    const Phase rand = characterizeLoop(
+        {LoopKind::MloadRand, 8 * 1024 * 1024}, hier_, core_, 1000);
+    EXPECT_LT(rand.prefetchCoverage, 0.1);
+}
+
+TEST_F(MicrobenchTest, RandomLoadIsLatencyBound)
+{
+    CoreModel core(core_);
+    const Phase p = characterizeLoop(
+        {LoopKind::MloadRand, 8 * 1024 * 1024}, hier_, core_, 1000);
+    // A dependent pointer chase at 2 GHz spends almost all its time
+    // waiting on DRAM.
+    EXPECT_LT(core.ipc(p, 2.0), 0.1);
+}
+
+TEST_F(MicrobenchTest, TrainingSetHasTwelvePoints)
+{
+    const auto set = msLoopsTrainingSet(hier_, core_, 1000);
+    EXPECT_EQ(set.size(), 12u);
+    // Every phase validated and sized as requested.
+    for (const auto &[spec, phase] : set)
+        EXPECT_EQ(phase.instructions, 1000u);
+}
+
+TEST_F(MicrobenchTest, CharacterizationIsDeterministic)
+{
+    const LoopSpec spec{LoopKind::MloadRand, 256 * 1024};
+    const Phase a = characterizeLoop(spec, hier_, core_, 1000, 7);
+    const Phase b = characterizeLoop(spec, hier_, core_, 1000, 7);
+    EXPECT_DOUBLE_EQ(a.l1MissPerInstr, b.l1MissPerInstr);
+    EXPECT_DOUBLE_EQ(a.l2MissPerInstr, b.l2MissPerInstr);
+    EXPECT_DOUBLE_EQ(a.prefetchCoverage, b.prefetchCoverage);
+}
+
+TEST_F(MicrobenchTest, WorkloadWrapsSinglePhase)
+{
+    const Workload w = microbenchWorkload({LoopKind::Fma, 256 * 1024},
+                                          hier_, core_, 5000);
+    EXPECT_EQ(w.phases().size(), 1u);
+    EXPECT_EQ(w.totalInstructions(), 5000u);
+    EXPECT_EQ(w.name(), "FMA-256KB");
+}
+
+TEST_F(MicrobenchTest, TinyFootprintRejected)
+{
+    EXPECT_THROW(
+        characterizeLoop({LoopKind::Fma, 1024}, hier_, core_, 1000),
+        std::runtime_error);
+}
+
+class SpecSuiteTest : public ::testing::Test
+{
+  protected:
+    CoreParams core_;
+    CoreModel model_{core_};
+    TruthPowerModel power_;
+    PStateTable pstates_ = PStateTable::pentiumM();
+
+    double
+    powerAt2G(const Workload &w)
+    {
+        // Instruction-weighted steady power across phases at 2 GHz.
+        double energy = 0.0, time = 0.0;
+        for (const auto &ph : w.phases()) {
+            ExecChunk chunk;
+            chunk.phase = &ph;
+            chunk.freqGhz = 2.0;
+            chunk.events = model_.eventsFor(ph, 2.0, 1e6);
+            const double t = chunk.events.cycles / 2e9;
+            energy += power_.power(chunk, pstates_[7]) * t;
+            time += t;
+        }
+        return energy / time;
+    }
+
+    double
+    perfRatio(const Workload &w, double f_lo, double f_hi)
+    {
+        // Suite-convention performance = 1 / execution time.
+        double t_lo = 0.0, t_hi = 0.0;
+        for (const auto &ph : w.phases()) {
+            const double n = static_cast<double>(ph.instructions);
+            t_lo += n / model_.instrPerSec(ph, f_lo);
+            t_hi += n / model_.instrPerSec(ph, f_hi);
+        }
+        return t_hi > 0.0 ? t_lo / t_hi : 0.0;
+    }
+};
+
+TEST_F(SpecSuiteTest, TwentySixBenchmarks)
+{
+    EXPECT_EQ(specSuiteNames().size(), 26u);
+    EXPECT_TRUE(isSpecBenchmark("swim"));
+    EXPECT_TRUE(isSpecBenchmark("sixtrack"));
+    EXPECT_FALSE(isSpecBenchmark("linpack"));
+}
+
+TEST_F(SpecSuiteTest, UnknownNameFatal)
+{
+    EXPECT_THROW(specWorkload("nonesuch", core_), std::runtime_error);
+}
+
+TEST_F(SpecSuiteTest, DurationApproximatelyTarget)
+{
+    for (const char *name : {"swim", "sixtrack", "ammp", "galgel"}) {
+        const Workload w = specWorkload(name, core_, 10.0);
+        double t = 0.0;
+        for (uint64_t r = 0; r < w.repeats(); ++r)
+            for (const auto &ph : w.phases())
+                t += static_cast<double>(ph.instructions) /
+                     model_.instrPerSec(ph, 2.0);
+        EXPECT_NEAR(t, 10.0, 1.0) << name;
+    }
+}
+
+TEST_F(SpecSuiteTest, SwimIsMemoryBoundSixtrackIsNot)
+{
+    const Workload swim = specWorkload("swim", core_, 5.0);
+    const Workload six = specWorkload("sixtrack", core_, 5.0);
+    // swim: raising 1600 -> 2000 MHz buys almost nothing (Fig 2).
+    EXPECT_LT(perfRatio(swim, 1.6, 2.0) - 1.0, 0.05);
+    // sixtrack: nearly the full 25%.
+    EXPECT_GT(perfRatio(six, 1.6, 2.0) - 1.0, 0.22);
+}
+
+TEST_F(SpecSuiteTest, GapSitsBetweenExtremes)
+{
+    const Workload gap = specWorkload("gap", core_, 5.0);
+    const double gain = perfRatio(gap, 1.6, 2.0) - 1.0;
+    EXPECT_GT(gain, 0.05);
+    EXPECT_LT(gain, 0.22);
+}
+
+TEST_F(SpecSuiteTest, CraftyAndPerlbmkAreHottest)
+{
+    // Paper: "crafty and perlbmk have the highest average power in the
+    // SPEC workloads, followed by galgel".
+    const double crafty = powerAt2G(specWorkload("crafty", core_, 5.0));
+    const double perl = powerAt2G(specWorkload("perlbmk", core_, 5.0));
+    for (const auto &name : specSuiteNames()) {
+        if (name == "crafty" || name == "perlbmk" || name == "galgel")
+            continue;
+        const double p = powerAt2G(specWorkload(name, core_, 5.0));
+        EXPECT_LT(p, std::max(crafty, perl) + 0.01) << name;
+    }
+}
+
+TEST_F(SpecSuiteTest, PowerVariationExceeds35PercentOfPeak)
+{
+    // Fig 1: the suite's power range at 2 GHz spans more than 35% of
+    // peak operating power (peak ~ the hottest workload's power).
+    double lo = 1e9, hi = 0.0;
+    for (const auto &name : specSuiteNames()) {
+        const double p = powerAt2G(specWorkload(name, core_, 5.0));
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+    }
+    EXPECT_GT((hi - lo) / hi, 0.30);
+}
+
+TEST_F(SpecSuiteTest, MemoryBoundGroupClassifiesMemoryBound)
+{
+    for (const char *name : {"swim", "lucas", "equake", "mcf", "applu"}) {
+        const Workload w = specWorkload(name, core_, 5.0);
+        const double docc_per_instr = w.weightedAverage(
+            [&](const Phase &p) {
+                return model_.dcuOutstandingPerInstr(p, 2.0);
+            });
+        EXPECT_GE(docc_per_instr, 1.25) << name;
+    }
+}
+
+TEST_F(SpecSuiteTest, CoreBoundGroupClassifiesCoreBound)
+{
+    for (const char *name :
+         {"perlbmk", "mesa", "eon", "crafty", "sixtrack"}) {
+        const Workload w = specWorkload(name, core_, 5.0);
+        const double docc_per_instr = w.weightedAverage(
+            [&](const Phase &p) {
+                return model_.dcuOutstandingPerInstr(p, 2.0);
+            });
+        EXPECT_LT(docc_per_instr, 1.21) << name;
+    }
+}
+
+TEST_F(SpecSuiteTest, AmmpAlternatesPhases)
+{
+    const Workload w = specWorkload("ammp", core_, 5.0);
+    ASSERT_EQ(w.phases().size(), 2u);
+    const double d0 =
+        model_.dcuOutstandingPerInstr(w.phases()[0], 2.0);
+    const double d1 =
+        model_.dcuOutstandingPerInstr(w.phases()[1], 2.0);
+    // One memory-bound phase, one core-bound phase.
+    EXPECT_GT(std::max(d0, d1), 1.25);
+    EXPECT_LT(std::min(d0, d1), 1.0);
+}
+
+TEST_F(SpecSuiteTest, GalgelPhasesAreShortAndBursty)
+{
+    const Workload w = specWorkload("galgel", core_, 5.0);
+    // Structured burst pattern: many short bursts + drains, one long
+    // burst per iteration.
+    ASSERT_GT(w.phases().size(), 10u);
+    size_t short_phases = 0, long_phases = 0;
+    for (const auto &ph : w.phases()) {
+        const double seconds = static_cast<double>(ph.instructions) /
+                               model_.instrPerSec(ph, 2.0);
+        if (seconds < 0.05)
+            ++short_phases;
+        else
+            ++long_phases;
+        EXPECT_LT(seconds, 0.2);
+    }
+    EXPECT_GT(short_phases, 10u);   // ~10 ms sampling-scale bursts
+    EXPECT_EQ(long_phases, 1u);     // the PM-luring long burst
+}
+
+TEST_F(SpecSuiteTest, FullSuiteBuilds)
+{
+    const auto suite = specSuite(core_, 5.0);
+    EXPECT_EQ(suite.size(), 26u);
+    for (const auto &w : suite)
+        EXPECT_FALSE(w.phases().empty());
+}
+
+} // namespace
+} // namespace aapm

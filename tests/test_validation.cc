@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the trace-driven timing simulator and the analytical
+ * model's validation against it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_model.hh"
+#include "validation/trace_sim.hh"
+#include "workload/microbench.hh"
+
+namespace aapm
+{
+namespace
+{
+
+class TraceSimTest : public ::testing::Test
+{
+  protected:
+    HierarchyConfig hier_;
+    CoreParams core_;
+
+    TraceSimResult
+    run(LoopKind kind, uint64_t footprint, double f,
+        uint64_t elems = 120'000)
+    {
+        return simulateLoopTiming({kind, footprint}, hier_, core_, f,
+                                  elems);
+    }
+};
+
+TEST_F(TraceSimTest, L1ResidentMatchesBaseCpi)
+{
+    for (LoopKind kind : {LoopKind::Daxpy, LoopKind::Fma, LoopKind::Mcopy,
+                          LoopKind::MloadRand}) {
+        const auto r = run(kind, 16 * 1024, 2.0);
+        EXPECT_NEAR(r.cpi(), loopProperties(kind).baseCpi,
+                    0.02 * loopProperties(kind).baseCpi)
+            << loopKindName(kind);
+        EXPECT_EQ(r.dramAccesses, 0u) << loopKindName(kind);
+    }
+}
+
+TEST_F(TraceSimTest, DramFootprintsAreSlower)
+{
+    for (LoopKind kind : {LoopKind::Daxpy, LoopKind::Fma, LoopKind::Mcopy,
+                          LoopKind::MloadRand}) {
+        const auto small = run(kind, 16 * 1024, 2.0);
+        const auto big = run(kind, 8 * 1024 * 1024, 2.0);
+        EXPECT_GT(big.cpi(), 1.5 * small.cpi()) << loopKindName(kind);
+        EXPECT_GT(big.dramAccesses, 0u) << loopKindName(kind);
+    }
+}
+
+TEST_F(TraceSimTest, CpiGrowsWithFrequencyForMemoryLoops)
+{
+    for (LoopKind kind : {LoopKind::Daxpy, LoopKind::Fma,
+                          LoopKind::MloadRand}) {
+        const auto slow = run(kind, 8 * 1024 * 1024, 0.6);
+        const auto fast = run(kind, 8 * 1024 * 1024, 2.0);
+        EXPECT_GT(fast.cpi(), 1.3 * slow.cpi()) << loopKindName(kind);
+    }
+}
+
+TEST_F(TraceSimTest, DependentChaseExposesFullLatency)
+{
+    // MLOAD_RAND at 8 MB: ~each access exposes the whole DRAM latency
+    // in cycles (plus loop work).
+    const auto r = run(LoopKind::MloadRand, 8 * 1024 * 1024, 2.0);
+    const double dram_frac = static_cast<double>(r.dramAccesses) /
+                             static_cast<double>(r.elements);
+    const double expected =
+        loopProperties(LoopKind::MloadRand).instrPerElem *
+            loopProperties(LoopKind::MloadRand).baseCpi +
+        dram_frac * core_.dramLatencyNs * 2.0;
+    EXPECT_NEAR(r.cycles / static_cast<double>(r.elements), expected,
+                0.05 * expected);
+}
+
+TEST_F(TraceSimTest, Deterministic)
+{
+    const auto a = run(LoopKind::MloadRand, 256 * 1024, 1.4);
+    const auto b = run(LoopKind::MloadRand, 256 * 1024, 1.4);
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dramAccesses, b.dramAccesses);
+}
+
+TEST_F(TraceSimTest, BusOccupancyTracksTraffic)
+{
+    const auto r = run(LoopKind::Mcopy, 8 * 1024 * 1024, 2.0);
+    EXPECT_GT(r.busBusyCycles, 0.0);
+    // The bus cannot be busy longer than the run itself (single bus).
+    EXPECT_LT(r.busBusyCycles, r.cycles * 1.05);
+}
+
+TEST_F(TraceSimTest, RejectsBadArguments)
+{
+    EXPECT_THROW(run(LoopKind::Fma, 256 * 1024, 0.0),
+                 std::logic_error);
+    EXPECT_THROW(simulateLoopTiming({LoopKind::Fma, 256 * 1024}, hier_,
+                                    core_, 2.0, 0),
+                 std::logic_error);
+}
+
+// ------------------------------------------------------------------ //
+//       Cross-validation of the analytical model (per loop)          //
+// ------------------------------------------------------------------ //
+
+struct ValidationCase
+{
+    LoopKind kind;
+    uint64_t footprint;
+};
+
+class ModelValidation : public ::testing::TestWithParam<ValidationCase>
+{
+  protected:
+    HierarchyConfig hier_;
+    CoreParams core_;
+};
+
+TEST_P(ModelValidation, AnalyticalModelBoundedAndConservative)
+{
+    const auto param = GetParam();
+    const LoopSpec spec{param.kind, param.footprint};
+    const Phase phase =
+        characterizeLoop(spec, hier_, core_, 1'000'000);
+    CoreModel model(core_);
+    for (double f : {0.6, 1.2, 2.0}) {
+        const auto trace =
+            simulateLoopTiming(spec, hier_, core_, f, 120'000);
+        const double m = model.cpi(phase, f);
+        // Never optimistic by more than 5%, never conservative by
+        // more than 2.2x.
+        EXPECT_GT(m, trace.cpi() * 0.95)
+            << spec.displayName() << " @ " << f;
+        EXPECT_LT(m, trace.cpi() * 2.2)
+            << spec.displayName() << " @ " << f;
+    }
+}
+
+TEST_P(ModelValidation, FrequencyScalingAgrees)
+{
+    // The property every DVFS decision rests on: how CPI scales with
+    // frequency must match the detailed reference closely.
+    const auto param = GetParam();
+    const LoopSpec spec{param.kind, param.footprint};
+    const Phase phase =
+        characterizeLoop(spec, hier_, core_, 1'000'000);
+    CoreModel model(core_);
+    const auto t06 = simulateLoopTiming(spec, hier_, core_, 0.6,
+                                        120'000);
+    const auto t20 = simulateLoopTiming(spec, hier_, core_, 2.0,
+                                        120'000);
+    const double trace_scale = t20.cpi() / t06.cpi();
+    const double model_scale =
+        model.cpi(phase, 2.0) / model.cpi(phase, 0.6);
+    EXPECT_NEAR(model_scale, trace_scale, 0.12 * trace_scale)
+        << spec.displayName();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLoops, ModelValidation,
+    ::testing::Values(
+        ValidationCase{LoopKind::Daxpy, 16 * 1024},
+        ValidationCase{LoopKind::Daxpy, 256 * 1024},
+        ValidationCase{LoopKind::Daxpy, 8 * 1024 * 1024},
+        ValidationCase{LoopKind::Fma, 16 * 1024},
+        ValidationCase{LoopKind::Fma, 256 * 1024},
+        ValidationCase{LoopKind::Fma, 8 * 1024 * 1024},
+        ValidationCase{LoopKind::Mcopy, 16 * 1024},
+        ValidationCase{LoopKind::Mcopy, 256 * 1024},
+        ValidationCase{LoopKind::Mcopy, 8 * 1024 * 1024},
+        ValidationCase{LoopKind::MloadRand, 16 * 1024},
+        ValidationCase{LoopKind::MloadRand, 256 * 1024},
+        ValidationCase{LoopKind::MloadRand, 8 * 1024 * 1024}));
+
+TEST(LoopStreamTest, DeterministicAndSized)
+{
+    LoopStream a({LoopKind::MloadRand, 64 * 1024}, 3);
+    LoopStream b({LoopKind::MloadRand, 64 * 1024}, 3);
+    std::vector<MemRef> ra, rb;
+    for (int i = 0; i < 1000; ++i) {
+        a.next(ra);
+        b.next(rb);
+        ASSERT_EQ(ra.size(), rb.size());
+        ASSERT_EQ(ra[0].addr, rb[0].addr);
+    }
+    EXPECT_EQ(a.generated(), 1000u);
+    EXPECT_EQ(a.elementsPerPass(), 64u * 1024 / 8);
+}
+
+TEST(LoopStreamTest, RefCountsMatchProperties)
+{
+    for (LoopKind kind : {LoopKind::Daxpy, LoopKind::Fma, LoopKind::Mcopy,
+                          LoopKind::MloadRand}) {
+        LoopStream s({kind, 64 * 1024});
+        std::vector<MemRef> refs;
+        s.next(refs);
+        EXPECT_EQ(static_cast<double>(refs.size()),
+                  loopProperties(kind).accessesPerElem)
+            << loopKindName(kind);
+    }
+}
+
+TEST(LoopStreamTest, RejectsTinyFootprint)
+{
+    EXPECT_THROW(LoopStream({LoopKind::Fma, 1024}),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace aapm

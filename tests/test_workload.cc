@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the workload representation: phase validation, cursor
+ * mechanics, and the weighted-average helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/phase.hh"
+#include "workload/workload.hh"
+
+namespace aapm
+{
+namespace
+{
+
+Phase
+okPhase(const char *name = "p", uint64_t instrs = 100)
+{
+    Phase p;
+    p.name = name;
+    p.instructions = instrs;
+    p.baseCpi = 1.0;
+    p.decodeRatio = 1.2;
+    p.memPerInstr = 0.4;
+    p.l1MissPerInstr = 0.05;
+    p.l2MissPerInstr = 0.02;
+    return p;
+}
+
+TEST(PhaseTest, ValidPhasePasses)
+{
+    EXPECT_NO_THROW(okPhase().validate());
+}
+
+TEST(PhaseTest, RejectsZeroInstructions)
+{
+    Phase p = okPhase();
+    p.instructions = 0;
+    EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+TEST(PhaseTest, RejectsDecodeRatioBelowOne)
+{
+    Phase p = okPhase();
+    p.decodeRatio = 0.9;
+    EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+TEST(PhaseTest, RejectsMissExceedingAccesses)
+{
+    Phase p = okPhase();
+    p.l1MissPerInstr = p.memPerInstr + 0.1;
+    EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+TEST(PhaseTest, RejectsL2MissExceedingL1Miss)
+{
+    Phase p = okPhase();
+    p.l2MissPerInstr = p.l1MissPerInstr + 0.01;
+    EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+TEST(PhaseTest, RejectsBadCoverage)
+{
+    Phase p = okPhase();
+    p.prefetchCoverage = 1.5;
+    EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+TEST(PhaseTest, RejectsMlpBelowOne)
+{
+    Phase p = okPhase();
+    p.mlp = 0.5;
+    EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+TEST(PhaseTest, DerivedRates)
+{
+    Phase p = okPhase();
+    p.l1MissPerInstr = 0.05;
+    p.l2MissPerInstr = 0.02;
+    p.prefetchCoverage = 0.5;
+    // L2-serviced = (0.05 - 0.02) + 0.02*0.5 = 0.04.
+    EXPECT_NEAR(p.l2ServicedPerInstr(), 0.04, 1e-12);
+    // Demand DRAM = 0.02 * 0.5 = 0.01.
+    EXPECT_NEAR(p.dramDemandPerInstr(), 0.01, 1e-12);
+    // Traffic = demand + covered*waste = 0.01 + 0.01*1.1 = 0.021.
+    EXPECT_NEAR(p.dramTrafficPerInstr(), 0.021, 1e-12);
+}
+
+TEST(WorkloadTest, TotalsAndRepeats)
+{
+    Workload w("w", 3);
+    w.add(okPhase("a", 100)).add(okPhase("b", 200));
+    EXPECT_EQ(w.instructionsPerIteration(), 300u);
+    EXPECT_EQ(w.totalInstructions(), 900u);
+}
+
+TEST(WorkloadTest, RejectsZeroRepeats)
+{
+    EXPECT_THROW(Workload("w", 0), std::runtime_error);
+    Workload w("w");
+    EXPECT_THROW(w.setRepeats(0), std::runtime_error);
+}
+
+TEST(WorkloadTest, InvalidPhaseRejectedOnAdd)
+{
+    Workload w("w");
+    Phase bad = okPhase();
+    bad.mlp = 0.0;
+    EXPECT_THROW(w.add(bad), std::runtime_error);
+}
+
+TEST(WorkloadTest, WeightedAverage)
+{
+    Workload w("w");
+    Phase a = okPhase("a", 100);
+    a.baseCpi = 1.0;
+    Phase b = okPhase("b", 300);
+    b.baseCpi = 2.0;
+    w.add(a).add(b);
+    EXPECT_NEAR(w.weightedAverage(
+                    [](const Phase &p) { return p.baseCpi; }),
+                1.75, 1e-12);
+}
+
+TEST(WorkloadCursorTest, WalksPhasesInOrder)
+{
+    Workload w("w");
+    w.add(okPhase("a", 100)).add(okPhase("b", 50));
+    WorkloadCursor c(w);
+    EXPECT_EQ(c.currentPhase().name, "a");
+    c.retire(100);
+    EXPECT_EQ(c.currentPhase().name, "b");
+    c.retire(50);
+    EXPECT_TRUE(c.done());
+    EXPECT_EQ(c.retired(), 150u);
+}
+
+TEST(WorkloadCursorTest, PartialRetire)
+{
+    Workload w("w");
+    w.add(okPhase("a", 100));
+    WorkloadCursor c(w);
+    c.retire(30);
+    EXPECT_EQ(c.remainingInPhase(), 70u);
+    c.retire(70);
+    EXPECT_TRUE(c.done());
+}
+
+TEST(WorkloadCursorTest, RepeatsLoopThePhaseList)
+{
+    Workload w("w", 2);
+    w.add(okPhase("a", 10)).add(okPhase("b", 10));
+    WorkloadCursor c(w);
+    c.retire(10);   // a, iter 0
+    c.retire(10);   // b, iter 0
+    EXPECT_FALSE(c.done());
+    EXPECT_EQ(c.currentPhase().name, "a");
+    c.retire(10);
+    c.retire(10);
+    EXPECT_TRUE(c.done());
+}
+
+TEST(WorkloadCursorTest, OverRetirePanics)
+{
+    Workload w("w");
+    w.add(okPhase("a", 10));
+    WorkloadCursor c(w);
+    EXPECT_THROW(c.retire(11), std::logic_error);
+}
+
+TEST(WorkloadCursorTest, CurrentPhasePastEndPanics)
+{
+    Workload w("w");
+    w.add(okPhase("a", 10));
+    WorkloadCursor c(w);
+    c.retire(10);
+    EXPECT_THROW(c.currentPhase(), std::logic_error);
+}
+
+TEST(WorkloadCursorTest, ProgressFraction)
+{
+    Workload w("w", 2);
+    w.add(okPhase("a", 100));
+    WorkloadCursor c(w);
+    EXPECT_DOUBLE_EQ(c.progress(), 0.0);
+    c.retire(100);
+    EXPECT_DOUBLE_EQ(c.progress(), 0.5);
+    c.retire(100);
+    EXPECT_DOUBLE_EQ(c.progress(), 1.0);
+}
+
+TEST(WorkloadCursorTest, ResetRewinds)
+{
+    Workload w("w");
+    w.add(okPhase("a", 10));
+    WorkloadCursor c(w);
+    c.retire(10);
+    EXPECT_TRUE(c.done());
+    c.reset();
+    EXPECT_FALSE(c.done());
+    EXPECT_EQ(c.retired(), 0u);
+}
+
+} // namespace
+} // namespace aapm

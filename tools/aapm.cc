@@ -1,0 +1,375 @@
+/**
+ * @file
+ * The aapm command-line tool — the modeled equivalent of the paper's
+ * user-level control application: train the online models, run
+ * workloads under any governor with runtime constraints, and inspect
+ * the results, all against the simulated Pentium M platform.
+ *
+ *   aapm train --out models.txt
+ *   aapm run --workload ammp --governor pm --limit 14.5
+ *   aapm run --workload-file my.wl --governor ps --floor 0.8 \
+ *            --models models.txt --csv trace.csv
+ *   aapm list
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "aapm.hh"
+#include "cli/options.hh"
+#include "workload/workload_io.hh"
+
+namespace
+{
+
+using namespace aapm;
+
+int
+cmdList()
+{
+    std::printf("SPEC CPU2000 proxy workloads:\n ");
+    for (const auto &name : specSuiteNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\n\nMS-Loops microbenchmarks:\n ");
+    for (const char *kind : {"DAXPY", "FMA", "MCOPY", "MLOAD_RAND"})
+        std::printf(" %s-{16KB,256KB,8MB}", kind);
+    std::printf("\n\ngovernors:\n");
+    std::printf("  pm       PerformanceMaximizer (needs --limit)\n");
+    std::printf("  pm-f     PM + measured-power feedback (--limit)\n");
+    std::printf("  pm-a     PM + online recalibration (--limit)\n");
+    std::printf("  ps       PowerSave (needs --floor)\n");
+    std::printf("  static   fixed p-state (needs --pstate)\n");
+    std::printf("  dbs      demand-based switching baseline\n");
+    std::printf("  thermal  predictive thermal cap (--tmax)\n");
+    return 0;
+}
+
+int
+cmdTrain(const CliOptions &opts)
+{
+    PlatformConfig config;
+    aapm_inform("characterizing MS-Loops and training models...");
+    const TrainedModels models = trainModels(config);
+
+    TextTable t;
+    t.header({"freq (MHz)", "alpha", "beta"});
+    for (size_t i = 0; i < config.pstates.size(); ++i) {
+        t.row({TextTable::num(config.pstates[i].freqMhz, 0),
+               TextTable::num(models.power.coeffs[i].alpha, 3),
+               TextTable::num(models.power.coeffs[i].beta, 3)});
+    }
+    std::printf("%s", t.str().c_str());
+    std::printf("performance model: threshold %.3f exponent %.3f\n",
+                models.perf.threshold, models.perf.exponent);
+
+    if (opts.has("out")) {
+        ModelFile file;
+        file.power = models.power.coeffs;
+        file.threshold = models.perf.threshold;
+        file.exponent = models.perf.exponent;
+        saveModelFile(opts.str("out"), file);
+        std::printf("saved to %s\n", opts.str("out").c_str());
+    }
+    return 0;
+}
+
+Workload
+resolveWorkload(const CliOptions &opts, const PlatformConfig &config)
+{
+    const double seconds =
+        opts.has("seconds") ? opts.num("seconds") : 12.0;
+    if (opts.has("workload-file"))
+        return loadWorkloadFile(opts.str("workload-file"));
+    const std::string name = opts.str("workload");
+    if (isSpecBenchmark(name))
+        return specWorkload(name, config.core, seconds);
+    // MS-Loops spellings like FMA-256KB.
+    for (LoopKind kind : {LoopKind::Daxpy, LoopKind::Fma, LoopKind::Mcopy,
+                          LoopKind::MloadRand}) {
+        for (uint64_t fp : standardFootprints()) {
+            const LoopSpec spec{kind, fp};
+            if (spec.displayName() == name) {
+                CoreModel core(config.core);
+                const Phase probe = characterizeLoop(
+                    spec, config.hierarchy, config.core, 1000);
+                const uint64_t instrs = static_cast<uint64_t>(
+                    core.instrPerSec(probe, 2.0) * seconds);
+                return microbenchWorkload(spec, config.hierarchy,
+                                          config.core, instrs);
+            }
+        }
+    }
+    aapm_fatal("unknown workload '%s' (try `aapm list`)", name.c_str());
+}
+
+std::unique_ptr<Governor>
+resolveGovernor(const CliOptions &opts, const PlatformConfig &config,
+                const PowerEstimator &power, const PerfEstimator &perf)
+{
+    const std::string gov = opts.str("governor");
+    if (gov == "pm") {
+        return std::make_unique<PerformanceMaximizer>(
+            power, PmConfig{.powerLimitW = opts.num("limit")});
+    }
+    if (gov == "pm-f") {
+        return std::make_unique<PmFeedback>(
+            power, PmConfig{.powerLimitW = opts.num("limit")});
+    }
+    if (gov == "pm-a") {
+        return std::make_unique<PmAdaptive>(
+            power, PmConfig{.powerLimitW = opts.num("limit")});
+    }
+    if (gov == "ps") {
+        return std::make_unique<PowerSave>(
+            config.pstates, perf, PsConfig{opts.num("floor")});
+    }
+    if (gov == "static") {
+        return std::make_unique<StaticClock>(
+            static_cast<size_t>(opts.num("pstate")));
+    }
+    if (gov == "dbs")
+        return std::make_unique<DemandBasedSwitching>(config.pstates);
+    if (gov == "thermal") {
+        ThermalCapConfig cfg;
+        cfg.maxTempC = opts.num("tmax");
+        cfg.rThermal = config.thermal.rTh;
+        cfg.ambientC = config.thermal.ambientC;
+        return std::make_unique<ThermalCap>(power, cfg);
+    }
+    aapm_fatal("unknown governor '%s' (try `aapm list`)", gov.c_str());
+}
+
+int
+cmdRun(const CliOptions &opts)
+{
+    PlatformConfig config;
+    if (opts.has("interval"))
+        config.sampleInterval = static_cast<Tick>(
+            opts.num("interval") * static_cast<double>(TicksPerMs));
+    Platform platform(config);
+
+    PowerEstimator power = PowerEstimator::paperPentiumM();
+    PerfEstimator perf(PerfEstimator::PaperThreshold,
+                       PerfEstimator::PaperExponent);
+    if (opts.has("models")) {
+        const ModelFile file = loadModelFile(opts.str("models"));
+        power = file.powerEstimator(config.pstates);
+        perf = file.perfEstimator();
+    } else if (!opts.flag("paper-models")) {
+        aapm_inform("training models (pass --models FILE or "
+                    "--paper-models to skip)...");
+        const TrainedModels models = trainModels(config);
+        power = models.powerEstimator(config.pstates);
+        perf = models.perfEstimator();
+    }
+
+    const Workload workload = resolveWorkload(opts, config);
+    auto governor = resolveGovernor(opts, config, power, perf);
+
+    RunOptions run_opts;
+    const RunResult r = platform.run(workload, *governor, run_opts);
+
+    std::printf("workload  %s under %s\n", r.workloadName.c_str(),
+                r.governorName.c_str());
+    std::printf("time      %.3f s\n", r.seconds);
+    std::printf("instr     %.3e\n",
+                static_cast<double>(r.instructions));
+    std::printf("energy    %.2f J (measured %.2f J)\n", r.trueEnergyJ,
+                r.measuredEnergyJ);
+    std::printf("avg power %.2f W\n", r.avgTruePowerW);
+    std::printf("die temp  %.1f C at end\n", r.finalTempC);
+    std::printf("dvfs      %llu transitions, %.2f ms halted\n",
+                static_cast<unsigned long long>(r.dvfs.transitions),
+                ticksToSeconds(r.dvfs.stallTicks) * 1e3);
+    std::printf("residency\n");
+    for (size_t i = 0; i < r.dvfs.residency.size(); ++i) {
+        const double frac =
+            ticksToSeconds(r.dvfs.residency[i]) / r.seconds;
+        if (frac > 0.001) {
+            std::printf("  %4.0f MHz %5.1f%%\n",
+                        config.pstates[i].freqMhz, frac * 100.0);
+        }
+    }
+    if (opts.has("limit")) {
+        std::printf("over-limit (100 ms windows): %.2f%%\n",
+                    r.trace.fractionOverLimit(opts.num("limit"), 10) *
+                        100.0);
+    }
+
+    if (opts.has("csv")) {
+        CsvWriter csv(opts.str("csv"));
+        csv.row({"t_s", "measured_w", "true_w", "freq_mhz", "ipc",
+                 "dpc", "temp_c"});
+        for (const auto &s : r.trace.samples()) {
+            csv.rowNums({ticksToSeconds(s.when), s.measuredW, s.trueW,
+                         s.freqMhz, s.ipc, s.dpc, s.tempC});
+        }
+        std::printf("trace written to %s\n", opts.str("csv").c_str());
+    }
+    return 0;
+}
+
+int
+cmdSuite(const CliOptions &opts)
+{
+    PlatformConfig config;
+    Platform platform(config);
+
+    PowerEstimator power = PowerEstimator::paperPentiumM();
+    PerfEstimator perf(PerfEstimator::PaperThreshold,
+                       PerfEstimator::PaperExponent);
+    if (opts.has("models")) {
+        const ModelFile file = loadModelFile(opts.str("models"));
+        power = file.powerEstimator(config.pstates);
+        perf = file.perfEstimator();
+    } else if (!opts.flag("paper-models")) {
+        aapm_inform("training models...");
+        const TrainedModels models = trainModels(config);
+        power = models.powerEstimator(config.pstates);
+        perf = models.perfEstimator();
+    }
+
+    const double seconds =
+        opts.has("seconds") ? opts.num("seconds") : 8.0;
+    const auto suite = specSuite(config.core, seconds);
+    const SuiteResult base =
+        runSuiteAtPState(platform, suite, config.pstates.maxIndex());
+
+    TextTable t;
+    t.header({"benchmark", "time (s)", "vs 2 GHz (%)", "energy (J)",
+              "savings (%)", "avg W"});
+    SuiteResult result;
+    for (const auto &w : suite) {
+        auto governor = resolveGovernor(opts, config, power, perf);
+        result.runs.push_back(platform.run(w, *governor));
+        const RunResult &r = result.runs.back();
+        const RunResult &b = base.byName(w.name());
+        t.row({w.name(), TextTable::num(r.seconds, 2),
+               TextTable::num(b.seconds / r.seconds * 100.0, 1),
+               TextTable::num(r.trueEnergyJ, 1),
+               TextTable::num(
+                   (1.0 - r.trueEnergyJ / b.trueEnergyJ) * 100.0, 1),
+               TextTable::num(r.avgTruePowerW, 2)});
+    }
+    std::printf("%s", t.str().c_str());
+    std::printf("suite: %.1f s (%.1f%% of 2 GHz performance), "
+                "%.1f J (%.1f%% savings)\n",
+                result.totalSeconds(),
+                base.totalSeconds() / result.totalSeconds() * 100.0,
+                result.totalTrueEnergyJ(),
+                (1.0 - result.totalTrueEnergyJ() /
+                           base.totalTrueEnergyJ()) * 100.0);
+    return 0;
+}
+
+int
+usageTop()
+{
+    std::printf(
+        "usage: aapm <command> [options]\n\n"
+        "commands:\n"
+        "  train   characterize MS-Loops and fit the online models\n"
+        "  run     run a workload under a governor\n"
+        "  suite   run the full SPEC proxy suite under a governor\n"
+        "  list    list workloads and governors\n\n"
+        "`aapm <command> --help` shows the command's options.\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace aapm;
+    if (argc < 2)
+        return usageTop();
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    std::string error;
+
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "train") {
+            CliOptions opts("aapm train",
+                            "characterize MS-Loops and fit the models");
+            opts.addOption("out", "FILE", "",
+                           "save the trained constants here");
+            if (!opts.parse(args, &error)) {
+                std::printf("%s", opts.usage().c_str());
+                if (!opts.helpRequested())
+                    std::fprintf(stderr, "error: %s\n", error.c_str());
+                return opts.helpRequested() ? 0 : 2;
+            }
+            return cmdTrain(opts);
+        }
+        if (cmd == "suite") {
+            CliOptions opts("aapm suite",
+                            "run the 26-benchmark suite under a "
+                            "governor");
+            opts.addOption("governor", "NAME", "ps",
+                           "pm|pm-f|pm-a|ps|static|dbs|thermal");
+            opts.addOption("limit", "WATTS", "14.5", "power limit");
+            opts.addOption("floor", "FRACTION", "0.8",
+                           "performance floor");
+            opts.addOption("pstate", "INDEX", "7", "static p-state");
+            opts.addOption("tmax", "CELSIUS", "70", "temperature cap");
+            opts.addOption("seconds", "S", "8",
+                           "per-benchmark duration at 2 GHz");
+            opts.addOption("models", "FILE", "", "trained constants");
+            opts.addFlag("paper-models", "use Table II constants");
+            if (!opts.parse(args, &error)) {
+                std::printf("%s", opts.usage().c_str());
+                if (!opts.helpRequested())
+                    std::fprintf(stderr, "error: %s\n", error.c_str());
+                return opts.helpRequested() ? 0 : 2;
+            }
+            return cmdSuite(opts);
+        }
+        if (cmd == "run") {
+            CliOptions opts("aapm run",
+                            "run a workload under a governor");
+            opts.addOption("workload", "NAME", "",
+                           "SPEC proxy or MS-Loops name");
+            opts.addOption("workload-file", "FILE", "",
+                           "workload definition file");
+            opts.addOption("governor", "NAME", "pm",
+                           "pm|pm-f|pm-a|ps|static|dbs|thermal");
+            opts.addOption("limit", "WATTS", "14.5",
+                           "power limit for pm/pm-f/pm-a");
+            opts.addOption("floor", "FRACTION", "0.8",
+                           "performance floor for ps");
+            opts.addOption("pstate", "INDEX", "7",
+                           "pinned p-state for static");
+            opts.addOption("tmax", "CELSIUS", "70",
+                           "temperature cap for thermal");
+            opts.addOption("seconds", "S", "12",
+                           "target duration at 2 GHz");
+            opts.addOption("interval", "MS", "10",
+                           "monitoring interval");
+            opts.addOption("models", "FILE", "",
+                           "load trained constants instead of training");
+            opts.addFlag("paper-models",
+                         "use the paper's published Table II constants");
+            opts.addOption("csv", "FILE", "", "write the 10 ms trace");
+            if (!opts.parse(args, &error)) {
+                std::printf("%s", opts.usage().c_str());
+                if (!opts.helpRequested())
+                    std::fprintf(stderr, "error: %s\n", error.c_str());
+                return opts.helpRequested() ? 0 : 2;
+            }
+            if (!opts.has("workload") && !opts.has("workload-file")) {
+                std::fprintf(stderr, "error: need --workload or "
+                                     "--workload-file\n");
+                return 2;
+            }
+            return cmdRun(opts);
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return usageTop();
+}
