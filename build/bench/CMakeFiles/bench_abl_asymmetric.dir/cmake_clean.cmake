@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_asymmetric.dir/bench_abl_asymmetric.cc.o"
+  "CMakeFiles/bench_abl_asymmetric.dir/bench_abl_asymmetric.cc.o.d"
+  "bench_abl_asymmetric"
+  "bench_abl_asymmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

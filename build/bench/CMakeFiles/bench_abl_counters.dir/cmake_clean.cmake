@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_counters.dir/bench_abl_counters.cc.o"
+  "CMakeFiles/bench_abl_counters.dir/bench_abl_counters.cc.o.d"
+  "bench_abl_counters"
+  "bench_abl_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

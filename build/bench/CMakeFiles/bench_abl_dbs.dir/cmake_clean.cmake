@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dbs.dir/bench_abl_dbs.cc.o"
+  "CMakeFiles/bench_abl_dbs.dir/bench_abl_dbs.cc.o.d"
+  "bench_abl_dbs"
+  "bench_abl_dbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

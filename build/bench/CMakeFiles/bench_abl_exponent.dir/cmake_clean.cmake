@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_exponent.dir/bench_abl_exponent.cc.o"
+  "CMakeFiles/bench_abl_exponent.dir/bench_abl_exponent.cc.o.d"
+  "bench_abl_exponent"
+  "bench_abl_exponent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_exponent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_feedback.dir/bench_abl_feedback.cc.o"
+  "CMakeFiles/bench_abl_feedback.dir/bench_abl_feedback.cc.o.d"
+  "bench_abl_feedback"
+  "bench_abl_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

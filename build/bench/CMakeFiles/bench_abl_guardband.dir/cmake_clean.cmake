@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_guardband.dir/bench_abl_guardband.cc.o"
+  "CMakeFiles/bench_abl_guardband.dir/bench_abl_guardband.cc.o.d"
+  "bench_abl_guardband"
+  "bench_abl_guardband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_guardband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

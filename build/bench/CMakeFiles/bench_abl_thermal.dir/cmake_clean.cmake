@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_thermal.dir/bench_abl_thermal.cc.o"
+  "CMakeFiles/bench_abl_thermal.dir/bench_abl_thermal.cc.o.d"
+  "bench_abl_thermal"
+  "bench_abl_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_throttle.dir/bench_abl_throttle.cc.o"
+  "CMakeFiles/bench_abl_throttle.dir/bench_abl_throttle.cc.o.d"
+  "bench_abl_throttle"
+  "bench_abl_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

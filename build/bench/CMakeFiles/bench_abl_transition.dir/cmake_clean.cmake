@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_transition.dir/bench_abl_transition.cc.o"
+  "CMakeFiles/bench_abl_transition.dir/bench_abl_transition.cc.o.d"
+  "bench_abl_transition"
+  "bench_abl_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

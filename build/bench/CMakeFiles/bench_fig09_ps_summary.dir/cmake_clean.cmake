@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_ps_summary.dir/bench_fig09_ps_summary.cc.o"
+  "CMakeFiles/bench_fig09_ps_summary.dir/bench_fig09_ps_summary.cc.o.d"
+  "bench_fig09_ps_summary"
+  "bench_fig09_ps_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_ps_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

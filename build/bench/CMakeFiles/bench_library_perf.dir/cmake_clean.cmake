@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_library_perf.dir/bench_library_perf.cc.o"
+  "CMakeFiles/bench_library_perf.dir/bench_library_perf.cc.o.d"
+  "bench_library_perf"
+  "bench_library_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_library_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

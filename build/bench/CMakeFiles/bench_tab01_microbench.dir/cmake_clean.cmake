@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_microbench.dir/bench_tab01_microbench.cc.o"
+  "CMakeFiles/bench_tab01_microbench.dir/bench_tab01_microbench.cc.o.d"
+  "bench_tab01_microbench"
+  "bench_tab01_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_power_model.dir/bench_tab02_power_model.cc.o"
+  "CMakeFiles/bench_tab02_power_model.dir/bench_tab02_power_model.cc.o.d"
+  "bench_tab02_power_model"
+  "bench_tab02_power_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

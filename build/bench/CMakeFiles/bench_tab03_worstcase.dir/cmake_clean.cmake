@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_worstcase.dir/bench_tab03_worstcase.cc.o"
+  "CMakeFiles/bench_tab03_worstcase.dir/bench_tab03_worstcase.cc.o.d"
+  "bench_tab03_worstcase"
+  "bench_tab03_worstcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_static_freq.dir/bench_tab04_static_freq.cc.o"
+  "CMakeFiles/bench_tab04_static_freq.dir/bench_tab04_static_freq.cc.o.d"
+  "bench_tab04_static_freq"
+  "bench_tab04_static_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_static_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_counters.dir/bench_tab_counters.cc.o"
+  "CMakeFiles/bench_tab_counters.dir/bench_tab_counters.cc.o.d"
+  "bench_tab_counters"
+  "bench_tab_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

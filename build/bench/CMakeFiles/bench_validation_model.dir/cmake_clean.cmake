@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_model.dir/bench_validation_model.cc.o"
+  "CMakeFiles/bench_validation_model.dir/bench_validation_model.cc.o.d"
+  "bench_validation_model"
+  "bench_validation_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_power.dir/bench_validation_power.cc.o"
+  "CMakeFiles/bench_validation_power.dir/bench_validation_power.cc.o.d"
+  "bench_validation_power"
+  "bench_validation_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

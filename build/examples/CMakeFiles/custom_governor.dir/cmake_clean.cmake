@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_governor.dir/custom_governor.cpp.o"
+  "CMakeFiles/custom_governor.dir/custom_governor.cpp.o.d"
+  "custom_governor"
+  "custom_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_capped_server.dir/power_capped_server.cpp.o"
+  "CMakeFiles/power_capped_server.dir/power_capped_server.cpp.o.d"
+  "power_capped_server"
+  "power_capped_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_capped_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for power_capped_server.
+# This may be replaced when dependencies are built.

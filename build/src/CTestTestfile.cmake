@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("mem")
+subdirs("cpu")
+subdirs("pmu")
+subdirs("dvfs")
+subdirs("power")
+subdirs("sensor")
+subdirs("workload")
+subdirs("models")
+subdirs("validation")
+subdirs("mgmt")
+subdirs("platform")
+subdirs("cli")

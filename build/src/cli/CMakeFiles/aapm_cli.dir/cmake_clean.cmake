@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_cli.dir/options.cc.o"
+  "CMakeFiles/aapm_cli.dir/options.cc.o.d"
+  "libaapm_cli.a"
+  "libaapm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

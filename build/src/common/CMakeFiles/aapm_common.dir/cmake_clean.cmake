@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_common.dir/fit.cc.o"
+  "CMakeFiles/aapm_common.dir/fit.cc.o.d"
+  "CMakeFiles/aapm_common.dir/logging.cc.o"
+  "CMakeFiles/aapm_common.dir/logging.cc.o.d"
+  "CMakeFiles/aapm_common.dir/random.cc.o"
+  "CMakeFiles/aapm_common.dir/random.cc.o.d"
+  "CMakeFiles/aapm_common.dir/stats.cc.o"
+  "CMakeFiles/aapm_common.dir/stats.cc.o.d"
+  "CMakeFiles/aapm_common.dir/table.cc.o"
+  "CMakeFiles/aapm_common.dir/table.cc.o.d"
+  "libaapm_common.a"
+  "libaapm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_cpu.dir/core_model.cc.o"
+  "CMakeFiles/aapm_cpu.dir/core_model.cc.o.d"
+  "libaapm_cpu.a"
+  "libaapm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvfs/dvfs_controller.cc" "src/dvfs/CMakeFiles/aapm_dvfs.dir/dvfs_controller.cc.o" "gcc" "src/dvfs/CMakeFiles/aapm_dvfs.dir/dvfs_controller.cc.o.d"
+  "/root/repo/src/dvfs/pstate.cc" "src/dvfs/CMakeFiles/aapm_dvfs.dir/pstate.cc.o" "gcc" "src/dvfs/CMakeFiles/aapm_dvfs.dir/pstate.cc.o.d"
+  "/root/repo/src/dvfs/throttle.cc" "src/dvfs/CMakeFiles/aapm_dvfs.dir/throttle.cc.o" "gcc" "src/dvfs/CMakeFiles/aapm_dvfs.dir/throttle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aapm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aapm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

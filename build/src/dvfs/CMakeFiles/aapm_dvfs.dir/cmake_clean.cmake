@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_dvfs.dir/dvfs_controller.cc.o"
+  "CMakeFiles/aapm_dvfs.dir/dvfs_controller.cc.o.d"
+  "CMakeFiles/aapm_dvfs.dir/pstate.cc.o"
+  "CMakeFiles/aapm_dvfs.dir/pstate.cc.o.d"
+  "CMakeFiles/aapm_dvfs.dir/throttle.cc.o"
+  "CMakeFiles/aapm_dvfs.dir/throttle.cc.o.d"
+  "libaapm_dvfs.a"
+  "libaapm_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_mem.dir/cache.cc.o"
+  "CMakeFiles/aapm_mem.dir/cache.cc.o.d"
+  "CMakeFiles/aapm_mem.dir/dram.cc.o"
+  "CMakeFiles/aapm_mem.dir/dram.cc.o.d"
+  "CMakeFiles/aapm_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/aapm_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/aapm_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/aapm_mem.dir/prefetcher.cc.o.d"
+  "libaapm_mem.a"
+  "libaapm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mgmt/demand_based.cc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/demand_based.cc.o" "gcc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/demand_based.cc.o.d"
+  "/root/repo/src/mgmt/performance_maximizer.cc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/performance_maximizer.cc.o" "gcc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/performance_maximizer.cc.o.d"
+  "/root/repo/src/mgmt/pm_adaptive.cc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/pm_adaptive.cc.o" "gcc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/pm_adaptive.cc.o.d"
+  "/root/repo/src/mgmt/pm_feedback.cc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/pm_feedback.cc.o" "gcc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/pm_feedback.cc.o.d"
+  "/root/repo/src/mgmt/power_save.cc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/power_save.cc.o" "gcc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/power_save.cc.o.d"
+  "/root/repo/src/mgmt/static_clock.cc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/static_clock.cc.o" "gcc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/static_clock.cc.o.d"
+  "/root/repo/src/mgmt/thermal_cap.cc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/thermal_cap.cc.o" "gcc" "src/mgmt/CMakeFiles/aapm_mgmt.dir/thermal_cap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aapm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/aapm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/aapm_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/aapm_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aapm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/aapm_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/aapm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aapm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aapm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

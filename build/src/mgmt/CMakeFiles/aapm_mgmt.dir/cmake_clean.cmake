@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_mgmt.dir/demand_based.cc.o"
+  "CMakeFiles/aapm_mgmt.dir/demand_based.cc.o.d"
+  "CMakeFiles/aapm_mgmt.dir/performance_maximizer.cc.o"
+  "CMakeFiles/aapm_mgmt.dir/performance_maximizer.cc.o.d"
+  "CMakeFiles/aapm_mgmt.dir/pm_adaptive.cc.o"
+  "CMakeFiles/aapm_mgmt.dir/pm_adaptive.cc.o.d"
+  "CMakeFiles/aapm_mgmt.dir/pm_feedback.cc.o"
+  "CMakeFiles/aapm_mgmt.dir/pm_feedback.cc.o.d"
+  "CMakeFiles/aapm_mgmt.dir/power_save.cc.o"
+  "CMakeFiles/aapm_mgmt.dir/power_save.cc.o.d"
+  "CMakeFiles/aapm_mgmt.dir/static_clock.cc.o"
+  "CMakeFiles/aapm_mgmt.dir/static_clock.cc.o.d"
+  "CMakeFiles/aapm_mgmt.dir/thermal_cap.cc.o"
+  "CMakeFiles/aapm_mgmt.dir/thermal_cap.cc.o.d"
+  "libaapm_mgmt.a"
+  "libaapm_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/model_io.cc" "src/models/CMakeFiles/aapm_models.dir/model_io.cc.o" "gcc" "src/models/CMakeFiles/aapm_models.dir/model_io.cc.o.d"
+  "/root/repo/src/models/online_fit.cc" "src/models/CMakeFiles/aapm_models.dir/online_fit.cc.o" "gcc" "src/models/CMakeFiles/aapm_models.dir/online_fit.cc.o.d"
+  "/root/repo/src/models/perf_estimator.cc" "src/models/CMakeFiles/aapm_models.dir/perf_estimator.cc.o" "gcc" "src/models/CMakeFiles/aapm_models.dir/perf_estimator.cc.o.d"
+  "/root/repo/src/models/power_estimator.cc" "src/models/CMakeFiles/aapm_models.dir/power_estimator.cc.o" "gcc" "src/models/CMakeFiles/aapm_models.dir/power_estimator.cc.o.d"
+  "/root/repo/src/models/trainer.cc" "src/models/CMakeFiles/aapm_models.dir/trainer.cc.o" "gcc" "src/models/CMakeFiles/aapm_models.dir/trainer.cc.o.d"
+  "/root/repo/src/models/validator.cc" "src/models/CMakeFiles/aapm_models.dir/validator.cc.o" "gcc" "src/models/CMakeFiles/aapm_models.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aapm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/aapm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/aapm_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aapm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/aapm_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aapm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aapm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_models.dir/model_io.cc.o"
+  "CMakeFiles/aapm_models.dir/model_io.cc.o.d"
+  "CMakeFiles/aapm_models.dir/online_fit.cc.o"
+  "CMakeFiles/aapm_models.dir/online_fit.cc.o.d"
+  "CMakeFiles/aapm_models.dir/perf_estimator.cc.o"
+  "CMakeFiles/aapm_models.dir/perf_estimator.cc.o.d"
+  "CMakeFiles/aapm_models.dir/power_estimator.cc.o"
+  "CMakeFiles/aapm_models.dir/power_estimator.cc.o.d"
+  "CMakeFiles/aapm_models.dir/trainer.cc.o"
+  "CMakeFiles/aapm_models.dir/trainer.cc.o.d"
+  "CMakeFiles/aapm_models.dir/validator.cc.o"
+  "CMakeFiles/aapm_models.dir/validator.cc.o.d"
+  "libaapm_models.a"
+  "libaapm_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

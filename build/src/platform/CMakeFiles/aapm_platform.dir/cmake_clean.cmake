@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_platform.dir/experiment.cc.o"
+  "CMakeFiles/aapm_platform.dir/experiment.cc.o.d"
+  "CMakeFiles/aapm_platform.dir/platform.cc.o"
+  "CMakeFiles/aapm_platform.dir/platform.cc.o.d"
+  "libaapm_platform.a"
+  "libaapm_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmu/events.cc" "src/pmu/CMakeFiles/aapm_pmu.dir/events.cc.o" "gcc" "src/pmu/CMakeFiles/aapm_pmu.dir/events.cc.o.d"
+  "/root/repo/src/pmu/pmu.cc" "src/pmu/CMakeFiles/aapm_pmu.dir/pmu.cc.o" "gcc" "src/pmu/CMakeFiles/aapm_pmu.dir/pmu.cc.o.d"
+  "/root/repo/src/pmu/rotation.cc" "src/pmu/CMakeFiles/aapm_pmu.dir/rotation.cc.o" "gcc" "src/pmu/CMakeFiles/aapm_pmu.dir/rotation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aapm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/aapm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aapm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aapm_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

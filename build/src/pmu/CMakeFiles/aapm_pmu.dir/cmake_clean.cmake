@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_pmu.dir/events.cc.o"
+  "CMakeFiles/aapm_pmu.dir/events.cc.o.d"
+  "CMakeFiles/aapm_pmu.dir/pmu.cc.o"
+  "CMakeFiles/aapm_pmu.dir/pmu.cc.o.d"
+  "CMakeFiles/aapm_pmu.dir/rotation.cc.o"
+  "CMakeFiles/aapm_pmu.dir/rotation.cc.o.d"
+  "libaapm_pmu.a"
+  "libaapm_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

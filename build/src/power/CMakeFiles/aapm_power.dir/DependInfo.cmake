@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/truth_power.cc" "src/power/CMakeFiles/aapm_power.dir/truth_power.cc.o" "gcc" "src/power/CMakeFiles/aapm_power.dir/truth_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aapm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/aapm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/aapm_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aapm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aapm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

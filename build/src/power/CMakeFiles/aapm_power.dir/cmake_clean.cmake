@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_power.dir/truth_power.cc.o"
+  "CMakeFiles/aapm_power.dir/truth_power.cc.o.d"
+  "libaapm_power.a"
+  "libaapm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

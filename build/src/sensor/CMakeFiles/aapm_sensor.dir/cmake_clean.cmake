@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_sensor.dir/power_sensor.cc.o"
+  "CMakeFiles/aapm_sensor.dir/power_sensor.cc.o.d"
+  "libaapm_sensor.a"
+  "libaapm_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

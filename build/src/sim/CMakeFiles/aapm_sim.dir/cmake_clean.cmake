@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_sim.dir/event_queue.cc.o"
+  "CMakeFiles/aapm_sim.dir/event_queue.cc.o.d"
+  "libaapm_sim.a"
+  "libaapm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

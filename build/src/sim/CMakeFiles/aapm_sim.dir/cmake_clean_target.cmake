@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaapm_sim.a"
+)

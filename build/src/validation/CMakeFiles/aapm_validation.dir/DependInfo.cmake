@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validation/trace_sim.cc" "src/validation/CMakeFiles/aapm_validation.dir/trace_sim.cc.o" "gcc" "src/validation/CMakeFiles/aapm_validation.dir/trace_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/aapm_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/aapm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aapm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aapm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aapm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aapm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_validation.dir/trace_sim.cc.o"
+  "CMakeFiles/aapm_validation.dir/trace_sim.cc.o.d"
+  "libaapm_validation.a"
+  "libaapm_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

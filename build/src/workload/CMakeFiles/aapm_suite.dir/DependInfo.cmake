@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/microbench.cc" "src/workload/CMakeFiles/aapm_suite.dir/microbench.cc.o" "gcc" "src/workload/CMakeFiles/aapm_suite.dir/microbench.cc.o.d"
+  "/root/repo/src/workload/spec_suite.cc" "src/workload/CMakeFiles/aapm_suite.dir/spec_suite.cc.o" "gcc" "src/workload/CMakeFiles/aapm_suite.dir/spec_suite.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/aapm_suite.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/aapm_suite.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/aapm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aapm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/aapm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aapm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aapm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_suite.dir/microbench.cc.o"
+  "CMakeFiles/aapm_suite.dir/microbench.cc.o.d"
+  "CMakeFiles/aapm_suite.dir/spec_suite.cc.o"
+  "CMakeFiles/aapm_suite.dir/spec_suite.cc.o.d"
+  "CMakeFiles/aapm_suite.dir/synthetic.cc.o"
+  "CMakeFiles/aapm_suite.dir/synthetic.cc.o.d"
+  "libaapm_suite.a"
+  "libaapm_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm_workload.dir/phase.cc.o"
+  "CMakeFiles/aapm_workload.dir/phase.cc.o.d"
+  "CMakeFiles/aapm_workload.dir/workload.cc.o"
+  "CMakeFiles/aapm_workload.dir/workload.cc.o.d"
+  "CMakeFiles/aapm_workload.dir/workload_io.cc.o"
+  "CMakeFiles/aapm_workload.dir/workload_io.cc.o.d"
+  "libaapm_workload.a"
+  "libaapm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

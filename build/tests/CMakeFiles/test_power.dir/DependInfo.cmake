@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/test_power.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/test_power.dir/test_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/aapm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/aapm_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgmt/CMakeFiles/aapm_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/aapm_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/aapm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aapm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/aapm_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/aapm_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/validation/CMakeFiles/aapm_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aapm_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/aapm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aapm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aapm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aapm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aapm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_workloads.dir/test_suite_workloads.cc.o"
+  "CMakeFiles/test_suite_workloads.dir/test_suite_workloads.cc.o.d"
+  "test_suite_workloads"
+  "test_suite_workloads.pdb"
+  "test_suite_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

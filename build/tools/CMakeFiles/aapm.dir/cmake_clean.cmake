@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapm.dir/aapm.cc.o"
+  "CMakeFiles/aapm.dir/aapm.cc.o.d"
+  "aapm"
+  "aapm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

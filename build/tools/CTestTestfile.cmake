@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/aapm" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build/tools/aapm" "run" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_pm "/root/repo/build/tools/aapm" "run" "--workload" "gzip" "--governor" "pm" "--limit" "14.5" "--paper-models" "--seconds" "2")
+set_tests_properties(cli_run_pm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_ps "/root/repo/build/tools/aapm" "run" "--workload" "swim" "--governor" "ps" "--floor" "0.8" "--paper-models" "--seconds" "2")
+set_tests_properties(cli_run_ps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_train_and_reuse "sh" "-c" "/root/repo/build/tools/aapm train --out cli_models.txt                   && /root/repo/build/tools/aapm run --workload ammp                      --governor pm-a --limit 13.5                      --models cli_models.txt --seconds 2")
+set_tests_properties(cli_train_and_reuse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_workload "/root/repo/build/tools/aapm" "run" "--workload" "nonesuch" "--paper-models")
+set_tests_properties(cli_rejects_bad_workload PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
