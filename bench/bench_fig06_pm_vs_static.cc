@@ -6,6 +6,8 @@
  * constrained total execution time (the paper's definition).
  */
 
+#include <map>
+
 #include "bench_util.hh"
 
 int
@@ -18,11 +20,27 @@ main()
     std::printf("Fig 6 — suite performance vs power limit: dynamic "
                 "(PM) vs static clocking\n\n");
 
-    const SuiteResult unconstrained =
-        runSuiteAtPState(b.platform, b.suite,
-                         b.config.pstates.maxIndex());
-    const double t_free = unconstrained.totalSeconds();
     const auto worst = worstCasePowerTable(b.platform);
+    const auto limits = paperPowerLimits();
+
+    // The whole figure as one grid: the unconstrained baseline, one PM
+    // suite per limit, and one static suite per distinct static
+    // frequency (several limits map to the same one).
+    SweepGrid grid;
+    const size_t h_free =
+        grid.addSuiteAtPState(b.suite, b.config.pstates.maxIndex());
+    std::vector<size_t> h_pm;
+    std::map<size_t, size_t> h_static;   // sidx -> group handle
+    for (double limit : limits) {
+        h_pm.push_back(
+            grid.addSuite(b.suite, [&b, limit] { return b.makePm(limit); }));
+        const size_t sidx = StaticClock::chooseForLimit(worst, limit);
+        if (!h_static.count(sidx))
+            h_static[sidx] = grid.addSuiteAtPState(b.suite, sidx);
+    }
+    const SweepResults res = b.sweep.run(grid);
+
+    const double t_free = res.suite(h_free).totalSeconds();
 
     auto csv = maybeCsv("fig06_pm_vs_static");
     if (csv)
@@ -30,12 +48,11 @@ main()
     TextTable t;
     t.header({"limit (W)", "PM perf", "static freq (MHz)",
               "static perf"});
-    for (double limit : paperPowerLimits()) {
-        const SuiteResult dynamic = runSuite(
-            b.platform, b.suite, [&] { return b.makePm(limit); });
+    for (size_t i = 0; i < limits.size(); ++i) {
+        const double limit = limits[i];
+        const SuiteResult dynamic = res.suite(h_pm[i]);
         const size_t sidx = StaticClock::chooseForLimit(worst, limit);
-        const SuiteResult fixed =
-            runSuiteAtPState(b.platform, b.suite, sidx);
+        const SuiteResult fixed = res.suite(h_static.at(sidx));
         t.row({TextTable::num(limit, 1),
                TextTable::num(t_free / dynamic.totalSeconds(), 3),
                TextTable::num(b.config.pstates[sidx].freqMhz, 0),

@@ -24,12 +24,19 @@ main()
 
     const auto worst = worstCasePowerTable(b.platform);
     const size_t sidx = StaticClock::chooseForLimit(worst, limit);
-    const SuiteResult fixed =
-        runSuiteAtPState(b.platform, b.suite, sidx);
-    const SuiteResult free = runSuiteAtPState(
-        b.platform, b.suite, b.config.pstates.maxIndex());
-    const SuiteResult pm = runSuite(
-        b.platform, b.suite, [&] { return b.makePm(limit); });
+
+    // One grid: static baseline, unconstrained bound and the PM sweep
+    // run concurrently across every (configuration × workload) pair.
+    SweepGrid grid;
+    const size_t h_fixed = grid.addSuiteAtPState(b.suite, sidx);
+    const size_t h_free =
+        grid.addSuiteAtPState(b.suite, b.config.pstates.maxIndex());
+    const size_t h_pm =
+        grid.addSuite(b.suite, [&b, limit] { return b.makePm(limit); });
+    const SweepResults res = b.sweep.run(grid);
+    const SuiteResult fixed = res.suite(h_fixed);
+    const SuiteResult free = res.suite(h_free);
+    const SuiteResult pm = res.suite(h_pm);
 
     struct Row
     {

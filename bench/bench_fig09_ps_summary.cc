@@ -19,8 +19,19 @@ main()
     std::printf("Fig 9 — suite performance reduction & energy savings "
                 "vs PS floor\n\n");
 
-    const SuiteResult full = runSuiteAtPState(
-        b.platform, b.suite, b.config.pstates.maxIndex());
+    // Both bounds and every floor in one concurrent grid.
+    SweepGrid grid;
+    const size_t h_full =
+        grid.addSuiteAtPState(b.suite, b.config.pstates.maxIndex());
+    const size_t h_slow = grid.addSuiteAtPState(b.suite, 0);
+    std::vector<size_t> h_ps;
+    for (double floor : paperFloors()) {
+        h_ps.push_back(
+            grid.addSuite(b.suite, [&b, floor] { return b.makePs(floor); }));
+    }
+    const SweepResults res = b.sweep.run(grid);
+
+    const SuiteResult full = res.suite(h_full);
     const double t_full = full.totalSeconds();
     const double e_full = full.totalMeasuredEnergyJ();
 
@@ -30,9 +41,9 @@ main()
     TextTable t;
     t.header({"floor", "allowed loss (%)", "perf reduction (%)",
               "energy savings (%)"});
-    for (double floor : paperFloors()) {
-        const SuiteResult r = runSuite(
-            b.platform, b.suite, [&] { return b.makePs(floor); });
+    for (size_t i = 0; i < paperFloors().size(); ++i) {
+        const double floor = paperFloors()[i];
+        const SuiteResult r = res.suite(h_ps[i]);
         const double reduction = 1.0 - t_full / r.totalSeconds();
         const double savings =
             1.0 - r.totalMeasuredEnergyJ() / e_full;
@@ -45,7 +56,7 @@ main()
     }
 
     // Bounds: everything pinned at the slowest p-state.
-    const SuiteResult slow = runSuiteAtPState(b.platform, b.suite, 0);
+    const SuiteResult slow = res.suite(h_slow);
     t.row({"600MHz", "-",
            TextTable::num((1.0 - t_full / slow.totalSeconds()) * 100.0,
                           1),

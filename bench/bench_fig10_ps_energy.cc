@@ -21,16 +21,25 @@ main()
 
     std::printf("Fig 10 — per-workload energy savings vs PS floor\n\n");
 
-    const SuiteResult full = runSuiteAtPState(
-        b.platform, b.suite, b.config.pstates.maxIndex());
-    const SuiteResult slow = runSuiteAtPState(b.platform, b.suite, 0);
+    SweepGrid grid;
+    const size_t h_full =
+        grid.addSuiteAtPState(b.suite, b.config.pstates.maxIndex());
+    const size_t h_slow = grid.addSuiteAtPState(b.suite, 0);
+    std::vector<size_t> h_ps;
+    for (double floor : paperFloors()) {
+        h_ps.push_back(
+            grid.addSuite(b.suite, [&b, floor] { return b.makePs(floor); }));
+    }
+    const SweepResults res = b.sweep.run(grid);
+    const SuiteResult full = res.suite(h_full);
+    const SuiteResult slow = res.suite(h_slow);
 
     std::map<std::string, std::map<int, double>> savings;
     std::map<int, double> all;
     const double e_full = full.totalMeasuredEnergyJ();
-    for (double floor : paperFloors()) {
-        const SuiteResult r = runSuite(
-            b.platform, b.suite, [&] { return b.makePs(floor); });
+    for (size_t i = 0; i < paperFloors().size(); ++i) {
+        const double floor = paperFloors()[i];
+        const SuiteResult r = res.suite(h_ps[i]);
         const int key = static_cast<int>(floor * 100.0);
         for (const auto &run : r.runs) {
             savings[run.workloadName][key] =

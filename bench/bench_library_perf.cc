@@ -4,9 +4,21 @@
  * bound simulation throughput — cache accesses, core-model advance,
  * governor decisions, PMU absorption, event-queue churn, model
  * training primitives.
+ *
+ * After the microbenchmarks, a standard PM+PS suite sweep is timed at
+ * 1, 2 and N threads through the SweepRunner and the wall-clock,
+ * speedup and determinism results are written to BENCH_sweep.json
+ * (override the path with AAPM_SWEEP_JSON) so the perf trajectory of
+ * the experiment engine is tracked across PRs.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
 
 #include "aapm.hh"
 
@@ -213,6 +225,135 @@ BM_PlatformRunSecond(benchmark::State &state)
 }
 BENCHMARK(BM_PlatformRunSecond)->Unit(benchmark::kMillisecond);
 
+/**
+ * The standard sweep the engine is judged by: every paper PM limit and
+ * PS floor over a shortened SPEC proxy suite, untrained (paper-constant
+ * estimators), traces off.
+ */
+std::vector<RunResult>
+timedSweep(const PlatformConfig &config,
+           const std::vector<Workload> &suite, size_t jobs,
+           double *seconds_out)
+{
+    SweepRunner runner(config, jobs);
+    SweepGrid grid;
+    RunOptions options;
+    options.recordTrace = false;
+    const PowerEstimator power = PowerEstimator::paperPentiumM();
+    const PerfEstimator perf;
+    for (double limit : {17.5, 14.5, 11.5}) {
+        grid.addSuite(suite, [power, limit] {
+            return std::make_unique<PerformanceMaximizer>(
+                power, PmConfig{.powerLimitW = limit});
+        }, options);
+    }
+    for (double floor : {0.8, 0.4}) {
+        grid.addSuite(suite, [&config, perf, floor] {
+            return std::make_unique<PowerSave>(config.pstates, perf,
+                                               PsConfig{floor});
+        }, options);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    SweepResults results = runner.run(grid);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    *seconds_out = elapsed.count();
+    return results.runs();
+}
+
+bool
+identicalRuns(const std::vector<RunResult> &a,
+              const std::vector<RunResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].seconds != b[i].seconds ||
+            a[i].instructions != b[i].instructions ||
+            a[i].trueEnergyJ != b[i].trueEnergyJ ||
+            a[i].measuredEnergyJ != b[i].measuredEnergyJ) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+emitSweepTimings()
+{
+    const PlatformConfig config;
+    const std::vector<Workload> suite = specSuite(config.core, 20.0);
+
+    const size_t n = ThreadPool::defaultJobs();
+    std::set<size_t> counts = {1, 2, n};
+
+    std::vector<RunResult> serial_runs;
+    double serial_s = 0.0;
+    struct Timing
+    {
+        size_t threads;
+        double seconds;
+        double speedup;
+    };
+    std::vector<Timing> timings;
+    bool identical = true;
+    for (size_t jobs : counts) {
+        // Best of three: the sweep is short enough that a single
+        // measurement is at the mercy of scheduler noise.
+        double s = 0.0;
+        std::vector<RunResult> runs;
+        for (int rep = 0; rep < 3; ++rep) {
+            double rep_s = 0.0;
+            auto rep_runs = timedSweep(config, suite, jobs, &rep_s);
+            if (rep == 0 || rep_s < s) {
+                s = rep_s;
+                runs = std::move(rep_runs);
+            }
+        }
+        if (jobs == 1) {
+            serial_runs = runs;
+            serial_s = s;
+        } else {
+            identical = identical && identicalRuns(serial_runs, runs);
+        }
+        timings.push_back({jobs, s, serial_s > 0.0 ? serial_s / s : 1.0});
+        std::printf("sweep %3zu thread%s: %7.3f s  (speedup %.2fx)\n",
+                    jobs, jobs == 1 ? " " : "s", s,
+                    timings.back().speedup);
+    }
+    std::printf("serial vs parallel results bit-identical: %s\n",
+                identical ? "yes" : "NO");
+
+    const char *path = std::getenv("AAPM_SWEEP_JSON");
+    std::ofstream out(path && *path ? path : "BENCH_sweep.json");
+    out.precision(6);
+    out << "{\n"
+        << "  \"benchmark\": \"pm_ps_suite_sweep\",\n"
+        << "  \"runs_per_sweep\": " << 5 * suite.size() << ",\n"
+        << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "  \"bit_identical\": " << (identical ? "true" : "false")
+        << ",\n"
+        << "  \"timings\": [\n";
+    for (size_t i = 0; i < timings.size(); ++i) {
+        out << "    {\"threads\": " << timings[i].threads
+            << ", \"seconds\": " << timings[i].seconds
+            << ", \"speedup\": " << timings[i].speedup << "}"
+            << (i + 1 < timings.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitSweepTimings();
+    return 0;
+}

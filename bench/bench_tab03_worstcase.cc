@@ -18,7 +18,16 @@ main()
     const std::vector<double> paper = {3.86, 5.21, 6.56, 8.16,
                                        10.16, 12.46, 15.29, 17.78};
 
-    const auto ours = worstCasePowerTable(b.platform);
+    // Characterize the worst-case loop once, then solve the per-p-state
+    // power/temperature fixed points concurrently (each is independent;
+    // steadyPower only reads the platform).
+    const LoopSpec worst{LoopKind::Fma, 256 * 1024};
+    const Phase phase = characterizeLoop(worst, b.config.hierarchy,
+                                         b.config.core, 1'000'000);
+    std::vector<double> ours(b.config.pstates.size());
+    b.sweep.pool().parallelFor(ours.size(), [&](size_t i) {
+        ours[i] = b.platform.steadyPower(phase, i);
+    });
 
     std::printf("Table III — worst-case (FMA-256KB) power vs "
                 "frequency\n\n");

@@ -6,9 +6,14 @@
  * accounting).
  *
  * Environment knobs:
- *   AAPM_SECONDS  per-benchmark duration at 2 GHz (default 12).
- *   AAPM_CSV_DIR  if set, each harness also writes its series there
- *                 as <bench>.csv for external plotting.
+ *   AAPM_SECONDS      per-benchmark duration at 2 GHz (default 12).
+ *   AAPM_CSV_DIR      if set, each harness also writes its series
+ *                     there as <bench>.csv for external plotting.
+ *   AAPM_JOBS         sweep concurrency (default: hardware threads);
+ *                     1 forces the legacy serial path for debugging.
+ *   AAPM_MODEL_CACHE  if set, trained models are persisted to this
+ *                     file and reloaded on the next invocation,
+ *                     skipping training entirely.
  */
 
 #ifndef AAPM_BENCH_BENCH_UTIL_HH
@@ -40,14 +45,25 @@ targetSeconds()
     return 12.0;
 }
 
+/** Sweep concurrency: AAPM_JOBS, or every hardware thread. */
+inline size_t
+jobs()
+{
+    return ThreadPool::defaultJobs();
+}
+
 /** Everything the harnesses share. */
 struct Bench
 {
     PlatformConfig config;
     Platform platform{config};
-    TrainedModels models = trainModels(config);
+    /** Trained once per process (and per cache file); shared by every
+     *  worker thread as const. */
+    const TrainedModels &models = sharedModels(config);
     std::vector<Workload> suite =
         specSuite(config.core, targetSeconds());
+    /** The parallel experiment engine the harnesses sweep with. */
+    SweepRunner sweep{config, jobs()};
 
     PowerEstimator
     powerEstimator() const

@@ -3,33 +3,50 @@
 # verification pass. Outputs land in test_output.txt / bench_output.txt
 # at the repo root (and CSV series in bench_csv/ if requested).
 #
-# Usage: scripts/run_all.sh [--csv] [--seconds N]
+# Usage: scripts/run_all.sh [--csv] [--seconds N] [--jobs N]
+#   --jobs N   worker threads for the experiment engine (exported as
+#              AAPM_JOBS; default: all hardware threads; 1 = the
+#              legacy serial path)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SECONDS_OPT=12
 CSV=0
+JOBS=""
 while [[ $# -gt 0 ]]; do
     case "$1" in
       --csv) CSV=1 ;;
       --seconds) SECONDS_OPT="$2"; shift ;;
+      --jobs) JOBS="$2"; shift ;;
       *) echo "unknown option $1" >&2; exit 2 ;;
     esac
     shift
 done
 
-cmake -B build -G Ninja
-cmake --build build
+# Prefer Ninja when available; otherwise fall back to the default
+# generator (an existing build tree keeps whatever it was made with).
+GEN=()
+if [[ ! -f build/CMakeCache.txt ]] && command -v ninja >/dev/null 2>&1; then
+    GEN=(-G Ninja)
+fi
+cmake -B build "${GEN[@]}"
+cmake --build build -j"$(nproc)"
 
 ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
 
 export AAPM_SECONDS="$SECONDS_OPT"
+# Train once, reuse across every harness in the loop below.
+export AAPM_MODEL_CACHE="$PWD/build/aapm.models.cache"
+if [[ -n "$JOBS" ]]; then
+    export AAPM_JOBS="$JOBS"
+fi
 if [[ "$CSV" == 1 ]]; then
     export AAPM_CSV_DIR="$PWD/bench_csv"
 fi
 
 {
-    for b in build/bench/*; do
+    for b in build/bench/bench_*; do
+        [[ -f "$b" && -x "$b" ]] || continue
         echo "===== $b ====="
         "$b"
         echo

@@ -28,6 +28,9 @@
 #include "dvfs/dvfs_controller.hh"
 #include "dvfs/pstate.hh"
 #include "dvfs/throttle.hh"
+#include "exp/model_cache.hh"
+#include "exp/sweep.hh"
+#include "exp/thread_pool.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/hierarchy.hh"

@@ -1,0 +1,126 @@
+#include "exp/model_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "models/model_io.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+/** FNV-1a accumulator over a canonical text rendering of doubles. */
+class Fingerprint
+{
+  public:
+    void
+    add(double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g;", v);
+        for (const char *p = buf; *p; ++p) {
+            hash_ ^= static_cast<unsigned char>(*p);
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+
+    void add(uint64_t v) { add(static_cast<double>(v)); }
+    void add(bool v) { add(v ? 1.0 : 0.0); }
+
+    uint64_t value() const { return hash_; }
+
+  private:
+    uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace
+
+uint64_t
+platformFingerprint(const PlatformConfig &config)
+{
+    Fingerprint fp;
+    for (const auto &s : config.pstates.states()) {
+        fp.add(s.freqMhz);
+        fp.add(s.voltage);
+    }
+    const CoreParams &core = config.core;
+    fp.add(core.l2HitLatency);
+    fp.add(core.dramLatencyNs);
+    fp.add(core.dramPeakBandwidthGBs);
+    fp.add(core.dramLineBytes);
+    fp.add(core.robStallFactor);
+    fp.add(core.idleCalibrationGhz);
+    const HierarchyConfig &hier = config.hierarchy;
+    for (const auto &c : {hier.l1, hier.l2}) {
+        fp.add(c.sizeBytes);
+        fp.add(static_cast<uint64_t>(c.lineBytes));
+        fp.add(static_cast<uint64_t>(c.ways));
+        fp.add(static_cast<uint64_t>(c.hitLatency));
+    }
+    fp.add(static_cast<uint64_t>(hier.prefetcher.streams));
+    fp.add(static_cast<uint64_t>(hier.prefetcher.trainThreshold));
+    fp.add(static_cast<uint64_t>(hier.prefetcher.degree));
+    fp.add(static_cast<uint64_t>(hier.prefetcher.lineBytes));
+    fp.add(static_cast<uint64_t>(hier.prefetcher.maxStrideLines));
+    fp.add(hier.prefetcher.timeliness);
+    fp.add(hier.dram.latencyNs);
+    fp.add(hier.dram.peakBandwidth);
+    fp.add(static_cast<uint64_t>(hier.dram.lineBytes));
+    fp.add(hier.enablePrefetcher);
+    const TruthPowerConfig &power = config.power;
+    fp.add(power.cTree);
+    fp.add(power.cCore);
+    fp.add(power.cDecode);
+    fp.add(power.cFp);
+    fp.add(power.cL2);
+    fp.add(power.cBus);
+    fp.add(power.leakV1);
+    fp.add(power.leakV3);
+    fp.add(power.leakTempCoeff);
+    fp.add(power.leakNominalTempC);
+    fp.add(config.thermal.rTh);
+    fp.add(config.thermal.cTh);
+    fp.add(config.thermal.ambientC);
+    fp.add(config.thermalFeedback);
+    const SensorConfig &sensor = config.sensor;
+    fp.add(sensor.noiseSigmaW);
+    fp.add(sensor.gainErrorMax);
+    fp.add(sensor.offsetErrorMaxW);
+    fp.add(sensor.fullScaleW);
+    fp.add(static_cast<uint64_t>(sensor.adcBits));
+    fp.add(sensor.glitchProb);
+    fp.add(sensor.stuckProb);
+    fp.add(sensor.seed);
+    fp.add(config.sampleInterval);
+    return fp.value();
+}
+
+const TrainedModels &
+sharedModels(const PlatformConfig &config)
+{
+    static std::mutex mutex;
+    static std::map<uint64_t, std::unique_ptr<TrainedModels>> cache;
+
+    const uint64_t fp = platformFingerprint(config);
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(fp);
+    if (it != cache.end())
+        return *it->second;
+
+    auto models = std::make_unique<TrainedModels>();
+    const char *path = std::getenv("AAPM_MODEL_CACHE");
+    const bool persist = path && *path;
+    if (!persist || !loadTrainedModels(path, fp, *models)) {
+        *models = trainModels(config);
+        if (persist)
+            saveTrainedModels(path, *models, fp);
+    }
+    return *cache.emplace(fp, std::move(models)).first->second;
+}
+
+} // namespace aapm

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Process-wide trained-model cache.
+ *
+ * MS-Loops characterization + model training is by far the most
+ * expensive fixed cost of every harness, and its output depends only
+ * on the platform configuration. sharedModels() trains once per
+ * distinct configuration per process and hands out shared const
+ * references, so a whole parallel sweep shares one model set; when
+ * AAPM_MODEL_CACHE names a file, the result is persisted through
+ * models/model_io and repeat harness invocations skip training
+ * entirely. A cache file carries the configuration fingerprint it was
+ * trained under and is silently retrained (and rewritten) when stale.
+ */
+
+#ifndef AAPM_EXP_MODEL_CACHE_HH
+#define AAPM_EXP_MODEL_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "platform/experiment.hh"
+#include "platform/platform.hh"
+
+namespace aapm
+{
+
+/**
+ * Order-sensitive hash of every model-relevant field of the platform
+ * configuration (p-states, core timing, memory hierarchy, power,
+ * thermal and sensor parameters) — the cache-validity key for
+ * persisted trained models.
+ */
+uint64_t platformFingerprint(const PlatformConfig &config);
+
+/**
+ * The trained models for `config`: trained at most once per process
+ * per distinct configuration, loaded from / saved to the file named by
+ * the AAPM_MODEL_CACHE environment variable when it is set. Safe to
+ * call concurrently; the returned reference lives for the process.
+ */
+const TrainedModels &sharedModels(const PlatformConfig &config);
+
+} // namespace aapm
+
+#endif // AAPM_EXP_MODEL_CACHE_HH

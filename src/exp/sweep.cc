@@ -1,0 +1,132 @@
+#include "exp/sweep.hh"
+
+#include "common/logging.hh"
+#include "mgmt/static_clock.hh"
+
+namespace aapm
+{
+
+size_t
+SweepGrid::add(RunSpec spec)
+{
+    aapm_assert(spec.workload != nullptr, "RunSpec needs a workload");
+    groups_.emplace_back(specs_.size(), 1);
+    specs_.push_back(std::move(spec));
+    return groups_.size() - 1;
+}
+
+size_t
+SweepGrid::addSuite(const std::vector<Workload> &suite,
+                    GovernorFactory factory, const RunOptions &options)
+{
+    aapm_assert(static_cast<bool>(factory),
+                "addSuite needs a governor factory");
+    groups_.emplace_back(specs_.size(), suite.size());
+    for (const auto &w : suite) {
+        RunSpec spec;
+        spec.workload = &w;
+        spec.governor = factory;
+        spec.options = options;
+        specs_.push_back(std::move(spec));
+    }
+    return groups_.size() - 1;
+}
+
+size_t
+SweepGrid::addSuiteAtPState(const std::vector<Workload> &suite,
+                            size_t pstate, const RunOptions &options)
+{
+    groups_.emplace_back(specs_.size(), suite.size());
+    for (const auto &w : suite) {
+        RunSpec spec;
+        spec.workload = &w;
+        spec.pstate = pstate;
+        spec.options = options;
+        specs_.push_back(std::move(spec));
+    }
+    return groups_.size() - 1;
+}
+
+const RunResult &
+SweepResults::run(size_t handle) const
+{
+    aapm_assert(handle < groups_.size(), "bad group handle %zu", handle);
+    aapm_assert(groups_[handle].second == 1,
+                "group %zu is a suite, not a single run", handle);
+    return runs_[groups_[handle].first];
+}
+
+SuiteResult
+SweepResults::suite(size_t handle) const
+{
+    aapm_assert(handle < groups_.size(), "bad group handle %zu", handle);
+    const auto [offset, count] = groups_[handle];
+    SuiteResult result;
+    result.runs.assign(runs_.begin() + offset,
+                       runs_.begin() + offset + count);
+    return result;
+}
+
+SweepRunner::SweepRunner(const PlatformConfig &config, size_t jobs)
+    : config_(config), pool_(jobs)
+{
+}
+
+RunResult
+SweepRunner::runOne(const RunSpec &spec) const
+{
+    PlatformConfig config = config_;
+    if (spec.sensorSeed != 0)
+        config.sensor.seed = spec.sensorSeed;
+    if (!spec.governor) {
+        // Boot directly in the pinned state so no transition is
+        // charged — same contract as Platform::runAtPState().
+        config.initialPState = spec.pstate;
+    }
+    Platform platform(config);
+    if (spec.governor) {
+        auto governor = spec.governor();
+        return platform.run(*spec.workload, *governor, spec.options);
+    }
+    StaticClock governor(spec.pstate);
+    return platform.run(*spec.workload, governor, spec.options);
+}
+
+SweepResults
+SweepRunner::run(const SweepGrid &grid)
+{
+    SweepResults results;
+    results.groups_ = grid.groups_;
+    results.runs_ = run(grid.specs_);
+    return results;
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<RunSpec> &specs)
+{
+    std::vector<RunResult> out(specs.size());
+    pool_.parallelFor(specs.size(),
+                      [&](size_t i) { out[i] = runOne(specs[i]); });
+    return out;
+}
+
+SuiteResult
+SweepRunner::runSuite(const std::vector<Workload> &suite,
+                      const GovernorFactory &factory,
+                      const RunOptions &options)
+{
+    SweepGrid grid;
+    const size_t handle = grid.addSuite(suite, factory, options);
+    return run(grid).suite(handle);
+}
+
+SuiteResult
+SweepRunner::runSuiteAtPState(const std::vector<Workload> &suite,
+                              size_t pstate, const RunOptions &options)
+{
+    SweepGrid grid;
+    const size_t handle = grid.addSuiteAtPState(suite, pstate, options);
+    return run(grid).suite(handle);
+}
+
+} // namespace aapm

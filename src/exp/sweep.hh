@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Parallel experiment engine.
+ *
+ * An experiment is a grid of independent RunSpecs — (workload, governor
+ * factory or pinned p-state, optional sensor seed, per-run options).
+ * SweepRunner executes a grid across a thread pool, giving every run
+ * its own freshly-booted Platform built from one shared configuration,
+ * and returns results positionally so the output is bit-identical to a
+ * serial execution of the same grid: all randomness is seeded from the
+ * spec (or the platform config), never from scheduling order.
+ *
+ * SweepGrid groups runs into suites (the harnesses' unit of
+ * aggregation) and hands back handles that index the corresponding
+ * SuiteResult slices after the grid has run — so a harness can submit
+ * its entire figure (every limit × every workload, plus baselines) as
+ * one grid and keep all cores busy for the whole sweep.
+ */
+
+#ifndef AAPM_EXP_SWEEP_HH
+#define AAPM_EXP_SWEEP_HH
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exp/thread_pool.hh"
+#include "mgmt/governor.hh"
+#include "platform/experiment.hh"
+#include "platform/platform.hh"
+
+namespace aapm
+{
+
+/**
+ * Produces a fresh governor per run (adaptive state must not leak
+ * across runs). Invoked from worker threads: a factory must be safe to
+ * call concurrently and must only read shared state.
+ */
+using GovernorFactory = std::function<std::unique_ptr<Governor>()>;
+
+/** One independent experiment run. */
+struct RunSpec
+{
+    /** The workload to run (not owned; must outlive the sweep). */
+    const Workload *workload = nullptr;
+    /** Governor factory; empty = pinned static clocking at `pstate`. */
+    GovernorFactory governor;
+    /** P-state for pinned runs (boots directly in it, like the
+     *  legacy Platform::runAtPState path). */
+    size_t pstate = 0;
+    /**
+     * Per-run sensor noise stream seed; 0 keeps the platform config's
+     * seed, which reproduces the legacy serial harness output exactly.
+     */
+    uint64_t sensorSeed = 0;
+    RunOptions options;
+};
+
+/** A grid of runs, grouped into suites for result slicing. */
+class SweepGrid
+{
+  public:
+    /** Add one run as its own group. @return Group handle. */
+    size_t add(RunSpec spec);
+
+    /** Add one run per workload under fresh governors. @return handle. */
+    size_t addSuite(const std::vector<Workload> &suite,
+                    GovernorFactory factory,
+                    const RunOptions &options = RunOptions());
+
+    /** Add one pinned run per workload. @return Group handle. */
+    size_t addSuiteAtPState(const std::vector<Workload> &suite,
+                            size_t pstate,
+                            const RunOptions &options = RunOptions());
+
+    /** Total runs queued. */
+    size_t runCount() const { return specs_.size(); }
+
+    /** Total groups queued. */
+    size_t groupCount() const { return groups_.size(); }
+
+  private:
+    friend class SweepRunner;
+
+    std::vector<RunSpec> specs_;
+    /** (offset, count) into specs_, one per group. */
+    std::vector<std::pair<size_t, size_t>> groups_;
+};
+
+/** Results of a grid, sliceable by group handle. */
+class SweepResults
+{
+  public:
+    /** All run results, in grid submission order. */
+    const std::vector<RunResult> &runs() const { return runs_; }
+
+    /** The single result of a one-run group. */
+    const RunResult &run(size_t handle) const;
+
+    /** The results of a group as a SuiteResult. */
+    SuiteResult suite(size_t handle) const;
+
+  private:
+    friend class SweepRunner;
+
+    std::vector<RunResult> runs_;
+    std::vector<std::pair<size_t, size_t>> groups_;
+};
+
+/**
+ * Executes RunSpec grids over a thread pool. With jobs == 1 (e.g.
+ * AAPM_JOBS=1) every run executes inline on the caller in submission
+ * order — the legacy serial path, useful for debugging; the results
+ * are bit-identical either way.
+ */
+class SweepRunner
+{
+  public:
+    /**
+     * @param config Platform configuration shared by every run (each
+     *        run boots a private Platform from a copy of it).
+     * @param jobs Concurrency; defaults to AAPM_JOBS or the hardware.
+     */
+    explicit SweepRunner(const PlatformConfig &config,
+                         size_t jobs = ThreadPool::defaultJobs());
+
+    /** Concurrency in use. */
+    size_t jobs() const { return pool_.jobs(); }
+
+    /** The shared configuration. */
+    const PlatformConfig &config() const { return config_; }
+
+    /** Execute a grouped grid. */
+    SweepResults run(const SweepGrid &grid);
+
+    /** Execute a flat spec list; results are positional. */
+    std::vector<RunResult> run(const std::vector<RunSpec> &specs);
+
+    /** Parallel drop-in for the serial experiment.hh runSuite(). */
+    SuiteResult runSuite(const std::vector<Workload> &suite,
+                         const GovernorFactory &factory,
+                         const RunOptions &options = RunOptions());
+
+    /** Parallel drop-in for runSuiteAtPState(). */
+    SuiteResult runSuiteAtPState(const std::vector<Workload> &suite,
+                                 size_t pstate,
+                                 const RunOptions &options = RunOptions());
+
+    /** The pool, for auxiliary parallelism (e.g. characterization). */
+    ThreadPool &pool() { return pool_; }
+
+  private:
+    RunResult runOne(const RunSpec &spec) const;
+
+    PlatformConfig config_;
+    ThreadPool pool_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_EXP_SWEEP_HH

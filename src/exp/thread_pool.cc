@@ -1,0 +1,133 @@
+#include "exp/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace aapm
+{
+
+size_t
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("AAPM_JOBS")) {
+        const long v = std::atol(env);
+        if (v >= 1)
+            return std::min(static_cast<size_t>(v), MaxJobs);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? std::min<size_t>(hw, MaxJobs) : 1;
+}
+
+ThreadPool::ThreadPool(size_t jobs)
+{
+    jobs = std::min(jobs, MaxJobs);
+    if (jobs <= 1)
+        return;
+    workers_.reserve(jobs);
+    for (size_t i = 0; i < jobs; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            // Drain the queue even when stopping: submitted work must
+            // complete (its futures are being waited on).
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // A packaged_task delivers its own exceptions via the future.
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
+{
+    if (n == 0)
+        return;
+
+    if (workers_.empty()) {
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    // Shared self-scheduling counter: threads pull the next index until
+    // the grid is exhausted, which balances uneven per-index cost.
+    struct Shared
+    {
+        std::atomic<size_t> next{0};
+        std::atomic<bool> failed{false};
+        std::mutex errorMutex;
+        std::exception_ptr error;
+    };
+    auto shared = std::make_shared<Shared>();
+
+    auto drain = [shared, n, &body] {
+        for (;;) {
+            const size_t i =
+                shared->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n || shared->failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(shared->errorMutex);
+                if (!shared->error)
+                    shared->error = std::current_exception();
+                shared->failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    const size_t helpers = std::min(workers_.size(), n);
+    std::vector<std::future<void>> pending;
+    pending.reserve(helpers);
+    for (size_t i = 0; i < helpers; ++i)
+        pending.push_back(submit(drain));
+    // The caller works the same counter, so progress is guaranteed even
+    // if every worker is busy with unrelated (or nested) tasks.
+    drain();
+    for (auto &f : pending)
+        f.get();
+    if (shared->error)
+        std::rethrow_exception(shared->error);
+}
+
+} // namespace aapm

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fixed-size thread pool for the experiment engine.
+ *
+ * Experiments in this codebase are embarrassingly parallel — every
+ * (workload × governor × p-state) run is independent — so the pool is
+ * deliberately simple: a FIFO task queue drained by a fixed set of
+ * workers, a futures-based submit(), and a parallelFor() that carves an
+ * index grid across the workers with the caller participating (so a
+ * pool saturated by other work still makes progress and nested use
+ * cannot deadlock).
+ *
+ * A pool constructed with zero or one job runs everything inline on
+ * the calling thread — the legacy serial path, selectable at runtime
+ * with AAPM_JOBS=1 for debugging.
+ */
+
+#ifndef AAPM_EXP_THREAD_POOL_HH
+#define AAPM_EXP_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace aapm
+{
+
+class ThreadPool
+{
+  public:
+    /** Worker-count ceiling — more threads than this never helps an
+     * experiment grid and risks hitting OS thread limits. */
+    static constexpr size_t MaxJobs = 256;
+
+    /**
+     * Default parallelism: the AAPM_JOBS environment variable when set
+     * to a positive integer, otherwise std::thread::hardware_concurrency()
+     * (at least 1). Clamped to MaxJobs.
+     */
+    static size_t defaultJobs();
+
+    /**
+     * @param jobs Total desired concurrency, clamped to MaxJobs.
+     *        Values <= 1 create no worker threads: submit() and
+     *        parallelFor() then execute inline on the caller, in
+     *        submission order.
+     */
+    explicit ThreadPool(size_t jobs = defaultJobs());
+
+    /** Drains the queue and joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (0 in serial mode). */
+    size_t workers() const { return workers_.size(); }
+
+    /** Concurrency this pool provides (workers, or 1 when serial). */
+    size_t jobs() const { return workers_.empty() ? 1 : workers_.size(); }
+
+    /**
+     * Enqueue a callable; its result (or exception) is delivered
+     * through the returned future. In serial mode the callable runs
+     * before submit() returns.
+     */
+    template <typename F>
+    auto
+    submit(F fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::move(fn));
+        std::future<R> future = task->get_future();
+        post([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run body(i) for every i in [0, n), spread across the workers plus
+     * the calling thread. Blocks until every iteration has finished.
+     * Each index is executed exactly once; the assignment of indices to
+     * threads is unspecified, so bodies must only touch per-index
+     * state. The first exception thrown by any iteration is rethrown
+     * on the caller after all iterations complete or are abandoned.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &body);
+
+  private:
+    void post(std::function<void()> task);
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace aapm
+
+#endif // AAPM_EXP_THREAD_POOL_HH

@@ -12,6 +12,9 @@ namespace
 {
 constexpr const char *kMagic = "aapm-models";
 constexpr int kVersion = 1;
+
+constexpr const char *kTrainedMagic = "aapm-trained";
+constexpr int kTrainedVersion = 1;
 } // namespace
 
 PowerEstimator
@@ -94,6 +97,129 @@ loadModelFile(const std::string &path)
         aapm_fatal("model file '%s' missing the perf record",
                    path.c_str());
     return models;
+}
+
+void
+saveTrainedModels(const std::string &path, const TrainedModels &models,
+                  uint64_t fingerprint)
+{
+    if (models.power.coeffs.empty())
+        aapm_fatal("refusing to save untrained models to '%s'",
+                   path.c_str());
+    std::ofstream out(path);
+    if (!out)
+        aapm_fatal("cannot open '%s' for writing", path.c_str());
+    out.precision(17);   // doubles round-trip exactly at 17 digits
+    out << kTrainedMagic << " " << kTrainedVersion << "\n";
+    out << "fingerprint " << fingerprint << "\n";
+    out << "perf " << models.perf.threshold << " "
+        << models.perf.exponent << " " << models.perf.loss << "\n";
+    out << "minima " << models.perf.exponentMinima.size() << "\n";
+    for (const auto &[e, l] : models.perf.exponentMinima)
+        out << "minimum " << e << " " << l << "\n";
+    out << "pstates " << models.power.coeffs.size() << "\n";
+    for (size_t i = 0; i < models.power.coeffs.size(); ++i) {
+        out << "power " << models.power.coeffs[i].alpha << " "
+            << models.power.coeffs[i].beta << " "
+            << (i < models.power.meanAbsErrorW.size()
+                    ? models.power.meanAbsErrorW[i]
+                    : 0.0)
+            << "\n";
+    }
+    out << "points " << models.power.points.size() << "\n";
+    for (const auto &p : models.power.points) {
+        out << "point " << p.name << " " << p.pstate << " " << p.dpc
+            << " " << p.ipc << " " << p.dcuPerCycle << " " << p.powerW
+            << "\n";
+    }
+    out << "phases " << models.trainingPhases.size() << "\n";
+    for (const auto &[name, ph] : models.trainingPhases) {
+        out << "phase " << name << " " << ph.name << " "
+            << ph.instructions << " " << ph.baseCpi << " "
+            << ph.decodeRatio << " " << ph.memPerInstr << " "
+            << ph.l1MissPerInstr << " " << ph.l2MissPerInstr << " "
+            << ph.prefetchCoverage << " " << ph.mlp << " " << ph.l2Mlp
+            << " " << ph.fpPerInstr << " " << ph.resourceStallFrac
+            << " " << (ph.idle ? 1 : 0) << "\n";
+    }
+    if (!out)
+        aapm_fatal("write to '%s' failed", path.c_str());
+}
+
+bool
+loadTrainedModels(const std::string &path, uint64_t fingerprint,
+                  TrainedModels &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+
+    std::string magic;
+    int version = 0;
+    uint64_t file_fp = 0;
+    std::string key;
+    if (!(in >> magic >> version))
+        return false;
+    if (magic != kTrainedMagic || version != kTrainedVersion)
+        return false;
+    if (!(in >> key >> file_fp) || key != "fingerprint" ||
+        file_fp != fingerprint) {
+        return false;
+    }
+
+    TrainedModels m;
+    size_t n = 0;
+    if (!(in >> key >> m.perf.threshold >> m.perf.exponent >>
+          m.perf.loss) || key != "perf") {
+        return false;
+    }
+    if (!(in >> key >> n) || key != "minima")
+        return false;
+    for (size_t i = 0; i < n; ++i) {
+        double e = 0.0, l = 0.0;
+        if (!(in >> key >> e >> l) || key != "minimum")
+            return false;
+        m.perf.exponentMinima.emplace_back(e, l);
+    }
+    if (!(in >> key >> n) || key != "pstates" || n == 0)
+        return false;
+    for (size_t i = 0; i < n; ++i) {
+        PowerCoeffs c;
+        double err = 0.0;
+        if (!(in >> key >> c.alpha >> c.beta >> err) || key != "power")
+            return false;
+        m.power.coeffs.push_back(c);
+        m.power.meanAbsErrorW.push_back(err);
+    }
+    if (!(in >> key >> n) || key != "points")
+        return false;
+    for (size_t i = 0; i < n; ++i) {
+        TrainingPoint p;
+        if (!(in >> key >> p.name >> p.pstate >> p.dpc >> p.ipc >>
+              p.dcuPerCycle >> p.powerW) || key != "point") {
+            return false;
+        }
+        m.power.points.push_back(std::move(p));
+    }
+    if (!(in >> key >> n) || key != "phases")
+        return false;
+    for (size_t i = 0; i < n; ++i) {
+        std::string display;
+        Phase ph;
+        int idle = 0;
+        if (!(in >> key >> display >> ph.name >> ph.instructions >>
+              ph.baseCpi >> ph.decodeRatio >> ph.memPerInstr >>
+              ph.l1MissPerInstr >> ph.l2MissPerInstr >>
+              ph.prefetchCoverage >> ph.mlp >> ph.l2Mlp >>
+              ph.fpPerInstr >> ph.resourceStallFrac >> idle) ||
+            key != "phase") {
+            return false;
+        }
+        ph.idle = idle != 0;
+        m.trainingPhases.emplace_back(std::move(display), ph);
+    }
+    out = std::move(m);
+    return true;
 }
 
 } // namespace aapm

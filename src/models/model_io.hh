@@ -9,11 +9,13 @@
 #ifndef AAPM_MODELS_MODEL_IO_HH
 #define AAPM_MODELS_MODEL_IO_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "models/perf_estimator.hh"
 #include "models/power_estimator.hh"
+#include "models/trainer.hh"
 
 namespace aapm
 {
@@ -46,6 +48,31 @@ void saveModelFile(const std::string &path, const ModelFile &models);
  * malformed/incomplete file.
  */
 ModelFile loadModelFile(const std::string &path);
+
+/**
+ * Persist a complete training result — estimator constants plus the
+ * characterization phases, raw training points and fit residuals the
+ * harnesses inspect — so repeat invocations skip training entirely.
+ *
+ * @param fingerprint Hash of the platform configuration the models
+ *        were trained on; loadTrainedModels() refuses a file whose
+ *        fingerprint differs (a stale cache, not an error).
+ *
+ * fatal() on I/O error.
+ */
+void saveTrainedModels(const std::string &path, const TrainedModels &models,
+                       uint64_t fingerprint);
+
+/**
+ * Reload a training result saved by saveTrainedModels().
+ *
+ * @return true and fill `out` on success; false when the file is
+ *         missing, malformed, from a different format version, or
+ *         carries a different configuration fingerprint — the caller
+ *         retrains in every false case.
+ */
+bool loadTrainedModels(const std::string &path, uint64_t fingerprint,
+                       TrainedModels &out);
 
 } // namespace aapm
 

@@ -178,4 +178,16 @@ trainPerfModel(
     return result;
 }
 
+PowerEstimator
+TrainedModels::powerEstimator(const PStateTable &table) const
+{
+    return power.makeEstimator(table);
+}
+
+PerfEstimator
+TrainedModels::perfEstimator() const
+{
+    return perf.makeEstimator();
+}
+
 } // namespace aapm

@@ -65,6 +65,24 @@ struct PerfTrainingResult
     PerfEstimator makeEstimator() const;
 };
 
+/**
+ * Everything the training flow produces — the platform constants a
+ * deployed power manager carries around (persisted by model_io).
+ */
+struct TrainedModels
+{
+    PowerTrainingResult power;
+    PerfTrainingResult perf;
+    /** The training phases (4 loops × 3 footprints). */
+    std::vector<std::pair<std::string, Phase>> trainingPhases;
+
+    /** The trained power estimator. */
+    PowerEstimator powerEstimator(const PStateTable &table) const;
+
+    /** The trained performance estimator. */
+    PerfEstimator perfEstimator() const;
+};
+
 /** Everything the trainer needs to "run" the training workloads. */
 struct TrainingSetup
 {

@@ -5,18 +5,6 @@
 namespace aapm
 {
 
-PowerEstimator
-TrainedModels::powerEstimator(const PStateTable &table) const
-{
-    return power.makeEstimator(table);
-}
-
-PerfEstimator
-TrainedModels::perfEstimator() const
-{
-    return perf.makeEstimator();
-}
-
 TrainedModels
 trainModels(const PlatformConfig &config)
 {

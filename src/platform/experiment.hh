@@ -19,21 +19,6 @@
 namespace aapm
 {
 
-/** Everything the training flow produces. */
-struct TrainedModels
-{
-    PowerTrainingResult power;
-    PerfTrainingResult perf;
-    /** The training phases (4 loops × 3 footprints). */
-    std::vector<std::pair<std::string, Phase>> trainingPhases;
-
-    /** The trained power estimator. */
-    PowerEstimator powerEstimator(const PStateTable &table) const;
-
-    /** The trained performance estimator. */
-    PerfEstimator perfEstimator() const;
-};
-
 /**
  * Run the paper's full characterization flow on the given platform
  * configuration: characterize MS-Loops by cache simulation, measure

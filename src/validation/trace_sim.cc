@@ -151,4 +151,26 @@ simulateLoopTiming(const LoopSpec &spec, const HierarchyConfig &hier_config,
     return result;
 }
 
+std::vector<TraceSimResult>
+simulateLoopTimingSweep(const LoopSpec &spec,
+                        const HierarchyConfig &hier_config,
+                        const CoreParams &core_params,
+                        const std::vector<double> &freqs_ghz,
+                        uint64_t elements, uint64_t seed,
+                        ThreadPool *pool)
+{
+    std::vector<TraceSimResult> out(freqs_ghz.size());
+    auto one = [&](size_t i) {
+        out[i] = simulateLoopTiming(spec, hier_config, core_params,
+                                    freqs_ghz[i], elements, seed);
+    };
+    if (pool) {
+        pool->parallelFor(out.size(), one);
+    } else {
+        for (size_t i = 0; i < out.size(); ++i)
+            one(i);
+    }
+    return out;
+}
+
 } // namespace aapm

@@ -16,8 +16,10 @@
 #define AAPM_VALIDATION_TRACE_SIM_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "cpu/core_model.hh"
+#include "exp/thread_pool.hh"
 #include "mem/hierarchy.hh"
 #include "workload/microbench.hh"
 
@@ -76,6 +78,23 @@ TraceSimResult simulateLoopTiming(const LoopSpec &spec,
                                   const CoreParams &core_params,
                                   double freq_ghz, uint64_t elements,
                                   uint64_t seed = 7);
+
+/**
+ * Simulate the same loop at several frequencies, fanning the
+ * per-frequency miss-window walks (each with its own hierarchy, stream
+ * and RNG, all seeded identically) across the given pool. Results are
+ * index-aligned with `freqs_ghz` and bit-identical to running
+ * simulateLoopTiming() serially at each frequency.
+ *
+ * @param pool Pool to parallelize over; nullptr runs serially.
+ */
+std::vector<TraceSimResult>
+simulateLoopTimingSweep(const LoopSpec &spec,
+                        const HierarchyConfig &hier_config,
+                        const CoreParams &core_params,
+                        const std::vector<double> &freqs_ghz,
+                        uint64_t elements, uint64_t seed = 7,
+                        ThreadPool *pool = nullptr);
 
 } // namespace aapm
 

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Experiment-engine tests: thread-pool semantics (futures, exception
+ * propagation, shutdown, uneven parallelFor grids), SweepRunner
+ * determinism (serial vs 8-thread output bit-identical on a
+ * Fig-7-style sweep), grid slicing, the trace-sim frequency sweep and
+ * trained-model persistence/caching.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aapm.hh"
+
+namespace
+{
+
+using namespace aapm;
+
+TEST(ThreadPool, SubmitDeliversResults)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    EXPECT_EQ(pool.jobs(), 4u);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, SerialModeRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.workers(), 0u);
+    EXPECT_EQ(pool.jobs(), 1u);
+    auto f = pool.submit([] { return 41 + 1; });
+    EXPECT_EQ(f.get(), 42);
+    std::vector<size_t> order;
+    pool.parallelFor(5, [&](size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, SerialSubmitPropagatesExceptions)
+{
+    ThreadPool pool(1);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversUnevenGrids)
+{
+    ThreadPool pool(4);
+    // Sizes that don't divide the worker count, including smaller
+    // than it and empty.
+    for (size_t n : {0ul, 1ul, 3ul, 7ul, 97ul, 1000ul}) {
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallelFor(n, [&](size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(64,
+                         [&](size_t i) {
+                             ran.fetch_add(1);
+                             if (i == 5)
+                                 throw std::runtime_error("bad index");
+                         }),
+        std::runtime_error);
+    EXPECT_GE(ran.load(), 1);
+    // Pool remains usable afterwards.
+    std::atomic<int> after{0};
+    pool.parallelFor(8, [&](size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futures;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            futures.push_back(pool.submit([&done] {
+                done.fetch_add(1, std::memory_order_relaxed);
+            }));
+        }
+        // Destructor must finish everything already submitted.
+    }
+    EXPECT_EQ(done.load(), 64);
+    for (auto &f : futures)
+        EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvironment)
+{
+    ::setenv("AAPM_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+    ::setenv("AAPM_JOBS", "0", 1);   // invalid -> hardware
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    ::unsetenv("AAPM_JOBS");
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+/** Short suite + paper-constant governors — no training needed. */
+struct SweepFixture
+{
+    PlatformConfig config;
+    std::vector<Workload> suite = specSuite(config.core, 0.25);
+    PowerEstimator power = PowerEstimator::paperPentiumM();
+    PerfEstimator perf;
+
+    SweepFixture()
+    {
+        // Keep the determinism sweep fast: four representative
+        // workloads spanning memory- and core-bound behavior.
+        std::vector<Workload> subset;
+        for (const auto &w : suite) {
+            if (w.name() == "swim" || w.name() == "sixtrack" ||
+                w.name() == "ammp" || w.name() == "crafty") {
+                subset.push_back(w);
+            }
+        }
+        suite = subset;
+    }
+
+    GovernorFactory
+    pmFactory(double limit) const
+    {
+        const PowerEstimator est = power;
+        return [est, limit] {
+            return std::make_unique<PerformanceMaximizer>(
+                est, PmConfig{.powerLimitW = limit});
+        };
+    }
+
+    /** A Fig-7-style grid: static + unconstrained + PM at 17.5 W. */
+    SweepGrid
+    fig7Grid(size_t *h_fixed, size_t *h_free, size_t *h_pm) const
+    {
+        SweepGrid grid;
+        *h_fixed = grid.addSuiteAtPState(suite, 5);
+        *h_free =
+            grid.addSuiteAtPState(suite, config.pstates.maxIndex());
+        *h_pm = grid.addSuite(suite, pmFactory(17.5));
+        return grid;
+    }
+};
+
+void
+expectBitIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.workloadName, b.workloadName);
+    EXPECT_EQ(a.governorName, b.governorName);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.trueEnergyJ, b.trueEnergyJ);
+    EXPECT_EQ(a.measuredEnergyJ, b.measuredEnergyJ);
+    EXPECT_EQ(a.avgTruePowerW, b.avgTruePowerW);
+    EXPECT_EQ(a.finalTempC, b.finalTempC);
+    EXPECT_EQ(a.finished, b.finished);
+    EXPECT_EQ(a.dvfs.transitions, b.dvfs.transitions);
+    EXPECT_EQ(a.dvfs.stallTicks, b.dvfs.stallTicks);
+    ASSERT_EQ(a.trace.samples().size(), b.trace.samples().size());
+    for (size_t i = 0; i < a.trace.samples().size(); ++i) {
+        const auto &sa = a.trace.samples()[i];
+        const auto &sb = b.trace.samples()[i];
+        EXPECT_EQ(sa.when, sb.when);
+        EXPECT_EQ(sa.measuredW, sb.measuredW);
+        EXPECT_EQ(sa.trueW, sb.trueW);
+        EXPECT_EQ(sa.freqMhz, sb.freqMhz);
+        EXPECT_EQ(sa.ipc, sb.ipc);
+        EXPECT_EQ(sa.dpc, sb.dpc);
+        EXPECT_EQ(sa.tempC, sb.tempC);
+    }
+}
+
+TEST(SweepRunner, SerialAndParallelAreBitIdentical)
+{
+    SweepFixture fx;
+    ASSERT_EQ(fx.suite.size(), 4u);
+
+    size_t f1, f2, f3;
+    SweepRunner serial(fx.config, 1);
+    ASSERT_EQ(serial.jobs(), 1u);
+    const SweepResults a = serial.run(fx.fig7Grid(&f1, &f2, &f3));
+
+    size_t g1, g2, g3;
+    SweepRunner parallel(fx.config, 8);
+    ASSERT_EQ(parallel.jobs(), 8u);
+    const SweepResults b = parallel.run(fx.fig7Grid(&g1, &g2, &g3));
+
+    ASSERT_EQ(a.runs().size(), b.runs().size());
+    for (size_t i = 0; i < a.runs().size(); ++i)
+        expectBitIdentical(a.runs()[i], b.runs()[i]);
+}
+
+TEST(SweepRunner, MatchesLegacySerialHelpers)
+{
+    SweepFixture fx;
+    Platform platform(fx.config);
+    SweepRunner runner(fx.config, 8);
+
+    const SuiteResult legacy_static =
+        runSuiteAtPState(platform, fx.suite, 3);
+    const SuiteResult sweep_static =
+        runner.runSuiteAtPState(fx.suite, 3);
+    ASSERT_EQ(legacy_static.runs.size(), sweep_static.runs.size());
+    for (size_t i = 0; i < legacy_static.runs.size(); ++i)
+        expectBitIdentical(legacy_static.runs[i], sweep_static.runs[i]);
+
+    const SuiteResult legacy_pm =
+        runSuite(platform, fx.suite, fx.pmFactory(14.5));
+    const SuiteResult sweep_pm =
+        runner.runSuite(fx.suite, fx.pmFactory(14.5));
+    ASSERT_EQ(legacy_pm.runs.size(), sweep_pm.runs.size());
+    for (size_t i = 0; i < legacy_pm.runs.size(); ++i)
+        expectBitIdentical(legacy_pm.runs[i], sweep_pm.runs[i]);
+}
+
+TEST(SweepRunner, GridSlicesGroupsPositionally)
+{
+    SweepFixture fx;
+    SweepRunner runner(fx.config, 4);
+
+    SweepGrid grid;
+    RunSpec single;
+    single.workload = &fx.suite[1];
+    single.pstate = 0;
+    const size_t h_single = grid.add(single);
+    const size_t h_suite = grid.addSuiteAtPState(fx.suite, 7);
+    EXPECT_EQ(grid.runCount(), 1 + fx.suite.size());
+    EXPECT_EQ(grid.groupCount(), 2u);
+
+    const SweepResults res = runner.run(grid);
+    EXPECT_EQ(res.run(h_single).workloadName, fx.suite[1].name());
+    const SuiteResult suite = res.suite(h_suite);
+    ASSERT_EQ(suite.runs.size(), fx.suite.size());
+    for (size_t i = 0; i < fx.suite.size(); ++i)
+        EXPECT_EQ(suite.runs[i].workloadName, fx.suite[i].name());
+    // The pinned single run really ran at the slowest p-state.
+    EXPECT_GT(res.run(h_single).seconds,
+              suite.runs[1].seconds);
+}
+
+TEST(SweepRunner, PerSpecSensorSeedChangesMeasurementOnly)
+{
+    SweepFixture fx;
+    SweepRunner runner(fx.config, 4);
+
+    RunSpec base;
+    base.workload = &fx.suite[0];
+    base.pstate = 7;
+    RunSpec reseeded = base;
+    reseeded.sensorSeed = 987654321;
+
+    SweepGrid grid;
+    const size_t h_a = grid.add(base);
+    const size_t h_b = grid.add(reseeded);
+    const SweepResults res = runner.run(grid);
+
+    // Ground truth is independent of the sensor stream...
+    EXPECT_EQ(res.run(h_a).seconds, res.run(h_b).seconds);
+    EXPECT_EQ(res.run(h_a).trueEnergyJ, res.run(h_b).trueEnergyJ);
+    // ...but the measured (noisy) energy differs.
+    EXPECT_NE(res.run(h_a).measuredEnergyJ,
+              res.run(h_b).measuredEnergyJ);
+}
+
+TEST(TraceSimSweep, MatchesSerialSimulationPerFrequency)
+{
+    const PlatformConfig config;
+    const LoopSpec spec{LoopKind::Daxpy, 256 * 1024};
+    const std::vector<double> freqs = {0.6, 1.0, 1.4, 2.0};
+
+    ThreadPool pool(4);
+    const auto parallel = simulateLoopTimingSweep(
+        spec, config.hierarchy, config.core, freqs, 50'000, 7, &pool);
+    const auto serial = simulateLoopTimingSweep(
+        spec, config.hierarchy, config.core, freqs, 50'000, 7, nullptr);
+
+    ASSERT_EQ(parallel.size(), freqs.size());
+    ASSERT_EQ(serial.size(), freqs.size());
+    for (size_t i = 0; i < freqs.size(); ++i) {
+        const auto direct = simulateLoopTiming(
+            spec, config.hierarchy, config.core, freqs[i], 50'000, 7);
+        EXPECT_EQ(parallel[i].cycles, direct.cycles);
+        EXPECT_EQ(serial[i].cycles, direct.cycles);
+        EXPECT_EQ(parallel[i].dramAccesses, direct.dramAccesses);
+        EXPECT_EQ(parallel[i].l2Hits, direct.l2Hits);
+    }
+}
+
+TEST(ModelCache, SharedModelsReturnsOneInstancePerConfig)
+{
+    ::unsetenv("AAPM_MODEL_CACHE");
+    const PlatformConfig config;
+    const TrainedModels &a = sharedModels(config);
+    const TrainedModels &b = sharedModels(config);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.power.coeffs.size(), config.pstates.size());
+    EXPECT_EQ(a.trainingPhases.size(), 12u);
+}
+
+TEST(ModelCache, FingerprintSeparatesConfigurations)
+{
+    PlatformConfig a;
+    PlatformConfig b;
+    EXPECT_EQ(platformFingerprint(a), platformFingerprint(b));
+    b.core.dramLatencyNs += 1.0;
+    EXPECT_NE(platformFingerprint(a), platformFingerprint(b));
+    PlatformConfig c;
+    c.sensor.seed += 1;
+    EXPECT_NE(platformFingerprint(a), platformFingerprint(c));
+}
+
+TEST(ModelCache, TrainedModelsRoundTripThroughModelIo)
+{
+    ::unsetenv("AAPM_MODEL_CACHE");
+    const PlatformConfig config;
+    const TrainedModels &trained = sharedModels(config);
+    const uint64_t fp = platformFingerprint(config);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "aapm_trained_rt.txt")
+            .string();
+    saveTrainedModels(path, trained, fp);
+
+    TrainedModels loaded;
+    ASSERT_TRUE(loadTrainedModels(path, fp, loaded));
+    ASSERT_EQ(loaded.power.coeffs.size(), trained.power.coeffs.size());
+    for (size_t i = 0; i < trained.power.coeffs.size(); ++i) {
+        EXPECT_EQ(loaded.power.coeffs[i].alpha,
+                  trained.power.coeffs[i].alpha);
+        EXPECT_EQ(loaded.power.coeffs[i].beta,
+                  trained.power.coeffs[i].beta);
+        EXPECT_EQ(loaded.power.meanAbsErrorW[i],
+                  trained.power.meanAbsErrorW[i]);
+    }
+    EXPECT_EQ(loaded.perf.threshold, trained.perf.threshold);
+    EXPECT_EQ(loaded.perf.exponent, trained.perf.exponent);
+    EXPECT_EQ(loaded.perf.loss, trained.perf.loss);
+    EXPECT_EQ(loaded.perf.exponentMinima, trained.perf.exponentMinima);
+    ASSERT_EQ(loaded.power.points.size(), trained.power.points.size());
+    for (size_t i = 0; i < trained.power.points.size(); ++i) {
+        EXPECT_EQ(loaded.power.points[i].name,
+                  trained.power.points[i].name);
+        EXPECT_EQ(loaded.power.points[i].powerW,
+                  trained.power.points[i].powerW);
+        EXPECT_EQ(loaded.power.points[i].dpc,
+                  trained.power.points[i].dpc);
+    }
+    ASSERT_EQ(loaded.trainingPhases.size(),
+              trained.trainingPhases.size());
+    for (size_t i = 0; i < trained.trainingPhases.size(); ++i) {
+        EXPECT_EQ(loaded.trainingPhases[i].first,
+                  trained.trainingPhases[i].first);
+        const Phase &lp = loaded.trainingPhases[i].second;
+        const Phase &tp = trained.trainingPhases[i].second;
+        EXPECT_EQ(lp.instructions, tp.instructions);
+        EXPECT_EQ(lp.baseCpi, tp.baseCpi);
+        EXPECT_EQ(lp.l1MissPerInstr, tp.l1MissPerInstr);
+        EXPECT_EQ(lp.l2MissPerInstr, tp.l2MissPerInstr);
+        EXPECT_EQ(lp.prefetchCoverage, tp.prefetchCoverage);
+        EXPECT_EQ(lp.mlp, tp.mlp);
+    }
+
+    // A different fingerprint is a cache miss, not an error.
+    TrainedModels stale;
+    EXPECT_FALSE(loadTrainedModels(path, fp + 1, stale));
+    // So is a missing file.
+    EXPECT_FALSE(loadTrainedModels(path + ".missing", fp, stale));
+    std::filesystem::remove(path);
+}
+
+TEST(ModelCache, EstimatorsFromReloadedModelsMatch)
+{
+    ::unsetenv("AAPM_MODEL_CACHE");
+    const PlatformConfig config;
+    const TrainedModels &trained = sharedModels(config);
+    const uint64_t fp = platformFingerprint(config);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "aapm_trained_est.txt")
+            .string();
+    saveTrainedModels(path, trained, fp);
+    TrainedModels loaded;
+    ASSERT_TRUE(loadTrainedModels(path, fp, loaded));
+
+    const PowerEstimator pa = trained.powerEstimator(config.pstates);
+    const PowerEstimator pb = loaded.powerEstimator(config.pstates);
+    const size_t from = config.pstates.maxIndex();
+    for (size_t i = 0; i < config.pstates.size(); ++i)
+        EXPECT_EQ(pa.estimateAt(from, 1.3, i), pb.estimateAt(from, 1.3, i));
+    const PerfEstimator fa = trained.perfEstimator();
+    const PerfEstimator fb = loaded.perfEstimator();
+    EXPECT_EQ(fa.threshold(), fb.threshold());
+    EXPECT_EQ(fa.exponent(), fb.exponent());
+    std::filesystem::remove(path);
+}
+
+} // namespace
