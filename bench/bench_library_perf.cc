@@ -6,19 +6,29 @@
  * training primitives.
  *
  * After the microbenchmarks, a standard PM+PS suite sweep is timed at
- * 1, 2 and N threads through the SweepRunner and the wall-clock,
- * speedup and determinism results are written to BENCH_sweep.json
- * (override the path with AAPM_SWEEP_JSON) so the perf trajectory of
- * the experiment engine is tracked across PRs.
+ * 1, 2 and N threads through the SweepRunner and the wall-clock, CPU
+ * time, speedup and determinism results are written to
+ * BENCH_sweep.json (override the path with AAPM_SWEEP_JSON) so the
+ * perf trajectory of the experiment engine is tracked across PRs.
+ *
+ * The same sweep is then re-timed serially as a pure kernel-throughput
+ * measurement (samples simulated per second), written to
+ * BENCH_kernel.json (override with AAPM_KERNEL_JSON). A recorded
+ * throughput more than 20% above the current build's fails the binary
+ * unless AAPM_BENCH_NO_GUARD is set.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <set>
+#include <sstream>
+#include <string>
 
 #include "aapm.hh"
 
@@ -225,6 +235,20 @@ BM_PlatformRunSecond(benchmark::State &state)
 }
 BENCHMARK(BM_PlatformRunSecond)->Unit(benchmark::kMillisecond);
 
+/** Process CPU time (user + system), seconds. */
+double
+processCpuSeconds()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+    auto tv_s = [](const timeval &tv) {
+        return static_cast<double>(tv.tv_sec) +
+               static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    return tv_s(ru.ru_utime) + tv_s(ru.ru_stime);
+}
+
 /**
  * The standard sweep the engine is judged by: every paper PM limit and
  * PS floor over a shortened SPEC proxy suite, untrained (paper-constant
@@ -233,12 +257,14 @@ BENCHMARK(BM_PlatformRunSecond)->Unit(benchmark::kMillisecond);
 std::vector<RunResult>
 timedSweep(const PlatformConfig &config,
            const std::vector<Workload> &suite, size_t jobs,
-           double *seconds_out)
+           double *seconds_out, double *cpu_seconds_out = nullptr,
+           bool force_chunked = false)
 {
     SweepRunner runner(config, jobs);
     SweepGrid grid;
     RunOptions options;
     options.recordTrace = false;
+    options.forceChunkedKernel = force_chunked;
     const PowerEstimator power = PowerEstimator::paperPentiumM();
     const PerfEstimator perf;
     for (double limit : {17.5, 14.5, 11.5}) {
@@ -254,10 +280,14 @@ timedSweep(const PlatformConfig &config,
         }, options);
     }
     const auto start = std::chrono::steady_clock::now();
+    const double cpu_start = processCpuSeconds();
     SweepResults results = runner.run(grid);
+    const double cpu_elapsed = processCpuSeconds() - cpu_start;
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
     *seconds_out = elapsed.count();
+    if (cpu_seconds_out)
+        *cpu_seconds_out = cpu_elapsed;
     return results.runs();
 }
 
@@ -293,6 +323,7 @@ emitSweepTimings()
     {
         size_t threads;
         double seconds;
+        double cpuSeconds;
         double speedup;
     };
     std::vector<Timing> timings;
@@ -301,12 +332,16 @@ emitSweepTimings()
         // Best of three: the sweep is short enough that a single
         // measurement is at the mercy of scheduler noise.
         double s = 0.0;
+        double cpu_s = 0.0;
         std::vector<RunResult> runs;
         for (int rep = 0; rep < 3; ++rep) {
             double rep_s = 0.0;
-            auto rep_runs = timedSweep(config, suite, jobs, &rep_s);
+            double rep_cpu = 0.0;
+            auto rep_runs =
+                timedSweep(config, suite, jobs, &rep_s, &rep_cpu);
             if (rep == 0 || rep_s < s) {
                 s = rep_s;
+                cpu_s = rep_cpu;
                 runs = std::move(rep_runs);
             }
         }
@@ -316,14 +351,20 @@ emitSweepTimings()
         } else {
             identical = identical && identicalRuns(serial_runs, runs);
         }
-        timings.push_back({jobs, s, serial_s > 0.0 ? serial_s / s : 1.0});
-        std::printf("sweep %3zu thread%s: %7.3f s  (speedup %.2fx)\n",
-                    jobs, jobs == 1 ? " " : "s", s,
+        timings.push_back(
+            {jobs, s, cpu_s, serial_s > 0.0 ? serial_s / s : 1.0});
+        // CPU time exposes oversubscription that wall clock hides: on
+        // a single-core host every thread count burns the same CPU and
+        // the "speedup" column is pure scheduler noise.
+        std::printf("sweep %3zu thread%s: %7.3f s wall, %7.3f s cpu  "
+                    "(speedup %.2fx)\n",
+                    jobs, jobs == 1 ? " " : "s", s, cpu_s,
                     timings.back().speedup);
     }
     std::printf("serial vs parallel results bit-identical: %s\n",
                 identical ? "yes" : "NO");
 
+    const char *jobs_env = std::getenv("AAPM_JOBS");
     const char *path = std::getenv("AAPM_SWEEP_JSON");
     std::ofstream out(path && *path ? path : "BENCH_sweep.json");
     out.precision(6);
@@ -332,16 +373,125 @@ emitSweepTimings()
         << "  \"runs_per_sweep\": " << 5 * suite.size() << ",\n"
         << "  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency() << ",\n"
+        << "  \"aapm_jobs_env\": "
+        << (jobs_env ? "\"" + std::string(jobs_env) + "\"" : "null")
+        << ",\n"
+        << "  \"default_jobs\": " << n << ",\n"
         << "  \"bit_identical\": " << (identical ? "true" : "false")
         << ",\n"
         << "  \"timings\": [\n";
     for (size_t i = 0; i < timings.size(); ++i) {
         out << "    {\"threads\": " << timings[i].threads
             << ", \"seconds\": " << timings[i].seconds
+            << ", \"cpu_seconds\": " << timings[i].cpuSeconds
             << ", \"speedup\": " << timings[i].speedup << "}"
             << (i + 1 < timings.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
+}
+
+/**
+ * Read the samples-per-second value recorded in an existing
+ * BENCH_kernel.json; 0.0 when the file or field is absent.
+ */
+double
+recordedKernelThroughput(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return 0.0;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const std::string key = "\"samples_per_sec\":";
+    const size_t pos = text.find(key);
+    if (pos == std::string::npos)
+        return 0.0;
+    return std::strtod(text.c_str() + pos + key.size(), nullptr);
+}
+
+/**
+ * Time the batched simulation kernel on the standard 130-run PM+PS
+ * sweep, serially (jobs = 1, so the number is a pure kernel
+ * throughput, not a scheduling result), and write BENCH_kernel.json
+ * (override the path with AAPM_KERNEL_JSON).
+ *
+ * Acts as a regression gate: if an earlier BENCH_kernel.json recorded
+ * a throughput more than 20% above what this build achieves, the
+ * recorded file is left untouched and a non-zero status is returned so
+ * CI fails. Set AAPM_BENCH_NO_GUARD=1 to record the regressed number
+ * anyway (e.g. after an intentional trade-off or on a slower host).
+ */
+int
+emitKernelTimings()
+{
+    const PlatformConfig config;
+    const std::vector<Workload> suite = specSuite(config.core, 20.0);
+    const double interval_s = ticksToSeconds(config.sampleInterval);
+
+    // Best of five: single-core hosts time-share with whatever else
+    // runs, and only the minimum approximates the kernel's true cost.
+    double fast_s = 0.0;
+    std::vector<RunResult> runs;
+    for (int rep = 0; rep < 5; ++rep) {
+        double rep_s = 0.0;
+        auto rep_runs = timedSweep(config, suite, 1, &rep_s);
+        if (rep == 0 || rep_s < fast_s) {
+            fast_s = rep_s;
+            runs = std::move(rep_runs);
+        }
+    }
+    double chunked_s = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        double rep_s = 0.0;
+        timedSweep(config, suite, 1, &rep_s, nullptr, true);
+        if (rep == 0 || rep_s < chunked_s)
+            chunked_s = rep_s;
+    }
+
+    double samples = 0.0;
+    for (const RunResult &r : runs)
+        samples += r.seconds / interval_s;
+    const double samples_per_sec = fast_s > 0.0 ? samples / fast_s : 0.0;
+    const double chunked_per_sec =
+        chunked_s > 0.0 ? samples / chunked_s : 0.0;
+    std::printf("kernel: %zu runs, %.0f samples, %.3f s "
+                "(%.2f Msamples/s; chunked ref %.2f Msamples/s, "
+                "fast path %.2fx)\n",
+                runs.size(), samples, fast_s, samples_per_sec / 1e6,
+                chunked_per_sec / 1e6,
+                chunked_s > 0.0 ? chunked_s / fast_s : 0.0);
+
+    const char *path_env = std::getenv("AAPM_KERNEL_JSON");
+    const std::string path =
+        path_env && *path_env ? path_env : "BENCH_kernel.json";
+
+    const double recorded = recordedKernelThroughput(path);
+    const bool guard_off = std::getenv("AAPM_BENCH_NO_GUARD") != nullptr;
+    if (recorded > 0.0 && samples_per_sec < 0.8 * recorded &&
+        !guard_off) {
+        std::fprintf(stderr,
+                     "kernel throughput regression: %.3f Msamples/s is "
+                     ">20%% below the recorded %.3f Msamples/s in %s "
+                     "(set AAPM_BENCH_NO_GUARD=1 to override)\n",
+                     samples_per_sec / 1e6, recorded / 1e6, path.c_str());
+        return 1;
+    }
+
+    std::ofstream out(path);
+    out.precision(6);
+    out << "{\n"
+        << "  \"benchmark\": \"kernel_throughput\",\n"
+        << "  \"sweep_runs\": " << runs.size() << ",\n"
+        << "  \"samples\": " << samples << ",\n"
+        << "  \"seconds\": " << fast_s << ",\n"
+        << "  \"samples_per_sec\": " << samples_per_sec << ",\n"
+        << "  \"chunked_seconds\": " << chunked_s << ",\n"
+        << "  \"chunked_samples_per_sec\": " << chunked_per_sec << ",\n"
+        << "  \"fast_path_speedup\": "
+        << (chunked_s > 0.0 ? chunked_s / fast_s : 0.0) << "\n"
+        << "}\n";
+    return 0;
 }
 
 } // namespace
@@ -355,5 +505,5 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     emitSweepTimings();
-    return 0;
+    return emitKernelTimings();
 }

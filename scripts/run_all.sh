@@ -3,25 +3,41 @@
 # verification pass. Outputs land in test_output.txt / bench_output.txt
 # at the repo root (and CSV series in bench_csv/ if requested).
 #
-# Usage: scripts/run_all.sh [--csv] [--seconds N] [--jobs N]
-#   --jobs N   worker threads for the experiment engine (exported as
-#              AAPM_JOBS; default: all hardware threads; 1 = the
-#              legacy serial path)
+# Usage: scripts/run_all.sh [--csv] [--seconds N] [--jobs N] [--sanitize]
+#   --jobs N     worker threads for the experiment engine (exported as
+#                AAPM_JOBS; default: all hardware threads; 1 = the
+#                legacy serial path)
+#   --sanitize   build the asan-ubsan CMake preset into build-asan/ and
+#                run the tier-1 test suite under it, then exit
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SECONDS_OPT=12
 CSV=0
 JOBS=""
+SANITIZE=0
 while [[ $# -gt 0 ]]; do
     case "$1" in
       --csv) CSV=1 ;;
       --seconds) SECONDS_OPT="$2"; shift ;;
       --jobs) JOBS="$2"; shift ;;
+      --sanitize) SANITIZE=1 ;;
       *) echo "unknown option $1" >&2; exit 2 ;;
     esac
     shift
 done
+
+if [[ "$SANITIZE" == 1 ]]; then
+    cmake --preset asan-ubsan
+    cmake --build build-asan -j"$(nproc)"
+    # Leak checking needs ptrace, which sandboxed CI containers often
+    # deny; ASan's memory-error and UBSan checks are the point here.
+    ASAN_OPTIONS=detect_leaks=0 \
+        ctest --test-dir build-asan -j"$(nproc)" 2>&1 \
+        | tee sanitize_output.txt
+    echo "done: sanitize_output.txt"
+    exit 0
+fi
 
 # Prefer Ninja when available; otherwise fall back to the default
 # generator (an existing build tree keeps whatever it was made with).

@@ -25,6 +25,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "cpu/core_model.hh"
+#include "cpu/phase_timing.hh"
 #include "dvfs/dvfs_controller.hh"
 #include "dvfs/pstate.hh"
 #include "dvfs/throttle.hh"

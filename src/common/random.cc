@@ -1,7 +1,5 @@
 #include "common/random.hh"
 
-#include <cmath>
-
 #include "common/logging.hh"
 
 namespace aapm
@@ -18,12 +16,6 @@ splitmix64(uint64_t &x)
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return z ^ (z >> 31);
-}
-
-uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
 }
 
 } // namespace
@@ -44,34 +36,6 @@ Rng::seed(uint64_t seed_value)
 }
 
 uint64_t
-Rng::next()
-{
-    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 high bits → double in [0,1)
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    aapm_assert(lo <= hi, "bad uniform range [%f, %f)", lo, hi);
-    return lo + (hi - lo) * uniform();
-}
-
-uint64_t
 Rng::below(uint64_t n)
 {
     aapm_assert(n > 0, "below(0) is undefined");
@@ -82,36 +46,6 @@ Rng::below(uint64_t n)
         v = next();
     } while (v >= limit);
     return v % n;
-}
-
-double
-Rng::gaussian()
-{
-    if (haveSpare_) {
-        haveSpare_ = false;
-        return spare_;
-    }
-    double u1, u2;
-    do {
-        u1 = uniform();
-    } while (u1 <= 0.0);
-    u2 = uniform();
-    const double mag = std::sqrt(-2.0 * std::log(u1));
-    spare_ = mag * std::sin(2.0 * M_PI * u2);
-    haveSpare_ = true;
-    return mag * std::cos(2.0 * M_PI * u2);
-}
-
-double
-Rng::gaussian(double mean, double sigma)
-{
-    return mean + sigma * gaussian();
-}
-
-bool
-Rng::chance(double p)
-{
-    return uniform() < p;
 }
 
 } // namespace aapm

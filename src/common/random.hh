@@ -10,7 +10,10 @@
 #ifndef AAPM_COMMON_RANDOM_HH
 #define AAPM_COMMON_RANDOM_HH
 
+#include <cmath>
 #include <cstdint>
+
+#include "common/logging.hh"
 
 namespace aapm
 {
@@ -18,6 +21,8 @@ namespace aapm
 /**
  * Small, fast, deterministic PRNG (xoshiro256** core with splitmix64
  * seeding). Not cryptographic; intended for simulation reproducibility.
+ * The per-draw members are defined inline: the sensor draws once per
+ * 10 ms sample interval, squarely on the simulation's hot path.
  */
 class Rng
 {
@@ -29,27 +34,79 @@ class Rng
     void seed(uint64_t seed);
 
     /** Next raw 64-bit value. */
-    uint64_t next();
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double
+    uniform()
+    {
+        // 53 high bits → double in [0,1)
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double
+    uniform(double lo, double hi)
+    {
+        aapm_assert(lo <= hi, "bad uniform range [%f, %f)", lo, hi);
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Uniform integer in [0, n) — n must be > 0. */
     uint64_t below(uint64_t n);
 
     /** Standard normal via Box-Muller. */
-    double gaussian();
+    double
+    gaussian()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u1, u2;
+        do {
+            u1 = uniform();
+        } while (u1 <= 0.0);
+        u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        spare_ = mag * std::sin(2.0 * M_PI * u2);
+        haveSpare_ = true;
+        return mag * std::cos(2.0 * M_PI * u2);
+    }
 
     /** Normal with the given mean and standard deviation. */
-    double gaussian(double mean, double sigma);
+    double
+    gaussian(double mean, double sigma)
+    {
+        return mean + sigma * gaussian();
+    }
 
     /** Bernoulli trial with probability p of returning true. */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
 
   private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     uint64_t s_[4];
     bool haveSpare_;
     double spare_;

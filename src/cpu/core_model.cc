@@ -8,20 +8,6 @@
 namespace aapm
 {
 
-EventTotals &
-EventTotals::operator+=(const EventTotals &o)
-{
-    cycles += o.cycles;
-    instructionsRetired += o.instructionsRetired;
-    instructionsDecoded += o.instructionsDecoded;
-    dcuMissOutstanding += o.dcuMissOutstanding;
-    resourceStalls += o.resourceStalls;
-    l2Requests += o.l2Requests;
-    busMemoryRequests += o.busMemoryRequests;
-    fpOps += o.fpOps;
-    return *this;
-}
-
 CoreModel::CoreModel(CoreParams params) : params_(params)
 {
     if (params_.l2HitLatency <= 0.0 || params_.dramLatencyNs <= 0.0)

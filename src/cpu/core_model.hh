@@ -69,7 +69,39 @@ struct EventTotals
     double busMemoryRequests = 0.0;    ///< DRAM line transfers
     double fpOps = 0.0;
 
-    EventTotals &operator+=(const EventTotals &o);
+    EventTotals &
+    operator+=(const EventTotals &o)
+    {
+        cycles += o.cycles;
+        instructionsRetired += o.instructionsRetired;
+        instructionsDecoded += o.instructionsDecoded;
+        dcuMissOutstanding += o.dcuMissOutstanding;
+        resourceStalls += o.resourceStalls;
+        l2Requests += o.l2Requests;
+        busMemoryRequests += o.busMemoryRequests;
+        fpOps += o.fpOps;
+        return *this;
+    }
+
+    /**
+     * Every field multiplied by n. For per-instruction rate records
+     * this reproduces eventsFor(phase, f, n) bit-for-bit, because
+     * eventsFor computes each field as n * rate.
+     */
+    EventTotals
+    scaledBy(double n) const
+    {
+        EventTotals ev;
+        ev.cycles = n * cycles;
+        ev.instructionsRetired = n * instructionsRetired;
+        ev.instructionsDecoded = n * instructionsDecoded;
+        ev.dcuMissOutstanding = n * dcuMissOutstanding;
+        ev.resourceStalls = n * resourceStalls;
+        ev.l2Requests = n * l2Requests;
+        ev.busMemoryRequests = n * busMemoryRequests;
+        ev.fpOps = n * fpOps;
+        return ev;
+    }
 };
 
 /**

@@ -1,0 +1,111 @@
+#include "cpu/phase_timing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+PhaseTimingTable::PhaseTimingTable(const CoreModel &core,
+                                   const TruthPowerModel &power,
+                                   const PStateTable &pstates,
+                                   const Workload &workload,
+                                   Tick sampleInterval)
+    : numPhases_(workload.phases().size()), numPStates_(pstates.size())
+{
+    aapm_assert(numPhases_ > 0 && numPStates_ > 0,
+                "empty workload or p-state table");
+    aapm_assert(sampleInterval > 0, "sample interval must be positive");
+    rows_.resize(numPhases_ * numPStates_);
+    for (size_t pi = 0; pi < numPhases_; ++pi) {
+        const Phase &phase = workload.phases()[pi];
+        for (size_t si = 0; si < numPStates_; ++si) {
+            const PState &state = pstates[si];
+            PhaseTiming &row = rows_[pi * numPStates_ + si];
+            row.freqGhz = state.freqGhz();
+            row.cpi = core.cpi(phase, row.freqGhz);
+            // ps per instruction = (cycles/instr) / (cycles/ns) * 1000
+            // — the same expression CoreModel::advance evaluates, so
+            // the stored double is the one the chunked path would use.
+            row.tpiPs = row.cpi / row.freqGhz * 1000.0;
+            // eventsFor scales every field by the instruction count, so
+            // n == 1 yields exactly the per-instruction multipliers.
+            row.perInstr = core.eventsFor(phase, row.freqGhz, 1.0);
+            row.idle = phase.idle;
+            // Chunk-level activity rates and dynamic power: ratios of
+            // the event totals, which cancel the instruction count.
+            ExecChunk probe;
+            probe.phase = &phase;
+            probe.freqGhz = row.freqGhz;
+            probe.instructions = 1;
+            probe.events = row.perInstr;
+            row.rates = ActivityRates::fromChunk(probe);
+            row.dynPowerW = power.dynamicPower(row.rates, state);
+            row.leakBaseW = power.leakageBase(state.voltage);
+
+            // One full uninterrupted sample interval in this row: the
+            // same floor arithmetic the chunked path would run, hoisted
+            // out of the hot loop since every operand is a constant of
+            // the row. A remainder that still fits an instruction would
+            // open a second chunk, so such rows stay ineligible and take
+            // the chunked path (the remainder below one instruction is
+            // burned as dead time, exactly as the chunked path does).
+            const uint64_t fit = static_cast<uint64_t>(
+                static_cast<double>(sampleInterval) / row.tpiPs);
+            row.fitInterval = fit;
+            if (fit >= 1) {
+                Tick dur = static_cast<Tick>(
+                    static_cast<double>(fit) * row.tpiPs);
+                if (dur > sampleInterval)
+                    dur = sampleInterval;
+                const Tick left = sampleInterval - dur;
+                row.durInterval = dur;
+                row.dtIntervalS = ticksToSeconds(dur);
+                row.fastEligible =
+                    left == 0 ||
+                    static_cast<uint64_t>(
+                        static_cast<double>(left) / row.tpiPs) == 0;
+            }
+        }
+    }
+}
+
+Tick
+PhaseTimingTable::advance(WorkloadCursor &cursor, size_t pstate,
+                          Tick budget, std::vector<ExecChunk> &out) const
+{
+    aapm_assert(pstate < numPStates_, "p-state %zu out of range",
+                pstate);
+    Tick used = 0;
+    while (used < budget && !cursor.done()) {
+        const PhaseTiming &row = at(cursor.phaseIndex(), pstate);
+        const Tick left = budget - used;
+        const double fit_f = static_cast<double>(left) / row.tpiPs;
+        uint64_t fit = static_cast<uint64_t>(fit_f);
+        const uint64_t remaining = cursor.remainingInPhase();
+        uint64_t n = std::min<uint64_t>(fit, remaining);
+        if (n == 0) {
+            // Budget too small to retire one more instruction; burn the
+            // remainder as a partial instruction (no events).
+            used = budget;
+            break;
+        }
+        Tick dur =
+            static_cast<Tick>(static_cast<double>(n) * row.tpiPs);
+        if (dur > left)
+            dur = left;
+        ExecChunk chunk;
+        chunk.phase = &cursor.currentPhase();
+        chunk.freqGhz = row.freqGhz;
+        chunk.instructions = n;
+        chunk.duration = dur;
+        chunk.events = row.perInstr.scaledBy(static_cast<double>(n));
+        out.push_back(chunk);
+        cursor.retire(n);
+        used += dur;
+    }
+    return used;
+}
+
+} // namespace aapm

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Per-(phase, p-state) timing tables: the batched simulation kernel's
+ * lookup side.
+ *
+ * The monitor loop only ever needs counter *totals* per sample interval
+ * (Monitor -> Estimate -> Control), and every PMU event the core model
+ * produces is linear in the retired instruction count of a homogeneous
+ * chunk. That makes CPI, ticks-per-instruction and all per-instruction
+ * event rates pure functions of the (phase, p-state) pair — including
+ * the DRAM-bandwidth-bound regime (the max() in CoMi) and the
+ * idle-calibration special case (cycles scaled so wall-clock sleep time
+ * is frequency-invariant), both of which are folded into the stored CPI
+ * by construction. Precomputing them once per run turns the hot loop
+ * into table lookups plus multiplies.
+ *
+ * Equivalence contract: a chunk of n instructions built from a
+ * PhaseTiming row is bit-identical to CoreModel::eventsFor(phase, f, n)
+ * — eventsFor computes every field as n * rate, and the row stores
+ * exactly those rates (built via eventsFor with n == 1, and 1.0 * x ==
+ * x in IEEE arithmetic). The chunk activity rates and dynamic power are
+ * precomputed from the per-instruction events, which matches the
+ * chunk-derived values of ActivityRates::fromChunk to within a few ulp
+ * (the platform's fast path relies on this staying <= 1e-12 relative).
+ */
+
+#ifndef AAPM_CPU_PHASE_TIMING_HH
+#define AAPM_CPU_PHASE_TIMING_HH
+
+#include <vector>
+
+#include "cpu/core_model.hh"
+#include "dvfs/pstate.hh"
+#include "power/truth_power.hh"
+#include "sim/ticks.hh"
+#include "workload/workload.hh"
+
+namespace aapm
+{
+
+/** Precomputed execution rates of one phase at one p-state. */
+struct PhaseTiming
+{
+    /** Cycles per instruction (all CoreModel::cpi special cases). */
+    double cpi = 0.0;
+    /** Ticks (picoseconds) per instruction at this p-state's clock. */
+    double tpiPs = 0.0;
+    /** Clock frequency, GHz (denormalized from the p-state table). */
+    double freqGhz = 0.0;
+    /**
+     * Event totals per retired instruction; n instructions generate
+     * exactly perInstr scaled by n (bit-identical to eventsFor).
+     */
+    EventTotals perInstr;
+    /** Activity rates of a homogeneous chunk (all-zero when idle). */
+    ActivityRates rates;
+    /** Dynamic power of a homogeneous chunk at this p-state, Watts. */
+    double dynPowerW = 0.0;
+    /** Voltage-only leakage factor at this p-state, Watts. */
+    double leakBaseW = 0.0;
+    /** The phase is an OS-idle (halt) phase. */
+    bool idle = false;
+
+    // A full sample interval spent inside one phase at one p-state is
+    // itself a pure function of the row, so its chunk arithmetic is
+    // precomputed too (same floor expressions the chunked path
+    // evaluates, hence the same doubles). fastEligible is false when
+    // the interval is too short to retire one instruction or when a
+    // sub-interval remainder would start a second chunk.
+    /** Instructions retired by one full uninterrupted interval. */
+    uint64_t fitInterval = 0;
+    /** Ticks those instructions occupy (<= the sample interval). */
+    Tick durInterval = 0;
+    /** durInterval in seconds. */
+    double dtIntervalS = 0.0;
+    /** The closed-form fast path may integrate a full interval. */
+    bool fastEligible = false;
+};
+
+/**
+ * Dense (phase index, p-state index) -> PhaseTiming table for one
+ * workload on one platform. Built once at Platform::run start; read
+ * every chunk of every sample interval afterwards.
+ */
+class PhaseTimingTable
+{
+  public:
+    /**
+     * Precompute rates for every (phase, p-state) pair.
+     * @param core The core timing model.
+     * @param power The ground-truth power model (for dynamic power).
+     * @param pstates The p-state menu.
+     * @param workload The workload whose phases are tabulated.
+     * @param sampleInterval The monitor interval the full-interval
+     *        (fitInterval/durInterval) fields are precomputed for.
+     */
+    PhaseTimingTable(const CoreModel &core, const TruthPowerModel &power,
+                     const PStateTable &pstates, const Workload &workload,
+                     Tick sampleInterval);
+
+    /** Row for phase index `phase` at p-state index `pstate`. */
+    const PhaseTiming &
+    at(size_t phase, size_t pstate) const
+    {
+        return rows_[phase * numPStates_ + pstate];
+    }
+
+    /** Number of tabulated phases. */
+    size_t numPhases() const { return numPhases_; }
+
+    /** Number of tabulated p-states. */
+    size_t numPStates() const { return numPStates_; }
+
+    /**
+     * Table-driven equivalent of CoreModel::advance: move the cursor at
+     * the p-state's frequency for at most `budget` ticks, appending one
+     * chunk per phase crossed. Bit-identical to CoreModel::advance at
+     * the same frequency (same CPI double, same floor arithmetic, same
+     * event scaling).
+     */
+    Tick advance(WorkloadCursor &cursor, size_t pstate, Tick budget,
+                 std::vector<ExecChunk> &out) const;
+
+  private:
+    size_t numPhases_;
+    size_t numPStates_;
+    std::vector<PhaseTiming> rows_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_CPU_PHASE_TIMING_HH

@@ -40,10 +40,4 @@ DvfsController::requestPState(size_t target)
     return stall;
 }
 
-void
-DvfsController::accountResidency(Tick ticks)
-{
-    stats_.residency[current_] += ticks;
-}
-
 } // namespace aapm

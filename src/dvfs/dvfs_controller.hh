@@ -71,7 +71,11 @@ class DvfsController
     Tick requestPState(size_t target);
 
     /** Record that `ticks` of wall-clock time passed at current state. */
-    void accountResidency(Tick ticks);
+    void
+    accountResidency(Tick ticks)
+    {
+        stats_.residency[current_] += ticks;
+    }
 
     /** Statistics. */
     const DvfsStats &stats() const { return stats_; }

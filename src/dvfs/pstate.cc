@@ -42,20 +42,6 @@ PStateTable::validate() const
     }
 }
 
-const PState &
-PStateTable::operator[](size_t i) const
-{
-    aapm_assert(i < states_.size(), "p-state %zu out of range", i);
-    return states_[i];
-}
-
-size_t
-PStateTable::maxIndex() const
-{
-    aapm_assert(!states_.empty(), "empty p-state table");
-    return states_.size() - 1;
-}
-
 size_t
 PStateTable::indexOfMhz(double freq_mhz) const
 {

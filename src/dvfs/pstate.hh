@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
+
 namespace aapm
 {
 
@@ -46,10 +48,20 @@ class PStateTable
     size_t size() const { return states_.size(); }
 
     /** State at index i (0 = slowest). */
-    const PState &operator[](size_t i) const;
+    const PState &
+    operator[](size_t i) const
+    {
+        aapm_assert(i < states_.size(), "p-state %zu out of range", i);
+        return states_[i];
+    }
 
     /** Index of the fastest state. */
-    size_t maxIndex() const;
+    size_t
+    maxIndex() const
+    {
+        aapm_assert(!states_.empty(), "empty p-state table");
+        return states_.size() - 1;
+    }
 
     /** Index of the state with the given frequency; fatal if absent. */
     size_t indexOfMhz(double freq_mhz) const;

@@ -1,5 +1,7 @@
 #include "mgmt/power_save.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 
 namespace aapm
@@ -13,6 +15,15 @@ PowerSave::PowerSave(PStateTable table, PerfEstimator estimator,
         config_.performanceFloor > 1.0)
         aapm_fatal("performance floor %f out of (0, 1]",
                    config_.performanceFloor);
+    const size_t n = table_.size();
+    scale_.resize(n * n);
+    for (size_t from = 0; from < n; ++from) {
+        for (size_t to = 0; to < n; ++to) {
+            scale_[from * n + to] =
+                std::pow(table_[from].freqMhz / table_[to].freqMhz,
+                         estimator_.exponent());
+        }
+    }
 }
 
 void
@@ -38,22 +49,30 @@ PowerSave::decide(const MonitorSample &sample, size_t current)
     aapm_assert(MonitorSample::available(sample.ipc) &&
                     MonitorSample::available(sample.dcuPerCycle),
                 "PS requires IPC and DCU counters");
-    const double f_mhz = table_[current].freqMhz;
     const size_t top = table_.maxIndex();
 
+    // PerfEstimator::projectPerf via the precomputed scale table:
+    // core-bound IPC is frequency-invariant, memory-bound IPC scales
+    // as the tabulated (f/f')^exponent. The classification is a pure
+    // function of the sample, so it is hoisted out of the scan.
+    const bool memory_bound =
+        estimator_.isMemoryBound(sample.ipc, sample.dcuPerCycle);
+    const auto projected = [&](size_t to) {
+        const double ipc = memory_bound
+            ? sample.ipc * scale(current, to)
+            : sample.ipc;
+        return ipc * table_[to].freqMhz;
+    };
+
     // Projected peak performance at the fastest state.
-    const double peak = estimator_.projectPerf(
-        sample.ipc, sample.dcuPerCycle, f_mhz, table_[top].freqMhz);
-    const double required = config_.performanceFloor * peak;
+    const double required = config_.performanceFloor * projected(top);
 
     // Lowest state whose projected performance clears the floor. The
     // comparison uses a relative tolerance: discrete frequency ratios
     // often land *exactly* on the floor (1600/2000 at 80%), and these
     // must qualify despite rounding.
     for (size_t i = 0; i <= top; ++i) {
-        const double perf = estimator_.projectPerf(
-            sample.ipc, sample.dcuPerCycle, f_mhz, table_[i].freqMhz);
-        if (perf >= required * (1.0 - 1e-9))
+        if (projected(i) >= required * (1.0 - 1e-9))
             return i;
     }
     return top;

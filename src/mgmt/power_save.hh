@@ -13,6 +13,8 @@
 #ifndef AAPM_MGMT_POWER_SAVE_HH
 #define AAPM_MGMT_POWER_SAVE_HH
 
+#include <vector>
+
 #include "dvfs/pstate.hh"
 #include "mgmt/governor.hh"
 #include "models/perf_estimator.hh"
@@ -51,9 +53,23 @@ class PowerSave : public Governor
     const PerfEstimator &estimator() const { return estimator_; }
 
   private:
+    /** Memory-bound IPC scale factor from p-state `from` to `to`. */
+    double
+    scale(size_t from, size_t to) const
+    {
+        return scale_[from * table_.size() + to];
+    }
+
     PStateTable table_;
     PerfEstimator estimator_;
     PsConfig config_;
+    /**
+     * Precomputed (f/f')^exponent for every p-state pair. The decide
+     * loop evaluates the projection for up to every target state each
+     * sample; frequencies only take table values, so the pow() calls
+     * collapse to lookups with bit-identical results.
+     */
+    std::vector<double> scale_;
 };
 
 } // namespace aapm

@@ -12,6 +12,18 @@ PowerEstimator::PowerEstimator(PStateTable table,
     if (coeffs_.size() != table_.size())
         aapm_fatal("coefficient count %zu != p-state count %zu",
                    coeffs_.size(), table_.size());
+    const size_t n = table_.size();
+    dpcRatio_.resize(n * n);
+    for (size_t from = 0; from < n; ++from) {
+        const double f = table_[from].freqMhz;
+        for (size_t to = 0; to < n; ++to) {
+            const double fp = table_[to].freqMhz;
+            // Lowering frequency keeps the decode rate per *second* (so
+            // per-cycle DPC rises by f/f'); raising keeps per-cycle DPC
+            // — both conservative (power-overestimating) choices.
+            dpcRatio_[from * n + to] = fp <= f ? f / fp : 1.0;
+        }
+    }
 }
 
 PowerEstimator
@@ -27,42 +39,6 @@ PowerEstimator::paperPentiumM()
                            {1.82, 8.44},
                            {2.36, 10.18},
                            {2.93, 12.11}});
-}
-
-double
-PowerEstimator::estimate(size_t pstate, double dpc) const
-{
-    const PowerCoeffs &c = coeffs(pstate);
-    return c.alpha * dpc + c.beta;
-}
-
-double
-PowerEstimator::projectDpc(size_t from, size_t to, double dpc) const
-{
-    aapm_assert(from < table_.size() && to < table_.size(),
-                "p-state out of range");
-    const double f = table_[from].freqMhz;
-    const double fp = table_[to].freqMhz;
-    // Equation 4: lowering frequency keeps the decode rate per *second*
-    // (so per-cycle DPC rises by f/f'); raising keeps per-cycle DPC —
-    // both conservative (power-overestimating) choices.
-    if (fp <= f)
-        return dpc * (f / fp);
-    return dpc;
-}
-
-double
-PowerEstimator::estimateAt(size_t from, double dpc, size_t to) const
-{
-    return estimate(to, projectDpc(from, to, dpc));
-}
-
-const PowerCoeffs &
-PowerEstimator::coeffs(size_t pstate) const
-{
-    aapm_assert(pstate < coeffs_.size(), "p-state %zu out of range",
-                pstate);
-    return coeffs_[pstate];
 }
 
 } // namespace aapm

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "common/logging.hh"
 #include "dvfs/pstate.hh"
 
 namespace aapm
@@ -41,13 +42,25 @@ class PowerEstimator
     static PowerEstimator paperPentiumM();
 
     /** Estimated power at a p-state for a DPC observed *at* that state. */
-    double estimate(size_t pstate, double dpc) const;
+    double
+    estimate(size_t pstate, double dpc) const
+    {
+        const PowerCoeffs &c = coeffs(pstate);
+        return c.alpha * dpc + c.beta;
+    }
 
     /**
      * Equation 4: project a DPC observed at p-state `from` to p-state
-     * `to`.
+     * `to`. The frequency ratios only take p-state table values, so
+     * they are precomputed per (from, to) pair at construction.
      */
-    double projectDpc(size_t from, size_t to, double dpc) const;
+    double
+    projectDpc(size_t from, size_t to, double dpc) const
+    {
+        aapm_assert(from < table_.size() && to < table_.size(),
+                    "p-state out of range");
+        return dpc * dpcRatio_[from * table_.size() + to];
+    }
 
     /**
      * Full cross-state estimate: project DPC from the current state,
@@ -56,10 +69,20 @@ class PowerEstimator
      * @param dpc Measured decoded-instructions-per-cycle.
      * @param to P-state whose power is being predicted.
      */
-    double estimateAt(size_t from, double dpc, size_t to) const;
+    double
+    estimateAt(size_t from, double dpc, size_t to) const
+    {
+        return estimate(to, projectDpc(from, to, dpc));
+    }
 
     /** Coefficients for one p-state. */
-    const PowerCoeffs &coeffs(size_t pstate) const;
+    const PowerCoeffs &
+    coeffs(size_t pstate) const
+    {
+        aapm_assert(pstate < coeffs_.size(), "p-state %zu out of range",
+                    pstate);
+        return coeffs_[pstate];
+    }
 
     /** The p-state table. */
     const PStateTable &table() const { return table_; }
@@ -67,6 +90,11 @@ class PowerEstimator
   private:
     PStateTable table_;
     std::vector<PowerCoeffs> coeffs_;
+    /**
+     * Equation 4 DPC multiplier per (from, to) pair: f/f' when lowering
+     * frequency, 1.0 when raising (the conservative choice).
+     */
+    std::vector<double> dpcRatio_;
 };
 
 } // namespace aapm

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "cpu/phase_timing.hh"
 #include "mgmt/static_clock.hh"
 
 namespace aapm
@@ -53,7 +54,6 @@ Platform::run(const Workload &workload, Governor &governor,
               const RunOptions &options)
 {
     ++runSeq_;
-    EventQueue eq;
     WorkloadCursor cursor(workload);
     DvfsController dvfs(config_.pstates, config_.initialPState,
                         config_.dvfs);
@@ -63,6 +63,13 @@ Platform::run(const Workload &workload, Governor &governor,
 
     governor.reset();
     governor.configureCounters(pmu);
+
+    // Batched kernel: CPI, ticks-per-instruction and every per-
+    // instruction event rate for each (phase, p-state) pair of this
+    // workload, precomputed once so the per-interval work reduces to
+    // table lookups plus multiplies.
+    const PhaseTimingTable timing(core_, truth_, config_.pstates,
+                                  workload, config_.sampleInterval);
 
     RunResult result;
     result.workloadName = workload.name();
@@ -79,66 +86,116 @@ Platform::run(const Workload &workload, Governor &governor,
     Tick pending_stall = 0;
     Tick end_tick = 0;
     std::array<uint64_t, Pmu::NumSlots> slot_last{};
+    // Chunk and interval buffers live outside the sample loop so the
+    // chunked fallback never allocates once warmed up.
     std::vector<ExecChunk> chunks;
 
-    const double interval_s = ticksToSeconds(config_.sampleInterval);
+    const bool fast_allowed = !options.forceChunkedKernel;
     bool stop = false;
 
-    auto on_sample = [&](EventFunctionWrapper *self) {
-        const Tick interval_start = eq.now() - config_.sampleInterval;
+    // The monitor loop is the only event source, so it runs as a plain
+    // loop over sample boundaries instead of through an event queue:
+    // one interval per iteration, `now` at the interval's end.
+    Tick now = 0;
+    while (!stop) {
+        now += config_.sampleInterval;
+        const Tick interval_start = now - config_.sampleInterval;
 
-        // --- Advance the machine over the elapsed interval. ---
-        chunks.clear();
-        Tick budget = config_.sampleInterval;
-        Tick used_total = 0;
-        while (budget > 0 && !cursor.done()) {
-            if (pending_stall > 0) {
-                const Tick s = std::min(pending_stall, budget);
-                ExecChunk stall;
-                stall.phase = nullptr;
-                stall.freqGhz = dvfs.current().freqGhz();
-                stall.duration = s;
-                chunks.push_back(stall);
-                pending_stall -= s;
-                budget -= s;
-                used_total += s;
-                continue;
-            }
-            const Tick used = core_.advance(
-                cursor, dvfs.current().freqGhz(), budget, chunks);
-            budget -= used;
-            used_total += used;
-            if (used == 0)
-                break;   // defensive: cannot make progress
-        }
-        const Tick actual_dt = used_total;
-        end_tick = interval_start + actual_dt;
-
-        // --- Integrate power/energy/thermals; feed the PMU. ---
         double interval_energy = 0.0;
         Tick idle_ticks = 0;
         EventTotals interval_events;   // experimenter-side counters
-        for (const auto &chunk : chunks) {
-            if (chunk.phase && chunk.phase->idle)
-                idle_ticks += chunk.duration;
-            interval_events += chunk.events;
-            const double t_c = config_.thermalFeedback
-                ? thermal.temperature()
-                : truth_.config().leakNominalTempC;
-            const double p = truth_.power(chunk, dvfs.current(), t_c);
-            const double dt = ticksToSeconds(chunk.duration);
-            interval_energy += p * dt;
-            if (config_.thermalFeedback)
-                thermal.step(p, dt);
-            pmu.absorb(chunk.events);
+        Tick used_total = 0;
+        bool integrated = false;
+
+        // --- Fast path: the whole interval inside one phase at one
+        // frequency with no stall or phase boundary intervening — the
+        // overwhelmingly common case. Everything a full interval
+        // produces is closed-form in the row's precomputed instruction
+        // count (whose guards reproduce the chunked loop's floor
+        // arithmetic exactly), so the interval is integrated in O(1)
+        // without materializing chunks: bit-identical instruction and
+        // PMU totals, with a fallback whenever the chunked path would
+        // have split the interval.
+        if (fast_allowed && pending_stall == 0 && !cursor.done()) {
+            const PhaseTiming &row =
+                timing.at(cursor.phaseIndex(), dvfs.currentIndex());
+            if (row.fastEligible &&
+                row.fitInterval < cursor.remainingInPhase()) {
+                const double n = static_cast<double>(row.fitInterval);
+                cursor.retire(row.fitInterval);
+                if (row.idle)
+                    idle_ticks = row.durInterval;
+                // The full scaled totals are only needed by the trace;
+                // the PMU accumulates straight from the per-instruction
+                // rates.
+                if (options.recordTrace)
+                    interval_events = row.perInstr.scaledBy(n);
+                const double t_c = config_.thermalFeedback
+                    ? thermal.temperature()
+                    : truth_.config().leakNominalTempC;
+                const double p = row.dynPowerW +
+                    truth_.leakagePowerFromBase(row.leakBaseW, t_c);
+                interval_energy = p * row.dtIntervalS;
+                if (config_.thermalFeedback)
+                    thermal.step(p, row.dtIntervalS);
+                pmu.absorbScaled(row.perInstr, n);
+                used_total = config_.sampleInterval;
+                integrated = true;
+            }
         }
+
+        if (!integrated) {
+            // --- Chunked reference path: stalls, phase boundaries and
+            // the end of the workload. ---
+            chunks.clear();
+            Tick budget = config_.sampleInterval;
+            while (budget > 0 && !cursor.done()) {
+                if (pending_stall > 0) {
+                    const Tick s = std::min(pending_stall, budget);
+                    ExecChunk stall;
+                    stall.phase = nullptr;
+                    stall.freqGhz = dvfs.current().freqGhz();
+                    stall.duration = s;
+                    chunks.push_back(stall);
+                    pending_stall -= s;
+                    budget -= s;
+                    used_total += s;
+                    continue;
+                }
+                const Tick used = timing.advance(
+                    cursor, dvfs.currentIndex(), budget, chunks);
+                budget -= used;
+                used_total += used;
+                if (used == 0)
+                    break;   // defensive: cannot make progress
+            }
+
+            // --- Integrate power/energy/thermals; feed the PMU. ---
+            for (const auto &chunk : chunks) {
+                if (chunk.phase && chunk.phase->idle)
+                    idle_ticks += chunk.duration;
+                interval_events += chunk.events;
+                const double t_c = config_.thermalFeedback
+                    ? thermal.temperature()
+                    : truth_.config().leakNominalTempC;
+                const double p = truth_.power(chunk, dvfs.current(), t_c);
+                const double dt = ticksToSeconds(chunk.duration);
+                interval_energy += p * dt;
+                if (config_.thermalFeedback)
+                    thermal.step(p, dt);
+                pmu.absorb(chunk.events);
+            }
+        }
+
+        const Tick actual_dt = used_total;
+        end_tick = interval_start + actual_dt;
         result.trueEnergyJ += interval_energy;
         dvfs.accountResidency(actual_dt);
 
         const double dt_s = ticksToSeconds(actual_dt);
         if (dt_s <= 0.0) {
             stop = true;
-            return;
+            break;
         }
 
         // --- Assemble the monitor sample from the counters. ---
@@ -207,7 +264,7 @@ Platform::run(const Workload &workload, Governor &governor,
 
         // --- Deliver any constraint changes that have arrived. ---
         while (next_cmd < commands.size() &&
-               commands[next_cmd].when <= eq.now()) {
+               commands[next_cmd].when <= now) {
             const auto &cmd = commands[next_cmd++];
             if (cmd.kind == ScheduledCommand::Kind::SetPowerLimit)
                 governor.setPowerLimit(cmd.value);
@@ -216,27 +273,13 @@ Platform::run(const Workload &workload, Governor &governor,
         }
 
         // --- Control. ---
-        if (cursor.done()) {
-            stop = true;
-            return;
-        }
-        if (options.maxTime != 0 && eq.now() >= options.maxTime) {
-            stop = true;
-            return;
-        }
+        if (cursor.done())
+            break;
+        if (options.maxTime != 0 && now >= options.maxTime)
+            break;
         const size_t next = governor.decide(sample, dvfs.currentIndex());
         if (next != dvfs.currentIndex())
             pending_stall += dvfs.requestPState(next);
-        eq.schedule(self, eq.now() + config_.sampleInterval);
-    };
-
-    EventFunctionWrapper *self_ptr = nullptr;
-    EventFunctionWrapper sample_ev("sample",
-                                   [&] { on_sample(self_ptr); });
-    self_ptr = &sample_ev;
-    eq.schedule(&sample_ev, config_.sampleInterval);
-
-    while (!stop && eq.step()) {
     }
 
     result.seconds = ticksToSeconds(end_tick);

@@ -20,7 +20,7 @@
 #include "pmu/pmu.hh"
 #include "power/truth_power.hh"
 #include "sensor/power_sensor.hh"
-#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
 #include "workload/workload.hh"
 
 namespace aapm
@@ -67,6 +67,14 @@ struct RunOptions
     Tick maxTime = 0;
     /** Constraint changes delivered during the run. */
     std::vector<ScheduledCommand> commands;
+    /**
+     * Disable the closed-form single-phase fast path and integrate
+     * every interval through the chunked path. The chunked path is the
+     * reference kernel; results agree bit-for-bit on every counter and
+     * to <= 1e-12 relative on energy/thermal quantities (see
+     * tests/test_kernel_equiv.cc). Diagnostic knob — leave false.
+     */
+    bool forceChunkedKernel = false;
 };
 
 /** Everything measured about one run. */

@@ -13,10 +13,10 @@
 #include <cstdint>
 #include <string>
 
+#include "cpu/core_model.hh"
+
 namespace aapm
 {
-
-struct EventTotals;
 
 /** Countable PMU events. */
 enum class PmuEvent : uint8_t
@@ -40,6 +40,34 @@ const char *pmuEventName(PmuEvent ev);
 
 /** Extract the value of one event from an EventTotals record. */
 double pmuEventValue(const EventTotals &totals, PmuEvent ev);
+
+/**
+ * Inline fast variant of pmuEventValue for the counter-feeding hot
+ * path: same mapping, no diagnostics for invalid events (callers have
+ * already validated the slot configuration).
+ */
+inline double
+pmuEventValueFast(const EventTotals &totals, PmuEvent ev)
+{
+    switch (ev) {
+      case PmuEvent::InstructionsRetired:
+        return totals.instructionsRetired;
+      case PmuEvent::InstructionsDecoded:
+        return totals.instructionsDecoded;
+      case PmuEvent::DcuMissOutstanding:
+        return totals.dcuMissOutstanding;
+      case PmuEvent::ResourceStalls:
+        return totals.resourceStalls;
+      case PmuEvent::L2Requests:
+        return totals.l2Requests;
+      case PmuEvent::BusMemoryRequests:
+        return totals.busMemoryRequests;
+      case PmuEvent::FpOps:
+        return totals.fpOps;
+      default:
+        return 0.0;
+    }
+}
 
 } // namespace aapm
 

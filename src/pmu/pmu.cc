@@ -24,50 +24,12 @@ Pmu::configure(size_t slot, PmuEvent event)
     slots_[slot].count = 0.0;
 }
 
-std::optional<PmuEvent>
-Pmu::slotEvent(size_t slot) const
-{
-    aapm_assert(slot < NumSlots, "slot %zu out of range", slot);
-    return slots_[slot].event;
-}
-
-uint64_t
-Pmu::read(size_t slot) const
-{
-    aapm_assert(slot < NumSlots, "slot %zu out of range", slot);
-    return static_cast<uint64_t>(std::floor(slots_[slot].count));
-}
-
 uint64_t
 Pmu::readAndClear(size_t slot)
 {
     const uint64_t v = read(slot);
     slots_[slot].count = 0.0;
     return v;
-}
-
-uint64_t
-Pmu::readCycles() const
-{
-    return static_cast<uint64_t>(std::floor(cycles_));
-}
-
-uint64_t
-Pmu::cyclesSinceLast()
-{
-    const double delta = cycles_ - cyclesMark_;
-    cyclesMark_ = cycles_;
-    return static_cast<uint64_t>(std::floor(delta));
-}
-
-void
-Pmu::absorb(const EventTotals &totals)
-{
-    cycles_ += totals.cycles;
-    for (auto &slot : slots_) {
-        if (slot.event)
-            slot.count += pmuEventValue(totals, *slot.event);
-    }
 }
 
 } // namespace aapm

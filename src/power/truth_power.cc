@@ -1,27 +1,9 @@
 #include "power/truth_power.hh"
 
-#include <cmath>
-
 #include "common/logging.hh"
 
 namespace aapm
 {
-
-ActivityRates
-ActivityRates::fromChunk(const ExecChunk &chunk)
-{
-    ActivityRates rates;
-    if (!chunk.phase || chunk.phase->idle || chunk.events.cycles <= 0.0)
-        return rates;   // stall or halt: fully clock-gated
-    const double cycles = chunk.events.cycles;
-    const double ipc = chunk.events.instructionsRetired / cycles;
-    rates.busyFrac = std::min(1.0, chunk.phase->baseCpi * ipc);
-    rates.dpc = chunk.events.instructionsDecoded / cycles;
-    rates.fpc = chunk.events.fpOps / cycles;
-    rates.l2pc = chunk.events.l2Requests / cycles;
-    rates.buspc = chunk.events.busMemoryRequests / cycles;
-    return rates;
-}
 
 TruthPowerModel::TruthPowerModel(TruthPowerConfig config)
     : config_(config)
@@ -32,79 +14,12 @@ TruthPowerModel::TruthPowerModel(TruthPowerConfig config)
         aapm_fatal("negative capacitance in power config");
 }
 
-double
-TruthPowerModel::dynamicPower(const ActivityRates &rates,
-                              const PState &pstate) const
-{
-    const double ceff = config_.cTree +
-                        config_.cCore * rates.busyFrac +
-                        config_.cDecode * rates.dpc +
-                        config_.cFp * rates.fpc +
-                        config_.cL2 * rates.l2pc +
-                        config_.cBus * rates.buspc;
-    return ceff * pstate.voltage * pstate.voltage * pstate.freqGhz();
-}
-
-double
-TruthPowerModel::leakagePower(double voltage, double temp_c) const
-{
-    const double base = config_.leakV1 * voltage +
-                        config_.leakV3 * voltage * voltage * voltage;
-    const double temp_scale =
-        1.0 + config_.leakTempCoeff * (temp_c - config_.leakNominalTempC);
-    return base * std::max(0.0, temp_scale);
-}
-
-double
-TruthPowerModel::power(const ActivityRates &rates, const PState &pstate,
-                       double temp_c) const
-{
-    return dynamicPower(rates, pstate) +
-           leakagePower(pstate.voltage, temp_c);
-}
-
-double
-TruthPowerModel::power(const ExecChunk &chunk, const PState &pstate,
-                       double temp_c) const
-{
-    return power(ActivityRates::fromChunk(chunk), pstate, temp_c);
-}
-
-double
-TruthPowerModel::power(const ActivityRates &rates,
-                       const PState &pstate) const
-{
-    return power(rates, pstate, config_.leakNominalTempC);
-}
-
-double
-TruthPowerModel::power(const ExecChunk &chunk, const PState &pstate) const
-{
-    return power(chunk, pstate, config_.leakNominalTempC);
-}
-
 ThermalModel::ThermalModel(ThermalConfig config)
-    : config_(config), tempC_(config.ambientC)
+    : config_(config), tempC_(config.ambientC), lastDtS_(-1.0),
+      lastDecay_(0.0)
 {
     if (config_.rTh <= 0.0 || config_.cTh <= 0.0)
         aapm_fatal("thermal R and C must be positive");
-}
-
-void
-ThermalModel::step(double power, double dt_seconds)
-{
-    aapm_assert(dt_seconds >= 0.0, "negative dt");
-    // Exact solution of the linear ODE over the step (power constant).
-    const double t_ss = steadyStateC(power);
-    const double tau = config_.rTh * config_.cTh;
-    const double decay = std::exp(-dt_seconds / tau);
-    tempC_ = t_ss + (tempC_ - t_ss) * decay;
-}
-
-double
-ThermalModel::steadyStateC(double power) const
-{
-    return config_.ambientC + power * config_.rTh;
 }
 
 void

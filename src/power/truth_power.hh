@@ -15,6 +15,10 @@
 #ifndef AAPM_POWER_TRUTH_POWER_HH
 #define AAPM_POWER_TRUTH_POWER_HH
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
 #include "cpu/core_model.hh"
 #include "dvfs/pstate.hh"
 
@@ -60,7 +64,22 @@ struct ActivityRates
     double buspc = 0.0;       ///< DRAM transfers / cycle
 
     /** Extract the rates from a chunk (all-zero for stall chunks). */
-    static ActivityRates fromChunk(const ExecChunk &chunk);
+    static ActivityRates
+    fromChunk(const ExecChunk &chunk)
+    {
+        ActivityRates rates;
+        if (!chunk.phase || chunk.phase->idle ||
+            chunk.events.cycles <= 0.0)
+            return rates;   // stall or halt: fully clock-gated
+        const double cycles = chunk.events.cycles;
+        const double ipc = chunk.events.instructionsRetired / cycles;
+        rates.busyFrac = std::min(1.0, chunk.phase->baseCpi * ipc);
+        rates.dpc = chunk.events.instructionsDecoded / cycles;
+        rates.fpc = chunk.events.fpOps / cycles;
+        rates.l2pc = chunk.events.l2Requests / cycles;
+        rates.buspc = chunk.events.busMemoryRequests / cycles;
+        return rates;
+    }
 };
 
 /** The ground-truth model. */
@@ -71,29 +90,83 @@ class TruthPowerModel
 
     /**
      * Instantaneous power for the given activity at an operating point.
+     * All evaluation members are defined inline: the monitor loop
+     * integrates power once per chunk of every sample interval.
      * @param rates Per-cycle activity.
      * @param pstate Operating point (frequency, voltage).
      * @param temp_c Die temperature; defaults to the leakage nominal.
      */
-    double power(const ActivityRates &rates, const PState &pstate,
-                 double temp_c) const;
+    double
+    power(const ActivityRates &rates, const PState &pstate,
+          double temp_c) const
+    {
+        return dynamicPower(rates, pstate) +
+               leakagePower(pstate.voltage, temp_c);
+    }
 
     /** Power for a chunk executed at the given operating point. */
-    double power(const ExecChunk &chunk, const PState &pstate,
-                 double temp_c) const;
+    double
+    power(const ExecChunk &chunk, const PState &pstate,
+          double temp_c) const
+    {
+        return power(ActivityRates::fromChunk(chunk), pstate, temp_c);
+    }
 
     /** Convenience overload at the nominal temperature. */
-    double power(const ActivityRates &rates, const PState &pstate) const;
+    double
+    power(const ActivityRates &rates, const PState &pstate) const
+    {
+        return power(rates, pstate, config_.leakNominalTempC);
+    }
 
     /** Convenience overload at the nominal temperature. */
-    double power(const ExecChunk &chunk, const PState &pstate) const;
+    double
+    power(const ExecChunk &chunk, const PState &pstate) const
+    {
+        return power(chunk, pstate, config_.leakNominalTempC);
+    }
 
     /** Dynamic component only. */
-    double dynamicPower(const ActivityRates &rates,
-                        const PState &pstate) const;
+    double
+    dynamicPower(const ActivityRates &rates, const PState &pstate) const
+    {
+        const double ceff = config_.cTree +
+                            config_.cCore * rates.busyFrac +
+                            config_.cDecode * rates.dpc +
+                            config_.cFp * rates.fpc +
+                            config_.cL2 * rates.l2pc +
+                            config_.cBus * rates.buspc;
+        return ceff * pstate.voltage * pstate.voltage * pstate.freqGhz();
+    }
 
     /** Leakage component only. */
-    double leakagePower(double voltage, double temp_c) const;
+    double
+    leakagePower(double voltage, double temp_c) const
+    {
+        return leakagePowerFromBase(leakageBase(voltage), temp_c);
+    }
+
+    /**
+     * Voltage-dependent leakage factor, Watts at the nominal
+     * temperature. Constant per p-state, so callers that evaluate
+     * leakage every sample interval precompute it.
+     */
+    double
+    leakageBase(double voltage) const
+    {
+        return config_.leakV1 * voltage +
+               config_.leakV3 * voltage * voltage * voltage;
+    }
+
+    /** Leakage from a precomputed voltage factor. */
+    double
+    leakagePowerFromBase(double base, double temp_c) const
+    {
+        const double temp_scale =
+            1.0 +
+            config_.leakTempCoeff * (temp_c - config_.leakNominalTempC);
+        return base * std::max(0.0, temp_scale);
+    }
 
     /** The constants in use. */
     const TruthPowerConfig &config() const { return config_; }
@@ -119,14 +192,37 @@ class ThermalModel
   public:
     explicit ThermalModel(ThermalConfig config = ThermalConfig());
 
-    /** Advance by dt seconds while dissipating `power` Watts. */
-    void step(double power, double dt_seconds);
+    /**
+     * Advance by dt seconds while dissipating `power` Watts. The decay
+     * factor exp(-dt/tau) is memoized on dt: the monitor loop steps
+     * with the same interval length for thousands of consecutive
+     * samples, so the transcendental is evaluated only when the step
+     * size changes (bit-identical results either way).
+     */
+    void
+    step(double power, double dt_seconds)
+    {
+        aapm_assert(dt_seconds >= 0.0, "negative dt");
+        // Exact solution of the linear ODE over the step (power
+        // constant).
+        const double t_ss = steadyStateC(power);
+        if (dt_seconds != lastDtS_) {
+            const double tau = config_.rTh * config_.cTh;
+            lastDecay_ = std::exp(-dt_seconds / tau);
+            lastDtS_ = dt_seconds;
+        }
+        tempC_ = t_ss + (tempC_ - t_ss) * lastDecay_;
+    }
 
     /** Current die temperature, °C. */
     double temperature() const { return tempC_; }
 
     /** Steady-state temperature for a constant power level. */
-    double steadyStateC(double power) const;
+    double
+    steadyStateC(double power) const
+    {
+        return config_.ambientC + power * config_.rTh;
+    }
 
     /** Reset to ambient. */
     void reset();
@@ -137,6 +233,8 @@ class ThermalModel
   private:
     ThermalConfig config_;
     double tempC_;
+    double lastDtS_;
+    double lastDecay_;
 };
 
 } // namespace aapm

@@ -21,34 +21,6 @@ PowerSensor::PowerSensor(SensorConfig config)
                            config_.offsetErrorMaxW);
 }
 
-double
-PowerSensor::quantStepW() const
-{
-    return config_.fullScaleW /
-           static_cast<double>(1u << config_.adcBits);
-}
-
-double
-PowerSensor::sample(double true_avg_watts)
-{
-    aapm_assert(true_avg_watts >= 0.0, "negative power %f",
-                true_avg_watts);
-    // Fault injection first: a stuck buffer repeats the last reading,
-    // a glitch replaces the sample with garbage anywhere in range.
-    if (config_.stuckProb > 0.0 && rng_.chance(config_.stuckProb))
-        return last_;
-    if (config_.glitchProb > 0.0 && rng_.chance(config_.glitchProb)) {
-        last_ = rng_.uniform(0.0, config_.fullScaleW);
-        return last_;
-    }
-    double v = gain_ * true_avg_watts + offset_ +
-               rng_.gaussian(0.0, config_.noiseSigmaW);
-    v = std::clamp(v, 0.0, config_.fullScaleW);
-    const double q = quantStepW();
-    last_ = std::round(v / q) * q;
-    return last_;
-}
-
 void
 PowerSensor::reseed(uint64_t seed)
 {

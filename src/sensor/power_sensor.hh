@@ -14,10 +14,13 @@
 #ifndef AAPM_SENSOR_POWER_SENSOR_HH
 #define AAPM_SENSOR_POWER_SENSOR_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/random.hh"
 #include "sim/ticks.hh"
 
@@ -63,14 +66,40 @@ class PowerSensor
     explicit PowerSensor(SensorConfig config = SensorConfig());
 
     /**
-     * Measure one sampling interval.
+     * Measure one sampling interval. Defined inline — the monitor loop
+     * calls this once per 10 ms sample.
      * @param true_avg_watts True average power over the interval.
      * @return The value the measurement system reports.
      */
-    double sample(double true_avg_watts);
+    double
+    sample(double true_avg_watts)
+    {
+        aapm_assert(true_avg_watts >= 0.0, "negative power %f",
+                    true_avg_watts);
+        // Fault injection first: a stuck buffer repeats the last
+        // reading, a glitch replaces the sample with garbage anywhere
+        // in range.
+        if (config_.stuckProb > 0.0 && rng_.chance(config_.stuckProb))
+            return last_;
+        if (config_.glitchProb > 0.0 && rng_.chance(config_.glitchProb)) {
+            last_ = rng_.uniform(0.0, config_.fullScaleW);
+            return last_;
+        }
+        double v = gain_ * true_avg_watts + offset_ +
+                   rng_.gaussian(0.0, config_.noiseSigmaW);
+        v = std::clamp(v, 0.0, config_.fullScaleW);
+        const double q = quantStepW();
+        last_ = std::round(v / q) * q;
+        return last_;
+    }
 
     /** The ADC quantization step, Watts. */
-    double quantStepW() const;
+    double
+    quantStepW() const
+    {
+        return config_.fullScaleW /
+               static_cast<double>(1u << config_.adcBits);
+    }
 
     /** Reset the noise stream (calibration error is kept). */
     void reseed(uint64_t seed);

@@ -51,45 +51,6 @@ WorkloadCursor::WorkloadCursor(const Workload &workload)
                 "workload '%s' has no phases", workload.name().c_str());
 }
 
-bool
-WorkloadCursor::done() const
-{
-    return iter_ >= workload_->repeats();
-}
-
-const Phase &
-WorkloadCursor::currentPhase() const
-{
-    aapm_assert(!done(), "cursor past end of workload '%s'",
-                workload_->name().c_str());
-    return workload_->phases()[phaseIdx_];
-}
-
-uint64_t
-WorkloadCursor::remainingInPhase() const
-{
-    return currentPhase().instructions - intoPhase_;
-}
-
-void
-WorkloadCursor::retire(uint64_t n)
-{
-    aapm_assert(n <= remainingInPhase(),
-                "retiring %llu > remaining %llu",
-                static_cast<unsigned long long>(n),
-                static_cast<unsigned long long>(remainingInPhase()));
-    intoPhase_ += n;
-    retired_ += n;
-    if (intoPhase_ == currentPhase().instructions) {
-        intoPhase_ = 0;
-        ++phaseIdx_;
-        if (phaseIdx_ == workload_->phases().size()) {
-            phaseIdx_ = 0;
-            ++iter_;
-        }
-    }
-}
-
 double
 WorkloadCursor::progress() const
 {

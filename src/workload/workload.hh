@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "workload/phase.hh"
 
 namespace aapm
@@ -82,20 +83,50 @@ class WorkloadCursor
     explicit WorkloadCursor(const Workload &workload);
 
     /** True when every repeat of every phase has been retired. */
-    bool done() const;
+    bool done() const { return iter_ >= workload_->repeats(); }
 
     /** The phase the cursor currently sits in; panics when done. */
-    const Phase &currentPhase() const;
+    const Phase &
+    currentPhase() const
+    {
+        aapm_assert(!done(), "cursor past end of workload '%s'",
+                    workload_->name().c_str());
+        return workload_->phases()[phaseIdx_];
+    }
+
+    /** Index of the current phase within the workload's phase list. */
+    size_t phaseIndex() const { return phaseIdx_; }
 
     /** Instructions remaining in the current phase occurrence. */
-    uint64_t remainingInPhase() const;
+    uint64_t
+    remainingInPhase() const
+    {
+        return currentPhase().instructions - intoPhase_;
+    }
 
     /**
      * Retire n instructions from the current phase; n must not exceed
      * remainingInPhase(). Advances to the next phase (and repeat) when
      * the phase is exhausted.
      */
-    void retire(uint64_t n);
+    void
+    retire(uint64_t n)
+    {
+        aapm_assert(n <= remainingInPhase(),
+                    "retiring %llu > remaining %llu",
+                    static_cast<unsigned long long>(n),
+                    static_cast<unsigned long long>(remainingInPhase()));
+        intoPhase_ += n;
+        retired_ += n;
+        if (intoPhase_ == currentPhase().instructions) {
+            intoPhase_ = 0;
+            ++phaseIdx_;
+            if (phaseIdx_ == workload_->phases().size()) {
+                phaseIdx_ = 0;
+                ++iter_;
+            }
+        }
+    }
 
     /** Total instructions retired so far. */
     uint64_t retired() const { return retired_; }

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Equivalence of the closed-form single-phase fast path against the
+ * chunked reference kernel (RunOptions::forceChunkedKernel).
+ *
+ * Contract (see src/cpu/phase_timing.hh): every integer-valued result
+ * — retired instructions, DVFS transition counts, stall ticks,
+ * residency, the p-state trajectory itself — is bit-identical, because
+ * the fast path reproduces the chunked loop's floor arithmetic exactly
+ * and governors only observe PMU-derived rates, which are likewise
+ * bit-identical. Energy/thermal quantities are allowed <= 1e-12
+ * relative slack (the table precomputes activity rates and dynamic
+ * power once per row, which can differ from the chunk-recomputed
+ * values by a few ulp).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "mgmt/performance_maximizer.hh"
+#include "mgmt/power_save.hh"
+#include "models/perf_estimator.hh"
+#include "models/power_estimator.hh"
+#include "platform/platform.hh"
+#include "workload/spec_suite.hh"
+#include "workload/synthetic.hh"
+
+namespace aapm
+{
+namespace
+{
+
+constexpr double kRelTol = 1e-12;
+
+void
+expectNearRel(double fast, double chunked, const std::string &what)
+{
+    const double scale =
+        std::max({std::abs(fast), std::abs(chunked), 1.0});
+    EXPECT_NEAR(fast, chunked, scale * kRelTol) << what;
+}
+
+void
+expectEquivalent(const RunResult &fast, const RunResult &chunked,
+                 const std::string &what)
+{
+    // Bit-identical integer results.
+    EXPECT_EQ(fast.instructions, chunked.instructions) << what;
+    EXPECT_EQ(fast.finished, chunked.finished) << what;
+    EXPECT_EQ(fast.dvfs.transitions, chunked.dvfs.transitions) << what;
+    EXPECT_EQ(fast.dvfs.stallTicks, chunked.dvfs.stallTicks) << what;
+    ASSERT_EQ(fast.dvfs.residency.size(), chunked.dvfs.residency.size())
+        << what;
+    for (size_t i = 0; i < fast.dvfs.residency.size(); ++i)
+        EXPECT_EQ(fast.dvfs.residency[i], chunked.dvfs.residency[i])
+            << what << " residency[" << i << "]";
+
+    // Wall-clock time is tick arithmetic on both paths.
+    EXPECT_DOUBLE_EQ(fast.seconds, chunked.seconds) << what;
+
+    // Power-side results carry the table's few-ulp precomputation.
+    expectNearRel(fast.trueEnergyJ, chunked.trueEnergyJ,
+                  what + " trueEnergyJ");
+    expectNearRel(fast.measuredEnergyJ, chunked.measuredEnergyJ,
+                  what + " measuredEnergyJ");
+    expectNearRel(fast.finalTempC, chunked.finalTempC,
+                  what + " finalTempC");
+
+    // The governor trajectory must match decision-for-decision.
+    ASSERT_EQ(fast.trace.samples().size(), chunked.trace.samples().size())
+        << what;
+    for (size_t i = 0; i < fast.trace.samples().size(); ++i) {
+        EXPECT_EQ(fast.trace.samples()[i].pstateIndex,
+                  chunked.trace.samples()[i].pstateIndex)
+            << what << " sample " << i;
+    }
+}
+
+struct BothResults
+{
+    RunResult fast;
+    RunResult chunked;
+};
+
+BothResults
+runBoth(const Workload &workload, Governor &fast_gov,
+        Governor &chunked_gov, RunOptions options = RunOptions())
+{
+    BothResults r;
+    Platform platform;
+    options.forceChunkedKernel = false;
+    r.fast = platform.run(workload, fast_gov, options);
+    options.forceChunkedKernel = true;
+    r.chunked = platform.run(workload, chunked_gov, options);
+    return r;
+}
+
+BothResults
+runBothAtPState(const Workload &workload, size_t pstate,
+                RunOptions options = RunOptions())
+{
+    BothResults r;
+    Platform platform;
+    options.forceChunkedKernel = false;
+    r.fast = platform.runAtPState(workload, pstate, options);
+    options.forceChunkedKernel = true;
+    r.chunked = platform.runAtPState(workload, pstate, options);
+    return r;
+}
+
+TEST(KernelEquiv, SuiteAtStaticPStates)
+{
+    const CoreParams core;
+    // Short runs keep the full 26-benchmark x 3-p-state grid cheap.
+    const std::vector<Workload> suite = specSuite(core, 1.0);
+    for (const Workload &w : suite) {
+        for (size_t pstate : {size_t{0}, size_t{4}, size_t{7}}) {
+            const BothResults r = runBothAtPState(w, pstate);
+            expectEquivalent(r.fast, r.chunked,
+                             w.name() + " @P" + std::to_string(pstate));
+        }
+    }
+}
+
+TEST(KernelEquiv, SuiteUnderPerformanceMaximizer)
+{
+    const CoreParams core;
+    const std::vector<Workload> suite = specSuite(core, 1.0);
+    const PowerEstimator power = PowerEstimator::paperPentiumM();
+    for (const Workload &w : suite) {
+        for (double limit : {17.5, 11.5}) {
+            PerformanceMaximizer fast_gov(power,
+                                          PmConfig{.powerLimitW = limit});
+            PerformanceMaximizer chunked_gov(
+                power, PmConfig{.powerLimitW = limit});
+            const BothResults r = runBoth(w, fast_gov, chunked_gov);
+            expectEquivalent(r.fast, r.chunked,
+                             w.name() + " PM@" + std::to_string(limit));
+        }
+    }
+}
+
+TEST(KernelEquiv, SuiteUnderPowerSave)
+{
+    const PlatformConfig config;
+    const std::vector<Workload> suite = specSuite(config.core, 1.0);
+    const PerfEstimator perf;
+    for (const Workload &w : suite) {
+        for (double floor : {0.8, 0.4}) {
+            PowerSave fast_gov(config.pstates, perf, PsConfig{floor});
+            PowerSave chunked_gov(config.pstates, perf, PsConfig{floor});
+            const BothResults r = runBoth(w, fast_gov, chunked_gov);
+            expectEquivalent(r.fast, r.chunked,
+                             w.name() + " PS@" + std::to_string(floor));
+        }
+    }
+}
+
+// Phase lengths deliberately misaligned with the 10 ms interval, so
+// phase switches land mid-interval and force the chunk-splitting logic
+// on both paths.
+TEST(KernelEquiv, MidIntervalPhaseSwitches)
+{
+    Phase core_phase;
+    core_phase.name = "core";
+    core_phase.baseCpi = 1.0;
+    core_phase.decodeRatio = 1.3;
+    // 7.3 ms at 2 GHz: never a whole number of intervals.
+    core_phase.instructions = 14'600'000;
+
+    Phase mem_phase;
+    mem_phase.name = "mem";
+    mem_phase.baseCpi = 2.0;
+    mem_phase.decodeRatio = 1.1;
+    mem_phase.memPerInstr = 1.0;
+    mem_phase.instructions = 3'700'000;
+
+    Workload w("phase-switcher");
+    for (int i = 0; i < 40; ++i) {
+        w.add(core_phase);
+        w.add(mem_phase);
+    }
+
+    for (size_t pstate : {size_t{0}, size_t{7}}) {
+        const BothResults r = runBothAtPState(w, pstate);
+        expectEquivalent(r.fast, r.chunked,
+                         "switcher @P" + std::to_string(pstate));
+    }
+
+    PerformanceMaximizer fast_gov(PowerEstimator::paperPentiumM(),
+                                  PmConfig{.powerLimitW = 11.5});
+    PerformanceMaximizer chunked_gov(PowerEstimator::paperPentiumM(),
+                                     PmConfig{.powerLimitW = 11.5});
+    const BothResults r = runBoth(w, fast_gov, chunked_gov);
+    expectEquivalent(r.fast, r.chunked, "switcher PM");
+}
+
+// Idle phases take the idle-calibration CPI special case; a duty-cycled
+// workload alternates idle and busy mid-interval.
+TEST(KernelEquiv, IdleAndDutyCycledWorkloads)
+{
+    const PlatformConfig config;
+    Phase busy;
+    busy.name = "busy";
+    busy.baseCpi = 1.0;
+    busy.decodeRatio = 1.4;
+
+    const Workload w = dutyCycledWorkload("duty-30", busy, 0.3,
+                                          0.047, 1.5, config.core);
+    for (size_t pstate : {size_t{0}, size_t{7}}) {
+        const BothResults r = runBothAtPState(w, pstate);
+        expectEquivalent(r.fast, r.chunked,
+                         "duty @P" + std::to_string(pstate));
+    }
+
+    PowerSave fast_gov(config.pstates, PerfEstimator{}, PsConfig{0.8});
+    PowerSave chunked_gov(config.pstates, PerfEstimator{},
+                          PsConfig{0.8});
+    const BothResults r = runBoth(w, fast_gov, chunked_gov);
+    expectEquivalent(r.fast, r.chunked, "duty PS");
+}
+
+// Constraint changes mid-run trigger extra DVFS transitions — and thus
+// transition stalls — at command-delivery boundaries.
+TEST(KernelEquiv, ScheduledCommandsAndStalls)
+{
+    const CoreParams core;
+    const Workload w = specWorkload("galgel", core, 2.0);
+    RunOptions options;
+    options.commands.push_back({secondsToTicks(0.3),
+                                ScheduledCommand::Kind::SetPowerLimit,
+                                11.5});
+    options.commands.push_back({secondsToTicks(0.9),
+                                ScheduledCommand::Kind::SetPowerLimit,
+                                17.5});
+    PerformanceMaximizer fast_gov(PowerEstimator::paperPentiumM(),
+                                  PmConfig{.powerLimitW = 14.5});
+    PerformanceMaximizer chunked_gov(PowerEstimator::paperPentiumM(),
+                                     PmConfig{.powerLimitW = 14.5});
+    const BothResults r = runBoth(w, fast_gov, chunked_gov, options);
+    EXPECT_GT(r.fast.dvfs.transitions, 0u);
+    expectEquivalent(r.fast, r.chunked, "galgel commands");
+}
+
+TEST(KernelEquiv, MaxTimeTruncation)
+{
+    const CoreParams core;
+    const Workload w = specWorkload("swim", core, 3.0);
+    RunOptions options;
+    options.maxTime = secondsToTicks(0.5);
+    const BothResults r = runBothAtPState(w, 7, options);
+    EXPECT_FALSE(r.fast.finished);
+    expectEquivalent(r.fast, r.chunked, "swim maxTime");
+}
+
+} // namespace
+} // namespace aapm
