@@ -16,6 +16,10 @@
  * BENCH_kernel.json (override with AAPM_KERNEL_JSON). A recorded
  * throughput more than 20% above the current build's fails the binary
  * unless AAPM_BENCH_NO_GUARD is set.
+ *
+ * A resilience baseline (PM under mixed-intensity fault plans, with
+ * and without the GovernorSupervisor) is written to BENCH_faults.json
+ * (override with AAPM_FAULTS_JSON).
  */
 
 #include <benchmark/benchmark.h>
@@ -391,6 +395,105 @@ emitSweepTimings()
 }
 
 /**
+ * Resilience baseline: the PM governor over the shortened suite with a
+ * tight power limit, at three mixed-fault intensities, with and
+ * without the GovernorSupervisor. Records the suite-aggregate power-
+ * limit violation rate (ground truth, 100 ms windows) and the mean
+ * length of a recovery (degraded intervals per fallback entry) to
+ * BENCH_faults.json (override with AAPM_FAULTS_JSON), so the
+ * resilience trajectory is tracked across PRs alongside throughput.
+ */
+void
+emitFaultBaseline()
+{
+    const PlatformConfig config;
+    const std::vector<Workload> suite = specSuite(config.core, 3.0);
+    const double limit = 11.5;
+    const auto power = std::make_shared<PowerEstimator>(
+        PowerEstimator::paperPentiumM());
+
+    const auto pm_factory = [power, limit] {
+        return std::make_unique<PerformanceMaximizer>(
+            *power, PmConfig{.powerLimitW = limit});
+    };
+    const auto sup_factory =
+        [power, limit]() -> std::unique_ptr<Governor> {
+        return std::make_unique<GovernorSupervisor>(
+            std::make_unique<PerformanceMaximizer>(
+                *power, PmConfig{.powerLimitW = limit}),
+            SupervisorConfig(), power.get());
+    };
+
+    SweepRunner runner(config);
+    SweepGrid grid;
+    const size_t clean_handle = grid.addSuite(suite, pm_factory);
+    const std::vector<double> intensities = {0.02, 0.05, 0.1};
+    std::vector<std::pair<size_t, size_t>> handles;   // (unsup, sup)
+    for (double p : intensities) {
+        RunOptions opts;
+        opts.faultPlan = FaultPlan::mixed(p);
+        handles.emplace_back(grid.addSuite(suite, pm_factory, opts),
+                             grid.addSuite(suite, sup_factory, opts));
+    }
+    const SweepResults results = runner.run(grid);
+
+    const auto violation = [&](const SuiteResult &sr) {
+        // Aggregate over the whole suite: over-limit windows divided
+        // by total windows, not a per-run mean, so long benchmarks
+        // weigh in proportionally.
+        double over = 0.0, total = 0.0;
+        for (const RunResult &r : sr.runs) {
+            const double n =
+                static_cast<double>(r.trace.samples().size());
+            over += r.trace.fractionOverLimitTrue(limit, 10) * n;
+            total += n;
+        }
+        return total > 0.0 ? over / total : 0.0;
+    };
+    const auto mean_recovery = [](const RecoveryTelemetry &t) {
+        return t.fallbackEntries > 0
+            ? static_cast<double>(t.degradedIntervals) /
+                  static_cast<double>(t.fallbackEntries)
+            : 0.0;
+    };
+
+    const double clean_rate = violation(results.suite(clean_handle));
+    std::printf("faults: clean violation rate %.4f (PM @ %.1f W)\n",
+                clean_rate, limit);
+
+    const char *path = std::getenv("AAPM_FAULTS_JSON");
+    std::ofstream out(path && *path ? path : "BENCH_faults.json");
+    out.precision(6);
+    out << "{\n"
+        << "  \"benchmark\": \"mixed_fault_resilience\",\n"
+        << "  \"governor\": \"pm\",\n"
+        << "  \"limit_w\": " << limit << ",\n"
+        << "  \"suite_runs\": " << suite.size() << ",\n"
+        << "  \"clean_violation_rate\": " << clean_rate << ",\n"
+        << "  \"intensities\": [\n";
+    for (size_t i = 0; i < intensities.size(); ++i) {
+        const SuiteResult unsup = results.suite(handles[i].first);
+        const SuiteResult sup = results.suite(handles[i].second);
+        const RecoveryTelemetry tel = sup.totalRecovery();
+        const double unsup_rate = violation(unsup);
+        const double sup_rate = violation(sup);
+        std::printf("faults: mixed %.2f violation rate %.4f unsup, "
+                    "%.4f sup (%.1f mean recovery intervals)\n",
+                    intensities[i], unsup_rate, sup_rate,
+                    mean_recovery(tel));
+        out << "    {\"intensity\": " << intensities[i]
+            << ", \"violation_rate_unsupervised\": " << unsup_rate
+            << ", \"violation_rate_supervised\": " << sup_rate
+            << ", \"mean_recovery_intervals\": " << mean_recovery(tel)
+            << ",\n     \"faults_seen\": " << tel.faultsSeen()
+            << ", \"recovery_actions\": " << tel.recoveryActions()
+            << ", \"fallback_entries\": " << tel.fallbackEntries
+            << "}" << (i + 1 < intensities.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+/**
  * Read the samples-per-second value recorded in an existing
  * BENCH_kernel.json; 0.0 when the file or field is absent.
  */
@@ -505,5 +608,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     emitSweepTimings();
+    emitFaultBaseline();
     return emitKernelTimings();
 }

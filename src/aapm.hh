@@ -32,6 +32,9 @@
 #include "exp/model_cache.hh"
 #include "exp/sweep.hh"
 #include "exp/thread_pool.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
+#include "fault/telemetry.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/hierarchy.hh"
@@ -43,6 +46,7 @@
 #include "mgmt/pm_feedback.hh"
 #include "mgmt/power_save.hh"
 #include "mgmt/static_clock.hh"
+#include "mgmt/supervisor.hh"
 #include "mgmt/thermal_cap.hh"
 #include "models/model_io.hh"
 #include "models/online_fit.hh"

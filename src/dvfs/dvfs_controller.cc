@@ -3,9 +3,28 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace aapm
 {
+
+const char *
+dvfsOutcomeName(DvfsOutcome outcome)
+{
+    switch (outcome) {
+      case DvfsOutcome::Applied:
+        return "applied";
+      case DvfsOutcome::Unchanged:
+        return "unchanged";
+      case DvfsOutcome::Deferred:
+        return "deferred";
+      case DvfsOutcome::Rejected:
+        return "rejected";
+      case DvfsOutcome::Stuck:
+        return "stuck";
+    }
+    return "?";
+}
 
 DvfsController::DvfsController(PStateTable table, size_t initial,
                                DvfsConfig config)
@@ -20,24 +39,62 @@ DvfsController::DvfsController(PStateTable table, size_t initial,
 }
 
 Tick
-DvfsController::requestPState(size_t target)
+DvfsController::switchTo(size_t target)
 {
-    if (target >= table_.size())
-        aapm_fatal("p-state %zu out of range (%zu states)", target,
-                   table_.size());
-    if (target == current_)
-        return 0;
     const double dv_mv =
         std::abs(table_[target].voltage - table_[current_].voltage) *
         1000.0;
-    const double stall_us =
+    double stall_us =
         config_.transitionUs + config_.slewUsPer100mV * dv_mv / 100.0;
+    if (injector_)
+        stall_us *= injector_->stallMultiplier();
     const Tick stall =
         static_cast<Tick>(stall_us * static_cast<double>(TicksPerUs));
     current_ = target;
     ++stats_.transitions;
     stats_.stallTicks += stall;
     return stall;
+}
+
+DvfsActuation
+DvfsController::applyPState(size_t target)
+{
+    if (target >= table_.size())
+        aapm_fatal("p-state %zu out of range (%zu states)", target,
+                   table_.size());
+    if (target == current_)
+        return {DvfsOutcome::Unchanged, 0};
+
+    if (injector_) {
+        switch (injector_->filterPStateWrite()) {
+          case WriteFault::Reject:
+            ++stats_.rejected;
+            return {DvfsOutcome::Rejected, 0};
+          case WriteFault::Stuck:
+            ++stats_.stuckDenied;
+            return {DvfsOutcome::Stuck, 0};
+          case WriteFault::Defer:
+            ++stats_.deferred;
+            // A newer deferred write supersedes an older one.
+            deferredPending_ = true;
+            deferredTarget_ = target;
+            return {DvfsOutcome::Deferred, 0};
+          case WriteFault::None:
+            break;
+        }
+    }
+    return {DvfsOutcome::Applied, switchTo(target)};
+}
+
+Tick
+DvfsController::commitDeferred()
+{
+    if (!deferredPending_)
+        return 0;
+    deferredPending_ = false;
+    if (deferredTarget_ == current_)
+        return 0;
+    return switchTo(deferredTarget_);
 }
 
 } // namespace aapm

@@ -7,6 +7,13 @@
  * A p-state change is not free: the core halts for a transition window
  * (PLL relock + VRM slew). The controller exposes the pending stall so
  * the platform can account it as dead time at the *new* voltage.
+ *
+ * Real SpeedStep writes do not always take: transitions can be
+ * rejected, deferred or the actuator can wedge at a p-state for a
+ * while. The controller therefore reports every actuation's outcome
+ * (DvfsActuation) instead of assuming silent success, and an optional
+ * FaultInjector decides which writes misbehave; without one, every
+ * write is applied exactly as before.
  */
 
 #ifndef AAPM_DVFS_DVFS_CONTROLLER_HH
@@ -21,6 +28,8 @@
 namespace aapm
 {
 
+class FaultInjector;
+
 /** Transition-cost parameters. */
 struct DvfsConfig
 {
@@ -30,6 +39,27 @@ struct DvfsConfig
     double slewUsPer100mV = 5.0;
 };
 
+/** Outcome of one p-state write. */
+enum class DvfsOutcome : uint8_t
+{
+    Applied,     ///< the transition happened this interval
+    Unchanged,   ///< target == current; nothing to do
+    Deferred,    ///< accepted, but lands at the next interval boundary
+    Rejected,    ///< dropped; the p-state did not change
+    Stuck        ///< denied inside a stuck-at-p-state window
+};
+
+/** Human-readable outcome name. */
+const char *dvfsOutcomeName(DvfsOutcome outcome);
+
+/** What one p-state write did. */
+struct DvfsActuation
+{
+    DvfsOutcome outcome = DvfsOutcome::Unchanged;
+    /** Core-halt ticks charged by this write (0 unless Applied). */
+    Tick stallTicks = 0;
+};
+
 /** Controller statistics. */
 struct DvfsStats
 {
@@ -37,6 +67,10 @@ struct DvfsStats
     Tick stallTicks = 0;
     /** Residency (ticks) per p-state index. */
     std::vector<Tick> residency;
+    /** Writes that did not take effect immediately. */
+    uint64_t rejected = 0;
+    uint64_t deferred = 0;
+    uint64_t stuckDenied = 0;
 };
 
 /**
@@ -64,11 +98,42 @@ class DvfsController
     const PState &current() const { return table_[current_]; }
 
     /**
-     * Request a p-state change. No-op when target == current.
+     * Route p-state writes through a fault injector (not owned; must
+     * outlive the controller). nullptr restores fault-free actuation.
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /**
+     * Write a p-state and report what actually happened. Unchanged
+     * when target == current; with no fault injector every other write
+     * is Applied.
      * @param target Index of the requested p-state.
+     */
+    DvfsActuation applyPState(size_t target);
+
+    /**
+     * Legacy write interface: apply and return only the stall.
      * @return Core-halt duration in ticks caused by this change.
      */
-    Tick requestPState(size_t target);
+    Tick
+    requestPState(size_t target)
+    {
+        return applyPState(target).stallTicks;
+    }
+
+    /**
+     * Land a previously Deferred write. The platform calls this at the
+     * next interval boundary; no-op (returns 0) when nothing is
+     * pending.
+     * @return Core-halt ticks of the deferred transition.
+     */
+    Tick commitDeferred();
+
+    /** A Deferred write is waiting for the next interval boundary. */
+    bool deferredPending() const { return deferredPending_; }
 
     /** Record that `ticks` of wall-clock time passed at current state. */
     void
@@ -81,10 +146,16 @@ class DvfsController
     const DvfsStats &stats() const { return stats_; }
 
   private:
+    /** Unconditionally switch to `target`, charging the stall. */
+    Tick switchTo(size_t target);
+
     PStateTable table_;
     size_t current_;
     DvfsConfig config_;
     DvfsStats stats_;
+    FaultInjector *injector_ = nullptr;
+    bool deferredPending_ = false;
+    size_t deferredTarget_ = 0;
 };
 
 } // namespace aapm

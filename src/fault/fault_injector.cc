@@ -1,0 +1,136 @@
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+FaultInjector::FaultInjector(const FaultPlan &plan, uint64_t seed_override)
+    : plan_(plan), rng_(seed_override != 0 ? seed_override : plan.seed)
+{
+    if (plan_.pmuSpikeFactor < 1.0)
+        aapm_fatal("PMU spike factor must be >= 1");
+    if (plan_.dvfsLatencyFactor < 1.0)
+        aapm_fatal("DVFS latency factor must be >= 1");
+    if (plan_.pmuWrapBits < 8 || plan_.pmuWrapBits > 63)
+        aapm_fatal("implausible wraparound width %u bits",
+                   plan_.pmuWrapBits);
+    std::sort(plan_.scheduled.begin(), plan_.scheduled.end(),
+              [](const auto &a, const auto &b) { return a.when < b.when; });
+}
+
+void
+FaultInjector::beginInterval(Tick interval_start)
+{
+    // Age the active windows.
+    for (auto &left : dropLeft_) {
+        if (left > 0)
+            --left;
+    }
+    if (stuckLeft_ > 0)
+        --stuckLeft_;
+
+    // Fire scheduled one-shots that have come due.
+    while (nextScheduled_ < plan_.scheduled.size() &&
+           plan_.scheduled[nextScheduled_].when <= interval_start) {
+        const ScheduledFault &f = plan_.scheduled[nextScheduled_++];
+        switch (f.kind) {
+          case ScheduledFault::Kind::PmuDropout:
+            for (auto &left : dropLeft_)
+                left = std::max(left, f.intervals);
+            ++tel_.pmuDropouts;
+            break;
+          case ScheduledFault::Kind::DvfsStuck:
+            stuckLeft_ = std::max(stuckLeft_, f.intervals);
+            break;
+          case ScheduledFault::Kind::SensorDrop:
+            sensorDropLeft_ += f.intervals;
+            break;
+        }
+    }
+}
+
+uint64_t
+FaultInjector::filterCounterDelta(size_t slot, uint64_t delta)
+{
+    aapm_assert(slot < NumSlots, "slot %zu out of range", slot);
+    // A dropout window may start this interval...
+    if (dropLeft_[slot] == 0 && plan_.pmuDropoutProb > 0.0 &&
+        rng_.chance(plan_.pmuDropoutProb)) {
+        dropLeft_[slot] = plan_.pmuDropoutIntervals;
+        ++tel_.pmuDropouts;
+    }
+    // ...and an active window wins over every other corruption: the
+    // multiplexer simply never scheduled the event.
+    if (dropLeft_[slot] > 0) {
+        ++tel_.pmuZeroedReads;
+        return 0;
+    }
+    if (plan_.pmuWrapProb > 0.0 && rng_.chance(plan_.pmuWrapProb)) {
+        ++tel_.pmuWraps;
+        // The driver latched only the low bits of the counter.
+        return delta & ((1ull << plan_.pmuWrapBits) - 1);
+    }
+    if (plan_.pmuSpikeProb > 0.0 && rng_.chance(plan_.pmuSpikeProb)) {
+        ++tel_.pmuSpikes;
+        return static_cast<uint64_t>(
+            static_cast<double>(delta) * plan_.pmuSpikeFactor);
+    }
+    return delta;
+}
+
+WriteFault
+FaultInjector::filterPStateWrite()
+{
+    if (stuckLeft_ > 0) {
+        ++tel_.dvfsStuckDenied;
+        return WriteFault::Stuck;
+    }
+    if (plan_.dvfsStuckProb > 0.0 && rng_.chance(plan_.dvfsStuckProb)) {
+        // The write that trips the stuck window is itself denied.
+        stuckLeft_ = plan_.dvfsStuckIntervals;
+        ++tel_.dvfsStuckDenied;
+        return WriteFault::Stuck;
+    }
+    if (plan_.dvfsRejectProb > 0.0 && rng_.chance(plan_.dvfsRejectProb)) {
+        ++tel_.dvfsRejected;
+        return WriteFault::Reject;
+    }
+    if (plan_.dvfsDeferProb > 0.0 && rng_.chance(plan_.dvfsDeferProb)) {
+        ++tel_.dvfsDeferred;
+        return WriteFault::Defer;
+    }
+    return WriteFault::None;
+}
+
+double
+FaultInjector::stallMultiplier()
+{
+    if (plan_.dvfsLatencyProb > 0.0 &&
+        rng_.chance(plan_.dvfsLatencyProb)) {
+        ++tel_.dvfsLatencySpikes;
+        return plan_.dvfsLatencyFactor;
+    }
+    return 1.0;
+}
+
+double
+FaultInjector::filterSensorSample(double measured)
+{
+    if (sensorDropLeft_ > 0) {
+        --sensorDropLeft_;
+        ++tel_.sensorDrops;
+        return NAN;
+    }
+    if (plan_.sensorDropProb > 0.0 &&
+        rng_.chance(plan_.sensorDropProb)) {
+        ++tel_.sensorDrops;
+        return NAN;
+    }
+    return measured;
+}
+
+} // namespace aapm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * FaultInjector: executes a FaultPlan against one run.
+ *
+ * The injector sits between the platform's hardware models and the
+ * monitor layer and corrupts exactly what real fault modes corrupt —
+ * the *observed* counter deltas, the *acknowledged* p-state writes and
+ * the *reported* sensor samples — never the ground-truth simulation
+ * state, so energy and instruction accounting stay exact and only the
+ * control loop's view of the world degrades.
+ *
+ * Determinism: all stochastic faults draw from one RNG seeded from the
+ * plan, and every draw is gated on its layer's probability being
+ * non-zero, so plans compose predictably and a given (plan, seed,
+ * workload, governor) tuple replays the identical fault sequence. The
+ * platform only constructs an injector when the plan is active; the
+ * no-plan path has no injector and is bit-identical to pre-fault
+ * builds.
+ */
+
+#ifndef AAPM_FAULT_FAULT_INJECTOR_HH
+#define AAPM_FAULT_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/random.hh"
+#include "fault/fault_plan.hh"
+#include "fault/telemetry.hh"
+#include "sim/ticks.hh"
+
+namespace aapm
+{
+
+/** What the actuator fault layer decided about one p-state write. */
+enum class WriteFault : uint8_t
+{
+    None,     ///< the write proceeds normally
+    Reject,   ///< the write is dropped; the p-state does not change
+    Defer,    ///< the write lands at the start of the next interval
+    Stuck     ///< the actuator is inside a stuck window; write denied
+};
+
+/** Per-run fault execution engine. */
+class FaultInjector
+{
+  public:
+    /** Number of PMU slots tracked (mirrors Pmu::NumSlots). */
+    static constexpr size_t NumSlots = 2;
+
+    /**
+     * @param plan The fault plan to execute.
+     * @param seed_override Non-zero replaces the plan's seed (the
+     *        CLI's --fault-seed and the sweep engine's per-run seeds).
+     */
+    explicit FaultInjector(const FaultPlan &plan,
+                           uint64_t seed_override = 0);
+
+    /**
+     * Advance fault state to the interval starting at `interval_start`:
+     * fire due scheduled faults and age active windows. Call once per
+     * monitor interval, before any filter.
+     */
+    void beginInterval(Tick interval_start);
+
+    /**
+     * PMU layer: corrupt the delta the monitor derived from one slot.
+     * Applies (in priority order) dropout zeroing, wraparound
+     * truncation and spurious spikes.
+     */
+    uint64_t filterCounterDelta(size_t slot, uint64_t delta);
+
+    /** DVFS layer: fate of a p-state write. */
+    WriteFault filterPStateWrite();
+
+    /**
+     * DVFS layer: stall multiplier for an accepted write (1.0 or the
+     * plan's latency-spike factor).
+     */
+    double stallMultiplier();
+
+    /**
+     * Sensor layer: pass a measured sample through the dropout model;
+     * a dropped sample reads NaN.
+     */
+    double filterSensorSample(double measured);
+
+    /** Injected-fault counters accumulated so far. */
+    const RecoveryTelemetry &telemetry() const { return tel_; }
+
+  private:
+    FaultPlan plan_;
+    Rng rng_;
+    RecoveryTelemetry tel_;
+    /** Remaining dropout intervals per PMU slot. */
+    std::array<uint64_t, NumSlots> dropLeft_{};
+    /** Remaining stuck-at-p-state intervals. */
+    uint64_t stuckLeft_ = 0;
+    /** Remaining scheduled sensor-dropout samples. */
+    uint64_t sensorDropLeft_ = 0;
+    /** Next scheduled fault to fire. */
+    size_t nextScheduled_ = 0;
+};
+
+} // namespace aapm
+
+#endif // AAPM_FAULT_FAULT_INJECTOR_HH

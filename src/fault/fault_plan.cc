@@ -1,0 +1,161 @@
+#include "fault/fault_plan.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+double
+parseProb(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const double p = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0')
+        aapm_fatal("fault plan: %s expects a number, got '%s'",
+                   key.c_str(), value.c_str());
+    if (p < 0.0 || p > 1.0)
+        aapm_fatal("fault plan: %s=%f outside [0, 1]", key.c_str(), p);
+    return p;
+}
+
+double
+parseNum(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const double x = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0' || x < 0.0)
+        aapm_fatal("fault plan: %s expects a non-negative number, "
+                   "got '%s'", key.c_str(), value.c_str());
+    return x;
+}
+
+ScheduledFault::Kind
+parseKind(const std::string &name)
+{
+    if (name == "pmu-dropout")
+        return ScheduledFault::Kind::PmuDropout;
+    if (name == "dvfs-stuck")
+        return ScheduledFault::Kind::DvfsStuck;
+    if (name == "sensor-drop")
+        return ScheduledFault::Kind::SensorDrop;
+    aapm_fatal("fault plan: unknown scheduled fault kind '%s'",
+               name.c_str());
+}
+
+/** "at=SEC:KIND:INTERVALS" → a ScheduledFault. */
+ScheduledFault
+parseScheduled(const std::string &value)
+{
+    const size_t c1 = value.find(':');
+    const size_t c2 =
+        c1 == std::string::npos ? std::string::npos
+                                : value.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos)
+        aapm_fatal("fault plan: at=%s must be SEC:KIND:INTERVALS",
+                   value.c_str());
+    ScheduledFault f;
+    f.when = secondsToTicks(parseNum("at", value.substr(0, c1)));
+    f.kind = parseKind(value.substr(c1 + 1, c2 - c1 - 1));
+    f.intervals = static_cast<uint64_t>(
+        parseNum("at", value.substr(c2 + 1)));
+    if (f.intervals < 1)
+        aapm_fatal("fault plan: scheduled fault needs >= 1 interval");
+    return f;
+}
+
+} // namespace
+
+bool
+FaultPlan::active() const
+{
+    return pmuDropoutProb > 0.0 || pmuSpikeProb > 0.0 ||
+           pmuWrapProb > 0.0 || dvfsRejectProb > 0.0 ||
+           dvfsDeferProb > 0.0 || dvfsStuckProb > 0.0 ||
+           dvfsLatencyProb > 0.0 || sensorDropProb > 0.0 ||
+           !scheduled.empty();
+}
+
+FaultPlan
+FaultPlan::mixed(double p)
+{
+    if (p < 0.0 || p > 1.0)
+        aapm_fatal("mixed fault intensity %f outside [0, 1]", p);
+    FaultPlan plan;
+    plan.pmuDropoutProb = p;
+    plan.pmuSpikeProb = p / 2.0;
+    plan.pmuWrapProb = p / 4.0;
+    plan.dvfsRejectProb = p;
+    plan.dvfsDeferProb = p / 2.0;
+    plan.dvfsStuckProb = p / 4.0;
+    plan.dvfsLatencyProb = p / 2.0;
+    plan.sensorDropProb = p;
+    return plan;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    if (spec == "none" || spec == "off")
+        return FaultPlan();
+    if (spec.rfind("mixed:", 0) == 0)
+        return mixed(parseProb("mixed", spec.substr(6)));
+
+    FaultPlan plan;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+        const size_t eq = entry.find('=');
+        if (eq == std::string::npos)
+            aapm_fatal("fault plan: entry '%s' is not key=value",
+                       entry.c_str());
+        const std::string key = entry.substr(0, eq);
+        const std::string value = entry.substr(eq + 1);
+
+        if (key == "pmu-dropout")
+            plan.pmuDropoutProb = parseProb(key, value);
+        else if (key == "pmu-dropout-intervals")
+            plan.pmuDropoutIntervals =
+                static_cast<uint64_t>(parseNum(key, value));
+        else if (key == "pmu-spike")
+            plan.pmuSpikeProb = parseProb(key, value);
+        else if (key == "pmu-spike-factor")
+            plan.pmuSpikeFactor = parseNum(key, value);
+        else if (key == "pmu-wrap")
+            plan.pmuWrapProb = parseProb(key, value);
+        else if (key == "dvfs-reject")
+            plan.dvfsRejectProb = parseProb(key, value);
+        else if (key == "dvfs-defer")
+            plan.dvfsDeferProb = parseProb(key, value);
+        else if (key == "dvfs-stuck")
+            plan.dvfsStuckProb = parseProb(key, value);
+        else if (key == "dvfs-stuck-intervals")
+            plan.dvfsStuckIntervals =
+                static_cast<uint64_t>(parseNum(key, value));
+        else if (key == "dvfs-latency")
+            plan.dvfsLatencyProb = parseProb(key, value);
+        else if (key == "dvfs-latency-factor")
+            plan.dvfsLatencyFactor = parseNum(key, value);
+        else if (key == "sensor-drop")
+            plan.sensorDropProb = parseProb(key, value);
+        else if (key == "seed")
+            plan.seed = static_cast<uint64_t>(parseNum(key, value));
+        else if (key == "at")
+            plan.scheduled.push_back(parseScheduled(value));
+        else
+            aapm_fatal("fault plan: unknown key '%s'", key.c_str());
+    }
+    return plan;
+}
+
+} // namespace aapm

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * FaultPlan: a declarative description of the hardware misbehavior a
+ * run should be subjected to, across the three layers the governors
+ * observe or drive.
+ *
+ *   PMU     counter multiplexing dropouts (an event reads zero for N
+ *           intervals), spurious spikes, and wraparound (the high bits
+ *           of a delta are lost, as when a driver reads a 40-bit
+ *           counter through a narrower register).
+ *   DVFS    rejected setPState writes, deferred writes (applied one
+ *           interval late), stuck-at-p-state windows, and transition-
+ *           latency spikes.
+ *   Sensor  dropped samples (the DAQ reports NaN), extending the glitch
+ *           and stuck-buffer model already in SensorConfig.
+ *
+ * All stochastic faults draw from one seeded RNG, so a (plan, seed)
+ * pair reproduces the exact fault sequence; scheduled one-shot faults
+ * fire deterministically at a given simulated time. A
+ * default-constructed plan is inactive: Platform::run instantiates no
+ * injector for it and the simulation is bit-identical to a build
+ * without the subsystem.
+ */
+
+#ifndef AAPM_FAULT_FAULT_PLAN_HH
+#define AAPM_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace aapm
+{
+
+/** A one-shot fault fired at a fixed simulated time. */
+struct ScheduledFault
+{
+    enum class Kind
+    {
+        PmuDropout,   ///< zero every configured slot for `intervals`
+        DvfsStuck,    ///< deny p-state writes for `intervals`
+        SensorDrop    ///< drop the next `intervals` sensor samples
+    };
+
+    /** Fires at the first interval starting at or after this tick. */
+    Tick when = 0;
+    Kind kind = Kind::PmuDropout;
+    /** Duration of the induced window, in monitor intervals. */
+    uint64_t intervals = 1;
+};
+
+/** The full fault-injection configuration for one run. */
+struct FaultPlan
+{
+    // --- PMU layer (per configured slot, per interval). ---
+    /** Probability a slot enters a multiplexing dropout window. */
+    double pmuDropoutProb = 0.0;
+    /** Length of a dropout window, intervals. */
+    uint64_t pmuDropoutIntervals = 15;
+    /** Probability a slot delta is spiked (multiplied). */
+    double pmuSpikeProb = 0.0;
+    /** Multiplier applied by a spike. */
+    double pmuSpikeFactor = 8.0;
+    /** Probability a slot delta wraps (high bits lost). */
+    double pmuWrapProb = 0.0;
+    /** Bits preserved by a wraparound read. */
+    uint32_t pmuWrapBits = 24;
+
+    // --- DVFS actuator layer (per setPState write). ---
+    /** Probability a write is rejected outright. */
+    double dvfsRejectProb = 0.0;
+    /** Probability a write is deferred one interval. */
+    double dvfsDeferProb = 0.0;
+    /** Probability a write starts a stuck-at-p-state window. */
+    double dvfsStuckProb = 0.0;
+    /** Length of a stuck window, intervals. */
+    uint64_t dvfsStuckIntervals = 25;
+    /** Probability an accepted write's stall is inflated. */
+    double dvfsLatencyProb = 0.0;
+    /** Stall multiplier for a latency spike. */
+    double dvfsLatencyFactor = 10.0;
+
+    // --- Sensor layer (per sample). ---
+    /** Probability a sample is dropped (reported NaN). */
+    double sensorDropProb = 0.0;
+
+    /** Deterministic one-shot faults (sorted by the injector). */
+    std::vector<ScheduledFault> scheduled;
+
+    /** Seed of the injector's RNG stream. */
+    uint64_t seed = 20061;
+
+    /** True when any fault can ever fire; false = no injector. */
+    bool active() const;
+
+    /**
+     * Mixed-fault preset: every layer faulting at intensity `p` (the
+     * headline fault-rate knob of the resilience experiments).
+     */
+    static FaultPlan mixed(double p);
+
+    /**
+     * Parse a plan spec: "none"/"off" (inactive), "mixed:P", or a
+     * comma-separated list of
+     * key=value entries — pmu-dropout, pmu-dropout-intervals,
+     * pmu-spike, pmu-spike-factor, pmu-wrap, dvfs-reject, dvfs-defer,
+     * dvfs-stuck, dvfs-stuck-intervals, dvfs-latency,
+     * dvfs-latency-factor, sensor-drop, seed, and scheduled one-shots
+     * "at=SEC:KIND:INTERVALS" with KIND in {pmu-dropout, dvfs-stuck,
+     * sensor-drop}. Example:
+     *   "pmu-dropout=0.05,dvfs-reject=0.1,at=0.5:dvfs-stuck:40"
+     * Fatal on unknown keys or out-of-range values.
+     */
+    static FaultPlan parse(const std::string &spec);
+};
+
+} // namespace aapm
+
+#endif // AAPM_FAULT_FAULT_PLAN_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Recovery telemetry: one record per run counting both sides of the
+ * resilience story — what the fault injector did to the platform
+ * (injected side) and what the supervisor did about it (recovery
+ * side). The record rides in RunResult so every harness, the sweep
+ * engine and the CLI can report it without extra plumbing.
+ */
+
+#ifndef AAPM_FAULT_TELEMETRY_HH
+#define AAPM_FAULT_TELEMETRY_HH
+
+#include <cstdint>
+
+namespace aapm
+{
+
+/** Per-run fault and recovery counters. */
+struct RecoveryTelemetry
+{
+    // --- Injected faults (written by FaultInjector). ---
+    /** PMU multiplexing dropout windows started. */
+    uint64_t pmuDropouts = 0;
+    /** Slot reads zeroed while inside a dropout window. */
+    uint64_t pmuZeroedReads = 0;
+    /** Spurious counter spikes (delta multiplied). */
+    uint64_t pmuSpikes = 0;
+    /** Counter wraparound events (high bits of the delta lost). */
+    uint64_t pmuWraps = 0;
+    /** setPState writes rejected outright. */
+    uint64_t dvfsRejected = 0;
+    /** setPState writes deferred to the next interval. */
+    uint64_t dvfsDeferred = 0;
+    /** Writes denied while the actuator was stuck at a p-state. */
+    uint64_t dvfsStuckDenied = 0;
+    /** Transition-latency spikes applied to accepted writes. */
+    uint64_t dvfsLatencySpikes = 0;
+    /** Sensor samples dropped (reported as NaN). */
+    uint64_t sensorDrops = 0;
+
+    // --- Recovery actions (written by GovernorSupervisor). ---
+    /** Monitor fields replaced by the last plausible value. */
+    uint64_t substitutions = 0;
+    /** Substitutions refused because the last-good value went stale. */
+    uint64_t staleLimitHits = 0;
+    /** Re-issued p-state commands after a failed actuation. */
+    uint64_t dvfsRetries = 0;
+    /** Watchdog breaches: entries into safe-p-state fallback. */
+    uint64_t fallbackEntries = 0;
+    /** Intervals spent in fallback (degraded) mode. */
+    uint64_t degradedIntervals = 0;
+    /** Inputs clamped by the sensing chain (NaN/negative truth). */
+    uint64_t sensorClamped = 0;
+
+    /** Total injected faults across all three layers. */
+    uint64_t
+    faultsSeen() const
+    {
+        return pmuDropouts + pmuSpikes + pmuWraps + dvfsRejected +
+               dvfsDeferred + dvfsStuckDenied + dvfsLatencySpikes +
+               sensorDrops;
+    }
+
+    /** Total recovery actions the supervisor took. */
+    uint64_t
+    recoveryActions() const
+    {
+        return substitutions + dvfsRetries + fallbackEntries;
+    }
+
+    /** Accumulate (suite-level aggregation). */
+    RecoveryTelemetry &
+    operator+=(const RecoveryTelemetry &o)
+    {
+        pmuDropouts += o.pmuDropouts;
+        pmuZeroedReads += o.pmuZeroedReads;
+        pmuSpikes += o.pmuSpikes;
+        pmuWraps += o.pmuWraps;
+        dvfsRejected += o.dvfsRejected;
+        dvfsDeferred += o.dvfsDeferred;
+        dvfsStuckDenied += o.dvfsStuckDenied;
+        dvfsLatencySpikes += o.dvfsLatencySpikes;
+        sensorDrops += o.sensorDrops;
+        substitutions += o.substitutions;
+        staleLimitHits += o.staleLimitHits;
+        dvfsRetries += o.dvfsRetries;
+        fallbackEntries += o.fallbackEntries;
+        degradedIntervals += o.degradedIntervals;
+        sensorClamped += o.sensorClamped;
+        return *this;
+    }
+};
+
+} // namespace aapm
+
+#endif // AAPM_FAULT_TELEMETRY_HH

@@ -18,6 +18,8 @@
 #include <limits>
 #include <string>
 
+#include "dvfs/dvfs_controller.hh"
+#include "fault/telemetry.hh"
 #include "pmu/pmu.hh"
 
 namespace aapm
@@ -39,6 +41,13 @@ struct MonitorSample
     double tempC = NAN;           ///< thermal-diode reading, °C
     size_t pstate = 0;            ///< state during the interval
     double utilization = 1.0;     ///< OS-visible busy fraction
+    /**
+     * What the previous interval's p-state write did. Unchanged when
+     * no transition was requested; a supervisor uses Rejected/Stuck/
+     * Deferred outcomes to distinguish an actuator fault from a
+     * deliberate hold.
+     */
+    DvfsOutcome lastActuation = DvfsOutcome::Unchanged;
 
     /** True when the named field was measured. */
     static bool available(double field) { return !std::isnan(field); }
@@ -72,6 +81,17 @@ class Governor
 
     /** Deliver a new performance floor (fraction); default ignores it. */
     virtual void setPerformanceFloor(double floor) { (void)floor; }
+
+    /**
+     * Merge this governor's recovery counters into `out`. The platform
+     * calls this at the end of every run so supervisor telemetry lands
+     * in RunResult without the caller holding a supervisor reference;
+     * plain governors have nothing to report.
+     */
+    virtual void exportTelemetry(RecoveryTelemetry &out) const
+    {
+        (void)out;
+    }
 };
 
 } // namespace aapm

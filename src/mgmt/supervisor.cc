@@ -1,0 +1,209 @@
+#include "mgmt/supervisor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+/** Sentinel: no p-state command outstanding. */
+constexpr size_t NoCommand = static_cast<size_t>(-1);
+
+} // namespace
+
+GovernorSupervisor::GovernorSupervisor(std::unique_ptr<Governor> inner,
+                                       SupervisorConfig config,
+                                       const PowerEstimator *model)
+    : owned_(std::move(inner)), inner_(owned_.get()), config_(config),
+      model_(model), residuals_(config.watchdogWindow),
+      lastCommand_(NoCommand)
+{
+    aapm_assert(inner_ != nullptr, "supervisor needs a governor");
+    if (config_.staleBudget < 1)
+        aapm_fatal("staleness budget must be >= 1");
+    if (config_.fallbackHold < 1)
+        aapm_fatal("fallback hold must be >= 1");
+    name_ = std::string(inner_->name()) + "+sup";
+}
+
+GovernorSupervisor::GovernorSupervisor(Governor &inner,
+                                       SupervisorConfig config,
+                                       const PowerEstimator *model)
+    : owned_(nullptr), inner_(&inner), config_(config), model_(model),
+      residuals_(config.watchdogWindow), lastCommand_(NoCommand)
+{
+    if (config_.staleBudget < 1)
+        aapm_fatal("staleness budget must be >= 1");
+    if (config_.fallbackHold < 1)
+        aapm_fatal("fallback hold must be >= 1");
+    name_ = std::string(inner_->name()) + "+sup";
+}
+
+void
+GovernorSupervisor::configureCounters(Pmu &pmu)
+{
+    inner_->configureCounters(pmu);
+}
+
+void
+GovernorSupervisor::reset()
+{
+    inner_->reset();
+    tel_ = RecoveryTelemetry();
+    ipcGuard_ = FieldGuard();
+    dpcGuard_ = FieldGuard();
+    dcuGuard_ = FieldGuard();
+    powerGuard_ = FieldGuard();
+    residuals_.clear();
+    fallbackLeft_ = 0;
+    lastCommand_ = NoCommand;
+    retriesLeft_ = 0;
+}
+
+void
+GovernorSupervisor::setPowerLimit(double watts)
+{
+    inner_->setPowerLimit(watts);
+}
+
+void
+GovernorSupervisor::setPerformanceFloor(double floor)
+{
+    inner_->setPerformanceFloor(floor);
+}
+
+void
+GovernorSupervisor::exportTelemetry(RecoveryTelemetry &out) const
+{
+    out += tel_;
+}
+
+double
+GovernorSupervisor::sanitizeField(double value, FieldGuard &guard,
+                                  bool is_rate, double utilization)
+{
+    const double ceiling = is_rate ? config_.maxRate : config_.maxPowerW;
+    bool implausible = false;
+    if (std::isnan(value)) {
+        // A NaN where the field was never measured is the governor's
+        // declared counter budget, not a fault.
+        implausible = !std::isnan(guard.lastGood);
+    } else if (value < 0.0 || value > ceiling) {
+        implausible = true;
+    } else if (is_rate && value == 0.0 &&
+               utilization > config_.busyZeroUtil &&
+               !std::isnan(guard.lastGood) && guard.lastGood > 0.0) {
+        // A hard zero while the core was busy is a multiplexing
+        // dropout: real workloads never decode/retire nothing for a
+        // whole interval at >50% utilization.
+        implausible = true;
+    }
+
+    if (!implausible) {
+        guard.lastGood = value;
+        guard.staleFor = 0;
+        return value;
+    }
+    if (!std::isnan(guard.lastGood) &&
+        guard.staleFor < config_.staleBudget) {
+        ++guard.staleFor;
+        ++tel_.substitutions;
+        return guard.lastGood;
+    }
+    // The last good value has gone stale. For a counter rate that means
+    // estimation is blind — flag it so decide() escalates to fallback
+    // instead of letting the wrapped policy act on a known-bad value.
+    ++tel_.staleLimitHits;
+    if (is_rate)
+        blindCounters_ = true;
+    return value;
+}
+
+size_t
+GovernorSupervisor::decide(const MonitorSample &sample, size_t current)
+{
+    MonitorSample s = sample;
+    blindCounters_ = false;
+    s.ipc = sanitizeField(sample.ipc, ipcGuard_, true,
+                          sample.utilization);
+    s.dpc = sanitizeField(sample.dpc, dpcGuard_, true,
+                          sample.utilization);
+    s.dcuPerCycle = sanitizeField(sample.dcuPerCycle, dcuGuard_, true,
+                                  sample.utilization);
+    s.measuredPowerW = sanitizeField(sample.measuredPowerW, powerGuard_,
+                                     false, sample.utilization);
+
+    // --- Fallback hold: ride out the breach at the safe state. ---
+    if (fallbackLeft_ > 0) {
+        --fallbackLeft_;
+        ++tel_.degradedIntervals;
+        lastCommand_ = config_.safePState;
+        retriesLeft_ = config_.dvfsRetryLimit;
+        return config_.safePState;
+    }
+
+    // --- Blind counters: the staleness budget ran out and the raw
+    // reading is still implausible. Nothing downstream can estimate
+    // from this sample; hold the safe state until counters return. ---
+    if (blindCounters_) {
+        ++tel_.fallbackEntries;
+        ++tel_.degradedIntervals;
+        fallbackLeft_ = config_.fallbackHold - 1;
+        residuals_.clear();
+        inner_->reset();
+        lastCommand_ = config_.safePState;
+        retriesLeft_ = config_.dvfsRetryLimit;
+        return config_.safePState;
+    }
+
+    // --- Model-divergence watchdog. ---
+    if (model_ && MonitorSample::available(s.dpc) &&
+        MonitorSample::available(s.measuredPowerW)) {
+        const double predicted = model_->estimate(s.pstate, s.dpc);
+        residuals_.push(std::abs(s.measuredPowerW - predicted));
+        if (residuals_.full() &&
+            residuals_.mean() > config_.watchdogResidualW) {
+            // Divergence: drop to the always-feasible safe state and
+            // re-enter estimation from scratch once the hold expires.
+            ++tel_.fallbackEntries;
+            ++tel_.degradedIntervals;
+            fallbackLeft_ = config_.fallbackHold - 1;
+            residuals_.clear();
+            inner_->reset();
+            lastCommand_ = config_.safePState;
+            retriesLeft_ = config_.dvfsRetryLimit;
+            return config_.safePState;
+        }
+    }
+
+    // --- Bounded retry of a write the actuator did not honor. ---
+    const bool write_failed =
+        lastCommand_ != NoCommand && current != lastCommand_ &&
+        (sample.lastActuation == DvfsOutcome::Rejected ||
+         sample.lastActuation == DvfsOutcome::Stuck);
+    if (write_failed) {
+        if (retriesLeft_ > 0) {
+            --retriesLeft_;
+            ++tel_.dvfsRetries;
+            return lastCommand_;
+        }
+        // Retries exhausted: accept the actuator's state and let the
+        // wrapped policy re-decide from reality.
+        lastCommand_ = NoCommand;
+    }
+
+    const size_t next = inner_->decide(s, current);
+    if (next != current) {
+        lastCommand_ = next;
+        retriesLeft_ = config_.dvfsRetryLimit;
+    } else {
+        lastCommand_ = NoCommand;
+    }
+    return next;
+}
+
+} // namespace aapm

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * GovernorSupervisor: a resilience wrapper around any governor.
+ *
+ * The paper's Monitor → Estimate → Control loop assumes clean counters,
+ * a trustworthy power sensor and an actuator that honors every write.
+ * The supervisor restores those assumptions *approximately* when they
+ * break, in three layers:
+ *
+ *   Sanitize   every monitor field passes a plausibility window
+ *              (non-negative, below a physical ceiling, and not a hard
+ *              zero while the core was demonstrably busy); implausible
+ *              or missing values are replaced by the last good reading
+ *              until a staleness budget runs out; a counter field that
+ *              exhausts the budget while still implausible means
+ *              estimation is blind, and the supervisor escalates
+ *              straight to the fallback state rather than let the
+ *              wrapped policy act on a value known to be wrong.
+ *   Retry      when the previous interval's p-state write did not take
+ *              (Rejected/Stuck/Deferred outcome, or the observed state
+ *              differs from the commanded one), the command is
+ *              re-issued for a bounded number of intervals before the
+ *              supervisor accepts reality.
+ *   Watchdog   a rolling mean of |measured − predicted| power (the
+ *              model residual at the current p-state) detects model
+ *              divergence — drifted coefficients or undetected counter
+ *              corruption — and falls back to a safe p-state for a
+ *              hold window, then re-enters estimation with cleared
+ *              windows.
+ *
+ * State machine: Normal → (watchdog breach) → Fallback(hold) → Normal.
+ * All interventions are counted in RecoveryTelemetry, exported through
+ * Governor::exportTelemetry into RunResult::recovery.
+ */
+
+#ifndef AAPM_MGMT_SUPERVISOR_HH
+#define AAPM_MGMT_SUPERVISOR_HH
+
+#include <memory>
+#include <string>
+
+#include "common/moving_window.hh"
+#include "mgmt/governor.hh"
+#include "models/power_estimator.hh"
+
+namespace aapm
+{
+
+/** Supervisor tuning knobs. */
+struct SupervisorConfig
+{
+    /** Plausibility ceiling for per-cycle counter rates. */
+    double maxRate = 8.0;
+    /** Plausibility ceiling for measured power, Watts. */
+    double maxPowerW = 45.0;
+    /**
+     * A rate reading of exactly zero while utilization exceeds this
+     * threshold is treated as a counter dropout, not a measurement.
+     */
+    double busyZeroUtil = 0.5;
+    /** Max consecutive last-good substitutions per field. */
+    size_t staleBudget = 8;
+    /** Max consecutive re-issues of a failed p-state write. */
+    size_t dvfsRetryLimit = 3;
+    /** Residual window length, samples. */
+    size_t watchdogWindow = 10;
+    /** Mean |measured - predicted| power that trips the watchdog, W. */
+    double watchdogResidualW = 2.5;
+    /** Intervals to hold the safe p-state after a breach. */
+    size_t fallbackHold = 30;
+    /** The safe p-state (paper: the slowest, always feasible). */
+    size_t safePState = 0;
+};
+
+/**
+ * Governor decorator adding sample sanitization, bounded DVFS retry
+ * and a model-divergence watchdog. Constructible owning (factory use)
+ * or non-owning (stack governors in tests).
+ */
+class GovernorSupervisor : public Governor
+{
+  public:
+    /**
+     * Owning form.
+     * @param inner The wrapped governor.
+     * @param config Tuning knobs.
+     * @param model Optional power model for the watchdog; without one
+     *        the watchdog is disabled (sanitize + retry still run).
+     */
+    GovernorSupervisor(std::unique_ptr<Governor> inner,
+                       SupervisorConfig config = SupervisorConfig(),
+                       const PowerEstimator *model = nullptr);
+
+    /** Non-owning form: `inner` must outlive the supervisor. */
+    explicit GovernorSupervisor(Governor &inner,
+                                SupervisorConfig config =
+                                    SupervisorConfig(),
+                                const PowerEstimator *model = nullptr);
+
+    const char *name() const override { return name_.c_str(); }
+    void configureCounters(Pmu &pmu) override;
+    size_t decide(const MonitorSample &sample, size_t current) override;
+    void reset() override;
+    void setPowerLimit(double watts) override;
+    void setPerformanceFloor(double floor) override;
+    void exportTelemetry(RecoveryTelemetry &out) const override;
+
+    /** The wrapped governor. */
+    Governor &inner() { return *inner_; }
+
+    /** Recovery counters accumulated this run. */
+    const RecoveryTelemetry &telemetry() const { return tel_; }
+
+    /** True while holding the safe p-state after a watchdog breach. */
+    bool inFallback() const { return fallbackLeft_ > 0; }
+
+  private:
+    /** Last-good tracking for one monitored field. */
+    struct FieldGuard
+    {
+        double lastGood = NAN;
+        size_t staleFor = 0;
+    };
+
+    /**
+     * Plausibility-check one field; returns the sanitized value and
+     * updates the guard. `is_rate` selects the rate window (with the
+     * busy-zero dropout check) over the power window.
+     */
+    double sanitizeField(double value, FieldGuard &guard, bool is_rate,
+                         double utilization);
+
+    std::unique_ptr<Governor> owned_;
+    Governor *inner_;
+    SupervisorConfig config_;
+    const PowerEstimator *model_;
+    std::string name_;
+    RecoveryTelemetry tel_;
+
+    FieldGuard ipcGuard_, dpcGuard_, dcuGuard_, powerGuard_;
+    MovingWindow residuals_;
+    /** A counter field staled out this interval: estimation is blind. */
+    bool blindCounters_ = false;
+    size_t fallbackLeft_ = 0;
+    /** P-state commanded last interval; SIZE_MAX = none yet. */
+    size_t lastCommand_;
+    size_t retriesLeft_ = 0;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MGMT_SUPERVISOR_HH

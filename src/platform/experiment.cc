@@ -69,6 +69,15 @@ SuiteResult::totalTrueEnergyJ() const
     return e;
 }
 
+RecoveryTelemetry
+SuiteResult::totalRecovery() const
+{
+    RecoveryTelemetry t;
+    for (const auto &r : runs)
+        t += r.recovery;
+    return t;
+}
+
 const RunResult &
 SuiteResult::byName(const std::string &name) const
 {

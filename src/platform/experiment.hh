@@ -44,6 +44,8 @@ struct SuiteResult
     double totalSeconds() const;
     double totalMeasuredEnergyJ() const;
     double totalTrueEnergyJ() const;
+    /** Summed fault/recovery counters across the suite. */
+    RecoveryTelemetry totalRecovery() const;
 
     /** Run result for a benchmark by name; fatal if absent. */
     const RunResult &byName(const std::string &name) const;

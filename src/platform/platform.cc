@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.hh"
 #include "cpu/phase_timing.hh"
+#include "fault/fault_injector.hh"
 #include "mgmt/static_clock.hh"
 
 namespace aapm
@@ -64,6 +66,17 @@ Platform::run(const Workload &workload, Governor &governor,
     governor.reset();
     governor.configureCounters(pmu);
 
+    // Fault injection is strictly opt-in: with an inactive plan no
+    // injector exists, no extra RNG stream is created and every filter
+    // below is skipped, keeping the clean path bit-identical.
+    std::unique_ptr<FaultInjector> injector;
+    if (options.faultPlan.active()) {
+        injector = std::make_unique<FaultInjector>(options.faultPlan,
+                                                   options.faultSeed);
+        dvfs.setFaultInjector(injector.get());
+    }
+    DvfsOutcome last_actuation = DvfsOutcome::Unchanged;
+
     // Batched kernel: CPI, ticks-per-instruction and every per-
     // instruction event rate for each (phase, p-state) pair of this
     // workload, precomputed once so the per-interval work reduces to
@@ -100,6 +113,13 @@ Platform::run(const Workload &workload, Governor &governor,
     while (!stop) {
         now += config_.sampleInterval;
         const Tick interval_start = now - config_.sampleInterval;
+
+        if (injector) {
+            injector->beginInterval(interval_start);
+            // A write deferred last interval lands at this boundary;
+            // its halt window is charged like any other transition.
+            pending_stall += dvfs.commitDeferred();
+        }
 
         double interval_energy = 0.0;
         Tick idle_ticks = 0;
@@ -215,9 +235,11 @@ Platform::run(const Workload &workload, Governor &governor,
             // A governor may reprogram (and thereby zero) a slot
             // between samples; a count below the previous reading
             // means the counter restarted this interval.
-            const uint64_t delta =
+            uint64_t delta =
                 cur >= slot_last[s] ? cur - slot_last[s] : cur;
             slot_last[s] = cur;
+            if (injector)
+                delta = injector->filterCounterDelta(s, delta);
             const double rate = cyc > 0.0
                 ? static_cast<double>(delta) / cyc
                 : 0.0;
@@ -236,10 +258,17 @@ Platform::run(const Workload &workload, Governor &governor,
             }
         }
         const double true_avg = interval_energy / dt_s;
-        sample.measuredPowerW = sensor.sample(true_avg);
+        double measured = sensor.sample(true_avg);
+        if (injector)
+            measured = injector->filterSensorSample(measured);
+        sample.measuredPowerW = measured;
+        sample.lastActuation = last_actuation;
         // Thermal diode: half-degree quantization.
         sample.tempC = std::round(thermal.temperature() * 2.0) / 2.0;
-        result.measuredEnergyJ += sample.measuredPowerW * dt_s;
+        // A dropped (NaN) sample contributes nothing to the summed
+        // energy, exactly as a missing DAQ record would.
+        if (!std::isnan(measured))
+            result.measuredEnergyJ += measured * dt_s;
 
         if (options.recordTrace) {
             // The trace is the experimenter's instrumentation: its
@@ -278,8 +307,13 @@ Platform::run(const Workload &workload, Governor &governor,
         if (options.maxTime != 0 && now >= options.maxTime)
             break;
         const size_t next = governor.decide(sample, dvfs.currentIndex());
-        if (next != dvfs.currentIndex())
-            pending_stall += dvfs.requestPState(next);
+        if (next != dvfs.currentIndex()) {
+            const DvfsActuation act = dvfs.applyPState(next);
+            pending_stall += act.stallTicks;
+            last_actuation = act.outcome;
+        } else {
+            last_actuation = DvfsOutcome::Unchanged;
+        }
     }
 
     result.seconds = ticksToSeconds(end_tick);
@@ -289,6 +323,10 @@ Platform::run(const Workload &workload, Governor &governor,
     result.avgTruePowerW =
         result.seconds > 0.0 ? result.trueEnergyJ / result.seconds : 0.0;
     result.dvfs = dvfs.stats();
+    if (injector)
+        result.recovery = injector->telemetry();
+    governor.exportTelemetry(result.recovery);
+    result.recovery.sensorClamped += sensor.clampedInputs();
     if (options.recordTrace)
         result.trace.markEnd(end_tick);
     return result;

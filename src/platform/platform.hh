@@ -15,6 +15,8 @@
 
 #include "cpu/core_model.hh"
 #include "dvfs/dvfs_controller.hh"
+#include "fault/fault_plan.hh"
+#include "fault/telemetry.hh"
 #include "mem/hierarchy.hh"
 #include "mgmt/governor.hh"
 #include "pmu/pmu.hh"
@@ -75,6 +77,15 @@ struct RunOptions
      * tests/test_kernel_equiv.cc). Diagnostic knob — leave false.
      */
     bool forceChunkedKernel = false;
+    /**
+     * Fault-injection plan for this run. Default-constructed (inactive)
+     * plans instantiate no injector: the simulation is bit-identical —
+     * same RNG streams, same FP operations — to a run without the
+     * fault subsystem (tests/test_faults.cc proves it).
+     */
+    FaultPlan faultPlan;
+    /** Non-zero overrides the plan's RNG seed (per-run fault streams). */
+    uint64_t faultSeed = 0;
 };
 
 /** Everything measured about one run. */
@@ -91,6 +102,8 @@ struct RunResult
     bool finished = false;             ///< false if maxTime hit first
     PowerTrace trace;
     DvfsStats dvfs;
+    /** Injected-fault and recovery counters (all zero when clean). */
+    RecoveryTelemetry recovery;
 
     /** Instructions per second over the whole run. */
     double

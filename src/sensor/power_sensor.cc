@@ -101,4 +101,24 @@ PowerTrace::fractionOverLimit(double limit_w, size_t window) const
     return static_cast<double>(over) / static_cast<double>(avg.size());
 }
 
+double
+PowerTrace::fractionOverLimitTrue(double limit_w, size_t window) const
+{
+    aapm_assert(window >= 1, "window must be >= 1");
+    if (samples_.empty())
+        return 0.0;
+    size_t over = 0;
+    double acc = 0.0;
+    for (size_t i = 0; i < samples_.size(); ++i) {
+        acc += samples_[i].trueW;
+        if (i >= window)
+            acc -= samples_[i - window].trueW;
+        const size_t n = std::min(window, i + 1);
+        if (acc / static_cast<double>(n) > limit_w)
+            ++over;
+    }
+    return static_cast<double>(over) /
+           static_cast<double>(samples_.size());
+}
+
 } // namespace aapm

@@ -74,8 +74,13 @@ class PowerSensor
     double
     sample(double true_avg_watts)
     {
-        aapm_assert(true_avg_watts >= 0.0, "negative power %f",
-                    true_avg_watts);
+        // Harden against garbage truth inputs (a NaN-poisoned or
+        // negative upstream model): clamp to zero and count, instead
+        // of propagating the poison into model training and control.
+        if (std::isnan(true_avg_watts) || true_avg_watts < 0.0) {
+            ++clampedInputs_;
+            true_avg_watts = 0.0;
+        }
         // Fault injection first: a stuck buffer repeats the last
         // reading, a glitch replaces the sample with garbage anywhere
         // in range.
@@ -107,12 +112,16 @@ class PowerSensor
     /** Configuration. */
     const SensorConfig &config() const { return config_; }
 
+    /** NaN/negative truth inputs clamped to zero so far. */
+    uint64_t clampedInputs() const { return clampedInputs_; }
+
   private:
     SensorConfig config_;
     Rng rng_;
     double gain_;
     double offset_;
     double last_ = 0.0;
+    uint64_t clampedInputs_ = 0;
 };
 
 /** One recorded sample of a run. */
@@ -180,6 +189,14 @@ class PowerTrace
      * @param window Moving-average length in samples.
      */
     double fractionOverLimit(double limit_w, size_t window) const;
+
+    /**
+     * Same violation metric computed on ground-truth power. Under
+     * sensor faults measured samples can be NaN (dropped), which would
+     * silently undercount violations; the resilience experiments judge
+     * limit adherence on the truth channel instead.
+     */
+    double fractionOverLimitTrue(double limit_w, size_t window) const;
 
   private:
     std::vector<TraceSample> samples_;

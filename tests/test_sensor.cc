@@ -79,10 +79,21 @@ TEST(PowerSensor, NeverNegative)
         EXPECT_GE(sensor.sample(0.05), 0.0);
 }
 
-TEST(PowerSensor, NegativeTruthPanics)
+TEST(PowerSensor, NegativeAndNanTruthClampedAndCounted)
 {
-    PowerSensor sensor(SensorConfig{});
-    EXPECT_THROW(sensor.sample(-1.0), std::logic_error);
+    // Garbage truth inputs must not poison downstream model training:
+    // they are clamped to zero and counted, not propagated or fatal.
+    SensorConfig cfg;
+    cfg.noiseSigmaW = 0.0;
+    cfg.gainErrorMax = 0.0;
+    cfg.offsetErrorMaxW = 0.0;
+    PowerSensor sensor(cfg);
+    EXPECT_DOUBLE_EQ(sensor.sample(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(sensor.sample(NAN), 0.0);
+    EXPECT_EQ(sensor.clampedInputs(), 2u);
+    // A sane input afterwards reads normally.
+    EXPECT_NEAR(sensor.sample(10.0), 10.0, sensor.quantStepW());
+    EXPECT_EQ(sensor.clampedInputs(), 2u);
 }
 
 TEST(PowerSensor, RejectsSillyAdc)

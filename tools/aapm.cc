@@ -139,6 +139,55 @@ resolveGovernor(const CliOptions &opts, const PlatformConfig &config,
     aapm_fatal("unknown governor '%s' (try `aapm list`)", gov.c_str());
 }
 
+/** Fault-injection options shared by `run` and `suite`. */
+void
+applyFaultOptions(const CliOptions &opts, RunOptions &run_opts)
+{
+    if (opts.has("fault-plan"))
+        run_opts.faultPlan = FaultPlan::parse(opts.str("fault-plan"));
+    if (opts.has("fault-seed"))
+        run_opts.faultSeed =
+            static_cast<uint64_t>(opts.num("fault-seed"));
+}
+
+/** Wrap the governor in a supervisor when --supervise is given. */
+std::unique_ptr<Governor>
+maybeSupervise(const CliOptions &opts, std::unique_ptr<Governor> gov,
+               const PowerEstimator &power)
+{
+    if (!opts.flag("supervise"))
+        return gov;
+    return std::make_unique<GovernorSupervisor>(
+        std::move(gov), SupervisorConfig(), &power);
+}
+
+void
+printRecovery(const RecoveryTelemetry &t)
+{
+    if (t.faultsSeen() == 0 && t.recoveryActions() == 0 &&
+        t.sensorClamped == 0)
+        return;
+    auto u = [](uint64_t v) {
+        return static_cast<unsigned long long>(v);
+    };
+    std::printf("faults    pmu %llu dropouts (%llu reads zeroed), "
+                "%llu spikes, %llu wraps\n",
+                u(t.pmuDropouts), u(t.pmuZeroedReads), u(t.pmuSpikes),
+                u(t.pmuWraps));
+    std::printf("          dvfs %llu rejected, %llu deferred, "
+                "%llu stuck-denied, %llu latency spikes\n",
+                u(t.dvfsRejected), u(t.dvfsDeferred),
+                u(t.dvfsStuckDenied), u(t.dvfsLatencySpikes));
+    std::printf("          sensor %llu drops, %llu clamped inputs\n",
+                u(t.sensorDrops), u(t.sensorClamped));
+    std::printf("recovery  %llu substitutions (%llu stale-outs), "
+                "%llu dvfs retries, %llu fallbacks "
+                "(%llu degraded intervals)\n",
+                u(t.substitutions), u(t.staleLimitHits),
+                u(t.dvfsRetries), u(t.fallbackEntries),
+                u(t.degradedIntervals));
+}
+
 int
 cmdRun(const CliOptions &opts)
 {
@@ -164,9 +213,11 @@ cmdRun(const CliOptions &opts)
     }
 
     const Workload workload = resolveWorkload(opts, config);
-    auto governor = resolveGovernor(opts, config, power, perf);
+    auto governor = maybeSupervise(
+        opts, resolveGovernor(opts, config, power, perf), power);
 
     RunOptions run_opts;
+    applyFaultOptions(opts, run_opts);
     const RunResult r = platform.run(workload, *governor, run_opts);
 
     std::printf("workload  %s under %s\n", r.workloadName.c_str(),
@@ -195,6 +246,7 @@ cmdRun(const CliOptions &opts)
                     r.trace.fractionOverLimit(opts.num("limit"), 10) *
                         100.0);
     }
+    printRecovery(r.recovery);
 
     if (opts.has("csv")) {
         CsvWriter csv(opts.str("csv"));
@@ -238,10 +290,13 @@ cmdSuite(const CliOptions &opts)
     TextTable t;
     t.header({"benchmark", "time (s)", "vs 2 GHz (%)", "energy (J)",
               "savings (%)", "avg W"});
+    RunOptions run_opts;
+    applyFaultOptions(opts, run_opts);
     SuiteResult result;
     for (const auto &w : suite) {
-        auto governor = resolveGovernor(opts, config, power, perf);
-        result.runs.push_back(platform.run(w, *governor));
+        auto governor = maybeSupervise(
+            opts, resolveGovernor(opts, config, power, perf), power);
+        result.runs.push_back(platform.run(w, *governor, run_opts));
         const RunResult &r = result.runs.back();
         const RunResult &b = base.byName(w.name());
         t.row({w.name(), TextTable::num(r.seconds, 2),
@@ -259,6 +314,7 @@ cmdSuite(const CliOptions &opts)
                 result.totalTrueEnergyJ(),
                 (1.0 - result.totalTrueEnergyJ() /
                            base.totalTrueEnergyJ()) * 100.0);
+    printRecovery(result.totalRecovery());
     return 0;
 }
 
@@ -319,6 +375,13 @@ main(int argc, char **argv)
                            "per-benchmark duration at 2 GHz");
             opts.addOption("models", "FILE", "", "trained constants");
             opts.addFlag("paper-models", "use Table II constants");
+            opts.addOption("fault-plan", "SPEC", "",
+                           "inject faults: mixed:P or key=value list");
+            opts.addOption("fault-seed", "N", "",
+                           "override the fault plan's RNG seed");
+            opts.addFlag("supervise",
+                         "wrap the governor in the resilience "
+                         "supervisor");
             if (!opts.parse(args, &error)) {
                 std::printf("%s", opts.usage().c_str());
                 if (!opts.helpRequested())
@@ -353,6 +416,14 @@ main(int argc, char **argv)
             opts.addFlag("paper-models",
                          "use the paper's published Table II constants");
             opts.addOption("csv", "FILE", "", "write the 10 ms trace");
+            opts.addOption("fault-plan", "SPEC", "",
+                           "inject faults: mixed:P or key=value list "
+                           "(see FaultPlan::parse)");
+            opts.addOption("fault-seed", "N", "",
+                           "override the fault plan's RNG seed");
+            opts.addFlag("supervise",
+                         "wrap the governor in the resilience "
+                         "supervisor (sanitize + retry + watchdog)");
             if (!opts.parse(args, &error)) {
                 std::printf("%s", opts.usage().c_str());
                 if (!opts.helpRequested())
