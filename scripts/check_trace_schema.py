@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate an aapm interval-trace file (JSONL or CSV) against the
+published schema.
+
+Usage: check_trace_schema.py TRACE_FILE [TRACE_FILE...]
+
+Checks, per file:
+  * the header declares trace-format version 1 and the exact field list
+  * every record carries every field, with sane types
+  * interval indexes are strictly increasing and congruent to 0 modulo
+    the header's `every` stride
+  * the footer's record count matches the records actually present
+
+Exit status 0 when every file passes, 1 otherwise. Used by the CI
+trace-smoke step; keep the FIELDS list in sync with traceFieldNames()
+in src/obs/trace.cc.
+"""
+
+import json
+import sys
+
+FIELDS = [
+    "i", "t_tick", "dt_s", "cycles", "ipc", "dpc", "dcu", "util",
+    "measured_w", "temp_c", "pstate", "last_actuation", "true_w",
+    "true_ipc", "true_dpc", "die_temp_c", "pred_valid", "pred_w",
+    "proj_ipc", "mem_class", "decided", "decision", "actuation",
+    "stall_ticks", "fallback", "blind", "substitutions",
+]
+
+HEADER_KEYS = {"aapm_trace", "workload", "governor", "interval_ticks",
+               "every", "pstates", "fields"}
+
+OUTCOMES = {"unchanged", "applied", "deferred", "rejected", "stuck"}
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_record_indexes(path, indexes, every):
+    prev = None
+    for i in indexes:
+        if every and i % every != 0:
+            return fail(path, f"record index {i} not a multiple of "
+                              f"every={every}")
+        if prev is not None and i <= prev:
+            return fail(path, f"record indexes not increasing at {i}")
+        prev = i
+    return True
+
+
+def check_jsonl(path, lines):
+    if not lines:
+        return fail(path, "empty trace")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        return fail(path, f"header is not JSON: {e}")
+    if header.get("aapm_trace") != 1:
+        return fail(path, "missing or unsupported aapm_trace version")
+    if not HEADER_KEYS.issubset(header):
+        return fail(path, f"header missing {HEADER_KEYS - set(header)}")
+    if header["fields"] != FIELDS:
+        return fail(path, "header field list disagrees with schema")
+
+    try:
+        footer = json.loads(lines[-1])
+    except json.JSONDecodeError as e:
+        return fail(path, f"footer is not JSON: {e}")
+    if "aapm_trace_end" not in footer or "records" not in footer:
+        return fail(path, "missing footer (truncated trace?)")
+
+    records = lines[1:-1]
+    if footer["records"] != len(records):
+        return fail(path, f"footer declares {footer['records']} records "
+                          f"but {len(records)} are present")
+    indexes = []
+    for n, line in enumerate(records, start=2):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            return fail(path, f"line {n}: not JSON: {e}")
+        missing = [f for f in FIELDS if f not in rec]
+        if missing:
+            return fail(path, f"line {n}: missing fields {missing}")
+        for key in ("last_actuation", "actuation"):
+            if rec[key].lower() not in OUTCOMES:
+                return fail(path, f"line {n}: bad outcome "
+                                  f"{key}={rec[key]!r}")
+        for key in ("pred_valid", "decided", "fallback", "blind"):
+            if not isinstance(rec[key], bool):
+                return fail(path, f"line {n}: {key} is not a bool")
+        indexes.append(rec["i"])
+    return check_record_indexes(path, indexes, header["every"])
+
+
+def check_csv(path, lines):
+    if not lines or not lines[0].startswith("# aapm-trace 1"):
+        return fail(path, "missing '# aapm-trace 1' header")
+    meta = {}
+    body = []
+    end = None
+    for line in lines[1:]:
+        if line.startswith("# end "):
+            end = line.split()[2:]
+        elif line.startswith("# "):
+            key, _, value = line[2:].partition(" ")
+            meta[key] = value
+        elif line:
+            body.append(line)
+    for key in ("workload", "governor", "interval_ticks", "every",
+                "pstates"):
+        if key not in meta:
+            return fail(path, f"missing '# {key}' metadata line")
+    if end is None or len(end) != 2:
+        return fail(path, "missing '# end <tick> <records>' trailer")
+    if not body:
+        return fail(path, "no column header row")
+    if body[0].split(",") != FIELDS:
+        return fail(path, "column header disagrees with schema")
+    rows = body[1:]
+    if int(end[1]) != len(rows):
+        return fail(path, f"trailer declares {end[1]} rows but "
+                          f"{len(rows)} are present")
+    indexes = []
+    for n, row in enumerate(rows, start=1):
+        cells = row.split(",")
+        if len(cells) != len(FIELDS):
+            return fail(path, f"row {n}: {len(cells)} cells, expected "
+                              f"{len(FIELDS)}")
+        indexes.append(int(cells[0]))
+    return check_record_indexes(path, indexes, int(meta["every"]))
+
+
+def check(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [line.rstrip("\n") for line in f]
+    except OSError as e:
+        return fail(path, str(e))
+    if path.endswith(".csv"):
+        ok = check_csv(path, lines)
+    else:
+        ok = check_jsonl(path, lines)
+    if ok:
+        n = len(lines) - 2
+        print(f"{path}: OK ({n} records)" if not path.endswith(".csv")
+              else f"{path}: OK")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return 0 if all([check(p) for p in argv[1:]]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -35,6 +35,16 @@ if [[ "$SANITIZE" == 1 ]]; then
     ASAN_OPTIONS=detect_leaks=0 \
         ctest --test-dir build-asan -j"$(nproc)" 2>&1 \
         | tee sanitize_output.txt
+    # Trace smoke under the sanitizers: the tracer's serialization and
+    # parsing paths run end-to-end through the CLI.
+    if command -v python3 >/dev/null 2>&1; then
+        ASAN_OPTIONS=detect_leaks=0 \
+            build-asan/tools/aapm run --workload ammp --paper-models \
+            --seconds 1 --trace-out build-asan/trace_smoke.jsonl \
+            >/dev/null
+        python3 scripts/check_trace_schema.py \
+            build-asan/trace_smoke.jsonl
+    fi
     echo "done: sanitize_output.txt"
     exit 0
 fi
@@ -49,6 +59,17 @@ cmake -B build "${GEN[@]}"
 cmake --build build -j"$(nproc)"
 
 ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
+
+# Trace smoke: a short traced PM run must produce schema-conformant
+# JSONL/CSV (skipped quietly when python3 is unavailable).
+if command -v python3 >/dev/null 2>&1; then
+    build/tools/aapm run --workload ammp --paper-models --seconds 1 \
+        --trace-out build/trace_smoke.jsonl >/dev/null
+    build/tools/aapm run --workload ammp --paper-models --seconds 1 \
+        --trace-out build/trace_smoke.csv --trace-every 4 >/dev/null
+    python3 scripts/check_trace_schema.py \
+        build/trace_smoke.jsonl build/trace_smoke.csv
+fi
 
 export AAPM_SECONDS="$SECONDS_OPT"
 # Train once, reuse across every harness in the loop below.

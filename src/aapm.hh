@@ -49,6 +49,9 @@
 #include "mgmt/supervisor.hh"
 #include "mgmt/thermal_cap.hh"
 #include "models/model_io.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
 #include "models/online_fit.hh"
 #include "models/perf_estimator.hh"
 #include "models/power_estimator.hh"

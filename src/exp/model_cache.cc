@@ -1,12 +1,16 @@
 #include "exp/model_cache.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 
 #include "models/model_io.hh"
+#include "obs/metrics.hh"
 
 namespace aapm
 {
@@ -100,27 +104,122 @@ platformFingerprint(const PlatformConfig &config)
     return fp.value();
 }
 
+namespace
+{
+
+struct CacheCounters
+{
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> fileLoads{0};
+    std::atomic<uint64_t> trainings{0};
+    std::atomic<uint64_t> inFlight{0};
+    std::atomic<uint64_t> concurrentPeak{0};
+};
+
+CacheCounters &
+counters()
+{
+    static CacheCounters c;
+    return c;
+}
+
+/** Record a training start and keep the running-peak up to date. */
+void
+noteTrainingStart()
+{
+    CacheCounters &c = counters();
+    const uint64_t now = c.inFlight.fetch_add(1) + 1;
+    uint64_t peak = c.concurrentPeak.load();
+    while (now > peak &&
+           !c.concurrentPeak.compare_exchange_weak(peak, now)) {
+    }
+}
+
+} // namespace
+
+ModelCacheStats
+modelCacheStats()
+{
+    const CacheCounters &c = counters();
+    ModelCacheStats s;
+    s.hits = c.hits.load();
+    s.misses = c.misses.load();
+    s.fileLoads = c.fileLoads.load();
+    s.trainings = c.trainings.load();
+    s.concurrentPeak = c.concurrentPeak.load();
+    return s;
+}
+
 const TrainedModels &
 sharedModels(const PlatformConfig &config)
 {
+    // The mutex guards only the map: the owner of a new entry trains
+    // (or loads) *outside* the lock and publishes through the entry's
+    // shared_future, so only same-fingerprint callers wait on each
+    // other while distinct configurations train concurrently.
     static std::mutex mutex;
-    static std::map<uint64_t, std::unique_ptr<TrainedModels>> cache;
+    static std::map<uint64_t,
+                    std::shared_future<const TrainedModels *>> cache;
+    // Stable storage for the results: deque never moves elements.
+    static std::deque<std::unique_ptr<TrainedModels>> storage;
+
+    static const CounterId hit_id =
+        MetricRegistry::global().counter("model_cache.hits");
+    static const CounterId miss_id =
+        MetricRegistry::global().counter("model_cache.misses");
 
     const uint64_t fp = platformFingerprint(config);
-    std::lock_guard<std::mutex> lock(mutex);
-    auto it = cache.find(fp);
-    if (it != cache.end())
-        return *it->second;
-
-    auto models = std::make_unique<TrainedModels>();
-    const char *path = std::getenv("AAPM_MODEL_CACHE");
-    const bool persist = path && *path;
-    if (!persist || !loadTrainedModels(path, fp, *models)) {
-        *models = trainModels(config);
-        if (persist)
-            saveTrainedModels(path, *models, fp);
+    std::promise<const TrainedModels *> promise;
+    std::shared_future<const TrainedModels *> future;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(fp);
+        if (it != cache.end()) {
+            counters().hits.fetch_add(1);
+            MetricRegistry::global().add(hit_id, 1);
+            future = it->second;
+        } else {
+            counters().misses.fetch_add(1);
+            MetricRegistry::global().add(miss_id, 1);
+            cache.emplace(fp, promise.get_future().share());
+        }
     }
-    return *cache.emplace(fp, std::move(models)).first->second;
+    if (future.valid())
+        return *future.get();
+
+    // This caller owns the entry: produce the models without the map
+    // lock held. On failure, un-publish the entry so a later call can
+    // retry, and rethrow to this caller.
+    try {
+        auto models = std::make_unique<TrainedModels>();
+        const char *path = std::getenv("AAPM_MODEL_CACHE");
+        const bool persist = path && *path;
+        if (persist && loadTrainedModels(path, fp, *models)) {
+            counters().fileLoads.fetch_add(1);
+        } else {
+            counters().trainings.fetch_add(1);
+            noteTrainingStart();
+            *models = trainModels(config);
+            counters().inFlight.fetch_sub(1);
+            if (persist)
+                saveTrainedModels(path, *models, fp);
+        }
+        const TrainedModels *result = models.get();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            storage.push_back(std::move(models));
+        }
+        promise.set_value(result);
+        return *result;
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            cache.erase(fp);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
 }
 
 } // namespace aapm

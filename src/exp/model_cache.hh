@@ -38,8 +38,30 @@ uint64_t platformFingerprint(const PlatformConfig &config);
  * per distinct configuration, loaded from / saved to the file named by
  * the AAPM_MODEL_CACHE environment variable when it is set. Safe to
  * call concurrently; the returned reference lives for the process.
+ *
+ * Concurrency: only callers with the *same* fingerprint block on one
+ * another (they share the first caller's training via a per-entry
+ * future); distinct configurations train in parallel.
  */
 const TrainedModels &sharedModels(const PlatformConfig &config);
+
+/** Process-wide sharedModels() counters (monotonic; for tests). */
+struct ModelCacheStats
+{
+    /** Calls that found a completed or in-flight entry. */
+    uint64_t hits = 0;
+    /** Calls that created the entry (and trained or loaded it). */
+    uint64_t misses = 0;
+    /** Misses satisfied from the AAPM_MODEL_CACHE file. */
+    uint64_t fileLoads = 0;
+    /** Misses that ran full training. */
+    uint64_t trainings = 0;
+    /** Peak number of trainings in flight at once. */
+    uint64_t concurrentPeak = 0;
+};
+
+/** A snapshot of the counters above. */
+ModelCacheStats modelCacheStats();
 
 } // namespace aapm
 

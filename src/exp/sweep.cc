@@ -2,6 +2,8 @@
 
 #include "common/logging.hh"
 #include "mgmt/static_clock.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
 
 namespace aapm
 {
@@ -104,6 +106,14 @@ SweepRunner::run(const SweepGrid &grid)
 std::vector<RunResult>
 SweepRunner::run(const std::vector<RunSpec> &specs)
 {
+    AAPM_PROF_SCOPE("sweep_dispatch");
+    static const CounterId dispatches_id =
+        MetricRegistry::global().counter("sweep.dispatches");
+    static const CounterId runs_id =
+        MetricRegistry::global().counter("sweep.runs");
+    MetricRegistry::global().add(dispatches_id, 1);
+    MetricRegistry::global().add(runs_id, specs.size());
+
     std::vector<RunResult> out(specs.size());
     pool_.parallelFor(specs.size(),
                       [&](size_t i) { out[i] = runOne(specs[i]); });

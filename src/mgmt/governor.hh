@@ -53,6 +53,32 @@ struct MonitorSample
     static bool available(double field) { return !std::isnan(field); }
 };
 
+/**
+ * What the governor's estimation stage produced for its most recent
+ * decide() call — the Estimate step of Monitor → Estimate → Control,
+ * surfaced for the interval tracer. Fields a governor's model does not
+ * produce stay at their defaults (NaN / -1).
+ */
+struct GovernorInsight
+{
+    /** A decide() has populated this insight. */
+    bool valid = false;
+    /** Predicted power at the decided p-state, Watts (PM family). */
+    double predictedPowerW = NAN;
+    /** Projected IPC at the decided p-state (PS). */
+    double projectedIpc = NAN;
+    /** 1 = memory-bound, 0 = core-bound, -1 = not classified (PS). */
+    int memBoundClass = -1;
+    /** The p-state the governor decided on. */
+    size_t targetPState = 0;
+    /** Supervisor only: holding the safe state after a breach. */
+    bool fallback = false;
+    /** Supervisor only: counter sanitization is out of good values. */
+    bool blindCounters = false;
+    /** Supervisor only: cumulative last-good field substitutions. */
+    uint64_t substitutions = 0;
+};
+
 /** Abstract p-state governor. */
 class Governor
 {
@@ -92,6 +118,24 @@ class Governor
     {
         (void)out;
     }
+
+    /**
+     * Report what the estimation stage saw/predicted in the most
+     * recent decide(). Default leaves `out` untouched (out.valid stays
+     * false) for governors with no model to expose.
+     */
+    virtual void explain(GovernorInsight &out) const { (void)out; }
+
+    /**
+     * Ask decide() to capture a GovernorInsight for explain(). Off by
+     * default: the capture can cost an extra model evaluation per
+     * interval, which the untraced hot path must not pay.
+     */
+    virtual void setInsightWanted(bool wanted) { insightWanted_ = wanted; }
+
+  protected:
+    /** decide() should populate the insight explain() reports. */
+    bool insightWanted_ = false;
 };
 
 } // namespace aapm

@@ -32,6 +32,7 @@ PerformanceMaximizer::reset()
 {
     raiseStreak_ = 0;
     raiseTarget_ = 0;
+    insight_ = GovernorInsight();
 }
 
 void
@@ -76,28 +77,39 @@ size_t
 PerformanceMaximizer::decide(const MonitorSample &sample, size_t current)
 {
     const size_t safe = highestSafe(sample, current);
+    size_t next;
 
     if (safe < current) {
         // Lower immediately on a single offending sample.
         raiseStreak_ = 0;
-        return safe;
-    }
-    if (safe == current) {
+        next = safe;
+    } else if (safe == current) {
         raiseStreak_ = 0;
-        return current;
+        next = current;
+    } else {
+        // safe > current: raise only after a full window of
+        // consecutive samples that all allow at least some raise; go
+        // to the most conservative (lowest) target seen during the
+        // streak.
+        if (raiseStreak_ == 0 || safe < raiseTarget_)
+            raiseTarget_ = safe;
+        ++raiseStreak_;
+        if (raiseStreak_ >= config_.raiseWindow) {
+            raiseStreak_ = 0;
+            next = raiseTarget_;
+        } else {
+            next = current;
+        }
     }
 
-    // safe > current: raise only after a full window of consecutive
-    // samples that all allow at least some raise; go to the most
-    // conservative (lowest) target seen during the streak.
-    if (raiseStreak_ == 0 || safe < raiseTarget_)
-        raiseTarget_ = safe;
-    ++raiseStreak_;
-    if (raiseStreak_ >= config_.raiseWindow) {
-        raiseStreak_ = 0;
-        return raiseTarget_;
+    if (insightWanted_) {
+        insight_ = GovernorInsight();
+        insight_.valid = true;
+        insight_.predictedPowerW =
+            predictPower(current, sample.dpc, next, sample);
+        insight_.targetPState = next;
     }
-    return current;
+    return next;
 }
 
 } // namespace aapm

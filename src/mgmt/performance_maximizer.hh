@@ -49,6 +49,7 @@ class PerformanceMaximizer : public Governor
     size_t decide(const MonitorSample &sample, size_t current) override;
     void reset() override;
     void setPowerLimit(double watts) override;
+    void explain(GovernorInsight &out) const override { out = insight_; }
 
     /** Current power limit, Watts. */
     double powerLimit() const { return config_.powerLimitW; }
@@ -73,6 +74,8 @@ class PerformanceMaximizer : public Governor
     PmConfig config_;
     size_t raiseStreak_;
     size_t raiseTarget_;
+    /** Estimation view of the most recent decide(). */
+    GovernorInsight insight_;
 };
 
 } // namespace aapm

@@ -71,11 +71,26 @@ PowerSave::decide(const MonitorSample &sample, size_t current)
     // comparison uses a relative tolerance: discrete frequency ratios
     // often land *exactly* on the floor (1600/2000 at 80%), and these
     // must qualify despite rounding.
+    size_t next = top;
     for (size_t i = 0; i <= top; ++i) {
-        if (projected(i) >= required * (1.0 - 1e-9))
-            return i;
+        if (projected(i) >= required * (1.0 - 1e-9)) {
+            next = i;
+            break;
+        }
     }
-    return top;
+
+    if (insightWanted_) {
+        insight_ = GovernorInsight();
+        insight_.valid = true;
+        insight_.memBoundClass = memory_bound ? 1 : 0;
+        // Projected performance is IPC × f; report the IPC component
+        // the projection expects at the chosen state.
+        insight_.projectedIpc =
+            memory_bound ? sample.ipc * scale(current, next)
+                         : sample.ipc;
+        insight_.targetPState = next;
+    }
+    return next;
 }
 
 } // namespace aapm

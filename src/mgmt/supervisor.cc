@@ -62,6 +62,9 @@ GovernorSupervisor::reset()
     fallbackLeft_ = 0;
     lastCommand_ = NoCommand;
     retriesLeft_ = 0;
+    lastReturn_ = 0;
+    lastFallback_ = false;
+    blindCounters_ = false;
 }
 
 void
@@ -80,6 +83,20 @@ void
 GovernorSupervisor::exportTelemetry(RecoveryTelemetry &out) const
 {
     out += tel_;
+}
+
+void
+GovernorSupervisor::explain(GovernorInsight &out) const
+{
+    // The inner governor's model view first; during a fallback or
+    // blind interval the inner policy was bypassed, so only the
+    // supervisor overlay below is current.
+    inner_->explain(out);
+    out.valid = true;
+    out.targetPState = lastReturn_;
+    out.fallback = lastFallback_;
+    out.blindCounters = blindCounters_;
+    out.substitutions = tel_.substitutions;
 }
 
 double
@@ -137,12 +154,17 @@ GovernorSupervisor::decide(const MonitorSample &sample, size_t current)
     s.measuredPowerW = sanitizeField(sample.measuredPowerW, powerGuard_,
                                      false, sample.utilization);
 
+    lastFallback_ = false;
+    lastReturn_ = current;
+
     // --- Fallback hold: ride out the breach at the safe state. ---
     if (fallbackLeft_ > 0) {
         --fallbackLeft_;
         ++tel_.degradedIntervals;
         lastCommand_ = config_.safePState;
         retriesLeft_ = config_.dvfsRetryLimit;
+        lastFallback_ = true;
+        lastReturn_ = config_.safePState;
         return config_.safePState;
     }
 
@@ -157,6 +179,8 @@ GovernorSupervisor::decide(const MonitorSample &sample, size_t current)
         inner_->reset();
         lastCommand_ = config_.safePState;
         retriesLeft_ = config_.dvfsRetryLimit;
+        lastFallback_ = true;
+        lastReturn_ = config_.safePState;
         return config_.safePState;
     }
 
@@ -176,6 +200,8 @@ GovernorSupervisor::decide(const MonitorSample &sample, size_t current)
             inner_->reset();
             lastCommand_ = config_.safePState;
             retriesLeft_ = config_.dvfsRetryLimit;
+            lastFallback_ = true;
+            lastReturn_ = config_.safePState;
             return config_.safePState;
         }
     }
@@ -189,6 +215,7 @@ GovernorSupervisor::decide(const MonitorSample &sample, size_t current)
         if (retriesLeft_ > 0) {
             --retriesLeft_;
             ++tel_.dvfsRetries;
+            lastReturn_ = lastCommand_;
             return lastCommand_;
         }
         // Retries exhausted: accept the actuator's state and let the
@@ -203,6 +230,7 @@ GovernorSupervisor::decide(const MonitorSample &sample, size_t current)
     } else {
         lastCommand_ = NoCommand;
     }
+    lastReturn_ = next;
     return next;
 }
 

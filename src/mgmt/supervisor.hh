@@ -104,6 +104,13 @@ class GovernorSupervisor : public Governor
     void setPowerLimit(double watts) override;
     void setPerformanceFloor(double floor) override;
     void exportTelemetry(RecoveryTelemetry &out) const override;
+    void explain(GovernorInsight &out) const override;
+
+    void setInsightWanted(bool wanted) override
+    {
+        Governor::setInsightWanted(wanted);
+        inner_->setInsightWanted(wanted);
+    }
 
     /** The wrapped governor. */
     Governor &inner() { return *inner_; }
@@ -145,6 +152,10 @@ class GovernorSupervisor : public Governor
     /** P-state commanded last interval; SIZE_MAX = none yet. */
     size_t lastCommand_;
     size_t retriesLeft_ = 0;
+    /** What the most recent decide() returned (for explain()). */
+    size_t lastReturn_ = 0;
+    /** The most recent decide() was a fallback/degraded interval. */
+    bool lastFallback_ = false;
 };
 
 } // namespace aapm

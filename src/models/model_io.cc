@@ -1,5 +1,8 @@
 #include "models/model_io.hh"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -14,7 +17,23 @@ constexpr const char *kMagic = "aapm-models";
 constexpr int kVersion = 1;
 
 constexpr const char *kTrainedMagic = "aapm-trained";
-constexpr int kTrainedVersion = 1;
+/**
+ * Version 2 appends an `end <record-count>` trailer so a truncated
+ * file can no longer parse as a shorter-but-valid model set. Version-1
+ * files are rejected (the caller simply retrains).
+ */
+constexpr int kTrainedVersion = 2;
+
+/**
+ * A sibling temp name unique to this process: the write goes there and
+ * is published with std::rename, so concurrent readers (and writers)
+ * of the same cache path only ever see complete files.
+ */
+std::string
+tempName(const std::string &path)
+{
+    return path + ".tmp." + std::to_string(::getpid());
+}
 } // namespace
 
 PowerEstimator
@@ -35,18 +54,28 @@ saveModelFile(const std::string &path, const ModelFile &models)
     if (models.power.empty())
         aapm_fatal("refusing to save a model file with no power "
                    "coefficients");
-    std::ofstream out(path);
-    if (!out)
-        aapm_fatal("cannot open '%s' for writing", path.c_str());
-    out.precision(17);
-    out << kMagic << " " << kVersion << "\n";
-    out << "perf " << models.threshold << " " << models.exponent
-        << "\n";
-    out << "pstates " << models.power.size() << "\n";
-    for (const auto &c : models.power)
-        out << "power " << c.alpha << " " << c.beta << "\n";
-    if (!out)
-        aapm_fatal("write to '%s' failed", path.c_str());
+    const std::string tmp = tempName(path);
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            aapm_fatal("cannot open '%s' for writing", tmp.c_str());
+        out.precision(17);
+        out << kMagic << " " << kVersion << "\n";
+        out << "perf " << models.threshold << " " << models.exponent
+            << "\n";
+        out << "pstates " << models.power.size() << "\n";
+        for (const auto &c : models.power)
+            out << "power " << c.alpha << " " << c.beta << "\n";
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            aapm_fatal("write to '%s' failed", tmp.c_str());
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        aapm_fatal("cannot publish '%s'", path.c_str());
+    }
 }
 
 ModelFile
@@ -99,51 +128,75 @@ loadModelFile(const std::string &path)
     return models;
 }
 
-void
+bool
 saveTrainedModels(const std::string &path, const TrainedModels &models,
                   uint64_t fingerprint)
 {
     if (models.power.coeffs.empty())
         aapm_fatal("refusing to save untrained models to '%s'",
                    path.c_str());
-    std::ofstream out(path);
-    if (!out)
-        aapm_fatal("cannot open '%s' for writing", path.c_str());
-    out.precision(17);   // doubles round-trip exactly at 17 digits
-    out << kTrainedMagic << " " << kTrainedVersion << "\n";
-    out << "fingerprint " << fingerprint << "\n";
-    out << "perf " << models.perf.threshold << " "
-        << models.perf.exponent << " " << models.perf.loss << "\n";
-    out << "minima " << models.perf.exponentMinima.size() << "\n";
-    for (const auto &[e, l] : models.perf.exponentMinima)
-        out << "minimum " << e << " " << l << "\n";
-    out << "pstates " << models.power.coeffs.size() << "\n";
-    for (size_t i = 0; i < models.power.coeffs.size(); ++i) {
-        out << "power " << models.power.coeffs[i].alpha << " "
-            << models.power.coeffs[i].beta << " "
-            << (i < models.power.meanAbsErrorW.size()
-                    ? models.power.meanAbsErrorW[i]
-                    : 0.0)
-            << "\n";
+    // Write the whole file to a process-unique sibling, then publish
+    // it atomically: a reader of `path` — or a concurrent writer in
+    // another sweep process — can never observe a torn cache.
+    const std::string tmp = tempName(path);
+    const uint64_t records = models.perf.exponentMinima.size() +
+        models.power.coeffs.size() + models.power.points.size() +
+        models.trainingPhases.size();
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            aapm_warn("cannot open '%s' for writing", tmp.c_str());
+            return false;
+        }
+        out.precision(17);   // doubles round-trip exactly at 17 digits
+        out << kTrainedMagic << " " << kTrainedVersion << "\n";
+        out << "fingerprint " << fingerprint << "\n";
+        out << "perf " << models.perf.threshold << " "
+            << models.perf.exponent << " " << models.perf.loss << "\n";
+        out << "minima " << models.perf.exponentMinima.size() << "\n";
+        for (const auto &[e, l] : models.perf.exponentMinima)
+            out << "minimum " << e << " " << l << "\n";
+        out << "pstates " << models.power.coeffs.size() << "\n";
+        for (size_t i = 0; i < models.power.coeffs.size(); ++i) {
+            out << "power " << models.power.coeffs[i].alpha << " "
+                << models.power.coeffs[i].beta << " "
+                << (i < models.power.meanAbsErrorW.size()
+                        ? models.power.meanAbsErrorW[i]
+                        : 0.0)
+                << "\n";
+        }
+        out << "points " << models.power.points.size() << "\n";
+        for (const auto &p : models.power.points) {
+            out << "point " << p.name << " " << p.pstate << " " << p.dpc
+                << " " << p.ipc << " " << p.dcuPerCycle << " "
+                << p.powerW << "\n";
+        }
+        out << "phases " << models.trainingPhases.size() << "\n";
+        for (const auto &[name, ph] : models.trainingPhases) {
+            out << "phase " << name << " " << ph.name << " "
+                << ph.instructions << " " << ph.baseCpi << " "
+                << ph.decodeRatio << " " << ph.memPerInstr << " "
+                << ph.l1MissPerInstr << " " << ph.l2MissPerInstr << " "
+                << ph.prefetchCoverage << " " << ph.mlp << " "
+                << ph.l2Mlp << " " << ph.fpPerInstr << " "
+                << ph.resourceStallFrac << " " << (ph.idle ? 1 : 0)
+                << "\n";
+        }
+        out << "end " << records << "\n";
+        out.flush();
+        if (!out) {
+            // A failed write must not leave a half-cache behind.
+            std::remove(tmp.c_str());
+            aapm_warn("write to '%s' failed", tmp.c_str());
+            return false;
+        }
     }
-    out << "points " << models.power.points.size() << "\n";
-    for (const auto &p : models.power.points) {
-        out << "point " << p.name << " " << p.pstate << " " << p.dpc
-            << " " << p.ipc << " " << p.dcuPerCycle << " " << p.powerW
-            << "\n";
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        aapm_warn("cannot publish model cache '%s'", path.c_str());
+        return false;
     }
-    out << "phases " << models.trainingPhases.size() << "\n";
-    for (const auto &[name, ph] : models.trainingPhases) {
-        out << "phase " << name << " " << ph.name << " "
-            << ph.instructions << " " << ph.baseCpi << " "
-            << ph.decodeRatio << " " << ph.memPerInstr << " "
-            << ph.l1MissPerInstr << " " << ph.l2MissPerInstr << " "
-            << ph.prefetchCoverage << " " << ph.mlp << " " << ph.l2Mlp
-            << " " << ph.fpPerInstr << " " << ph.resourceStallFrac
-            << " " << (ph.idle ? 1 : 0) << "\n";
-    }
-    if (!out)
-        aapm_fatal("write to '%s' failed", path.c_str());
+    return true;
 }
 
 bool
@@ -169,6 +222,7 @@ loadTrainedModels(const std::string &path, uint64_t fingerprint,
 
     TrainedModels m;
     size_t n = 0;
+    uint64_t records = 0;
     if (!(in >> key >> m.perf.threshold >> m.perf.exponent >>
           m.perf.loss) || key != "perf") {
         return false;
@@ -180,6 +234,7 @@ loadTrainedModels(const std::string &path, uint64_t fingerprint,
         if (!(in >> key >> e >> l) || key != "minimum")
             return false;
         m.perf.exponentMinima.emplace_back(e, l);
+        ++records;
     }
     if (!(in >> key >> n) || key != "pstates" || n == 0)
         return false;
@@ -190,6 +245,7 @@ loadTrainedModels(const std::string &path, uint64_t fingerprint,
             return false;
         m.power.coeffs.push_back(c);
         m.power.meanAbsErrorW.push_back(err);
+        ++records;
     }
     if (!(in >> key >> n) || key != "points")
         return false;
@@ -200,6 +256,7 @@ loadTrainedModels(const std::string &path, uint64_t fingerprint,
             return false;
         }
         m.power.points.push_back(std::move(p));
+        ++records;
     }
     if (!(in >> key >> n) || key != "phases")
         return false;
@@ -217,7 +274,17 @@ loadTrainedModels(const std::string &path, uint64_t fingerprint,
         }
         ph.idle = idle != 0;
         m.trainingPhases.emplace_back(std::move(display), ph);
+        ++records;
     }
+    // The trailer must declare exactly the record count parsed above,
+    // and nothing may follow it: a truncated or appended-to file is a
+    // corrupt cache, not a shorter-but-valid model set.
+    uint64_t declared = 0;
+    if (!(in >> key >> declared) || key != "end" || declared != records)
+        return false;
+    std::string trailing;
+    if (in >> trailing)
+        return false;
     out = std::move(m);
     return true;
 }

@@ -54,22 +54,31 @@ ModelFile loadModelFile(const std::string &path);
  * characterization phases, raw training points and fit residuals the
  * harnesses inspect — so repeat invocations skip training entirely.
  *
+ * The file is written to `<path>.tmp.<pid>` and published with
+ * std::rename, so concurrent processes sharing one cache path never
+ * observe a torn file; the format ends with an `end <record-count>`
+ * trailer that loadTrainedModels() verifies.
+ *
  * @param fingerprint Hash of the platform configuration the models
  *        were trained on; loadTrainedModels() refuses a file whose
  *        fingerprint differs (a stale cache, not an error).
  *
- * fatal() on I/O error.
+ * @return true on success; false (with a warning, and no file left at
+ *         the temp path) when the write or the publish rename failed —
+ *         the cache is an optimization, not a correctness requirement.
  */
-void saveTrainedModels(const std::string &path, const TrainedModels &models,
+bool saveTrainedModels(const std::string &path, const TrainedModels &models,
                        uint64_t fingerprint);
 
 /**
  * Reload a training result saved by saveTrainedModels().
  *
  * @return true and fill `out` on success; false when the file is
- *         missing, malformed, from a different format version, or
- *         carries a different configuration fingerprint — the caller
- *         retrains in every false case.
+ *         missing, malformed, truncated (record count disagrees with
+ *         the `end` trailer), carries trailing bytes, is from a
+ *         different format version, or carries a different
+ *         configuration fingerprint — the caller retrains in every
+ *         false case.
  */
 bool loadTrainedModels(const std::string &path, uint64_t fingerprint,
                        TrainedModels &out);

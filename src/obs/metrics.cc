@@ -1,0 +1,364 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+/** Bucket index for a histogram observation: floor(log2(v)) + 1. */
+size_t
+bucketFor(double value)
+{
+    if (!(value >= 1.0))   // negatives, NaN and sub-unit values
+        return 0;
+    const uint64_t v = value >= 9.2e18 ? ~0ull
+                                       : static_cast<uint64_t>(value);
+    return std::min<size_t>(63, std::bit_width(v));
+}
+
+/** One thread's private accumulation block. Relaxed atomics so the
+ *  snapshot merge can read concurrently without a data race; the
+ *  writing thread owns the cache lines, so the adds stay cheap. */
+struct Shard
+{
+    std::array<std::atomic<uint64_t>, MetricRegistry::MaxCounters>
+        counters{};
+
+    struct Hist
+    {
+        std::atomic<uint64_t> count{0};
+        std::atomic<double> sum{0.0};
+        std::array<std::atomic<uint64_t>, 64> buckets{};
+    };
+    std::array<Hist, MetricRegistry::MaxHistograms> hists{};
+};
+
+/** Retired (thread-exited) totals, plain values under the core mutex. */
+struct RetiredTotals
+{
+    std::array<uint64_t, MetricRegistry::MaxCounters> counters{};
+
+    struct Hist
+    {
+        uint64_t count = 0;
+        double sum = 0.0;
+        std::array<uint64_t, 64> buckets{};
+    };
+    std::array<Hist, MetricRegistry::MaxHistograms> hists{};
+};
+
+void
+foldShard(const Shard &shard, RetiredTotals &into)
+{
+    for (size_t i = 0; i < into.counters.size(); ++i) {
+        into.counters[i] +=
+            shard.counters[i].load(std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < into.hists.size(); ++i) {
+        into.hists[i].count +=
+            shard.hists[i].count.load(std::memory_order_relaxed);
+        into.hists[i].sum +=
+            shard.hists[i].sum.load(std::memory_order_relaxed);
+        for (size_t b = 0; b < 64; ++b) {
+            into.hists[i].buckets[b] +=
+                shard.hists[i].buckets[b].load(
+                    std::memory_order_relaxed);
+        }
+    }
+}
+
+const char *
+kindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+} // namespace
+
+/** Shared registry state; outlives the registry itself when a thread
+ *  exit still holds a reference (shards retire into it safely). */
+struct MetricRegistry::Core
+{
+    mutable std::mutex mutex;
+
+    struct Meta
+    {
+        std::string name;
+        MetricKind kind;
+        size_t slot;   ///< counter/gauge/histogram slot index
+    };
+    std::vector<Meta> metas;
+    std::unordered_map<std::string, size_t> byName;
+    size_t counterCount = 0;
+    size_t gaugeCount = 0;
+    size_t histCount = 0;
+
+    /** Gauges are process-wide, not per-thread. */
+    std::vector<double> gauges;
+
+    std::vector<std::shared_ptr<Shard>> shards;
+    RetiredTotals retired;
+
+    size_t
+    registerMetric(const std::string &name, MetricKind kind)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = byName.find(name);
+        if (it != byName.end()) {
+            const Meta &meta = metas[it->second];
+            aapm_assert(meta.kind == kind,
+                        "metric '%s' re-registered as a different kind",
+                        name.c_str());
+            return meta.slot;
+        }
+        size_t slot = 0;
+        switch (kind) {
+          case MetricKind::Counter:
+            aapm_assert(counterCount < MaxCounters,
+                        "counter registry full");
+            slot = counterCount++;
+            break;
+          case MetricKind::Gauge:
+            slot = gaugeCount++;
+            gauges.push_back(0.0);
+            break;
+          case MetricKind::Histogram:
+            aapm_assert(histCount < MaxHistograms,
+                        "histogram registry full");
+            slot = histCount++;
+            break;
+        }
+        byName.emplace(name, metas.size());
+        metas.push_back({name, kind, slot});
+        return slot;
+    }
+};
+
+namespace
+{
+
+/**
+ * Thread-local shard handle: one entry per registry this thread has
+ * recorded into. The destructor folds the shard into the registry's
+ * retired totals, so counts survive thread exit; the shared_ptr keeps
+ * the core alive even if the registry was destroyed first.
+ */
+struct TlsEntry
+{
+    std::shared_ptr<MetricRegistry::Core> core;
+    std::shared_ptr<Shard> shard;
+};
+
+struct TlsShards
+{
+    std::vector<TlsEntry> entries;
+
+    ~TlsShards()
+    {
+        for (auto &e : entries) {
+            std::lock_guard<std::mutex> lock(e.core->mutex);
+            foldShard(*e.shard, e.core->retired);
+            auto &shards = e.core->shards;
+            for (size_t i = 0; i < shards.size(); ++i) {
+                if (shards[i] == e.shard) {
+                    shards.erase(shards.begin() + i);
+                    break;
+                }
+            }
+        }
+    }
+};
+
+Shard &
+shardFor(const std::shared_ptr<MetricRegistry::Core> &core)
+{
+    thread_local TlsShards tls;
+    // Single-registry fast path: the last-used entry is almost always
+    // the right one.
+    for (auto &e : tls.entries) {
+        if (e.core.get() == core.get())
+            return *e.shard;
+    }
+    auto shard = std::make_shared<Shard>();
+    {
+        std::lock_guard<std::mutex> lock(core->mutex);
+        core->shards.push_back(shard);
+    }
+    tls.entries.push_back({core, shard});
+    return *shard;
+}
+
+} // namespace
+
+MetricRegistry::MetricRegistry() : core_(std::make_shared<Core>()) {}
+
+MetricRegistry::~MetricRegistry() = default;
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+CounterId
+MetricRegistry::counter(const std::string &name)
+{
+    return {core_->registerMetric(name, MetricKind::Counter)};
+}
+
+GaugeId
+MetricRegistry::gauge(const std::string &name)
+{
+    return {core_->registerMetric(name, MetricKind::Gauge)};
+}
+
+HistogramId
+MetricRegistry::histogram(const std::string &name)
+{
+    return {core_->registerMetric(name, MetricKind::Histogram)};
+}
+
+void
+MetricRegistry::add(CounterId id, uint64_t delta)
+{
+    aapm_assert(id.index < MaxCounters, "unregistered counter id");
+    shardFor(core_).counters[id.index].fetch_add(
+        delta, std::memory_order_relaxed);
+}
+
+void
+MetricRegistry::set(GaugeId id, double value)
+{
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    aapm_assert(id.index < core_->gauges.size(),
+                "unregistered gauge id");
+    core_->gauges[id.index] = value;
+}
+
+void
+MetricRegistry::observe(HistogramId id, double value)
+{
+    aapm_assert(id.index < MaxHistograms, "unregistered histogram id");
+    auto &hist = shardFor(core_).hists[id.index];
+    hist.count.fetch_add(1, std::memory_order_relaxed);
+    // fetch_add on atomic<double> compiles to a CAS loop; the shard is
+    // thread-private so it never spins in practice.
+    hist.sum.fetch_add(value, std::memory_order_relaxed);
+    hist.buckets[bucketFor(value)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+std::vector<MetricValue>
+MetricRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(core_->mutex);
+    RetiredTotals merged = core_->retired;
+    for (const auto &shard : core_->shards)
+        foldShard(*shard, merged);
+
+    std::vector<MetricValue> out;
+    out.reserve(core_->metas.size());
+    for (const auto &meta : core_->metas) {
+        MetricValue v;
+        v.name = meta.name;
+        v.kind = meta.kind;
+        switch (meta.kind) {
+          case MetricKind::Counter:
+            v.count = merged.counters[meta.slot];
+            break;
+          case MetricKind::Gauge:
+            v.value = core_->gauges[meta.slot];
+            break;
+          case MetricKind::Histogram:
+            v.count = merged.hists[meta.slot].count;
+            v.value = merged.hists[meta.slot].sum;
+            v.buckets = merged.hists[meta.slot].buckets;
+            break;
+        }
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+uint64_t
+MetricRegistry::counterValue(const std::string &name) const
+{
+    for (const auto &m : snapshot()) {
+        if (m.name == name && m.kind == MetricKind::Counter)
+            return m.count;
+    }
+    return 0;
+}
+
+bool
+MetricRegistry::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        aapm_warn("cannot open '%s' for metrics output", path.c_str());
+        return false;
+    }
+    out.precision(17);
+    out << "{\n  \"aapm_metrics\": 1,\n  \"metrics\": [\n";
+    const auto metrics = snapshot();
+    for (size_t i = 0; i < metrics.size(); ++i) {
+        const MetricValue &m = metrics[i];
+        out << "    {\"name\": \"" << m.name << "\", \"kind\": \""
+            << kindName(m.kind) << "\"";
+        switch (m.kind) {
+          case MetricKind::Counter:
+            out << ", \"value\": " << m.count;
+            break;
+          case MetricKind::Gauge:
+            out << ", \"value\": " << m.value;
+            break;
+          case MetricKind::Histogram:
+            out << ", \"count\": " << m.count << ", \"sum\": "
+                << m.value << ", \"mean\": " << m.mean()
+                << ", \"buckets\": {";
+            {
+                bool first = true;
+                for (size_t b = 0; b < m.buckets.size(); ++b) {
+                    if (m.buckets[b] == 0)
+                        continue;
+                    if (!first)
+                        out << ", ";
+                    first = false;
+                    out << "\"" << b << "\": " << m.buckets[b];
+                }
+            }
+            out << "}";
+            break;
+        }
+        out << "}" << (i + 1 < metrics.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    out.flush();
+    if (!out) {
+        aapm_warn("write to '%s' failed", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace aapm

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * MetricRegistry: named counters, gauges and log-bucket histograms
+ * with cheap thread-local accumulation and an explicit merge step.
+ *
+ * Hot paths (SweepRunner workers, the batched simulation kernel, the
+ * profiling scopes) record into a per-thread shard — a relaxed atomic
+ * add on a cache line no other thread writes — so concurrent runs
+ * never contend on a shared counter. snapshot() merges every live
+ * shard with the totals retired by exited threads under the registry
+ * mutex; the merge is the only synchronization point.
+ *
+ * Metric names are registered once (the id lookup takes the registry
+ * mutex) and recorded through small value-type ids, so call sites cache
+ * the id in a function-local static and pay only the shard add per
+ * event.
+ */
+
+#ifndef AAPM_OBS_METRICS_HH
+#define AAPM_OBS_METRICS_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace aapm
+{
+
+/** Metric families the registry can hold. */
+enum class MetricKind
+{
+    Counter,    ///< monotonic event count
+    Gauge,      ///< last-written value (process-wide, not per-thread)
+    Histogram   ///< power-of-two bucketed value distribution
+};
+
+/** Opaque handle to a registered counter. */
+struct CounterId
+{
+    size_t index = static_cast<size_t>(-1);
+};
+
+/** Opaque handle to a registered gauge. */
+struct GaugeId
+{
+    size_t index = static_cast<size_t>(-1);
+};
+
+/** Opaque handle to a registered histogram. */
+struct HistogramId
+{
+    size_t index = static_cast<size_t>(-1);
+};
+
+/** One merged metric in a snapshot. */
+struct MetricValue
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    /** Counter total, or histogram observation count. */
+    uint64_t count = 0;
+    /** Gauge value, or histogram observation sum. */
+    double value = 0.0;
+    /**
+     * Histogram only: buckets[i] counts observations v with
+     * 2^(i-1) <= v < 2^i (bucket 0 holds v < 1).
+     */
+    std::array<uint64_t, 64> buckets{};
+
+    /** Histogram mean (0 when empty). */
+    double mean() const
+    {
+        return count > 0 ? value / static_cast<double>(count) : 0.0;
+    }
+};
+
+/**
+ * The registry. Thread-safe throughout: registration and snapshotting
+ * take a mutex, recording is a relaxed atomic op on a thread-local
+ * shard. Registering the same name twice returns the original id (the
+ * kind must match).
+ */
+class MetricRegistry
+{
+  public:
+    /** Scalar (counter) slots per registry. */
+    static constexpr size_t MaxCounters = 512;
+    /** Histogram slots per registry. */
+    static constexpr size_t MaxHistograms = 64;
+
+    MetricRegistry();
+    ~MetricRegistry();
+
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** The process-wide registry the library's own metrics land in. */
+    static MetricRegistry &global();
+
+    /** Register (or look up) a counter. */
+    CounterId counter(const std::string &name);
+
+    /** Register (or look up) a gauge. */
+    GaugeId gauge(const std::string &name);
+
+    /** Register (or look up) a histogram. */
+    HistogramId histogram(const std::string &name);
+
+    /** Add to a counter (thread-local, contention-free). */
+    void add(CounterId id, uint64_t delta = 1);
+
+    /** Set a gauge (process-wide last-writer-wins). */
+    void set(GaugeId id, double value);
+
+    /** Record one observation (thread-local, contention-free). */
+    void observe(HistogramId id, double value);
+
+    /**
+     * Merge every thread's shard with the retired totals and return
+     * all metrics in registration order.
+     */
+    std::vector<MetricValue> snapshot() const;
+
+    /** Merged value of a counter by name (0 when unregistered). */
+    uint64_t counterValue(const std::string &name) const;
+
+    /**
+     * Write the snapshot as a single JSON document:
+     * {"aapm_metrics":1,"metrics":[...]}.
+     * @return false (with a warning) when the file cannot be written.
+     */
+    bool writeJson(const std::string &path) const;
+
+    /** Shared implementation state (opaque; defined in metrics.cc —
+     *  public only so the thread-local shard machinery can hold it). */
+    struct Core;
+
+  private:
+    std::shared_ptr<Core> core_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_OBS_METRICS_HH

@@ -1,0 +1,36 @@
+#include "obs/profile.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace aapm
+{
+
+namespace
+{
+
+/** -1 = not yet resolved from the environment, else 0/1. */
+std::atomic<int> profFlag{-1};
+
+} // namespace
+
+bool
+profilingEnabled()
+{
+    int flag = profFlag.load(std::memory_order_relaxed);
+    if (flag < 0) {
+        const char *env = std::getenv("AAPM_PROF");
+        flag = (env && *env && std::strcmp(env, "0") != 0) ? 1 : 0;
+        profFlag.store(flag, std::memory_order_relaxed);
+    }
+    return flag != 0;
+}
+
+void
+setProfiling(bool enabled)
+{
+    profFlag.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+} // namespace aapm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scoped-timer profiling hooks.
+ *
+ * AAPM_PROF_SCOPE("platform_run") at the top of a function records the
+ * scope's wall-clock nanoseconds into the histogram
+ * "prof.platform_run.ns" in MetricRegistry::global() — but only when
+ * profiling is on (the AAPM_PROF environment variable, or
+ * setProfiling(true)). Off, a scope costs one predictable branch on a
+ * cached flag; no clock is read.
+ */
+
+#ifndef AAPM_OBS_PROFILE_HH
+#define AAPM_OBS_PROFILE_HH
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hh"
+
+namespace aapm
+{
+
+/** Is profiling on? First call caches the AAPM_PROF environment
+ *  variable ("" and "0" mean off); setProfiling() overrides it. */
+bool profilingEnabled();
+
+/** Force profiling on or off (tests, programmatic use). */
+void setProfiling(bool enabled);
+
+/** RAII timer: records scope duration (ns) into a global histogram. */
+class ProfScope
+{
+  public:
+    explicit ProfScope(HistogramId id)
+        : id_(id), active_(profilingEnabled())
+    {
+        if (active_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ProfScope()
+    {
+        if (!active_)
+            return;
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        MetricRegistry::global().observe(
+            id_, static_cast<double>(ns));
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    HistogramId id_;
+    bool active_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace aapm
+
+/**
+ * Profile the enclosing scope under "prof.<name>.ns". `name` must be a
+ * string literal; the histogram id is registered once per call site.
+ */
+#define AAPM_PROF_SCOPE(name)                                          \
+    static const ::aapm::HistogramId aapm_prof_id_ =                   \
+        ::aapm::MetricRegistry::global().histogram(                    \
+            "prof." name ".ns");                                       \
+    ::aapm::ProfScope aapm_prof_scope_(aapm_prof_id_)
+
+#endif // AAPM_OBS_PROFILE_HH

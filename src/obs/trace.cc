@@ -1,0 +1,602 @@
+#include "obs/trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+const char *const kFieldNames[] = {
+    "i",           "t_tick",     "dt_s",        "cycles",
+    "ipc",         "dpc",        "dcu",         "util",
+    "measured_w",  "temp_c",     "pstate",      "last_actuation",
+    "true_w",      "true_ipc",   "true_dpc",    "die_temp_c",
+    "pred_valid",  "pred_w",     "proj_ipc",    "mem_class",
+    "decided",     "decision",   "actuation",   "stall_ticks",
+    "fallback",    "blind",      "substitutions",
+};
+constexpr size_t kNumFields =
+    sizeof(kFieldNames) / sizeof(kFieldNames[0]);
+
+/** %.17g — doubles round-trip exactly at 17 significant digits. */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+DvfsOutcome
+outcomeFromName(const std::string &name, bool *ok)
+{
+    for (DvfsOutcome o :
+         {DvfsOutcome::Applied, DvfsOutcome::Unchanged,
+          DvfsOutcome::Deferred, DvfsOutcome::Rejected,
+          DvfsOutcome::Stuck}) {
+        if (name == dvfsOutcomeName(o)) {
+            *ok = true;
+            return o;
+        }
+    }
+    *ok = false;
+    return DvfsOutcome::Unchanged;
+}
+
+/**
+ * Extract the raw value token for `key` from a flat, single-line JSON
+ * object. Handles numbers, null, booleans and quoted strings; returns
+ * false when the key is absent.
+ */
+bool
+jsonValue(const std::string &line, const std::string &key,
+          std::string *out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    size_t i = pos + needle.size();
+    while (i < line.size() && line[i] == ' ')
+        ++i;
+    if (i >= line.size())
+        return false;
+    if (line[i] == '"') {
+        const size_t close = line.find('"', i + 1);
+        if (close == std::string::npos)
+            return false;
+        *out = line.substr(i + 1, close - i - 1);
+        return true;
+    }
+    size_t end = i;
+    int depth = 0;
+    while (end < line.size()) {
+        const char c = line[end];
+        if (c == '[' || c == '{')
+            ++depth;
+        else if (c == ']' || c == '}') {
+            if (depth == 0)
+                break;
+            --depth;
+        } else if (c == ',' && depth == 0) {
+            break;
+        }
+        ++end;
+    }
+    *out = line.substr(i, end - i);
+    return true;
+}
+
+bool
+jsonDouble(const std::string &line, const std::string &key, double *out)
+{
+    std::string tok;
+    if (!jsonValue(line, key, &tok))
+        return false;
+    if (tok == "null") {
+        *out = NAN;
+        return true;
+    }
+    char *end = nullptr;
+    *out = std::strtod(tok.c_str(), &end);
+    return end != tok.c_str();
+}
+
+bool
+jsonU64(const std::string &line, const std::string &key, uint64_t *out)
+{
+    std::string tok;
+    if (!jsonValue(line, key, &tok))
+        return false;
+    char *end = nullptr;
+    *out = std::strtoull(tok.c_str(), &end, 10);
+    return end != tok.c_str();
+}
+
+bool
+jsonBool(const std::string &line, const std::string &key, bool *out)
+{
+    std::string tok;
+    if (!jsonValue(line, key, &tok))
+        return false;
+    if (tok == "true")
+        *out = true;
+    else if (tok == "false")
+        *out = false;
+    else
+        return false;
+    return true;
+}
+
+/** Serialize a double as JSON (NaN has no JSON spelling; use null). */
+std::string
+jsonNum(double v)
+{
+    return std::isnan(v) ? "null" : fmtDouble(v);
+}
+
+std::string
+recordToJson(const IntervalRecord &r)
+{
+    std::ostringstream os;
+    os << "{\"i\": " << r.index
+       << ", \"t_tick\": " << r.when
+       << ", \"dt_s\": " << jsonNum(r.intervalSeconds)
+       << ", \"cycles\": " << r.cycles
+       << ", \"ipc\": " << jsonNum(r.ipc)
+       << ", \"dpc\": " << jsonNum(r.dpc)
+       << ", \"dcu\": " << jsonNum(r.dcuPerCycle)
+       << ", \"util\": " << jsonNum(r.utilization)
+       << ", \"measured_w\": " << jsonNum(r.measuredW)
+       << ", \"temp_c\": " << jsonNum(r.tempC)
+       << ", \"pstate\": " << r.pstate
+       << ", \"last_actuation\": \""
+       << dvfsOutcomeName(r.lastActuation) << "\""
+       << ", \"true_w\": " << jsonNum(r.trueW)
+       << ", \"true_ipc\": " << jsonNum(r.trueIpc)
+       << ", \"true_dpc\": " << jsonNum(r.trueDpc)
+       << ", \"die_temp_c\": " << jsonNum(r.dieTempC)
+       << ", \"pred_valid\": " << (r.predValid ? "true" : "false")
+       << ", \"pred_w\": " << jsonNum(r.predictedPowerW)
+       << ", \"proj_ipc\": " << jsonNum(r.projectedIpc)
+       << ", \"mem_class\": " << r.memBoundClass
+       << ", \"decided\": " << (r.decided ? "true" : "false")
+       << ", \"decision\": " << r.decision
+       << ", \"actuation\": \"" << dvfsOutcomeName(r.actuation) << "\""
+       << ", \"stall_ticks\": " << r.stallTicks
+       << ", \"fallback\": " << (r.fallback ? "true" : "false")
+       << ", \"blind\": " << (r.blind ? "true" : "false")
+       << ", \"substitutions\": " << r.substitutions
+       << "}";
+    return os.str();
+}
+
+bool
+recordFromJson(const std::string &line, IntervalRecord *r)
+{
+    uint64_t u = 0;
+    double d = 0.0;
+    std::string s;
+    bool ok = true;
+
+    if (!jsonU64(line, "i", &r->index))
+        return false;
+    if (!jsonU64(line, "t_tick", &u))
+        return false;
+    r->when = u;
+    if (!jsonDouble(line, "dt_s", &r->intervalSeconds))
+        return false;
+    if (!jsonU64(line, "cycles", &r->cycles))
+        return false;
+    if (!jsonDouble(line, "ipc", &r->ipc) ||
+        !jsonDouble(line, "dpc", &r->dpc) ||
+        !jsonDouble(line, "dcu", &r->dcuPerCycle) ||
+        !jsonDouble(line, "util", &r->utilization) ||
+        !jsonDouble(line, "measured_w", &r->measuredW) ||
+        !jsonDouble(line, "temp_c", &r->tempC)) {
+        return false;
+    }
+    if (!jsonU64(line, "pstate", &u))
+        return false;
+    r->pstate = u;
+    if (!jsonValue(line, "last_actuation", &s))
+        return false;
+    r->lastActuation = outcomeFromName(s, &ok);
+    if (!ok)
+        return false;
+    if (!jsonDouble(line, "true_w", &r->trueW) ||
+        !jsonDouble(line, "true_ipc", &r->trueIpc) ||
+        !jsonDouble(line, "true_dpc", &r->trueDpc) ||
+        !jsonDouble(line, "die_temp_c", &r->dieTempC)) {
+        return false;
+    }
+    if (!jsonBool(line, "pred_valid", &r->predValid))
+        return false;
+    if (!jsonDouble(line, "pred_w", &r->predictedPowerW) ||
+        !jsonDouble(line, "proj_ipc", &r->projectedIpc)) {
+        return false;
+    }
+    if (!jsonDouble(line, "mem_class", &d))
+        return false;
+    r->memBoundClass = static_cast<int>(d);
+    if (!jsonBool(line, "decided", &r->decided))
+        return false;
+    if (!jsonU64(line, "decision", &u))
+        return false;
+    r->decision = u;
+    if (!jsonValue(line, "actuation", &s))
+        return false;
+    r->actuation = outcomeFromName(s, &ok);
+    if (!ok)
+        return false;
+    if (!jsonU64(line, "stall_ticks", &u))
+        return false;
+    r->stallTicks = u;
+    if (!jsonBool(line, "fallback", &r->fallback) ||
+        !jsonBool(line, "blind", &r->blind)) {
+        return false;
+    }
+    if (!jsonU64(line, "substitutions", &r->substitutions))
+        return false;
+    return true;
+}
+
+std::vector<std::string>
+splitCsv(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    for (char c : line) {
+        if (c == ',') {
+            cells.push_back(cell);
+            cell.clear();
+        } else {
+            cell += c;
+        }
+    }
+    cells.push_back(cell);
+    return cells;
+}
+
+} // namespace
+
+MonitorSample
+IntervalRecord::toSample() const
+{
+    MonitorSample s;
+    s.intervalSeconds = intervalSeconds;
+    s.cycles = cycles;
+    s.ipc = ipc;
+    s.dpc = dpc;
+    s.dcuPerCycle = dcuPerCycle;
+    s.measuredPowerW = measuredW;
+    s.tempC = tempC;
+    s.pstate = pstate;
+    s.utilization = utilization;
+    s.lastActuation = lastActuation;
+    return s;
+}
+
+const std::vector<std::string> &
+traceFieldNames()
+{
+    static const std::vector<std::string> names(
+        kFieldNames, kFieldNames + kNumFields);
+    return names;
+}
+
+// --- JSONL sink ---------------------------------------------------------
+
+struct JsonlTraceSink::Impl
+{
+    std::ofstream out;
+    std::string path;
+    uint64_t records = 0;
+};
+
+JsonlTraceSink::JsonlTraceSink(const std::string &path)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->out.open(path);
+    impl_->path = path;
+    if (!impl_->out)
+        aapm_fatal("cannot open '%s' for trace output", path.c_str());
+}
+
+JsonlTraceSink::~JsonlTraceSink() = default;
+
+void
+JsonlTraceSink::begin(const TraceRunMeta &meta)
+{
+    auto &out = impl_->out;
+    impl_->records = 0;
+    out << "{\"aapm_trace\": 1, \"workload\": \"" << meta.workload
+        << "\", \"governor\": \"" << meta.governor
+        << "\", \"interval_ticks\": " << meta.intervalTicks
+        << ", \"every\": " << meta.every
+        << ", \"pstates\": " << meta.pstateCount << ", \"fields\": [";
+    const auto &fields = traceFieldNames();
+    for (size_t i = 0; i < fields.size(); ++i) {
+        out << "\"" << fields[i] << "\""
+            << (i + 1 < fields.size() ? ", " : "");
+    }
+    out << "]}\n";
+}
+
+void
+JsonlTraceSink::record(const IntervalRecord &rec)
+{
+    impl_->out << recordToJson(rec) << "\n";
+    ++impl_->records;
+}
+
+void
+JsonlTraceSink::end(Tick endTick)
+{
+    impl_->out << "{\"aapm_trace_end\": " << endTick
+               << ", \"records\": " << impl_->records << "}\n";
+    impl_->out.flush();
+    if (!impl_->out)
+        aapm_warn("trace write to '%s' failed", impl_->path.c_str());
+}
+
+bool
+readTraceJsonl(const std::string &path, ParsedTrace &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    uint64_t version = 0;
+    if (!jsonU64(line, "aapm_trace", &version) || version != 1)
+        return false;
+    if (!jsonValue(line, "workload", &out.meta.workload) ||
+        !jsonValue(line, "governor", &out.meta.governor)) {
+        return false;
+    }
+    uint64_t u = 0;
+    if (!jsonU64(line, "interval_ticks", &u))
+        return false;
+    out.meta.intervalTicks = u;
+    if (!jsonU64(line, "every", &out.meta.every))
+        return false;
+    if (!jsonU64(line, "pstates", &u))
+        return false;
+    out.meta.pstateCount = u;
+
+    bool sawEnd = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (line.find("\"aapm_trace_end\"") != std::string::npos) {
+            if (!jsonU64(line, "aapm_trace_end", &u))
+                return false;
+            out.endTick = u;
+            if (!jsonU64(line, "records", &out.declaredRecords))
+                return false;
+            sawEnd = true;
+            break;
+        }
+        IntervalRecord rec;
+        if (!recordFromJson(line, &rec))
+            return false;
+        out.records.push_back(rec);
+    }
+    return sawEnd && out.declaredRecords == out.records.size();
+}
+
+// --- CSV sink -----------------------------------------------------------
+
+struct CsvTraceSink::Impl
+{
+    std::ofstream out;
+    std::string path;
+    uint64_t records = 0;
+};
+
+CsvTraceSink::CsvTraceSink(const std::string &path)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->out.open(path);
+    impl_->path = path;
+    if (!impl_->out)
+        aapm_fatal("cannot open '%s' for trace output", path.c_str());
+}
+
+CsvTraceSink::~CsvTraceSink() = default;
+
+void
+CsvTraceSink::begin(const TraceRunMeta &meta)
+{
+    auto &out = impl_->out;
+    impl_->records = 0;
+    out << "# aapm-trace 1\n";
+    out << "# workload " << meta.workload << "\n";
+    out << "# governor " << meta.governor << "\n";
+    out << "# interval_ticks " << meta.intervalTicks << "\n";
+    out << "# every " << meta.every << "\n";
+    out << "# pstates " << meta.pstateCount << "\n";
+    const auto &fields = traceFieldNames();
+    for (size_t i = 0; i < fields.size(); ++i)
+        out << fields[i] << (i + 1 < fields.size() ? "," : "\n");
+}
+
+void
+CsvTraceSink::record(const IntervalRecord &r)
+{
+    auto &out = impl_->out;
+    out << r.index << ',' << r.when << ',' << fmtDouble(r.intervalSeconds)
+        << ',' << r.cycles << ',' << fmtDouble(r.ipc) << ','
+        << fmtDouble(r.dpc) << ',' << fmtDouble(r.dcuPerCycle) << ','
+        << fmtDouble(r.utilization) << ',' << fmtDouble(r.measuredW)
+        << ',' << fmtDouble(r.tempC) << ',' << r.pstate << ','
+        << dvfsOutcomeName(r.lastActuation) << ',' << fmtDouble(r.trueW)
+        << ',' << fmtDouble(r.trueIpc) << ',' << fmtDouble(r.trueDpc)
+        << ',' << fmtDouble(r.dieTempC) << ',' << (r.predValid ? 1 : 0)
+        << ',' << fmtDouble(r.predictedPowerW) << ','
+        << fmtDouble(r.projectedIpc) << ',' << r.memBoundClass << ','
+        << (r.decided ? 1 : 0) << ',' << r.decision << ','
+        << dvfsOutcomeName(r.actuation) << ',' << r.stallTicks << ','
+        << (r.fallback ? 1 : 0) << ',' << (r.blind ? 1 : 0) << ','
+        << r.substitutions << '\n';
+    ++impl_->records;
+}
+
+void
+CsvTraceSink::end(Tick endTick)
+{
+    impl_->out << "# end " << endTick << " " << impl_->records << "\n";
+    impl_->out.flush();
+    if (!impl_->out)
+        aapm_warn("trace write to '%s' failed", impl_->path.c_str());
+}
+
+bool
+readTraceCsv(const std::string &path, ParsedTrace &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    bool sawHeaderRow = false;
+    bool sawVersion = false;
+    bool sawEnd = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream is(line.substr(1));
+            std::string key;
+            is >> key;
+            if (key == "aapm-trace") {
+                int v = 0;
+                if (!(is >> v) || v != 1)
+                    return false;
+                sawVersion = true;
+            } else if (key == "workload") {
+                is >> out.meta.workload;
+            } else if (key == "governor") {
+                is >> out.meta.governor;
+            } else if (key == "interval_ticks") {
+                uint64_t u = 0;
+                is >> u;
+                out.meta.intervalTicks = u;
+            } else if (key == "every") {
+                is >> out.meta.every;
+            } else if (key == "pstates") {
+                uint64_t u = 0;
+                is >> u;
+                out.meta.pstateCount = u;
+            } else if (key == "end") {
+                uint64_t t = 0;
+                if (!(is >> t >> out.declaredRecords))
+                    return false;
+                out.endTick = t;
+                sawEnd = true;
+            }
+            continue;
+        }
+        if (!sawHeaderRow) {
+            const auto cells = splitCsv(line);
+            const auto &fields = traceFieldNames();
+            if (cells.size() != fields.size())
+                return false;
+            for (size_t i = 0; i < cells.size(); ++i) {
+                if (cells[i] != fields[i])
+                    return false;
+            }
+            sawHeaderRow = true;
+            continue;
+        }
+        const auto cells = splitCsv(line);
+        if (cells.size() != kNumFields)
+            return false;
+        IntervalRecord r;
+        size_t c = 0;
+        bool ok = true;
+        const auto num = [&](double *v) {
+            char *end = nullptr;
+            *v = std::strtod(cells[c].c_str(), &end);
+            ok = ok && end != cells[c].c_str();
+            ++c;
+        };
+        const auto u64 = [&](uint64_t *v) {
+            char *end = nullptr;
+            *v = std::strtoull(cells[c].c_str(), &end, 10);
+            ok = ok && end != cells[c].c_str();
+            ++c;
+        };
+        const auto flag = [&](bool *v) {
+            *v = cells[c] == "1";
+            ok = ok && (cells[c] == "0" || cells[c] == "1");
+            ++c;
+        };
+        const auto outcome = [&](DvfsOutcome *v) {
+            bool found = false;
+            *v = outcomeFromName(cells[c], &found);
+            ok = ok && found;
+            ++c;
+        };
+        uint64_t u = 0;
+        double d = 0.0;
+        u64(&r.index);
+        u64(&u);
+        r.when = u;
+        num(&r.intervalSeconds);
+        u64(&r.cycles);
+        num(&r.ipc);
+        num(&r.dpc);
+        num(&r.dcuPerCycle);
+        num(&r.utilization);
+        num(&r.measuredW);
+        num(&r.tempC);
+        u64(&u);
+        r.pstate = u;
+        outcome(&r.lastActuation);
+        num(&r.trueW);
+        num(&r.trueIpc);
+        num(&r.trueDpc);
+        num(&r.dieTempC);
+        flag(&r.predValid);
+        num(&r.predictedPowerW);
+        num(&r.projectedIpc);
+        num(&d);
+        r.memBoundClass = static_cast<int>(d);
+        flag(&r.decided);
+        u64(&u);
+        r.decision = u;
+        outcome(&r.actuation);
+        u64(&u);
+        r.stallTicks = u;
+        flag(&r.fallback);
+        flag(&r.blind);
+        u64(&r.substitutions);
+        if (!ok)
+            return false;
+        out.records.push_back(r);
+    }
+    return sawVersion && sawHeaderRow && sawEnd &&
+           out.declaredRecords == out.records.size();
+}
+
+std::unique_ptr<TraceSink>
+makeTraceSink(const std::string &path)
+{
+    const size_t dot = path.rfind('.');
+    if (dot != std::string::npos && path.substr(dot) == ".csv")
+        return std::make_unique<CsvTraceSink>(path);
+    return std::make_unique<JsonlTraceSink>(path);
+}
+
+} // namespace aapm

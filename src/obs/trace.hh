@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Interval tracing: one structured record per 10 ms control interval.
+ *
+ * The paper's methodology is Monitor → Estimate → Control; the tracer
+ * captures all three stages plus the ground truth the estimators never
+ * see — what the governor observed (counter rates, measured power,
+ * temperature), what it predicted (power estimate, projected IPC,
+ * memory-bound class), what it decided, how the actuator responded,
+ * what the supervisor was doing, and the true power/thermal state —
+ * so accuracy and regression questions become trace queries instead of
+ * printf sessions.
+ *
+ * Records flow through a TraceSink. JSONL and CSV sinks are provided
+ * (doubles serialized at 17 significant digits so a trace replays the
+ * governor's decision sequence exactly); a sampling knob (`every=N`)
+ * keeps full-length runs fast. With no tracer attached the platform's
+ * per-interval cost is a single pointer test.
+ */
+
+#ifndef AAPM_OBS_TRACE_HH
+#define AAPM_OBS_TRACE_HH
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dvfs/dvfs_controller.hh"
+#include "mgmt/governor.hh"
+#include "sim/ticks.hh"
+
+namespace aapm
+{
+
+/** Per-run metadata, emitted as the trace header. */
+struct TraceRunMeta
+{
+    std::string workload;
+    std::string governor;
+    Tick intervalTicks = 0;
+    uint64_t every = 1;
+    size_t pstateCount = 0;
+};
+
+/** Everything captured about one control interval. */
+struct IntervalRecord
+{
+    /** Interval number within the run, 0-based. */
+    uint64_t index = 0;
+    /** Simulated tick at the interval's end. */
+    Tick when = 0;
+
+    // --- Monitor: the sample the governor saw. ---
+    double intervalSeconds = 0.0;
+    uint64_t cycles = 0;
+    double ipc = NAN;
+    double dpc = NAN;
+    double dcuPerCycle = NAN;
+    double utilization = 1.0;
+    double measuredW = NAN;
+    double tempC = NAN;
+    size_t pstate = 0;
+    DvfsOutcome lastActuation = DvfsOutcome::Unchanged;
+
+    // --- Ground truth the governor never sees. ---
+    double trueW = 0.0;
+    double trueIpc = 0.0;
+    double trueDpc = 0.0;
+    double dieTempC = 0.0;
+
+    // --- Estimate: the model's view (GovernorInsight). ---
+    bool predValid = false;
+    double predictedPowerW = NAN;
+    double projectedIpc = NAN;
+    int memBoundClass = -1;
+
+    // --- Control: decision and actuation. ---
+    bool decided = false;
+    size_t decision = 0;
+    DvfsOutcome actuation = DvfsOutcome::Unchanged;
+    Tick stallTicks = 0;
+
+    // --- Supervisor recovery state. ---
+    bool fallback = false;
+    bool blind = false;
+    uint64_t substitutions = 0;
+
+    /** Reassemble the MonitorSample the governor was given. */
+    MonitorSample toSample() const;
+};
+
+/** Destination for interval records. Not thread-safe by itself; the
+ *  IntervalTracer serializes access. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Start of a run. */
+    virtual void begin(const TraceRunMeta &meta) = 0;
+
+    /** One sampled interval. */
+    virtual void record(const IntervalRecord &rec) = 0;
+
+    /** End of the run, at the given simulated tick. */
+    virtual void end(Tick endTick) = 0;
+};
+
+/** Column/field names, in serialization order (the schema). */
+const std::vector<std::string> &traceFieldNames();
+
+/** JSONL sink: one header object, one object per record, one footer. */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    /** Open `path` for writing; fatal() when it cannot be opened. */
+    explicit JsonlTraceSink(const std::string &path);
+    ~JsonlTraceSink() override;
+
+    void begin(const TraceRunMeta &meta) override;
+    void record(const IntervalRecord &rec) override;
+    void end(Tick endTick) override;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** CSV sink: `# key value` comment header, column row, data rows. */
+class CsvTraceSink : public TraceSink
+{
+  public:
+    /** Open `path` for writing; fatal() when it cannot be opened. */
+    explicit CsvTraceSink(const std::string &path);
+    ~CsvTraceSink() override;
+
+    void begin(const TraceRunMeta &meta) override;
+    void record(const IntervalRecord &rec) override;
+    void end(Tick endTick) override;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** In-memory sink for tests and programmatic analysis. */
+class VectorTraceSink : public TraceSink
+{
+  public:
+    void begin(const TraceRunMeta &meta) override { meta_ = meta; }
+    void record(const IntervalRecord &rec) override
+    {
+        records_.push_back(rec);
+    }
+    void end(Tick endTick) override { endTick_ = endTick; }
+
+    const TraceRunMeta &meta() const { return meta_; }
+    const std::vector<IntervalRecord> &records() const
+    {
+        return records_;
+    }
+    Tick endTick() const { return endTick_; }
+    void clear() { records_.clear(); endTick_ = 0; }
+
+  private:
+    TraceRunMeta meta_;
+    std::vector<IntervalRecord> records_;
+    Tick endTick_ = 0;
+};
+
+/** Sink that only counts records (overhead benchmarking). */
+class NullTraceSink : public TraceSink
+{
+  public:
+    void begin(const TraceRunMeta &) override {}
+    void record(const IntervalRecord &) override { ++records_; }
+    void end(Tick) override {}
+
+    uint64_t records() const { return records_; }
+
+  private:
+    uint64_t records_ = 0;
+};
+
+/**
+ * File sink by extension: ".csv" gets a CsvTraceSink, everything else
+ * a JsonlTraceSink.
+ */
+std::unique_ptr<TraceSink> makeTraceSink(const std::string &path);
+
+/**
+ * The platform-facing tracing front end: sampling (`every`) plus a
+ * mutex so one tracer can be shared across SweepRunner workers (each
+ * run's begin/record/end sequence should still come from one thread).
+ * every == 0 disables record capture entirely while keeping the sink's
+ * begin/end framing.
+ */
+class IntervalTracer
+{
+  public:
+    /**
+     * @param sink Destination (not owned; must outlive the tracer).
+     * @param every Record every Nth interval (1 = all, 0 = none).
+     */
+    explicit IntervalTracer(TraceSink &sink, uint64_t every = 1)
+        : sink_(&sink), every_(every)
+    {
+    }
+
+    /** Should interval `index` be captured? */
+    bool
+    wants(uint64_t index) const
+    {
+        return every_ != 0 && index % every_ == 0;
+    }
+
+    /** The sampling stride. */
+    uint64_t every() const { return every_; }
+
+    void
+    begin(const TraceRunMeta &meta)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sink_->begin(meta);
+    }
+
+    void
+    record(const IntervalRecord &rec)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sink_->record(rec);
+    }
+
+    void
+    end(Tick endTick)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sink_->end(endTick);
+    }
+
+  private:
+    TraceSink *sink_;
+    uint64_t every_;
+    std::mutex mutex_;
+};
+
+/** A parsed trace file. */
+struct ParsedTrace
+{
+    TraceRunMeta meta;
+    std::vector<IntervalRecord> records;
+    Tick endTick = 0;
+    /** Footer record count (JSONL) or parsed row count (CSV). */
+    uint64_t declaredRecords = 0;
+};
+
+/**
+ * Read a JSONL trace back. @return false on missing file, bad header,
+ * malformed record, or a footer whose record count disagrees.
+ */
+bool readTraceJsonl(const std::string &path, ParsedTrace &out);
+
+/** Read a CSV trace back; same contract as readTraceJsonl(). */
+bool readTraceCsv(const std::string &path, ParsedTrace &out);
+
+} // namespace aapm
+
+#endif // AAPM_OBS_TRACE_HH

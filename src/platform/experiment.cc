@@ -1,6 +1,8 @@
 #include "platform/experiment.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
 
 namespace aapm
 {
@@ -8,6 +10,11 @@ namespace aapm
 TrainedModels
 trainModels(const PlatformConfig &config)
 {
+    AAPM_PROF_SCOPE("train_models");
+    static const CounterId trainings_id =
+        MetricRegistry::global().counter("models.trainings");
+    MetricRegistry::global().add(trainings_id, 1);
+
     TrainedModels out;
 
     // Characterize the 12 MS-Loops points against the cache hierarchy.

@@ -8,9 +8,70 @@
 #include "cpu/phase_timing.hh"
 #include "fault/fault_injector.hh"
 #include "mgmt/static_clock.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
 
 namespace aapm
 {
+
+namespace
+{
+
+/**
+ * Assemble and emit one interval trace record. Deliberately out of
+ * line: the record assembly must not bloat the monitor loop, whose
+ * per-interval tracing cost with no tracer attached is a single
+ * pointer test (see the obs overhead guard in bench_library_perf).
+ */
+__attribute__((noinline)) void
+recordTraceInterval(IntervalTracer &tracer, Governor &governor,
+                    uint64_t interval_index, Tick end_tick,
+                    const MonitorSample &sample, double true_avg,
+                    const EventTotals &interval_events, double die_temp,
+                    bool stopping, size_t decided_state,
+                    DvfsOutcome act_outcome, Tick act_stall)
+{
+    IntervalRecord rec;
+    rec.index = interval_index;
+    rec.when = end_tick;
+    rec.intervalSeconds = sample.intervalSeconds;
+    rec.cycles = sample.cycles;
+    rec.ipc = sample.ipc;
+    rec.dpc = sample.dpc;
+    rec.dcuPerCycle = sample.dcuPerCycle;
+    rec.utilization = sample.utilization;
+    rec.measuredW = sample.measuredPowerW;
+    rec.tempC = sample.tempC;
+    rec.pstate = sample.pstate;
+    rec.lastActuation = sample.lastActuation;
+    rec.trueW = true_avg;
+    const double ev_cycles = interval_events.cycles;
+    rec.trueIpc = ev_cycles > 0.0
+        ? interval_events.instructionsRetired / ev_cycles
+        : 0.0;
+    rec.trueDpc = ev_cycles > 0.0
+        ? interval_events.instructionsDecoded / ev_cycles
+        : 0.0;
+    rec.dieTempC = die_temp;
+    GovernorInsight insight;
+    if (!stopping)
+        governor.explain(insight);
+    rec.predValid = insight.valid;
+    rec.predictedPowerW = insight.predictedPowerW;
+    rec.projectedIpc = insight.projectedIpc;
+    rec.memBoundClass = insight.memBoundClass;
+    rec.decided = !stopping;
+    rec.decision = decided_state;
+    rec.actuation = act_outcome;
+    rec.stallTicks = act_stall;
+    rec.fallback = insight.fallback;
+    rec.blind = insight.blindCounters;
+    rec.substitutions = insight.substitutions;
+    tracer.record(rec);
+}
+
+} // namespace
 
 Platform::Platform(PlatformConfig config)
     : config_(std::move(config)), core_(config_.core),
@@ -55,6 +116,7 @@ RunResult
 Platform::run(const Workload &workload, Governor &governor,
               const RunOptions &options)
 {
+    AAPM_PROF_SCOPE("platform_run");
     ++runSeq_;
     WorkloadCursor cursor(workload);
     DvfsController dvfs(config_.pstates, config_.initialPState,
@@ -90,6 +152,22 @@ Platform::run(const Workload &workload, Governor &governor,
     if (options.recordTrace)
         result.trace.markStart(0);
 
+    IntervalTracer *const tracer = options.tracer;
+    if (tracer) {
+        TraceRunMeta meta;
+        meta.workload = workload.name();
+        meta.governor = governor.name();
+        meta.intervalTicks = config_.sampleInterval;
+        meta.every = tracer->every();
+        meta.pstateCount = config_.pstates.size();
+        tracer->begin(meta);
+    }
+    // Per-run interval tallies flushed to the global registry once at
+    // the end, so the hot loop touches only stack words.
+    uint64_t fast_intervals = 0;
+    uint64_t chunked_intervals = 0;
+    uint64_t traced_records = 0;
+
     // Commands sorted by delivery time.
     std::vector<ScheduledCommand> commands = options.commands;
     std::sort(commands.begin(), commands.end(),
@@ -104,15 +182,24 @@ Platform::run(const Workload &workload, Governor &governor,
     std::vector<ExecChunk> chunks;
 
     const bool fast_allowed = !options.forceChunkedKernel;
+    // Hoisted sampling stride: 0 (no tracer, or every=0) keeps the
+    // per-interval tracing cost to one register test.
+    const uint64_t trace_every = tracer ? tracer->every() : 0;
+    // Insight capture can cost an extra model evaluation per decide();
+    // only traced runs pay it.
+    governor.setInsightWanted(trace_every != 0);
     bool stop = false;
 
     // The monitor loop is the only event source, so it runs as a plain
     // loop over sample boundaries instead of through an event queue:
     // one interval per iteration, `now` at the interval's end.
     Tick now = 0;
-    while (!stop) {
+    uint64_t interval_index = 0;
+    for (; !stop; ++interval_index) {
         now += config_.sampleInterval;
         const Tick interval_start = now - config_.sampleInterval;
+        const bool want_trace =
+            trace_every != 0 && interval_index % trace_every == 0;
 
         if (injector) {
             injector->beginInterval(interval_start);
@@ -148,7 +235,7 @@ Platform::run(const Workload &workload, Governor &governor,
                 // The full scaled totals are only needed by the trace;
                 // the PMU accumulates straight from the per-instruction
                 // rates.
-                if (options.recordTrace)
+                if (options.recordTrace || want_trace)
                     interval_events = row.perInstr.scaledBy(n);
                 const double t_c = config_.thermalFeedback
                     ? thermal.temperature()
@@ -206,6 +293,11 @@ Platform::run(const Workload &workload, Governor &governor,
                 pmu.absorb(chunk.events);
             }
         }
+
+        if (integrated)
+            ++fast_intervals;
+        else
+            ++chunked_intervals;
 
         const Tick actual_dt = used_total;
         end_tick = interval_start + actual_dt;
@@ -301,19 +393,39 @@ Platform::run(const Workload &workload, Governor &governor,
                 governor.setPerformanceFloor(cmd.value);
         }
 
-        // --- Control. ---
-        if (cursor.done())
-            break;
-        if (options.maxTime != 0 && now >= options.maxTime)
-            break;
-        const size_t next = governor.decide(sample, dvfs.currentIndex());
-        if (next != dvfs.currentIndex()) {
-            const DvfsActuation act = dvfs.applyPState(next);
-            pending_stall += act.stallTicks;
-            last_actuation = act.outcome;
-        } else {
-            last_actuation = DvfsOutcome::Unchanged;
+        // --- Control. The governor is consulted exactly as without a
+        // tracer: never for the final (stopping) interval. ---
+        const bool stopping = cursor.done() ||
+            (options.maxTime != 0 && now >= options.maxTime);
+        size_t decided_state = dvfs.currentIndex();
+        DvfsOutcome act_outcome = DvfsOutcome::Unchanged;
+        Tick act_stall = 0;
+        if (!stopping) {
+            const size_t next =
+                governor.decide(sample, dvfs.currentIndex());
+            decided_state = next;
+            if (next != dvfs.currentIndex()) {
+                const DvfsActuation act = dvfs.applyPState(next);
+                pending_stall += act.stallTicks;
+                last_actuation = act.outcome;
+                act_outcome = act.outcome;
+                act_stall = act.stallTicks;
+            } else {
+                last_actuation = DvfsOutcome::Unchanged;
+            }
         }
+
+        if (want_trace) {
+            recordTraceInterval(*tracer, governor, interval_index,
+                                end_tick, sample, true_avg,
+                                interval_events, thermal.temperature(),
+                                stopping, decided_state, act_outcome,
+                                act_stall);
+            ++traced_records;
+        }
+
+        if (stopping)
+            break;
     }
 
     result.seconds = ticksToSeconds(end_tick);
@@ -329,6 +441,24 @@ Platform::run(const Workload &workload, Governor &governor,
     result.recovery.sensorClamped += sensor.clampedInputs();
     if (options.recordTrace)
         result.trace.markEnd(end_tick);
+    if (tracer)
+        tracer->end(end_tick);
+
+    // One registry flush per run; ids registered once per process.
+    static const CounterId runs_id =
+        MetricRegistry::global().counter("platform.runs");
+    static const CounterId fast_id =
+        MetricRegistry::global().counter("platform.fast_intervals");
+    static const CounterId chunked_id =
+        MetricRegistry::global().counter("platform.chunked_intervals");
+    static const CounterId traced_id =
+        MetricRegistry::global().counter("platform.traced_records");
+    MetricRegistry &reg = MetricRegistry::global();
+    reg.add(runs_id, 1);
+    reg.add(fast_id, fast_intervals);
+    reg.add(chunked_id, chunked_intervals);
+    if (traced_records > 0)
+        reg.add(traced_id, traced_records);
     return result;
 }
 

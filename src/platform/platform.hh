@@ -28,6 +28,8 @@
 namespace aapm
 {
 
+class IntervalTracer;
+
 /** Everything configurable about the simulated system. */
 struct PlatformConfig
 {
@@ -86,6 +88,12 @@ struct RunOptions
     FaultPlan faultPlan;
     /** Non-zero overrides the plan's RNG seed (per-run fault streams). */
     uint64_t faultSeed = 0;
+    /**
+     * Interval tracer (not owned; must outlive the run). nullptr
+     * disables tracing — the per-interval cost is then one pointer
+     * test, and the simulation is bit-identical to a traced run.
+     */
+    IntervalTracer *tracer = nullptr;
 };
 
 /** Everything measured about one run. */

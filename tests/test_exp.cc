@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -395,6 +396,48 @@ TEST(ModelCache, TrainedModelsRoundTripThroughModelIo)
     // So is a missing file.
     EXPECT_FALSE(loadTrainedModels(path + ".missing", fp, stale));
     std::filesystem::remove(path);
+}
+
+TEST(ModelCache, DistinctConfigsTrainConcurrently)
+{
+    // Regression test for the old whole-cache lock: training config A
+    // must not serialize training config B. Two threads release from a
+    // barrier into sharedModels() with two fresh fingerprints; the
+    // cache's in-flight peak must see both trainings at once.
+    ::unsetenv("AAPM_MODEL_CACHE");
+    PlatformConfig a;
+    a.core.dramLatencyNs += 2.0;   // fingerprints unused elsewhere
+    PlatformConfig b;
+    b.core.dramLatencyNs += 3.0;
+    ASSERT_NE(platformFingerprint(a), platformFingerprint(b));
+
+    const ModelCacheStats before = modelCacheStats();
+    std::atomic<int> ready{0};
+    const TrainedModels *ra = nullptr;
+    const TrainedModels *rb = nullptr;
+    auto train = [&ready](const PlatformConfig &config,
+                          const TrainedModels **out) {
+        ready.fetch_add(1);
+        while (ready.load() < 2) {
+        }
+        *out = &sharedModels(config);
+    };
+    std::thread ta(train, std::cref(a), &ra);
+    std::thread tb(train, std::cref(b), &rb);
+    ta.join();
+    tb.join();
+    const ModelCacheStats after = modelCacheStats();
+
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    EXPECT_NE(ra, rb);
+    EXPECT_EQ(after.trainings, before.trainings + 2);
+    EXPECT_EQ(after.misses, before.misses + 2);
+    EXPECT_GE(after.concurrentPeak, 2u);
+
+    // Same-config callers still share one instance (and count a hit).
+    EXPECT_EQ(&sharedModels(a), ra);
+    EXPECT_EQ(modelCacheStats().hits, after.hits + 1);
 }
 
 TEST(ModelCache, EstimatorsFromReloadedModelsMatch)

@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "common/random.hh"
 #include "mgmt/performance_maximizer.hh"
@@ -132,6 +136,210 @@ TEST(ModelIo, EmptySaveRejected)
 {
     EXPECT_THROW(saveModelFile(tempPath("x.txt"), ModelFile{}),
                  std::runtime_error);
+}
+
+// ------------------------------------------------------------------ //
+//               Trained-model cache corruption handling              //
+// ------------------------------------------------------------------ //
+
+/** A small hand-built training result; `tag` makes two distinct. */
+TrainedModels
+makeTrained(double tag)
+{
+    TrainedModels m;
+    m.perf.threshold = 1.0 + tag;
+    m.perf.exponent = 0.5 + tag;
+    m.perf.loss = 0.25 + tag;
+    m.perf.exponentMinima = {{0.5, 0.1 + tag}, {0.8, 0.05 + tag}};
+    m.power.coeffs = {{7.25 + tag, 5.5}, {9.75 + tag, 6.5}};
+    m.power.meanAbsErrorW = {0.125, 0.25};
+    TrainingPoint p;
+    p.name = "pt0";
+    p.pstate = 1;
+    p.dpc = 1.5 + tag;
+    p.ipc = 1.25;
+    p.dcuPerCycle = 0.0625;
+    p.powerW = 12.5 + tag;
+    m.power.points.push_back(p);
+    Phase ph;
+    ph.name = "tp0";
+    ph.instructions = 1000;
+    ph.baseCpi = 1.0 + tag;
+    ph.decodeRatio = 1.25;
+    m.trainingPhases.emplace_back("train-a", ph);
+    return m;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream(path) << text;
+}
+
+TEST(TrainedCache, HandBuiltModelsRoundTrip)
+{
+    const std::string path = tempPath("trained_hand.txt");
+    const TrainedModels saved = makeTrained(0.5);
+    ASSERT_TRUE(saveTrainedModels(path, saved, 42));
+    TrainedModels loaded;
+    ASSERT_TRUE(loadTrainedModels(path, 42, loaded));
+    EXPECT_EQ(loaded.perf.threshold, saved.perf.threshold);
+    EXPECT_EQ(loaded.perf.exponentMinima, saved.perf.exponentMinima);
+    EXPECT_EQ(loaded.power.coeffs[1].alpha, saved.power.coeffs[1].alpha);
+    EXPECT_EQ(loaded.power.points[0].powerW, saved.power.points[0].powerW);
+    EXPECT_EQ(loaded.trainingPhases[0].first, "train-a");
+    std::remove(path.c_str());
+}
+
+TEST(TrainedCache, SaveLeavesNoTempFileBehind)
+{
+    const std::string path = tempPath("trained_atomic.txt");
+    ASSERT_TRUE(saveTrainedModels(path, makeTrained(0.0), 42));
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    EXPECT_FALSE(std::ifstream(tmp).good());
+    EXPECT_TRUE(std::ifstream(path).good());
+    std::remove(path.c_str());
+}
+
+TEST(TrainedCache, FailedSaveReturnsFalse)
+{
+    // An unwritable destination is a warning, not a crash, and no
+    // cache file (or temp file) appears.
+    EXPECT_FALSE(saveTrainedModels("/nonexistent/dir/trained.txt",
+                                   makeTrained(0.0), 42));
+}
+
+TEST(TrainedCache, TruncatedFileRejected)
+{
+    const std::string path = tempPath("trained_trunc.txt");
+    ASSERT_TRUE(saveTrainedModels(path, makeTrained(0.0), 42));
+    const std::string text = readFile(path);
+
+    // Dropping the `end` trailer must be rejected.
+    const size_t endpos = text.rfind("end ");
+    ASSERT_NE(endpos, std::string::npos);
+    writeFile(path, text.substr(0, endpos));
+    TrainedModels out;
+    EXPECT_FALSE(loadTrainedModels(path, 42, out));
+
+    // So must cutting the file mid-record.
+    writeFile(path, text.substr(0, text.size() / 2));
+    EXPECT_FALSE(loadTrainedModels(path, 42, out));
+    std::remove(path.c_str());
+}
+
+TEST(TrainedCache, TrailingBytesRejected)
+{
+    const std::string path = tempPath("trained_trailing.txt");
+    ASSERT_TRUE(saveTrainedModels(path, makeTrained(0.0), 42));
+    writeFile(path, readFile(path) + "junk\n");
+    TrainedModels out;
+    EXPECT_FALSE(loadTrainedModels(path, 42, out));
+    std::remove(path.c_str());
+}
+
+TEST(TrainedCache, WrongEndCountRejected)
+{
+    const std::string path = tempPath("trained_count.txt");
+    ASSERT_TRUE(saveTrainedModels(path, makeTrained(0.0), 42));
+    std::string text = readFile(path);
+    const size_t endpos = text.rfind("end ");
+    ASSERT_NE(endpos, std::string::npos);
+    writeFile(path, text.substr(0, endpos) + "end 99\n");
+    TrainedModels out;
+    EXPECT_FALSE(loadTrainedModels(path, 42, out));
+    std::remove(path.c_str());
+}
+
+TEST(TrainedCache, OldFormatVersionRejected)
+{
+    // A version-1 file (no trailer) is a stale cache: retrain.
+    const std::string path = tempPath("trained_v1.txt");
+    ASSERT_TRUE(saveTrainedModels(path, makeTrained(0.0), 42));
+    std::string text = readFile(path);
+    const size_t pos = text.find("aapm-trained 2");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 14, "aapm-trained 1");
+    writeFile(path, text);
+    TrainedModels out;
+    EXPECT_FALSE(loadTrainedModels(path, 42, out));
+    std::remove(path.c_str());
+}
+
+TEST(TrainedCache, ForkedConcurrentWritersNeverPublishTornFiles)
+{
+    // Two child processes hammer one cache path with two *different*
+    // model sets under the same fingerprint, while the parent loads in
+    // a loop: every successful load must be exactly model A or exactly
+    // model B — the tmp+rename publish never exposes a torn mix.
+    const std::string path = tempPath("trained_fork.txt");
+    std::remove(path.c_str());
+    const uint64_t fp = 77;
+    const TrainedModels a = makeTrained(0.0);
+    const TrainedModels b = makeTrained(1.0);
+
+    const auto spawnWriter = [&](const TrainedModels &m) {
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            for (int i = 0; i < 150; ++i) {
+                if (!saveTrainedModels(path, m, fp))
+                    ::_exit(1);
+            }
+            ::_exit(0);
+        }
+        return pid;
+    };
+    const pid_t ca = spawnWriter(a);
+    ASSERT_GT(ca, 0);
+    const pid_t cb = spawnWriter(b);
+    ASSERT_GT(cb, 0);
+
+    size_t loads = 0;
+    bool a_done = false, b_done = false;
+    while (!a_done || !b_done) {
+        TrainedModels got;
+        if (loadTrainedModels(path, fp, got)) {
+            ++loads;
+            const double alpha = got.power.coeffs[0].alpha;
+            const bool is_a = alpha == a.power.coeffs[0].alpha;
+            const bool is_b = alpha == b.power.coeffs[0].alpha;
+            ASSERT_TRUE(is_a || is_b) << "torn cache file";
+            const TrainedModels &want = is_a ? a : b;
+            ASSERT_EQ(got.perf.threshold, want.perf.threshold);
+            ASSERT_EQ(got.perf.exponentMinima,
+                      want.perf.exponentMinima);
+            ASSERT_EQ(got.power.coeffs[1].beta,
+                      want.power.coeffs[1].beta);
+            ASSERT_EQ(got.power.points[0].powerW,
+                      want.power.points[0].powerW);
+            ASSERT_EQ(got.trainingPhases[0].second.baseCpi,
+                      want.trainingPhases[0].second.baseCpi);
+        }
+        int status = 0;
+        if (!a_done && ::waitpid(ca, &status, WNOHANG) == ca) {
+            a_done = true;
+            EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+        }
+        if (!b_done && ::waitpid(cb, &status, WNOHANG) == cb) {
+            b_done = true;
+            EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+        }
+    }
+    // Both writers have finished: the published file is complete.
+    TrainedModels final_models;
+    EXPECT_TRUE(loadTrainedModels(path, fp, final_models));
+    EXPECT_GT(loads, 0u);
+    std::remove(path.c_str());
 }
 
 // ------------------------------------------------------------------ //

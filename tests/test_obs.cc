@@ -1,0 +1,569 @@
+/**
+ * @file
+ * Observability-layer tests: MetricRegistry semantics (thread-local
+ * shards, retired-thread merge, JSON export), profiling scopes, the
+ * interval tracer (JSONL/CSV round-trips at full double precision,
+ * `every=N` sampling, bit-identical simulation with tracing on/off)
+ * and governor-decision replay from a captured trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "aapm.hh"
+#include "common/random.hh"
+
+namespace
+{
+
+using namespace aapm;
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// ------------------------------------------------------------------ //
+//                          MetricRegistry                            //
+// ------------------------------------------------------------------ //
+
+TEST(Metrics, CountersAccumulateAndMerge)
+{
+    MetricRegistry reg;
+    const CounterId id = reg.counter("events");
+    reg.add(id);
+    reg.add(id, 41);
+    EXPECT_EQ(reg.counterValue("events"), 42u);
+    EXPECT_EQ(reg.counterValue("never-registered"), 0u);
+}
+
+TEST(Metrics, DuplicateNameReturnsSameSlot)
+{
+    MetricRegistry reg;
+    const CounterId a = reg.counter("dup");
+    const CounterId b = reg.counter("dup");
+    EXPECT_EQ(a.index, b.index);
+    reg.add(a, 1);
+    reg.add(b, 2);
+    EXPECT_EQ(reg.counterValue("dup"), 3u);
+}
+
+TEST(Metrics, GaugeIsLastWriterWins)
+{
+    MetricRegistry reg;
+    const GaugeId id = reg.gauge("level");
+    reg.set(id, 1.5);
+    reg.set(id, 2.5);
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].name, "level");
+    EXPECT_EQ(snap[0].kind, MetricKind::Gauge);
+    EXPECT_DOUBLE_EQ(snap[0].value, 2.5);
+}
+
+TEST(Metrics, HistogramBucketsArePowerOfTwo)
+{
+    MetricRegistry reg;
+    const HistogramId id = reg.histogram("lat");
+    reg.observe(id, 0.5);   // bucket 0: v < 1
+    reg.observe(id, 1.0);   // bucket 1: 1 <= v < 2
+    reg.observe(id, 3.0);   // bucket 2: 2 <= v < 4
+    reg.observe(id, 3.5);   // bucket 2
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].count, 4u);
+    EXPECT_DOUBLE_EQ(snap[0].value, 8.0);
+    EXPECT_DOUBLE_EQ(snap[0].mean(), 2.0);
+    EXPECT_EQ(snap[0].buckets[0], 1u);
+    EXPECT_EQ(snap[0].buckets[1], 1u);
+    EXPECT_EQ(snap[0].buckets[2], 2u);
+}
+
+TEST(Metrics, ExitedThreadShardsFoldIntoSnapshot)
+{
+    MetricRegistry reg;
+    const CounterId cid = reg.counter("thread.events");
+    const HistogramId hid = reg.histogram("thread.obs");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 1000; ++i)
+                reg.add(cid);
+            reg.observe(hid, 2.0);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    // Every recording thread has exited: the snapshot must see the
+    // retired totals.
+    EXPECT_EQ(reg.counterValue("thread.events"), 4000u);
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    for (const auto &m : snap) {
+        if (m.name != "thread.obs")
+            continue;
+        EXPECT_EQ(m.count, 4u);
+        EXPECT_DOUBLE_EQ(m.value, 8.0);
+    }
+}
+
+TEST(Metrics, LiveThreadShardsMergeWithoutExit)
+{
+    // The snapshotting thread itself holds a live shard.
+    MetricRegistry reg;
+    const CounterId id = reg.counter("live");
+    reg.add(id, 7);
+    EXPECT_EQ(reg.counterValue("live"), 7u);
+    reg.add(id, 3);
+    EXPECT_EQ(reg.counterValue("live"), 10u);
+}
+
+TEST(Metrics, WriteJsonProducesDocument)
+{
+    MetricRegistry reg;
+    reg.add(reg.counter("written.count"), 5);
+    reg.observe(reg.histogram("written.hist"), 4.0);
+    const std::string path = tempPath("metrics_out.json");
+    ASSERT_TRUE(reg.writeJson(path));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string doc = ss.str();
+    EXPECT_NE(doc.find("\"aapm_metrics\""), std::string::npos);
+    EXPECT_NE(doc.find("written.count"), std::string::npos);
+    EXPECT_NE(doc.find("written.hist"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Metrics, WriteJsonFailsGracefully)
+{
+    MetricRegistry reg;
+    reg.add(reg.counter("x"), 1);
+    EXPECT_FALSE(reg.writeJson("/nonexistent/dir/metrics.json"));
+}
+
+// ------------------------------------------------------------------ //
+//                         Profiling scopes                           //
+// ------------------------------------------------------------------ //
+
+uint64_t
+histogramCount(const std::string &name)
+{
+    for (const auto &m : MetricRegistry::global().snapshot()) {
+        if (m.name == name)
+            return m.count;
+    }
+    return 0;
+}
+
+void
+profiledWork()
+{
+    AAPM_PROF_SCOPE("obs_test_work");
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i)
+        sink = sink + i;
+}
+
+TEST(Profiling, ScopeRecordsOnlyWhenEnabled)
+{
+    setProfiling(false);
+    profiledWork();
+    const uint64_t off = histogramCount("prof.obs_test_work.ns");
+    setProfiling(true);
+    profiledWork();
+    profiledWork();
+    setProfiling(false);
+    EXPECT_EQ(histogramCount("prof.obs_test_work.ns"), off + 2);
+    profiledWork();
+    EXPECT_EQ(histogramCount("prof.obs_test_work.ns"), off + 2);
+}
+
+// ------------------------------------------------------------------ //
+//                        Interval tracing                            //
+// ------------------------------------------------------------------ //
+
+Phase
+randomPhase(Rng &rng)
+{
+    Phase p;
+    p.name = "fuzz";
+    p.baseCpi = rng.uniform(0.4, 2.0);
+    p.decodeRatio = rng.uniform(1.0, 1.7);
+    p.memPerInstr = rng.uniform(0.2, 0.6);
+    p.l1MissPerInstr = rng.uniform(0.0, p.memPerInstr * 0.3);
+    p.l2MissPerInstr = rng.uniform(0.0, p.l1MissPerInstr);
+    p.prefetchCoverage = rng.uniform(0.0, 0.9);
+    p.mlp = rng.uniform(1.0, 3.0);
+    p.l2Mlp = rng.uniform(1.0, 3.0);
+    p.fpPerInstr = rng.uniform(0.0, 0.6);
+    p.resourceStallFrac = rng.uniform(0.0, 0.2);
+    return p;
+}
+
+Workload
+randomWorkload(uint64_t seed, const CoreParams &core)
+{
+    Rng rng(seed);
+    CoreModel model(core);
+    Workload w("fuzz", 4);
+    const int phases = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < phases; ++i) {
+        Phase p = randomPhase(rng);
+        p.instructions = std::max<uint64_t>(
+            10'000, static_cast<uint64_t>(
+                        model.instrPerSec(p, 2.0) *
+                        rng.uniform(0.02, 0.3)));
+        w.add(p);
+    }
+    return w;
+}
+
+/** NaN-tolerant exact double comparison. */
+bool
+sameDouble(double a, double b)
+{
+    return (std::isnan(a) && std::isnan(b)) || a == b;
+}
+
+void
+expectRecordsEqual(const IntervalRecord &a, const IntervalRecord &b,
+                   size_t i)
+{
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.when, b.when);
+    EXPECT_TRUE(sameDouble(a.intervalSeconds, b.intervalSeconds));
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_TRUE(sameDouble(a.ipc, b.ipc));
+    EXPECT_TRUE(sameDouble(a.dpc, b.dpc));
+    EXPECT_TRUE(sameDouble(a.dcuPerCycle, b.dcuPerCycle));
+    EXPECT_TRUE(sameDouble(a.utilization, b.utilization));
+    EXPECT_TRUE(sameDouble(a.measuredW, b.measuredW));
+    EXPECT_TRUE(sameDouble(a.tempC, b.tempC));
+    EXPECT_EQ(a.pstate, b.pstate);
+    EXPECT_EQ(a.lastActuation, b.lastActuation);
+    EXPECT_TRUE(sameDouble(a.trueW, b.trueW));
+    EXPECT_TRUE(sameDouble(a.trueIpc, b.trueIpc));
+    EXPECT_TRUE(sameDouble(a.trueDpc, b.trueDpc));
+    EXPECT_TRUE(sameDouble(a.dieTempC, b.dieTempC));
+    EXPECT_EQ(a.predValid, b.predValid);
+    EXPECT_TRUE(sameDouble(a.predictedPowerW, b.predictedPowerW));
+    EXPECT_TRUE(sameDouble(a.projectedIpc, b.projectedIpc));
+    EXPECT_EQ(a.memBoundClass, b.memBoundClass);
+    EXPECT_EQ(a.decided, b.decided);
+    EXPECT_EQ(a.decision, b.decision);
+    EXPECT_EQ(a.actuation, b.actuation);
+    EXPECT_EQ(a.stallTicks, b.stallTicks);
+    EXPECT_EQ(a.fallback, b.fallback);
+    EXPECT_EQ(a.blind, b.blind);
+    EXPECT_EQ(a.substitutions, b.substitutions);
+}
+
+/** Run `w` under a fresh PM and capture every interval in memory. */
+RunResult
+tracedPmRun(Platform &platform, const Workload &w, VectorTraceSink &vec,
+            uint64_t every = 1)
+{
+    PerformanceMaximizer pm(PowerEstimator::paperPentiumM(),
+                            {.powerLimitW = 13.5});
+    IntervalTracer tracer(vec, every);
+    RunOptions opts;
+    opts.tracer = &tracer;
+    return platform.run(w, pm, opts);
+}
+
+TEST(Trace, SchemaIsStable)
+{
+    const auto &names = traceFieldNames();
+    ASSERT_EQ(names.size(), 27u);
+    EXPECT_EQ(names.front(), "i");
+    EXPECT_EQ(names[1], "t_tick");
+    EXPECT_EQ(names[16], "pred_valid");
+    EXPECT_EQ(names.back(), "substitutions");
+}
+
+TEST(Trace, RunIsBitIdenticalWithTracingOnAndOff)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    const Workload w = randomWorkload(11, config.core);
+    PerformanceMaximizer pm(PowerEstimator::paperPentiumM(),
+                            {.powerLimitW = 13.5});
+
+    const RunResult off = platform.run(w, pm);
+    VectorTraceSink vec;
+    const RunResult on = tracedPmRun(platform, w, vec);
+
+    EXPECT_EQ(off.seconds, on.seconds);
+    EXPECT_EQ(off.trueEnergyJ, on.trueEnergyJ);
+    EXPECT_EQ(off.measuredEnergyJ, on.measuredEnergyJ);
+    EXPECT_EQ(off.instructions, on.instructions);
+    EXPECT_EQ(off.finalTempC, on.finalTempC);
+    EXPECT_FALSE(vec.records().empty());
+}
+
+TEST(Trace, EveryNSamplesEveryNthInterval)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    const Workload w = randomWorkload(12, config.core);
+
+    VectorTraceSink all;
+    tracedPmRun(platform, w, all, 1);
+    const uint64_t intervals = all.records().size();
+    ASSERT_GT(intervals, 3u);
+    for (size_t i = 0; i < all.records().size(); ++i)
+        EXPECT_EQ(all.records()[i].index, i);
+
+    VectorTraceSink sampled;
+    tracedPmRun(platform, w, sampled, 3);
+    EXPECT_EQ(sampled.records().size(), (intervals + 2) / 3);
+    for (const auto &rec : sampled.records())
+        EXPECT_EQ(rec.index % 3, 0u);
+
+    VectorTraceSink none;
+    const RunResult r = tracedPmRun(platform, w, none, 0);
+    EXPECT_TRUE(r.finished);
+    EXPECT_TRUE(none.records().empty());
+    EXPECT_GT(none.endTick(), 0u);   // begin/end framing still happens
+}
+
+TEST(Trace, RecordsMirrorRunGroundTruth)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    const Workload w = randomWorkload(13, config.core);
+    VectorTraceSink vec;
+    const RunResult r = tracedPmRun(platform, w, vec);
+
+    EXPECT_EQ(vec.meta().workload, "fuzz");
+    EXPECT_EQ(vec.meta().governor, "PM");
+    EXPECT_EQ(vec.meta().intervalTicks, config.sampleInterval);
+    EXPECT_EQ(vec.meta().pstateCount, config.pstates.size());
+    ASSERT_FALSE(vec.records().empty());
+    const IntervalRecord &first = vec.records().front();
+    EXPECT_EQ(first.index, 0u);
+    EXPECT_EQ(first.pstate, config.initialPState);
+    EXPECT_GT(first.trueW, 0.0);
+    EXPECT_GT(first.dieTempC, 0.0);
+    // PM's insight carries a power prediction for the decided state.
+    EXPECT_TRUE(first.predValid);
+    EXPECT_TRUE(std::isfinite(first.predictedPowerW));
+    EXPECT_EQ(first.decision, first.decided ? first.decision : 0u);
+    // The last interval of a finished run never consults the governor.
+    EXPECT_FALSE(vec.records().back().decided);
+    EXPECT_EQ(ticksToSeconds(vec.endTick()), r.seconds);
+}
+
+TEST(TraceJsonl, RoundTripIsBitExact)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    const Workload w = randomWorkload(14, config.core);
+
+    VectorTraceSink vec;
+    tracedPmRun(platform, w, vec);
+
+    const std::string path = tempPath("trace_rt.jsonl");
+    {
+        JsonlTraceSink file(path);
+        IntervalTracer tracer(file);
+        PerformanceMaximizer pm(PowerEstimator::paperPentiumM(),
+                                {.powerLimitW = 13.5});
+        RunOptions opts;
+        opts.tracer = &tracer;
+        platform.run(w, pm, opts);
+    }
+
+    ParsedTrace parsed;
+    ASSERT_TRUE(readTraceJsonl(path, parsed));
+    EXPECT_EQ(parsed.meta.workload, vec.meta().workload);
+    EXPECT_EQ(parsed.meta.governor, vec.meta().governor);
+    EXPECT_EQ(parsed.meta.intervalTicks, vec.meta().intervalTicks);
+    EXPECT_EQ(parsed.meta.every, 1u);
+    EXPECT_EQ(parsed.meta.pstateCount, vec.meta().pstateCount);
+    EXPECT_EQ(parsed.endTick, vec.endTick());
+    EXPECT_EQ(parsed.declaredRecords, vec.records().size());
+    ASSERT_EQ(parsed.records.size(), vec.records().size());
+    for (size_t i = 0; i < parsed.records.size(); ++i)
+        expectRecordsEqual(parsed.records[i], vec.records()[i], i);
+    std::remove(path.c_str());
+}
+
+TEST(TraceJsonl, TruncatedFileRejected)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    const Workload w = randomWorkload(15, config.core);
+    const std::string path = tempPath("trace_trunc.jsonl");
+    {
+        JsonlTraceSink file(path);
+        IntervalTracer tracer(file);
+        PerformanceMaximizer pm(PowerEstimator::paperPentiumM(),
+                                {.powerLimitW = 13.5});
+        RunOptions opts;
+        opts.tracer = &tracer;
+        platform.run(w, pm, opts);
+    }
+    // Drop the footer line: the reader must refuse the file.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_GT(lines.size(), 2u);
+    {
+        std::ofstream out(path);
+        for (size_t i = 0; i + 1 < lines.size(); ++i)
+            out << lines[i] << "\n";
+    }
+    ParsedTrace parsed;
+    EXPECT_FALSE(readTraceJsonl(path, parsed));
+    std::remove(path.c_str());
+
+    ParsedTrace missing;
+    EXPECT_FALSE(readTraceJsonl(tempPath("no_such_trace.jsonl"),
+                                missing));
+}
+
+TEST(TraceCsv, RoundTripIsBitExact)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    const Workload w = randomWorkload(16, config.core);
+
+    VectorTraceSink vec;
+    tracedPmRun(platform, w, vec);
+
+    const std::string path = tempPath("trace_rt.csv");
+    {
+        // makeTraceSink dispatches on the extension.
+        auto sink = makeTraceSink(path);
+        IntervalTracer tracer(*sink);
+        PerformanceMaximizer pm(PowerEstimator::paperPentiumM(),
+                                {.powerLimitW = 13.5});
+        RunOptions opts;
+        opts.tracer = &tracer;
+        platform.run(w, pm, opts);
+    }
+
+    ParsedTrace parsed;
+    ASSERT_TRUE(readTraceCsv(path, parsed));
+    EXPECT_EQ(parsed.meta.workload, vec.meta().workload);
+    EXPECT_EQ(parsed.meta.governor, vec.meta().governor);
+    EXPECT_EQ(parsed.endTick, vec.endTick());
+    ASSERT_EQ(parsed.records.size(), vec.records().size());
+    for (size_t i = 0; i < parsed.records.size(); ++i)
+        expectRecordsEqual(parsed.records[i], vec.records()[i], i);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------------ //
+//                     Decision replay from trace                     //
+// ------------------------------------------------------------------ //
+
+TEST(TraceReplay, PmDecisionSequenceReplaysExactly)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    const Workload w = randomWorkload(17, config.core);
+    VectorTraceSink vec;
+    tracedPmRun(platform, w, vec);
+
+    PerformanceMaximizer replay(PowerEstimator::paperPentiumM(),
+                                {.powerLimitW = 13.5});
+    replay.reset();
+    size_t decided = 0;
+    for (const auto &rec : vec.records()) {
+        if (!rec.decided)
+            continue;
+        EXPECT_EQ(replay.decide(rec.toSample(), rec.pstate),
+                  rec.decision)
+            << "interval " << rec.index;
+        ++decided;
+    }
+    EXPECT_GT(decided, 0u);
+}
+
+TEST(TraceReplay, PsDecisionSequenceReplaysExactly)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    const Workload w = randomWorkload(18, config.core);
+
+    PowerSave ps(config.pstates, PerfEstimator(1.21, 0.81), {0.6});
+    VectorTraceSink vec;
+    IntervalTracer tracer(vec);
+    RunOptions opts;
+    opts.tracer = &tracer;
+    platform.run(w, ps, opts);
+
+    PowerSave replay(config.pstates, PerfEstimator(1.21, 0.81), {0.6});
+    replay.reset();
+    size_t decided = 0;
+    for (const auto &rec : vec.records()) {
+        if (!rec.decided)
+            continue;
+        EXPECT_EQ(replay.decide(rec.toSample(), rec.pstate),
+                  rec.decision)
+            << "interval " << rec.index;
+        ++decided;
+    }
+    EXPECT_GT(decided, 0u);
+}
+
+TEST(TraceReplay, PsInsightClassifiesMemoryBoundedness)
+{
+    PlatformConfig config;
+    Platform platform(config);
+    const Workload w = randomWorkload(19, config.core);
+    PowerSave ps(config.pstates, PerfEstimator(1.21, 0.81), {0.6});
+    VectorTraceSink vec;
+    IntervalTracer tracer(vec);
+    RunOptions opts;
+    opts.tracer = &tracer;
+    platform.run(w, ps, opts);
+    ASSERT_FALSE(vec.records().empty());
+    for (const auto &rec : vec.records()) {
+        if (!rec.decided)
+            continue;
+        EXPECT_TRUE(rec.predValid);
+        EXPECT_TRUE(rec.memBoundClass == 0 || rec.memBoundClass == 1);
+    }
+}
+
+// ------------------------------------------------------------------ //
+//                      Library-level counters                        //
+// ------------------------------------------------------------------ //
+
+TEST(Metrics, PlatformRunsFlowIntoGlobalRegistry)
+{
+    const uint64_t runs_before =
+        MetricRegistry::global().counterValue("platform.runs");
+    const uint64_t traced_before =
+        MetricRegistry::global().counterValue("platform.traced_records");
+
+    PlatformConfig config;
+    Platform platform(config);
+    const Workload w = randomWorkload(20, config.core);
+    VectorTraceSink vec;
+    tracedPmRun(platform, w, vec);
+
+    EXPECT_EQ(MetricRegistry::global().counterValue("platform.runs"),
+              runs_before + 1);
+    EXPECT_EQ(MetricRegistry::global().counterValue(
+                  "platform.traced_records"),
+              traced_before + vec.records().size());
+}
+
+} // namespace

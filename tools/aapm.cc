@@ -218,7 +218,27 @@ cmdRun(const CliOptions &opts)
 
     RunOptions run_opts;
     applyFaultOptions(opts, run_opts);
+
+    std::unique_ptr<TraceSink> trace_sink;
+    std::unique_ptr<IntervalTracer> tracer;
+    if (opts.has("trace-out")) {
+        trace_sink = makeTraceSink(opts.str("trace-out"));
+        tracer = std::make_unique<IntervalTracer>(
+            *trace_sink, static_cast<uint64_t>(opts.num("trace-every")));
+        run_opts.tracer = tracer.get();
+    }
+
     const RunResult r = platform.run(workload, *governor, run_opts);
+
+    if (opts.has("trace-out")) {
+        std::printf("interval trace written to %s\n",
+                    opts.str("trace-out").c_str());
+    }
+    if (opts.has("metrics-out") &&
+        MetricRegistry::global().writeJson(opts.str("metrics-out"))) {
+        std::printf("metrics written to %s\n",
+                    opts.str("metrics-out").c_str());
+    }
 
     std::printf("workload  %s under %s\n", r.workloadName.c_str(),
                 r.governorName.c_str());
@@ -315,6 +335,11 @@ cmdSuite(const CliOptions &opts)
                 (1.0 - result.totalTrueEnergyJ() /
                            base.totalTrueEnergyJ()) * 100.0);
     printRecovery(result.totalRecovery());
+    if (opts.has("metrics-out") &&
+        MetricRegistry::global().writeJson(opts.str("metrics-out"))) {
+        std::printf("metrics written to %s\n",
+                    opts.str("metrics-out").c_str());
+    }
     return 0;
 }
 
@@ -382,6 +407,8 @@ main(int argc, char **argv)
             opts.addFlag("supervise",
                          "wrap the governor in the resilience "
                          "supervisor");
+            opts.addOption("metrics-out", "FILE", "",
+                           "write the metric registry snapshot (JSON)");
             if (!opts.parse(args, &error)) {
                 std::printf("%s", opts.usage().c_str());
                 if (!opts.helpRequested())
@@ -416,6 +443,13 @@ main(int argc, char **argv)
             opts.addFlag("paper-models",
                          "use the paper's published Table II constants");
             opts.addOption("csv", "FILE", "", "write the 10 ms trace");
+            opts.addOption("trace-out", "FILE", "",
+                           "write the per-interval governor trace "
+                           "(.csv extension = CSV, else JSONL)");
+            opts.addOption("trace-every", "N", "1",
+                           "record every Nth interval (0 = none)");
+            opts.addOption("metrics-out", "FILE", "",
+                           "write the metric registry snapshot (JSON)");
             opts.addOption("fault-plan", "SPEC", "",
                            "inject faults: mixed:P or key=value list "
                            "(see FaultPlan::parse)");
