@@ -644,6 +644,148 @@ emitKernelTimings()
     return 0;
 }
 
+/**
+ * Read the guarded core-intervals-per-second value recorded in an
+ * existing BENCH_cluster.json; 0.0 when the file or field is absent.
+ */
+double
+recordedClusterThroughput(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return 0.0;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const std::string key = "\"guard_core_intervals_per_sec\":";
+    const size_t pos = text.find(key);
+    if (pos == std::string::npos)
+        return 0.0;
+    return std::strtod(text.c_str() + pos + key.size(), nullptr);
+}
+
+/**
+ * Cluster-step throughput: one simulated second per core under PM, at
+ * 1, 4 and 16 cores, for each allocator policy, intervals fanned out
+ * over the default pool. The metric is core-intervals simulated per
+ * wall-clock second — the cluster analogue of kernel samples/s — and
+ * is written to BENCH_cluster.json (override with AAPM_CLUSTER_JSON).
+ *
+ * Regression gate (same contract as the kernel guard): if an earlier
+ * BENCH_cluster.json recorded a 16-core demand-allocator throughput
+ * more than 20% above this build's, the file is left untouched and a
+ * non-zero status is returned. AAPM_BENCH_NO_GUARD=1 overrides.
+ */
+int
+emitClusterTimings()
+{
+    const PlatformConfig config;
+    const PowerEstimator power = PowerEstimator::paperPentiumM();
+    const PerfEstimator perf;
+
+    // One simulated second of a mixed compute/memory phase per core.
+    Phase p;
+    p.instructions = 2'000'000'000;
+    p.baseCpi = 1.0;
+    p.memPerInstr = 0.3;
+    Workload w("cluster-bench");
+    w.add(p);
+
+    const GovernorFactory pm_factory = [&power] {
+        return std::make_unique<PerformanceMaximizer>(
+            power, PmConfig{.powerLimitW = 12.0});
+    };
+
+    ThreadPool pool;
+    struct Timing
+    {
+        size_t cores;
+        std::string allocator;
+        double seconds;
+        uint64_t intervals;
+        double coreIntervalsPerSec;
+    };
+    std::vector<Timing> timings;
+    double guard_value = 0.0;
+    for (size_t cores : {1u, 4u, 16u}) {
+        ClusterConfig cc;
+        for (size_t i = 0; i < cores; ++i) {
+            ClusterCoreConfig core;
+            core.platform = config;
+            core.workload = &w;
+            core.governor = pm_factory;
+            core.powerModel = &power;
+            core.perfModel = &perf;
+            cc.cores.push_back(std::move(core));
+        }
+        cc.budgetW = 12.0 * static_cast<double>(cores);
+        cc.recordTrace = false;
+        ClusterPlatform cluster(cc);
+        for (const std::string &name : allocatorNames()) {
+            const auto allocator = makeAllocator(name);
+            double best_s = 0.0;
+            uint64_t intervals = 0;
+            for (int rep = 0; rep < 3; ++rep) {
+                const auto start = std::chrono::steady_clock::now();
+                const ClusterResult r = cluster.run(*allocator, &pool);
+                const std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - start;
+                if (rep == 0 || elapsed.count() < best_s) {
+                    best_s = elapsed.count();
+                    intervals = r.intervals;
+                }
+            }
+            const double per_sec = best_s > 0.0
+                ? static_cast<double>(intervals * cores) / best_s
+                : 0.0;
+            timings.push_back({cores, name, best_s, intervals, per_sec});
+            if (cores == 16 && name == "demand")
+                guard_value = per_sec;
+            std::printf("cluster: %2zu cores %-8s %7.3f s "
+                        "(%5llu intervals, %8.0f core-intervals/s)\n",
+                        cores, name.c_str(), best_s,
+                        static_cast<unsigned long long>(intervals),
+                        per_sec);
+        }
+    }
+
+    const char *path_env = std::getenv("AAPM_CLUSTER_JSON");
+    const std::string path =
+        path_env && *path_env ? path_env : "BENCH_cluster.json";
+    const double recorded = recordedClusterThroughput(path);
+    const bool guard_off = std::getenv("AAPM_BENCH_NO_GUARD") != nullptr;
+    if (recorded > 0.0 && guard_value < 0.8 * recorded && !guard_off) {
+        std::fprintf(stderr,
+                     "cluster throughput regression: %.0f "
+                     "core-intervals/s is >20%% below the recorded "
+                     "%.0f in %s (set AAPM_BENCH_NO_GUARD=1 to "
+                     "override)\n", guard_value, recorded, path.c_str());
+        return 1;
+    }
+
+    std::ofstream out(path);
+    out.precision(6);
+    out << "{\n"
+        << "  \"benchmark\": \"cluster_step_throughput\",\n"
+        << "  \"interval_ms\": "
+        << ticksToSeconds(config.sampleInterval) * 1e3 << ",\n"
+        << "  \"pool_jobs\": " << pool.jobs() << ",\n"
+        << "  \"guard_core_intervals_per_sec\": " << guard_value
+        << ",\n"
+        << "  \"configs\": [\n";
+    for (size_t i = 0; i < timings.size(); ++i) {
+        out << "    {\"cores\": " << timings[i].cores
+            << ", \"allocator\": \"" << timings[i].allocator << "\""
+            << ", \"seconds\": " << timings[i].seconds
+            << ", \"intervals\": " << timings[i].intervals
+            << ", \"core_intervals_per_sec\": "
+            << timings[i].coreIntervalsPerSec << "}"
+            << (i + 1 < timings.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -656,5 +798,7 @@ main(int argc, char **argv)
     benchmark::Shutdown();
     emitSweepTimings();
     emitFaultBaseline();
-    return emitKernelTimings();
+    const int kernel_rc = emitKernelTimings();
+    const int cluster_rc = emitClusterTimings();
+    return kernel_rc != 0 ? kernel_rc : cluster_rc;
 }

@@ -2,14 +2,22 @@
 """Validate an aapm interval-trace file (JSONL or CSV) against the
 published schema.
 
-Usage: check_trace_schema.py TRACE_FILE [TRACE_FILE...]
+Usage: check_trace_schema.py [--cluster] TRACE_FILE [TRACE_FILE...]
 
 Checks, per file:
   * the header declares trace-format version 1 and the exact field list
+  * the header carries the core identity (`core` id and `cores` count,
+    0/1 for a standalone run) and the id is within the count
   * every record carries every field, with sane types
   * interval indexes are strictly increasing and congruent to 0 modulo
     the header's `every` stride
   * the footer's record count matches the records actually present
+
+With --cluster, the given files must additionally form one lockstep
+cluster run: `cores` equals the file count in every header, the `core`
+ids cover 0..N-1 exactly once, every file shares the same
+interval_ticks and every stride, and (lockstep, equal-length runs) the
+record counts agree across the files.
 
 Exit status 0 when every file passes, 1 otherwise. Used by the CI
 trace-smoke step; keep the FIELDS list in sync with traceFieldNames()
@@ -28,14 +36,17 @@ FIELDS = [
 ]
 
 HEADER_KEYS = {"aapm_trace", "workload", "governor", "interval_ticks",
-               "every", "pstates", "fields"}
+               "every", "pstates", "core", "cores", "fields"}
+
+CSV_META_KEYS = ("workload", "governor", "interval_ticks", "every",
+                 "pstates", "core", "cores")
 
 OUTCOMES = {"unchanged", "applied", "deferred", "rejected", "stuck"}
 
 
 def fail(path, message):
     print(f"{path}: {message}", file=sys.stderr)
-    return False
+    return None
 
 
 def check_record_indexes(path, indexes, every):
@@ -50,7 +61,16 @@ def check_record_indexes(path, indexes, every):
     return True
 
 
+def check_core_identity(path, core, cores):
+    if cores < 1:
+        return fail(path, f"cores={cores} must be >= 1")
+    if not 0 <= core < cores:
+        return fail(path, f"core={core} outside 0..{cores - 1}")
+    return True
+
+
 def check_jsonl(path, lines):
+    """Return a header-info dict on success, None on failure."""
     if not lines:
         return fail(path, "empty trace")
     try:
@@ -63,6 +83,8 @@ def check_jsonl(path, lines):
         return fail(path, f"header missing {HEADER_KEYS - set(header)}")
     if header["fields"] != FIELDS:
         return fail(path, "header field list disagrees with schema")
+    if check_core_identity(path, header["core"], header["cores"]) is None:
+        return None
 
     try:
         footer = json.loads(lines[-1])
@@ -92,10 +114,15 @@ def check_jsonl(path, lines):
             if not isinstance(rec[key], bool):
                 return fail(path, f"line {n}: {key} is not a bool")
         indexes.append(rec["i"])
-    return check_record_indexes(path, indexes, header["every"])
+    if check_record_indexes(path, indexes, header["every"]) is None:
+        return None
+    return {"core": header["core"], "cores": header["cores"],
+            "interval_ticks": header["interval_ticks"],
+            "every": header["every"], "records": len(records)}
 
 
 def check_csv(path, lines):
+    """Return a header-info dict on success, None on failure."""
     if not lines or not lines[0].startswith("# aapm-trace 1"):
         return fail(path, "missing '# aapm-trace 1' header")
     meta = {}
@@ -109,10 +136,12 @@ def check_csv(path, lines):
             meta[key] = value
         elif line:
             body.append(line)
-    for key in ("workload", "governor", "interval_ticks", "every",
-                "pstates"):
+    for key in CSV_META_KEYS:
         if key not in meta:
             return fail(path, f"missing '# {key}' metadata line")
+    if check_core_identity(path, int(meta["core"]),
+                           int(meta["cores"])) is None:
+        return None
     if end is None or len(end) != 2:
         return fail(path, "missing '# end <tick> <records>' trailer")
     if not body:
@@ -130,7 +159,11 @@ def check_csv(path, lines):
             return fail(path, f"row {n}: {len(cells)} cells, expected "
                               f"{len(FIELDS)}")
         indexes.append(int(cells[0]))
-    return check_record_indexes(path, indexes, int(meta["every"]))
+    if check_record_indexes(path, indexes, int(meta["every"])) is None:
+        return None
+    return {"core": int(meta["core"]), "cores": int(meta["cores"]),
+            "interval_ticks": int(meta["interval_ticks"]),
+            "every": int(meta["every"]), "records": len(rows)}
 
 
 def check(path):
@@ -140,21 +173,57 @@ def check(path):
     except OSError as e:
         return fail(path, str(e))
     if path.endswith(".csv"):
-        ok = check_csv(path, lines)
+        info = check_csv(path, lines)
     else:
-        ok = check_jsonl(path, lines)
+        info = check_jsonl(path, lines)
+    if info is not None:
+        print(f"{path}: OK ({info['records']} records, "
+              f"core {info['core']}/{info['cores']})")
+    return info
+
+
+def check_cluster(paths, infos):
+    """The files together must describe one lockstep cluster run."""
+    ok = True
+    n = len(paths)
+    seen = {}
+    for path, info in zip(paths, infos):
+        if info["cores"] != n:
+            ok = fail(path, f"header says cores={info['cores']} but "
+                            f"{n} trace files were given") is not None
+        if info["core"] in seen:
+            ok = fail(path, f"core id {info['core']} already used by "
+                            f"{seen[info['core']]}") is not None
+        seen[info["core"]] = path
+        for key in ("interval_ticks", "every", "records"):
+            if info[key] != infos[0][key]:
+                ok = fail(path, f"{key}={info[key]} disagrees with "
+                                f"{paths[0]}'s {infos[0][key]}") \
+                     is not None
+    if sorted(seen) != list(range(n)):
+        ok = fail(paths[0], f"core ids {sorted(seen)} do not cover "
+                            f"0..{n - 1}") is not None
     if ok:
-        n = len(lines) - 2
-        print(f"{path}: OK ({n} records)" if not path.endswith(".csv")
-              else f"{path}: OK")
+        print(f"cluster: OK ({n} cores, {infos[0]['records']} records "
+              f"per core)")
     return ok
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    cluster = False
+    if args and args[0] == "--cluster":
+        cluster = True
+        args = args[1:]
+    if not args:
         print(__doc__, file=sys.stderr)
         return 2
-    return 0 if all([check(p) for p in argv[1:]]) else 1
+    infos = [check(p) for p in args]
+    if not all(info is not None for info in infos):
+        return 1
+    if cluster and not check_cluster(args, infos):
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -44,6 +44,15 @@ if [[ "$SANITIZE" == 1 ]]; then
             >/dev/null
         python3 scripts/check_trace_schema.py \
             build-asan/trace_smoke.jsonl
+        # Cluster smoke under the sanitizers: lockstep stepping, the
+        # allocator, and per-core trace identity.
+        ASAN_OPTIONS=detect_leaks=0 \
+            build-asan/tools/aapm run --workload gzip --cluster 2 \
+            --budget 24 --allocator demand --paper-models --seconds 1 \
+            --trace-out build-asan/cluster_smoke.jsonl >/dev/null
+        python3 scripts/check_trace_schema.py --cluster \
+            build-asan/cluster_smoke.core0.jsonl \
+            build-asan/cluster_smoke.core1.jsonl
     fi
     echo "done: sanitize_output.txt"
     exit 0
@@ -69,6 +78,13 @@ if command -v python3 >/dev/null 2>&1; then
         --trace-out build/trace_smoke.csv --trace-every 4 >/dev/null
     python3 scripts/check_trace_schema.py \
         build/trace_smoke.jsonl build/trace_smoke.csv
+    # Cluster smoke: per-core traces must carry the cluster identity
+    # and agree on record counts (lockstep, same workload per core).
+    build/tools/aapm run --workload gzip --cluster 2 --budget 24 \
+        --allocator demand --paper-models --seconds 1 \
+        --trace-out build/cluster_smoke.jsonl >/dev/null
+    python3 scripts/check_trace_schema.py --cluster \
+        build/cluster_smoke.core0.jsonl build/cluster_smoke.core1.jsonl
 fi
 
 export AAPM_SECONDS="$SECONDS_OPT"

@@ -18,6 +18,8 @@
 #ifndef AAPM_AAPM_HH
 #define AAPM_AAPM_HH
 
+#include "cluster/allocator.hh"
+#include "cluster/cluster.hh"
 #include "common/fit.hh"
 #include "common/logging.hh"
 #include "common/moving_window.hh"

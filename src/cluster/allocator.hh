@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Power-budget allocation policies for the cluster layer.
+ *
+ * A cluster runs N per-core Monitor → Estimate → Control loops under
+ * one global power cap; every control interval a PowerBudgetAllocator
+ * splits the cap into per-core limits which the ClusterPlatform
+ * delivers through each core's Governor::setPowerLimit — the paper's
+ * single-core capping loop, applied hierarchically. Policies see only
+ * governor-visible state (monitor samples, model projections,
+ * GovernorInsight) — never ground truth — so an allocator is something
+ * a real cluster manager could run.
+ *
+ * Three policies ship:
+ *  - UniformAllocator: budget / active-cores. The baseline; with one
+ *    core it degenerates to a plain power limit, which is what makes
+ *    the cluster bit-identity contract testable.
+ *  - DemandProportionalAllocator: floor-first, then splits headroom
+ *    proportional to each core's predicted power demand at its fastest
+ *    reachable p-state (cross-p-state DPC projection, Equation 4). A
+ *    core whose actuator is stuck or rejecting writes is priced at its
+ *    current p-state, so its unusable share flows to healthy cores.
+ *  - GreedyPerfAllocator: water-filling. Every core starts at its
+ *    floor; the remaining budget buys one p-state step at a time for
+ *    whichever core's step has the highest projected IPC-gain per
+ *    added watt (Equation 3 over Equation 4).
+ */
+
+#ifndef AAPM_CLUSTER_ALLOCATOR_HH
+#define AAPM_CLUSTER_ALLOCATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dvfs/pstate.hh"
+#include "mgmt/governor.hh"
+#include "models/perf_estimator.hh"
+#include "models/power_estimator.hh"
+
+namespace aapm
+{
+
+/**
+ * What an allocator is allowed to know about one core at the start of
+ * an allocation round. Everything here is governor-visible; ground
+ * truth never reaches a policy.
+ */
+struct CoreDemand
+{
+    /** The core still has work; inactive cores receive no budget. */
+    bool active = false;
+    /** At least one interval has executed (sample/insight are real). */
+    bool sampled = false;
+    /** The monitor sample from the core's most recent interval. */
+    MonitorSample sample;
+    /** The core governor's estimation-stage view (Governor::explain). */
+    GovernorInsight insight;
+    /** Current p-state index. */
+    size_t pstate = 0;
+    /** The core's p-state menu (never null for a configured core). */
+    const PStateTable *pstates = nullptr;
+    /** Trained power model for cross-p-state projection; may be null. */
+    const PowerEstimator *power = nullptr;
+    /** Trained perf model for IPC projection; may be null. */
+    const PerfEstimator *perf = nullptr;
+    /**
+     * The core's actuator recently refused a write (stuck/rejected):
+     * the core cannot move, so budget beyond its current p-state is
+     * wasted and should flow to healthy cores. Set by the cluster with
+     * a hold-down window, because a stuck actuator only reports Stuck
+     * in the interval right after a denied write.
+     */
+    bool actuatorPinned = false;
+};
+
+/**
+ * Splits a global power budget into per-core limits, once per lockstep
+ * control interval.
+ *
+ * Contract (enforced by tests/test_cluster.cc):
+ *  - limits for active cores sum to <= budgetW (a tiny relative epsilon
+ *    is tolerated for floating-point accumulation);
+ *  - when the budget covers every core's floor (predicted power at the
+ *    slowest p-state plus guardband), no active core is granted less
+ *    than its floor;
+ *  - inactive cores get exactly 0;
+ *  - allocate() is a pure function of (budgetW, cores): no hidden
+ *    state, so results are independent of thread scheduling and the
+ *    same inputs always produce the same split.
+ */
+class PowerBudgetAllocator
+{
+  public:
+    virtual ~PowerBudgetAllocator() = default;
+
+    /** Policy name, as accepted by makeAllocator(). */
+    virtual const char *name() const = 0;
+
+    /**
+     * True when the policy reads GovernorInsight: the cluster then
+     * turns on insight capture in every core governor (one extra model
+     * evaluation per interval; numerics are unchanged).
+     */
+    virtual bool wantsInsight() const { return false; }
+
+    /**
+     * Fill `limitsW` (resized to cores.size()) with per-core power
+     * limits. @param budgetW Global cap, Watts.
+     */
+    virtual void allocate(double budgetW,
+                          const std::vector<CoreDemand> &cores,
+                          std::vector<double> &limitsW) const = 0;
+};
+
+/** budget / active-cores, no model use. */
+class UniformAllocator : public PowerBudgetAllocator
+{
+  public:
+    const char *name() const override { return "uniform"; }
+    void allocate(double budgetW, const std::vector<CoreDemand> &cores,
+                  std::vector<double> &limitsW) const override;
+};
+
+/** Tuning shared by the model-driven policies. */
+struct AllocatorConfig
+{
+    /** Added to predicted floors/steps so the core governor's own
+     *  guardband does not immediately reject the granted state. */
+    double guardbandW = 0.5;
+};
+
+/** Floor-first, headroom proportional to predicted peak demand. */
+class DemandProportionalAllocator : public PowerBudgetAllocator
+{
+  public:
+    explicit DemandProportionalAllocator(
+        AllocatorConfig config = AllocatorConfig())
+        : config_(config)
+    {
+    }
+
+    const char *name() const override { return "demand"; }
+    bool wantsInsight() const override { return true; }
+    void allocate(double budgetW, const std::vector<CoreDemand> &cores,
+                  std::vector<double> &limitsW) const override;
+
+  private:
+    AllocatorConfig config_;
+};
+
+/** Water-filling on projected IPC gain per watt. */
+class GreedyPerfAllocator : public PowerBudgetAllocator
+{
+  public:
+    explicit GreedyPerfAllocator(
+        AllocatorConfig config = AllocatorConfig())
+        : config_(config)
+    {
+    }
+
+    const char *name() const override { return "greedy"; }
+    bool wantsInsight() const override { return true; }
+    void allocate(double budgetW, const std::vector<CoreDemand> &cores,
+                  std::vector<double> &limitsW) const override;
+
+  private:
+    AllocatorConfig config_;
+};
+
+/**
+ * Allocator by policy name: "uniform", "demand" or "greedy".
+ * @return nullptr for an unknown name.
+ */
+std::unique_ptr<PowerBudgetAllocator>
+makeAllocator(const std::string &name,
+              AllocatorConfig config = AllocatorConfig());
+
+/** The policy names makeAllocator() accepts, for CLI help. */
+const std::vector<std::string> &allocatorNames();
+
+} // namespace aapm
+
+#endif // AAPM_CLUSTER_ALLOCATOR_HH

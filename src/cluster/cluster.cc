@@ -1,0 +1,247 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+ClusterPlatform::ClusterPlatform(ClusterConfig config)
+    : config_(std::move(config))
+{
+    aapm_assert(!config_.cores.empty(),
+                "cluster needs at least one core");
+    aapm_assert(config_.budgetW > 0.0,
+                "cluster budget must be positive");
+    const Tick interval = config_.cores.front().platform.sampleInterval;
+    for (const ClusterCoreConfig &core : config_.cores) {
+        aapm_assert(core.workload != nullptr,
+                    "cluster core needs a workload");
+        aapm_assert(static_cast<bool>(core.governor),
+                    "cluster core needs a governor factory");
+        aapm_assert(core.platform.sampleInterval == interval,
+                    "lockstep cluster requires one sampleInterval");
+        platforms_.push_back(std::make_unique<Platform>(core.platform));
+    }
+}
+
+ClusterResult
+ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
+{
+    const size_t n = config_.cores.size();
+    const Tick interval = config_.cores.front().platform.sampleInterval;
+
+    std::vector<std::unique_ptr<Governor>> govs(n);
+    std::vector<std::unique_ptr<PlatformRun>> runs(n);
+    for (size_t i = 0; i < n; ++i) {
+        const ClusterCoreConfig &core = config_.cores[i];
+        RunOptions options = core.options;
+        options.traceCore = i;
+        options.traceCores = n;
+        govs[i] = core.governor();
+        runs[i] = platforms_[i]->beginRun(*core.workload, *govs[i],
+                                          options);
+        if (allocator.wantsInsight())
+            govs[i]->setInsightWanted(true);
+    }
+
+    std::vector<ScheduledCommand> budgetCmds = config_.budgetCommands;
+    std::stable_sort(budgetCmds.begin(), budgetCmds.end(),
+                     [](const ScheduledCommand &a,
+                        const ScheduledCommand &b) {
+                         return a.when < b.when;
+                     });
+    size_t nextCmd = 0;
+    double budget = config_.budgetW;
+
+    ClusterResult result;
+    result.budgetW = config_.budgetW;
+
+    std::vector<char> active(n, 1);
+    std::vector<char> cont(n, 0);
+    std::vector<double> limits;
+    std::vector<double> lastLimit(n, NAN);
+    std::vector<char> pinned(n, 0);
+    std::vector<CoreDemand> demands(n);
+
+    // Allocation round: gather governor-visible demand in core order,
+    // split the budget, and deliver only the limits that changed (a
+    // setPowerLimit resets PM-family raise hysteresis, so a constant
+    // allocation must be delivered exactly once).
+    const auto allocateAndDeliver = [&](bool sampled) {
+        for (size_t i = 0; i < n; ++i) {
+            CoreDemand &d = demands[i];
+            d.active = active[i] != 0;
+            d.sampled = sampled && d.active;
+            d.pstates = &platforms_[i]->pstates();
+            d.power = config_.cores[i].powerModel;
+            d.perf = config_.cores[i].perfModel;
+            if (!d.active)
+                continue;
+            if (d.sampled) {
+                d.sample = runs[i]->lastSample();
+                d.pstate = runs[i]->currentPState();
+                govs[i]->explain(d.insight);
+                // Sticky pinned signal: a denied write reports Stuck
+                // for one interval only, so hold the flag until a
+                // write provably lands again (Applied). The governor
+                // itself provides the re-probe — a pinned core's
+                // allocation settles inside the deadband, its raise
+                // streak matures, and the retry either refreshes the
+                // pin or clears it.
+                const bool denied =
+                    d.sample.lastActuation == DvfsOutcome::Stuck ||
+                    d.sample.lastActuation == DvfsOutcome::Rejected;
+                if (denied)
+                    pinned[i] = 1;
+                else if (d.sample.lastActuation == DvfsOutcome::Applied)
+                    pinned[i] = 0;
+                d.actuatorPinned = pinned[i] != 0;
+            } else {
+                d.sample = MonitorSample();
+                d.pstate = runs[i]->currentPState();
+                d.insight = GovernorInsight();
+                d.actuatorPinned = false;
+            }
+        }
+        allocator.allocate(budget, demands, limits);
+        aapm_assert(limits.size() == n,
+                    "allocator returned %zu limits for %zu cores",
+                    limits.size(), n);
+        for (size_t i = 0; i < n; ++i) {
+            if (!active[i])
+                continue;
+            // Deadband: sub-threshold jitter is not redelivered, so a
+            // steady allocation leaves raise hysteresis untouched.
+            const bool changed = std::isnan(lastLimit[i]) ||
+                std::abs(limits[i] - lastLimit[i]) >
+                    config_.deliveryDeadbandW;
+            if (changed) {
+                govs[i]->setPowerLimit(limits[i]);
+                lastLimit[i] = limits[i];
+            }
+        }
+    };
+
+    const auto recordRound = [&](Tick when, double truePowerW) {
+        if (!config_.recordAllocations)
+            return;
+        ClusterIntervalStat stat;
+        stat.when = when;
+        stat.budgetW = budget;
+        stat.allocationW = limits;
+        stat.truePowerW = truePowerW;
+        result.allocations.push_back(std::move(stat));
+    };
+
+    // Pre-run round: no samples yet, so every policy splits uniformly.
+    allocateAndDeliver(false);
+    recordRound(0, 0.0);
+
+    if (config_.recordTrace)
+        result.trace.markStart(0);
+
+    const auto stepOne = [&](size_t i) {
+        if (active[i])
+            cont[i] = runs[i]->step() ? 1 : 0;
+    };
+
+    Tick now = 0;
+    uint64_t rounds = 0;
+    uint64_t violations = 0;
+    size_t activeN = n;
+    while (activeN > 0) {
+        if (pool != nullptr)
+            pool->parallelFor(n, stepOne);
+        else
+            for (size_t i = 0; i < n; ++i)
+                stepOne(i);
+        now += interval;
+        ++rounds;
+
+        // Aggregate the interval just executed, over the cores that
+        // ran it (including any that finished during it).
+        double sumTrue = 0.0;
+        double sumMeas = 0.0;
+        bool anyMeas = false;
+        double sumFreq = 0.0;
+        double sumIpc = 0.0;
+        double sumDpc = 0.0;
+        double sumTemp = 0.0;
+        size_t ran = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (!active[i])
+                continue;
+            ++ran;
+            sumTrue += runs[i]->lastTruePowerW();
+            const MonitorSample &s = runs[i]->lastSample();
+            if (MonitorSample::available(s.measuredPowerW)) {
+                sumMeas += s.measuredPowerW;
+                anyMeas = true;
+            }
+            sumFreq +=
+                (*demands[i].pstates)[runs[i]->currentPState()].freqMhz;
+            sumIpc += MonitorSample::available(s.ipc) ? s.ipc : 0.0;
+            sumDpc += MonitorSample::available(s.dpc) ? s.dpc : 0.0;
+            sumTemp += MonitorSample::available(s.tempC) ? s.tempC : 0.0;
+        }
+        if (sumTrue > budget)
+            ++violations;
+        if (config_.recordTrace && ran > 0) {
+            TraceSample sample;
+            sample.when = now;
+            sample.measuredW = anyMeas ? sumMeas : NAN;
+            sample.trueW = sumTrue;
+            sample.freqMhz = sumFreq / static_cast<double>(ran);
+            sample.pstateIndex = 0;
+            sample.ipc = sumIpc / static_cast<double>(ran);
+            sample.dpc = sumDpc / static_cast<double>(ran);
+            sample.tempC = sumTemp / static_cast<double>(ran);
+            result.trace.add(sample);
+        }
+
+        for (size_t i = 0; i < n; ++i) {
+            if (active[i] && !cont[i]) {
+                active[i] = 0;
+                --activeN;
+            }
+        }
+
+        while (nextCmd < budgetCmds.size() &&
+               budgetCmds[nextCmd].when <= now) {
+            if (budgetCmds[nextCmd].kind ==
+                ScheduledCommand::Kind::SetPowerLimit)
+                budget = budgetCmds[nextCmd].value;
+            ++nextCmd;
+        }
+
+        if (activeN == 0)
+            break;
+        allocateAndDeliver(true);
+        recordRound(now, sumTrue);
+    }
+
+    if (config_.recordTrace)
+        result.trace.markEnd(now);
+
+    result.cores.reserve(n);
+    result.finished = true;
+    for (size_t i = 0; i < n; ++i) {
+        result.cores.push_back(runs[i]->finish());
+        const RunResult &r = result.cores.back();
+        result.instructions += r.instructions;
+        result.trueEnergyJ += r.trueEnergyJ;
+        result.seconds = std::max(result.seconds, r.seconds);
+        result.recovery += r.recovery;
+        result.finished = result.finished && r.finished;
+    }
+    result.intervals = rounds;
+    result.fractionOverBudgetTrue = rounds > 0
+        ? static_cast<double>(violations) / static_cast<double>(rounds)
+        : 0.0;
+    return result;
+}
+
+} // namespace aapm

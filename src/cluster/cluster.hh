@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Multi-core lockstep simulation under a global power budget.
+ *
+ * A ClusterPlatform owns N independent Platforms — each with its own
+ * workload, p-state ladder, governor, supervisor and fault plan — and
+ * steps them one control interval at a time in lockstep (every core's
+ * platform must share the same sampleInterval). After each interval it
+ * gathers per-core demand (monitor sample + governor insight + model
+ * projections), asks a PowerBudgetAllocator to split the global budget,
+ * and delivers the per-core limits through Governor::setPowerLimit —
+ * only when a core's limit actually changed, so a constant allocation
+ * leaves the governor's raise-hysteresis untouched and a 1-core cluster
+ * under UniformAllocator is bit-identical to a bare Platform::run.
+ *
+ * Determinism: per-core state is fully independent, so the per-interval
+ * fan-out over the ThreadPool (a barrier per interval) touches no
+ * shared mutable state; demand gathering and allocation run serially on
+ * the calling thread in core order. Results are bit-identical for any
+ * AAPM_JOBS value, including the pool-free serial path.
+ */
+
+#ifndef AAPM_CLUSTER_CLUSTER_HH
+#define AAPM_CLUSTER_CLUSTER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/allocator.hh"
+#include "exp/thread_pool.hh"
+#include "platform/platform.hh"
+
+namespace aapm
+{
+
+/** Identical to the experiment engine's alias (see exp/sweep.hh);
+ *  redeclared so the cluster layer does not depend on it. */
+using GovernorFactory = std::function<std::unique_ptr<Governor>()>;
+
+/** One core of a cluster. */
+struct ClusterCoreConfig
+{
+    /** The core's platform (its own ladder, sensor seed, thermals…).
+     *  sampleInterval must agree across every core in the cluster. */
+    PlatformConfig platform;
+    /** The workload (not owned; must outlive the cluster runs). */
+    const Workload *workload = nullptr;
+    /** Fresh governor per run; required. */
+    GovernorFactory governor;
+    /** Per-core run options: fault plan, tracer, maxTime… The cluster
+     *  overwrites traceCore/traceCores with the core id / core count. */
+    RunOptions options;
+    /** Trained models the allocator may project with; may be null
+     *  (policies then fall back to insight / measured power). Not
+     *  owned; must outlive the cluster runs. */
+    const PowerEstimator *powerModel = nullptr;
+    const PerfEstimator *perfModel = nullptr;
+};
+
+/** The cluster: cores, the budget, and its schedule. */
+struct ClusterConfig
+{
+    std::vector<ClusterCoreConfig> cores;
+    /** Global power cap, Watts. */
+    double budgetW = 0.0;
+    /** Budget changes delivered during the run (kind SetPowerLimit;
+     *  value = new global budget in Watts). */
+    std::vector<ScheduledCommand> budgetCommands;
+    /** Record the aggregate cluster power trace. */
+    bool recordTrace = true;
+    /** Record every allocation round (tests / analysis; costs N
+     *  doubles per interval). */
+    bool recordAllocations = false;
+    /**
+     * A per-core limit is redelivered only when it moved by more than
+     * this, Watts. PM-family governors reset their raise hysteresis on
+     * every setPowerLimit, so passing sub-deadband allocation jitter
+     * through would permanently suppress raises. 0 = deliver every
+     * change.
+     */
+    double deliveryDeadbandW = 0.25;
+};
+
+/** One allocation round, recorded when recordAllocations is set. */
+struct ClusterIntervalStat
+{
+    /** Cluster clock at the end of the interval the round follows. */
+    Tick when = 0;
+    /** The budget in force for the round. */
+    double budgetW = 0.0;
+    /** Per-core limits handed out (0 for finished cores). */
+    std::vector<double> allocationW;
+    /** Summed ground-truth power over the preceding interval (0 for
+     *  the pre-run round). */
+    double truePowerW = 0.0;
+};
+
+/** Everything measured about one cluster run. */
+struct ClusterResult
+{
+    /** Per-core results, in core order. */
+    std::vector<RunResult> cores;
+    /** Aggregate power trace: per lockstep interval, summed true and
+     *  measured power over the cores still running. */
+    PowerTrace trace;
+    /** The configured (initial) budget, Watts. */
+    double budgetW = 0.0;
+    /** Fraction of lockstep intervals whose summed ground-truth power
+     *  exceeded the budget in force at the time. */
+    double fractionOverBudgetTrue = 0.0;
+    /** Rollup of every core's fault/recovery counters. */
+    RecoveryTelemetry recovery;
+    /** Wall-clock of the slowest core, seconds. */
+    double seconds = 0.0;
+    /** Aggregate instructions retired. */
+    uint64_t instructions = 0;
+    /** Aggregate ground-truth energy, Joules. */
+    double trueEnergyJ = 0.0;
+    /** Lockstep intervals executed. */
+    uint64_t intervals = 0;
+    /** Every core ran to completion (no maxTime cutoff). */
+    bool finished = false;
+    /** Allocation rounds (empty unless recordAllocations). */
+    std::vector<ClusterIntervalStat> allocations;
+
+    /** Aggregate instructions per second. */
+    double
+    perf() const
+    {
+        return seconds > 0.0
+            ? static_cast<double>(instructions) / seconds
+            : 0.0;
+    }
+};
+
+/**
+ * The multi-core testbed. Like Platform, a ClusterPlatform is
+ * reusable: every run() boots each core cold.
+ */
+class ClusterPlatform
+{
+  public:
+    explicit ClusterPlatform(ClusterConfig config);
+
+    /**
+     * Run every core to completion in lockstep under the allocator.
+     * @param allocator The budget policy.
+     * @param pool Interval fan-out pool; nullptr steps cores serially
+     *        on the caller (bit-identical either way).
+     */
+    ClusterResult run(PowerBudgetAllocator &allocator,
+                      ThreadPool *pool = nullptr);
+
+    /** Number of cores. */
+    size_t coreCount() const { return config_.cores.size(); }
+
+    /** The configuration. */
+    const ClusterConfig &config() const { return config_; }
+
+    /** The per-core platform (for characterization / training). */
+    Platform &platform(size_t core) { return *platforms_[core]; }
+
+  private:
+    ClusterConfig config_;
+    std::vector<std::unique_ptr<Platform>> platforms_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_CLUSTER_CLUSTER_HH

@@ -59,13 +59,25 @@ SweepResults::run(size_t handle) const
 }
 
 SuiteResult
-SweepResults::suite(size_t handle) const
+SweepResults::suite(size_t handle) const &
 {
     aapm_assert(handle < groups_.size(), "bad group handle %zu", handle);
     const auto [offset, count] = groups_[handle];
     SuiteResult result;
     result.runs.assign(runs_.begin() + offset,
                        runs_.begin() + offset + count);
+    return result;
+}
+
+SuiteResult
+SweepResults::suite(size_t handle) &&
+{
+    aapm_assert(handle < groups_.size(), "bad group handle %zu", handle);
+    const auto [offset, count] = groups_[handle];
+    SuiteResult result;
+    result.runs.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        result.runs.push_back(std::move(runs_[offset + i]));
     return result;
 }
 
@@ -137,6 +149,40 @@ SweepRunner::runSuiteAtPState(const std::vector<Workload> &suite,
     SweepGrid grid;
     const size_t handle = grid.addSuiteAtPState(suite, pstate, options);
     return run(grid).suite(handle);
+}
+
+std::vector<ClusterResult>
+SweepRunner::runClusters(const std::vector<ClusterRunSpec> &specs)
+{
+    AAPM_PROF_SCOPE("sweep_clusters");
+    static const CounterId runs_id =
+        MetricRegistry::global().counter("sweep.cluster_runs");
+    MetricRegistry::global().add(runs_id, specs.size());
+
+    for (const ClusterRunSpec &spec : specs) {
+        aapm_assert(spec.cluster != nullptr,
+                    "ClusterRunSpec needs a cluster config");
+        aapm_assert(static_cast<bool>(spec.allocator),
+                    "ClusterRunSpec needs an allocator factory");
+    }
+
+    std::vector<ClusterResult> out(specs.size());
+    if (specs.size() == 1) {
+        // One grid point: let the cluster's interval fan-out use the
+        // pool directly.
+        ClusterPlatform cluster(*specs[0].cluster);
+        const auto allocator = specs[0].allocator();
+        out[0] = cluster.run(*allocator, &pool_);
+        return out;
+    }
+    // Many points: parallelize across them, stepping each cluster
+    // serially (results are bit-identical either way).
+    pool_.parallelFor(specs.size(), [&](size_t i) {
+        ClusterPlatform cluster(*specs[i].cluster);
+        const auto allocator = specs[i].allocator();
+        out[i] = cluster.run(*allocator, nullptr);
+    });
+    return out;
 }
 
 } // namespace aapm

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster.hh"
 #include "exp/thread_pool.hh"
 #include "mgmt/governor.hh"
 #include "platform/experiment.hh"
@@ -58,6 +59,23 @@ struct RunSpec
     RunOptions options;
 };
 
+/**
+ * Produces a fresh allocator per cluster run (policies are stateless
+ * today, but the factory keeps the contract uniform with governors).
+ * Invoked from worker threads; must be safe to call concurrently.
+ */
+using AllocatorFactory =
+    std::function<std::unique_ptr<PowerBudgetAllocator>()>;
+
+/** One independent cluster run: a configuration under a policy. */
+struct ClusterRunSpec
+{
+    /** The cluster to run (not owned; must outlive the sweep). */
+    const ClusterConfig *cluster = nullptr;
+    /** Budget policy factory; required. */
+    AllocatorFactory allocator;
+};
+
 /** A grid of runs, grouped into suites for result slicing. */
 class SweepGrid
 {
@@ -89,18 +107,32 @@ class SweepGrid
     std::vector<std::pair<size_t, size_t>> groups_;
 };
 
-/** Results of a grid, sliceable by group handle. */
+/**
+ * Results of a grid, sliceable by group handle.
+ *
+ * A RunResult carries its full power trace, so per-grid-point copies
+ * add up fast on big sweeps. The rvalue-qualified accessors move the
+ * traces out instead: call `std::move(results).suite(h)` /
+ * `std::move(results).takeRuns()` when the SweepResults object is no
+ * longer needed (moved-from slots are left empty).
+ */
 class SweepResults
 {
   public:
     /** All run results, in grid submission order. */
     const std::vector<RunResult> &runs() const { return runs_; }
 
+    /** Move out every run result (traces included) without copying. */
+    std::vector<RunResult> takeRuns() && { return std::move(runs_); }
+
     /** The single result of a one-run group. */
     const RunResult &run(size_t handle) const;
 
-    /** The results of a group as a SuiteResult. */
-    SuiteResult suite(size_t handle) const;
+    /** The results of a group as a SuiteResult (copies the slice). */
+    SuiteResult suite(size_t handle) const &;
+
+    /** Move a group's results out as a SuiteResult. */
+    SuiteResult suite(size_t handle) &&;
 
   private:
     friend class SweepRunner;
@@ -147,6 +179,17 @@ class SweepRunner
     SuiteResult runSuiteAtPState(const std::vector<Workload> &suite,
                                  size_t pstate,
                                  const RunOptions &options = RunOptions());
+
+    /**
+     * Execute a grid of cluster runs; results are positional. A single
+     * grid point fans its lockstep intervals out over this runner's
+     * pool; with two or more points the grid parallelizes across
+     * points instead (each cluster stepped serially) — bit-identical
+     * either way, because cluster runs are deterministic for any
+     * stepping arrangement.
+     */
+    std::vector<ClusterResult>
+    runClusters(const std::vector<ClusterRunSpec> &specs);
 
     /** The pool, for auxiliary parallelism (e.g. characterization). */
     ThreadPool &pool() { return pool_; }

@@ -323,7 +323,9 @@ JsonlTraceSink::begin(const TraceRunMeta &meta)
         << "\", \"governor\": \"" << meta.governor
         << "\", \"interval_ticks\": " << meta.intervalTicks
         << ", \"every\": " << meta.every
-        << ", \"pstates\": " << meta.pstateCount << ", \"fields\": [";
+        << ", \"pstates\": " << meta.pstateCount
+        << ", \"core\": " << meta.core
+        << ", \"cores\": " << meta.cores << ", \"fields\": [";
     const auto &fields = traceFieldNames();
     for (size_t i = 0; i < fields.size(); ++i) {
         out << "\"" << fields[i] << "\""
@@ -374,6 +376,12 @@ readTraceJsonl(const std::string &path, ParsedTrace &out)
     if (!jsonU64(line, "pstates", &u))
         return false;
     out.meta.pstateCount = u;
+    // Cluster identity keys were added with the cluster layer; their
+    // absence (an older trace) means a standalone run.
+    if (jsonU64(line, "core", &u))
+        out.meta.core = u;
+    if (jsonU64(line, "cores", &u))
+        out.meta.cores = u;
 
     bool sawEnd = false;
     while (std::getline(in, line)) {
@@ -427,6 +435,8 @@ CsvTraceSink::begin(const TraceRunMeta &meta)
     out << "# interval_ticks " << meta.intervalTicks << "\n";
     out << "# every " << meta.every << "\n";
     out << "# pstates " << meta.pstateCount << "\n";
+    out << "# core " << meta.core << "\n";
+    out << "# cores " << meta.cores << "\n";
     const auto &fields = traceFieldNames();
     for (size_t i = 0; i < fields.size(); ++i)
         out << fields[i] << (i + 1 < fields.size() ? "," : "\n");
@@ -498,6 +508,14 @@ readTraceCsv(const std::string &path, ParsedTrace &out)
                 uint64_t u = 0;
                 is >> u;
                 out.meta.pstateCount = u;
+            } else if (key == "core") {
+                uint64_t u = 0;
+                is >> u;
+                out.meta.core = u;
+            } else if (key == "cores") {
+                uint64_t u = 0;
+                is >> u;
+                out.meta.cores = u;
             } else if (key == "end") {
                 uint64_t t = 0;
                 if (!(is >> t >> out.declaredRecords))

@@ -43,6 +43,10 @@ struct TraceRunMeta
     Tick intervalTicks = 0;
     uint64_t every = 1;
     size_t pstateCount = 0;
+    /** Core id within the owning cluster (0 for standalone runs). */
+    size_t core = 0;
+    /** Number of cores in the owning cluster (1 = standalone). */
+    size_t cores = 1;
 };
 
 /** Everything captured about one control interval. */

@@ -112,337 +112,338 @@ Platform::steadyPower(const Phase &phase, size_t pstate) const
     return p;
 }
 
-RunResult
-Platform::run(const Workload &workload, Governor &governor,
-              const RunOptions &options)
-{
-    AAPM_PROF_SCOPE("platform_run");
-    ++runSeq_;
-    WorkloadCursor cursor(workload);
-    DvfsController dvfs(config_.pstates, config_.initialPState,
-                        config_.dvfs);
-    Pmu pmu;
-    ThermalModel thermal(config_.thermal);
-    PowerSensor sensor(config_.sensor);
+// Out of line: FaultInjector is incomplete where unique_ptr's deleter
+// would otherwise be instantiated (platform.hh forward-declares it).
+PlatformRun::~PlatformRun() = default;
 
-    governor.reset();
-    governor.configureCounters(pmu);
+PlatformRun::PlatformRun(const PlatformConfig &config,
+                         const CoreModel &core,
+                         const TruthPowerModel &truth,
+                         const Workload &workload, Governor &governor,
+                         const RunOptions &options)
+    : config_(config), truth_(truth), governor_(governor),
+      options_(options), cursor_(workload),
+      dvfs_(config.pstates, config.initialPState, config.dvfs),
+      thermal_(config.thermal), sensor_(config.sensor),
+      // Batched kernel: CPI, ticks-per-instruction and every per-
+      // instruction event rate for each (phase, p-state) pair of this
+      // workload, precomputed once so the per-interval work reduces to
+      // table lookups plus multiplies.
+      timing_(core, truth, config.pstates, workload,
+              config.sampleInterval),
+      tracer_(options.tracer),
+      fastAllowed_(!options.forceChunkedKernel),
+      // Hoisted sampling stride: 0 (no tracer, or every=0) keeps the
+      // per-interval tracing cost to one register test.
+      traceEvery_(options.tracer ? options.tracer->every() : 0)
+{
+    governor_.reset();
+    governor_.configureCounters(pmu_);
 
     // Fault injection is strictly opt-in: with an inactive plan no
     // injector exists, no extra RNG stream is created and every filter
     // below is skipped, keeping the clean path bit-identical.
-    std::unique_ptr<FaultInjector> injector;
-    if (options.faultPlan.active()) {
-        injector = std::make_unique<FaultInjector>(options.faultPlan,
-                                                   options.faultSeed);
-        dvfs.setFaultInjector(injector.get());
+    if (options_.faultPlan.active()) {
+        injector_ = std::make_unique<FaultInjector>(options_.faultPlan,
+                                                    options_.faultSeed);
+        dvfs_.setFaultInjector(injector_.get());
     }
-    DvfsOutcome last_actuation = DvfsOutcome::Unchanged;
 
-    // Batched kernel: CPI, ticks-per-instruction and every per-
-    // instruction event rate for each (phase, p-state) pair of this
-    // workload, precomputed once so the per-interval work reduces to
-    // table lookups plus multiplies.
-    const PhaseTimingTable timing(core_, truth_, config_.pstates,
-                                  workload, config_.sampleInterval);
+    result_.workloadName = workload.name();
+    result_.governorName = governor_.name();
+    if (options_.recordTrace)
+        result_.trace.markStart(0);
 
-    RunResult result;
-    result.workloadName = workload.name();
-    result.governorName = governor.name();
-    if (options.recordTrace)
-        result.trace.markStart(0);
-
-    IntervalTracer *const tracer = options.tracer;
-    if (tracer) {
+    if (tracer_) {
         TraceRunMeta meta;
         meta.workload = workload.name();
-        meta.governor = governor.name();
+        meta.governor = governor_.name();
         meta.intervalTicks = config_.sampleInterval;
-        meta.every = tracer->every();
+        meta.every = tracer_->every();
         meta.pstateCount = config_.pstates.size();
-        tracer->begin(meta);
+        meta.core = options_.traceCore;
+        meta.cores = options_.traceCores;
+        tracer_->begin(meta);
     }
-    // Per-run interval tallies flushed to the global registry once at
-    // the end, so the hot loop touches only stack words.
-    uint64_t fast_intervals = 0;
-    uint64_t chunked_intervals = 0;
-    uint64_t traced_records = 0;
 
     // Commands sorted by delivery time.
-    std::vector<ScheduledCommand> commands = options.commands;
-    std::sort(commands.begin(), commands.end(),
+    commands_ = options_.commands;
+    std::sort(commands_.begin(), commands_.end(),
               [](const auto &a, const auto &b) { return a.when < b.when; });
-    size_t next_cmd = 0;
 
-    Tick pending_stall = 0;
-    Tick end_tick = 0;
-    std::array<uint64_t, Pmu::NumSlots> slot_last{};
-    // Chunk and interval buffers live outside the sample loop so the
-    // chunked fallback never allocates once warmed up.
-    std::vector<ExecChunk> chunks;
-
-    const bool fast_allowed = !options.forceChunkedKernel;
-    // Hoisted sampling stride: 0 (no tracer, or every=0) keeps the
-    // per-interval tracing cost to one register test.
-    const uint64_t trace_every = tracer ? tracer->every() : 0;
     // Insight capture can cost an extra model evaluation per decide();
-    // only traced runs pay it.
-    governor.setInsightWanted(trace_every != 0);
-    bool stop = false;
+    // only traced runs pay it (a cluster allocator may re-enable it
+    // through governor() after beginRun()).
+    governor_.setInsightWanted(traceEvery_ != 0);
+}
 
-    // The monitor loop is the only event source, so it runs as a plain
-    // loop over sample boundaries instead of through an event queue:
-    // one interval per iteration, `now` at the interval's end.
-    Tick now = 0;
-    uint64_t interval_index = 0;
-    for (; !stop; ++interval_index) {
-        now += config_.sampleInterval;
-        const Tick interval_start = now - config_.sampleInterval;
-        const bool want_trace =
-            trace_every != 0 && interval_index % trace_every == 0;
+bool
+PlatformRun::step()
+{
+    if (stop_)
+        return false;
 
-        if (injector) {
-            injector->beginInterval(interval_start);
-            // A write deferred last interval lands at this boundary;
-            // its halt window is charged like any other transition.
-            pending_stall += dvfs.commitDeferred();
-        }
+    // The monitor loop is the only event source, so each step covers
+    // one sample interval, with `now_` at the interval's end.
+    now_ += config_.sampleInterval;
+    const Tick interval_start = now_ - config_.sampleInterval;
+    const bool want_trace =
+        traceEvery_ != 0 && intervalIndex_ % traceEvery_ == 0;
 
-        double interval_energy = 0.0;
-        Tick idle_ticks = 0;
-        EventTotals interval_events;   // experimenter-side counters
-        Tick used_total = 0;
-        bool integrated = false;
-
-        // --- Fast path: the whole interval inside one phase at one
-        // frequency with no stall or phase boundary intervening — the
-        // overwhelmingly common case. Everything a full interval
-        // produces is closed-form in the row's precomputed instruction
-        // count (whose guards reproduce the chunked loop's floor
-        // arithmetic exactly), so the interval is integrated in O(1)
-        // without materializing chunks: bit-identical instruction and
-        // PMU totals, with a fallback whenever the chunked path would
-        // have split the interval.
-        if (fast_allowed && pending_stall == 0 && !cursor.done()) {
-            const PhaseTiming &row =
-                timing.at(cursor.phaseIndex(), dvfs.currentIndex());
-            if (row.fastEligible &&
-                row.fitInterval < cursor.remainingInPhase()) {
-                const double n = static_cast<double>(row.fitInterval);
-                cursor.retire(row.fitInterval);
-                if (row.idle)
-                    idle_ticks = row.durInterval;
-                // The full scaled totals are only needed by the trace;
-                // the PMU accumulates straight from the per-instruction
-                // rates.
-                if (options.recordTrace || want_trace)
-                    interval_events = row.perInstr.scaledBy(n);
-                const double t_c = config_.thermalFeedback
-                    ? thermal.temperature()
-                    : truth_.config().leakNominalTempC;
-                const double p = row.dynPowerW +
-                    truth_.leakagePowerFromBase(row.leakBaseW, t_c);
-                interval_energy = p * row.dtIntervalS;
-                if (config_.thermalFeedback)
-                    thermal.step(p, row.dtIntervalS);
-                pmu.absorbScaled(row.perInstr, n);
-                used_total = config_.sampleInterval;
-                integrated = true;
-            }
-        }
-
-        if (!integrated) {
-            // --- Chunked reference path: stalls, phase boundaries and
-            // the end of the workload. ---
-            chunks.clear();
-            Tick budget = config_.sampleInterval;
-            while (budget > 0 && !cursor.done()) {
-                if (pending_stall > 0) {
-                    const Tick s = std::min(pending_stall, budget);
-                    ExecChunk stall;
-                    stall.phase = nullptr;
-                    stall.freqGhz = dvfs.current().freqGhz();
-                    stall.duration = s;
-                    chunks.push_back(stall);
-                    pending_stall -= s;
-                    budget -= s;
-                    used_total += s;
-                    continue;
-                }
-                const Tick used = timing.advance(
-                    cursor, dvfs.currentIndex(), budget, chunks);
-                budget -= used;
-                used_total += used;
-                if (used == 0)
-                    break;   // defensive: cannot make progress
-            }
-
-            // --- Integrate power/energy/thermals; feed the PMU. ---
-            for (const auto &chunk : chunks) {
-                if (chunk.phase && chunk.phase->idle)
-                    idle_ticks += chunk.duration;
-                interval_events += chunk.events;
-                const double t_c = config_.thermalFeedback
-                    ? thermal.temperature()
-                    : truth_.config().leakNominalTempC;
-                const double p = truth_.power(chunk, dvfs.current(), t_c);
-                const double dt = ticksToSeconds(chunk.duration);
-                interval_energy += p * dt;
-                if (config_.thermalFeedback)
-                    thermal.step(p, dt);
-                pmu.absorb(chunk.events);
-            }
-        }
-
-        if (integrated)
-            ++fast_intervals;
-        else
-            ++chunked_intervals;
-
-        const Tick actual_dt = used_total;
-        end_tick = interval_start + actual_dt;
-        result.trueEnergyJ += interval_energy;
-        dvfs.accountResidency(actual_dt);
-
-        const double dt_s = ticksToSeconds(actual_dt);
-        if (dt_s <= 0.0) {
-            stop = true;
-            break;
-        }
-
-        // --- Assemble the monitor sample from the counters. ---
-        MonitorSample sample;
-        sample.intervalSeconds = dt_s;
-        sample.cycles = pmu.cyclesSinceLast();
-        sample.pstate = dvfs.currentIndex();
-        sample.utilization =
-            1.0 - static_cast<double>(idle_ticks) /
-                      static_cast<double>(actual_dt);
-        const double cyc = static_cast<double>(sample.cycles);
-        for (size_t s = 0; s < Pmu::NumSlots; ++s) {
-            const auto ev = pmu.slotEvent(s);
-            if (!ev)
-                continue;
-            const uint64_t cur = pmu.read(s);
-            // A governor may reprogram (and thereby zero) a slot
-            // between samples; a count below the previous reading
-            // means the counter restarted this interval.
-            uint64_t delta =
-                cur >= slot_last[s] ? cur - slot_last[s] : cur;
-            slot_last[s] = cur;
-            if (injector)
-                delta = injector->filterCounterDelta(s, delta);
-            const double rate = cyc > 0.0
-                ? static_cast<double>(delta) / cyc
-                : 0.0;
-            switch (*ev) {
-              case PmuEvent::InstructionsRetired:
-                sample.ipc = rate;
-                break;
-              case PmuEvent::InstructionsDecoded:
-                sample.dpc = rate;
-                break;
-              case PmuEvent::DcuMissOutstanding:
-                sample.dcuPerCycle = rate;
-                break;
-              default:
-                break;   // other events are readable but unnamed here
-            }
-        }
-        const double true_avg = interval_energy / dt_s;
-        double measured = sensor.sample(true_avg);
-        if (injector)
-            measured = injector->filterSensorSample(measured);
-        sample.measuredPowerW = measured;
-        sample.lastActuation = last_actuation;
-        // Thermal diode: half-degree quantization.
-        sample.tempC = std::round(thermal.temperature() * 2.0) / 2.0;
-        // A dropped (NaN) sample contributes nothing to the summed
-        // energy, exactly as a missing DAQ record would.
-        if (!std::isnan(measured))
-            result.measuredEnergyJ += measured * dt_s;
-
-        if (options.recordTrace) {
-            // The trace is the experimenter's instrumentation: its
-            // rates come from dedicated counter collection, not from
-            // whatever the governor happened to program.
-            TraceSample ts;
-            ts.when = end_tick;
-            ts.measuredW = sample.measuredPowerW;
-            ts.trueW = true_avg;
-            ts.freqMhz = dvfs.current().freqMhz;
-            ts.pstateIndex = dvfs.currentIndex();
-            const double cycles = interval_events.cycles;
-            ts.ipc = cycles > 0.0
-                ? interval_events.instructionsRetired / cycles
-                : 0.0;
-            ts.dpc = cycles > 0.0
-                ? interval_events.instructionsDecoded / cycles
-                : 0.0;
-            ts.tempC = thermal.temperature();
-            result.trace.add(ts);
-        }
-
-        // --- Deliver any constraint changes that have arrived. ---
-        while (next_cmd < commands.size() &&
-               commands[next_cmd].when <= now) {
-            const auto &cmd = commands[next_cmd++];
-            if (cmd.kind == ScheduledCommand::Kind::SetPowerLimit)
-                governor.setPowerLimit(cmd.value);
-            else
-                governor.setPerformanceFloor(cmd.value);
-        }
-
-        // --- Control. The governor is consulted exactly as without a
-        // tracer: never for the final (stopping) interval. ---
-        const bool stopping = cursor.done() ||
-            (options.maxTime != 0 && now >= options.maxTime);
-        size_t decided_state = dvfs.currentIndex();
-        DvfsOutcome act_outcome = DvfsOutcome::Unchanged;
-        Tick act_stall = 0;
-        if (!stopping) {
-            const size_t next =
-                governor.decide(sample, dvfs.currentIndex());
-            decided_state = next;
-            if (next != dvfs.currentIndex()) {
-                const DvfsActuation act = dvfs.applyPState(next);
-                pending_stall += act.stallTicks;
-                last_actuation = act.outcome;
-                act_outcome = act.outcome;
-                act_stall = act.stallTicks;
-            } else {
-                last_actuation = DvfsOutcome::Unchanged;
-            }
-        }
-
-        if (want_trace) {
-            recordTraceInterval(*tracer, governor, interval_index,
-                                end_tick, sample, true_avg,
-                                interval_events, thermal.temperature(),
-                                stopping, decided_state, act_outcome,
-                                act_stall);
-            ++traced_records;
-        }
-
-        if (stopping)
-            break;
+    if (injector_) {
+        injector_->beginInterval(interval_start);
+        // A write deferred last interval lands at this boundary;
+        // its halt window is charged like any other transition.
+        pendingStall_ += dvfs_.commitDeferred();
     }
 
-    result.seconds = ticksToSeconds(end_tick);
-    result.instructions = cursor.retired();
-    result.finished = cursor.done();
-    result.finalTempC = thermal.temperature();
-    result.avgTruePowerW =
-        result.seconds > 0.0 ? result.trueEnergyJ / result.seconds : 0.0;
-    result.dvfs = dvfs.stats();
-    if (injector)
-        result.recovery = injector->telemetry();
-    governor.exportTelemetry(result.recovery);
-    result.recovery.sensorClamped += sensor.clampedInputs();
-    if (options.recordTrace)
-        result.trace.markEnd(end_tick);
-    if (tracer)
-        tracer->end(end_tick);
+    double interval_energy = 0.0;
+    Tick idle_ticks = 0;
+    EventTotals interval_events;   // experimenter-side counters
+    Tick used_total = 0;
+    bool integrated = false;
+
+    // --- Fast path: the whole interval inside one phase at one
+    // frequency with no stall or phase boundary intervening — the
+    // overwhelmingly common case. Everything a full interval
+    // produces is closed-form in the row's precomputed instruction
+    // count (whose guards reproduce the chunked loop's floor
+    // arithmetic exactly), so the interval is integrated in O(1)
+    // without materializing chunks: bit-identical instruction and
+    // PMU totals, with a fallback whenever the chunked path would
+    // have split the interval.
+    if (fastAllowed_ && pendingStall_ == 0 && !cursor_.done()) {
+        const PhaseTiming &row =
+            timing_.at(cursor_.phaseIndex(), dvfs_.currentIndex());
+        if (row.fastEligible &&
+            row.fitInterval < cursor_.remainingInPhase()) {
+            const double n = static_cast<double>(row.fitInterval);
+            cursor_.retire(row.fitInterval);
+            if (row.idle)
+                idle_ticks = row.durInterval;
+            // The full scaled totals are only needed by the trace;
+            // the PMU accumulates straight from the per-instruction
+            // rates.
+            if (options_.recordTrace || want_trace)
+                interval_events = row.perInstr.scaledBy(n);
+            const double t_c = config_.thermalFeedback
+                ? thermal_.temperature()
+                : truth_.config().leakNominalTempC;
+            const double p = row.dynPowerW +
+                truth_.leakagePowerFromBase(row.leakBaseW, t_c);
+            interval_energy = p * row.dtIntervalS;
+            if (config_.thermalFeedback)
+                thermal_.step(p, row.dtIntervalS);
+            pmu_.absorbScaled(row.perInstr, n);
+            used_total = config_.sampleInterval;
+            integrated = true;
+        }
+    }
+
+    if (!integrated) {
+        // --- Chunked reference path: stalls, phase boundaries and
+        // the end of the workload. ---
+        chunks_.clear();
+        Tick budget = config_.sampleInterval;
+        while (budget > 0 && !cursor_.done()) {
+            if (pendingStall_ > 0) {
+                const Tick s = std::min(pendingStall_, budget);
+                ExecChunk stall;
+                stall.phase = nullptr;
+                stall.freqGhz = dvfs_.current().freqGhz();
+                stall.duration = s;
+                chunks_.push_back(stall);
+                pendingStall_ -= s;
+                budget -= s;
+                used_total += s;
+                continue;
+            }
+            const Tick used = timing_.advance(
+                cursor_, dvfs_.currentIndex(), budget, chunks_);
+            budget -= used;
+            used_total += used;
+            if (used == 0)
+                break;   // defensive: cannot make progress
+        }
+
+        // --- Integrate power/energy/thermals; feed the PMU. ---
+        for (const auto &chunk : chunks_) {
+            if (chunk.phase && chunk.phase->idle)
+                idle_ticks += chunk.duration;
+            interval_events += chunk.events;
+            const double t_c = config_.thermalFeedback
+                ? thermal_.temperature()
+                : truth_.config().leakNominalTempC;
+            const double p = truth_.power(chunk, dvfs_.current(), t_c);
+            const double dt = ticksToSeconds(chunk.duration);
+            interval_energy += p * dt;
+            if (config_.thermalFeedback)
+                thermal_.step(p, dt);
+            pmu_.absorb(chunk.events);
+        }
+    }
+
+    if (integrated)
+        ++fastIntervals_;
+    else
+        ++chunkedIntervals_;
+
+    const Tick actual_dt = used_total;
+    endTick_ = interval_start + actual_dt;
+    result_.trueEnergyJ += interval_energy;
+    dvfs_.accountResidency(actual_dt);
+
+    const double dt_s = ticksToSeconds(actual_dt);
+    if (dt_s <= 0.0) {
+        stop_ = true;
+        return false;
+    }
+
+    // --- Assemble the monitor sample from the counters. ---
+    MonitorSample sample;
+    sample.intervalSeconds = dt_s;
+    sample.cycles = pmu_.cyclesSinceLast();
+    sample.pstate = dvfs_.currentIndex();
+    sample.utilization =
+        1.0 - static_cast<double>(idle_ticks) /
+                  static_cast<double>(actual_dt);
+    const double cyc = static_cast<double>(sample.cycles);
+    for (size_t s = 0; s < Pmu::NumSlots; ++s) {
+        const auto ev = pmu_.slotEvent(s);
+        if (!ev)
+            continue;
+        const uint64_t cur = pmu_.read(s);
+        // A governor may reprogram (and thereby zero) a slot
+        // between samples; a count below the previous reading
+        // means the counter restarted this interval.
+        uint64_t delta =
+            cur >= slotLast_[s] ? cur - slotLast_[s] : cur;
+        slotLast_[s] = cur;
+        if (injector_)
+            delta = injector_->filterCounterDelta(s, delta);
+        const double rate = cyc > 0.0
+            ? static_cast<double>(delta) / cyc
+            : 0.0;
+        switch (*ev) {
+          case PmuEvent::InstructionsRetired:
+            sample.ipc = rate;
+            break;
+          case PmuEvent::InstructionsDecoded:
+            sample.dpc = rate;
+            break;
+          case PmuEvent::DcuMissOutstanding:
+            sample.dcuPerCycle = rate;
+            break;
+          default:
+            break;   // other events are readable but unnamed here
+        }
+    }
+    const double true_avg = interval_energy / dt_s;
+    double measured = sensor_.sample(true_avg);
+    if (injector_)
+        measured = injector_->filterSensorSample(measured);
+    sample.measuredPowerW = measured;
+    sample.lastActuation = lastActuation_;
+    // Thermal diode: half-degree quantization.
+    sample.tempC = std::round(thermal_.temperature() * 2.0) / 2.0;
+    // A dropped (NaN) sample contributes nothing to the summed
+    // energy, exactly as a missing DAQ record would.
+    if (!std::isnan(measured))
+        result_.measuredEnergyJ += measured * dt_s;
+
+    if (options_.recordTrace) {
+        // The trace is the experimenter's instrumentation: its
+        // rates come from dedicated counter collection, not from
+        // whatever the governor happened to program.
+        TraceSample ts;
+        ts.when = endTick_;
+        ts.measuredW = sample.measuredPowerW;
+        ts.trueW = true_avg;
+        ts.freqMhz = dvfs_.current().freqMhz;
+        ts.pstateIndex = dvfs_.currentIndex();
+        const double cycles = interval_events.cycles;
+        ts.ipc = cycles > 0.0
+            ? interval_events.instructionsRetired / cycles
+            : 0.0;
+        ts.dpc = cycles > 0.0
+            ? interval_events.instructionsDecoded / cycles
+            : 0.0;
+        ts.tempC = thermal_.temperature();
+        result_.trace.add(ts);
+    }
+
+    // --- Deliver any constraint changes that have arrived. ---
+    while (nextCmd_ < commands_.size() &&
+           commands_[nextCmd_].when <= now_) {
+        const auto &cmd = commands_[nextCmd_++];
+        if (cmd.kind == ScheduledCommand::Kind::SetPowerLimit)
+            governor_.setPowerLimit(cmd.value);
+        else
+            governor_.setPerformanceFloor(cmd.value);
+    }
+
+    // --- Control. The governor is consulted exactly as without a
+    // tracer: never for the final (stopping) interval. ---
+    const bool stopping = cursor_.done() ||
+        (options_.maxTime != 0 && now_ >= options_.maxTime);
+    size_t decided_state = dvfs_.currentIndex();
+    DvfsOutcome act_outcome = DvfsOutcome::Unchanged;
+    Tick act_stall = 0;
+    if (!stopping) {
+        const size_t next =
+            governor_.decide(sample, dvfs_.currentIndex());
+        decided_state = next;
+        if (next != dvfs_.currentIndex()) {
+            const DvfsActuation act = dvfs_.applyPState(next);
+            pendingStall_ += act.stallTicks;
+            lastActuation_ = act.outcome;
+            act_outcome = act.outcome;
+            act_stall = act.stallTicks;
+        } else {
+            lastActuation_ = DvfsOutcome::Unchanged;
+        }
+    }
+
+    if (want_trace) {
+        recordTraceInterval(*tracer_, governor_, intervalIndex_,
+                            endTick_, sample, true_avg,
+                            interval_events, thermal_.temperature(),
+                            stopping, decided_state, act_outcome,
+                            act_stall);
+        ++tracedRecords_;
+    }
+
+    lastSample_ = sample;
+    lastTrueAvgW_ = true_avg;
+    lastDtS_ = dt_s;
+    ++intervalIndex_;
+
+    if (stopping) {
+        stop_ = true;
+        return false;
+    }
+    return true;
+}
+
+RunResult
+PlatformRun::finish()
+{
+    result_.seconds = ticksToSeconds(endTick_);
+    result_.instructions = cursor_.retired();
+    result_.finished = cursor_.done();
+    result_.finalTempC = thermal_.temperature();
+    result_.avgTruePowerW = result_.seconds > 0.0
+        ? result_.trueEnergyJ / result_.seconds
+        : 0.0;
+    result_.dvfs = dvfs_.stats();
+    if (injector_)
+        result_.recovery = injector_->telemetry();
+    governor_.exportTelemetry(result_.recovery);
+    result_.recovery.sensorClamped += sensor_.clampedInputs();
+    if (options_.recordTrace)
+        result_.trace.markEnd(endTick_);
+    if (tracer_)
+        tracer_->end(endTick_);
 
     // One registry flush per run; ids registered once per process.
     static const CounterId runs_id =
@@ -455,11 +456,32 @@ Platform::run(const Workload &workload, Governor &governor,
         MetricRegistry::global().counter("platform.traced_records");
     MetricRegistry &reg = MetricRegistry::global();
     reg.add(runs_id, 1);
-    reg.add(fast_id, fast_intervals);
-    reg.add(chunked_id, chunked_intervals);
-    if (traced_records > 0)
-        reg.add(traced_id, traced_records);
-    return result;
+    reg.add(fast_id, fastIntervals_);
+    reg.add(chunked_id, chunkedIntervals_);
+    if (tracedRecords_ > 0)
+        reg.add(traced_id, tracedRecords_);
+    return std::move(result_);
+}
+
+RunResult
+Platform::run(const Workload &workload, Governor &governor,
+              const RunOptions &options)
+{
+    AAPM_PROF_SCOPE("platform_run");
+    ++runSeq_;
+    PlatformRun run(config_, core_, truth_, workload, governor, options);
+    while (run.step()) {
+    }
+    return run.finish();
+}
+
+std::unique_ptr<PlatformRun>
+Platform::beginRun(const Workload &workload, Governor &governor,
+                   const RunOptions &options)
+{
+    ++runSeq_;
+    return std::unique_ptr<PlatformRun>(new PlatformRun(
+        config_, core_, truth_, workload, governor, options));
 }
 
 RunResult

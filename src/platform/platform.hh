@@ -9,11 +9,13 @@
 #ifndef AAPM_PLATFORM_PLATFORM_HH
 #define AAPM_PLATFORM_PLATFORM_HH
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cpu/core_model.hh"
+#include "cpu/phase_timing.hh"
 #include "dvfs/dvfs_controller.hh"
 #include "fault/fault_plan.hh"
 #include "fault/telemetry.hh"
@@ -28,6 +30,7 @@
 namespace aapm
 {
 
+class FaultInjector;
 class IntervalTracer;
 
 /** Everything configurable about the simulated system. */
@@ -94,6 +97,10 @@ struct RunOptions
      * test, and the simulation is bit-identical to a traced run.
      */
     IntervalTracer *tracer = nullptr;
+    /** Core id recorded in the trace header (0 for standalone runs). */
+    size_t traceCore = 0;
+    /** Cluster size recorded in the trace header (1 = standalone). */
+    size_t traceCores = 1;
 };
 
 /** Everything measured about one run. */
@@ -123,6 +130,110 @@ struct RunResult
     }
 };
 
+class Platform;
+
+/**
+ * One in-flight run, steppable a control interval at a time. Owns every
+ * piece of per-run state Platform::run used to keep on its stack —
+ * cursor, DVFS controller, PMU, thermal/sensor models, fault injector,
+ * timing tables — so a driver can interleave many runs in lockstep (the
+ * cluster layer) or just loop step() to completion (Platform::run, which
+ * is exactly that loop; results are identical by construction).
+ *
+ * Obtain one from Platform::beginRun(). The workload, governor, tracer
+ * and the Platform itself must outlive the PlatformRun.
+ */
+class PlatformRun
+{
+  public:
+    PlatformRun(const PlatformRun &) = delete;
+    PlatformRun &operator=(const PlatformRun &) = delete;
+    ~PlatformRun();
+
+    /**
+     * Execute one monitor/control interval: integrate power and
+     * thermals, assemble the monitor sample, deliver scheduled
+     * commands, consult the governor and actuate its decision.
+     * @return true while further intervals remain; false once the run
+     *         is over (the final interval has already been executed —
+     *         do not call step() again).
+     */
+    bool step();
+
+    /** The run is over; step() would do nothing. */
+    bool over() const { return stop_; }
+
+    /** Assemble the result. Call once, after over() turns true. */
+    RunResult finish();
+
+    /** The governor driving this run (for mid-run constraint writes). */
+    Governor &governor() { return governor_; }
+
+    /**
+     * The monitor sample assembled for the most recent interval —
+     * what the governor itself saw (valid once step() ran at least
+     * once).
+     */
+    const MonitorSample &lastSample() const { return lastSample_; }
+
+    /** Ground-truth average power over the most recent interval, W. */
+    double lastTruePowerW() const { return lastTrueAvgW_; }
+
+    /** Wall-clock length of the most recent interval, seconds. */
+    double lastIntervalSeconds() const { return lastDtS_; }
+
+    /** Current p-state index. */
+    size_t currentPState() const { return dvfs_.currentIndex(); }
+
+    /** Intervals executed so far. */
+    uint64_t intervals() const { return intervalIndex_; }
+
+    /** Instructions retired so far. */
+    uint64_t instructionsRetired() const { return cursor_.retired(); }
+
+    /** The p-state menu of the underlying platform. */
+    const PStateTable &pstates() const { return config_.pstates; }
+
+  private:
+    friend class Platform;
+
+    PlatformRun(const PlatformConfig &config, const CoreModel &core,
+                const TruthPowerModel &truth, const Workload &workload,
+                Governor &governor, const RunOptions &options);
+
+    const PlatformConfig &config_;
+    const TruthPowerModel &truth_;
+    Governor &governor_;
+    RunOptions options_;
+    WorkloadCursor cursor_;
+    DvfsController dvfs_;
+    Pmu pmu_;
+    ThermalModel thermal_;
+    PowerSensor sensor_;
+    std::unique_ptr<FaultInjector> injector_;
+    PhaseTimingTable timing_;
+    RunResult result_;
+    IntervalTracer *tracer_;
+    DvfsOutcome lastActuation_ = DvfsOutcome::Unchanged;
+    MonitorSample lastSample_;
+    double lastTrueAvgW_ = 0.0;
+    double lastDtS_ = 0.0;
+    uint64_t fastIntervals_ = 0;
+    uint64_t chunkedIntervals_ = 0;
+    uint64_t tracedRecords_ = 0;
+    std::vector<ScheduledCommand> commands_;
+    size_t nextCmd_ = 0;
+    Tick pendingStall_ = 0;
+    Tick endTick_ = 0;
+    std::array<uint64_t, Pmu::NumSlots> slotLast_{};
+    std::vector<ExecChunk> chunks_;
+    bool fastAllowed_;
+    uint64_t traceEvery_;
+    bool stop_ = false;
+    Tick now_ = 0;
+    uint64_t intervalIndex_ = 0;
+};
+
 /**
  * The simulated testbed. A Platform is reusable: every run starts from
  * a cold boot (fresh PMU, thermal state, DVFS controller and sensor
@@ -141,6 +252,15 @@ class Platform
      */
     RunResult run(const Workload &workload, Governor &governor,
                   const RunOptions &options = RunOptions());
+
+    /**
+     * Boot a run without driving it: the caller steps it interval by
+     * interval. Platform::run(w, g, o) is bit-identical to
+     * `auto r = beginRun(w, g, o); while (r->step()) {} r->finish()`.
+     */
+    std::unique_ptr<PlatformRun>
+    beginRun(const Workload &workload, Governor &governor,
+             const RunOptions &options = RunOptions());
 
     /** Execute pinned at a p-state (static clocking / baselines). */
     RunResult runAtPState(const Workload &workload, size_t pstate,

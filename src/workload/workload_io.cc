@@ -160,4 +160,57 @@ saveWorkloadFile(const std::string &path, const Workload &workload)
         aapm_fatal("write to '%s' failed", path.c_str());
 }
 
+std::vector<ClusterManifestEntry>
+parseClusterManifest(std::istream &in)
+{
+    std::vector<ClusterManifestEntry> entries;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string head;
+        if (!(ls >> head))
+            continue;   // blank line
+        if (head != "core")
+            aapm_fatal("line %d: unknown directive '%s' (expected "
+                       "'core')", lineno, head.c_str());
+
+        ClusterManifestEntry e;
+        if (!(ls >> e.workload))
+            aapm_fatal("line %d: core needs a workload name", lineno);
+        if (e.workload == "file") {
+            e.isFile = true;
+            if (!(ls >> e.workload))
+                aapm_fatal("line %d: 'core file' needs a path", lineno);
+        }
+        std::string key;
+        while (ls >> key) {
+            if (key == "seconds") {
+                if (!(ls >> e.seconds) || e.seconds <= 0.0)
+                    aapm_fatal("line %d: bad seconds", lineno);
+            } else {
+                aapm_fatal("line %d: unknown core key '%s'", lineno,
+                           key.c_str());
+            }
+        }
+        entries.push_back(std::move(e));
+    }
+    if (entries.empty())
+        aapm_fatal("cluster manifest has no 'core' lines");
+    return entries;
+}
+
+std::vector<ClusterManifestEntry>
+loadClusterManifest(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        aapm_fatal("cannot open cluster manifest '%s'", path.c_str());
+    return parseClusterManifest(in);
+}
+
 } // namespace aapm

@@ -18,6 +18,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "workload/workload.hh"
 
@@ -32,6 +33,35 @@ Workload loadWorkloadFile(const std::string &path);
 
 /** Serialize a workload into the same format. */
 void saveWorkloadFile(const std::string &path, const Workload &workload);
+
+/**
+ * One line of a cluster manifest: the workload a core runs. The
+ * manifest is cycled to fill however many cores the cluster has, so a
+ * two-line manifest on a 16-core cluster alternates its entries.
+ *
+ * Format (comments with '#'):
+ *
+ *   core crafty
+ *   core swim seconds 1.5
+ *   core file my.wl
+ */
+struct ClusterManifestEntry
+{
+    /** SPEC proxy / MS-Loops name, or a path when isFile is set. */
+    std::string workload;
+    /** workload is a workload-definition file path. */
+    bool isFile = false;
+    /** Target duration at 2 GHz, seconds; 0 = the CLI default. Only
+     *  meaningful for named (non-file) workloads. */
+    double seconds = 0.0;
+};
+
+/** Parse a cluster manifest from a stream; fatal() on bad input. */
+std::vector<ClusterManifestEntry> parseClusterManifest(std::istream &in);
+
+/** Load a cluster manifest from a file; fatal() on error. */
+std::vector<ClusterManifestEntry>
+loadClusterManifest(const std::string &path);
 
 } // namespace aapm
 

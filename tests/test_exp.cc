@@ -268,6 +268,87 @@ TEST(SweepRunner, GridSlicesGroupsPositionally)
               suite.runs[1].seconds);
 }
 
+TEST(SweepRunner, MoveAccessorsStealTracesWithoutCopying)
+{
+    SweepFixture fx;
+    SweepRunner runner(fx.config, 4);
+
+    SweepGrid grid;
+    const size_t handle = grid.addSuiteAtPState(fx.suite, 7);
+
+    SweepResults res = runner.run(grid);
+    ASSERT_FALSE(res.runs().empty());
+    ASSERT_FALSE(res.runs()[0].trace.samples().empty());
+    const TraceSample *storage = res.runs()[0].trace.samples().data();
+    const size_t count = res.runs()[0].trace.samples().size();
+
+    // The rvalue overload must hand back the same trace storage (a
+    // move), not a fresh copy.
+    const SuiteResult moved = std::move(res).suite(handle);
+    ASSERT_EQ(moved.runs.size(), fx.suite.size());
+    EXPECT_EQ(moved.runs[0].trace.samples().data(), storage);
+    EXPECT_EQ(moved.runs[0].trace.samples().size(), count);
+
+    SweepResults res2 = runner.run(grid);
+    const TraceSample *storage2 = res2.runs()[0].trace.samples().data();
+    const std::vector<RunResult> taken = std::move(res2).takeRuns();
+    ASSERT_EQ(taken.size(), fx.suite.size());
+    EXPECT_EQ(taken[0].trace.samples().data(), storage2);
+}
+
+TEST(SweepRunner, ClusterGridMatchesDirectRuns)
+{
+    SweepFixture fx;
+
+    ClusterConfig cc;
+    for (size_t i = 0; i < 2; ++i) {
+        ClusterCoreConfig core;
+        core.platform = fx.config;
+        core.workload = &fx.suite[i];
+        core.governor = fx.pmFactory(100.0);
+        core.powerModel = &fx.power;
+        core.perfModel = &fx.perf;
+        cc.cores.push_back(std::move(core));
+    }
+    cc.budgetW = 24.0;
+
+    // Direct, serial runs: the determinism reference.
+    ClusterPlatform direct(cc);
+    UniformAllocator uniform;
+    DemandProportionalAllocator demand;
+    const ClusterResult ref_uni = direct.run(uniform, nullptr);
+    const ClusterResult ref_dem = direct.run(demand, nullptr);
+
+    SweepRunner runner(fx.config, 4);
+    std::vector<ClusterRunSpec> specs(2);
+    specs[0].cluster = &cc;
+    specs[0].allocator = [] {
+        return std::make_unique<UniformAllocator>();
+    };
+    specs[1].cluster = &cc;
+    specs[1].allocator = [] {
+        return std::make_unique<DemandProportionalAllocator>();
+    };
+    const std::vector<ClusterResult> grid = runner.runClusters(specs);
+
+    ASSERT_EQ(grid.size(), 2u);
+    const ClusterResult *refs[] = {&ref_uni, &ref_dem};
+    for (size_t g = 0; g < 2; ++g) {
+        EXPECT_EQ(grid[g].instructions, refs[g]->instructions);
+        EXPECT_EQ(grid[g].intervals, refs[g]->intervals);
+        EXPECT_DOUBLE_EQ(grid[g].trueEnergyJ, refs[g]->trueEnergyJ);
+        EXPECT_DOUBLE_EQ(grid[g].fractionOverBudgetTrue,
+                         refs[g]->fractionOverBudgetTrue);
+    }
+
+    // A one-spec grid takes the pooled path; same results again.
+    const std::vector<ClusterResult> solo =
+        runner.runClusters({specs[1]});
+    ASSERT_EQ(solo.size(), 1u);
+    EXPECT_EQ(solo[0].instructions, ref_dem.instructions);
+    EXPECT_DOUBLE_EQ(solo[0].trueEnergyJ, ref_dem.trueEnergyJ);
+}
+
 TEST(SweepRunner, PerSpecSensorSeedChangesMeasurementOnly)
 {
     SweepFixture fx;

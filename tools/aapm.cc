@@ -73,14 +73,12 @@ cmdTrain(const CliOptions &opts)
     return 0;
 }
 
+/** Resolve a SPEC proxy or MS-Loops name into a workload sized for
+ *  `seconds` at 2 GHz; fatal() on an unknown name. */
 Workload
-resolveWorkload(const CliOptions &opts, const PlatformConfig &config)
+resolveWorkloadByName(const std::string &name, double seconds,
+                      const PlatformConfig &config)
 {
-    const double seconds =
-        opts.has("seconds") ? opts.num("seconds") : 12.0;
-    if (opts.has("workload-file"))
-        return loadWorkloadFile(opts.str("workload-file"));
-    const std::string name = opts.str("workload");
     if (isSpecBenchmark(name))
         return specWorkload(name, config.core, seconds);
     // MS-Loops spellings like FMA-256KB.
@@ -100,6 +98,16 @@ resolveWorkload(const CliOptions &opts, const PlatformConfig &config)
         }
     }
     aapm_fatal("unknown workload '%s' (try `aapm list`)", name.c_str());
+}
+
+Workload
+resolveWorkload(const CliOptions &opts, const PlatformConfig &config)
+{
+    const double seconds =
+        opts.has("seconds") ? opts.num("seconds") : 12.0;
+    if (opts.has("workload-file"))
+        return loadWorkloadFile(opts.str("workload-file"));
+    return resolveWorkloadByName(opts.str("workload"), seconds, config);
 }
 
 std::unique_ptr<Governor>
@@ -188,6 +196,187 @@ printRecovery(const RecoveryTelemetry &t)
                 u(t.degradedIntervals));
 }
 
+/**
+ * Fresh-per-core governor factory for cluster mode. Only power-capped
+ * governors make sense under a budget allocator; the placeholder limit
+ * is overwritten by the pre-run allocation round before interval 0.
+ */
+GovernorFactory
+clusterGovernorFactory(const CliOptions &opts,
+                       const PowerEstimator &power, double placeholderW)
+{
+    const std::string gov = opts.str("governor");
+    if (gov != "pm" && gov != "pm-f" && gov != "pm-a") {
+        aapm_fatal("cluster mode needs a power-capped governor "
+                   "(pm, pm-f or pm-a), not '%s'", gov.c_str());
+    }
+    const bool supervise = opts.flag("supervise");
+    return [gov, supervise, &power, placeholderW] {
+        std::unique_ptr<Governor> g;
+        const PmConfig cfg{.powerLimitW = placeholderW};
+        if (gov == "pm")
+            g = std::make_unique<PerformanceMaximizer>(power, cfg);
+        else if (gov == "pm-f")
+            g = std::make_unique<PmFeedback>(power, cfg);
+        else
+            g = std::make_unique<PmAdaptive>(power, cfg);
+        if (supervise) {
+            g = std::make_unique<GovernorSupervisor>(
+                std::move(g), SupervisorConfig(), &power);
+        }
+        return g;
+    };
+}
+
+/** "trace.jsonl" -> "trace.core3.jsonl" (suffix when no extension). */
+std::string
+corePath(const std::string &path, size_t core)
+{
+    const std::string tag = ".core" + std::to_string(core);
+    const size_t dot = path.rfind('.');
+    const size_t slash = path.find_last_of('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + tag;
+    return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+int
+cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
+              const PowerEstimator &power, const PerfEstimator &perf)
+{
+    if (!opts.has("budget"))
+        aapm_fatal("cluster mode needs --budget WATTS");
+    const double budget = opts.num("budget");
+    const double seconds =
+        opts.has("seconds") ? opts.num("seconds") : 12.0;
+
+    std::vector<ClusterManifestEntry> entries;
+    if (opts.has("manifest")) {
+        entries = loadClusterManifest(opts.str("manifest"));
+    } else if (opts.has("workload") || opts.has("workload-file")) {
+        ClusterManifestEntry e;
+        if (opts.has("workload-file")) {
+            e.workload = opts.str("workload-file");
+            e.isFile = true;
+        } else {
+            e.workload = opts.str("workload");
+        }
+        entries.push_back(std::move(e));
+    } else {
+        aapm_fatal("cluster mode needs --manifest, --workload or "
+                   "--workload-file");
+    }
+
+    size_t n = static_cast<size_t>(opts.num("cluster"));
+    if (n == 0)
+        n = entries.size();
+
+    // Resolve each manifest entry once; cores cycle through them.
+    std::vector<Workload> workloads;
+    workloads.reserve(entries.size());
+    for (const ClusterManifestEntry &e : entries) {
+        const double s = e.seconds > 0.0 ? e.seconds : seconds;
+        workloads.push_back(
+            e.isFile ? loadWorkloadFile(e.workload)
+                     : resolveWorkloadByName(e.workload, s, config));
+    }
+
+    const auto allocator = makeAllocator(opts.str("allocator"));
+    if (!allocator) {
+        std::string names;
+        for (const std::string &a : allocatorNames())
+            names += (names.empty() ? "" : ", ") + a;
+        aapm_fatal("unknown allocator '%s' (one of: %s)",
+                   opts.str("allocator").c_str(), names.c_str());
+    }
+
+    RunOptions base_opts;
+    applyFaultOptions(opts, base_opts);
+
+    std::vector<std::unique_ptr<TraceSink>> sinks;
+    std::vector<std::unique_ptr<IntervalTracer>> tracers;
+
+    ClusterConfig cc;
+    cc.budgetW = budget;
+    const GovernorFactory factory = clusterGovernorFactory(
+        opts, power, budget / static_cast<double>(n));
+    for (size_t i = 0; i < n; ++i) {
+        ClusterCoreConfig core;
+        core.platform = config;
+        core.workload = &workloads[i % workloads.size()];
+        core.governor = factory;
+        core.options = base_opts;
+        // Decorrelate per-core fault streams.
+        if (opts.has("fault-seed")) {
+            core.options.faultSeed =
+                static_cast<uint64_t>(opts.num("fault-seed")) + i;
+        }
+        core.powerModel = &power;
+        core.perfModel = &perf;
+        if (opts.has("trace-out")) {
+            sinks.push_back(
+                makeTraceSink(corePath(opts.str("trace-out"), i)));
+            tracers.push_back(std::make_unique<IntervalTracer>(
+                *sinks.back(),
+                static_cast<uint64_t>(opts.num("trace-every"))));
+            core.options.tracer = tracers.back().get();
+        }
+        cc.cores.push_back(std::move(core));
+    }
+
+    ClusterPlatform cluster(std::move(cc));
+    ThreadPool pool;
+    const ClusterResult r = cluster.run(*allocator, &pool);
+
+    tracers.clear();
+    sinks.clear();
+    if (opts.has("trace-out")) {
+        std::printf("per-core traces written to %s\n",
+                    corePath(opts.str("trace-out"), 0).c_str());
+    }
+
+    std::printf("cluster   %zu cores under %s, budget %.1f W\n", n,
+                allocator->name(), budget);
+    TextTable t;
+    t.header({"core", "workload", "instr", "time (s)", "energy (J)",
+              "avg W"});
+    for (size_t i = 0; i < r.cores.size(); ++i) {
+        const RunResult &c = r.cores[i];
+        t.row({std::to_string(i), c.workloadName,
+               TextTable::num(static_cast<double>(c.instructions), 0),
+               TextTable::num(c.seconds, 3),
+               TextTable::num(c.trueEnergyJ, 2),
+               TextTable::num(c.avgTruePowerW, 2)});
+    }
+    std::printf("%s", t.str().c_str());
+    std::printf("time      %.3f s (slowest core)\n", r.seconds);
+    std::printf("instr     %.3e aggregate (%.3e instr/s)\n",
+                static_cast<double>(r.instructions), r.perf());
+    std::printf("energy    %.2f J aggregate\n", r.trueEnergyJ);
+    std::printf("over-budget intervals: %.2f%%\n",
+                r.fractionOverBudgetTrue * 100.0);
+    printRecovery(r.recovery);
+
+    if (opts.has("csv")) {
+        CsvWriter csv(opts.str("csv"));
+        csv.row({"t_s", "measured_w", "true_w", "freq_mhz", "ipc",
+                 "dpc", "temp_c"});
+        for (const auto &s : r.trace.samples()) {
+            csv.rowNums({ticksToSeconds(s.when), s.measuredW, s.trueW,
+                         s.freqMhz, s.ipc, s.dpc, s.tempC});
+        }
+        std::printf("cluster trace written to %s\n",
+                    opts.str("csv").c_str());
+    }
+    if (opts.has("metrics-out") &&
+        MetricRegistry::global().writeJson(opts.str("metrics-out"))) {
+        std::printf("metrics written to %s\n",
+                    opts.str("metrics-out").c_str());
+    }
+    return 0;
+}
+
 int
 cmdRun(const CliOptions &opts)
 {
@@ -211,6 +400,9 @@ cmdRun(const CliOptions &opts)
         power = models.powerEstimator(config.pstates);
         perf = models.perfEstimator();
     }
+
+    if (opts.num("cluster") > 0 || opts.has("manifest"))
+        return cmdClusterRun(opts, config, power, perf);
 
     const Workload workload = resolveWorkload(opts, config);
     auto governor = maybeSupervise(
@@ -458,15 +650,28 @@ main(int argc, char **argv)
             opts.addFlag("supervise",
                          "wrap the governor in the resilience "
                          "supervisor (sanitize + retry + watchdog)");
+            opts.addOption("cluster", "N", "0",
+                           "run N lockstep cores under a global power "
+                           "budget (0 = single-core mode, or one core "
+                           "per manifest line)");
+            opts.addOption("budget", "WATTS", "",
+                           "global cluster power budget (required "
+                           "with --cluster/--manifest)");
+            opts.addOption("allocator", "NAME", "uniform",
+                           "budget policy: uniform|demand|greedy");
+            opts.addOption("manifest", "FILE", "",
+                           "cluster manifest: 'core NAME [seconds S]' "
+                           "lines, cycled across the cores");
             if (!opts.parse(args, &error)) {
                 std::printf("%s", opts.usage().c_str());
                 if (!opts.helpRequested())
                     std::fprintf(stderr, "error: %s\n", error.c_str());
                 return opts.helpRequested() ? 0 : 2;
             }
-            if (!opts.has("workload") && !opts.has("workload-file")) {
-                std::fprintf(stderr, "error: need --workload or "
-                                     "--workload-file\n");
+            if (!opts.has("workload") && !opts.has("workload-file") &&
+                !opts.has("manifest")) {
+                std::fprintf(stderr, "error: need --workload, "
+                                     "--workload-file or --manifest\n");
                 return 2;
             }
             return cmdRun(opts);
