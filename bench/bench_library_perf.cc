@@ -30,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -645,36 +646,59 @@ emitKernelTimings()
 }
 
 /**
- * Read the guarded core-intervals-per-second value recorded in an
- * existing BENCH_cluster.json; 0.0 when the file or field is absent.
+ * Read the per-(allocator, cores) core-intervals-per-second baselines
+ * recorded in an existing BENCH_cluster.json, keyed "allocator@cores";
+ * empty when the file is absent. Relies on the one-config-per-line
+ * layout emitClusterTimings() writes.
  */
-double
-recordedClusterThroughput(const std::string &path)
+std::map<std::string, double>
+recordedClusterConfigs(const std::string &path)
 {
+    std::map<std::string, double> recorded;
     std::ifstream in(path);
     if (!in)
-        return 0.0;
-    std::stringstream buf;
-    buf << in.rdbuf();
-    const std::string text = buf.str();
-    const std::string key = "\"guard_core_intervals_per_sec\":";
-    const size_t pos = text.find(key);
-    if (pos == std::string::npos)
-        return 0.0;
-    return std::strtod(text.c_str() + pos + key.size(), nullptr);
+        return recorded;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string cores_key = "\"cores\":";
+        const std::string alloc_key = "\"allocator\": \"";
+        const std::string rate_key = "\"core_intervals_per_sec\":";
+        const size_t cores_pos = line.find(cores_key);
+        const size_t alloc_pos = line.find(alloc_key);
+        const size_t rate_pos = line.find(rate_key);
+        if (cores_pos == std::string::npos ||
+            alloc_pos == std::string::npos ||
+            rate_pos == std::string::npos)
+            continue;
+        const size_t name_at = alloc_pos + alloc_key.size();
+        const size_t name_end = line.find('"', name_at);
+        if (name_end == std::string::npos)
+            continue;
+        const long cores = std::strtol(
+            line.c_str() + cores_pos + cores_key.size(), nullptr, 10);
+        const double rate = std::strtod(
+            line.c_str() + rate_pos + rate_key.size(), nullptr);
+        recorded[line.substr(name_at, name_end - name_at) + "@" +
+                 std::to_string(cores)] = rate;
+    }
+    return recorded;
 }
 
 /**
- * Cluster-step throughput: one simulated second per core under PM, at
- * 1, 4 and 16 cores, for each allocator policy, intervals fanned out
- * over the default pool. The metric is core-intervals simulated per
- * wall-clock second — the cluster analogue of kernel samples/s — and
- * is written to BENCH_cluster.json (override with AAPM_CLUSTER_JSON).
+ * Cluster-step throughput: one simulated second per core under PM,
+ * from 1 to 1024 cores, for each flat allocator policy plus a
+ * hierarchical budget tree at the datacenter scales, intervals fanned
+ * out over the default pool. The metric is core-intervals simulated
+ * per wall-clock second — the cluster analogue of kernel samples/s —
+ * and is written to BENCH_cluster.json (override with
+ * AAPM_CLUSTER_JSON).
  *
- * Regression gate (same contract as the kernel guard): if an earlier
- * BENCH_cluster.json recorded a 16-core demand-allocator throughput
- * more than 20% above this build's, the file is left untouched and a
- * non-zero status is returned. AAPM_BENCH_NO_GUARD=1 overrides.
+ * Regression gate (same contract as the kernel guard, but per
+ * configuration so a greedy-only collapse cannot hide behind the
+ * uniform number): if an earlier BENCH_cluster.json recorded any
+ * (allocator, cores) throughput more than 20% above this build's, the
+ * file is left untouched and a non-zero status is returned.
+ * AAPM_BENCH_NO_GUARD=1 overrides.
  */
 int
 emitClusterTimings()
@@ -696,6 +720,14 @@ emitClusterTimings()
             power, PmConfig{.powerLimitW = 12.0});
     };
 
+    // Budget-tree shapes for the datacenter scales (product = cores),
+    // mixing policies so every level engine is exercised.
+    const std::map<size_t, std::string> tree_specs = {
+        {64, "tree:4x4x4:uniform,demand,greedy"},
+        {256, "tree:4x8x8:uniform,demand,greedy"},
+        {1024, "tree:2x4x8x16:uniform,demand,demand,greedy"},
+    };
+
     ThreadPool pool;
     struct Timing
     {
@@ -706,8 +738,7 @@ emitClusterTimings()
         double coreIntervalsPerSec;
     };
     std::vector<Timing> timings;
-    double guard_value = 0.0;
-    for (size_t cores : {1u, 4u, 16u}) {
+    for (size_t cores : {1u, 4u, 16u, 64u, 256u, 1024u}) {
         ClusterConfig cc;
         for (size_t i = 0; i < cores; ++i) {
             ClusterCoreConfig core;
@@ -721,11 +752,18 @@ emitClusterTimings()
         cc.budgetW = 12.0 * static_cast<double>(cores);
         cc.recordTrace = false;
         ClusterPlatform cluster(cc);
-        for (const std::string &name : allocatorNames()) {
-            const auto allocator = makeAllocator(name);
+        std::vector<std::string> specs = allocatorNames();
+        const auto tree = tree_specs.find(cores);
+        if (tree != tree_specs.end())
+            specs.push_back(tree->second);
+        // Fewer best-of reps at the scales where a single run is long
+        // enough to be stable.
+        const int reps = cores >= 256 ? 2 : 3;
+        for (const std::string &spec : specs) {
+            const auto allocator = makeAllocator(spec);
             double best_s = 0.0;
             uint64_t intervals = 0;
-            for (int rep = 0; rep < 3; ++rep) {
+            for (int rep = 0; rep < reps; ++rep) {
                 const auto start = std::chrono::steady_clock::now();
                 const ClusterResult r = cluster.run(*allocator, &pool);
                 const std::chrono::duration<double> elapsed =
@@ -738,12 +776,11 @@ emitClusterTimings()
             const double per_sec = best_s > 0.0
                 ? static_cast<double>(intervals * cores) / best_s
                 : 0.0;
-            timings.push_back({cores, name, best_s, intervals, per_sec});
-            if (cores == 16 && name == "demand")
-                guard_value = per_sec;
-            std::printf("cluster: %2zu cores %-8s %7.3f s "
+            timings.push_back({cores, allocator->name(), best_s,
+                               intervals, per_sec});
+            std::printf("cluster: %4zu cores %-8s %7.3f s "
                         "(%5llu intervals, %8.0f core-intervals/s)\n",
-                        cores, name.c_str(), best_s,
+                        cores, allocator->name(), best_s,
                         static_cast<unsigned long long>(intervals),
                         per_sec);
         }
@@ -752,14 +789,27 @@ emitClusterTimings()
     const char *path_env = std::getenv("AAPM_CLUSTER_JSON");
     const std::string path =
         path_env && *path_env ? path_env : "BENCH_cluster.json";
-    const double recorded = recordedClusterThroughput(path);
+    const auto recorded = recordedClusterConfigs(path);
     const bool guard_off = std::getenv("AAPM_BENCH_NO_GUARD") != nullptr;
-    if (recorded > 0.0 && guard_value < 0.8 * recorded && !guard_off) {
+    bool regressed = false;
+    for (const Timing &t : timings) {
+        const auto it = recorded.find(
+            t.allocator + "@" + std::to_string(t.cores));
+        if (it == recorded.end() || it->second <= 0.0)
+            continue;
+        if (t.coreIntervalsPerSec < 0.8 * it->second) {
+            std::fprintf(stderr,
+                         "cluster throughput regression: %s at %zu "
+                         "cores runs %.0f core-intervals/s, >20%% below "
+                         "the recorded %.0f in %s\n",
+                         t.allocator.c_str(), t.cores,
+                         t.coreIntervalsPerSec, it->second, path.c_str());
+            regressed = true;
+        }
+    }
+    if (regressed && !guard_off) {
         std::fprintf(stderr,
-                     "cluster throughput regression: %.0f "
-                     "core-intervals/s is >20%% below the recorded "
-                     "%.0f in %s (set AAPM_BENCH_NO_GUARD=1 to "
-                     "override)\n", guard_value, recorded, path.c_str());
+                     "set AAPM_BENCH_NO_GUARD=1 to override\n");
         return 1;
     }
 
@@ -770,8 +820,6 @@ emitClusterTimings()
         << "  \"interval_ms\": "
         << ticksToSeconds(config.sampleInterval) * 1e3 << ",\n"
         << "  \"pool_jobs\": " << pool.jobs() << ",\n"
-        << "  \"guard_core_intervals_per_sec\": " << guard_value
-        << ",\n"
         << "  \"configs\": [\n";
     for (size_t i = 0; i < timings.size(); ++i) {
         out << "    {\"cores\": " << timings[i].cores

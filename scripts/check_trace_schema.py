@@ -3,6 +3,7 @@
 published schema.
 
 Usage: check_trace_schema.py [--cluster] TRACE_FILE [TRACE_FILE...]
+       check_trace_schema.py --cluster BASE_PATH
 
 Checks, per file:
   * the header declares trace-format version 1 and the exact field list
@@ -16,15 +17,30 @@ Checks, per file:
 With --cluster, the given files must additionally form one lockstep
 cluster run: `cores` equals the file count in every header, the `core`
 ids cover 0..N-1 exactly once, every file shares the same
-interval_ticks and every stride, and (lockstep, equal-length runs) the
-record counts agree across the files.
+interval_ticks and every stride, and every non-empty trace starts at
+interval 0 (the cluster steps all cores from the same tick). Record
+counts may differ between cores — an allocator that splits the budget
+unevenly makes cores retire their workloads at different speeds, so
+the faster ones stop tracing an interval or two early.
+
+A single --cluster argument naming a file that does not exist is
+treated as the base path handed to `aapm cluster --trace-out`: the
+tool writes one trace per core by inserting `.core<N>` before the
+extension (`trace.jsonl` -> `trace.core3.jsonl`), so the base path is
+expanded to every matching `.core*` sibling, ordered numerically by
+core id. Numeric ordering matters once the cluster reaches three-digit
+core counts — a lexical glob sorts core100 before core2, which would
+break the 0..N-1 coverage check's pairing of path and id.
 
 Exit status 0 when every file passes, 1 otherwise. Used by the CI
 trace-smoke step; keep the FIELDS list in sync with traceFieldNames()
 in src/obs/trace.cc.
 """
 
+import glob
 import json
+import os
+import re
 import sys
 
 FIELDS = [
@@ -118,7 +134,8 @@ def check_jsonl(path, lines):
         return None
     return {"core": header["core"], "cores": header["cores"],
             "interval_ticks": header["interval_ticks"],
-            "every": header["every"], "records": len(records)}
+            "every": header["every"], "records": len(records),
+            "first": indexes[0] if indexes else None}
 
 
 def check_csv(path, lines):
@@ -163,7 +180,8 @@ def check_csv(path, lines):
         return None
     return {"core": int(meta["core"]), "cores": int(meta["cores"]),
             "interval_ticks": int(meta["interval_ticks"]),
-            "every": int(meta["every"]), "records": len(rows)}
+            "every": int(meta["every"]), "records": len(rows),
+            "first": indexes[0] if indexes else None}
 
 
 def check(path):
@@ -195,18 +213,52 @@ def check_cluster(paths, infos):
             ok = fail(path, f"core id {info['core']} already used by "
                             f"{seen[info['core']]}") is not None
         seen[info["core"]] = path
-        for key in ("interval_ticks", "every", "records"):
+        for key in ("interval_ticks", "every"):
             if info[key] != infos[0][key]:
                 ok = fail(path, f"{key}={info[key]} disagrees with "
                                 f"{paths[0]}'s {infos[0][key]}") \
                      is not None
+        # Lockstep means a common start, not a common end: every core
+        # steps from interval 0, but an uneven budget split lets the
+        # faster cores retire their workloads (and stop tracing) a few
+        # intervals before the slowest one.
+        if info["records"] and info["first"] != 0:
+            ok = fail(path, f"first record at interval {info['first']}"
+                            f", expected 0 (lockstep start)") \
+                 is not None
     if sorted(seen) != list(range(n)):
         ok = fail(paths[0], f"core ids {sorted(seen)} do not cover "
                             f"0..{n - 1}") is not None
     if ok:
-        print(f"cluster: OK ({n} cores, {infos[0]['records']} records "
-              f"per core)")
+        lo = min(i["records"] for i in infos)
+        hi = max(i["records"] for i in infos)
+        span = str(lo) if lo == hi else f"{lo}..{hi}"
+        print(f"cluster: OK ({n} cores, {span} records per core)")
     return ok
+
+
+def expand_cluster_base(base):
+    """Expand a `--trace-out` base path to its per-core trace files.
+
+    Mirrors corePath() in tools/aapm.cc: `.core<N>` goes before the
+    final extension, or is appended when the basename has none. Returns
+    the matches sorted numerically by core id, or None (with a message)
+    when nothing matches.
+    """
+    root, ext = os.path.splitext(base)
+    if "/" in ext:  # the only dot was in a directory component
+        root, ext = base, ""
+    pattern = re.compile(re.escape(os.path.basename(root)) +
+                         r"\.core(\d+)" + re.escape(ext) + r"$")
+    found = []
+    for path in glob.glob(glob.escape(root) + ".core*" + glob.escape(ext)):
+        m = pattern.match(os.path.basename(path))
+        if m:
+            found.append((int(m.group(1)), path))
+    if not found:
+        return fail(base, "no per-core traces match "
+                          f"{root}.core*{ext}")
+    return [path for _, path in sorted(found)]
 
 
 def main(argv):
@@ -218,6 +270,10 @@ def main(argv):
     if not args:
         print(__doc__, file=sys.stderr)
         return 2
+    if cluster and len(args) == 1 and not os.path.exists(args[0]):
+        args = expand_cluster_base(args[0])
+        if args is None:
+            return 1
     infos = [check(p) for p in args]
     if not all(info is not None for info in infos):
         return 1

@@ -53,6 +53,18 @@ if [[ "$SANITIZE" == 1 ]]; then
         python3 scripts/check_trace_schema.py --cluster \
             build-asan/cluster_smoke.core0.jsonl \
             build-asan/cluster_smoke.core1.jsonl
+        # Sharded-cluster smoke: 256 cores under a budget tree drives
+        # the two-phase step/allocate barrier and the heap water-fill
+        # through the sanitizers; the checker expands the base path to
+        # all 256 per-core traces and verifies the lockstep identity.
+        ASAN_OPTIONS=detect_leaks=0 \
+            build-asan/tools/aapm run --workload gzip --cluster 256 \
+            --budget 2560 --topology 4x8x8 \
+            --allocator uniform,demand,greedy --paper-models \
+            --seconds 0.3 --trace-out build-asan/shard_smoke.jsonl \
+            --trace-every 4 >/dev/null
+        python3 scripts/check_trace_schema.py --cluster \
+            build-asan/shard_smoke.jsonl
     fi
     echo "done: sanitize_output.txt"
     exit 0
@@ -85,6 +97,17 @@ if command -v python3 >/dev/null 2>&1; then
         --trace-out build/cluster_smoke.jsonl >/dev/null
     python3 scripts/check_trace_schema.py --cluster \
         build/cluster_smoke.core0.jsonl build/cluster_smoke.core1.jsonl
+    # Sharded-cluster smoke: 256 cores across a rack/node/socket budget
+    # tree (uniform/demand/greedy per level), stepping through the
+    # ThreadPool shards. A single base path expands to the 256 per-core
+    # traces, which must cover core ids 0..255 and share the cluster
+    # clock.
+    build/tools/aapm run --workload gzip --cluster 256 --budget 2560 \
+        --topology 4x8x8 --allocator uniform,demand,greedy \
+        --paper-models --seconds 0.3 \
+        --trace-out build/shard_smoke.jsonl --trace-every 4 >/dev/null
+    python3 scripts/check_trace_schema.py --cluster \
+        build/shard_smoke.jsonl
 fi
 
 export AAPM_SECONDS="$SECONDS_OPT"

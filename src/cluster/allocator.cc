@@ -1,72 +1,10 @@
 #include "cluster/allocator.hh"
 
-#include <algorithm>
-#include <cmath>
+#include "cluster/budget_tree.hh"
+#include "cluster/water_fill.hh"
 
 namespace aapm
 {
-
-namespace
-{
-
-/**
- * Predicted power of a core at p-state `to`, Watts. Prefers the
- * trained cross-p-state model (Equation 4 DPC projection into the
- * per-state linear fit), falls back to the governor's own insight,
- * then to the measured sample; NaN when the core has produced no
- * usable signal yet.
- */
-double
-predictedAtW(const CoreDemand &d, size_t to)
-{
-    if (!d.sampled)
-        return NAN;
-    if (d.power && MonitorSample::available(d.sample.dpc))
-        return d.power->estimateAt(d.sample.pstate, d.sample.dpc, to);
-    if (d.insight.valid && !std::isnan(d.insight.predictedPowerW))
-        return d.insight.predictedPowerW;
-    if (MonitorSample::available(d.sample.measuredPowerW))
-        return d.sample.measuredPowerW;
-    return NAN;
-}
-
-/** The p-state a core's demand is priced at: its fastest state, or
- *  its current one when the actuator is pinned there. */
-size_t
-demandPState(const CoreDemand &d)
-{
-    if (d.actuatorPinned)
-        return d.pstate;
-    return d.pstates->maxIndex();
-}
-
-size_t
-activeCount(const std::vector<CoreDemand> &cores)
-{
-    size_t n = 0;
-    for (const CoreDemand &d : cores)
-        n += d.active ? 1 : 0;
-    return n;
-}
-
-/** Clamp the final split so floating-point accumulation can never
- *  push the active sum above the budget. */
-void
-enforceBudget(double budgetW, const std::vector<CoreDemand> &cores,
-              std::vector<double> &limitsW)
-{
-    double sum = 0.0;
-    for (size_t i = 0; i < cores.size(); ++i)
-        sum += cores[i].active ? limitsW[i] : 0.0;
-    if (sum > budgetW && sum > 0.0) {
-        const double scale = budgetW / sum;
-        for (size_t i = 0; i < cores.size(); ++i)
-            if (cores[i].active)
-                limitsW[i] *= scale;
-    }
-}
-
-} // namespace
 
 void
 UniformAllocator::allocate(double budgetW,
@@ -74,7 +12,7 @@ UniformAllocator::allocate(double budgetW,
                            std::vector<double> &limitsW) const
 {
     limitsW.assign(cores.size(), 0.0);
-    const size_t n = activeCount(cores);
+    const size_t n = activeCountRange(cores, 0, cores.size());
     if (n == 0)
         return;
     const double share = budgetW / static_cast<double>(n);
@@ -88,54 +26,18 @@ DemandProportionalAllocator::allocate(double budgetW,
                                       const std::vector<CoreDemand> &cores,
                                       std::vector<double> &limitsW) const
 {
-    limitsW.assign(cores.size(), 0.0);
-    const size_t n = activeCount(cores);
-    if (n == 0)
-        return;
-    const double share = budgetW / static_cast<double>(n);
+    // No AllocMemo here: the proportional split is a single linear
+    // pass, cheaper than fingerprinting its own inputs would be.
+    limitsW.resize(cores.size());
+    demandSplitRange(config_, budgetW, cores, 0, cores.size(), limitsW);
+}
 
-    // Floors (slowest p-state) and demands (fastest reachable state).
-    // A core with no signal yet is priced at its uniform share for
-    // both, which keeps the first interval identical to uniform.
-    std::vector<double> floorW(cores.size(), 0.0);
-    std::vector<double> demandW(cores.size(), 0.0);
-    double sumFloor = 0.0;
-    for (size_t i = 0; i < cores.size(); ++i) {
-        const CoreDemand &d = cores[i];
-        if (!d.active)
-            continue;
-        const double f = predictedAtW(d, 0);
-        const double p = predictedAtW(d, demandPState(d));
-        floorW[i] = std::isnan(f) ? share : f + config_.guardbandW;
-        demandW[i] = std::isnan(p) ? share : p + config_.guardbandW;
-        demandW[i] = std::max(demandW[i], floorW[i]);
-        sumFloor += floorW[i];
-    }
-
-    if (sumFloor >= budgetW) {
-        // Oversubscribed even at the floors: shrink proportionally.
-        const double scale = sumFloor > 0.0 ? budgetW / sumFloor : 0.0;
-        for (size_t i = 0; i < cores.size(); ++i)
-            if (cores[i].active)
-                limitsW[i] = floorW[i] * scale;
-        enforceBudget(budgetW, cores, limitsW);
-        return;
-    }
-
-    const double headroom = budgetW - sumFloor;
-    double sumExtra = 0.0;
-    for (size_t i = 0; i < cores.size(); ++i)
-        if (cores[i].active)
-            sumExtra += demandW[i] - floorW[i];
-    for (size_t i = 0; i < cores.size(); ++i) {
-        if (!cores[i].active)
-            continue;
-        const double extra = sumExtra > 0.0
-            ? headroom * (demandW[i] - floorW[i]) / sumExtra
-            : headroom / static_cast<double>(n);
-        limitsW[i] = floorW[i] + extra;
-    }
-    enforceBudget(budgetW, cores, limitsW);
+GreedyPerfAllocator::GreedyPerfAllocator(AllocatorConfig config,
+                                         bool referenceScan)
+    : config_(config), referenceScan_(referenceScan),
+      powCache_(std::make_shared<PerfPowCache>()),
+      memo_(std::make_shared<AllocMemo>())
+{
 }
 
 void
@@ -143,94 +45,12 @@ GreedyPerfAllocator::allocate(double budgetW,
                               const std::vector<CoreDemand> &cores,
                               std::vector<double> &limitsW) const
 {
-    limitsW.assign(cores.size(), 0.0);
-    const size_t n = activeCount(cores);
-    if (n == 0)
+    if (memo_->lookup(budgetW, cores, limitsW))
         return;
-    const double share = budgetW / static_cast<double>(n);
-
-    // Cores without a usable model signal take their uniform share and
-    // sit out the auction; the rest bid from their floors.
-    std::vector<bool> modeled(cores.size(), false);
-    std::vector<size_t> grant(cores.size(), 0);
-    double pool = budgetW;
-    double sumFloor = 0.0;
-    for (size_t i = 0; i < cores.size(); ++i) {
-        const CoreDemand &d = cores[i];
-        if (!d.active)
-            continue;
-        const bool usable = d.sampled && d.power &&
-            MonitorSample::available(d.sample.dpc);
-        if (!usable) {
-            limitsW[i] = share;
-            pool -= share;
-            continue;
-        }
-        modeled[i] = true;
-        grant[i] = d.actuatorPinned ? d.pstate : 0;
-        limitsW[i] = predictedAtW(d, grant[i]) + config_.guardbandW;
-        sumFloor += limitsW[i];
-    }
-
-    if (pool <= 0.0 || sumFloor <= 0.0) {
-        enforceBudget(budgetW, cores, limitsW);
-        return;
-    }
-    if (sumFloor >= pool) {
-        const double scale = pool / sumFloor;
-        for (size_t i = 0; i < cores.size(); ++i)
-            if (modeled[i])
-                limitsW[i] *= scale;
-        enforceBudget(budgetW, cores, limitsW);
-        return;
-    }
-
-    // Water-filling: repeatedly buy the single p-state step with the
-    // best projected instructions-per-second gain per added watt.
-    double remaining = pool - sumFloor;
-    for (;;) {
-        size_t best = cores.size();
-        double bestUtil = 0.0;
-        double bestCost = 0.0;
-        for (size_t i = 0; i < cores.size(); ++i) {
-            const CoreDemand &d = cores[i];
-            if (!modeled[i] || d.actuatorPinned)
-                continue;
-            if (grant[i] >= d.pstates->maxIndex())
-                continue;
-            const size_t next = grant[i] + 1;
-            const double cost = std::max(
-                predictedAtW(d, next) - predictedAtW(d, grant[i]), 1e-9);
-            if (cost > remaining)
-                continue;
-            const double fCur = (*d.pstates)[d.sample.pstate].freqMhz;
-            double gain;
-            if (d.perf && MonitorSample::available(d.sample.ipc) &&
-                MonitorSample::available(d.sample.dcuPerCycle)) {
-                gain = d.perf->projectPerf(
-                           d.sample.ipc, d.sample.dcuPerCycle, fCur,
-                           (*d.pstates)[next].freqMhz) -
-                       d.perf->projectPerf(
-                           d.sample.ipc, d.sample.dcuPerCycle, fCur,
-                           (*d.pstates)[grant[i]].freqMhz);
-            } else {
-                gain = (*d.pstates)[next].freqMhz -
-                       (*d.pstates)[grant[i]].freqMhz;
-            }
-            const double util = gain / cost;
-            if (best == cores.size() || util > bestUtil) {
-                best = i;
-                bestUtil = util;
-                bestCost = cost;
-            }
-        }
-        if (best == cores.size())
-            break;
-        grant[best] += 1;
-        limitsW[best] += bestCost;
-        remaining -= bestCost;
-    }
-    enforceBudget(budgetW, cores, limitsW);
+    limitsW.resize(cores.size());
+    waterFillRange(config_, referenceScan_, budgetW, cores, 0,
+                   cores.size(), limitsW, powCache_.get());
+    memo_->store(budgetW, cores, limitsW);
 }
 
 std::unique_ptr<PowerBudgetAllocator>
@@ -242,6 +62,10 @@ makeAllocator(const std::string &name, AllocatorConfig config)
         return std::make_unique<DemandProportionalAllocator>(config);
     if (name == "greedy")
         return std::make_unique<GreedyPerfAllocator>(config);
+    if (name == "greedy-ref")
+        return std::make_unique<GreedyPerfAllocator>(config, true);
+    if (name.rfind("tree:", 0) == 0)
+        return makeBudgetTreeAllocator(name.substr(5), config);
     return nullptr;
 }
 

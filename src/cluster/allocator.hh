@@ -23,7 +23,15 @@
  *  - GreedyPerfAllocator: water-filling. Every core starts at its
  *    floor; the remaining budget buys one p-state step at a time for
  *    whichever core's step has the highest projected IPC-gain per
- *    added watt (Equation 3 over Equation 4).
+ *    added watt (Equation 3 over Equation 4). The default engine is a
+ *    heap sweep over precomputed per-core step curves (sub-quadratic
+ *    in the core count); the original per-step rescan survives as the
+ *    bit-identical "greedy-ref" oracle — see cluster/water_fill.hh.
+ *
+ * A fourth, composite policy — BudgetTreeAllocator, a rack → node →
+ * socket → core hierarchy with one policy per level — lives in
+ * cluster/budget_tree.hh and is reachable here through
+ * makeAllocator("tree:FANOUT[:POLICIES]").
  */
 
 #ifndef AAPM_CLUSTER_ALLOCATOR_HH
@@ -40,6 +48,9 @@
 
 namespace aapm
 {
+
+class PerfPowCache;
+class AllocMemo;
 
 /**
  * What an allocator is allowed to know about one core at the start of
@@ -153,30 +164,48 @@ class DemandProportionalAllocator : public PowerBudgetAllocator
 class GreedyPerfAllocator : public PowerBudgetAllocator
 {
   public:
+    /**
+     * @param referenceScan true swaps the heap sweep for the original
+     *        per-step rescan ("greedy-ref"): the O(N^2) semantic
+     *        oracle the heap is tested bit-identical against.
+     */
     explicit GreedyPerfAllocator(
-        AllocatorConfig config = AllocatorConfig())
-        : config_(config)
-    {
-    }
+        AllocatorConfig config = AllocatorConfig(),
+        bool referenceScan = false);
 
-    const char *name() const override { return "greedy"; }
+    const char *
+    name() const override
+    {
+        return referenceScan_ ? "greedy-ref" : "greedy";
+    }
     bool wantsInsight() const override { return true; }
     void allocate(double budgetW, const std::vector<CoreDemand> &cores,
                   std::vector<double> &limitsW) const override;
 
   private:
     AllocatorConfig config_;
+    bool referenceScan_;
+    /** Eq.3 pow-ratio memo (pure values, so allocate() stays pure);
+     *  shared so the allocator remains copyable. */
+    std::shared_ptr<PerfPowCache> powCache_;
+    /** Steady-state (budget, demands) -> limits memo. */
+    std::shared_ptr<AllocMemo> memo_;
 };
 
 /**
- * Allocator by policy name: "uniform", "demand" or "greedy".
+ * Allocator by policy name: "uniform", "demand" or "greedy", plus the
+ * "greedy-ref" reference-scan oracle and hierarchical specs of the
+ * form "tree:FANOUT[:POLICIES]" (e.g. "tree:2x4x8:uniform,demand,
+ * greedy") — see cluster/budget_tree.hh.
  * @return nullptr for an unknown name.
  */
 std::unique_ptr<PowerBudgetAllocator>
 makeAllocator(const std::string &name,
               AllocatorConfig config = AllocatorConfig());
 
-/** The policy names makeAllocator() accepts, for CLI help. */
+/** The flat production policy names, for CLI help and benchmark
+ *  sweeps ("greedy-ref" and "tree:…" specs are accepted by
+ *  makeAllocator() but not listed). */
 const std::vector<std::string> &allocatorNames();
 
 } // namespace aapm

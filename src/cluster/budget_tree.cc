@@ -1,0 +1,209 @@
+#include "cluster/budget_tree.hh"
+
+#include <cstdlib>
+
+#include "cluster/water_fill.hh"
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+std::vector<size_t>
+parseTopology(const std::string &spec)
+{
+    std::vector<size_t> fanout;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        const size_t sep = std::min(spec.find('x', pos), spec.size());
+        const std::string part = spec.substr(pos, sep - pos);
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(part.c_str(), &end, 10);
+        if (part.empty() || !end || *end != '\0' || v == 0)
+            aapm_fatal("bad topology spec '%s': level '%s' is not a "
+                       "positive integer", spec.c_str(), part.c_str());
+        fanout.push_back(static_cast<size_t>(v));
+        pos = sep + 1;
+    }
+    return fanout;
+}
+
+std::vector<std::string>
+splitPolicyList(const std::string &csv)
+{
+    std::vector<std::string> names;
+    size_t pos = 0;
+    while (pos <= csv.size()) {
+        const size_t cut = std::min(csv.find(',', pos), csv.size());
+        names.push_back(csv.substr(pos, cut - pos));
+        pos = cut + 1;
+    }
+    return names;
+}
+
+BudgetTreeAllocator::BudgetTreeAllocator(BudgetTreeConfig config)
+    : config_(std::move(config)),
+      powCache_(std::make_shared<PerfPowCache>()),
+      memo_(std::make_shared<AllocMemo>())
+{
+    if (config_.fanout.empty())
+        aapm_fatal("budget tree needs at least one level");
+    coreCount_ = 1;
+    for (size_t f : config_.fanout) {
+        if (f == 0)
+            aapm_fatal("budget tree fanout must be positive");
+        if (coreCount_ > (size_t{1} << 20) / f)
+            aapm_fatal("budget tree topology addresses too many cores");
+        coreCount_ *= f;
+    }
+
+    std::vector<std::string> names = config_.policies;
+    if (names.empty())
+        names.assign(config_.fanout.size(), "demand");
+    if (names.size() == 1 && config_.fanout.size() > 1)
+        names.assign(config_.fanout.size(), names.front());
+    if (names.size() != config_.fanout.size())
+        aapm_fatal("budget tree has %zu levels but %zu policies",
+                   config_.fanout.size(), names.size());
+    config_.policies = names;
+    for (const std::string &name : names) {
+        if (name == "uniform")
+            levels_.push_back(Policy::Uniform);
+        else if (name == "demand")
+            levels_.push_back(Policy::Demand);
+        else if (name == "greedy")
+            levels_.push_back(Policy::Greedy);
+        else
+            aapm_fatal("unknown budget tree level policy '%s' (want "
+                       "uniform, demand or greedy)", name.c_str());
+    }
+}
+
+bool
+BudgetTreeAllocator::wantsInsight() const
+{
+    for (Policy p : levels_)
+        if (p != Policy::Uniform)
+            return true;
+    return false;
+}
+
+std::string
+BudgetTreeAllocator::spec() const
+{
+    std::string s;
+    for (size_t i = 0; i < config_.fanout.size(); ++i) {
+        if (i > 0)
+            s += 'x';
+        s += std::to_string(config_.fanout[i]);
+    }
+    s += ' ';
+    for (size_t i = 0; i < config_.policies.size(); ++i) {
+        if (i > 0)
+            s += '/';
+        s += config_.policies[i];
+    }
+    return s;
+}
+
+void
+BudgetTreeAllocator::applyPolicy(Policy policy, double budgetW,
+                                 const std::vector<CoreDemand> &cores,
+                                 size_t begin, size_t end,
+                                 std::vector<double> &limitsW) const
+{
+    switch (policy) {
+      case Policy::Uniform: {
+        const size_t n = activeCountRange(cores, begin, end);
+        const double share =
+            n > 0 ? budgetW / static_cast<double>(n) : 0.0;
+        for (size_t i = begin; i < end; ++i)
+            limitsW[i] = cores[i].active ? share : 0.0;
+        break;
+      }
+      case Policy::Demand:
+        demandSplitRange(config_.allocator, budgetW, cores, begin, end,
+                         limitsW);
+        break;
+      case Policy::Greedy:
+        waterFillRange(config_.allocator, false, budgetW, cores, begin,
+                       end, limitsW, powCache_.get());
+        break;
+    }
+}
+
+void
+BudgetTreeAllocator::splitLevel(size_t level, size_t begin, size_t end,
+                                double budgetW,
+                                const std::vector<CoreDemand> &cores,
+                                std::vector<double> &limitsW,
+                                std::vector<double> &scratch) const
+{
+    if (level + 1 == config_.fanout.size()) {
+        // Leaf level: this split is the per-core limit.
+        applyPolicy(levels_[level], budgetW, cores, begin, end, limitsW);
+        return;
+    }
+
+    // Internal level: price every member core with this level's
+    // policy, roll the grants up per child, then recurse with each
+    // child's aggregate as its budget. Summing member grants keeps a
+    // demand level identical to splitting on child-aggregate demand
+    // while reusing the flat engine unchanged.
+    const size_t k = config_.fanout[level];
+    const size_t childSpan = (end - begin) / k;
+    applyPolicy(levels_[level], budgetW, cores, begin, end, scratch);
+    std::vector<double> childBudget(k, 0.0);
+    for (size_t c = 0; c < k; ++c) {
+        const size_t lo = begin + c * childSpan;
+        for (size_t i = lo; i < lo + childSpan; ++i)
+            if (cores[i].active)
+                childBudget[c] += scratch[i];
+    }
+    for (size_t c = 0; c < k; ++c) {
+        const size_t lo = begin + c * childSpan;
+        const size_t hi = lo + childSpan;
+        if (childBudget[c] > 0.0 &&
+            activeCountRange(cores, lo, hi) > 0) {
+            splitLevel(level + 1, lo, hi, childBudget[c], cores,
+                       limitsW, scratch);
+        } else {
+            for (size_t i = lo; i < hi; ++i)
+                limitsW[i] = 0.0;
+        }
+    }
+}
+
+void
+BudgetTreeAllocator::allocate(double budgetW,
+                              const std::vector<CoreDemand> &cores,
+                              std::vector<double> &limitsW) const
+{
+    aapm_assert(cores.size() == coreCount_,
+                "budget tree topology addresses %zu cores but the "
+                "cluster has %zu", coreCount_, cores.size());
+    if (memo_->lookup(budgetW, cores, limitsW))
+        return;
+    limitsW.assign(cores.size(), 0.0);
+    if (activeCountRange(cores, 0, cores.size()) == 0)
+        return;
+    std::vector<double> scratch(cores.size(), 0.0);
+    splitLevel(0, 0, cores.size(), budgetW, cores, limitsW, scratch);
+    // Each level conserves its own budget; this clamp only guards the
+    // root against accumulated floating-point dust.
+    enforceBudgetRange(budgetW, cores, 0, cores.size(), limitsW);
+    memo_->store(budgetW, cores, limitsW);
+}
+
+std::unique_ptr<BudgetTreeAllocator>
+makeBudgetTreeAllocator(const std::string &spec, AllocatorConfig config)
+{
+    BudgetTreeConfig tree;
+    tree.allocator = config;
+    const size_t colon = spec.find(':');
+    tree.fanout = parseTopology(spec.substr(0, colon));
+    if (colon != std::string::npos)
+        tree.policies = splitPolicyList(spec.substr(colon + 1));
+    return std::make_unique<BudgetTreeAllocator>(std::move(tree));
+}
+
+} // namespace aapm

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Hierarchical power budgeting: a rack → node → socket → core tree
+ * where every level runs its own budget-split policy.
+ *
+ * A flat allocator treats 1024 cores as one pool; a real datacenter
+ * caps power at the rack PDU, the node PSU and the socket RAPL domain
+ * before any core sees a limit. BudgetTreeAllocator models exactly
+ * that: the topology is a fanout list (e.g. "2x4x8x16" = 2 racks of 4
+ * nodes of 8 sockets of 16 cores; the product must equal the cluster's
+ * core count) and each level names one of the flat policies.
+ *
+ * Split semantics per level, over the level's member core range:
+ *  - uniform: the level budget divided by the number of children that
+ *    still have active cores — blind, like a fixed PDU split;
+ *  - demand / greedy: the level's policy is run across the member
+ *    cores (the same engine the flat allocators use — see
+ *    water_fill.hh) and each child's budget is the sum of its members'
+ *    grants, so a hot socket pulls budget from an idle one while the
+ *    level above still caps the node.
+ * The last level's split is the per-core limit. Every level conserves
+ * its own budget, so the root budget is conserved by induction, and
+ * the flat allocator contract (sum <= budget, inactive cores get 0,
+ * allocate() pure) carries over.
+ *
+ * A single-level tree ("tree:N:POLICY") is by construction the flat
+ * policy itself — the anchor the tests pin.
+ */
+
+#ifndef AAPM_CLUSTER_BUDGET_TREE_HH
+#define AAPM_CLUSTER_BUDGET_TREE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/allocator.hh"
+
+namespace aapm
+{
+
+/**
+ * Parse a topology spec "2x4x8" into its fanout list {2, 4, 8}.
+ * fatal()s on malformed input (empty, zero, junk).
+ */
+std::vector<size_t> parseTopology(const std::string &spec);
+
+/** Split a comma-separated policy list ("uniform,demand,greedy"). */
+std::vector<std::string> splitPolicyList(const std::string &csv);
+
+/** The tree: its shape, per-level policies, and shared tuning. */
+struct BudgetTreeConfig
+{
+    /** Children per level, root first; product = core count. */
+    std::vector<size_t> fanout;
+    /**
+     * One flat policy name per level ("uniform", "demand" or
+     * "greedy"). A single name is replicated to every level; empty
+     * defaults to all-"demand".
+     */
+    std::vector<std::string> policies;
+    /** Tuning shared by the model-driven levels. */
+    AllocatorConfig allocator;
+};
+
+/** Hierarchical budget split; policy name "tree". */
+class BudgetTreeAllocator : public PowerBudgetAllocator
+{
+  public:
+    /** fatal()s on an invalid topology or unknown level policy. */
+    explicit BudgetTreeAllocator(BudgetTreeConfig config);
+
+    const char *name() const override { return "tree"; }
+    bool wantsInsight() const override;
+    void allocate(double budgetW, const std::vector<CoreDemand> &cores,
+                  std::vector<double> &limitsW) const override;
+
+    /** Cores the topology addresses (product of the fanout list). */
+    size_t coreCount() const { return coreCount_; }
+
+    /** Human-readable "2x4x8 uniform/demand/greedy" spec. */
+    std::string spec() const;
+
+  private:
+    enum class Policy { Uniform, Demand, Greedy };
+
+    void splitLevel(size_t level, size_t begin, size_t end,
+                    double budgetW, const std::vector<CoreDemand> &cores,
+                    std::vector<double> &limitsW,
+                    std::vector<double> &scratch) const;
+    void applyPolicy(Policy policy, double budgetW,
+                     const std::vector<CoreDemand> &cores, size_t begin,
+                     size_t end, std::vector<double> &limitsW) const;
+
+    BudgetTreeConfig config_;
+    std::vector<Policy> levels_;
+    size_t coreCount_ = 0;
+    std::shared_ptr<PerfPowCache> powCache_;
+    /** Steady-state (budget, demands) -> limits memo. */
+    std::shared_ptr<AllocMemo> memo_;
+};
+
+/**
+ * Build a tree allocator from a "FANOUT[:POLICIES]" spec, e.g.
+ * "2x4x8:uniform,demand,greedy". Omitted policies default to
+ * all-"demand". fatal()s on malformed specs.
+ */
+std::unique_ptr<BudgetTreeAllocator>
+makeBudgetTreeAllocator(const std::string &spec,
+                        AllocatorConfig config = AllocatorConfig());
+
+} // namespace aapm
+
+#endif // AAPM_CLUSTER_BUDGET_TREE_HH

@@ -35,6 +35,10 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
 
     std::vector<std::unique_ptr<Governor>> govs(n);
     std::vector<std::unique_ptr<PlatformRun>> runs(n);
+    // Insight capture costs one extra model evaluation per interval; a
+    // 1-core cluster never arbitrates, so even insight-hungry policies
+    // (which all passthrough at one core) can skip it.
+    const bool wantInsight = allocator.wantsInsight() && n > 1;
     for (size_t i = 0; i < n; ++i) {
         const ClusterCoreConfig &core = config_.cores[i];
         RunOptions options = core.options;
@@ -43,7 +47,7 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
         govs[i] = core.governor();
         runs[i] = platforms_[i]->beginRun(*core.workload, *govs[i],
                                           options);
-        if (allocator.wantsInsight())
+        if (wantInsight)
             govs[i]->setInsightWanted(true);
     }
 
@@ -66,46 +70,20 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
     std::vector<char> pinned(n, 0);
     std::vector<CoreDemand> demands(n);
 
-    // Allocation round: gather governor-visible demand in core order,
-    // split the budget, and deliver only the limits that changed (a
+    // Fields that never change during the run.
+    for (size_t i = 0; i < n; ++i) {
+        demands[i].pstates = &platforms_[i]->pstates();
+        demands[i].power = config_.cores[i].powerModel;
+        demands[i].perf = config_.cores[i].perfModel;
+    }
+
+    // Phase B tail of an allocation round: split the budget over the
+    // gathered demand, then deliver only the limits that changed (a
     // setPowerLimit resets PM-family raise hysteresis, so a constant
-    // allocation must be delivered exactly once).
-    const auto allocateAndDeliver = [&](bool sampled) {
-        for (size_t i = 0; i < n; ++i) {
-            CoreDemand &d = demands[i];
-            d.active = active[i] != 0;
-            d.sampled = sampled && d.active;
-            d.pstates = &platforms_[i]->pstates();
-            d.power = config_.cores[i].powerModel;
-            d.perf = config_.cores[i].perfModel;
-            if (!d.active)
-                continue;
-            if (d.sampled) {
-                d.sample = runs[i]->lastSample();
-                d.pstate = runs[i]->currentPState();
-                govs[i]->explain(d.insight);
-                // Sticky pinned signal: a denied write reports Stuck
-                // for one interval only, so hold the flag until a
-                // write provably lands again (Applied). The governor
-                // itself provides the re-probe — a pinned core's
-                // allocation settles inside the deadband, its raise
-                // streak matures, and the retry either refreshes the
-                // pin or clears it.
-                const bool denied =
-                    d.sample.lastActuation == DvfsOutcome::Stuck ||
-                    d.sample.lastActuation == DvfsOutcome::Rejected;
-                if (denied)
-                    pinned[i] = 1;
-                else if (d.sample.lastActuation == DvfsOutcome::Applied)
-                    pinned[i] = 0;
-                d.actuatorPinned = pinned[i] != 0;
-            } else {
-                d.sample = MonitorSample();
-                d.pstate = runs[i]->currentPState();
-                d.insight = GovernorInsight();
-                d.actuatorPinned = false;
-            }
-        }
+    // allocation must be delivered exactly once). Deadband:
+    // sub-threshold jitter is not redelivered, so a steady allocation
+    // leaves raise hysteresis untouched.
+    const auto allocateAndDeliver = [&] {
         allocator.allocate(budget, demands, limits);
         aapm_assert(limits.size() == n,
                     "allocator returned %zu limits for %zu cores",
@@ -113,8 +91,6 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
         for (size_t i = 0; i < n; ++i) {
             if (!active[i])
                 continue;
-            // Deadband: sub-threshold jitter is not redelivered, so a
-            // steady allocation leaves raise hysteresis untouched.
             const bool changed = std::isnan(lastLimit[i]) ||
                 std::abs(limits[i] - lastLimit[i]) >
                     config_.deliveryDeadbandW;
@@ -137,16 +113,79 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
     };
 
     // Pre-run round: no samples yet, so every policy splits uniformly.
-    allocateAndDeliver(false);
+    for (size_t i = 0; i < n; ++i) {
+        CoreDemand &d = demands[i];
+        d.active = true;
+        d.sampled = false;
+        d.sample = MonitorSample();
+        d.pstate = runs[i]->currentPState();
+        d.insight = GovernorInsight();
+        d.actuatorPinned = false;
+    }
+    allocateAndDeliver();
     recordRound(0, 0.0);
 
     if (config_.recordTrace)
         result.trace.markStart(0);
 
-    const auto stepOne = [&](size_t i) {
-        if (active[i])
-            cont[i] = runs[i]->step() ? 1 : 0;
+    // Per-core scalars stashed while the run's state is still hot in
+    // cache: phase B aggregates from these dense arrays instead of
+    // touching every PlatformRun a second time.
+    std::vector<double> stepTrueW(n, 0.0);
+    struct TraceStat
+    {
+        double measW, freqMhz, ipc, dpc, tempC;
     };
+    std::vector<TraceStat> traceStats(config_.recordTrace ? n : 0);
+
+    // Phase A: step a shard of cores one control interval and gather
+    // each continuing core's governor-visible demand in place. Every
+    // touched datum — the PlatformRun, the governor, demands[i],
+    // cont[i], pinned[i] — is per-index, so shards never share mutable
+    // state and the shard partition cannot affect any value. Policies
+    // that never read samples (wantsInsight() false — they see only
+    // the activity bits) skip the gather entirely.
+    const auto stepShard = [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+            if (!active[i])
+                continue;
+            cont[i] = runs[i]->step() ? 1 : 0;
+            stepTrueW[i] = runs[i]->lastTruePowerW();
+            if (config_.recordTrace) {
+                const MonitorSample &s = runs[i]->lastSample();
+                traceStats[i] = {
+                    s.measuredPowerW,
+                    (*demands[i].pstates)[runs[i]->currentPState()]
+                        .freqMhz,
+                    s.ipc, s.dpc, s.tempC};
+            }
+            if (!cont[i] || !wantInsight)
+                continue;
+            CoreDemand &d = demands[i];
+            d.sample = runs[i]->lastSample();
+            d.pstate = runs[i]->currentPState();
+            govs[i]->explain(d.insight);
+            // Sticky pinned signal: a denied write reports Stuck for
+            // one interval only, so hold the flag until a write
+            // provably lands again (Applied). The governor itself
+            // provides the re-probe — a pinned core's allocation
+            // settles inside the deadband, its raise streak matures,
+            // and the retry either refreshes the pin or clears it.
+            const bool denied =
+                d.sample.lastActuation == DvfsOutcome::Stuck ||
+                d.sample.lastActuation == DvfsOutcome::Rejected;
+            if (denied)
+                pinned[i] = 1;
+            else if (d.sample.lastActuation == DvfsOutcome::Applied)
+                pinned[i] = 0;
+            d.actuatorPinned = pinned[i] != 0;
+        }
+    };
+    // ~4 chunks per worker: enough slack to balance cores finishing
+    // early without paying per-core scheduling.
+    const size_t grain = pool != nullptr
+        ? std::max<size_t>(1, n / (pool->jobs() * 4))
+        : n;
 
     Tick now = 0;
     uint64_t rounds = 0;
@@ -154,42 +193,47 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
     size_t activeN = n;
     while (activeN > 0) {
         if (pool != nullptr)
-            pool->parallelFor(n, stepOne);
+            pool->parallelForChunks(n, grain, stepShard);
         else
-            for (size_t i = 0; i < n; ++i)
-                stepOne(i);
+            stepShard(0, n);
         now += interval;
         ++rounds;
 
         // Aggregate the interval just executed, over the cores that
-        // ran it (including any that finished during it).
+        // ran it (including any that finished during it). Reads the
+        // dense phase-A stash — core order, so identical sums for any
+        // shard partition.
         double sumTrue = 0.0;
-        double sumMeas = 0.0;
-        bool anyMeas = false;
-        double sumFreq = 0.0;
-        double sumIpc = 0.0;
-        double sumDpc = 0.0;
-        double sumTemp = 0.0;
         size_t ran = 0;
         for (size_t i = 0; i < n; ++i) {
             if (!active[i])
                 continue;
             ++ran;
-            sumTrue += runs[i]->lastTruePowerW();
-            const MonitorSample &s = runs[i]->lastSample();
-            if (MonitorSample::available(s.measuredPowerW)) {
-                sumMeas += s.measuredPowerW;
-                anyMeas = true;
-            }
-            sumFreq +=
-                (*demands[i].pstates)[runs[i]->currentPState()].freqMhz;
-            sumIpc += MonitorSample::available(s.ipc) ? s.ipc : 0.0;
-            sumDpc += MonitorSample::available(s.dpc) ? s.dpc : 0.0;
-            sumTemp += MonitorSample::available(s.tempC) ? s.tempC : 0.0;
+            sumTrue += stepTrueW[i];
         }
         if (sumTrue > budget)
             ++violations;
         if (config_.recordTrace && ran > 0) {
+            double sumMeas = 0.0;
+            bool anyMeas = false;
+            double sumFreq = 0.0;
+            double sumIpc = 0.0;
+            double sumDpc = 0.0;
+            double sumTemp = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+                if (!active[i])
+                    continue;
+                const TraceStat &s = traceStats[i];
+                if (MonitorSample::available(s.measW)) {
+                    sumMeas += s.measW;
+                    anyMeas = true;
+                }
+                sumFreq += s.freqMhz;
+                sumIpc += MonitorSample::available(s.ipc) ? s.ipc : 0.0;
+                sumDpc += MonitorSample::available(s.dpc) ? s.dpc : 0.0;
+                sumTemp +=
+                    MonitorSample::available(s.tempC) ? s.tempC : 0.0;
+            }
             TraceSample sample;
             sample.when = now;
             sample.measuredW = anyMeas ? sumMeas : NAN;
@@ -219,7 +263,13 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
 
         if (activeN == 0)
             break;
-        allocateAndDeliver(true);
+        // Phase B (serial, core order): the demand snapshots were
+        // gathered in phase A; only the activity bits change here.
+        for (size_t i = 0; i < n; ++i) {
+            demands[i].active = active[i] != 0;
+            demands[i].sampled = active[i] != 0;
+        }
+        allocateAndDeliver();
         recordRound(now, sumTrue);
     }
 

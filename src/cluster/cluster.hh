@@ -13,11 +13,17 @@
  * leaves the governor's raise-hysteresis untouched and a 1-core cluster
  * under UniformAllocator is bit-identical to a bare Platform::run.
  *
- * Determinism: per-core state is fully independent, so the per-interval
- * fan-out over the ThreadPool (a barrier per interval) touches no
- * shared mutable state; demand gathering and allocation run serially on
- * the calling thread in core order. Results are bit-identical for any
- * AAPM_JOBS value, including the pool-free serial path.
+ * Determinism — the two-phase step/allocate barrier: each interval,
+ * phase A shards the cores into contiguous chunks over the ThreadPool
+ * and, per core, steps it and snapshots its governor-visible demand
+ * (sample, p-state, insight, actuator-pinned latch) — all per-index
+ * state, so shards never share anything mutable and the partition
+ * cannot affect any value. Phase B then runs serially on the caller in
+ * core order: floating-point trace aggregation, deactivation, budget
+ * commands, the allocator split and deadband delivery. Keeping every
+ * FP accumulation in phase B in fixed core order is what makes results
+ * bit-identical for any AAPM_JOBS value, including the pool-free
+ * serial path.
  */
 
 #ifndef AAPM_CLUSTER_CLUSTER_HH

@@ -1,0 +1,509 @@
+#include "cluster/water_fill.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <queue>
+
+namespace aapm
+{
+
+double
+predictedPowerAtW(const CoreDemand &d, size_t to)
+{
+    if (!d.sampled)
+        return NAN;
+    if (d.power && MonitorSample::available(d.sample.dpc))
+        return d.power->estimateAt(d.sample.pstate, d.sample.dpc, to);
+    if (d.insight.valid && !std::isnan(d.insight.predictedPowerW))
+        return d.insight.predictedPowerW;
+    if (MonitorSample::available(d.sample.measuredPowerW))
+        return d.sample.measuredPowerW;
+    return NAN;
+}
+
+size_t
+demandPStateOf(const CoreDemand &d)
+{
+    if (d.actuatorPinned)
+        return d.pstate;
+    return d.pstates->maxIndex();
+}
+
+size_t
+activeCountRange(const std::vector<CoreDemand> &cores, size_t begin,
+                 size_t end)
+{
+    size_t n = 0;
+    for (size_t i = begin; i < end; ++i)
+        n += cores[i].active ? 1 : 0;
+    return n;
+}
+
+void
+enforceBudgetRange(double budgetW, const std::vector<CoreDemand> &cores,
+                   size_t begin, size_t end, std::vector<double> &limitsW)
+{
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i)
+        sum += cores[i].active ? limitsW[i] : 0.0;
+    if (sum > budgetW && sum > 0.0) {
+        const double scale = budgetW / sum;
+        for (size_t i = begin; i < end; ++i)
+            if (cores[i].active)
+                limitsW[i] *= scale;
+    }
+}
+
+const double *
+PerfPowCache::tableLocked(const PStateTable &menu,
+                          const PerfEstimator &model)
+{
+    const Key key{&menu, &model};
+    Entry &entry = tables_[key];
+    const size_t k = menu.size();
+    // Rebuild on first use — or if the keyed objects were replaced in
+    // place with a different menu size or exponent (pointer reuse).
+    if (entry.pows.size() != k * k || entry.states != k ||
+        entry.exponent != model.exponent()) {
+        entry.states = k;
+        entry.exponent = model.exponent();
+        entry.pows.resize(k * k);
+        for (size_t from = 0; from < k; ++from)
+            for (size_t to = 0; to < k; ++to)
+                entry.pows[from * k + to] = std::pow(
+                    menu[from].freqMhz / menu[to].freqMhz,
+                    model.exponent());
+    }
+    return entry.pows.data();
+}
+
+std::unique_lock<std::mutex>
+PerfPowCache::lock()
+{
+    return std::unique_lock<std::mutex>(mutex_);
+}
+
+void
+AllocMemo::fingerprint(double budgetW,
+                       const std::vector<CoreDemand> &cores,
+                       std::vector<unsigned char> &out)
+{
+    // Upper-bound stride per core; the actual encoding is
+    // variable-length (flags disambiguate which trailing fields are
+    // present), and the buffer is shrunk to what was written.
+    const size_t stride = 1 + 3 * sizeof(void *) + 6 * sizeof(double) +
+        sizeof(size_t);
+    out.resize(sizeof(double) + cores.size() * stride);
+    unsigned char *p = out.data();
+    const auto put = [&p](const void *src, size_t bytes) {
+        std::memcpy(p, src, bytes);
+        p += bytes;
+    };
+    put(&budgetW, sizeof budgetW);
+    for (const CoreDemand &d : cores) {
+        *p++ = static_cast<unsigned char>((d.active ? 1 : 0) |
+                                          (d.sampled ? 2 : 0) |
+                                          (d.actuatorPinned ? 4 : 0) |
+                                          (d.insight.valid ? 8 : 0));
+        put(&d.pstates, sizeof d.pstates);
+        put(&d.power, sizeof d.power);
+        put(&d.perf, sizeof d.perf);
+        put(&d.sample.dpc, sizeof d.sample.dpc);
+        put(&d.sample.ipc, sizeof d.sample.ipc);
+        put(&d.sample.dcuPerCycle, sizeof d.sample.dcuPerCycle);
+        put(&d.sample.pstate, sizeof d.sample.pstate);
+        if (d.actuatorPinned)
+            put(&d.pstate, sizeof d.pstate);
+        // Fallback pricing inputs matter only when the trained-model
+        // branch of predictedPowerAtW() is unavailable — mirroring its
+        // dispatch keeps the noisy measured power out of the key
+        // whenever a model is in use.
+        if (!(d.power && MonitorSample::available(d.sample.dpc))) {
+            put(&d.insight.predictedPowerW,
+                sizeof d.insight.predictedPowerW);
+            put(&d.sample.measuredPowerW,
+                sizeof d.sample.measuredPowerW);
+        }
+    }
+    out.resize(static_cast<size_t>(p - out.data()));
+}
+
+bool
+AllocMemo::lookup(double budgetW, const std::vector<CoreDemand> &cores,
+                  std::vector<double> &limitsW)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    fingerprint(budgetW, cores, scratch_);
+    if (!valid_ || scratch_.size() != key_.size() ||
+        std::memcmp(scratch_.data(), key_.data(), key_.size()) != 0)
+        return false;
+    limitsW = limits_;
+    return true;
+}
+
+void
+AllocMemo::store(double budgetW, const std::vector<CoreDemand> &cores,
+                 const std::vector<double> &limitsW)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    fingerprint(budgetW, cores, key_);
+    limits_ = limitsW;
+    valid_ = true;
+}
+
+namespace
+{
+
+/** Grant the whole range budget to the single active core. */
+void
+passthroughSingle(double budgetW, const std::vector<CoreDemand> &cores,
+                  size_t begin, size_t end, std::vector<double> &limitsW)
+{
+    for (size_t i = begin; i < end; ++i)
+        limitsW[i] = cores[i].active ? budgetW : 0.0;
+}
+
+/** One pending p-state step in the heap sweep. */
+struct StepCand
+{
+    double util = 0.0;       ///< projected gain per added watt
+    double cost = 0.0;       ///< watts to buy the step
+    double nextW = 0.0;      ///< predicted power at `next`
+    double nextPerf = 0.0;   ///< projected perf (or freq) at `next`
+    size_t core = 0;         ///< global core index
+    size_t next = 0;         ///< the p-state the step reaches
+};
+
+/** Max-heap order: highest utility first, ties to the lowest core
+ *  index — the scan's first-index-wins strict `>` tie-break. */
+struct StepCandLess
+{
+    bool
+    operator()(const StepCand &a, const StepCand &b) const
+    {
+        if (a.util != b.util)
+            return a.util < b.util;
+        return a.core > b.core;
+    }
+};
+
+} // namespace
+
+void
+demandSplitRange(const AllocatorConfig &config, double budgetW,
+                 const std::vector<CoreDemand> &cores, size_t begin,
+                 size_t end, std::vector<double> &limitsW)
+{
+    for (size_t i = begin; i < end; ++i)
+        limitsW[i] = 0.0;
+    const size_t n = activeCountRange(cores, begin, end);
+    if (n == 0)
+        return;
+    if (n == 1) {
+        // Nothing to arbitrate: skip the projection math entirely.
+        passthroughSingle(budgetW, cores, begin, end, limitsW);
+        return;
+    }
+    const double share = budgetW / static_cast<double>(n);
+
+    // Floors (slowest p-state) and demands (fastest reachable state).
+    // A core with no signal yet is priced at its uniform share for
+    // both, which keeps the first interval identical to uniform.
+    const size_t span = end - begin;
+    std::vector<double> floorW(span, 0.0);
+    std::vector<double> demandW(span, 0.0);
+    double sumFloor = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+        const CoreDemand &d = cores[i];
+        if (!d.active)
+            continue;
+        const size_t idx = i - begin;
+        const double f = predictedPowerAtW(d, 0);
+        const double p = predictedPowerAtW(d, demandPStateOf(d));
+        floorW[idx] = std::isnan(f) ? share : f + config.guardbandW;
+        demandW[idx] = std::isnan(p) ? share : p + config.guardbandW;
+        demandW[idx] = std::max(demandW[idx], floorW[idx]);
+        sumFloor += floorW[idx];
+    }
+
+    if (sumFloor >= budgetW) {
+        // Oversubscribed even at the floors: shrink proportionally.
+        const double scale = sumFloor > 0.0 ? budgetW / sumFloor : 0.0;
+        for (size_t i = begin; i < end; ++i)
+            if (cores[i].active)
+                limitsW[i] = floorW[i - begin] * scale;
+        enforceBudgetRange(budgetW, cores, begin, end, limitsW);
+        return;
+    }
+
+    const double headroom = budgetW - sumFloor;
+    double sumExtra = 0.0;
+    for (size_t i = begin; i < end; ++i)
+        if (cores[i].active)
+            sumExtra += demandW[i - begin] - floorW[i - begin];
+    for (size_t i = begin; i < end; ++i) {
+        if (!cores[i].active)
+            continue;
+        const size_t idx = i - begin;
+        const double extra = sumExtra > 0.0
+            ? headroom * (demandW[idx] - floorW[idx]) / sumExtra
+            : headroom / static_cast<double>(n);
+        limitsW[i] = floorW[idx] + extra;
+    }
+    enforceBudgetRange(budgetW, cores, begin, end, limitsW);
+}
+
+void
+waterFillRange(const AllocatorConfig &config, bool referenceScan,
+               double budgetW, const std::vector<CoreDemand> &cores,
+               size_t begin, size_t end, std::vector<double> &limitsW,
+               PerfPowCache *cache)
+{
+    for (size_t i = begin; i < end; ++i)
+        limitsW[i] = 0.0;
+    const size_t n = activeCountRange(cores, begin, end);
+    if (n == 0)
+        return;
+    if (n == 1) {
+        // Nothing to arbitrate: skip the auction entirely. Applies in
+        // both modes, so the reference stays the heap's oracle.
+        passthroughSingle(budgetW, cores, begin, end, limitsW);
+        return;
+    }
+    const double share = budgetW / static_cast<double>(n);
+
+    // Cores without a usable model signal take their uniform share and
+    // sit out the auction; the rest bid from their floors.
+    const size_t span = end - begin;
+    std::vector<char> modeled(span, 0);
+    std::vector<size_t> grant(span, 0);
+    double pool = budgetW;
+    double sumFloor = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+        const CoreDemand &d = cores[i];
+        if (!d.active)
+            continue;
+        const size_t idx = i - begin;
+        const bool usable = d.sampled && d.power &&
+            MonitorSample::available(d.sample.dpc);
+        if (!usable) {
+            limitsW[i] = share;
+            pool -= share;
+            continue;
+        }
+        modeled[idx] = 1;
+        grant[idx] = d.actuatorPinned ? d.pstate : 0;
+        limitsW[i] = predictedPowerAtW(d, grant[idx]) + config.guardbandW;
+        sumFloor += limitsW[i];
+    }
+
+    if (pool <= 0.0 || sumFloor <= 0.0) {
+        enforceBudgetRange(budgetW, cores, begin, end, limitsW);
+        return;
+    }
+    if (sumFloor >= pool) {
+        const double scale = pool / sumFloor;
+        for (size_t i = begin; i < end; ++i)
+            if (modeled[i - begin])
+                limitsW[i] *= scale;
+        enforceBudgetRange(budgetW, cores, begin, end, limitsW);
+        return;
+    }
+
+    double remaining = pool - sumFloor;
+
+    // Ample-budget fast path (heap mode only; the reference scan stays
+    // verbatim): when even the pessimistic sum of every remaining step
+    // cost fits the budget, the auction buys everything — and because
+    // each core's limit accumulates only its own step costs in
+    // p-state order, the purchase interleaving cannot affect a single
+    // result bit. Skip the whole auction: no gains, no heap. The
+    // relative margin dwarfs the worst-case rounding drift between
+    // this one-shot sum and the reference's step-by-step remaining
+    // subtraction, so the two regimes can never disagree about
+    // affordability at the boundary.
+    if (!referenceScan) {
+        double total = 0.0;
+        for (size_t i = begin; i < end; ++i) {
+            const CoreDemand &d = cores[i];
+            const size_t idx = i - begin;
+            if (!modeled[idx] || d.actuatorPinned)
+                continue;
+            double prevW = predictedPowerAtW(d, grant[idx]);
+            for (size_t g = grant[idx]; g < d.pstates->maxIndex();
+                 ++g) {
+                const double nextW = predictedPowerAtW(d, g + 1);
+                total += std::max(nextW - prevW, 1e-9);
+                prevW = nextW;
+            }
+        }
+        if (total <= remaining * (1.0 - 1e-9)) {
+            for (size_t i = begin; i < end; ++i) {
+                const CoreDemand &d = cores[i];
+                const size_t idx = i - begin;
+                if (!modeled[idx] || d.actuatorPinned)
+                    continue;
+                double prevW = predictedPowerAtW(d, grant[idx]);
+                for (size_t g = grant[idx];
+                     g < d.pstates->maxIndex(); ++g) {
+                    const double nextW = predictedPowerAtW(d, g + 1);
+                    limitsW[i] += std::max(nextW - prevW, 1e-9);
+                    prevW = nextW;
+                }
+            }
+            enforceBudgetRange(budgetW, cores, begin, end, limitsW);
+            return;
+        }
+    }
+
+    if (referenceScan) {
+        // Water-filling, reference form: per purchased step, rescan
+        // every core for the best projected instructions-per-second
+        // gain per added watt.
+        for (;;) {
+            size_t best = end;
+            double bestUtil = 0.0;
+            double bestCost = 0.0;
+            for (size_t i = begin; i < end; ++i) {
+                const CoreDemand &d = cores[i];
+                const size_t idx = i - begin;
+                if (!modeled[idx] || d.actuatorPinned)
+                    continue;
+                if (grant[idx] >= d.pstates->maxIndex())
+                    continue;
+                const size_t next = grant[idx] + 1;
+                const double cost = std::max(
+                    predictedPowerAtW(d, next) -
+                        predictedPowerAtW(d, grant[idx]),
+                    1e-9);
+                if (cost > remaining)
+                    continue;
+                const double fCur = (*d.pstates)[d.sample.pstate].freqMhz;
+                double gain;
+                if (d.perf && MonitorSample::available(d.sample.ipc) &&
+                    MonitorSample::available(d.sample.dcuPerCycle)) {
+                    gain = d.perf->projectPerf(
+                               d.sample.ipc, d.sample.dcuPerCycle, fCur,
+                               (*d.pstates)[next].freqMhz) -
+                           d.perf->projectPerf(
+                               d.sample.ipc, d.sample.dcuPerCycle, fCur,
+                               (*d.pstates)[grant[idx]].freqMhz);
+                } else {
+                    gain = (*d.pstates)[next].freqMhz -
+                           (*d.pstates)[grant[idx]].freqMhz;
+                }
+                const double util = gain / cost;
+                if (best == end || util > bestUtil) {
+                    best = i;
+                    bestUtil = util;
+                    bestCost = cost;
+                }
+            }
+            if (best == end)
+                break;
+            grant[best - begin] += 1;
+            limitsW[best] += bestCost;
+            remaining -= bestCost;
+        }
+        enforceBudgetRange(budgetW, cores, begin, end, limitsW);
+        return;
+    }
+
+    // Heap sweep. Per auction core: classify once, resolve its memoized
+    // Eq.3 pow row, and seed one candidate step; every purchase pops
+    // the best candidate and pushes that core's successor step.
+    std::vector<char> usePerf(span, 0);
+    std::vector<char> memBound(span, 0);
+    std::vector<const double *> powRow(span, nullptr);
+    std::vector<double> grantW(span, 0.0);
+    std::vector<double> grantPerf(span, 0.0);
+    {
+        std::unique_lock<std::mutex> guard =
+            cache ? cache->lock() : std::unique_lock<std::mutex>();
+        for (size_t i = begin; i < end; ++i) {
+            const CoreDemand &d = cores[i];
+            const size_t idx = i - begin;
+            if (!modeled[idx] || d.actuatorPinned)
+                continue;
+            if (grant[idx] >= d.pstates->maxIndex())
+                continue;
+            usePerf[idx] = d.perf &&
+                    MonitorSample::available(d.sample.ipc) &&
+                    MonitorSample::available(d.sample.dcuPerCycle)
+                ? 1
+                : 0;
+            if (usePerf[idx]) {
+                memBound[idx] = d.perf->isMemoryBound(
+                                    d.sample.ipc, d.sample.dcuPerCycle)
+                    ? 1
+                    : 0;
+                if (memBound[idx] && cache) {
+                    const size_t k = d.pstates->size();
+                    powRow[idx] =
+                        cache->tableLocked(*d.pstates, *d.perf) +
+                        d.sample.pstate * k;
+                }
+            }
+            grantW[idx] = predictedPowerAtW(d, grant[idx]);
+        }
+    }
+
+    // Projected perf at p-state j — the exact double projectPerf()
+    // produces: (memory-bound ? ipc * (f/f')^e : ipc) * f'.
+    const auto perfAt = [&](size_t i, size_t j) {
+        const CoreDemand &d = cores[i];
+        const size_t idx = i - begin;
+        const double fj = (*d.pstates)[j].freqMhz;
+        if (!usePerf[idx])
+            return fj;   // frequency fallback: gain = freq difference
+        if (!memBound[idx])
+            return d.sample.ipc * fj;
+        const double ratio = powRow[idx]
+            ? powRow[idx][j]
+            : std::pow((*d.pstates)[d.sample.pstate].freqMhz / fj,
+                       d.perf->exponent());
+        return d.sample.ipc * ratio * fj;
+    };
+
+    const auto makeCand = [&](size_t i, size_t g, double gW,
+                              double gPerf) {
+        StepCand c;
+        c.core = i;
+        c.next = g + 1;
+        c.nextW = predictedPowerAtW(cores[i], c.next);
+        c.cost = std::max(c.nextW - gW, 1e-9);
+        c.nextPerf = perfAt(i, c.next);
+        c.util = (c.nextPerf - gPerf) / c.cost;
+        return c;
+    };
+
+    std::priority_queue<StepCand, std::vector<StepCand>, StepCandLess>
+        heap;
+    for (size_t i = begin; i < end; ++i) {
+        const size_t idx = i - begin;
+        if (!modeled[idx] || cores[i].actuatorPinned)
+            continue;
+        if (grant[idx] >= cores[i].pstates->maxIndex())
+            continue;
+        grantPerf[idx] = perfAt(i, grant[idx]);
+        heap.push(makeCand(i, grant[idx], grantW[idx], grantPerf[idx]));
+    }
+    while (!heap.empty()) {
+        const StepCand c = heap.top();
+        heap.pop();
+        if (c.cost > remaining)
+            continue;   // never affordable again: remaining only shrinks
+        const size_t idx = c.core - begin;
+        grant[idx] = c.next;
+        limitsW[c.core] += c.cost;
+        remaining -= c.cost;
+        grantW[idx] = c.nextW;
+        grantPerf[idx] = c.nextPerf;
+        if (c.next < cores[c.core].pstates->maxIndex())
+            heap.push(makeCand(c.core, c.next, c.nextW, c.nextPerf));
+    }
+    enforceBudgetRange(budgetW, cores, begin, end, limitsW);
+}
+
+} // namespace aapm

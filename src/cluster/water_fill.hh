@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The shared budget-splitting engine behind the model-driven cluster
+ * allocators.
+ *
+ * Everything here operates on a contiguous core range [begin, end) of
+ * a CoreDemand vector so the same code serves both the flat allocators
+ * (range = the whole cluster) and every level of the hierarchical
+ * BudgetTreeAllocator (range = one rack / node / socket).
+ *
+ * waterFillRange() is the greedy water-filling pass in two
+ * interchangeable implementations:
+ *
+ *  - the reference scan: per purchased watt-step, rescan every core for
+ *    the best projected IPC-gain per added watt — O(N) per step,
+ *    O(N^2 K) per interval. Kept verbatim as the semantic ground truth
+ *    ("greedy-ref" on the CLI) and as the oracle for the equivalence
+ *    tests.
+ *  - the heap sweep: each core's monotone (power -> projected perf)
+ *    step curve is derived from the same Eq.3/Eq.4 projections, one
+ *    candidate step per core lives in a max-heap ordered by
+ *    (utility desc, core index asc), and each purchase pops the winner
+ *    and pushes its successor step — O(N K + B log N) per interval.
+ *
+ * The two are bit-identical, not merely equivalent:
+ *  - the heap's (utility desc, index asc) order reproduces the scan's
+ *    first-index-wins strict `>` tie-break;
+ *  - a popped candidate whose cost exceeds the remaining budget can be
+ *    discarded permanently, because the remaining budget only ever
+ *    decreases and step costs are fixed within an interval — the scan
+ *    would never buy that step (or any later step of that core) either;
+ *  - every candidate's cost/gain doubles are produced by the exact same
+ *    expressions (PerfPowCache memoizes the Eq.3 pow() ratio, which is
+ *    a pure function of the p-state menu and the trained exponent), so
+ *    the purchase order and therefore the floating-point accumulation
+ *    order into the limits are identical.
+ */
+
+#ifndef AAPM_CLUSTER_WATER_FILL_HH
+#define AAPM_CLUSTER_WATER_FILL_HH
+
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/allocator.hh"
+
+namespace aapm
+{
+
+/**
+ * Predicted power of a core at p-state `to`, Watts. Prefers the
+ * trained cross-p-state model (Equation 4 DPC projection into the
+ * per-state linear fit), falls back to the governor's own insight,
+ * then to the measured sample; NaN when the core has produced no
+ * usable signal yet.
+ */
+double predictedPowerAtW(const CoreDemand &d, size_t to);
+
+/** The p-state a core's demand is priced at: its fastest state, or
+ *  its current one when the actuator is pinned there. */
+size_t demandPStateOf(const CoreDemand &d);
+
+/** Active cores within [begin, end). */
+size_t activeCountRange(const std::vector<CoreDemand> &cores,
+                        size_t begin, size_t end);
+
+/** Clamp the split over [begin, end) so floating-point accumulation
+ *  can never push the active sum above the range budget. */
+void enforceBudgetRange(double budgetW,
+                        const std::vector<CoreDemand> &cores,
+                        size_t begin, size_t end,
+                        std::vector<double> &limitsW);
+
+/**
+ * Memo of the Equation 3 frequency-ratio powers. projectIpc() calls
+ * pow((f/f')^e) with both frequencies drawn from the p-state menu, so
+ * for a K-state menu there are only K*K distinct values per
+ * (menu, model) pair — cached here and reused across every allocation
+ * round instead of hitting libm per candidate step. The cached values
+ * are produced by the identical std::pow() call on identical operands,
+ * so memoization cannot perturb any result bit.
+ *
+ * Thread-safe; allocators hold one cache for their lifetime (the
+ * memoized values are pure functions of their keys, which keeps
+ * allocate() a pure function of its arguments).
+ */
+class PerfPowCache
+{
+  public:
+    /**
+     * The K*K table for (menu, model): entry [from*K + to] equals
+     * std::pow(menu[from].freqMhz / menu[to].freqMhz, model.exponent()).
+     * Built on first use. The returned pointer stays valid and the
+     * values immutable for the cache's lifetime, so callers may resolve
+     * rows under lock() once per round and use them lock-free.
+     */
+    const double *tableLocked(const PStateTable &menu,
+                              const PerfEstimator &model);
+
+    /** Guards tableLocked(). */
+    std::unique_lock<std::mutex> lock();
+
+  private:
+    struct Key
+    {
+        const void *menu;
+        const void *model;
+        bool
+        operator==(const Key &o) const
+        {
+            return menu == o.menu && model == o.model;
+        }
+    };
+    struct KeyHash
+    {
+        size_t
+        operator()(const Key &k) const
+        {
+            return std::hash<const void *>()(k.menu) * 1000003u ^
+                std::hash<const void *>()(k.model);
+        }
+    };
+    struct Entry
+    {
+        double exponent = 0.0;
+        size_t states = 0;
+        std::vector<double> pows;
+    };
+
+    std::mutex mutex_;
+    std::unordered_map<Key, Entry, KeyHash> tables_;
+};
+
+/**
+ * Steady-state allocation memo. A lockstep cluster re-presents the
+ * same demand snapshot interval after interval once every governor
+ * settles, and the split engines are pure functions of their inputs —
+ * so when this interval's inputs match the previous one bit for bit,
+ * the stored limits ARE the answer, down to the last double. One
+ * fingerprint pass per interval then replaces the whole split at
+ * datacenter scale.
+ *
+ * The fingerprint covers exactly the fields the engines in this file
+ * read, per core: the active/sampled/actuatorPinned/insight-valid
+ * flags, the model pointers (pstates, power, perf — the pointed-to
+ * objects are immutable for a run, const-only APIs), the sample's
+ * dpc/ipc/dcuPerCycle/pstate, the demand p-state when the actuator is
+ * pinned, and — only when the trained-model branch of
+ * predictedPowerAtW() is unavailable for the core — the fallback
+ * inputs insight.predictedPowerW and sample.measuredPowerW. Fields no
+ * engine reads (temperature, actuation outcome, and crucially the
+ * noisy measured power while a trained model is in use) are excluded:
+ * they churn every interval and would otherwise turn every lookup
+ * into a miss. Doubles are compared bitwise, so NaN sentinels match
+ * themselves and -0.0 never aliases 0.0.
+ *
+ * Thread-safe; allocators hold one memo for their lifetime.
+ */
+class AllocMemo
+{
+  public:
+    /** True — and `limitsW` filled — when (budgetW, cores)
+     *  fingerprints identically to the stored snapshot. */
+    bool lookup(double budgetW, const std::vector<CoreDemand> &cores,
+                std::vector<double> &limitsW);
+
+    /** Record the snapshot and the limits computed from it. */
+    void store(double budgetW, const std::vector<CoreDemand> &cores,
+               const std::vector<double> &limitsW);
+
+  private:
+    static void fingerprint(double budgetW,
+                            const std::vector<CoreDemand> &cores,
+                            std::vector<unsigned char> &out);
+
+    std::mutex mutex_;
+    bool valid_ = false;
+    std::vector<unsigned char> key_;
+    std::vector<unsigned char> scratch_;
+    std::vector<double> limits_;
+};
+
+/**
+ * The DemandProportionalAllocator split over [begin, end): floors
+ * first, then headroom proportional to predicted peak demand. A single
+ * active core short-circuits to a full-budget passthrough (there is
+ * nothing to arbitrate).
+ */
+void demandSplitRange(const AllocatorConfig &config, double budgetW,
+                      const std::vector<CoreDemand> &cores,
+                      size_t begin, size_t end,
+                      std::vector<double> &limitsW);
+
+/**
+ * The greedy water-filling split over [begin, end). A single active
+ * core short-circuits to a full-budget passthrough.
+ *
+ * @param referenceScan true selects the O(N^2 K) reference rescan,
+ *        false the heap sweep; the two produce bit-identical limits.
+ * @param cache pow-ratio memo for the heap sweep; may be null when
+ *        referenceScan is true.
+ */
+void waterFillRange(const AllocatorConfig &config, bool referenceScan,
+                    double budgetW, const std::vector<CoreDemand> &cores,
+                    size_t begin, size_t end, std::vector<double> &limitsW,
+                    PerfPowCache *cache);
+
+} // namespace aapm
+
+#endif // AAPM_CLUSTER_WATER_FILL_HH

@@ -78,17 +78,28 @@ ThreadPool::workerLoop()
 void
 ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
 {
+    parallelForChunks(n, 1, [&body](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            body(i);
+    });
+}
+
+void
+ThreadPool::parallelForChunks(size_t n, size_t grain,
+                              const std::function<void(size_t, size_t)> &body)
+{
     if (n == 0)
         return;
+    grain = std::max<size_t>(grain, 1);
 
     if (workers_.empty()) {
-        for (size_t i = 0; i < n; ++i)
-            body(i);
+        body(0, n);
         return;
     }
 
-    // Shared self-scheduling counter: threads pull the next index until
-    // the grid is exhausted, which balances uneven per-index cost.
+    // Shared self-scheduling counter: threads pull the next chunk until
+    // the grid is exhausted, which balances uneven per-chunk cost.
+    const size_t chunks = (n + grain - 1) / grain;
     struct Shared
     {
         std::atomic<size_t> next{0};
@@ -98,14 +109,15 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
     };
     auto shared = std::make_shared<Shared>();
 
-    auto drain = [shared, n, &body] {
+    auto drain = [shared, n, grain, chunks, &body] {
         for (;;) {
-            const size_t i =
+            const size_t c =
                 shared->next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n || shared->failed.load(std::memory_order_relaxed))
+            if (c >= chunks ||
+                shared->failed.load(std::memory_order_relaxed))
                 return;
             try {
-                body(i);
+                body(c * grain, std::min(n, (c + 1) * grain));
             } catch (...) {
                 std::lock_guard<std::mutex> lock(shared->errorMutex);
                 if (!shared->error)
@@ -116,7 +128,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
         }
     };
 
-    const size_t helpers = std::min(workers_.size(), n);
+    const size_t helpers = std::min(workers_.size(), chunks);
     std::vector<std::future<void>> pending;
     pending.reserve(helpers);
     for (size_t i = 0; i < helpers; ++i)

@@ -92,6 +92,19 @@ class ThreadPool
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &body);
 
+    /**
+     * Chunked parallelFor: run body(lo, hi) over contiguous,
+     * non-overlapping ranges covering [0, n), at most `grain` indices
+     * per range. Threads self-schedule chunks off a shared counter, so
+     * the per-call synchronization cost is n/grain atomic increments
+     * instead of n — the right shape when each index is cheap (e.g.
+     * stepping one core one control interval) and n is large. In
+     * serial mode the whole grid runs as one body(0, n) call on the
+     * caller. Exception semantics match parallelFor.
+     */
+    void parallelForChunks(size_t n, size_t grain,
+                           const std::function<void(size_t, size_t)> &body);
+
   private:
     void post(std::function<void()> task);
     void workerLoop();

@@ -160,10 +160,11 @@ saveWorkloadFile(const std::string &path, const Workload &workload)
         aapm_fatal("write to '%s' failed", path.c_str());
 }
 
-std::vector<ClusterManifestEntry>
+ClusterManifest
 parseClusterManifest(std::istream &in)
 {
-    std::vector<ClusterManifestEntry> entries;
+    ClusterManifest manifest;
+    std::vector<ClusterManifestEntry> &entries = manifest.entries;
     std::string line;
     int lineno = 0;
     while (std::getline(in, line)) {
@@ -175,9 +176,25 @@ parseClusterManifest(std::istream &in)
         std::string head;
         if (!(ls >> head))
             continue;   // blank line
+        if (head == "topology" || head == "policies") {
+            std::string &slot = head == "topology" ? manifest.topology
+                                                   : manifest.policies;
+            if (!slot.empty())
+                aapm_fatal("line %d: duplicate '%s' directive", lineno,
+                           head.c_str());
+            if (!(ls >> slot))
+                aapm_fatal("line %d: '%s' needs a value", lineno,
+                           head.c_str());
+            std::string extra;
+            if (ls >> extra)
+                aapm_fatal("line %d: unexpected '%s' after %s", lineno,
+                           extra.c_str(), head.c_str());
+            continue;
+        }
         if (head != "core")
             aapm_fatal("line %d: unknown directive '%s' (expected "
-                       "'core')", lineno, head.c_str());
+                       "'core', 'topology' or 'policies')", lineno,
+                       head.c_str());
 
         ClusterManifestEntry e;
         if (!(ls >> e.workload))
@@ -201,10 +218,10 @@ parseClusterManifest(std::istream &in)
     }
     if (entries.empty())
         aapm_fatal("cluster manifest has no 'core' lines");
-    return entries;
+    return manifest;
 }
 
-std::vector<ClusterManifestEntry>
+ClusterManifest
 loadClusterManifest(const std::string &path)
 {
     std::ifstream in(path);

@@ -35,15 +35,9 @@ Workload loadWorkloadFile(const std::string &path);
 void saveWorkloadFile(const std::string &path, const Workload &workload);
 
 /**
- * One line of a cluster manifest: the workload a core runs. The
+ * One `core` line of a cluster manifest: the workload a core runs. The
  * manifest is cycled to fill however many cores the cluster has, so a
  * two-line manifest on a 16-core cluster alternates its entries.
- *
- * Format (comments with '#'):
- *
- *   core crafty
- *   core swim seconds 1.5
- *   core file my.wl
  */
 struct ClusterManifestEntry
 {
@@ -56,12 +50,38 @@ struct ClusterManifestEntry
     double seconds = 0.0;
 };
 
+/**
+ * A cluster manifest: per-core workloads plus (optionally) the budget
+ * topology the cluster should run under.
+ *
+ * Format (comments with '#'):
+ *
+ *   topology 2x4x8                    # optional, at most once
+ *   policies uniform,demand,greedy    # optional, at most once
+ *   core crafty
+ *   core swim seconds 1.5
+ *   core file my.wl
+ *
+ * `topology` is a budget-tree fanout spec (rack → … → core; see
+ * cluster/budget_tree.hh) and `policies` names one flat policy per
+ * level. Both are kept as raw strings here — the cluster layer parses
+ * and validates them — and both are overridable from the CLI.
+ */
+struct ClusterManifest
+{
+    std::vector<ClusterManifestEntry> entries;
+    /** Budget-tree fanout spec ("2x4x8"); empty = flat. */
+    std::string topology;
+    /** Per-level policy list ("uniform,demand,greedy"); empty = the
+     *  CLI --allocator choice. */
+    std::string policies;
+};
+
 /** Parse a cluster manifest from a stream; fatal() on bad input. */
-std::vector<ClusterManifestEntry> parseClusterManifest(std::istream &in);
+ClusterManifest parseClusterManifest(std::istream &in);
 
 /** Load a cluster manifest from a file; fatal() on error. */
-std::vector<ClusterManifestEntry>
-loadClusterManifest(const std::string &path);
+ClusterManifest loadClusterManifest(const std::string &path);
 
 } // namespace aapm
 

@@ -231,5 +231,48 @@ TEST(WorkloadIoTest, MissingFileFatal)
                  std::runtime_error);
 }
 
+TEST(ClusterManifestTest, ParsesTopologyAndPolicyDirectives)
+{
+    std::istringstream in(
+        "# rack of two nodes\n"
+        "topology 2x2\n"
+        "policies uniform,greedy\n"
+        "core crafty seconds 0.5\n"
+        "core swim\n"
+        "core gzip\n"
+        "core mcf\n");
+    const ClusterManifest m = parseClusterManifest(in);
+    ASSERT_EQ(m.entries.size(), 4u);
+    EXPECT_EQ(m.entries[0].workload, "crafty");
+    EXPECT_DOUBLE_EQ(m.entries[0].seconds, 0.5);
+    EXPECT_EQ(m.topology, "2x2");
+    EXPECT_EQ(m.policies, "uniform,greedy");
+}
+
+TEST(ClusterManifestTest, DirectivesAreOptional)
+{
+    std::istringstream in("core crafty\n");
+    const ClusterManifest m = parseClusterManifest(in);
+    ASSERT_EQ(m.entries.size(), 1u);
+    EXPECT_TRUE(m.topology.empty());
+    EXPECT_TRUE(m.policies.empty());
+}
+
+TEST(ClusterManifestTest, RejectsDuplicateOrMalformedDirectives)
+{
+    {
+        std::istringstream in("topology 2x2\ntopology 4\ncore a\n");
+        EXPECT_THROW(parseClusterManifest(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("topology\ncore a\n");
+        EXPECT_THROW(parseClusterManifest(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("policies uniform greedy\ncore a\n");
+        EXPECT_THROW(parseClusterManifest(in), std::runtime_error);
+    }
+}
+
 } // namespace
 } // namespace aapm

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cluster/allocator.hh"
+#include "cluster/budget_tree.hh"
 #include "cluster/cluster.hh"
 #include "mgmt/performance_maximizer.hh"
 #include "obs/trace.hh"
@@ -307,6 +308,254 @@ TEST_F(ClusterTest, PerCoreTracersSeeClusterIdentityAndEqualRecords)
     EXPECT_EQ(sink1.meta().cores, 2u);
     ASSERT_FALSE(sink0.records().empty());
     EXPECT_EQ(sink0.records().size(), sink1.records().size());
+}
+
+/** Deterministic LCG so the randomized equivalence sweeps are
+ *  reproducible across runs and hosts. */
+struct Lcg
+{
+    uint64_t state;
+
+    double
+    uni()
+    {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<double>(state >> 11) / 9007199254740992.0;
+    }
+};
+
+/**
+ * A synthetic demand vector covering every auction corner: inactive
+ * cores, unmodeled cores (no power model — uniform-share sit-outs),
+ * perf-less cores (frequency-fallback gains), pinned actuators, and —
+ * when the count allows — exact duplicate cores so the
+ * (utility desc, index asc) tie-break is actually exercised.
+ */
+std::vector<CoreDemand>
+syntheticDemands(const PlatformConfig &config, const PowerEstimator &pw,
+                 const PerfEstimator &pf, size_t n, uint64_t seed)
+{
+    Lcg rng{seed * 2654435761ULL + 1};
+    const size_t k = config.pstates.size();
+    std::vector<CoreDemand> cores(n);
+    for (CoreDemand &d : cores) {
+        d.pstates = &config.pstates;
+        d.active = rng.uni() > 0.1;
+        d.sampled = rng.uni() > 0.05;
+        d.power = rng.uni() > 0.15 ? &pw : nullptr;
+        d.perf = rng.uni() > 0.2 ? &pf : nullptr;
+        d.sample.pstate = static_cast<size_t>(rng.uni() * double(k)) % k;
+        d.pstate = static_cast<size_t>(rng.uni() * double(k)) % k;
+        d.sample.dpc = 0.2 + 1.4 * rng.uni();
+        d.sample.ipc = 0.3 + 1.0 * rng.uni();
+        d.sample.dcuPerCycle = d.sample.ipc * (0.8 + 1.0 * rng.uni());
+        d.sample.measuredPowerW = 5.0 + 10.0 * rng.uni();
+        d.actuatorPinned = rng.uni() < 0.15;
+    }
+    if (n >= 4) {
+        cores[1] = cores[0];   // exact tie: identical curves
+        cores[n - 1] = cores[n / 2];
+    }
+    return cores;
+}
+
+TEST_F(ClusterTest, HeapWaterFillBitIdenticalToReferenceScan)
+{
+    // One persistent heap allocator across every case, so its
+    // steady-state memo sees misses, updates, and (via the repeated
+    // call) hits — all of which must reproduce the fresh reference
+    // scan exactly, double for double.
+    GreedyPerfAllocator heap;
+    std::vector<double> got, ref, again;
+    for (size_t n : {1u, 2u, 3u, 5u, 9u, 17u, 33u}) {
+        for (uint64_t seed = 0; seed < 6; ++seed) {
+            const std::vector<CoreDemand> cores = syntheticDemands(
+                config(), powerModel(), perfModel(), n, seed);
+            // Tight, constrained, generous and ample budgets: the last
+            // takes the everything-affordable fast path, which must
+            // also match the step-by-step reference.
+            for (double perCore : {3.0, 8.0, 14.0, 300.0}) {
+                const double budget = perCore * static_cast<double>(n);
+                GreedyPerfAllocator reference(AllocatorConfig(), true);
+                heap.allocate(budget, cores, got);
+                reference.allocate(budget, cores, ref);
+                ASSERT_EQ(got.size(), ref.size());
+                for (size_t i = 0; i < got.size(); ++i)
+                    EXPECT_EQ(got[i], ref[i])
+                        << "n=" << n << " seed=" << seed
+                        << " budget=" << budget << " core=" << i;
+                // Identical input again: the memo answers, and must
+                // answer with the same bits.
+                heap.allocate(budget, cores, again);
+                ASSERT_EQ(again.size(), got.size());
+                for (size_t i = 0; i < got.size(); ++i)
+                    EXPECT_EQ(got[i], again[i]) << "memo core " << i;
+            }
+        }
+    }
+}
+
+TEST_F(ClusterTest, WaterFillConservesTightBudgets)
+{
+    GreedyPerfAllocator heap;
+    std::vector<double> limits;
+    for (uint64_t seed = 20; seed < 26; ++seed) {
+        const std::vector<CoreDemand> cores = syntheticDemands(
+            config(), powerModel(), perfModel(), 16, seed);
+        // Budgets below the sum of floors force the proportional
+        // shrink; slightly above exercise partial auctions.
+        for (double budget : {1.0, 20.0, 60.0, 120.0}) {
+            heap.allocate(budget, cores, limits);
+            double sum = 0.0;
+            for (size_t i = 0; i < cores.size(); ++i)
+                if (cores[i].active)
+                    sum += limits[i];
+            EXPECT_LE(sum, budget * (1.0 + 1e-9))
+                << "seed=" << seed << " budget=" << budget;
+            for (size_t i = 0; i < cores.size(); ++i)
+                if (!cores[i].active)
+                    EXPECT_EQ(limits[i], 0.0);
+        }
+    }
+}
+
+TEST_F(ClusterTest, SingleActiveCoreTakesWholeBudgetWithoutModels)
+{
+    // 1-active-core passthrough: nothing to arbitrate, so the
+    // model-driven policies grant the full budget without touching
+    // the projection math.
+    std::vector<CoreDemand> cores = syntheticDemands(
+        config(), powerModel(), perfModel(), 6, 42);
+    for (size_t i = 0; i < cores.size(); ++i)
+        cores[i].active = i == 3;
+    const double budget = 17.5;
+    for (const char *name : {"demand", "greedy", "greedy-ref"}) {
+        auto alloc = makeAllocator(name);
+        ASSERT_NE(alloc, nullptr);
+        std::vector<double> limits;
+        alloc->allocate(budget, cores, limits);
+        ASSERT_EQ(limits.size(), cores.size());
+        for (size_t i = 0; i < limits.size(); ++i)
+            EXPECT_EQ(limits[i], i == 3 ? budget : 0.0) << name;
+    }
+}
+
+TEST_F(ClusterTest, SingleLevelTreeMatchesFlatPolicy)
+{
+    const std::vector<CoreDemand> cores = syntheticDemands(
+        config(), powerModel(), perfModel(), 12, 7);
+    const double budget = 90.0;
+    for (const std::string &policy : {std::string("uniform"),
+                                      std::string("demand"),
+                                      std::string("greedy")}) {
+        auto flat = makeAllocator(policy);
+        auto tree = makeBudgetTreeAllocator("12:" + policy);
+        ASSERT_NE(flat, nullptr);
+        std::vector<double> flatL, treeL;
+        flat->allocate(budget, cores, flatL);
+        tree->allocate(budget, cores, treeL);
+        ASSERT_EQ(flatL.size(), treeL.size());
+        for (size_t i = 0; i < flatL.size(); ++i)
+            EXPECT_DOUBLE_EQ(flatL[i], treeL[i]) << policy << " " << i;
+    }
+}
+
+TEST_F(ClusterTest, TreeUniformRootIsolatesRacks)
+{
+    // Two racks under a uniform root: however lopsided the demand,
+    // neither rack's total may exceed its PDU share of the budget.
+    std::vector<CoreDemand> cores = syntheticDemands(
+        config(), powerModel(), perfModel(), 8, 3);
+    for (size_t i = 0; i < cores.size(); ++i) {
+        cores[i].active = true;
+        cores[i].sampled = true;
+        cores[i].power = &powerModel();
+        cores[i].perf = &perfModel();
+        cores[i].actuatorPinned = false;
+        // Rack 0 hot (high demand), rack 1 nearly idle.
+        cores[i].sample.dpc = i < 4 ? 1.5 : 0.05;
+    }
+    const double budget = 60.0;
+    auto tree = makeBudgetTreeAllocator("2x4:uniform,greedy");
+    std::vector<double> limits;
+    tree->allocate(budget, cores, limits);
+    double rack0 = 0.0, rack1 = 0.0;
+    for (size_t i = 0; i < 4; ++i)
+        rack0 += limits[i];
+    for (size_t i = 4; i < 8; ++i)
+        rack1 += limits[i];
+    EXPECT_LE(rack0, budget / 2.0 * (1.0 + 1e-9));
+    EXPECT_LE(rack1, budget / 2.0 * (1.0 + 1e-9));
+    // The hot rack actually uses its share.
+    EXPECT_GT(rack0, budget / 2.0 * 0.9);
+
+    // A demand-driven root, by contrast, moves budget to the hot rack.
+    auto demandRoot = makeBudgetTreeAllocator("2x4:demand,greedy");
+    std::vector<double> shifted;
+    demandRoot->allocate(budget, cores, shifted);
+    double hot = 0.0, cold = 0.0;
+    for (size_t i = 0; i < 4; ++i)
+        hot += shifted[i];
+    for (size_t i = 4; i < 8; ++i)
+        cold += shifted[i];
+    EXPECT_GT(hot, rack0 + 1.0);
+    EXPECT_LT(cold, rack1);
+}
+
+TEST_F(ClusterTest, TreeTopologyValidation)
+{
+    EXPECT_THROW(makeBudgetTreeAllocator("0x4"), std::runtime_error);
+    EXPECT_THROW(makeBudgetTreeAllocator("2xbad"), std::runtime_error);
+    EXPECT_THROW(makeBudgetTreeAllocator(""), std::runtime_error);
+    EXPECT_THROW(makeBudgetTreeAllocator("2x2:uniform,demand,greedy"),
+                 std::runtime_error);
+    EXPECT_THROW(makeBudgetTreeAllocator("2x2:nonsense"),
+                 std::runtime_error);
+    auto tree = makeBudgetTreeAllocator("2x4x8:uniform,demand,greedy");
+    EXPECT_EQ(tree->coreCount(), 64u);
+    EXPECT_EQ(tree->spec(), "2x4x8 uniform/demand/greedy");
+    // Replication of a single policy to every level.
+    auto rep = makeBudgetTreeAllocator("4x4:greedy");
+    EXPECT_EQ(rep->spec(), "4x4 greedy/greedy");
+    // Core-count mismatch is a caller bug: caught at allocation time.
+    const std::vector<CoreDemand> cores = syntheticDemands(
+        config(), powerModel(), perfModel(), 8, 1);
+    std::vector<double> limits;
+    EXPECT_THROW(tree->allocate(64.0, cores, limits), std::logic_error);
+}
+
+TEST_F(ClusterTest, GreedyClusterDeterministicAcrossPoolWidths)
+{
+    // The sharded two-phase loop must not let the shard partition
+    // perturb the greedy auction: same instructions, energy and
+    // violation counts at every pool width.
+    const Workload a = specWorkload("ammp", config().core, 1.2);
+    const Workload b = specWorkload("mcf", config().core, 1.2);
+    const Workload c = specWorkload("crafty", config().core, 1.2);
+    const Workload d = specWorkload("swim", config().core, 1.2);
+
+    ClusterConfig cc;
+    cc.cores = {makeCore(&a), makeCore(&b), makeCore(&c), makeCore(&d),
+                makeCore(&a), makeCore(&b), makeCore(&c), makeCore(&d)};
+    cc.budgetW = 70.0;
+    ClusterPlatform cluster(cc);
+    GreedyPerfAllocator greedy;
+
+    const ClusterResult serial = cluster.run(greedy, nullptr);
+    for (size_t jobs : {1u, 2u, 3u, 8u}) {
+        ThreadPool pool(jobs);
+        const ClusterResult pooled = cluster.run(greedy, &pool);
+        ASSERT_EQ(serial.cores.size(), pooled.cores.size());
+        for (size_t i = 0; i < serial.cores.size(); ++i) {
+            EXPECT_EQ(serial.cores[i].instructions,
+                      pooled.cores[i].instructions) << "jobs " << jobs;
+            EXPECT_DOUBLE_EQ(serial.cores[i].trueEnergyJ,
+                             pooled.cores[i].trueEnergyJ);
+        }
+        EXPECT_EQ(serial.intervals, pooled.intervals);
+        EXPECT_DOUBLE_EQ(serial.fractionOverBudgetTrue,
+                         pooled.fractionOverBudgetTrue);
+    }
 }
 
 TEST_F(ClusterTest, DemandBeatsUniformOnMixedManifestAt16Cores)

@@ -80,6 +80,63 @@ TEST(ThreadPool, ParallelForCoversUnevenGrids)
     }
 }
 
+TEST(ThreadPool, ParallelForChunksCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    for (size_t n : {0ul, 1ul, 3ul, 7ul, 97ul, 1000ul}) {
+        for (size_t grain : {1ul, 2ul, 13ul, 1000ul}) {
+            std::vector<std::atomic<int>> hits(n);
+            pool.parallelForChunks(
+                n, grain, [&](size_t lo, size_t hi) {
+                    ASSERT_LT(lo, hi);
+                    ASSERT_LE(hi, n);
+                    for (size_t i = lo; i < hi; ++i)
+                        hits[i].fetch_add(1, std::memory_order_relaxed);
+                });
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "n=" << n << " grain=" << grain << " i=" << i;
+        }
+    }
+}
+
+TEST(ThreadPool, ParallelForChunksSerialModeIsOneCall)
+{
+    ThreadPool serial(1);
+    std::vector<std::pair<size_t, size_t>> calls;
+    serial.parallelForChunks(37, 5, [&](size_t lo, size_t hi) {
+        calls.emplace_back(lo, hi);
+    });
+    // No workers: the whole range arrives as a single chunk, in the
+    // caller's thread — the shape the cluster's determinism argument
+    // leans on for its serial baseline.
+    ASSERT_EQ(calls.size(), 1u);
+    EXPECT_EQ(calls[0].first, 0u);
+    EXPECT_EQ(calls[0].second, 37u);
+}
+
+TEST(ThreadPool, ParallelForChunksPropagatesFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelForChunks(64, 4,
+                               [&](size_t lo, size_t) {
+                                   ran.fetch_add(1);
+                                   if (lo == 8)
+                                       throw std::runtime_error("bad");
+                               }),
+        std::runtime_error);
+    EXPECT_GE(ran.load(), 1);
+    // Pool remains usable afterwards.
+    std::atomic<int> after{0};
+    pool.parallelForChunks(8, 1,
+                           [&](size_t lo, size_t hi) {
+                               after.fetch_add(int(hi - lo));
+                           });
+    EXPECT_EQ(after.load(), 8);
+}
+
 TEST(ThreadPool, ParallelForPropagatesFirstException)
 {
     ThreadPool pool(4);

@@ -17,6 +17,7 @@
 
 #include "aapm.hh"
 #include "cli/options.hh"
+#include "cluster/budget_tree.hh"
 #include "workload/workload_io.hh"
 
 namespace
@@ -252,8 +253,14 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
         opts.has("seconds") ? opts.num("seconds") : 12.0;
 
     std::vector<ClusterManifestEntry> entries;
+    std::string topology;
+    std::string policies;
     if (opts.has("manifest")) {
-        entries = loadClusterManifest(opts.str("manifest"));
+        ClusterManifest manifest =
+            loadClusterManifest(opts.str("manifest"));
+        entries = std::move(manifest.entries);
+        topology = manifest.topology;
+        policies = manifest.policies;
     } else if (opts.has("workload") || opts.has("workload-file")) {
         ClusterManifestEntry e;
         if (opts.has("workload-file")) {
@@ -282,13 +289,40 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
                      : resolveWorkloadByName(e.workload, s, config));
     }
 
-    const auto allocator = makeAllocator(opts.str("allocator"));
-    if (!allocator) {
-        std::string names;
-        for (const std::string &a : allocatorNames())
-            names += (names.empty() ? "" : ", ") + a;
-        aapm_fatal("unknown allocator '%s' (one of: %s)",
-                   opts.str("allocator").c_str(), names.c_str());
+    // Flag beats manifest for both the topology and the policies; with
+    // a topology in force, --allocator names one policy per level.
+    if (opts.has("topology"))
+        topology = opts.str("topology");
+    std::unique_ptr<PowerBudgetAllocator> allocator;
+    std::string allocDesc;
+    if (!topology.empty()) {
+        if (opts.has("allocator"))
+            policies = opts.str("allocator");
+        BudgetTreeConfig tree;
+        tree.fanout = parseTopology(topology);
+        if (!policies.empty())
+            tree.policies = splitPolicyList(policies);
+        auto treeAlloc =
+            std::make_unique<BudgetTreeAllocator>(std::move(tree));
+        if (treeAlloc->coreCount() != n)
+            aapm_fatal("topology %s addresses %zu cores but the "
+                       "cluster has %zu", topology.c_str(),
+                       treeAlloc->coreCount(), n);
+        allocDesc = "tree " + treeAlloc->spec();
+        allocator = std::move(treeAlloc);
+    } else {
+        const std::string name =
+            opts.has("allocator") ? opts.str("allocator") : "uniform";
+        allocator = makeAllocator(name);
+        if (!allocator) {
+            std::string names;
+            for (const std::string &a : allocatorNames())
+                names += (names.empty() ? "" : ", ") + a;
+            aapm_fatal("unknown allocator '%s' (one of: %s, greedy-ref,"
+                       " tree:FANOUT[:POLICIES])", name.c_str(),
+                       names.c_str());
+        }
+        allocDesc = allocator->name();
     }
 
     RunOptions base_opts;
@@ -337,7 +371,7 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
     }
 
     std::printf("cluster   %zu cores under %s, budget %.1f W\n", n,
-                allocator->name(), budget);
+                allocDesc.c_str(), budget);
     TextTable t;
     t.header({"core", "workload", "instr", "time (s)", "energy (J)",
               "avg W"});
@@ -657,11 +691,19 @@ main(int argc, char **argv)
             opts.addOption("budget", "WATTS", "",
                            "global cluster power budget (required "
                            "with --cluster/--manifest)");
-            opts.addOption("allocator", "NAME", "uniform",
-                           "budget policy: uniform|demand|greedy");
+            opts.addOption("allocator", "NAME", "",
+                           "budget policy: uniform|demand|greedy|"
+                           "greedy-ref or tree:FANOUT[:POLICIES]; with "
+                           "--topology, a comma list of per-level "
+                           "policies (default uniform)");
+            opts.addOption("topology", "SPEC", "",
+                           "budget-tree fanout rack>...>core, e.g. "
+                           "2x4x8x16; the product must equal the core "
+                           "count");
             opts.addOption("manifest", "FILE", "",
                            "cluster manifest: 'core NAME [seconds S]' "
-                           "lines, cycled across the cores");
+                           "lines cycled across the cores, plus "
+                           "optional 'topology'/'policies' directives");
             if (!opts.parse(args, &error)) {
                 std::printf("%s", opts.usage().c_str());
                 if (!opts.helpRequested())
