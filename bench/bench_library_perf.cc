@@ -254,6 +254,20 @@ processCpuSeconds()
     return tv_s(ru.ru_utime) + tv_s(ru.ru_stime);
 }
 
+/** Calling thread's CPU time (user + system), seconds. */
+double
+threadCpuSeconds()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_THREAD, &ru) != 0)
+        return 0.0;
+    auto tv_s = [](const timeval &tv) {
+        return static_cast<double>(tv.tv_sec) +
+               static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    return tv_s(ru.ru_utime) + tv_s(ru.ru_stime);
+}
+
 /**
  * The standard sweep the engine is judged by: every paper PM limit and
  * PS floor over a shortened SPEC proxy suite, untrained (paper-constant
@@ -263,7 +277,8 @@ std::vector<RunResult>
 timedSweep(const PlatformConfig &config,
            const std::vector<Workload> &suite, size_t jobs,
            double *seconds_out, double *cpu_seconds_out = nullptr,
-           bool force_chunked = false, IntervalTracer *tracer = nullptr)
+           bool force_chunked = false, IntervalTracer *tracer = nullptr,
+           double *thread_cpu_out = nullptr)
 {
     SweepRunner runner(config, jobs);
     SweepGrid grid;
@@ -287,13 +302,20 @@ timedSweep(const PlatformConfig &config,
     }
     const auto start = std::chrono::steady_clock::now();
     const double cpu_start = processCpuSeconds();
+    const double thr_start = threadCpuSeconds();
     SweepResults results = runner.run(grid);
+    // With jobs == 1 the SweepRunner executes every run in the calling
+    // thread, so this is the simulation/producer thread's own CPU —
+    // background threads (e.g. a trace flush thread) are excluded.
+    const double thr_elapsed = threadCpuSeconds() - thr_start;
     const double cpu_elapsed = processCpuSeconds() - cpu_start;
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
     *seconds_out = elapsed.count();
     if (cpu_seconds_out)
         *cpu_seconds_out = cpu_elapsed;
+    if (thread_cpu_out)
+        *thread_cpu_out = thr_elapsed;
     return results.runs();
 }
 
@@ -567,17 +589,42 @@ emitKernelTimings()
             chunked_s = rep_s;
     }
 
-    // Full-capture cost (every=1 into a counting sink) is reported
-    // for information but not guarded.
-    NullTraceSink counting_sink;
-    IntervalTracer full(counting_sink, 1);
-    double traced_s = 0.0;
-    for (int rep = 0; rep < 3; ++rep) {
-        double rep_s = 0.0;
-        timedSweep(config, suite, 1, &rep_s, nullptr, false, &full);
-        if (rep == 0 || rep_s < traced_s)
-            traced_s = rep_s;
+    // Full-capture cost against the production path: every interval
+    // appended through a real BinaryTraceSink writing an actual file.
+    // Two numbers come out of a rep-paired (drift-cancelling) loop:
+    //
+    //   trace_overhead_frac       producer-thread CPU (RUSAGE_THREAD)
+    //   trace_wall_overhead_frac  wall clock, informational
+    //
+    // The guarded metric is the producer's CPU because that is the
+    // synchronous cost tracing adds to the simulation: encoding,
+    // transposition and I/O run on the flush thread by design and
+    // overlap with simulation on any host with a spare core. Wall
+    // clock on a single-core bench host serializes the flush thread
+    // into the same core and double-counts that asynchronous work, so
+    // it is recorded but not guarded.
+    const std::string trace_scratch = "bench_kernel_trace.tmp.bin";
+    double traced_s = 0.0, traced_cpu = 0.0;
+    double base_s = 0.0, base_cpu = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+        double rep_s = 0.0, rep_cpu = 0.0;
+        timedSweep(config, suite, 1, &rep_s, nullptr, false, nullptr,
+                   &rep_cpu);
+        if (rep == 0 || rep_s < base_s)
+            base_s = rep_s;
+        if (rep == 0 || rep_cpu < base_cpu)
+            base_cpu = rep_cpu;
+        BinaryTraceSink sink(trace_scratch);
+        IntervalTracer full(sink, 1);
+        double t_s = 0.0, t_cpu = 0.0;
+        timedSweep(config, suite, 1, &t_s, nullptr, false, &full,
+                   &t_cpu);
+        if (rep == 0 || t_s < traced_s)
+            traced_s = t_s;
+        if (rep == 0 || t_cpu < traced_cpu)
+            traced_cpu = t_cpu;
     }
+    std::remove(trace_scratch.c_str());
 
     double samples = 0.0;
     for (const RunResult &r : runs)
@@ -588,17 +635,19 @@ emitKernelTimings()
     const double disabled_frac =
         fast_s > 0.0 ? disabled_s / fast_s - 1.0 : 0.0;
     const double traced_frac =
-        fast_s > 0.0 ? traced_s / fast_s - 1.0 : 0.0;
+        base_cpu > 0.0 ? traced_cpu / base_cpu - 1.0 : 0.0;
+    const double traced_wall_frac =
+        base_s > 0.0 ? traced_s / base_s - 1.0 : 0.0;
     std::printf("kernel: %zu runs, %.0f samples, %.3f s "
                 "(%.2f Msamples/s; chunked ref %.2f Msamples/s, "
                 "fast path %.2fx)\n",
                 runs.size(), samples, fast_s, samples_per_sec / 1e6,
                 chunked_per_sec / 1e6,
                 chunked_s > 0.0 ? chunked_s / fast_s : 0.0);
-    std::printf("obs: tracer disabled %+.2f%%, full capture %+.2f%% "
-                "(%llu records)\n", disabled_frac * 100.0,
-                traced_frac * 100.0,
-                static_cast<unsigned long long>(counting_sink.records()));
+    std::printf("obs: tracer disabled %+.2f%%, full binary capture "
+                "%+.2f%% producer cpu (%+.2f%% wall)\n",
+                disabled_frac * 100.0, traced_frac * 100.0,
+                traced_wall_frac * 100.0);
 
     const char *path_env = std::getenv("AAPM_KERNEL_JSON");
     const std::string path =
@@ -623,6 +672,20 @@ emitKernelTimings()
                      samples_per_sec / 1e6, recorded / 1e6, path.c_str());
         return 1;
     }
+    // Absolute budget on full capture through the binary sink. The
+    // measured producer cost is ~0.25-0.40 depending on host state
+    // (~18 ns per record on top of a ~72 ns interval, with day-to-day
+    // shared-host drift of +-10 points); 0.5 leaves headroom for that
+    // drift while still catching a fall-back to the formatting path
+    // (~1.2) or any substantial new per-record work.
+    if (traced_frac > 0.5 && !guard_off) {
+        std::fprintf(stderr,
+                     "trace overhead regression: full binary capture "
+                     "costs %.1f%% producer cpu (budget: 50%%; set "
+                     "AAPM_BENCH_NO_GUARD=1 to override)\n",
+                     traced_frac * 100.0);
+        return 1;
+    }
 
     std::ofstream out(path);
     out.precision(6);
@@ -639,8 +702,12 @@ emitKernelTimings()
         << "  \"tracer_disabled_seconds\": " << disabled_s << ",\n"
         << "  \"tracer_disabled_overhead_frac\": " << disabled_frac
         << ",\n"
+        << "  \"trace_sink\": \"binary\",\n"
         << "  \"trace_seconds\": " << traced_s << ",\n"
-        << "  \"trace_overhead_frac\": " << traced_frac << "\n"
+        << "  \"trace_cpu_seconds\": " << traced_cpu << ",\n"
+        << "  \"trace_overhead_frac\": " << traced_frac << ",\n"
+        << "  \"trace_wall_overhead_frac\": " << traced_wall_frac
+        << "\n"
         << "}\n";
     return 0;
 }
@@ -688,7 +755,10 @@ recordedClusterConfigs(const std::string &path)
  * Cluster-step throughput: one simulated second per core under PM,
  * from 1 to 1024 cores, for each flat allocator policy plus a
  * hierarchical budget tree at the datacenter scales, intervals fanned
- * out over the default pool. The metric is core-intervals simulated
+ * out over the default pool. At 256 cores an extra "uniform+trace"
+ * row runs with full per-core binary tracing (one shared flush
+ * thread), so the traced-cluster cost is tracked and guarded like any
+ * other configuration. The metric is core-intervals simulated
  * per wall-clock second — the cluster analogue of kernel samples/s —
  * and is written to BENCH_cluster.json (override with
  * AAPM_CLUSTER_JSON).
@@ -781,6 +851,62 @@ emitClusterTimings()
             std::printf("cluster: %4zu cores %-8s %7.3f s "
                         "(%5llu intervals, %8.0f core-intervals/s)\n",
                         cores, allocator->name(), best_s,
+                        static_cast<unsigned long long>(intervals),
+                        per_sec);
+        }
+
+        // Fully-traced row at the mid datacenter scale: every core
+        // captures every interval through a per-core binary sink, all
+        // sinks sharing one flush thread (the ClusterPlatform/aapm
+        // deployment shape). Keyed "uniform+trace" so the recorded-
+        // baseline guard tracks it independently of the untraced
+        // uniform row.
+        if (cores == 256) {
+            TraceFlushThread flush;
+            std::vector<std::unique_ptr<BinaryTraceSink>> sinks;
+            std::vector<std::unique_ptr<IntervalTracer>> tracers;
+            ClusterConfig tcc = cc;
+            for (size_t i = 0; i < cores; ++i) {
+                sinks.push_back(std::make_unique<BinaryTraceSink>(
+                    "bench_cluster_trace.core" + std::to_string(i) +
+                        ".tmp.bin",
+                    &flush));
+                tracers.push_back(std::make_unique<IntervalTracer>(
+                    *sinks.back(), 1));
+                tcc.cores[i].options.tracer = tracers.back().get();
+            }
+            ClusterPlatform traced_cluster(tcc);
+            const auto allocator = makeAllocator("uniform");
+            double best_s = 0.0;
+            uint64_t intervals = 0;
+            for (int rep = 0; rep < 2; ++rep) {
+                const auto start = std::chrono::steady_clock::now();
+                const ClusterResult r =
+                    traced_cluster.run(*allocator, &pool);
+                const std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - start;
+                if (rep == 0 || elapsed.count() < best_s) {
+                    best_s = elapsed.count();
+                    intervals = r.intervals;
+                }
+            }
+            for (auto &sink : sinks)
+                sink->sync();
+            sinks.clear();
+            tracers.clear();
+            for (size_t i = 0; i < cores; ++i) {
+                std::remove(("bench_cluster_trace.core" +
+                             std::to_string(i) + ".tmp.bin")
+                                .c_str());
+            }
+            const double per_sec = best_s > 0.0
+                ? static_cast<double>(intervals * cores) / best_s
+                : 0.0;
+            timings.push_back(
+                {cores, "uniform+trace", best_s, intervals, per_sec});
+            std::printf("cluster: %4zu cores %-8s %7.3f s "
+                        "(%5llu intervals, %8.0f core-intervals/s)\n",
+                        cores, "uniform+trace", best_s,
                         static_cast<unsigned long long>(intervals),
                         per_sec);
         }

@@ -44,6 +44,20 @@ if [[ "$SANITIZE" == 1 ]]; then
             >/dev/null
         python3 scripts/check_trace_schema.py \
             build-asan/trace_smoke.jsonl
+        # Binary sink + converter under the sanitizers: the columnar
+        # append, flush thread and block decoder run end-to-end.
+        ASAN_OPTIONS=detect_leaks=0 \
+            build-asan/tools/aapm run --workload ammp --paper-models \
+            --seconds 1 --trace-out build-asan/trace_smoke.bin \
+            >/dev/null
+        ASAN_OPTIONS=detect_leaks=0 \
+            build-asan/tools/aapm trace-convert \
+            --in build-asan/trace_smoke.bin \
+            --out build-asan/trace_smoke_conv.jsonl >/dev/null
+        python3 scripts/check_trace_schema.py \
+            build-asan/trace_smoke_conv.jsonl
+        cmp build-asan/trace_smoke.jsonl \
+            build-asan/trace_smoke_conv.jsonl
         # Cluster smoke under the sanitizers: lockstep stepping, the
         # allocator, and per-core trace identity.
         ASAN_OPTIONS=detect_leaks=0 \
@@ -53,6 +67,19 @@ if [[ "$SANITIZE" == 1 ]]; then
         python3 scripts/check_trace_schema.py --cluster \
             build-asan/cluster_smoke.core0.jsonl \
             build-asan/cluster_smoke.core1.jsonl
+        # Shared-flush-thread cluster binary path under the sanitizers.
+        ASAN_OPTIONS=detect_leaks=0 \
+            build-asan/tools/aapm run --workload gzip --cluster 2 \
+            --budget 24 --allocator demand --paper-models --seconds 1 \
+            --trace-out build-asan/cluster_smoke.bin >/dev/null
+        ASAN_OPTIONS=detect_leaks=0 \
+            build-asan/tools/aapm trace-convert \
+            --in build-asan/cluster_smoke.bin \
+            --out build-asan/cluster_smoke_conv.jsonl --cluster 0 \
+            >/dev/null
+        python3 scripts/check_trace_schema.py --cluster \
+            build-asan/cluster_smoke_conv.core0.jsonl \
+            build-asan/cluster_smoke_conv.core1.jsonl
         # Sharded-cluster smoke: 256 cores under a budget tree drives
         # the two-phase step/allocate barrier and the heap water-fill
         # through the sanitizers; the checker expands the base path to
@@ -90,6 +117,15 @@ if command -v python3 >/dev/null 2>&1; then
         --trace-out build/trace_smoke.csv --trace-every 4 >/dev/null
     python3 scripts/check_trace_schema.py \
         build/trace_smoke.jsonl build/trace_smoke.csv
+    # Binary trace smoke: the columnar sink plus the converter must
+    # reproduce a schema-conformant JSONL stream bit-for-bit.
+    build/tools/aapm run --workload ammp --paper-models --seconds 1 \
+        --trace-out build/trace_smoke.bin >/dev/null
+    build/tools/aapm trace-convert --in build/trace_smoke.bin \
+        --out build/trace_smoke_converted.jsonl >/dev/null
+    python3 scripts/check_trace_schema.py \
+        build/trace_smoke_converted.jsonl
+    cmp build/trace_smoke.jsonl build/trace_smoke_converted.jsonl
     # Cluster smoke: per-core traces must carry the cluster identity
     # and agree on record counts (lockstep, same workload per core).
     build/tools/aapm run --workload gzip --cluster 2 --budget 24 \
@@ -97,6 +133,16 @@ if command -v python3 >/dev/null 2>&1; then
         --trace-out build/cluster_smoke.jsonl >/dev/null
     python3 scripts/check_trace_schema.py --cluster \
         build/cluster_smoke.core0.jsonl build/cluster_smoke.core1.jsonl
+    # Cluster binary smoke: per-core binary sinks share one flush
+    # thread; the converter expands the base path over every core.
+    build/tools/aapm run --workload gzip --cluster 2 --budget 24 \
+        --allocator demand --paper-models --seconds 1 \
+        --trace-out build/cluster_smoke.bin >/dev/null
+    build/tools/aapm trace-convert --in build/cluster_smoke.bin \
+        --out build/cluster_smoke_conv.jsonl --cluster 0 >/dev/null
+    python3 scripts/check_trace_schema.py --cluster \
+        build/cluster_smoke_conv.core0.jsonl \
+        build/cluster_smoke_conv.core1.jsonl
     # Sharded-cluster smoke: 256 cores across a rack/node/socket budget
     # tree (uniform/demand/greedy per level), stepping through the
     # ThreadPool shards. A single base path expands to the 256 per-core

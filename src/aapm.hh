@@ -51,6 +51,7 @@
 #include "mgmt/supervisor.hh"
 #include "mgmt/thermal_cap.hh"
 #include "models/model_io.hh"
+#include "obs/binary_trace.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
 #include "obs/trace.hh"

@@ -164,7 +164,7 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
             CoreDemand &d = demands[i];
             d.sample = runs[i]->lastSample();
             d.pstate = runs[i]->currentPState();
-            govs[i]->explain(d.insight);
+            d.insight = govs[i]->insight();
             // Sticky pinned signal: a denied write reports Stuck for
             // one interval only, so hold the flag until a write
             // provably lands again (Applied). The governor itself

@@ -120,22 +120,29 @@ class Governor
     }
 
     /**
-     * Report what the estimation stage saw/predicted in the most
-     * recent decide(). Default leaves `out` untouched (out.valid stays
-     * false) for governors with no model to expose.
+     * What the estimation stage saw/predicted in the most recent
+     * decide(). Non-virtual by design: the interval tracer reads this
+     * once per traced interval, and a reference into the governor's own
+     * storage costs the caller nothing — no virtual dispatch, no copy.
+     * Governors maintain `insight_` in place inside decide() while
+     * insightWanted_ is set (constant fields need only be written at
+     * reset); while it is clear, the insight stays at its reset state
+     * with valid == false.
      */
-    virtual void explain(GovernorInsight &out) const { (void)out; }
+    const GovernorInsight &insight() const { return insight_; }
 
     /**
-     * Ask decide() to capture a GovernorInsight for explain(). Off by
-     * default: the capture can cost an extra model evaluation per
-     * interval, which the untraced hot path must not pay.
+     * Ask decide() to keep insight() current. Off by default: the
+     * capture can cost an extra model evaluation per interval, which
+     * the untraced hot path must not pay.
      */
     virtual void setInsightWanted(bool wanted) { insightWanted_ = wanted; }
 
   protected:
-    /** decide() should populate the insight explain() reports. */
+    /** decide() should populate the insight insight() reports. */
     bool insightWanted_ = false;
+    /** Maintained by decide() when insightWanted_; see insight(). */
+    GovernorInsight insight_;
 };
 
 } // namespace aapm

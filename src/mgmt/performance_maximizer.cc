@@ -56,27 +56,30 @@ PerformanceMaximizer::predictPower(size_t from, double dpc, size_t to,
 
 size_t
 PerformanceMaximizer::highestSafe(const MonitorSample &sample,
-                                  size_t current) const
+                                  size_t current, double *est_out) const
 {
     const size_t n = estimator_.table().size();
     aapm_assert(MonitorSample::available(sample.dpc),
                 "PM requires the decoded-instruction counter");
     // Scan from the fastest state down; fall back to the slowest state
     // when nothing fits (best effort under an infeasible limit).
+    double est = NAN;
     for (size_t i = n; i-- > 0;) {
-        const double est =
-            predictPower(current, sample.dpc, i, sample) +
-            config_.guardbandW;
-        if (est <= config_.powerLimitW)
+        est = predictPower(current, sample.dpc, i, sample);
+        if (est + config_.guardbandW <= config_.powerLimitW) {
+            *est_out = est;
             return i;
+        }
     }
+    *est_out = est;
     return 0;
 }
 
 size_t
 PerformanceMaximizer::decide(const MonitorSample &sample, size_t current)
 {
-    const size_t safe = highestSafe(sample, current);
+    double safe_est = NAN;
+    const size_t safe = highestSafe(sample, current, &safe_est);
     size_t next;
 
     if (safe < current) {
@@ -102,12 +105,17 @@ PerformanceMaximizer::decide(const MonitorSample &sample, size_t current)
         }
     }
 
+    // Maintain the insight in place: three plain stores. The scan
+    // already produced the estimate at `safe`; only a raise-streak
+    // interval (next != safe) needs a model evaluation the scan did
+    // not do. The untraced path pays one predicted-not-taken branch.
     if (insightWanted_) {
-        insight_ = GovernorInsight();
         insight_.valid = true;
-        insight_.predictedPowerW =
-            predictPower(current, sample.dpc, next, sample);
         insight_.targetPState = next;
+        insight_.predictedPowerW =
+            next == safe
+                ? safe_est
+                : predictPower(current, sample.dpc, next, sample);
     }
     return next;
 }

@@ -49,7 +49,6 @@ class PerformanceMaximizer : public Governor
     size_t decide(const MonitorSample &sample, size_t current) override;
     void reset() override;
     void setPowerLimit(double watts) override;
-    void explain(GovernorInsight &out) const override { out = insight_; }
 
     /** Current power limit, Watts. */
     double powerLimit() const { return config_.powerLimitW; }
@@ -67,15 +66,19 @@ class PerformanceMaximizer : public Governor
                                 const MonitorSample &sample) const;
 
   private:
-    /** Highest-index p-state predicted to fit under the limit. */
-    size_t highestSafe(const MonitorSample &sample, size_t current) const;
+    /**
+     * Highest-index p-state predicted to fit under the limit. Also
+     * reports the raw (guardband-free) power estimate at the returned
+     * state, which the scan computed anyway — explain() reuses it
+     * instead of paying a second model evaluation.
+     */
+    size_t highestSafe(const MonitorSample &sample, size_t current,
+                       double *est_out) const;
 
     PowerEstimator estimator_;
     PmConfig config_;
     size_t raiseStreak_;
     size_t raiseTarget_;
-    /** Estimation view of the most recent decide(). */
-    GovernorInsight insight_;
 };
 
 } // namespace aapm

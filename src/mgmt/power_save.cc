@@ -79,12 +79,12 @@ PowerSave::decide(const MonitorSample &sample, size_t current)
         }
     }
 
+    // Maintain the insight in place: four plain stores. Projected
+    // performance is IPC × f; report the IPC component the projection
+    // expects at the chosen state.
     if (insightWanted_) {
-        insight_ = GovernorInsight();
         insight_.valid = true;
         insight_.memBoundClass = memory_bound ? 1 : 0;
-        // Projected performance is IPC × f; report the IPC component
-        // the projection expects at the chosen state.
         insight_.projectedIpc =
             memory_bound ? sample.ipc * scale(current, next)
                          : sample.ipc;

@@ -45,8 +45,8 @@ class PowerSave : public Governor
     void configureCounters(Pmu &pmu) override;
     size_t decide(const MonitorSample &sample, size_t current) override;
     void setPerformanceFloor(double floor) override;
+
     void reset() override { insight_ = GovernorInsight(); }
-    void explain(GovernorInsight &out) const override { out = insight_; }
 
     /** Current performance floor (fraction of peak). */
     double performanceFloor() const { return config_.performanceFloor; }
@@ -72,8 +72,6 @@ class PowerSave : public Governor
      * collapse to lookups with bit-identical results.
      */
     std::vector<double> scale_;
-    /** Estimation view of the most recent decide(). */
-    GovernorInsight insight_;
 };
 
 } // namespace aapm

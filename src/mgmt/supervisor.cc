@@ -65,6 +65,7 @@ GovernorSupervisor::reset()
     lastReturn_ = 0;
     lastFallback_ = false;
     blindCounters_ = false;
+    insight_ = GovernorInsight();
 }
 
 void
@@ -83,20 +84,6 @@ void
 GovernorSupervisor::exportTelemetry(RecoveryTelemetry &out) const
 {
     out += tel_;
-}
-
-void
-GovernorSupervisor::explain(GovernorInsight &out) const
-{
-    // The inner governor's model view first; during a fallback or
-    // blind interval the inner policy was bypassed, so only the
-    // supervisor overlay below is current.
-    inner_->explain(out);
-    out.valid = true;
-    out.targetPState = lastReturn_;
-    out.fallback = lastFallback_;
-    out.blindCounters = blindCounters_;
-    out.substitutions = tel_.substitutions;
 }
 
 double
@@ -142,6 +129,24 @@ GovernorSupervisor::sanitizeField(double value, FieldGuard &guard,
 
 size_t
 GovernorSupervisor::decide(const MonitorSample &sample, size_t current)
+{
+    const size_t next = decideImpl(sample, current);
+    if (insightWanted_) {
+        // The inner governor's model view first; during a fallback or
+        // blind interval the inner policy was bypassed, so only the
+        // supervisor overlay below is current.
+        insight_ = inner_->insight();
+        insight_.valid = true;
+        insight_.targetPState = lastReturn_;
+        insight_.fallback = lastFallback_;
+        insight_.blindCounters = blindCounters_;
+        insight_.substitutions = tel_.substitutions;
+    }
+    return next;
+}
+
+size_t
+GovernorSupervisor::decideImpl(const MonitorSample &sample, size_t current)
 {
     MonitorSample s = sample;
     blindCounters_ = false;

@@ -104,7 +104,6 @@ class GovernorSupervisor : public Governor
     void setPowerLimit(double watts) override;
     void setPerformanceFloor(double floor) override;
     void exportTelemetry(RecoveryTelemetry &out) const override;
-    void explain(GovernorInsight &out) const override;
 
     void setInsightWanted(bool wanted) override
     {
@@ -137,6 +136,9 @@ class GovernorSupervisor : public Governor
     double sanitizeField(double value, FieldGuard &guard, bool is_rate,
                          double utilization);
 
+    /** decide() minus the insight overlay (it has four exit paths). */
+    size_t decideImpl(const MonitorSample &sample, size_t current);
+
     std::unique_ptr<Governor> owned_;
     Governor *inner_;
     SupervisorConfig config_;
@@ -152,7 +154,7 @@ class GovernorSupervisor : public Governor
     /** P-state commanded last interval; SIZE_MAX = none yet. */
     size_t lastCommand_;
     size_t retriesLeft_ = 0;
-    /** What the most recent decide() returned (for explain()). */
+    /** What the most recent decide() returned (for the insight). */
     size_t lastReturn_ = 0;
     /** The most recent decide() was a fallback/degraded interval. */
     bool lastFallback_ = false;

@@ -1,0 +1,734 @@
+#include "obs/binary_trace.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+using namespace obsbin;
+
+/**
+ * Per-column encoder hints. AFFINE is only worth scanning for on
+ * monotone integer columns (the tick always, the cycle delta while the
+ * p-state holds). RLE is attempted everywhere except the three
+ * ground-truth analog columns that change every record (sensor power,
+ * true power, die temperature) — there the scan would walk two thirds
+ * of the column before aborting, every block.
+ */
+constexpr bool kAffineOk[kNumColumns] = {
+    true,  // t_tick
+    false, // dt_s
+    true,  // cycles
+    false, false, false, false, // ipc dpc dcu util
+    false, false,               // measured_w temp_c
+    false,                      // flags
+    false,                      // true_w
+    false, false, false,        // ev_cycles ev_retired ev_decoded
+    false,                      // die_temp_c
+    false, false,               // pred_w proj_ipc
+    false, false,               // stall subs
+};
+
+constexpr bool kRleOk[kNumColumns] = {
+    false, // t_tick (affine or raw)
+    true,  // dt_s
+    true,  // cycles
+    true,  true,  true,  true,  // ipc dpc dcu util
+    false, true,                // measured_w (noise) temp_c
+    true,                       // flags
+    false,                      // true_w (noise)
+    true,  true,  true,         // ev_cycles ev_retired ev_decoded
+    false,                      // die_temp_c (noise)
+    true,  true,                // pred_w proj_ipc
+    true,  true,                // stall subs
+};
+
+/** Row-major block buffer: cap rows of one record each. */
+size_t
+blockBufferBytes(size_t cap)
+{
+    return cap * recordBytes();
+}
+
+/** Column-major transpose scratch (flush thread only). */
+size_t
+transposeBytes(size_t cap)
+{
+    return kNumColumns * kColumnWidth * cap;
+}
+
+/** Worst-case encoded block: framing + encoding table + raw columns
+ *  (CONST/AFFINE are smaller and RLE aborts before reaching raw). */
+size_t
+stagingBytes(size_t cap)
+{
+    return 16 + kNumColumns + kNumColumns * kColumnWidth * cap;
+}
+
+void
+putBytes(std::vector<uint8_t> &out, const void *p, size_t n)
+{
+    const uint8_t *b = static_cast<const uint8_t *>(p);
+    out.insert(out.end(), b, b + n);
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    putBytes(out, &v, sizeof(v));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    putBytes(out, &v, sizeof(v));
+}
+
+template <typename T>
+T
+loadAs(const uint8_t *p)
+{
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;
+}
+
+/** All `n` 8-byte values bitwise equal? (Overlapped memcmp: every
+ *  element equals its successor iff the column shifted by one slot
+ *  compares equal — one SIMD-optimized libc call per column.) */
+bool
+allEqual(const uint8_t *base, uint32_t n)
+{
+    return n <= 1 || std::memcmp(base, base + 8, (n - 1) * size_t(8)) == 0;
+}
+
+/** v[k] == v[0] + k*d for the common difference d (wraparound
+ *  arithmetic, so decreasing sequences encode too)? Needs n >= 2. */
+bool
+isAffine(const uint8_t *base, uint32_t n, uint64_t *first,
+         uint64_t *stride)
+{
+    const uint64_t v0 = loadAs<uint64_t>(base);
+    const uint64_t d = loadAs<uint64_t>(base + 8) - v0;
+    uint64_t expect = v0 + d;
+    for (uint32_t k = 2; k < n; ++k) {
+        expect += d;
+        if (loadAs<uint64_t>(base + k * size_t(8)) != expect)
+            return false;
+    }
+    *first = v0;
+    *stride = d;
+    return true;
+}
+
+/**
+ * Run-length encode a column into `out`: u32 run count, then
+ * (u32 length, u64 value) pairs. @return bytes written, or 0 when the
+ * encoding would not beat the raw column (`rawBytes`) — the caller
+ * falls back to RAW over the same staging area.
+ */
+size_t
+rleEncode(const uint8_t *base, uint32_t n, uint8_t *out, size_t rawBytes)
+{
+    size_t off = 4;
+    uint32_t runs = 0;
+    uint32_t i = 0;
+    while (i < n) {
+        const uint64_t v = loadAs<uint64_t>(base + i * size_t(8));
+        uint32_t j = i + 1;
+        while (j < n && loadAs<uint64_t>(base + j * size_t(8)) == v)
+            ++j;
+        if (off + 12 > rawBytes)
+            return 0;
+        const uint32_t len = j - i;
+        std::memcpy(out + off, &len, 4);
+        std::memcpy(out + off + 4, &v, 8);
+        off += 12;
+        ++runs;
+        i = j;
+    }
+    std::memcpy(out, &runs, 4);
+    return off;
+}
+
+} // namespace
+
+// --- TraceFlushThread ---------------------------------------------------
+
+TraceFlushThread::TraceFlushThread()
+    : thread_([this] { loop(); })
+{
+}
+
+TraceFlushThread::~TraceFlushThread()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_.notify_all();
+    thread_.join();
+}
+
+void
+TraceFlushThread::enqueue(Job job)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return queue_.size() < kMaxQueuedJobs; });
+    queue_.push_back(std::move(job));
+    // Wake the thread per batch, not per job: on a busy machine every
+    // wakeup is a pair of context switches that preempt the producer,
+    // and jobs are happy to wait (the producer owns enough pool
+    // buffers to keep appending — it reaches kNotifyDepth strictly
+    // before its pool runs dry, so a wakeup is always pending by the
+    // time acquireBlock() could block). drain() flushes stragglers.
+    if (queue_.size() == kNotifyDepth)
+        work_.notify_one();
+}
+
+void
+TraceFlushThread::drain(BinaryTraceSink *sink)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_.notify_one(); // flush jobs below the batch threshold
+    done_.wait(lock, [this, sink] {
+        if (active_ == sink)
+            return false;
+        for (const Job &job : queue_) {
+            if (job.sink == sink)
+                return false;
+        }
+        return true;
+    });
+}
+
+void
+TraceFlushThread::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stop_)
+                return;
+            continue;
+        }
+        Job job = std::move(queue_.front());
+        queue_.pop_front();
+        active_ = job.sink;
+        lock.unlock();
+        if (job.block) {
+            job.sink->writeBlock(job.block.get(), job.records,
+                                 job.firstIndex);
+            job.sink->recycle(std::move(job.block));
+        } else {
+            job.sink->writeBytes(job.bytes);
+        }
+        lock.lock();
+        active_ = nullptr;
+        done_.notify_all();
+    }
+}
+
+// --- BinaryTraceSink ----------------------------------------------------
+
+BinaryTraceSink::BinaryTraceSink(const std::string &path,
+                                 TraceFlushThread *shared,
+                                 uint32_t blockRecords, uint32_t poolBlocks)
+    : path_(path), blockRecords_(blockRecords),
+      blockBytes_(blockBufferBytes(blockRecords)),
+      poolBlocks_(poolBlocks < 2 ? 2 : poolBlocks)
+{
+    if (blockRecords_ == 0)
+        aapm_fatal("binary trace block capacity must be positive");
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        aapm_fatal("cannot open '%s' for trace output", path.c_str());
+    // The flush thread assembles each block (and the header/footer)
+    // into one contiguous buffer, so stdio buffering would only copy
+    // the bytes a second time: write through.
+    std::setvbuf(file_, nullptr, _IONBF, 0);
+    transpose_ =
+        std::make_unique<uint8_t[]>(transposeBytes(blockRecords_));
+    staging_ = std::make_unique<uint8_t[]>(stagingBytes(blockRecords_));
+    if (shared) {
+        thread_ = shared;
+    } else {
+        ownedThread_ = std::make_unique<TraceFlushThread>();
+        thread_ = ownedThread_.get();
+    }
+}
+
+BinaryTraceSink::~BinaryTraceSink()
+{
+    if (open_ && n_ > 0)
+        aapm_warn("binary trace '%s' destroyed before end(); the "
+                  "final partial block is dropped", path_.c_str());
+    // No job may reference this sink once members start dying.
+    thread_->drain(this);
+    ownedThread_.reset();
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+BinaryTraceSink::begin(const TraceRunMeta &meta)
+{
+    if (open_)
+        aapm_fatal("binary trace '%s': begin() without end()",
+                   path_.c_str());
+
+    std::vector<uint8_t> header;
+    putBytes(header, kFileMagic, sizeof(kFileMagic));
+    putU32(header, kVersion);
+    putU32(header, blockRecords_);
+    putU64(header, meta.intervalTicks);
+    putU64(header, meta.every);
+    putU64(header, meta.pstateCount);
+    putU64(header, meta.core);
+    putU64(header, meta.cores);
+    putU32(header, static_cast<uint32_t>(kNumColumns));
+    putU32(header, static_cast<uint32_t>(meta.workload.size()));
+    putU32(header, static_cast<uint32_t>(meta.governor.size()));
+    putBytes(header, meta.workload.data(), meta.workload.size());
+    putBytes(header, meta.governor.data(), meta.governor.size());
+    enqueueBytes(std::move(header));
+
+    if (!block_)
+        block_ = acquireBlock();
+    n_ = 0;
+    records_ = 0;
+    blocks_ = 0;
+    open_ = true;
+}
+
+void
+BinaryTraceSink::record(const IntervalRecord &rec)
+{
+    GovernorInsight insight;
+    insight.valid = rec.predValid;
+    insight.predictedPowerW = rec.predictedPowerW;
+    insight.projectedIpc = rec.projectedIpc;
+    insight.memBoundClass = rec.memBoundClass;
+    insight.fallback = rec.fallback;
+    insight.blindCounters = rec.blind;
+    insight.substitutions = rec.substitutions;
+    append(rec.index, rec.when, rec.toSample(), rec.trueW, rec.evCycles,
+           rec.evRetired, rec.evDecoded, rec.dieTempC, insight,
+           rec.decided, rec.decision, rec.actuation, rec.stallTicks);
+}
+
+void
+BinaryTraceSink::end(Tick endTick)
+{
+    sealPartial();
+    std::vector<uint8_t> footer;
+    putBytes(footer, kEndMagic, sizeof(kEndMagic));
+    putU64(footer, endTick);
+    putU64(footer, records_);
+    putU64(footer, blocks_);
+    enqueueBytes(std::move(footer));
+    open_ = false;
+}
+
+void
+BinaryTraceSink::sync()
+{
+    thread_->drain(this);
+    // The file is unbuffered; a drained queue means every byte already
+    // reached the OS. Only surface errors, producer-side.
+    if (file_ && std::ferror(file_))
+        aapm_warn("trace write to '%s' failed", path_.c_str());
+}
+
+void
+BinaryTraceSink::sealFull()
+{
+    records_ += blockRecords_;
+    ++blocks_;
+    TraceFlushThread::Job job;
+    job.sink = this;
+    job.block = std::move(block_);
+    job.records = blockRecords_;
+    job.firstIndex = firstIndex_;
+    thread_->enqueue(std::move(job));
+    block_ = acquireBlock();
+    n_ = 0;
+}
+
+void
+BinaryTraceSink::sealPartial()
+{
+    if (n_ == 0)
+        return;
+    records_ += n_;
+    ++blocks_;
+    TraceFlushThread::Job job;
+    job.sink = this;
+    job.block = std::move(block_);
+    job.records = n_;
+    job.firstIndex = firstIndex_;
+    thread_->enqueue(std::move(job));
+    n_ = 0;
+    // The next begin() re-acquires; no point holding a buffer across
+    // the gap (a 1024-core cluster has 1024 of these sinks).
+}
+
+void
+BinaryTraceSink::enqueueBytes(std::vector<uint8_t> bytes)
+{
+    TraceFlushThread::Job job;
+    job.sink = this;
+    job.bytes = std::move(bytes);
+    thread_->enqueue(std::move(job));
+}
+
+std::unique_ptr<uint8_t[]>
+BinaryTraceSink::acquireBlock()
+{
+    std::unique_lock<std::mutex> lock(poolMutex_);
+    for (;;) {
+        if (!pool_.empty()) {
+            auto block = std::move(pool_.back());
+            pool_.pop_back();
+            return block;
+        }
+        if (allocated_ < poolBlocks_) {
+            ++allocated_;
+            return std::make_unique<uint8_t[]>(blockBytes_);
+        }
+        // Every buffer is queued or in flight; with a small pool the
+        // queue may still be under the flush thread's batch threshold,
+        // so wake it explicitly before sleeping on the pool.
+        {
+            std::lock_guard<std::mutex> tlock(thread_->mutex_);
+            thread_->work_.notify_one();
+        }
+        poolCv_.wait(lock);
+    }
+}
+
+void
+BinaryTraceSink::recycle(std::unique_ptr<uint8_t[]> block)
+{
+    // Batch the producer's wakeup the same way enqueue() batches the
+    // flush thread's: a producer that ran the pool dry went to sleep
+    // with every buffer queued or in flight, so waking it per recycled
+    // block would cost a context-switch round trip per block on a
+    // busy host. Let half the pool accumulate first. Safe: once the
+    // producer waits, all poolBlocks_ buffers are outstanding and
+    // every one of them passes through here, so the threshold is
+    // always reached.
+    bool wake;
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        pool_.push_back(std::move(block));
+        wake = pool_.size() >= (poolBlocks_ + 1) / 2;
+    }
+    if (wake)
+        poolCv_.notify_one();
+}
+
+void
+BinaryTraceSink::writeBlock(const uint8_t *block, uint32_t records,
+                            uint64_t firstIndex)
+{
+    // Transpose the producer's row-major rows to the on-disk column
+    // order. Row reads are sequential; the nineteen column write
+    // cursors are a fixed 8 * blockRecords_ apart.
+    {
+        const uint64_t *rows = reinterpret_cast<const uint64_t *>(block);
+        uint64_t *cols = reinterpret_cast<uint64_t *>(transpose_.get());
+        for (uint32_t r = 0; r < records; ++r)
+            for (size_t k = 0; k < kNumColumns; ++k)
+                cols[k * blockRecords_ + r] = rows[r * kNumColumns + k];
+    }
+    uint8_t *out = staging_.get();
+    std::memcpy(out, &kBlockMagic, 4);
+    std::memcpy(out + 4, &records, 4);
+    std::memcpy(out + 8, &firstIndex, 8);
+    uint8_t *enc = out + 16;
+    size_t off = 16 + kNumColumns;
+    const size_t rawBytes = size_t(records) * 8;
+    for (size_t k = 0; k < kNumColumns; ++k) {
+        const uint8_t *base =
+            transpose_.get() + kColumnWidth * blockRecords_ * k;
+        if (allEqual(base, records)) {
+            enc[k] = CONST;
+            std::memcpy(out + off, base, 8);
+            off += 8;
+            continue;
+        }
+        uint64_t first = 0, stride = 0;
+        if (kAffineOk[k] && isAffine(base, records, &first, &stride)) {
+            enc[k] = AFFINE;
+            std::memcpy(out + off, &first, 8);
+            std::memcpy(out + off + 8, &stride, 8);
+            off += 16;
+            continue;
+        }
+        if (kRleOk[k]) {
+            const size_t rle =
+                rleEncode(base, records, out + off, rawBytes);
+            if (rle != 0) {
+                enc[k] = RLE;
+                off += rle;
+                continue;
+            }
+        }
+        enc[k] = RAW;
+        std::memcpy(out + off, base, rawBytes);
+        off += rawBytes;
+    }
+    std::fwrite(out, 1, off, file_);
+}
+
+void
+BinaryTraceSink::writeBytes(const std::vector<uint8_t> &bytes)
+{
+    std::fwrite(bytes.data(), 1, bytes.size(), file_);
+}
+
+// --- Reader -------------------------------------------------------------
+
+namespace
+{
+
+bool
+readExact(std::ifstream &in, void *p, size_t n)
+{
+    in.read(static_cast<char *>(p), static_cast<std::streamsize>(n));
+    return static_cast<size_t>(in.gcount()) == n;
+}
+
+bool
+readU32(std::ifstream &in, uint32_t *v)
+{
+    return readExact(in, v, sizeof(*v));
+}
+
+bool
+readU64(std::ifstream &in, uint64_t *v)
+{
+    return readExact(in, v, sizeof(*v));
+}
+
+/** Materialize one column: n 8-byte values from its encoding. */
+bool
+decodeColumn(std::ifstream &in, uint8_t enc, uint32_t n,
+             std::vector<uint8_t> &out)
+{
+    out.resize(static_cast<size_t>(n) * 8);
+    switch (enc) {
+      case RAW:
+        return readExact(in, out.data(), out.size());
+      case CONST: {
+        uint8_t v[8];
+        if (!readExact(in, v, 8))
+            return false;
+        for (uint32_t r = 0; r < n; ++r)
+            std::memcpy(out.data() + static_cast<size_t>(r) * 8, v, 8);
+        return true;
+      }
+      case AFFINE: {
+        uint8_t raw[16];
+        if (!readExact(in, raw, 16))
+            return false;
+        const uint64_t v0 = loadAs<uint64_t>(raw);
+        const uint64_t d = loadAs<uint64_t>(raw + 8);
+        for (uint32_t r = 0; r < n; ++r) {
+            const uint64_t v = v0 + d * r;
+            std::memcpy(out.data() + static_cast<size_t>(r) * 8, &v, 8);
+        }
+        return true;
+      }
+      case RLE: {
+        uint32_t runs = 0;
+        if (!readU32(in, &runs) || runs == 0 || runs > n)
+            return false;
+        uint32_t r = 0;
+        for (uint32_t run = 0; run < runs; ++run) {
+            uint32_t len = 0;
+            uint8_t v[8];
+            if (!readU32(in, &len) || !readExact(in, v, 8))
+                return false;
+            if (len == 0 || len > n - r)
+                return false;
+            for (uint32_t i = 0; i < len; ++i, ++r)
+                std::memcpy(out.data() + static_cast<size_t>(r) * 8, v,
+                            8);
+        }
+        return r == n;
+      }
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+readTraceBinary(const std::string &path, ParsedTrace &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+
+    char magic[8];
+    if (!readExact(in, magic, sizeof(magic)) ||
+        std::memcmp(magic, kFileMagic, sizeof(magic)) != 0) {
+        return false;
+    }
+    uint32_t version = 0, cap = 0, columns = 0;
+    uint32_t workload_len = 0, governor_len = 0;
+    uint64_t u = 0;
+    if (!readU32(in, &version) || version != kVersion)
+        return false;
+    if (!readU32(in, &cap) || cap == 0)
+        return false;
+    if (!readU64(in, &u))
+        return false;
+    out.meta.intervalTicks = u;
+    if (!readU64(in, &out.meta.every))
+        return false;
+    if (!readU64(in, &u))
+        return false;
+    out.meta.pstateCount = u;
+    if (!readU64(in, &u))
+        return false;
+    out.meta.core = u;
+    if (!readU64(in, &u))
+        return false;
+    out.meta.cores = u;
+    if (!readU32(in, &columns) || columns != kNumColumns)
+        return false;
+    if (!readU32(in, &workload_len) || !readU32(in, &governor_len) ||
+        workload_len > (1u << 20) || governor_len > (1u << 20)) {
+        return false;
+    }
+    out.meta.workload.resize(workload_len);
+    out.meta.governor.resize(governor_len);
+    if (!readExact(in, out.meta.workload.data(), workload_len) ||
+        !readExact(in, out.meta.governor.data(), governor_len)) {
+        return false;
+    }
+
+    const uint64_t stride = out.meta.every ? out.meta.every : 1;
+    std::vector<uint8_t> col[kNumColumns];
+    uint64_t blocks_seen = 0;
+    uint64_t next_index = 0;
+    for (;;) {
+        uint32_t lead = 0;
+        if (!readU32(in, &lead))
+            return false; // truncated: neither a block nor a footer
+        if (lead != kBlockMagic) {
+            // Must be the footer: its first four bytes then the rest.
+            char tail[4];
+            if (!readExact(in, tail, sizeof(tail)))
+                return false;
+            char end_magic[8];
+            std::memcpy(end_magic, &lead, 4);
+            std::memcpy(end_magic + 4, tail, 4);
+            if (std::memcmp(end_magic, kEndMagic, 8) != 0)
+                return false;
+            uint64_t end_tick = 0, blocks_declared = 0;
+            if (!readU64(in, &end_tick) ||
+                !readU64(in, &out.declaredRecords) ||
+                !readU64(in, &blocks_declared)) {
+                return false;
+            }
+            out.endTick = end_tick;
+            return blocks_declared == blocks_seen &&
+                   out.declaredRecords == out.records.size();
+        }
+
+        uint32_t n = 0;
+        uint64_t first_index = 0;
+        if (!readU32(in, &n) || n == 0 || n > cap)
+            return false;
+        if (!readU64(in, &first_index))
+            return false;
+        // Indices advance by `every` across the whole segment; a block
+        // whose firstIndex breaks the chain is corrupt.
+        if (blocks_seen > 0 && first_index != next_index)
+            return false;
+        next_index = first_index + uint64_t(n) * stride;
+        uint8_t enc[kNumColumns];
+        if (!readExact(in, enc, kNumColumns))
+            return false;
+        for (size_t k = 0; k < kNumColumns; ++k) {
+            if (enc[k] > RLE)
+                return false;
+            if (!decodeColumn(in, enc[k], n, col[k]))
+                return false;
+        }
+        ++blocks_seen;
+
+        const auto f64 = [&](size_t k, uint32_t r) {
+            return loadAs<double>(col[k].data() +
+                                  static_cast<size_t>(r) * 8);
+        };
+        const auto u64v = [&](size_t k, uint32_t r) {
+            return loadAs<uint64_t>(col[k].data() +
+                                    static_cast<size_t>(r) * 8);
+        };
+        for (uint32_t r = 0; r < n; ++r) {
+            IntervalRecord rec;
+            rec.index = first_index + uint64_t(r) * stride;
+            rec.when = u64v(ColTick, r);
+            rec.intervalSeconds = f64(ColDtS, r);
+            rec.cycles = u64v(ColCycles, r);
+            rec.ipc = f64(ColIpc, r);
+            rec.dpc = f64(ColDpc, r);
+            rec.dcuPerCycle = f64(ColDcu, r);
+            rec.utilization = f64(ColUtil, r);
+            rec.measuredW = f64(ColMeasuredW, r);
+            rec.tempC = f64(ColTempC, r);
+            rec.trueW = f64(ColTrueW, r);
+            rec.evCycles = f64(ColEvCycles, r);
+            rec.evRetired = f64(ColEvRetired, r);
+            rec.evDecoded = f64(ColEvDecoded, r);
+            rec.dieTempC = f64(ColDieTempC, r);
+            rec.predictedPowerW = f64(ColPredW, r);
+            rec.projectedIpc = f64(ColProjIpc, r);
+            rec.stallTicks = u64v(ColStall, r);
+            rec.substitutions = u64v(ColSubs, r);
+
+            // The very divides recordTraceInterval() performs — same
+            // operands, same order — so the reconstruction is
+            // bit-equal to the JSONL record of the same interval.
+            rec.trueIpc = rec.evCycles > 0.0
+                ? rec.evRetired / rec.evCycles : 0.0;
+            rec.trueDpc = rec.evCycles > 0.0
+                ? rec.evDecoded / rec.evCycles : 0.0;
+
+            const uint64_t flags = u64v(ColFlags, r);
+            if (flags >> 44)
+                return false; // reserved bits
+            const uint8_t last_act = (flags >> 12) & 0xf;
+            const uint8_t actuation = (flags >> 38) & 0xf;
+            if (last_act > static_cast<uint8_t>(DvfsOutcome::Stuck) ||
+                actuation > static_cast<uint8_t>(DvfsOutcome::Stuck)) {
+                return false;
+            }
+            rec.pstate = flags & 0xfffu;
+            rec.lastActuation = static_cast<DvfsOutcome>(last_act);
+            rec.predValid = (flags >> 16) & 1;
+            rec.memBoundClass =
+                static_cast<int>((flags >> 17) & 0xffu) - 1;
+            rec.decided = (flags >> 25) & 1;
+            rec.decision = (flags >> 26) & 0xfffu;
+            rec.actuation = static_cast<DvfsOutcome>(actuation);
+            rec.fallback = (flags >> 42) & 1;
+            rec.blind = (flags >> 43) & 1;
+            out.records.push_back(rec);
+        }
+    }
+}
+
+} // namespace aapm

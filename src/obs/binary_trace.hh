@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Binary columnar trace sink: the production tracing path.
+ *
+ * The JSONL/CSV sinks spend hundreds of nanoseconds formatting every
+ * record; at cluster scale that makes full tracing unaffordable. This
+ * sink stores the same 27-field schema as a compact binary file:
+ * fixed-width little-endian values laid out column-major in fixed-size
+ * blocks, with a per-block, per-column encoding byte — RAW (n values),
+ * CONST (one value, the whole column is bitwise equal), AFFINE (base +
+ * stride; the interval index and tick columns advance monotonically)
+ * or RLE (run-length (count, value) pairs; most columns are piecewise
+ * constant across control intervals). Doubles are stored as their raw
+ * IEEE-754 bits, so a trace round-trips bit-exactly (and NaN payloads
+ * survive).
+ *
+ * The on-disk column set is not a field-for-field copy of the JSONL
+ * schema; three transformations keep the producer's per-record cost to
+ * the minimum number of stores:
+ *
+ *  - the interval index is never materialized: records are appended in
+ *    index order with a fixed stride (the tracer's `every`), so the
+ *    column is reconstructed as firstIndex + k * every from the block
+ *    framing and the run header;
+ *  - nine narrow fields (pstate, last_actuation, pred_valid,
+ *    mem_class, decided, decision, actuation, fallback, blind) are
+ *    packed into one 64-bit "flags" column — one store instead of
+ *    nine, and the column run-length-encodes to almost nothing;
+ *  - true_ipc / true_dpc are not stored; the raw event totals
+ *    (ev_cycles, ev_retired, ev_decoded) are. The reader performs the
+ *    identical IEEE divides recordTraceInterval() would have done, so
+ *    the reconstructed values are bit-equal to a JSONL trace of the
+ *    same run — and the divides leave the simulation hot path.
+ *
+ * The producer appends into an in-memory block — row-major, so the
+ * hot path writes a single sequential store stream — and hands filled
+ * blocks to an asynchronous flush thread over a bounded queue, which
+ * transposes rows to the on-disk column order, chooses the per-column
+ * encodings, assembles the block into one staging buffer and writes it
+ * with a single unbuffered fwrite.
+ * begin() and end() are asynchronous too: header and footer bytes ride
+ * the same queue, so a producer driving many back-to-back runs through
+ * one sink never blocks on I/O unless the buffer pool runs dry. One
+ * flush thread can serve many sinks (ClusterPlatform shares one across
+ * its per-core traces); a sink constructed without a shared thread
+ * owns a private one. sync() drains the queue and flushes to the OS;
+ * the destructor implies it.
+ *
+ * File framing ("AAPMTRC\0" … "AAPMEND\0"): a header with magic,
+ * version and the run metadata, the blocks, and a footer carrying the
+ * end tick plus total record/block counts — a reader can always tell a
+ * truncated file from a complete one. A file may hold several
+ * back-to-back header…footer segments when one sink traces several
+ * runs in sequence (exactly like repeated JSONL headers in one file);
+ * readTraceBinary() reads the first segment, mirroring readTraceJsonl.
+ *
+ * Unlike the other sinks, BinaryTraceSink is strictly single-producer:
+ * append()/record() must come from one thread at a time (begin/record/
+ * end of a run are already single-threaded everywhere in the tree).
+ * The platform detects this sink behind an IntervalTracer and bypasses
+ * the tracer's mutex and the virtual record() call with the inline
+ * append() below — that, plus the column stores replacing text
+ * formatting, is what makes full tracing affordable (see
+ * trace_overhead_frac in BENCH_kernel.json).
+ */
+
+#ifndef AAPM_OBS_BINARY_TRACE_HH
+#define AAPM_OBS_BINARY_TRACE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace aapm
+{
+
+namespace obsbin
+{
+
+/** File magics, little-endian on disk. */
+constexpr char kFileMagic[8] = {'A', 'A', 'P', 'M', 'T', 'R', 'C', 0};
+constexpr char kEndMagic[8] = {'A', 'A', 'P', 'M', 'E', 'N', 'D', 0};
+constexpr uint32_t kBlockMagic = 0x4B4C4241u; // "ABLK"
+constexpr uint32_t kVersion = 1;
+
+/** Per-block, per-column encodings. */
+enum Encoding : uint8_t
+{
+    RAW = 0,    ///< n 8-byte values
+    CONST = 1,  ///< one value; every record is bitwise equal
+    AFFINE = 2, ///< base + stride (monotone integer columns)
+    RLE = 3,    ///< u32 run count, then (u32 length, u64 value) pairs
+};
+
+/**
+ * Stored columns, in file order. Every column is 8 bytes wide in the
+ * block buffer and on disk, which keeps the append path at one aligned
+ * store per column and the encoder generic over a single value type.
+ * The interval index has no column at all — it is reconstructed from
+ * the block's firstIndex and the run's `every` stride.
+ */
+enum Column : size_t
+{
+    ColTick = 0,  ///< simulated end tick (u64)
+    ColDtS,       ///< interval seconds (f64 bits)
+    ColCycles,    ///< PMU cycle delta (u64)
+    ColIpc,       ///< measured IPC (f64)
+    ColDpc,       ///< measured DPC (f64)
+    ColDcu,       ///< measured DCU misses/cycle (f64)
+    ColUtil,      ///< utilization (f64)
+    ColMeasuredW, ///< sensor power (f64)
+    ColTempC,     ///< sensor temperature (f64)
+    ColFlags,     ///< packed narrow fields (u64; see packFlags)
+    ColTrueW,     ///< ground-truth power (f64)
+    ColEvCycles,  ///< ground-truth event cycles (f64)
+    ColEvRetired, ///< ground-truth instructions retired (f64)
+    ColEvDecoded, ///< ground-truth instructions decoded (f64)
+    ColDieTempC,  ///< ground-truth die temperature (f64)
+    ColPredW,     ///< model-predicted power (f64)
+    ColProjIpc,   ///< model-projected IPC (f64)
+    ColStall,     ///< actuation stall ticks (u64)
+    ColSubs,      ///< supervisor substitution count (u64)
+    kNumColumns,
+};
+
+constexpr size_t kColumnWidth = 8;
+
+/**
+ * Pack the nine narrow per-record fields into the flags column. The
+ * field ranges are invariants of the models that produce them:
+ * p-state menus and decision indices fit 12 bits, DvfsOutcome and
+ * the memory-boundedness class are tiny enums, the rest are bools.
+ * memClass is biased by +1 so its -1 "unknown" value encodes as 0.
+ *
+ *   [0,12)   pstate        [25,26)  decided
+ *   [12,16)  last_actuation[26,38)  decision
+ *   [16,17)  pred_valid    [38,42)  actuation
+ *   [17,25)  mem_class + 1 [42,43)  fallback
+ *                          [43,44)  blind
+ */
+constexpr uint64_t
+packFlags(size_t pstate, uint8_t lastAct, bool predValid, int memClass,
+          bool decided, size_t decision, uint8_t actuation, bool fallback,
+          bool blind)
+{
+    return (uint64_t(pstate) & 0xfffu) | (uint64_t(lastAct & 0xfu) << 12) |
+           (uint64_t(predValid) << 16) |
+           ((uint64_t(memClass + 1) & 0xffu) << 17) |
+           (uint64_t(decided) << 25) |
+           ((uint64_t(decision) & 0xfffu) << 26) |
+           (uint64_t(actuation & 0xfu) << 38) | (uint64_t(fallback) << 42) |
+           (uint64_t(blind) << 43);
+}
+
+/** Fixed bytes per record in a block buffer. */
+constexpr size_t
+recordBytes()
+{
+    return kNumColumns * kColumnWidth;
+}
+
+/** Records per block: 256 keeps block + staging twin cache-resident. */
+constexpr uint32_t kDefaultBlockRecords = 256;
+
+/** Default pool depth: blocks in flight before append() stalls. */
+constexpr uint32_t kDefaultPoolBlocks = 16;
+
+} // namespace obsbin
+
+class BinaryTraceSink;
+
+/**
+ * The asynchronous writer behind one or more BinaryTraceSinks. Jobs —
+ * filled blocks, or raw header/footer bytes — arrive over a bounded
+ * queue; the thread encodes and writes each to its sink's file, in
+ * order per sink, and recycles block buffers back to the sink's pool.
+ * Destruction drains the queue and joins.
+ */
+class TraceFlushThread
+{
+  public:
+    TraceFlushThread();
+    ~TraceFlushThread();
+
+    TraceFlushThread(const TraceFlushThread &) = delete;
+    TraceFlushThread &operator=(const TraceFlushThread &) = delete;
+
+  private:
+    friend class BinaryTraceSink;
+
+    struct Job
+    {
+        BinaryTraceSink *sink = nullptr;
+        /** Filled block buffer; null for a raw-bytes job. */
+        std::unique_ptr<uint8_t[]> block;
+        uint32_t records = 0;
+        /** Interval index of the block's first record. */
+        uint64_t firstIndex = 0;
+        /** Header/footer bytes, written verbatim (block == null). */
+        std::vector<uint8_t> bytes;
+    };
+
+    /** Hand a job over; blocks while the queue is full. */
+    void enqueue(Job job);
+
+    /** Wait until no queued or in-flight job belongs to `sink`. */
+    void drain(BinaryTraceSink *sink);
+
+    void loop();
+
+    /**
+     * Queue bound. Block jobs are already bounded by each sink's
+     * buffer pool; this stops a stream of raw-bytes jobs (rapid
+     * begin/end cycles) from growing the queue without limit.
+     */
+    static constexpr size_t kMaxQueuedJobs = 64;
+
+    /** Queue depth that wakes the thread (see enqueue()). */
+    static constexpr size_t kNotifyDepth = 8;
+
+    std::mutex mutex_;
+    std::condition_variable work_;  ///< producer -> thread
+    std::condition_variable done_;  ///< thread -> producers
+    std::deque<Job> queue_;
+    BinaryTraceSink *active_ = nullptr;
+    bool stop_ = false;
+    std::thread thread_; ///< last member: starts after the state above
+};
+
+/**
+ * Columnar binary TraceSink (format documented in DESIGN.md). Also a
+ * normal TraceSink — record() routes an IntervalRecord through the
+ * same append path (using its evCycles/evRetired/evDecoded fields;
+ * every in-tree producer fills them) — so converters and generic
+ * tooling work unchanged.
+ */
+class BinaryTraceSink : public TraceSink
+{
+  public:
+    /**
+     * Open `path` for writing; fatal() when it cannot be opened.
+     * @param shared Flush thread to share (e.g. one per cluster); the
+     *        sink owns a private thread when nullptr.
+     * @param blockRecords Records per block (tests use small blocks to
+     *        exercise multi-block traces; cluster runs use smaller
+     *        blocks to bound per-core memory).
+     * @param poolBlocks How many blocks may be in flight — being
+     *        filled, queued or written — before append() stalls
+     *        waiting on the flush thread. Buffers allocate lazily.
+     */
+    explicit BinaryTraceSink(
+        const std::string &path, TraceFlushThread *shared = nullptr,
+        uint32_t blockRecords = obsbin::kDefaultBlockRecords,
+        uint32_t poolBlocks = obsbin::kDefaultPoolBlocks);
+    ~BinaryTraceSink() override;
+
+    void begin(const TraceRunMeta &meta) override;
+    void record(const IntervalRecord &rec) override;
+    void end(Tick endTick) override;
+
+    BinaryTraceSink *binary() override { return this; }
+
+    /**
+     * The single-producer fast path: nineteen stores into one
+     * sequential 152-byte row, no lock, no virtual dispatch, no
+     * divides. The in-memory block is row-major — the appender writes
+     * one hardware-prefetchable stream instead of scattering across
+     * nineteen column buffers — and the asynchronous flush thread
+     * transposes to the on-disk column-major layout before encoding.
+     * Callers pass exactly what recordTraceInterval() would have put
+     * in an IntervalRecord, so a binary trace decodes bit-identically
+     * to the JSONL record stream of the same run. `index` must advance
+     * by the run's `every` stride between calls (it always does; the
+     * platform appends once per traced interval).
+     */
+    void
+    append(uint64_t index, Tick when, const MonitorSample &s, double trueW,
+           double evCycles, double evRetired, double evDecoded,
+           double dieTempC, const GovernorInsight &insight, bool decided,
+           size_t decision, DvfsOutcome actuation, Tick stallTicks)
+    {
+        using namespace obsbin;
+        const uint32_t n = n_;
+        if (n == 0)
+            firstIndex_ = index;
+        uint64_t *row = reinterpret_cast<uint64_t *>(
+            block_.get() + size_t(n) * recordBytes());
+        double *drow = reinterpret_cast<double *>(row);
+        row[ColTick] = when;
+        drow[ColDtS] = s.intervalSeconds;
+        row[ColCycles] = s.cycles;
+        drow[ColIpc] = s.ipc;
+        drow[ColDpc] = s.dpc;
+        drow[ColDcu] = s.dcuPerCycle;
+        drow[ColUtil] = s.utilization;
+        drow[ColMeasuredW] = s.measuredPowerW;
+        drow[ColTempC] = s.tempC;
+        row[ColFlags] = packFlags(
+            s.pstate, static_cast<uint8_t>(s.lastActuation), insight.valid,
+            insight.memBoundClass, decided, decision,
+            static_cast<uint8_t>(actuation), insight.fallback,
+            insight.blindCounters);
+        drow[ColTrueW] = trueW;
+        drow[ColEvCycles] = evCycles;
+        drow[ColEvRetired] = evRetired;
+        drow[ColEvDecoded] = evDecoded;
+        drow[ColDieTempC] = dieTempC;
+        drow[ColPredW] = insight.predictedPowerW;
+        drow[ColProjIpc] = insight.projectedIpc;
+        row[ColStall] = stallTicks;
+        row[ColSubs] = insight.substitutions;
+        if (++n_ == blockRecords_)
+            sealFull();
+    }
+
+    /** Records per block (for tests). */
+    uint32_t blockRecords() const { return blockRecords_; }
+
+    /**
+     * Wait until everything appended so far — blocks, headers, footers
+     * — is encoded, written and flushed to the OS. The destructor
+     * implies it; tests and the converter use it to read the file back
+     * while the sink is still alive.
+     */
+    void sync();
+
+  private:
+    friend class TraceFlushThread;
+
+    /** Current block is full: hand it off and start a fresh one. */
+    __attribute__((noinline)) void sealFull();
+
+    /** Queue whatever the current block holds (may be nothing). */
+    void sealPartial();
+
+    /** Enqueue raw bytes (header/footer) to be written in order. */
+    void enqueueBytes(std::vector<uint8_t> bytes);
+
+    /** Pop a buffer from the pool (bounded; waits when exhausted). */
+    std::unique_ptr<uint8_t[]> acquireBlock();
+
+    /** Flush thread returns a written-out buffer. */
+    void recycle(std::unique_ptr<uint8_t[]> block);
+
+    /** Encode + write one block (flush thread only). */
+    void writeBlock(const uint8_t *block, uint32_t records,
+                    uint64_t firstIndex);
+
+    /** Write raw header/footer bytes (flush thread only). */
+    void writeBytes(const std::vector<uint8_t> &bytes);
+
+    const std::string path_;
+    std::FILE *file_ = nullptr;
+    const uint32_t blockRecords_;
+    const size_t blockBytes_;
+
+    TraceFlushThread *thread_;
+    std::unique_ptr<TraceFlushThread> ownedThread_;
+
+    // Producer state (no lock: single producer by contract).
+    std::unique_ptr<uint8_t[]> block_;
+    uint32_t n_ = 0;
+    uint64_t firstIndex_ = 0;
+    uint64_t records_ = 0;
+    uint64_t blocks_ = 0;
+    bool open_ = false; ///< between begin() and end()
+
+    // Flush-thread-only scratch: the row->column transpose of the
+    // block being written, and the encoded bytes staged for fwrite.
+    std::unique_ptr<uint8_t[]> transpose_;
+    std::unique_ptr<uint8_t[]> staging_;
+
+    // Buffer pool, shared producer <-> flush thread.
+    const uint32_t poolBlocks_;
+    std::mutex poolMutex_;
+    std::condition_variable poolCv_;
+    std::vector<std::unique_ptr<uint8_t[]>> pool_;
+    uint32_t allocated_ = 0;
+};
+
+/**
+ * Read a binary trace back (first segment, like readTraceJsonl).
+ * Reconstructs the implicit index column, unpacks the flags column and
+ * performs the true_ipc/true_dpc divides, so the records compare
+ * bit-equal to the same run's JSONL trace. @return false on a missing
+ * file, bad magic/version, malformed block, short read or a footer
+ * whose counts disagree — truncation is always detected.
+ */
+bool readTraceBinary(const std::string &path, ParsedTrace &out);
+
+} // namespace aapm
+
+#endif // AAPM_OBS_BINARY_TRACE_HH

@@ -1,5 +1,7 @@
 #include "obs/trace.hh"
 
+#include "obs/binary_trace.hh"
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -608,13 +610,54 @@ readTraceCsv(const std::string &path, ParsedTrace &out)
            out.declaredRecords == out.records.size();
 }
 
-std::unique_ptr<TraceSink>
-makeTraceSink(const std::string &path)
+bool
+parseTraceFormat(const std::string &name, TraceFormat *out)
 {
-    const size_t dot = path.rfind('.');
-    if (dot != std::string::npos && path.substr(dot) == ".csv")
+    if (name == "auto")
+        *out = TraceFormat::Auto;
+    else if (name == "jsonl" || name == "json")
+        *out = TraceFormat::Jsonl;
+    else if (name == "csv")
+        *out = TraceFormat::Csv;
+    else if (name == "bin" || name == "binary")
+        *out = TraceFormat::Binary;
+    else
+        return false;
+    return true;
+}
+
+std::unique_ptr<TraceSink>
+makeTraceSink(const std::string &path, TraceFormat format,
+              TraceFlushThread *flush)
+{
+    if (format == TraceFormat::Auto) {
+        const size_t dot = path.rfind('.');
+        const size_t slash = path.find_last_of('/');
+        const std::string ext =
+            dot != std::string::npos &&
+                    (slash == std::string::npos || dot > slash)
+                ? path.substr(dot)
+                : "";
+        if (ext == ".jsonl" || ext == ".json")
+            format = TraceFormat::Jsonl;
+        else if (ext == ".csv")
+            format = TraceFormat::Csv;
+        else if (ext == ".bin")
+            format = TraceFormat::Binary;
+        else
+            aapm_fatal("cannot infer a trace format from '%s' "
+                       "(recognized extensions: .jsonl/.json, .csv, "
+                       ".bin); pass an explicit format",
+                       path.c_str());
+    }
+    switch (format) {
+      case TraceFormat::Csv:
         return std::make_unique<CsvTraceSink>(path);
-    return std::make_unique<JsonlTraceSink>(path);
+      case TraceFormat::Binary:
+        return std::make_unique<BinaryTraceSink>(path, flush);
+      default:
+        return std::make_unique<JsonlTraceSink>(path);
+    }
 }
 
 } // namespace aapm

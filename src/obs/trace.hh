@@ -35,6 +35,9 @@
 namespace aapm
 {
 
+class BinaryTraceSink;
+class TraceFlushThread;
+
 /** Per-run metadata, emitted as the trace header. */
 struct TraceRunMeta
 {
@@ -74,6 +77,12 @@ struct IntervalRecord
     double trueIpc = 0.0;
     double trueDpc = 0.0;
     double dieTempC = 0.0;
+    /** Raw event totals behind trueIpc/trueDpc (trueIpc = evRetired /
+     *  evCycles when evCycles > 0). The binary trace stores these and
+     *  re-derives the ratios bit-exactly on read. */
+    double evCycles = 0.0;
+    double evRetired = 0.0;
+    double evDecoded = 0.0;
 
     // --- Estimate: the model's view (GovernorInsight). ---
     bool predValid = false;
@@ -111,6 +120,17 @@ class TraceSink
 
     /** End of the run, at the given simulated tick. */
     virtual void end(Tick endTick) = 0;
+
+    /**
+     * Columnar fast-append capability: non-null when this sink is a
+     * BinaryTraceSink, whose inline append() the platform may call
+     * directly — without the IntervalTracer mutex or the virtual
+     * record() dispatch. Only valid for single-producer use: the run
+     * being traced must own the sink exclusively (every call site in
+     * the tree does; a sink shared across concurrent runs would
+     * interleave begin/end framing and is wrong for any sink type).
+     */
+    virtual BinaryTraceSink *binary() { return nullptr; }
 };
 
 /** Column/field names, in serialization order (the schema). */
@@ -189,11 +209,33 @@ class NullTraceSink : public TraceSink
     uint64_t records_ = 0;
 };
 
+/** Trace serialization formats makeTraceSink() can produce. */
+enum class TraceFormat
+{
+    Auto,   ///< pick by file extension; unknown extensions are fatal
+    Jsonl,
+    Csv,
+    Binary,
+};
+
 /**
- * File sink by extension: ".csv" gets a CsvTraceSink, everything else
- * a JsonlTraceSink.
+ * Parse a format name ("auto", "jsonl", "csv", "bin"/"binary").
+ * @return false on an unrecognized name.
  */
-std::unique_ptr<TraceSink> makeTraceSink(const std::string &path);
+bool parseTraceFormat(const std::string &name, TraceFormat *out);
+
+/**
+ * File sink by format. With TraceFormat::Auto the extension decides:
+ * ".jsonl"/".json" JSONL, ".csv" CSV, ".bin" binary columnar — any
+ * other extension is fatal() with a hint to pass an explicit format
+ * (unknown extensions used to fall through to JSONL silently, which
+ * hid typos). `flush` is the flush thread a binary sink should share
+ * (nullptr = a private one); other formats ignore it.
+ */
+std::unique_ptr<TraceSink>
+makeTraceSink(const std::string &path,
+              TraceFormat format = TraceFormat::Auto,
+              TraceFlushThread *flush = nullptr);
 
 /**
  * The platform-facing tracing front end: sampling (`every`) plus a
@@ -223,6 +265,13 @@ class IntervalTracer
 
     /** The sampling stride. */
     uint64_t every() const { return every_; }
+
+    /**
+     * The sink's columnar fast-append capability (see
+     * TraceSink::binary()); non-null lets a run append directly,
+     * bypassing this tracer's mutex and the virtual record() call.
+     */
+    BinaryTraceSink *binarySink() const { return sink_->binary(); }
 
     void
     begin(const TraceRunMeta &meta)

@@ -8,6 +8,7 @@
 #include "cpu/phase_timing.hh"
 #include "fault/fault_injector.hh"
 #include "mgmt/static_clock.hh"
+#include "obs/binary_trace.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
 #include "obs/trace.hh"
@@ -53,10 +54,13 @@ recordTraceInterval(IntervalTracer &tracer, Governor &governor,
     rec.trueDpc = ev_cycles > 0.0
         ? interval_events.instructionsDecoded / ev_cycles
         : 0.0;
+    rec.evCycles = ev_cycles;
+    rec.evRetired = interval_events.instructionsRetired;
+    rec.evDecoded = interval_events.instructionsDecoded;
     rec.dieTempC = die_temp;
-    GovernorInsight insight;
-    if (!stopping)
-        governor.explain(insight);
+    const GovernorInsight none;
+    const GovernorInsight &insight =
+        stopping ? none : governor.insight();
     rec.predValid = insight.valid;
     rec.predictedPowerW = insight.predictedPowerW;
     rec.projectedIpc = insight.projectedIpc;
@@ -155,6 +159,10 @@ PlatformRun::PlatformRun(const PlatformConfig &config,
         result_.trace.markStart(0);
 
     if (tracer_) {
+        // Cache the columnar fast-append capability once per run; the
+        // per-interval test stays a single pointer check either way.
+        if (traceEvery_ != 0)
+            directSink_ = tracer_->binarySink();
         TraceRunMeta meta;
         meta.workload = workload.name();
         meta.governor = governor_.name();
@@ -405,11 +413,31 @@ PlatformRun::step()
     }
 
     if (want_trace) {
-        recordTraceInterval(*tracer_, governor_, intervalIndex_,
-                            endTick_, sample, true_avg,
-                            interval_events, thermal_.temperature(),
-                            stopping, decided_state, act_outcome,
-                            act_stall);
+        if (directSink_) {
+            // Columnar fast path: one store per column, inline — no
+            // record struct, no tracer mutex, no virtual dispatch, no
+            // divides (the sink stores the raw event totals; the
+            // reader re-derives true_ipc/true_dpc with
+            // recordTraceInterval's exact expressions, so a binary
+            // trace decodes bit-identically to a JSONL trace). The
+            // insight is read by reference straight out of the
+            // governor — decide() maintains it in place.
+            static const GovernorInsight kNone;
+            directSink_->append(intervalIndex_, endTick_, sample,
+                                true_avg, interval_events.cycles,
+                                interval_events.instructionsRetired,
+                                interval_events.instructionsDecoded,
+                                thermal_.temperature(),
+                                stopping ? kNone : governor_.insight(),
+                                !stopping, decided_state, act_outcome,
+                                act_stall);
+        } else {
+            recordTraceInterval(*tracer_, governor_, intervalIndex_,
+                                endTick_, sample, true_avg,
+                                interval_events, thermal_.temperature(),
+                                stopping, decided_state, act_outcome,
+                                act_stall);
+        }
         ++tracedRecords_;
     }
 

@@ -30,6 +30,7 @@
 namespace aapm
 {
 
+class BinaryTraceSink;
 class FaultInjector;
 class IntervalTracer;
 
@@ -214,6 +215,9 @@ class PlatformRun
     PhaseTimingTable timing_;
     RunResult result_;
     IntervalTracer *tracer_;
+    /** The tracer's sink when it supports direct columnar append —
+     *  the traced hot path skips the mutex and virtual dispatch. */
+    BinaryTraceSink *directSink_ = nullptr;
     DvfsOutcome lastActuation_ = DvfsOutcome::Unchanged;
     MonitorSample lastSample_;
     double lastTrueAvgW_ = 0.0;

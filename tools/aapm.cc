@@ -229,6 +229,19 @@ clusterGovernorFactory(const CliOptions &opts,
     };
 }
 
+/** Parse --trace-format (default "auto"); fatal on a bad name. */
+TraceFormat
+resolveTraceFormat(const CliOptions &opts, const char *key)
+{
+    TraceFormat format = TraceFormat::Auto;
+    if (opts.has(key) &&
+        !parseTraceFormat(opts.str(key), &format)) {
+        aapm_fatal("unknown trace format '%s' (one of: auto, jsonl, "
+                   "csv, bin)", opts.str(key).c_str());
+    }
+    return format;
+}
+
 /** "trace.jsonl" -> "trace.core3.jsonl" (suffix when no extension). */
 std::string
 corePath(const std::string &path, size_t core)
@@ -328,8 +341,16 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
     RunOptions base_opts;
     applyFaultOptions(opts, base_opts);
 
+    // One flush thread serves every per-core binary sink (declared
+    // before the sinks so it outlives their destructors). JSONL/CSV
+    // sinks ignore it.
+    std::unique_ptr<TraceFlushThread> trace_flush;
     std::vector<std::unique_ptr<TraceSink>> sinks;
     std::vector<std::unique_ptr<IntervalTracer>> tracers;
+    const TraceFormat trace_format =
+        resolveTraceFormat(opts, "trace-format");
+    if (opts.has("trace-out"))
+        trace_flush = std::make_unique<TraceFlushThread>();
 
     ClusterConfig cc;
     cc.budgetW = budget;
@@ -350,7 +371,8 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
         core.perfModel = &perf;
         if (opts.has("trace-out")) {
             sinks.push_back(
-                makeTraceSink(corePath(opts.str("trace-out"), i)));
+                makeTraceSink(corePath(opts.str("trace-out"), i),
+                              trace_format, trace_flush.get()));
             tracers.push_back(std::make_unique<IntervalTracer>(
                 *sinks.back(),
                 static_cast<uint64_t>(opts.num("trace-every"))));
@@ -448,7 +470,9 @@ cmdRun(const CliOptions &opts)
     std::unique_ptr<TraceSink> trace_sink;
     std::unique_ptr<IntervalTracer> tracer;
     if (opts.has("trace-out")) {
-        trace_sink = makeTraceSink(opts.str("trace-out"));
+        trace_sink = makeTraceSink(
+            opts.str("trace-out"),
+            resolveTraceFormat(opts, "trace-format"));
         tracer = std::make_unique<IntervalTracer>(
             *trace_sink, static_cast<uint64_t>(opts.num("trace-every")));
         run_opts.tracer = tracer.get();
@@ -569,16 +593,114 @@ cmdSuite(const CliOptions &opts)
     return 0;
 }
 
+/** Infer a trace format from the extension (makeTraceSink's rule). */
+TraceFormat
+inferTraceFormat(const std::string &path)
+{
+    const size_t dot = path.rfind('.');
+    const size_t slash = path.find_last_of('/');
+    std::string ext;
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash))
+        ext = path.substr(dot);
+    if (ext == ".jsonl" || ext == ".json")
+        return TraceFormat::Jsonl;
+    if (ext == ".csv")
+        return TraceFormat::Csv;
+    if (ext == ".bin")
+        return TraceFormat::Binary;
+    aapm_fatal("cannot infer a trace format from '%s' (recognized "
+               "extensions: .jsonl/.json, .csv, .bin); pass an "
+               "explicit format option", path.c_str());
+}
+
+/**
+ * Convert one trace file. The readers reconstruct the full record
+ * stream (the binary reader re-derives true_ipc/true_dpc with the
+ * exact divides the JSONL writer would have serialized) and the sinks
+ * emit doubles at 17 significant digits or as raw IEEE-754 bits, so
+ * every conversion is lossless: converting a binary trace to JSONL
+ * yields the byte stream a JSONL sink would have written live.
+ * Reports the trace's cluster width through `cores_out`.
+ */
+void
+convertOneTrace(const std::string &in, TraceFormat in_format,
+                const std::string &out, TraceFormat out_format,
+                size_t *cores_out)
+{
+    if (in_format == TraceFormat::Auto)
+        in_format = inferTraceFormat(in);
+    ParsedTrace parsed;
+    bool ok = false;
+    switch (in_format) {
+    case TraceFormat::Binary:
+        ok = readTraceBinary(in, parsed);
+        break;
+    case TraceFormat::Jsonl:
+        ok = readTraceJsonl(in, parsed);
+        break;
+    case TraceFormat::Csv:
+        ok = readTraceCsv(in, parsed);
+        break;
+    case TraceFormat::Auto:
+        break;
+    }
+    if (!ok)
+        aapm_fatal("cannot read trace %s (missing, truncated or not "
+                   "the expected format)", in.c_str());
+
+    std::unique_ptr<TraceSink> sink = makeTraceSink(out, out_format);
+    sink->begin(parsed.meta);
+    for (const IntervalRecord &rec : parsed.records)
+        sink->record(rec);
+    sink->end(parsed.endTick);
+    sink.reset(); // flush before reporting
+
+    if (cores_out != nullptr)
+        *cores_out = parsed.meta.cores;
+    std::printf("%s -> %s (%llu records)\n", in.c_str(), out.c_str(),
+                static_cast<unsigned long long>(parsed.records.size()));
+}
+
+int
+cmdTraceConvert(const CliOptions &opts)
+{
+    const std::string in = opts.str("in");
+    const std::string out = opts.str("out");
+    const TraceFormat in_format = resolveTraceFormat(opts, "in-format");
+    const TraceFormat out_format = resolveTraceFormat(opts, "format");
+
+    if (!opts.has("cluster")) {
+        convertOneTrace(in, in_format, out, out_format, nullptr);
+        return 0;
+    }
+
+    // Per-core traces: convert trace.coreI.ext for each core. Core 0's
+    // header records the cluster width, so --cluster 0 auto-sizes.
+    size_t n = static_cast<size_t>(opts.num("cluster"));
+    size_t i = 0;
+    do {
+        size_t cores = 0;
+        convertOneTrace(corePath(in, i), in_format, corePath(out, i),
+                        out_format, &cores);
+        if (i == 0 && n == 0)
+            n = cores > 0 ? cores : 1;
+        ++i;
+    } while (i < n);
+    return 0;
+}
+
 int
 usageTop()
 {
     std::printf(
         "usage: aapm <command> [options]\n\n"
         "commands:\n"
-        "  train   characterize MS-Loops and fit the online models\n"
-        "  run     run a workload under a governor\n"
-        "  suite   run the full SPEC proxy suite under a governor\n"
-        "  list    list workloads and governors\n\n"
+        "  train          characterize MS-Loops and fit the models\n"
+        "  run            run a workload under a governor\n"
+        "  suite          run the full SPEC proxy suite\n"
+        "  trace-convert  convert an interval trace between formats\n"
+        "  list           list workloads and governors\n\n"
         "`aapm <command> --help` shows the command's options.\n");
     return 2;
 }
@@ -671,7 +793,11 @@ main(int argc, char **argv)
             opts.addOption("csv", "FILE", "", "write the 10 ms trace");
             opts.addOption("trace-out", "FILE", "",
                            "write the per-interval governor trace "
-                           "(.csv extension = CSV, else JSONL)");
+                           "(per-core trace.coreI.ext files in cluster "
+                           "mode)");
+            opts.addOption("trace-format", "FMT", "auto",
+                           "trace format: auto|jsonl|csv|bin (auto = "
+                           "by extension: .jsonl/.json, .csv, .bin)");
             opts.addOption("trace-every", "N", "1",
                            "record every Nth interval (0 = none)");
             opts.addOption("metrics-out", "FILE", "",
@@ -717,6 +843,34 @@ main(int argc, char **argv)
                 return 2;
             }
             return cmdRun(opts);
+        }
+        if (cmd == "trace-convert") {
+            CliOptions opts("aapm trace-convert",
+                            "convert an interval trace between "
+                            "formats, losslessly (binary -> JSONL "
+                            "round-trips bit-exactly)");
+            opts.addOption("in", "FILE", "", "input trace");
+            opts.addOption("out", "FILE", "", "output trace");
+            opts.addOption("in-format", "FMT", "auto",
+                           "input format: auto|jsonl|csv|bin");
+            opts.addOption("format", "FMT", "auto",
+                           "output format: auto|jsonl|csv|bin");
+            opts.addOption("cluster", "N", "",
+                           "convert N per-core traces "
+                           "(NAME.coreI.ext); 0 = read the core count "
+                           "from core 0's trace header");
+            if (!opts.parse(args, &error)) {
+                std::printf("%s", opts.usage().c_str());
+                if (!opts.helpRequested())
+                    std::fprintf(stderr, "error: %s\n", error.c_str());
+                return opts.helpRequested() ? 0 : 2;
+            }
+            if (!opts.has("in") || !opts.has("out")) {
+                std::fprintf(stderr,
+                             "error: need --in FILE and --out FILE\n");
+                return 2;
+            }
+            return cmdTraceConvert(opts);
         }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());
