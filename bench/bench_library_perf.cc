@@ -18,8 +18,13 @@
  * unless AAPM_BENCH_NO_GUARD is set.
  *
  * A resilience baseline (PM under mixed-intensity fault plans, with
- * and without the GovernorSupervisor) is written to BENCH_faults.json
- * (override with AAPM_FAULTS_JSON).
+ * and without the GovernorSupervisor, plus a 256-core cluster under a
+ * correlated domain-fault plan with and without supervision) is
+ * written to BENCH_faults.json (override with AAPM_FAULTS_JSON). The
+ * lower-is-better resilience numbers — mean recovery lengths and the
+ * supervised cluster violation rate — carry the same 20% regression
+ * guard as the throughput files, and a supervised cluster run whose
+ * violation rate exceeds the unsupervised one fails outright.
  */
 
 #include <benchmark/benchmark.h>
@@ -419,6 +424,54 @@ emitSweepTimings()
 }
 
 /**
+ * Read the lower-is-better resilience values recorded in an existing
+ * BENCH_faults.json: the per-intensity mean recovery lengths (keyed
+ * "recovery@<intensity>") and the cluster row's supervised violation
+ * rate and mean recovery ("cluster_violation_sup",
+ * "cluster_recovery"). Empty when the file is absent. Relies on the
+ * layout emitFaultBaseline() writes: intensity and its
+ * mean_recovery_intervals on one line, the cluster object one key per
+ * line after a "cluster": line.
+ */
+std::map<std::string, double>
+recordedFaultsBaseline(const std::string &path)
+{
+    std::map<std::string, double> recorded;
+    std::ifstream in(path);
+    if (!in)
+        return recorded;
+    std::string line;
+    bool in_cluster = false;
+    while (std::getline(in, line)) {
+        if (line.find("\"cluster\":") != std::string::npos)
+            in_cluster = true;
+        const auto value = [&line](const std::string &key, double &out) {
+            const size_t pos = line.find("\"" + key + "\":");
+            if (pos == std::string::npos)
+                return false;
+            out = std::strtod(line.c_str() + pos + key.size() + 3,
+                              nullptr);
+            return true;
+        };
+        double intensity = 0.0, v = 0.0;
+        if (value("intensity", intensity) &&
+            value("mean_recovery_intervals", v)) {
+            char key[64];
+            std::snprintf(key, sizeof key, "recovery@%g", intensity);
+            recorded[key] = v;
+            continue;
+        }
+        if (!in_cluster)
+            continue;
+        if (value("violation_rate_supervised", v))
+            recorded["cluster_violation_sup"] = v;
+        else if (value("mean_recovery_intervals", v))
+            recorded["cluster_recovery"] = v;
+    }
+    return recorded;
+}
+
+/**
  * Resilience baseline: the PM governor over the shortened suite with a
  * tight power limit, at three mixed-fault intensities, with and
  * without the GovernorSupervisor. Records the suite-aggregate power-
@@ -426,8 +479,24 @@ emitSweepTimings()
  * length of a recovery (degraded intervals per fallback entry) to
  * BENCH_faults.json (override with AAPM_FAULTS_JSON), so the
  * resilience trajectory is tracked across PRs alongside throughput.
+ *
+ * A 256-core cluster row follows: a correlated DomainFaultPlan (node
+ * sensor brownout, node PMU blackout, a stuck actuator, one global
+ * and one rack-scope budget drop) against a 4x8x8 budget tree, run
+ * clean, unsupervised (bare PM cores, global drops as budget
+ * commands) and supervised (GovernorSupervisor-wrapped cores plus the
+ * ClusterSupervisor quarantining and shedding). All three runs are
+ * deterministic, so their violation rates are exact, comparable
+ * numbers rather than samples.
+ *
+ * Regression gate (same contract as the throughput guards, inverted
+ * for lower-is-better values): a recorded mean recovery or supervised
+ * cluster violation rate more than 20% *below* this build's fails the
+ * binary and leaves the file untouched; a supervised cluster
+ * violation rate above the unsupervised one fails regardless of any
+ * recording. AAPM_BENCH_NO_GUARD=1 overrides.
  */
-void
+int
 emitFaultBaseline()
 {
     const PlatformConfig config;
@@ -485,8 +554,181 @@ emitFaultBaseline()
     std::printf("faults: clean violation rate %.4f (PM @ %.1f W)\n",
                 clean_rate, limit);
 
-    const char *path = std::getenv("AAPM_FAULTS_JSON");
-    std::ofstream out(path && *path ? path : "BENCH_faults.json");
+    struct IntensityRow
+    {
+        double intensity, unsupRate, supRate, recovery;
+        RecoveryTelemetry tel;
+    };
+    std::vector<IntensityRow> rows;
+    for (size_t i = 0; i < intensities.size(); ++i) {
+        const SuiteResult unsup = results.suite(handles[i].first);
+        const SuiteResult sup = results.suite(handles[i].second);
+        const RecoveryTelemetry tel = sup.totalRecovery();
+        rows.push_back({intensities[i], violation(unsup),
+                        violation(sup), mean_recovery(tel), tel});
+        std::printf("faults: mixed %.2f violation rate %.4f unsup, "
+                    "%.4f sup (%.1f mean recovery intervals)\n",
+                    rows.back().intensity, rows.back().unsupRate,
+                    rows.back().supRate, rows.back().recovery);
+    }
+
+    // The 256-core cluster arm: the same fault kinds, but correlated
+    // by topology and judged by the cluster's own ground-truth budget
+    // violation counter instead of per-run traces.
+    const size_t cluster_cores = 256;
+    const std::string topology = "4x8x8";
+    const std::vector<size_t> fanout = {4, 8, 8};
+    const double cluster_budget = limit * cluster_cores;
+    const std::string tree_spec = "tree:4x8x8:uniform,demand,greedy";
+    const std::string plan_spec =
+        "node[3]@0.3:sensor-brownout:40;"
+        "node[12]@0.5:pmu-dropout:40;"
+        "socket[9]@0.8:dvfs-stuck:30;"
+        "cluster@0.9:budget-drop:20:0.25;"
+        "rack[2]@1.2:budget-drop:25:0.4";
+
+    const DomainFaultPlan plan = DomainFaultPlan::parse(plan_spec);
+    const DerivedDomainFaults derived = deriveDomainFaults(
+        plan, FaultPlan(), fanout, cluster_cores, plan.seed);
+    std::vector<BudgetDropEvent> subtree_drops;
+    for (const BudgetDropEvent &d : derived.drops)
+        if (d.coreBegin != 0 || d.coreEnd != cluster_cores)
+            subtree_drops.push_back(d);
+
+    const PlatformConfig cluster_config;
+    const PerfEstimator cluster_perf;
+    // ~2 simulated seconds per core so every fault window (the last
+    // ends at 1.45 s) plays out while all cores are still stepping;
+    // alternating compute/memory mixes keeps the demand split honest.
+    Phase compute;
+    compute.instructions = 4'400'000'000;
+    compute.baseCpi = 1.0;
+    compute.memPerInstr = 0.25;
+    Phase memory;
+    memory.instructions = 3'200'000'000;
+    memory.baseCpi = 1.1;
+    memory.memPerInstr = 0.45;
+    Workload compute_w("cluster-compute");
+    compute_w.add(compute);
+    Workload memory_w("cluster-memory");
+    memory_w.add(memory);
+
+    const GovernorFactory cluster_pm_factory = [power, limit] {
+        return std::make_unique<PerformanceMaximizer>(
+            *power, PmConfig{.powerLimitW = limit});
+    };
+    const GovernorFactory cluster_sup_factory =
+        [power, limit]() -> std::unique_ptr<Governor> {
+        return std::make_unique<GovernorSupervisor>(
+            std::make_unique<PerformanceMaximizer>(
+                *power, PmConfig{.powerLimitW = limit}),
+            SupervisorConfig(), power.get());
+    };
+
+    const auto make_cluster = [&](bool faulted,
+                                  const GovernorFactory &factory) {
+        ClusterConfig cc;
+        for (size_t i = 0; i < cluster_cores; ++i) {
+            ClusterCoreConfig core;
+            core.platform = cluster_config;
+            core.workload = i % 2 == 0 ? &compute_w : &memory_w;
+            core.governor = factory;
+            core.powerModel = power.get();
+            core.perfModel = &cluster_perf;
+            if (faulted)
+                core.options.faultPlan = derived.perCore[i];
+            cc.cores.push_back(std::move(core));
+        }
+        cc.budgetW = cluster_budget;
+        cc.recordTrace = false;
+        if (faulted)
+            cc.budgetCommands = budgetDropCommands(
+                derived.drops, cluster_budget,
+                cluster_config.sampleInterval, cluster_cores);
+        return cc;
+    };
+
+    ThreadPool pool;
+    const auto tree = makeAllocator(tree_spec);
+    ClusterPlatform clean_cluster(make_cluster(false, cluster_pm_factory));
+    const ClusterResult clean_run = clean_cluster.run(*tree, &pool);
+    ClusterPlatform unsup_cluster(make_cluster(true, cluster_pm_factory));
+    const ClusterResult unsup_run = unsup_cluster.run(*tree, &pool);
+    ClusterSupervisor supervisor(ClusterSupervisorConfig(),
+                                 subtree_drops);
+    ClusterConfig sup_cc = make_cluster(true, cluster_sup_factory);
+    sup_cc.supervisor = &supervisor;
+    ClusterPlatform sup_cluster(std::move(sup_cc));
+    const ClusterResult sup_run = sup_cluster.run(*tree, &pool);
+
+    const double cluster_clean = clean_run.fractionOverBudgetTrue;
+    const double cluster_unsup = unsup_run.fractionOverBudgetTrue;
+    const double cluster_sup = sup_run.fractionOverBudgetTrue;
+    const double cluster_recovery = mean_recovery(sup_run.recovery);
+    const ClusterResilienceStats &rs = sup_run.resilience;
+    std::printf("faults: cluster %zu cores clean %.4f, domain plan "
+                "%.4f unsup, %.4f sup (%.1f mean recovery intervals)\n",
+                cluster_cores, cluster_clean, cluster_unsup,
+                cluster_sup, cluster_recovery);
+    std::printf("faults: cluster supervisor %llu quarantines "
+                "(%llu core-intervals, %llu readmissions), %llu "
+                "drops, %llu shed intervals (%.1f Watt-intervals)\n",
+                static_cast<unsigned long long>(rs.quarantineEntries),
+                static_cast<unsigned long long>(rs.quarantineIntervals),
+                static_cast<unsigned long long>(rs.readmissions),
+                static_cast<unsigned long long>(rs.budgetDropsApplied),
+                static_cast<unsigned long long>(rs.shedIntervals),
+                rs.shedWattIntervals);
+
+    const char *path_env = std::getenv("AAPM_FAULTS_JSON");
+    const std::string path =
+        path_env && *path_env ? path_env : "BENCH_faults.json";
+    const auto recorded = recordedFaultsBaseline(path);
+    const bool guard_off = std::getenv("AAPM_BENCH_NO_GUARD") != nullptr;
+    bool regressed = false;
+    // Lower-is-better guard: fail when the current value exceeds the
+    // recorded one by >20% plus an absolute slack (nonzero only for
+    // rates, where a 20% band around a near-zero recording would
+    // otherwise trip on any model change).
+    const auto guard = [&](const std::string &key, double current,
+                           double slack, const std::string &what) {
+        const auto it = recorded.find(key);
+        if (it == recorded.end() || it->second <= 0.0)
+            return;
+        if (current > 1.2 * it->second + slack) {
+            std::fprintf(stderr,
+                         "resilience regression: %s is %.4f, >20%% "
+                         "worse than the recorded %.4f in %s\n",
+                         what.c_str(), current, it->second,
+                         path.c_str());
+            regressed = true;
+        }
+    };
+    for (const IntensityRow &row : rows) {
+        char key[64], what[96];
+        std::snprintf(key, sizeof key, "recovery@%g", row.intensity);
+        std::snprintf(what, sizeof what,
+                      "mean recovery at intensity %g", row.intensity);
+        guard(key, row.recovery, 0.0, what);
+    }
+    guard("cluster_recovery", cluster_recovery, 0.0,
+          "cluster mean recovery");
+    guard("cluster_violation_sup", cluster_sup, 0.01,
+          "supervised cluster violation rate");
+    if (cluster_sup > cluster_unsup + 1e-9) {
+        std::fprintf(stderr,
+                     "cluster resilience regression: supervised "
+                     "violation rate %.4f exceeds unsupervised %.4f\n",
+                     cluster_sup, cluster_unsup);
+        regressed = true;
+    }
+    if (regressed && !guard_off) {
+        std::fprintf(stderr,
+                     "set AAPM_BENCH_NO_GUARD=1 to override\n");
+        return 1;
+    }
+
+    std::ofstream out(path);
     out.precision(6);
     out << "{\n"
         << "  \"benchmark\": \"mixed_fault_resilience\",\n"
@@ -495,26 +737,43 @@ emitFaultBaseline()
         << "  \"suite_runs\": " << suite.size() << ",\n"
         << "  \"clean_violation_rate\": " << clean_rate << ",\n"
         << "  \"intensities\": [\n";
-    for (size_t i = 0; i < intensities.size(); ++i) {
-        const SuiteResult unsup = results.suite(handles[i].first);
-        const SuiteResult sup = results.suite(handles[i].second);
-        const RecoveryTelemetry tel = sup.totalRecovery();
-        const double unsup_rate = violation(unsup);
-        const double sup_rate = violation(sup);
-        std::printf("faults: mixed %.2f violation rate %.4f unsup, "
-                    "%.4f sup (%.1f mean recovery intervals)\n",
-                    intensities[i], unsup_rate, sup_rate,
-                    mean_recovery(tel));
-        out << "    {\"intensity\": " << intensities[i]
-            << ", \"violation_rate_unsupervised\": " << unsup_rate
-            << ", \"violation_rate_supervised\": " << sup_rate
-            << ", \"mean_recovery_intervals\": " << mean_recovery(tel)
-            << ",\n     \"faults_seen\": " << tel.faultsSeen()
-            << ", \"recovery_actions\": " << tel.recoveryActions()
-            << ", \"fallback_entries\": " << tel.fallbackEntries
-            << "}" << (i + 1 < intensities.size() ? "," : "") << "\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const IntensityRow &row = rows[i];
+        out << "    {\"intensity\": " << row.intensity
+            << ", \"violation_rate_unsupervised\": " << row.unsupRate
+            << ", \"violation_rate_supervised\": " << row.supRate
+            << ", \"mean_recovery_intervals\": " << row.recovery
+            << ",\n     \"faults_seen\": " << row.tel.faultsSeen()
+            << ", \"recovery_actions\": " << row.tel.recoveryActions()
+            << ", \"fallback_entries\": " << row.tel.fallbackEntries
+            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n"
+        << "  \"cluster\": {\n"
+        << "    \"cores\": " << cluster_cores << ",\n"
+        << "    \"topology\": \"" << topology << "\",\n"
+        << "    \"allocator\": \"" << tree_spec << "\",\n"
+        << "    \"budget_w\": " << cluster_budget << ",\n"
+        << "    \"domain_plan\": \"" << plan_spec << "\",\n"
+        << "    \"clean_violation_rate\": " << cluster_clean << ",\n"
+        << "    \"violation_rate_unsupervised\": " << cluster_unsup
+        << ",\n"
+        << "    \"violation_rate_supervised\": " << cluster_sup << ",\n"
+        << "    \"mean_recovery_intervals\": " << cluster_recovery
+        << ",\n"
+        << "    \"quarantine_entries\": " << rs.quarantineEntries
+        << ",\n"
+        << "    \"quarantine_intervals\": " << rs.quarantineIntervals
+        << ",\n"
+        << "    \"readmissions\": " << rs.readmissions << ",\n"
+        << "    \"budget_drops_applied\": " << rs.budgetDropsApplied
+        << ",\n"
+        << "    \"shed_intervals\": " << rs.shedIntervals << ",\n"
+        << "    \"shed_watt_intervals\": " << rs.shedWattIntervals
+        << "\n"
+        << "  }\n"
+        << "}\n";
+    return 0;
 }
 
 /**
@@ -971,8 +1230,10 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     emitSweepTimings();
-    emitFaultBaseline();
+    const int faults_rc = emitFaultBaseline();
     const int kernel_rc = emitKernelTimings();
     const int cluster_rc = emitClusterTimings();
-    return kernel_rc != 0 ? kernel_rc : cluster_rc;
+    return kernel_rc != 0 ? kernel_rc
+        : cluster_rc != 0  ? cluster_rc
+                           : faults_rc;
 }

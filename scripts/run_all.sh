@@ -93,6 +93,26 @@ if [[ "$SANITIZE" == 1 ]]; then
         python3 scripts/check_trace_schema.py --cluster \
             build-asan/shard_smoke.jsonl
     fi
+    # Cluster-resilience smoke under the sanitizers: a correlated
+    # domain-fault plan must drive the ClusterSupervisor's quarantine
+    # loop (nonzero counters), and an inert plan must leave it silent.
+    ASAN_OPTIONS=detect_leaks=0 \
+        build-asan/tools/aapm run --workload gzip --cluster 256 \
+        --budget 2560 --topology 4x8x8 \
+        --allocator uniform,demand,greedy --paper-models \
+        --seconds 0.6 --supervise --cluster-fault-plan \
+        "node[3]@0.05:sensor-brownout:30;rack[1]@0.1:dvfs-stuck:25;socket[9]@0.1:budget-drop:20:0.5" \
+        > build-asan/resilience_smoke.txt
+    grep -E "resilience quarantines=[1-9]" \
+        build-asan/resilience_smoke.txt
+    ASAN_OPTIONS=detect_leaks=0 \
+        build-asan/tools/aapm run --workload gzip --cluster 256 \
+        --budget 2560 --topology 4x8x8 \
+        --allocator uniform,demand,greedy --paper-models \
+        --seconds 0.6 --supervise --cluster-fault-plan none \
+        > build-asan/resilience_inert_smoke.txt
+    grep -E "resilience quarantines=0 quarantined-intervals=0" \
+        build-asan/resilience_inert_smoke.txt
     echo "done: sanitize_output.txt"
     exit 0
 fi
@@ -155,6 +175,23 @@ if command -v python3 >/dev/null 2>&1; then
     python3 scripts/check_trace_schema.py --cluster \
         build/shard_smoke.jsonl
 fi
+
+# Cluster-resilience smoke: a correlated domain-fault plan on 256
+# cores must drive the ClusterSupervisor's quarantine loop (nonzero
+# counters on the parseable `resilience ...` line), and an inert plan
+# under the same supervisor must leave every counter at zero.
+build/tools/aapm run --workload gzip --cluster 256 --budget 2560 \
+    --topology 4x8x8 --allocator uniform,demand,greedy \
+    --paper-models --seconds 0.6 --supervise --cluster-fault-plan \
+    "node[3]@0.05:sensor-brownout:30;rack[1]@0.1:dvfs-stuck:25;socket[9]@0.1:budget-drop:20:0.5" \
+    > build/resilience_smoke.txt
+grep -E "resilience quarantines=[1-9]" build/resilience_smoke.txt
+build/tools/aapm run --workload gzip --cluster 256 --budget 2560 \
+    --topology 4x8x8 --allocator uniform,demand,greedy \
+    --paper-models --seconds 0.6 --supervise --cluster-fault-plan none \
+    > build/resilience_inert_smoke.txt
+grep -E "resilience quarantines=0 quarantined-intervals=0" \
+    build/resilience_inert_smoke.txt
 
 export AAPM_SECONDS="$SECONDS_OPT"
 # Train once, reuse across every harness in the loop below.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace aapm
 {
@@ -35,10 +36,16 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
 
     std::vector<std::unique_ptr<Governor>> govs(n);
     std::vector<std::unique_ptr<PlatformRun>> runs(n);
+    ClusterSupervisor *sup = config_.supervisor;
+    if (sup != nullptr)
+        sup->beginRun(n, interval);
     // Insight capture costs one extra model evaluation per interval; a
     // 1-core cluster never arbitrates, so even insight-hungry policies
-    // (which all passthrough at one core) can skip it.
-    const bool wantInsight = allocator.wantsInsight() && n > 1;
+    // (which all passthrough at one core) can skip it. A supervisor
+    // reads the demand snapshots for health signals, so it forces the
+    // gather regardless of policy — numerics are unchanged either way.
+    const bool wantInsight =
+        (allocator.wantsInsight() && n > 1) || sup != nullptr;
     for (size_t i = 0; i < n; ++i) {
         const ClusterCoreConfig &core = config_.cores[i];
         RunOptions options = core.options;
@@ -63,6 +70,7 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
     ClusterResult result;
     result.budgetW = config_.budgetW;
 
+    Tick now = 0;
     std::vector<char> active(n, 1);
     std::vector<char> cont(n, 0);
     std::vector<double> limits;
@@ -84,7 +92,10 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
     // sub-threshold jitter is not redelivered, so a steady allocation
     // leaves raise hysteresis untouched.
     const auto allocateAndDeliver = [&] {
-        allocator.allocate(budget, demands, limits);
+        if (sup != nullptr)
+            sup->allocate(allocator, now, budget, demands, limits);
+        else
+            allocator.allocate(budget, demands, limits);
         aapm_assert(limits.size() == n,
                     "allocator returned %zu limits for %zu cores",
                     limits.size(), n);
@@ -187,7 +198,6 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
         ? std::max<size_t>(1, n / (pool->jobs() * 4))
         : n;
 
-    Tick now = 0;
     uint64_t rounds = 0;
     uint64_t violations = 0;
     size_t activeN = n;
@@ -269,6 +279,8 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
             demands[i].active = active[i] != 0;
             demands[i].sampled = active[i] != 0;
         }
+        if (sup != nullptr)
+            sup->observe(now, demands);
         allocateAndDeliver();
         recordRound(now, sumTrue);
     }
@@ -291,6 +303,29 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
     result.fractionOverBudgetTrue = rounds > 0
         ? static_cast<double>(violations) / static_cast<double>(rounds)
         : 0.0;
+    if (sup != nullptr) {
+        result.resilience = sup->stats();
+        static const CounterId quarantines_id =
+            MetricRegistry::global().counter(
+                "cluster.quarantine.entries");
+        static const CounterId qintervals_id =
+            MetricRegistry::global().counter(
+                "cluster.quarantine.intervals");
+        static const CounterId readmissions_id =
+            MetricRegistry::global().counter(
+                "cluster.quarantine.readmissions");
+        static const CounterId drops_id =
+            MetricRegistry::global().counter("cluster.budget.drops");
+        static const CounterId shed_id =
+            MetricRegistry::global().counter(
+                "cluster.budget.shed_intervals");
+        MetricRegistry &reg = MetricRegistry::global();
+        reg.add(quarantines_id, result.resilience.quarantineEntries);
+        reg.add(qintervals_id, result.resilience.quarantineIntervals);
+        reg.add(readmissions_id, result.resilience.readmissions);
+        reg.add(drops_id, result.resilience.budgetDropsApplied);
+        reg.add(shed_id, result.resilience.shedIntervals);
+    }
     return result;
 }
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cluster/allocator.hh"
+#include "cluster/supervisor.hh"
 #include "exp/thread_pool.hh"
 #include "platform/platform.hh"
 
@@ -86,6 +87,16 @@ struct ClusterConfig
      * change.
      */
     double deliveryDeadbandW = 0.25;
+    /**
+     * Optional cluster-level resilience loop (core quarantine, subtree
+     * budget shedding). Not owned; must outlive the runs. When set,
+     * per-core demand is always gathered — the supervisor reads health
+     * signals even under insight-free policies — and every allocator
+     * split goes through ClusterSupervisor::allocate. A supervisor
+     * that never intervenes leaves results bit-identical to running
+     * without one.
+     */
+    ClusterSupervisor *supervisor = nullptr;
 };
 
 /** One allocation round, recorded when recordAllocations is set. */
@@ -117,6 +128,9 @@ struct ClusterResult
     double fractionOverBudgetTrue = 0.0;
     /** Rollup of every core's fault/recovery counters. */
     RecoveryTelemetry recovery;
+    /** Supervisor intervention counters (all zero when the cluster ran
+     *  without a supervisor, or the supervisor never intervened). */
+    ClusterResilienceStats resilience;
     /** Wall-clock of the slowest core, seconds. */
     double seconds = 0.0;
     /** Aggregate instructions retired. */

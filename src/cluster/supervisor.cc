@@ -1,0 +1,229 @@
+#include "cluster/supervisor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/water_fill.hh"
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+ClusterSupervisor::ClusterSupervisor(ClusterSupervisorConfig config,
+                                     std::vector<BudgetDropEvent> drops)
+    : config_(config), drops_(std::move(drops))
+{
+    aapm_assert(config_.quarantineAfter > 0,
+                "quarantine needs a positive entry streak");
+    aapm_assert(config_.readmitHealthy > 0,
+                "re-admission needs a positive healthy streak");
+    for (const BudgetDropEvent &d : drops_) {
+        aapm_assert(d.coreBegin < d.coreEnd,
+                    "budget drop covers an empty core range");
+        aapm_assert(d.fraction > 0.0 && d.fraction <= 1.0,
+                    "budget drop fraction %f outside (0, 1]",
+                    d.fraction);
+    }
+}
+
+void
+ClusterSupervisor::beginRun(size_t cores, Tick interval)
+{
+    aapm_assert(cores > 0, "cluster needs at least one core");
+    aapm_assert(interval > 0, "lockstep interval must be positive");
+    health_.assign(cores, CoreHealth());
+    dropSeen_.assign(drops_.size(), 0);
+    interval_ = interval;
+    stats_ = ClusterResilienceStats();
+    for (const BudgetDropEvent &d : drops_) {
+        aapm_assert(d.coreEnd <= cores,
+                    "budget drop range [%zu, %zu) exceeds %zu cores",
+                    d.coreBegin, d.coreEnd, cores);
+    }
+}
+
+void
+ClusterSupervisor::observe(Tick, const std::vector<CoreDemand> &demands)
+{
+    aapm_assert(demands.size() == health_.size(),
+                "observe() saw %zu cores, beginRun() declared %zu",
+                demands.size(), health_.size());
+    for (size_t i = 0; i < demands.size(); ++i) {
+        const CoreDemand &d = demands[i];
+        if (!d.active)
+            continue;   // a finished core draws no budget either way
+        CoreHealth &h = health_[i];
+        bool bad = false;
+        if (d.sampled) {
+            // Three governor-visible blindness signals: the sticky
+            // actuator latch (Stuck/Rejected until a write provably
+            // lands), a dropped power sample, and the per-core
+            // supervisor reporting exhausted counters or fallback.
+            const bool blindSensor =
+                !MonitorSample::available(d.sample.measuredPowerW);
+            const bool blindGovernor = d.insight.valid &&
+                (d.insight.blindCounters || d.insight.fallback);
+            bad = d.actuatorPinned || blindSensor || blindGovernor;
+        }
+        if (h.quarantined) {
+            ++h.quarantinedFor;
+            ++stats_.quarantineIntervals;
+            h.healthyStreak = bad ? 0 : h.healthyStreak + 1;
+            if (h.quarantinedFor >= config_.minQuarantineIntervals &&
+                h.healthyStreak >= config_.readmitHealthy) {
+                h = CoreHealth();
+                ++stats_.readmissions;
+            }
+        } else {
+            h.badStreak = bad ? h.badStreak + 1 : 0;
+            if (h.badStreak >= config_.quarantineAfter) {
+                h = CoreHealth();
+                h.quarantined = true;
+                ++stats_.quarantineEntries;
+            }
+        }
+    }
+}
+
+double
+ClusterSupervisor::floorFor(const CoreDemand &d, double shareW) const
+{
+    double w = shareW * config_.floorFraction;
+    const double predicted = predictedPowerAtW(d, config_.safePState);
+    if (!std::isnan(predicted))
+        w = predicted + config_.guardbandW;
+    // Never grant a quarantined core more than its uniform share —
+    // quarantine must re-absorb budget, not award it.
+    return std::min(std::max(w, 0.0), shareW);
+}
+
+void
+ClusterSupervisor::allocate(const PowerBudgetAllocator &inner, Tick now,
+                            double budgetW,
+                            const std::vector<CoreDemand> &demands,
+                            std::vector<double> &limitsW)
+{
+    const size_t n = demands.size();
+    aapm_assert(n == health_.size(),
+                "allocate() saw %zu cores, beginRun() declared %zu", n,
+                health_.size());
+
+    masked_ = demands;
+    size_t activeN = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (demands[i].active)
+            ++activeN;
+    }
+    const double shareW = activeN > 0
+        ? budgetW / static_cast<double>(activeN)
+        : 0.0;
+
+    // Quarantined cores are pinned to their floor and masked inactive:
+    // the inner allocator (flat or tree) re-absorbs their surplus
+    // exactly as it re-absorbs a finished core's.
+    floors_.assign(n, 0.0);
+    double floorSum = 0.0;
+    size_t healthyActive = activeN;
+    for (size_t i = 0; i < n; ++i) {
+        if (!demands[i].active || !health_[i].quarantined)
+            continue;
+        floors_[i] = floorFor(demands[i], shareW);
+        floorSum += floors_[i];
+        masked_[i].active = false;
+        --healthyActive;
+    }
+    const double remainingW = std::max(0.0, budgetW - floorSum);
+
+    // Subtree sheds in force this round. Declaration order; a drop
+    // whose members were all claimed by an earlier overlapping drop
+    // contributes nothing — deterministic first-declared-wins.
+    bool anyShed = false;
+    double complementW = remainingW;
+    const double healthyShareW = healthyActive > 0
+        ? remainingW / static_cast<double>(healthyActive)
+        : 0.0;
+    for (size_t di = 0; di < drops_.size(); ++di) {
+        const BudgetDropEvent &d = drops_[di];
+        const Tick ends = d.when +
+            static_cast<Tick>(d.intervals) * interval_;
+        if (now < d.when || now >= ends)
+            continue;
+        if (!dropSeen_[di]) {
+            dropSeen_[di] = 1;
+            ++stats_.budgetDropsApplied;
+        }
+        size_t members = 0;
+        for (size_t i = d.coreBegin; i < d.coreEnd; ++i) {
+            if (masked_[i].active)
+                ++members;
+        }
+        if (members == 0)
+            continue;
+        const double uncappedW =
+            healthyShareW * static_cast<double>(members);
+        const double capW = uncappedW * (1.0 - d.fraction);
+
+        // Allocate the dropped subtree alone under its cut cap.
+        partition_ = masked_;
+        for (size_t i = 0; i < n; ++i) {
+            if (i < d.coreBegin || i >= d.coreEnd)
+                partition_[i].active = false;
+        }
+        inner.allocate(capW, partition_, partLimits_);
+        if (!anyShed) {
+            anyShed = true;
+            limitsW.assign(n, 0.0);
+            ++stats_.shedIntervals;
+        }
+        for (size_t i = d.coreBegin; i < d.coreEnd; ++i) {
+            if (!masked_[i].active)
+                continue;
+            limitsW[i] = partLimits_[i];
+            masked_[i].active = false;   // claimed by this shed
+        }
+        complementW -= capW;
+        stats_.shedWattIntervals += uncappedW - capW;
+    }
+
+    if (!anyShed) {
+        // The common path: one inner split over the (possibly
+        // quarantine-masked) demand. With nothing to intervene on this
+        // is the exact call the unsupervised cluster makes —
+        // bit-identity with the clean run rests on it.
+        inner.allocate(remainingW, masked_, limitsW);
+    } else {
+        // The complement of every shed subtree splits the rest.
+        inner.allocate(std::max(0.0, complementW), masked_,
+                       partLimits_);
+        for (size_t i = 0; i < n; ++i) {
+            if (masked_[i].active)
+                limitsW[i] = partLimits_[i];
+        }
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+        if (demands[i].active && health_[i].quarantined)
+            limitsW[i] = floors_[i];
+    }
+}
+
+std::vector<ScheduledCommand>
+budgetDropCommands(const std::vector<BudgetDropEvent> &drops,
+                   double nominalBudgetW, Tick interval,
+                   size_t coreCount)
+{
+    std::vector<ScheduledCommand> commands;
+    for (const BudgetDropEvent &d : drops) {
+        if (d.coreBegin != 0 || d.coreEnd != coreCount)
+            continue;
+        commands.push_back(
+            {d.when, ScheduledCommand::Kind::SetPowerLimit,
+             nominalBudgetW * (1.0 - d.fraction)});
+        commands.push_back(
+            {d.when + static_cast<Tick>(d.intervals) * interval,
+             ScheduledCommand::Kind::SetPowerLimit, nominalBudgetW});
+    }
+    return commands;
+}
+
+} // namespace aapm

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * ClusterSupervisor: the cluster-level resilience loop.
+ *
+ * The per-core GovernorSupervisor (mgmt/supervisor.hh) keeps one
+ * Monitor → Estimate → Control loop honest; nothing above it notices
+ * when a whole node goes blind or a PDU cap collapses. The
+ * ClusterSupervisor sits between ClusterPlatform and the budget
+ * allocator and closes that gap with two mechanisms:
+ *
+ * **Core quarantine.** Each interval the supervisor reads every core's
+ * governor-visible demand snapshot — the sticky actuator-pinned latch
+ * (DvfsActuation Stuck/Rejected), a NaN power sample (sensor
+ * brownout) and the per-core supervisor's blind-counters / fallback
+ * flags — and runs a per-core health state machine:
+ *
+ *   Healthy --(bad signal for quarantineAfter consecutive
+ *              intervals)--> Quarantined
+ *   Quarantined --(minQuarantineIntervals served AND healthy for
+ *                  readmitHealthy consecutive intervals)--> Healthy
+ *
+ * A quarantined core is pinned to its floor (predicted power at the
+ * safe p-state plus guardband, never above its uniform share) and
+ * masked inactive for the inner allocator, so its surplus budget is
+ * re-absorbed by the healthy cores — through every level of a
+ * BudgetTreeAllocator, since masking is what the tree's own
+ * active-core accounting keys on. The two-sided hysteresis
+ * (enter-streak + minimum hold + re-admit streak) keeps a flapping
+ * actuator from thrashing the allocation.
+ *
+ * **Graceful budget degradation.** Subtree-scoped BudgetDropEvents (a
+ * rack PDU emergency, derived from a DomainFaultPlan) are honored by
+ * hierarchical shedding: during the window the dropped subtree is
+ * allocated separately under its cut cap, the complement under the
+ * remainder, both through the inner allocator — the subtree's total
+ * respects the emergency while relative decisions inside and outside
+ * it stay with the policy. Global-scope drops are the cluster's
+ * budget-command path (budgetDropCommands() below), identical with
+ * and without supervision.
+ *
+ * Determinism: observe() and allocate() run in the cluster's serial
+ * phase B, state advances in core order, and no RNG is involved — so
+ * interventions are bit-identical for any AAPM_JOBS value, and a
+ * supervisor that never intervenes (healthy cores, no drops) passes
+ * the exact (budget, demands) through to the inner allocator,
+ * preserving the inert-plan bit-identity contract.
+ */
+
+#ifndef AAPM_CLUSTER_SUPERVISOR_HH
+#define AAPM_CLUSTER_SUPERVISOR_HH
+
+#include <vector>
+
+#include "cluster/allocator.hh"
+#include "fault/domain_plan.hh"
+#include "platform/platform.hh"
+
+namespace aapm
+{
+
+/** Tuning for the cluster-level health loop. */
+struct ClusterSupervisorConfig
+{
+    /** Consecutive bad intervals before a core is quarantined. */
+    size_t quarantineAfter = 6;
+    /** Minimum intervals a quarantine lasts, regardless of health. */
+    size_t minQuarantineIntervals = 20;
+    /** Consecutive healthy intervals required for re-admission (the
+     *  hysteresis K: budget is not restored before the core proves
+     *  itself). */
+    size_t readmitHealthy = 10;
+    /** P-state a quarantined core's floor is priced at. */
+    size_t safePState = 0;
+    /** Added to the predicted floor, mirroring AllocatorConfig. */
+    double guardbandW = 0.5;
+    /** Floor as a fraction of the uniform share when the core has no
+     *  usable power prediction. */
+    double floorFraction = 0.5;
+};
+
+/** Counters summarizing the supervisor's interventions in one run. */
+struct ClusterResilienceStats
+{
+    /** Quarantines entered. */
+    uint64_t quarantineEntries = 0;
+    /** Core-intervals spent quarantined. */
+    uint64_t quarantineIntervals = 0;
+    /** Quarantines lifted after the re-admission hysteresis. */
+    uint64_t readmissions = 0;
+    /** Subtree budget-drop windows that became active. */
+    uint64_t budgetDropsApplied = 0;
+    /** Intervals with at least one subtree shed in force. */
+    uint64_t shedIntervals = 0;
+    /** Accumulated budget shed from capped subtrees, Watt-intervals. */
+    double shedWattIntervals = 0.0;
+
+    /** Any intervention happened. */
+    bool
+    any() const
+    {
+        return quarantineEntries > 0 || budgetDropsApplied > 0;
+    }
+};
+
+/** The cluster-level resilience loop; one instance per run. */
+class ClusterSupervisor
+{
+  public:
+    /**
+     * @param config Health-loop tuning.
+     * @param drops Subtree-scoped budget-drop events (global-scope
+     *        drops belong in the cluster's budget commands — see
+     *        budgetDropCommands()).
+     */
+    explicit ClusterSupervisor(
+        ClusterSupervisorConfig config = ClusterSupervisorConfig(),
+        std::vector<BudgetDropEvent> drops = {});
+
+    /** Reset health state for a run of `cores` cores stepping at
+     *  `interval` ticks. Called by ClusterPlatform::run. */
+    void beginRun(size_t cores, Tick interval);
+
+    /**
+     * Advance the health state machine over this interval's demand
+     * snapshots. Serial phase B, core order; `now` is the cluster
+     * clock at the end of the stepped interval.
+     */
+    void observe(Tick now, const std::vector<CoreDemand> &demands);
+
+    /**
+     * Split `budgetW` through `inner` with quarantine masking and any
+     * active subtree sheds. `now` is the cluster clock of the round
+     * (0 for the pre-run round). Fills `limitsW` like a plain
+     * allocator: active-core sum <= budgetW, inactive cores 0,
+     * quarantined cores exactly their floor.
+     */
+    void allocate(const PowerBudgetAllocator &inner, Tick now,
+                  double budgetW, const std::vector<CoreDemand> &demands,
+                  std::vector<double> &limitsW);
+
+    /** The core is currently quarantined. */
+    bool
+    quarantined(size_t core) const
+    {
+        return core < health_.size() && health_[core].quarantined;
+    }
+
+    /** Intervention counters so far. */
+    const ClusterResilienceStats &stats() const { return stats_; }
+
+  private:
+    struct CoreHealth
+    {
+        uint64_t badStreak = 0;
+        uint64_t healthyStreak = 0;
+        uint64_t quarantinedFor = 0;
+        bool quarantined = false;
+    };
+
+    /** Floor grant for a quarantined core. */
+    double floorFor(const CoreDemand &d, double shareW) const;
+
+    ClusterSupervisorConfig config_;
+    std::vector<BudgetDropEvent> drops_;
+    std::vector<char> dropSeen_;
+    std::vector<CoreHealth> health_;
+    Tick interval_ = 0;
+    ClusterResilienceStats stats_;
+    /** Scratch buffers reused across rounds (no per-round allocs in
+     *  the steady state). */
+    std::vector<CoreDemand> masked_;
+    std::vector<CoreDemand> partition_;
+    std::vector<double> partLimits_;
+    std::vector<double> floors_;
+};
+
+/**
+ * Translate the *global*-scope events of a drop list (coreBegin 0,
+ * coreEnd == coreCount) into budget commands: the cap falls to
+ * nominal * (1 - fraction) at `when` and is restored after the
+ * window. Applied identically to supervised and unsupervised runs —
+ * a PDU emergency is a fault, not a supervisor feature; what the
+ * supervisor adds is how gracefully the cluster rides it out.
+ * Subtree-scope events are ignored here (give them to the
+ * ClusterSupervisor).
+ */
+std::vector<ScheduledCommand>
+budgetDropCommands(const std::vector<BudgetDropEvent> &drops,
+                   double nominalBudgetW, Tick interval,
+                   size_t coreCount);
+
+} // namespace aapm
+
+#endif // AAPM_CLUSTER_SUPERVISOR_HH

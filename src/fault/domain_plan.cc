@@ -1,0 +1,282 @@
+#include "fault/domain_plan.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+double
+parseNumber(const char *what, const std::string &value)
+{
+    char *end = nullptr;
+    const double x = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0' || x < 0.0)
+        aapm_fatal("domain plan: %s expects a non-negative number, "
+                   "got '%s'", what, value.c_str());
+    return x;
+}
+
+/** "rack[3]" / "socket[*]" / "cluster" → a DomainScope. */
+DomainScope
+parseScope(const std::string &text)
+{
+    DomainScope scope;
+    if (text == "cluster") {
+        scope.level = DomainScope::Level::Cluster;
+        return scope;
+    }
+    const size_t open = text.find('[');
+    if (open == std::string::npos || text.back() != ']')
+        aapm_fatal("domain plan: scope '%s' must be cluster or "
+                   "LEVEL[INDEX] with LEVEL in rack/node/socket/core",
+                   text.c_str());
+    const std::string name = text.substr(0, open);
+    const std::string idx =
+        text.substr(open + 1, text.size() - open - 2);
+    if (name == "rack")
+        scope.level = DomainScope::Level::Rack;
+    else if (name == "node")
+        scope.level = DomainScope::Level::Node;
+    else if (name == "socket")
+        scope.level = DomainScope::Level::Socket;
+    else if (name == "core")
+        scope.level = DomainScope::Level::Core;
+    else
+        aapm_fatal("domain plan: unknown scope level '%s' (one of: "
+                   "cluster, rack, node, socket, core)", name.c_str());
+    if (idx == "*") {
+        scope.all = true;
+    } else {
+        scope.index =
+            static_cast<size_t>(parseNumber("scope index", idx));
+    }
+    return scope;
+}
+
+DomainFaultEntry::Kind
+parseDomainKind(const std::string &name)
+{
+    using Kind = DomainFaultEntry::Kind;
+    if (name == "sensor-brownout")
+        return Kind::SensorBrownout;
+    if (name == "dvfs-stuck")
+        return Kind::DvfsStuckStorm;
+    if (name == "dvfs-latency")
+        return Kind::DvfsLatencyStorm;
+    if (name == "pmu-dropout")
+        return Kind::PmuBlackout;
+    if (name == "budget-drop")
+        return Kind::BudgetDrop;
+    aapm_fatal("domain plan: unknown fault kind '%s' (one of: "
+               "sensor-brownout, dvfs-stuck, dvfs-latency, "
+               "pmu-dropout, budget-drop)", name.c_str());
+}
+
+/** "SCOPE@SEC:KIND:INTERVALS[:FRACTION]" → a DomainFaultEntry. */
+DomainFaultEntry
+parseEntry(const std::string &text)
+{
+    const size_t at = text.find('@');
+    if (at == std::string::npos)
+        aapm_fatal("domain plan: entry '%s' must be "
+                   "SCOPE@SEC:KIND:INTERVALS[:FRACTION]", text.c_str());
+    DomainFaultEntry entry;
+    entry.scope = parseScope(text.substr(0, at));
+
+    const std::string rest = text.substr(at + 1);
+    const size_t c1 = rest.find(':');
+    const size_t c2 =
+        c1 == std::string::npos ? std::string::npos
+                                : rest.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos)
+        aapm_fatal("domain plan: entry '%s' must be "
+                   "SCOPE@SEC:KIND:INTERVALS[:FRACTION]", text.c_str());
+    entry.when =
+        secondsToTicks(parseNumber("time", rest.substr(0, c1)));
+    entry.kind = parseDomainKind(rest.substr(c1 + 1, c2 - c1 - 1));
+
+    const size_t c3 = rest.find(':', c2 + 1);
+    const std::string intervals = c3 == std::string::npos
+        ? rest.substr(c2 + 1)
+        : rest.substr(c2 + 1, c3 - c2 - 1);
+    entry.intervals =
+        static_cast<uint64_t>(parseNumber("intervals", intervals));
+    if (entry.intervals < 1)
+        aapm_fatal("domain plan: entry '%s' needs >= 1 interval",
+                   text.c_str());
+
+    if (entry.kind == DomainFaultEntry::Kind::BudgetDrop) {
+        if (c3 == std::string::npos)
+            aapm_fatal("domain plan: budget-drop entry '%s' needs a "
+                       "FRACTION", text.c_str());
+        entry.fraction = parseNumber("fraction", rest.substr(c3 + 1));
+        if (entry.fraction <= 0.0 || entry.fraction > 1.0)
+            aapm_fatal("domain plan: budget-drop fraction %f outside "
+                       "(0, 1]", entry.fraction);
+    } else if (c3 != std::string::npos) {
+        aapm_fatal("domain plan: entry '%s' takes no fraction",
+                   text.c_str());
+    }
+    return entry;
+}
+
+/** Cores per domain and domain count at a scope's fanout level. */
+struct LevelGeometry
+{
+    size_t domains = 0;
+    size_t span = 0;
+};
+
+LevelGeometry
+levelGeometry(DomainScope::Level level,
+              const std::vector<size_t> &fanout, size_t coreCount)
+{
+    size_t depth = 0;
+    const char *name = "rack";
+    switch (level) {
+      case DomainScope::Level::Rack:
+        depth = 1;
+        name = "rack";
+        break;
+      case DomainScope::Level::Node:
+        depth = 2;
+        name = "node";
+        break;
+      case DomainScope::Level::Socket:
+        depth = 3;
+        name = "socket";
+        break;
+      case DomainScope::Level::Cluster:
+        return {1, coreCount};
+      case DomainScope::Level::Core:
+        return {coreCount, 1};
+    }
+    if (fanout.size() < depth)
+        aapm_fatal("domain plan: scope '%s' needs a topology with at "
+                   "least %zu level%s (have %zu)", name, depth,
+                   depth == 1 ? "" : "s", fanout.size());
+    size_t domains = 1;
+    for (size_t i = 0; i < depth; ++i)
+        domains *= fanout[i];
+    aapm_assert(domains > 0 && coreCount % domains == 0,
+                "fanout does not divide %zu cores", coreCount);
+    return {domains, coreCount / domains};
+}
+
+ScheduledFault::Kind
+scheduledKindOf(DomainFaultEntry::Kind kind)
+{
+    using Kind = DomainFaultEntry::Kind;
+    switch (kind) {
+      case Kind::SensorBrownout:
+        return ScheduledFault::Kind::SensorDrop;
+      case Kind::DvfsStuckStorm:
+        return ScheduledFault::Kind::DvfsStuck;
+      case Kind::DvfsLatencyStorm:
+        return ScheduledFault::Kind::DvfsLatency;
+      case Kind::PmuBlackout:
+        return ScheduledFault::Kind::PmuDropout;
+      case Kind::BudgetDrop:
+        break;
+    }
+    aapm_panic("budget-drop has no scheduled-fault kind");
+}
+
+} // namespace
+
+DomainFaultPlan
+DomainFaultPlan::parse(const std::string &spec)
+{
+    DomainFaultPlan plan;
+    if (spec == "none" || spec == "off" || spec.empty())
+        return plan;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t semi = spec.find(';', pos);
+        if (semi == std::string::npos)
+            semi = spec.size();
+        const std::string entry = spec.substr(pos, semi - pos);
+        pos = semi + 1;
+        if (entry.empty())
+            continue;
+        if (entry.rfind("seed=", 0) == 0) {
+            plan.seed = static_cast<uint64_t>(
+                parseNumber("seed", entry.substr(5)));
+            continue;
+        }
+        plan.entries.push_back(parseEntry(entry));
+    }
+    return plan;
+}
+
+uint64_t
+domainCoreSeed(uint64_t seed, size_t core)
+{
+    // splitmix64 over golden-ratio strides: one finalization per core,
+    // so adjacent indices land in unrelated parts of the seed space.
+    uint64_t z = seed +
+        0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(core) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return z != 0 ? z : 1;
+}
+
+DerivedDomainFaults
+deriveDomainFaults(const DomainFaultPlan &plan, const FaultPlan &base,
+                   const std::vector<size_t> &fanout, size_t coreCount,
+                   uint64_t seed)
+{
+    aapm_assert(coreCount > 0, "cluster needs at least one core");
+    if (!fanout.empty()) {
+        size_t product = 1;
+        for (size_t f : fanout)
+            product *= f;
+        if (product != coreCount)
+            aapm_fatal("domain plan: topology addresses %zu cores but "
+                       "the cluster has %zu", product, coreCount);
+    }
+
+    DerivedDomainFaults derived;
+    derived.perCore.assign(coreCount, base);
+    for (size_t i = 0; i < coreCount; ++i)
+        derived.perCore[i].seed = domainCoreSeed(seed, i);
+
+    for (const DomainFaultEntry &entry : plan.entries) {
+        const LevelGeometry geo =
+            levelGeometry(entry.scope.level, fanout, coreCount);
+        size_t first = 0;
+        size_t last = geo.domains;
+        if (entry.scope.level != DomainScope::Level::Cluster &&
+            !entry.scope.all) {
+            if (entry.scope.index >= geo.domains)
+                aapm_fatal("domain plan: domain index %zu out of "
+                           "range (level has %zu domains)",
+                           entry.scope.index, geo.domains);
+            first = entry.scope.index;
+            last = first + 1;
+        }
+        for (size_t dom = first; dom < last; ++dom) {
+            const size_t begin = dom * geo.span;
+            const size_t end = begin + geo.span;
+            if (entry.kind == DomainFaultEntry::Kind::BudgetDrop) {
+                derived.drops.push_back({entry.when, entry.intervals,
+                                         entry.fraction, begin, end});
+                continue;
+            }
+            const ScheduledFault fault{entry.when,
+                                       scheduledKindOf(entry.kind),
+                                       entry.intervals};
+            for (size_t i = begin; i < end; ++i)
+                derived.perCore[i].scheduled.push_back(fault);
+        }
+    }
+    return derived;
+}
+
+} // namespace aapm

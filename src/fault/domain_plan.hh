@@ -1,0 +1,165 @@
+/**
+ * @file
+ * DomainFaultPlan: correlated, topology-scoped fault injection for a
+ * cluster run.
+ *
+ * A FaultPlan describes what goes wrong on *one* core; real failures
+ * are correlated — a node's sensor rail browns out and every core on
+ * it reads NaN at once, a rack's firmware update leaves a whole PDU's
+ * worth of actuators stuck, an emergency cap cuts the budget of a
+ * subtree for a window. A DomainFaultPlan expresses exactly those
+ * events against the cluster's budget-tree topology ("2x4x8x16" =
+ * rack → node → socket → core fanout, see cluster/budget_tree.hh) and
+ * deterministically derives per-core FaultPlans from a single seed:
+ *
+ *  - every member core of an affected domain receives the same
+ *    scheduled fault window (sensor brownout, DVFS stuck storm, DVFS
+ *    latency storm, PMU blackout), so the faults are correlated by
+ *    construction;
+ *  - every core's stochastic fault stream gets its own RNG seed via
+ *    domainCoreSeed(), a splitmix64 mix of (seed, core index), so
+ *    sibling cores never replay one identical sequence;
+ *  - budget-drop events are returned separately as BudgetDropEvents —
+ *    core-range-scoped cap cuts the cluster layer turns into budget
+ *    commands (global scope) or hierarchical sheds (subtree scope,
+ *    see cluster/supervisor.hh).
+ *
+ * A plan with no entries is inert: derivation returns the base plan
+ * untouched (aside from the decorrelated per-core seeds) and a run
+ * under it is bit-identical to a clean cluster run.
+ */
+
+#ifndef AAPM_FAULT_DOMAIN_PLAN_HH
+#define AAPM_FAULT_DOMAIN_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "sim/ticks.hh"
+
+namespace aapm
+{
+
+/** Which slice of the topology one domain fault covers. */
+struct DomainScope
+{
+    enum class Level
+    {
+        Cluster,  ///< every core
+        Rack,     ///< fanout level 0
+        Node,     ///< fanout level 1
+        Socket,   ///< fanout level 2
+        Core      ///< one core by global index
+    };
+
+    Level level = Level::Cluster;
+    /** Flattened domain index at the level (ignored for Cluster). */
+    size_t index = 0;
+    /** True = every domain at the level ("rack[*]"). */
+    bool all = false;
+};
+
+/** One correlated fault window or budget-drop event. */
+struct DomainFaultEntry
+{
+    enum class Kind
+    {
+        SensorBrownout,   ///< members' sensor samples read NaN
+        DvfsStuckStorm,   ///< members' p-state writes are denied
+        DvfsLatencyStorm, ///< members' accepted writes stall longer
+        PmuBlackout,      ///< members' PMU slots read zero
+        BudgetDrop        ///< the scope's power cap is cut
+    };
+
+    Kind kind = Kind::SensorBrownout;
+    DomainScope scope;
+    /** Fires at the first interval starting at or after this tick. */
+    Tick when = 0;
+    /** Window length, in monitor intervals. */
+    uint64_t intervals = 1;
+    /** BudgetDrop only: fraction of the cap removed, in (0, 1]. */
+    double fraction = 0.0;
+};
+
+/**
+ * A PDU emergency resolved against a concrete topology: the cap over
+ * cores [coreBegin, coreEnd) is cut by `fraction` for `intervals`
+ * lockstep intervals starting at `when`. The full core range means
+ * the global budget itself drops (see budgetDropCommands() in
+ * cluster/supervisor.hh); a proper subrange is shed hierarchically by
+ * the ClusterSupervisor.
+ */
+struct BudgetDropEvent
+{
+    Tick when = 0;
+    uint64_t intervals = 1;
+    double fraction = 0.0;
+    size_t coreBegin = 0;
+    size_t coreEnd = 0;
+};
+
+/** The declarative cluster-level fault configuration. */
+struct DomainFaultPlan
+{
+    std::vector<DomainFaultEntry> entries;
+    /** Seed of the per-core stream derivation (and the default base
+     *  seed when no per-core plan supplies one). */
+    uint64_t seed = 20068;
+
+    /** True when any correlated fault or budget drop is declared. */
+    bool active() const { return !entries.empty(); }
+
+    /**
+     * Parse a spec: "none"/"off" (inactive) or ';'-separated entries
+     *   SCOPE@SEC:KIND:INTERVALS[:FRACTION]
+     * with SCOPE one of cluster, rack[I], node[I], socket[I], core[I]
+     * (I a domain index or '*'), KIND one of sensor-brownout,
+     * dvfs-stuck, dvfs-latency, pmu-dropout, budget-drop (FRACTION
+     * required, in (0, 1]), plus "seed=N" entries. Example:
+     *   "node[1]@0.5:sensor-brownout:40;cluster@2:budget-drop:50:0.3"
+     * Fatal on malformed scopes, kinds or values.
+     */
+    static DomainFaultPlan parse(const std::string &spec);
+};
+
+/** The per-core resolution of a DomainFaultPlan. */
+struct DerivedDomainFaults
+{
+    /** Per-core plans: the base plan plus the scheduled windows of
+     *  every entry covering the core, seeded by domainCoreSeed(). */
+    std::vector<FaultPlan> perCore;
+    /** Budget-drop events resolved to core ranges, in entry order. */
+    std::vector<BudgetDropEvent> drops;
+};
+
+/**
+ * Deterministic per-core fault-stream seed: a splitmix64 mix of the
+ * base seed and the core index. Never returns 0 (the RunOptions
+ * sentinel for "use the plan's seed"), and adjacent cores land in
+ * unrelated parts of the seed space — the decorrelation contract the
+ * CLI applies to every multi-core run.
+ */
+uint64_t domainCoreSeed(uint64_t seed, size_t core);
+
+/**
+ * Resolve `plan` against a topology and merge it into `base`.
+ * @param plan The cluster-level plan.
+ * @param base The per-core plan every core starts from (the CLI's
+ *        --fault-plan; may be inactive).
+ * @param fanout Budget-tree fanout, root first; empty = flat cluster
+ *        (only cluster/core scopes resolvable). When non-empty the
+ *        product must equal `coreCount`.
+ * @param coreCount Cores in the cluster.
+ * @param seed Derivation seed (the CLI's --domain-seed / the plan's).
+ * Fatal on scopes the topology cannot address.
+ */
+DerivedDomainFaults deriveDomainFaults(const DomainFaultPlan &plan,
+                                       const FaultPlan &base,
+                                       const std::vector<size_t> &fanout,
+                                       size_t coreCount, uint64_t seed);
+
+} // namespace aapm
+
+#endif // AAPM_FAULT_DOMAIN_PLAN_HH

@@ -32,6 +32,8 @@ FaultInjector::beginInterval(Tick interval_start)
     }
     if (stuckLeft_ > 0)
         --stuckLeft_;
+    if (latencyLeft_ > 0)
+        --latencyLeft_;
 
     // Fire scheduled one-shots that have come due.
     while (nextScheduled_ < plan_.scheduled.size() &&
@@ -48,6 +50,9 @@ FaultInjector::beginInterval(Tick interval_start)
             break;
           case ScheduledFault::Kind::SensorDrop:
             sensorDropLeft_ += f.intervals;
+            break;
+          case ScheduledFault::Kind::DvfsLatency:
+            latencyLeft_ = std::max(latencyLeft_, f.intervals);
             break;
         }
     }
@@ -109,6 +114,13 @@ FaultInjector::filterPStateWrite()
 double
 FaultInjector::stallMultiplier()
 {
+    // A scheduled latency storm inflates every accepted write in its
+    // window without touching the RNG stream, so an otherwise inert
+    // plan stays bit-identical to the clean path outside the window.
+    if (latencyLeft_ > 0) {
+        ++tel_.dvfsLatencySpikes;
+        return plan_.dvfsLatencyFactor;
+    }
     if (plan_.dvfsLatencyProb > 0.0 &&
         rng_.chance(plan_.dvfsLatencyProb)) {
         ++tel_.dvfsLatencySpikes;

@@ -88,6 +88,14 @@ class FaultInjector
     /** Injected-fault counters accumulated so far. */
     const RecoveryTelemetry &telemetry() const { return tel_; }
 
+    /** Scheduled faults that have not fired yet — nonzero at the end
+     *  of a run means the plan scheduled past the run's end. */
+    size_t
+    unfiredScheduled() const
+    {
+        return plan_.scheduled.size() - nextScheduled_;
+    }
+
   private:
     FaultPlan plan_;
     Rng rng_;
@@ -96,6 +104,8 @@ class FaultInjector
     std::array<uint64_t, NumSlots> dropLeft_{};
     /** Remaining stuck-at-p-state intervals. */
     uint64_t stuckLeft_ = 0;
+    /** Remaining scheduled latency-storm intervals. */
+    uint64_t latencyLeft_ = 0;
     /** Remaining scheduled sensor-dropout samples. */
     uint64_t sensorDropLeft_ = 0;
     /** Next scheduled fault to fire. */

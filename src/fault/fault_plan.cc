@@ -1,6 +1,7 @@
 #include "fault/fault_plan.hh"
 
 #include <cstdlib>
+#include <set>
 
 #include "common/logging.hh"
 
@@ -43,6 +44,8 @@ parseKind(const std::string &name)
         return ScheduledFault::Kind::DvfsStuck;
     if (name == "sensor-drop")
         return ScheduledFault::Kind::SensorDrop;
+    if (name == "dvfs-latency")
+        return ScheduledFault::Kind::DvfsLatency;
     aapm_fatal("fault plan: unknown scheduled fault kind '%s'",
                name.c_str());
 }
@@ -106,6 +109,7 @@ FaultPlan::parse(const std::string &spec)
         return mixed(parseProb("mixed", spec.substr(6)));
 
     FaultPlan plan;
+    std::set<std::string> seen;
     size_t pos = 0;
     while (pos < spec.size()) {
         size_t comma = spec.find(',', pos);
@@ -121,6 +125,11 @@ FaultPlan::parse(const std::string &spec)
                        entry.c_str());
         const std::string key = entry.substr(0, eq);
         const std::string value = entry.substr(eq + 1);
+        // Every scalar key is one setting; a repeat means the spec was
+        // edited in two places and one of them would silently lose.
+        // Only "at" accumulates.
+        if (key != "at" && !seen.insert(key).second)
+            aapm_fatal("fault plan: duplicate key '%s'", key.c_str());
 
         if (key == "pmu-dropout")
             plan.pmuDropoutProb = parseProb(key, value);

@@ -41,7 +41,9 @@ struct ScheduledFault
     {
         PmuDropout,   ///< zero every configured slot for `intervals`
         DvfsStuck,    ///< deny p-state writes for `intervals`
-        SensorDrop    ///< drop the next `intervals` sensor samples
+        SensorDrop,   ///< drop the next `intervals` sensor samples
+        DvfsLatency   ///< inflate accepted writes' stalls for
+                      ///< `intervals` (a latency storm)
     };
 
     /** Fires at the first interval starting at or after this tick. */
@@ -109,9 +111,11 @@ struct FaultPlan
      * dvfs-stuck, dvfs-stuck-intervals, dvfs-latency,
      * dvfs-latency-factor, sensor-drop, seed, and scheduled one-shots
      * "at=SEC:KIND:INTERVALS" with KIND in {pmu-dropout, dvfs-stuck,
-     * sensor-drop}. Example:
+     * sensor-drop, dvfs-latency}. Example:
      *   "pmu-dropout=0.05,dvfs-reject=0.1,at=0.5:dvfs-stuck:40"
-     * Fatal on unknown keys or out-of-range values.
+     * Fatal on unknown keys, out-of-range values, or a scalar key
+     * given twice ("at" may repeat; everything else is one setting,
+     * and a silently-winning duplicate is a misconfigured plan).
      */
     static FaultPlan parse(const std::string &spec);
 };

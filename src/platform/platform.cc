@@ -466,6 +466,14 @@ PlatformRun::finish()
     result_.dvfs = dvfs_.stats();
     if (injector_)
         result_.recovery = injector_->telemetry();
+    if (injector_ && injector_->unfiredScheduled() > 0) {
+        // Scheduled-past-the-end is legitimate (inert-plan bit-identity
+        // tests rely on it) but more often a misconfigured experiment,
+        // so say it once per run instead of silently dropping it.
+        aapm_warn("fault plan: %zu scheduled fault(s) never fired "
+                  "(scheduled at or beyond the run's end)",
+                  injector_->unfiredScheduled());
+    }
     governor_.exportTelemetry(result_.recovery);
     result_.recovery.sensorClamped += sensor_.clampedInputs();
     if (options_.recordTrace)

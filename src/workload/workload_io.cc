@@ -176,9 +176,12 @@ parseClusterManifest(std::istream &in)
         std::string head;
         if (!(ls >> head))
             continue;   // blank line
-        if (head == "topology" || head == "policies") {
+        if (head == "topology" || head == "policies" ||
+            head == "domain-plan" || head == "domain-seed") {
             std::string &slot = head == "topology" ? manifest.topology
-                                                   : manifest.policies;
+                : head == "policies"               ? manifest.policies
+                : head == "domain-plan"            ? manifest.domainPlan
+                                                   : manifest.domainSeed;
             if (!slot.empty())
                 aapm_fatal("line %d: duplicate '%s' directive", lineno,
                            head.c_str());
@@ -193,8 +196,8 @@ parseClusterManifest(std::istream &in)
         }
         if (head != "core")
             aapm_fatal("line %d: unknown directive '%s' (expected "
-                       "'core', 'topology' or 'policies')", lineno,
-                       head.c_str());
+                       "'core', 'topology', 'policies', 'domain-plan' "
+                       "or 'domain-seed')", lineno, head.c_str());
 
         ClusterManifestEntry e;
         if (!(ls >> e.workload))

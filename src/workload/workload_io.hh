@@ -58,14 +58,18 @@ struct ClusterManifestEntry
  *
  *   topology 2x4x8                    # optional, at most once
  *   policies uniform,demand,greedy    # optional, at most once
+ *   domain-plan node[1]@0.5:sensor-brownout:40   # optional, at most once
+ *   domain-seed 7                     # optional, at most once
  *   core crafty
  *   core swim seconds 1.5
  *   core file my.wl
  *
  * `topology` is a budget-tree fanout spec (rack → … → core; see
  * cluster/budget_tree.hh) and `policies` names one flat policy per
- * level. Both are kept as raw strings here — the cluster layer parses
- * and validates them — and both are overridable from the CLI.
+ * level. `domain-plan` is a correlated cluster-fault spec (see
+ * fault/domain_plan.hh) and `domain-seed` its derivation seed. All
+ * four are kept as raw strings here — the cluster layer parses and
+ * validates them — and all are overridable from the CLI.
  */
 struct ClusterManifest
 {
@@ -75,6 +79,11 @@ struct ClusterManifest
     /** Per-level policy list ("uniform,demand,greedy"); empty = the
      *  CLI --allocator choice. */
     std::string policies;
+    /** Correlated domain-fault spec (fault/domain_plan.hh); empty =
+     *  none. */
+    std::string domainPlan;
+    /** Domain-fault derivation seed; empty = the plan's own. */
+    std::string domainSeed;
 };
 
 /** Parse a cluster manifest from a stream; fatal() on bad input. */

@@ -186,6 +186,55 @@ TEST(FaultPlanSpec, ParseRejectsGarbage)
                  std::runtime_error);
 }
 
+TEST(FaultPlanSpec, RejectsDuplicateKeys)
+{
+    // A repeated scalar key silently overwriting its predecessor is a
+    // typo'd experiment, not a configuration.
+    EXPECT_THROW(FaultPlan::parse("pmu-dropout=0.1,pmu-dropout=0.2"),
+                 std::runtime_error);
+    EXPECT_THROW(FaultPlan::parse("seed=1,seed=2"),
+                 std::runtime_error);
+    // "at" is the schedule list and may repeat freely.
+    const FaultPlan plan =
+        FaultPlan::parse("at=0.5:dvfs-stuck:3,at=1.0:sensor-drop:2");
+    EXPECT_EQ(plan.scheduled.size(), 2u);
+}
+
+TEST(FaultPlanSpec, ParseDvfsLatencyScheduled)
+{
+    const FaultPlan plan =
+        FaultPlan::parse("at=0.5:dvfs-latency:12,dvfs-latency-factor=4");
+    ASSERT_EQ(plan.scheduled.size(), 1u);
+    EXPECT_EQ(plan.scheduled[0].kind,
+              ScheduledFault::Kind::DvfsLatency);
+    EXPECT_EQ(plan.scheduled[0].intervals, 12u);
+    EXPECT_DOUBLE_EQ(plan.dvfsLatencyFactor, 4.0);
+}
+
+TEST(FaultInjectorUnit, ScheduledLatencyStormInflatesWithoutRngDraws)
+{
+    // A scheduled latency window multiplies every accepted write's
+    // stall without touching the RNG — the stream a probabilistic
+    // plan would consume must stay untouched, or an otherwise inert
+    // plan would decohere from the clean run outside the window.
+    FaultPlan plan;
+    plan.dvfsLatencyFactor = 3.0;
+    plan.scheduled.push_back(
+        {100, ScheduledFault::Kind::DvfsLatency, 2});
+
+    FaultInjector inj(plan);
+    inj.beginInterval(0);
+    EXPECT_DOUBLE_EQ(inj.stallMultiplier(), 1.0);
+    inj.beginInterval(100);   // the storm fires
+    EXPECT_DOUBLE_EQ(inj.stallMultiplier(), 3.0);
+    inj.beginInterval(200);   // second interval of the window
+    EXPECT_DOUBLE_EQ(inj.stallMultiplier(), 3.0);
+    inj.beginInterval(300);   // window over
+    EXPECT_DOUBLE_EQ(inj.stallMultiplier(), 1.0);
+    EXPECT_EQ(inj.telemetry().dvfsLatencySpikes, 2u);
+    EXPECT_EQ(inj.unfiredScheduled(), 0u);
+}
+
 TEST(FaultInjectorUnit, DeterministicPerSeed)
 {
     const FaultPlan plan = FaultPlan::mixed(0.3);
@@ -382,6 +431,31 @@ TEST_F(FaultInjectionTest, SupervisorBoundsViolationsUnderMixedFaults)
 
     EXPECT_LT(sup, unsup);
     EXPECT_LE(sup, std::max(2.0 * clean, 0.05));
+}
+
+TEST_F(FaultInjectionTest, WatchdogHoldExtendingPastRunEndIsClean)
+{
+    // A fallback hold longer than the remaining run: the supervisor
+    // trips once, rides the safe p-state to the end, and the run must
+    // still terminate normally with the hold visibly still in force.
+    PlatformConfig config;
+    Platform platform(config);
+    const PowerEstimator power =
+        models().powerEstimator(config.pstates);
+    const Workload w = specWorkload("gzip", config.core, kSeconds);
+    PerformanceMaximizer pm(power, PmConfig{.powerLimitW = kLimitW});
+    SupervisorConfig cfg;
+    cfg.watchdogWindow = 5;
+    cfg.watchdogResidualW = 1e-6;   // trips once the window fills
+    cfg.fallbackHold = size_t(1) << 30;
+    GovernorSupervisor sup(pm, cfg, &power);
+
+    const RunResult r = platform.run(w, sup, RunOptions{});
+    EXPECT_TRUE(r.finished);
+    EXPECT_EQ(r.recovery.fallbackEntries, 1u);
+    EXPECT_GE(r.recovery.degradedIntervals, 100u);
+    // The hold outlives the run instead of wrapping or resetting.
+    EXPECT_TRUE(sup.inFallback());
 }
 
 } // namespace

@@ -1,0 +1,546 @@
+/**
+ * @file
+ * Cluster-scale resilience tests: DomainFaultPlan parsing and
+ * topology-scoped derivation, decorrelated per-core seeds, the
+ * ClusterSupervisor health state machine (quarantine entry, budget
+ * re-absorption, re-admission hysteresis), hierarchical budget
+ * shedding, and the cluster-level contracts — a supervised run with an
+ * inert plan is bit-identical to an unsupervised one, and active
+ * domain faults stay deterministic across thread-pool widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cluster/allocator.hh"
+#include "cluster/budget_tree.hh"
+#include "cluster/cluster.hh"
+#include "cluster/supervisor.hh"
+#include "fault/domain_plan.hh"
+#include "mgmt/performance_maximizer.hh"
+#include "platform/experiment.hh"
+#include "workload/spec_suite.hh"
+
+namespace aapm
+{
+namespace
+{
+
+TEST(DomainSeed, NonzeroAndDecorrelated)
+{
+    std::set<uint64_t> seen;
+    for (size_t core = 0; core < 1024; ++core) {
+        const uint64_t s = domainCoreSeed(20068, core);
+        EXPECT_NE(s, 0u);
+        EXPECT_TRUE(seen.insert(s).second) << "collision at " << core;
+    }
+    // Adjacent cores land far apart, not at stride 1.
+    EXPECT_NE(domainCoreSeed(7, 1), domainCoreSeed(7, 0) + 1);
+    // And the base seed matters.
+    EXPECT_NE(domainCoreSeed(7, 0), domainCoreSeed(8, 0));
+}
+
+TEST(DomainPlanSpec, InertSpecs)
+{
+    EXPECT_FALSE(DomainFaultPlan::parse("").active());
+    EXPECT_FALSE(DomainFaultPlan::parse("none").active());
+    EXPECT_FALSE(DomainFaultPlan::parse("off").active());
+}
+
+TEST(DomainPlanSpec, ParseEntriesAndSeed)
+{
+    const DomainFaultPlan plan = DomainFaultPlan::parse(
+        "node[1]@0.5:sensor-brownout:40;seed=99;"
+        "cluster@2:budget-drop:50:0.3;rack[*]@1:dvfs-latency:5");
+    ASSERT_EQ(plan.entries.size(), 3u);
+    EXPECT_EQ(plan.seed, 99u);
+
+    const DomainFaultEntry &a = plan.entries[0];
+    EXPECT_EQ(a.scope.level, DomainScope::Level::Node);
+    EXPECT_EQ(a.scope.index, 1u);
+    EXPECT_FALSE(a.scope.all);
+    EXPECT_EQ(a.kind, DomainFaultEntry::Kind::SensorBrownout);
+    EXPECT_EQ(a.when, secondsToTicks(0.5));
+    EXPECT_EQ(a.intervals, 40u);
+
+    const DomainFaultEntry &b = plan.entries[1];
+    EXPECT_EQ(b.scope.level, DomainScope::Level::Cluster);
+    EXPECT_EQ(b.kind, DomainFaultEntry::Kind::BudgetDrop);
+    EXPECT_DOUBLE_EQ(b.fraction, 0.3);
+
+    const DomainFaultEntry &c = plan.entries[2];
+    EXPECT_EQ(c.scope.level, DomainScope::Level::Rack);
+    EXPECT_TRUE(c.scope.all);
+    EXPECT_EQ(c.kind, DomainFaultEntry::Kind::DvfsLatencyStorm);
+}
+
+TEST(DomainPlanSpec, RejectsGarbage)
+{
+    EXPECT_THROW(DomainFaultPlan::parse("bogus"), std::runtime_error);
+    EXPECT_THROW(DomainFaultPlan::parse("pdu[0]@1:dvfs-stuck:5"),
+                 std::runtime_error);
+    EXPECT_THROW(DomainFaultPlan::parse("node[0]@1:nonsense:5"),
+                 std::runtime_error);
+    // budget-drop needs a fraction in (0, 1]...
+    EXPECT_THROW(DomainFaultPlan::parse("cluster@1:budget-drop:5"),
+                 std::runtime_error);
+    EXPECT_THROW(DomainFaultPlan::parse("cluster@1:budget-drop:5:1.5"),
+                 std::runtime_error);
+    // ...and no other kind takes one.
+    EXPECT_THROW(
+        DomainFaultPlan::parse("node[0]@1:sensor-brownout:5:0.5"),
+        std::runtime_error);
+    // Zero-length windows are meaningless.
+    EXPECT_THROW(DomainFaultPlan::parse("node[0]@1:dvfs-stuck:0"),
+                 std::runtime_error);
+}
+
+TEST(DomainDerivation, ScopesResolveToCoreRanges)
+{
+    // Topology 2x2x4: 2 racks of 8, 4 nodes of 4, 16 sockets of 1.
+    const std::vector<size_t> fanout{2, 2, 4};
+    const DomainFaultPlan plan = DomainFaultPlan::parse(
+        "node[1]@0.5:sensor-brownout:40;"
+        "rack[0]@1:dvfs-stuck:10;"
+        "socket[2]@0:budget-drop:30:0.5;"
+        "cluster@2:budget-drop:50:0.25");
+    const DerivedDomainFaults derived =
+        deriveDomainFaults(plan, FaultPlan{}, fanout, 16, 20068);
+
+    ASSERT_EQ(derived.perCore.size(), 16u);
+    for (size_t i = 0; i < 16; ++i) {
+        size_t brownouts = 0;
+        size_t storms = 0;
+        for (const ScheduledFault &f : derived.perCore[i].scheduled) {
+            if (f.kind == ScheduledFault::Kind::SensorDrop)
+                ++brownouts;
+            if (f.kind == ScheduledFault::Kind::DvfsStuck)
+                ++storms;
+        }
+        // node[1] = cores [4, 8); rack[0] = cores [0, 8).
+        EXPECT_EQ(brownouts, (i >= 4 && i < 8) ? 1u : 0u) << i;
+        EXPECT_EQ(storms, i < 8 ? 1u : 0u) << i;
+    }
+
+    ASSERT_EQ(derived.drops.size(), 2u);
+    EXPECT_EQ(derived.drops[0].coreBegin, 2u);
+    EXPECT_EQ(derived.drops[0].coreEnd, 3u);
+    EXPECT_DOUBLE_EQ(derived.drops[0].fraction, 0.5);
+    EXPECT_EQ(derived.drops[1].coreBegin, 0u);
+    EXPECT_EQ(derived.drops[1].coreEnd, 16u);
+}
+
+TEST(DomainDerivation, PerCoreSeedsAreDecorrelated)
+{
+    // Even an inert plan re-seeds every core: this is the contract the
+    // CLI leans on so sibling cores never replay one fault stream.
+    const DerivedDomainFaults derived = deriveDomainFaults(
+        DomainFaultPlan{}, FaultPlan::mixed(0.1), {}, 8, 42);
+    std::set<uint64_t> seeds;
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(derived.perCore[i].seed, domainCoreSeed(42, i));
+        EXPECT_TRUE(seeds.insert(derived.perCore[i].seed).second);
+        // The base plan's knobs are preserved.
+        EXPECT_DOUBLE_EQ(derived.perCore[i].pmuDropoutProb, 0.1);
+    }
+}
+
+TEST(DomainDerivation, FatalOnBadTopologyOrIndex)
+{
+    const DomainFaultPlan node =
+        DomainFaultPlan::parse("node[4]@1:dvfs-stuck:5");
+    // Index 4 out of range: 2x2 has 4 nodes (0..3).
+    EXPECT_THROW(
+        deriveDomainFaults(node, FaultPlan{}, {2, 2, 4}, 16, 1),
+        std::runtime_error);
+    // A node scope cannot resolve against a flat cluster.
+    EXPECT_THROW(deriveDomainFaults(node, FaultPlan{}, {}, 16, 1),
+                 std::runtime_error);
+    // Topology/core-count mismatch.
+    EXPECT_THROW(
+        deriveDomainFaults(node, FaultPlan{}, {2, 2, 4}, 12, 1),
+        std::runtime_error);
+}
+
+TEST(BudgetDropCommandsUnit, GlobalDropsBecomeCommandPairs)
+{
+    const std::vector<BudgetDropEvent> drops = {
+        {100, 10, 0.3, 0, 16},   // global: becomes a command pair
+        {200, 5, 0.5, 0, 8},     // subtree: the supervisor's business
+    };
+    const std::vector<ScheduledCommand> cmds =
+        budgetDropCommands(drops, 160.0, 10, 16);
+    ASSERT_EQ(cmds.size(), 2u);
+    EXPECT_EQ(cmds[0].when, 100u);
+    EXPECT_EQ(cmds[0].kind, ScheduledCommand::Kind::SetPowerLimit);
+    EXPECT_DOUBLE_EQ(cmds[0].value, 160.0 * 0.7);
+    EXPECT_EQ(cmds[1].when, 200u);
+    EXPECT_DOUBLE_EQ(cmds[1].value, 160.0);
+}
+
+/** Synthetic demand: active, sampled, healthy unless told otherwise. */
+CoreDemand
+syntheticDemand(bool healthy)
+{
+    CoreDemand d;
+    d.active = true;
+    d.sampled = true;
+    d.sample.measuredPowerW = healthy ? 8.0 : NAN;
+    return d;
+}
+
+TEST(ClusterSupervisorUnit, QuarantineAndReadmissionHysteresis)
+{
+    ClusterSupervisorConfig cfg;
+    cfg.quarantineAfter = 3;
+    cfg.minQuarantineIntervals = 5;
+    cfg.readmitHealthy = 2;
+    ClusterSupervisor sup(cfg);
+    sup.beginRun(2, 1);
+
+    std::vector<CoreDemand> demands = {syntheticDemand(true),
+                                       syntheticDemand(false)};
+    // Two bad intervals are not enough...
+    sup.observe(1, demands);
+    sup.observe(2, demands);
+    EXPECT_FALSE(sup.quarantined(1));
+    // ...the third flips core 1; the healthy core never trips.
+    sup.observe(3, demands);
+    EXPECT_TRUE(sup.quarantined(1));
+    EXPECT_FALSE(sup.quarantined(0));
+    EXPECT_EQ(sup.stats().quarantineEntries, 1u);
+
+    // Now healthy again: the re-admit streak (2) is met long before
+    // the minimum hold (5), and must NOT release the core early.
+    demands[1] = syntheticDemand(true);
+    for (Tick t = 4; t <= 7; ++t) {
+        sup.observe(t, demands);
+        EXPECT_TRUE(sup.quarantined(1)) << "released at t=" << t;
+    }
+    // Fifth quarantined interval with a mature healthy streak: out.
+    sup.observe(8, demands);
+    EXPECT_FALSE(sup.quarantined(1));
+    EXPECT_EQ(sup.stats().readmissions, 1u);
+    EXPECT_EQ(sup.stats().quarantineIntervals, 5u);
+
+    // A relapse during quarantine resets the healthy streak: bad at
+    // the would-be release point keeps the core in.
+    demands[1] = syntheticDemand(false);
+    sup.observe(9, demands);
+    sup.observe(10, demands);
+    sup.observe(11, demands);
+    ASSERT_TRUE(sup.quarantined(1));
+    demands[1] = syntheticDemand(true);
+    sup.observe(12, demands);   // held 1, healthy streak 1
+    demands[1] = syntheticDemand(false);
+    sup.observe(13, demands);   // relapse: streak back to 0
+    demands[1] = syntheticDemand(true);
+    sup.observe(14, demands);   // held 3, streak 1
+    sup.observe(15, demands);   // held 4, streak 2: hold not served
+    EXPECT_TRUE(sup.quarantined(1));
+    sup.observe(16, demands);   // held 5, streak 3: released
+    EXPECT_FALSE(sup.quarantined(1));
+    EXPECT_EQ(sup.stats().readmissions, 2u);
+}
+
+TEST(ClusterSupervisorUnit, QuarantineReabsorbsBudgetThroughInner)
+{
+    ClusterSupervisorConfig cfg;
+    cfg.quarantineAfter = 2;
+    ClusterSupervisor sup(cfg);
+    sup.beginRun(4, 1);
+
+    std::vector<CoreDemand> demands(4, syntheticDemand(true));
+    demands[2] = syntheticDemand(false);
+    sup.observe(1, demands);
+    sup.observe(2, demands);
+    ASSERT_TRUE(sup.quarantined(2));
+
+    UniformAllocator uniform;
+    std::vector<double> limits;
+    sup.allocate(uniform, 2, 40.0, demands, limits);
+    ASSERT_EQ(limits.size(), 4u);
+    // No power prediction available: the floor falls back to half the
+    // uniform share (40 / 4 * 0.5 = 5 W)...
+    EXPECT_DOUBLE_EQ(limits[2], 5.0);
+    // ...and the healthy cores split the re-absorbed remainder.
+    EXPECT_DOUBLE_EQ(limits[0], 35.0 / 3.0);
+    EXPECT_DOUBLE_EQ(limits[1], 35.0 / 3.0);
+    EXPECT_DOUBLE_EQ(limits[3], 35.0 / 3.0);
+    EXPECT_NEAR(limits[0] + limits[1] + limits[2] + limits[3], 40.0,
+                1e-9);
+}
+
+TEST(ClusterSupervisorUnit, SubtreeShedConservesAndCapsBudget)
+{
+    // Cores [0, 4) lose half their share for 5 intervals from t=0.
+    const std::vector<BudgetDropEvent> drops = {{0, 5, 0.5, 0, 4}};
+    ClusterSupervisor sup(ClusterSupervisorConfig(), drops);
+    sup.beginRun(8, 1);
+
+    const std::vector<CoreDemand> demands(8, syntheticDemand(true));
+    UniformAllocator uniform;
+    std::vector<double> limits;
+    sup.allocate(uniform, 0, 80.0, demands, limits);
+    ASSERT_EQ(limits.size(), 8u);
+    // Subtree share 4 * 10 W cut to 20 W -> 5 W per member; the
+    // complement splits the remaining 60 W.
+    double shedSum = 0.0;
+    double total = 0.0;
+    for (size_t i = 0; i < 8; ++i) {
+        total += limits[i];
+        if (i < 4) {
+            shedSum += limits[i];
+            EXPECT_DOUBLE_EQ(limits[i], 5.0) << i;
+        } else {
+            EXPECT_DOUBLE_EQ(limits[i], 15.0) << i;
+        }
+    }
+    EXPECT_LE(shedSum, 20.0 + 1e-9);
+    EXPECT_LE(total, 80.0 + 1e-9);
+    EXPECT_EQ(sup.stats().budgetDropsApplied, 1u);
+    EXPECT_EQ(sup.stats().shedIntervals, 1u);
+    EXPECT_NEAR(sup.stats().shedWattIntervals, 20.0, 1e-9);
+
+    // Past the window the shed vanishes and the split is uniform.
+    sup.allocate(uniform, 5, 80.0, demands, limits);
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(limits[i], 10.0) << i;
+    // The drop is only counted on first activation.
+    EXPECT_EQ(sup.stats().budgetDropsApplied, 1u);
+}
+
+/** Cluster-integration fixture (mirrors tests/test_cluster.cc). */
+class ResilienceClusterTest : public ::testing::Test
+{
+  protected:
+    static const PlatformConfig &
+    config()
+    {
+        static const PlatformConfig c;
+        return c;
+    }
+
+    static const TrainedModels &
+    models()
+    {
+        static const TrainedModels m = trainModels(config());
+        return m;
+    }
+
+    static const PowerEstimator &
+    powerModel()
+    {
+        static const PowerEstimator p =
+            models().powerEstimator(config().pstates);
+        return p;
+    }
+
+    static const PerfEstimator &
+    perfModel()
+    {
+        static const PerfEstimator p = models().perfEstimator();
+        return p;
+    }
+
+    static GovernorFactory
+    pmFactory(double limit)
+    {
+        return [limit] {
+            return std::make_unique<PerformanceMaximizer>(
+                powerModel(), PmConfig{.powerLimitW = limit});
+        };
+    }
+
+    static ClusterCoreConfig
+    makeCore(const Workload *w)
+    {
+        ClusterCoreConfig core;
+        core.platform = config();
+        core.workload = w;
+        core.governor = pmFactory(100.0);
+        core.powerModel = &powerModel();
+        core.perfModel = &perfModel();
+        return core;
+    }
+
+    /** 8 mixed cores under the demand policy at ~10 W/core. */
+    static ClusterResult
+    runCluster(const std::vector<FaultPlan> &plans,
+               ClusterSupervisor *sup, ThreadPool *pool)
+    {
+        static const Workload a =
+            specWorkload("ammp", config().core, 1.5);
+        static const Workload b =
+            specWorkload("mcf", config().core, 1.5);
+        ClusterConfig cc;
+        for (size_t i = 0; i < 8; ++i) {
+            ClusterCoreConfig core = makeCore(i % 2 ? &b : &a);
+            if (!plans.empty()) {
+                core.options.faultPlan = plans[i % plans.size()];
+                core.options.faultSeed = 0;
+            }
+            cc.cores.push_back(std::move(core));
+        }
+        cc.budgetW = 80.0;
+        cc.supervisor = sup;
+        ClusterPlatform cluster(std::move(cc));
+        DemandProportionalAllocator demand;
+        return cluster.run(demand, pool);
+    }
+
+    static void
+    expectIdentical(const ClusterResult &x, const ClusterResult &y)
+    {
+        ASSERT_EQ(x.cores.size(), y.cores.size());
+        for (size_t i = 0; i < x.cores.size(); ++i) {
+            EXPECT_EQ(x.cores[i].instructions,
+                      y.cores[i].instructions) << i;
+            EXPECT_DOUBLE_EQ(x.cores[i].seconds, y.cores[i].seconds)
+                << i;
+            EXPECT_DOUBLE_EQ(x.cores[i].trueEnergyJ,
+                             y.cores[i].trueEnergyJ) << i;
+            EXPECT_EQ(x.cores[i].dvfs.transitions,
+                      y.cores[i].dvfs.transitions) << i;
+        }
+        EXPECT_DOUBLE_EQ(x.trueEnergyJ, y.trueEnergyJ);
+        EXPECT_EQ(x.intervals, y.intervals);
+        EXPECT_DOUBLE_EQ(x.fractionOverBudgetTrue,
+                         y.fractionOverBudgetTrue);
+    }
+};
+
+TEST_F(ResilienceClusterTest, InertSupervisedBitIdenticalToUnsupervised)
+{
+    // The inert derivation of an empty domain plan: armed injectors
+    // (scheduled far beyond the run) and decorrelated seeds on every
+    // core, a supervisor in the loop — and not one bit may move.
+    FaultPlan armed;
+    armed.scheduled.push_back(
+        {secondsToTicks(1e6), ScheduledFault::Kind::PmuDropout, 1});
+    const DerivedDomainFaults derived = deriveDomainFaults(
+        DomainFaultPlan{}, armed, {2, 2, 2}, 8, 20068);
+
+    const ClusterResult plain = runCluster(derived.perCore, nullptr,
+                                           nullptr);
+    ClusterSupervisor sup;
+    const ClusterResult watched = runCluster(derived.perCore, &sup,
+                                             nullptr);
+
+    expectIdentical(plain, watched);
+    EXPECT_FALSE(watched.resilience.any());
+    EXPECT_EQ(watched.resilience.quarantineIntervals, 0u);
+    EXPECT_EQ(watched.recovery.faultsSeen(), 0u);
+}
+
+TEST_F(ResilienceClusterTest, ActiveDomainPlanDeterministicAcrossPools)
+{
+    // A brownout on node[1] plus a stuck storm on node[0] and a
+    // subtree budget drop: quarantines, re-admissions and sheds must
+    // all fire, and the run must be bit-identical for any pool width.
+    // Topology 2x2x2: nodes span two cores; node[1] = cores [2, 4).
+    // The budget drop hits the healthy rack [4, 8) — a drop whose
+    // members are all quarantined sheds nothing, by design.
+    const DomainFaultPlan plan = DomainFaultPlan::parse(
+        "node[1]@0.1:sensor-brownout:30;node[0]@0.2:dvfs-stuck:30;"
+        "rack[1]@0.4:budget-drop:20:0.5");
+    const DerivedDomainFaults derived =
+        deriveDomainFaults(plan, FaultPlan{}, {2, 2, 2}, 8, 20068);
+
+    auto supervised = [&](ThreadPool *pool) {
+        ClusterSupervisor sup(ClusterSupervisorConfig(),
+                              derived.drops);
+        return runCluster(derived.perCore, &sup, pool);
+    };
+    const ClusterResult serial = supervised(nullptr);
+    EXPECT_GT(serial.resilience.quarantineEntries, 0u);
+    EXPECT_GT(serial.resilience.readmissions, 0u);
+    EXPECT_EQ(serial.resilience.budgetDropsApplied, 1u);
+    EXPECT_GT(serial.resilience.shedIntervals, 0u);
+    EXPECT_GT(serial.recovery.sensorDrops, 0u);
+
+    ThreadPool three(3);
+    ThreadPool seven(7);
+    const ClusterResult p3 = supervised(&three);
+    const ClusterResult p7 = supervised(&seven);
+    expectIdentical(serial, p3);
+    expectIdentical(serial, p7);
+    EXPECT_EQ(serial.resilience.quarantineIntervals,
+              p3.resilience.quarantineIntervals);
+    EXPECT_EQ(serial.resilience.quarantineIntervals,
+              p7.resilience.quarantineIntervals);
+    EXPECT_EQ(serial.resilience.shedWattIntervals,
+              p7.resilience.shedWattIntervals);
+}
+
+TEST_F(ResilienceClusterTest, BrownoutQuarantinesAndReadmits)
+{
+    // One node goes sensor-blind for 40 intervals: its cores must be
+    // quarantined while blind and re-admitted after proving healthy,
+    // and the re-absorbed budget must not push the cluster over cap
+    // more often than the clean run.
+    const DomainFaultPlan plan = DomainFaultPlan::parse(
+        "node[1]@0.1:sensor-brownout:40");
+    const DerivedDomainFaults derived =
+        deriveDomainFaults(plan, FaultPlan{}, {2, 2, 2}, 8, 20068);
+
+    ClusterSupervisor sup;
+    const ClusterResult r = runCluster(derived.perCore, &sup, nullptr);
+    EXPECT_TRUE(r.finished);
+    // Cores [2, 4) brown out; both should trip the default streak.
+    EXPECT_EQ(r.resilience.quarantineEntries, 2u);
+    EXPECT_EQ(r.resilience.readmissions, 2u);
+    EXPECT_GE(r.resilience.quarantineIntervals,
+              2 * ClusterSupervisorConfig().minQuarantineIntervals);
+    EXPECT_EQ(r.resilience.budgetDropsApplied, 0u);
+    // Nobody is left quarantined at the end of the run.
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_FALSE(sup.quarantined(i)) << i;
+}
+
+TEST_F(ResilienceClusterTest, SharedPlanCoresDrawDecorrelatedStreams)
+{
+    // The CLI contract: every core of a multi-core run gets
+    // faultSeed = domainCoreSeed(base, i), with or without an explicit
+    // --fault-seed. Two identical cores sharing one stochastic plan
+    // replay a single fault sequence when given the same raw seed (the
+    // pre-fix behavior) and must diverge under the per-core mix.
+    static const Workload w = specWorkload("ammp", config().core, 1.5);
+    const FaultPlan plan = FaultPlan::mixed(0.2);
+    const auto run = [&](bool offsetSeeds) {
+        ClusterConfig cc;
+        for (size_t i = 0; i < 2; ++i) {
+            ClusterCoreConfig core = makeCore(&w);
+            core.options.faultPlan = plan;
+            core.options.faultSeed =
+                offsetSeeds ? domainCoreSeed(plan.seed, i) : plan.seed;
+            cc.cores.push_back(std::move(core));
+        }
+        cc.budgetW = 24.0;
+        ClusterPlatform cluster(std::move(cc));
+        DemandProportionalAllocator demand;
+        return cluster.run(demand, nullptr);
+    };
+
+    const ClusterResult replay = run(false);
+    ASSERT_EQ(replay.cores.size(), 2u);
+    EXPECT_EQ(replay.cores[0].recovery.faultsSeen(),
+              replay.cores[1].recovery.faultsSeen());
+    EXPECT_DOUBLE_EQ(replay.cores[0].trueEnergyJ,
+                     replay.cores[1].trueEnergyJ);
+
+    const ClusterResult mixed = run(true);
+    ASSERT_EQ(mixed.cores.size(), 2u);
+    EXPECT_TRUE(mixed.cores[0].recovery.faultsSeen() !=
+                    mixed.cores[1].recovery.faultsSeen() ||
+                mixed.cores[0].trueEnergyJ !=
+                    mixed.cores[1].trueEnergyJ)
+        << "per-core seeds failed to decorrelate the fault streams";
+}
+
+} // namespace
+} // namespace aapm

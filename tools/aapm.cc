@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "aapm.hh"
@@ -268,12 +269,16 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
     std::vector<ClusterManifestEntry> entries;
     std::string topology;
     std::string policies;
+    std::string domainSpec;
+    std::string domainSeedStr;
     if (opts.has("manifest")) {
         ClusterManifest manifest =
             loadClusterManifest(opts.str("manifest"));
         entries = std::move(manifest.entries);
         topology = manifest.topology;
         policies = manifest.policies;
+        domainSpec = manifest.domainPlan;
+        domainSeedStr = manifest.domainSeed;
     } else if (opts.has("workload") || opts.has("workload-file")) {
         ClusterManifestEntry e;
         if (opts.has("workload-file")) {
@@ -341,6 +346,29 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
     RunOptions base_opts;
     applyFaultOptions(opts, base_opts);
 
+    // Correlated cluster faults: the flag beats the manifest, like the
+    // topology. The derived per-core plans replace the --fault-plan
+    // base on every core; budget drops split into global cap cuts
+    // (budget commands, applied with or without supervision) and
+    // subtree sheds (ClusterSupervisor only).
+    if (opts.has("cluster-fault-plan"))
+        domainSpec = opts.str("cluster-fault-plan");
+    const DomainFaultPlan domainPlan =
+        DomainFaultPlan::parse(domainSpec);
+    uint64_t domainSeed = domainPlan.seed;
+    if (!domainSeedStr.empty())
+        domainSeed = std::strtoull(domainSeedStr.c_str(), nullptr, 10);
+    if (opts.has("domain-seed"))
+        domainSeed = static_cast<uint64_t>(opts.num("domain-seed"));
+    DerivedDomainFaults derived;
+    if (domainPlan.active()) {
+        std::vector<size_t> fanout;
+        if (!topology.empty())
+            fanout = parseTopology(topology);
+        derived = deriveDomainFaults(domainPlan, base_opts.faultPlan,
+                                     fanout, n, domainSeed);
+    }
+
     // One flush thread serves every per-core binary sink (declared
     // before the sinks so it outlives their destructors). JSONL/CSV
     // sinks ignore it.
@@ -362,10 +390,22 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
         core.workload = &workloads[i % workloads.size()];
         core.governor = factory;
         core.options = base_opts;
-        // Decorrelate per-core fault streams.
-        if (opts.has("fault-seed")) {
-            core.options.faultSeed =
-                static_cast<uint64_t>(opts.num("fault-seed")) + i;
+        // Decorrelate per-core fault streams: every multi-core run
+        // derives its own per-core seed, with or without --fault-seed
+        // (siblings used to replay one identical stream unless the
+        // seed was pinned explicitly).
+        const uint64_t seedBase = opts.has("fault-seed")
+            ? static_cast<uint64_t>(opts.num("fault-seed"))
+            : base_opts.faultPlan.seed;
+        if (domainPlan.active()) {
+            core.options.faultPlan = derived.perCore[i];
+            // The derived plans already carry domainCoreSeed(seed, i);
+            // an explicit --fault-seed still overrides.
+            core.options.faultSeed = opts.has("fault-seed")
+                ? domainCoreSeed(seedBase, i)
+                : 0;
+        } else {
+            core.options.faultSeed = domainCoreSeed(seedBase, i);
         }
         core.powerModel = &power;
         core.perfModel = &perf;
@@ -379,6 +419,34 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
             core.options.tracer = tracers.back().get();
         }
         cc.cores.push_back(std::move(core));
+    }
+
+    // PDU emergencies: global-scope drops cut the cluster cap itself
+    // (identical with and without supervision, so violation accounting
+    // stays comparable); subtree-scope drops need the supervisor to
+    // shed hierarchically.
+    std::vector<BudgetDropEvent> subtreeDrops;
+    if (domainPlan.active()) {
+        const std::vector<ScheduledCommand> globalDrops =
+            budgetDropCommands(derived.drops, budget,
+                               config.sampleInterval, n);
+        cc.budgetCommands.insert(cc.budgetCommands.end(),
+                                 globalDrops.begin(),
+                                 globalDrops.end());
+        for (const BudgetDropEvent &d : derived.drops) {
+            if (d.coreBegin != 0 || d.coreEnd != n)
+                subtreeDrops.push_back(d);
+        }
+    }
+    std::unique_ptr<ClusterSupervisor> supervisor;
+    if (opts.flag("supervise")) {
+        supervisor = std::make_unique<ClusterSupervisor>(
+            ClusterSupervisorConfig(), std::move(subtreeDrops));
+        cc.supervisor = supervisor.get();
+    } else if (!subtreeDrops.empty()) {
+        aapm_warn("domain plan: %zu subtree budget-drop(s) need "
+                  "--supervise to shed hierarchically; ignored",
+                  subtreeDrops.size());
     }
 
     ClusterPlatform cluster(std::move(cc));
@@ -413,6 +481,22 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
     std::printf("over-budget intervals: %.2f%%\n",
                 r.fractionOverBudgetTrue * 100.0);
     printRecovery(r.recovery);
+    if (supervisor != nullptr) {
+        // One parseable line, printed even when all-zero, so scripted
+        // smokes can assert both the active and the inert case.
+        const ClusterResilienceStats &res = r.resilience;
+        auto u = [](uint64_t v) {
+            return static_cast<unsigned long long>(v);
+        };
+        std::printf("resilience quarantines=%llu "
+                    "quarantined-intervals=%llu readmissions=%llu "
+                    "subtree-drops=%llu shed-intervals=%llu "
+                    "shed-watt-intervals=%.2f\n",
+                    u(res.quarantineEntries),
+                    u(res.quarantineIntervals), u(res.readmissions),
+                    u(res.budgetDropsApplied), u(res.shedIntervals),
+                    res.shedWattIntervals);
+    }
 
     if (opts.has("csv")) {
         CsvWriter csv(opts.str("csv"));
@@ -829,7 +913,15 @@ main(int argc, char **argv)
             opts.addOption("manifest", "FILE", "",
                            "cluster manifest: 'core NAME [seconds S]' "
                            "lines cycled across the cores, plus "
-                           "optional 'topology'/'policies' directives");
+                           "optional 'topology'/'policies'/"
+                           "'domain-plan'/'domain-seed' directives");
+            opts.addOption("cluster-fault-plan", "SPEC", "",
+                           "correlated domain faults, ';'-separated "
+                           "SCOPE@SEC:KIND:INTERVALS[:FRACTION] "
+                           "entries (see DomainFaultPlan::parse)");
+            opts.addOption("domain-seed", "N", "",
+                           "per-core seed derivation for the domain "
+                           "plan (default: the plan's seed)");
             if (!opts.parse(args, &error)) {
                 std::printf("%s", opts.usage().c_str());
                 if (!opts.helpRequested())
