@@ -1,25 +1,33 @@
 /**
  * @file
- * Scenario: a four-core server whose global power budget changes at
- * runtime — the paper's motivating use cases (iii) "continuing
- * operation with maximal but safe performance in the event of partial
- * supply/cooling failures" and (ii) flexible provisioning, applied
- * hierarchically.
+ * Flagship scenario: a 256-core power-capped serving cluster under
+ * open-loop traffic — the paper's runtime power constraints applied to
+ * the question that matters in a serving fleet: what happens to tail
+ * latency when the watts are scarce, and which budget policy buys the
+ * most p99 per joule?
  *
- * Four heterogeneous workloads run in lockstep under a cluster power
- * budget; every control interval an allocator splits the budget into
- * per-core limits delivered to per-core PerformanceMaximizer governors
- * (the paper's SIGUSR-style runtime constraint, one level up). Five
- * seconds in, a cooling failure cuts the budget by a third; five
- * seconds later it is restored. The demand-proportional policy routes
- * the scarce watts to the frequency-hungry cores, which a uniform
- * split — the cluster analogue of static worst-case provisioning —
- * cannot do.
+ * Every core runs per-request phase bursts drawn from a seeded
+ * three-class mix; a deterministic Poisson stream dispatches requests
+ * onto per-core queues (join-shortest-queue), and every control
+ * interval an allocator splits the global budget into per-core limits
+ * delivered to PerformanceMaximizer governors. The sweep crosses two
+ * load levels with three allocation policies — uniform (static
+ * worst-case provisioning), demand-proportional, and a 4x8x8 budget
+ * tree (rack > node > core) — plus two references: an uncapped
+ * PowerSave baseline, and a demand-proportional run through a cooling
+ * failure that cuts the budget by a third mid-run (the paper's
+ * use case iii, read off the p99 instead of the clock). One lesson
+ * the table teaches: under join-shortest-queue the per-core demand is
+ * homogeneous, so the uniform split is already demand-matched — the
+ * allocator choice matters far less than in the heterogeneous batch
+ * scenario this example used to model.
  */
 
 #include <cstdio>
 
 #include "aapm.hh"
+#include "cluster/budget_tree.hh"
+#include "exp/sweep.hh"
 
 int
 main()
@@ -32,78 +40,138 @@ main()
     const PowerEstimator power = models.powerEstimator(config.pstates);
     const PerfEstimator perf = models.perfEstimator();
 
-    // A heterogeneous mix: phase-diverse, core-bound, memory-bound.
-    const Workload mix[] = {
-        specWorkload("ammp", config.core, 15.0),
-        specWorkload("crafty", config.core, 15.0),
-        specWorkload("swim", config.core, 15.0),
-        specWorkload("mcf", config.core, 15.0),
+    constexpr size_t kCores = 256;
+    // 7 W per core: roughly half of what the cores would draw at full
+    // clock, so the allocation policy actually decides who runs fast.
+    const double budget_w = 7.0 * kCores;
+
+    // The default mix averages ~8.7e6 instructions per request and a
+    // core retires ~1.4e9 instr/s at full clock, so the uncapped
+    // cluster saturates near 40k rps. 8k is comfortable; 24k presses
+    // against what the capped cluster can actually sustain.
+    const double kModerateRps = 8000.0;
+    const double kPeakRps = 24000.0;
+
+    const GovernorFactory pm = [&power, budget_w] {
+        return std::make_unique<PerformanceMaximizer>(
+            power, PmConfig{.powerLimitW = budget_w / kCores});
+    };
+    // PowerSave ignores setPowerLimit, so under the cluster it serves
+    // as the "no power management" reference: full-speed latency, full
+    // power draw.
+    const GovernorFactory ps = [&config, &perf] {
+        return std::make_unique<PowerSave>(config.pstates, perf,
+                                           PsConfig{0.8});
     };
 
-    const double normal_w = 64.0;
-    const double failure_w = 44.0;
-
-    ClusterConfig cc;
-    for (const Workload &w : mix) {
-        ClusterCoreConfig core;
-        core.platform = config;
-        core.workload = &w;
-        core.governor = [&power, normal_w] {
-            return std::make_unique<PerformanceMaximizer>(
-                power, PmConfig{.powerLimitW = normal_w / 4.0});
-        };
-        core.powerModel = &power;
-        core.perfModel = &perf;
-        cc.cores.push_back(std::move(core));
-    }
-    cc.budgetW = normal_w;
-    cc.budgetCommands = {
-        {5 * TicksPerSec, ScheduledCommand::Kind::SetPowerLimit,
-         failure_w},
-        {10 * TicksPerSec, ScheduledCommand::Kind::SetPowerLimit,
-         normal_w},
-    };
-
-    ClusterPlatform cluster(cc);
-    ThreadPool pool;
-    DemandProportionalAllocator demand;
-    const ClusterResult r = cluster.run(demand, &pool);
-
-    std::printf("power-capped server: 4 cores, %.1f W budget, cooling "
-                "failure (%.1f W) during t = 5..10 s\n\n", normal_w,
-                failure_w);
-    std::printf("%8s  %12s\n", "t (s)", "cluster power");
-    // 1-second aggregation for readability.
-    double p_acc = 0.0;
-    int n = 0, second = 1;
-    for (const auto &s : r.trace.samples()) {
-        p_acc += s.trueW;
-        ++n;
-        if (ticksToSeconds(s.when) >= second) {
-            std::printf("%8d  %10.2f W\n", second, p_acc / n);
-            p_acc = 0.0;
-            n = 0;
-            ++second;
+    const auto makeCluster = [&](const GovernorFactory &gov) {
+        ClusterConfig cc;
+        cc.budgetW = budget_w;
+        for (size_t i = 0; i < kCores; ++i) {
+            ClusterCoreConfig core;
+            core.platform = config;
+            core.governor = gov;
+            core.powerModel = &power;
+            core.perfModel = &perf;
+            cc.cores.push_back(std::move(core));
         }
-    }
+        return cc;
+    };
+    const ClusterConfig capped = makeCluster(pm);
+    const ClusterConfig uncapped = makeCluster(ps);
 
-    std::printf("\nper-core completion under '%s':\n", demand.name());
-    for (size_t i = 0; i < r.cores.size(); ++i) {
-        std::printf("  core %zu  %-8s %6.2f s  %6.2f J\n", i,
-                    r.cores[i].workloadName.c_str(),
-                    r.cores[i].seconds, r.cores[i].trueEnergyJ);
-    }
-    std::printf("slowest core %.2f s; aggregate %.3e instr/s; "
-                "over-budget intervals %.1f%%\n", r.seconds, r.perf(),
-                r.fractionOverBudgetTrue * 100.0);
+    // A cooling failure drops the budget by a third for the middle of
+    // the run; the allocator sheds the cut where it hurts least.
+    ClusterConfig failing = makeCluster(pm);
+    failing.budgetCommands = {
+        {secondsToTicks(0.15), ScheduledCommand::Kind::SetPowerLimit,
+         budget_w * 2.0 / 3.0},
+        {secondsToTicks(0.35), ScheduledCommand::Kind::SetPowerLimit,
+         budget_w},
+    };
 
-    // What the uniform alternative costs: every core provisioned at
-    // budget/4 regardless of what it could use.
-    UniformAllocator uniform;
-    const ClusterResult flat = cluster.run(uniform, &pool);
-    std::printf("uniform split for comparison: slowest core %.2f s, "
-                "aggregate %.3e instr/s (%.1f%% lower throughput)\n",
-                flat.seconds, flat.perf(),
-                (1.0 - flat.perf() / r.perf()) * 100.0);
+    const auto scenario = [](double rps) {
+        ServingConfig s;
+        s.traffic.rateRps = rps;
+        s.traffic.seed = 42;
+        s.horizonS = 0.5;
+        s.sloS = 0.05;
+        s.queueCap = 64;
+        return s;
+    };
+    const ServingConfig moderate = scenario(kModerateRps);
+    const ServingConfig peak = scenario(kPeakRps);
+
+    const AllocatorFactory uniform = [] {
+        return std::make_unique<UniformAllocator>();
+    };
+    const AllocatorFactory demand = [] {
+        return std::make_unique<DemandProportionalAllocator>();
+    };
+    const AllocatorFactory tree = [] {
+        BudgetTreeConfig cfg;
+        cfg.fanout = {4, 8, 8};
+        // Empty policies = demand-proportional at every level.
+        return std::make_unique<BudgetTreeAllocator>(std::move(cfg));
+    };
+
+    struct Row
+    {
+        const char *label;
+        ServingRunSpec spec;
+    };
+    const std::vector<Row> rows = {
+        {"uniform, 8k rps", {&capped, &moderate, uniform}},
+        {"demand, 8k rps", {&capped, &moderate, demand}},
+        {"tree 4x8x8, 8k rps", {&capped, &moderate, tree}},
+        {"uniform, 24k rps", {&capped, &peak, uniform}},
+        {"demand, 24k rps", {&capped, &peak, demand}},
+        {"tree 4x8x8, 24k rps", {&capped, &peak, tree}},
+        {"uncapped ps, 24k rps", {&uncapped, &peak, demand}},
+        {"cooling fail, 8k rps", {&failing, &moderate, demand}},
+    };
+
+    std::printf("power-capped serving: %zu cores, %.0f W budget, "
+                "50 ms SLO, 0.5 s of open-loop traffic\n\n", kCores,
+                budget_w);
+
+    SweepRunner runner(config);
+    std::vector<ServingRunSpec> specs;
+    for (const Row &row : rows)
+        specs.push_back(row.spec);
+    const std::vector<ServingResult> results =
+        runner.runServings(specs);
+
+    TextTable t;
+    t.header({"scenario", "served/s", "p50 ms", "p99 ms", "p99.9 ms",
+              "SLO miss %", "energy J", "over-cap %"});
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const ServingResult &r = results[i];
+        t.row({rows[i].label, TextTable::num(r.completedRps(), 0),
+               TextTable::num(r.p50S * 1e3, 2),
+               TextTable::num(r.p99S * 1e3, 2),
+               TextTable::num(r.p999S * 1e3, 2),
+               TextTable::num(r.sloViolationFrac * 100.0, 2),
+               TextTable::num(r.cluster.trueEnergyJ, 1),
+               TextTable::num(r.cluster.fractionOverBudgetTrue * 100.0,
+                              2)});
+    }
+    std::printf("%s", t.str().c_str());
+
+    const ServingResult &flat = results[3];
+    const ServingResult &prop = results[4];
+    std::printf("\nat 24k rps, p99 = %.1f ms under the uniform split "
+                "vs %.1f ms demand-proportional: join-shortest-queue "
+                "keeps per-core demand homogeneous, so the uniform "
+                "split is already demand-matched — the opposite of "
+                "the heterogeneous batch case, where demand wins.\n",
+                flat.p99S * 1e3, prop.p99S * 1e3);
+    const ServingResult &unc = results[6];
+    std::printf("the uncapped PowerSave reference spends %.0f J "
+                "(%.1fx the capped %.0f J) to buy p99 = %.1f ms — "
+                "the energy/latency trade the SLO makes explicit.\n",
+                unc.cluster.trueEnergyJ,
+                unc.cluster.trueEnergyJ / prop.cluster.trueEnergyJ,
+                prop.cluster.trueEnergyJ, unc.p99S * 1e3);
     return 0;
 }

@@ -4,6 +4,7 @@ published schema.
 
 Usage: check_trace_schema.py [--cluster] TRACE_FILE [TRACE_FILE...]
        check_trace_schema.py --cluster BASE_PATH
+       check_trace_schema.py --requests REQUEST_LOG [REQUEST_LOG...]
 
 Checks, per file:
   * the header declares trace-format version 1 and the exact field list
@@ -22,6 +23,16 @@ interval 0 (the cluster steps all cores from the same tick). Record
 counts may differ between cores — an allocator that splits the budget
 unevenly makes cores retire their workloads at different speeds, so
 the faster ones stop tracing an interval or two early.
+
+With --requests, the files are per-request serving logs as written by
+`aapm serve --requests-out` (writeRequestLog in src/serve/serving.cc):
+a header object declaring `aapm_requests` version 1, the SLO and the
+request classes; one record per request in arrival order with
+sequential ids; and an `aapm_requests_end` trailer whose completed and
+dropped counts must match the records. Per record, the accounting must
+be internally consistent — a dropped request never completes, a
+completion never precedes its arrival, and `slo_ok` agrees with the
+latency judged against the header's SLO.
 
 A single --cluster argument naming a file that does not exist is
 treated as the base path handed to `aapm cluster --trace-out`: the
@@ -184,6 +195,88 @@ def check_csv(path, lines):
             "first": indexes[0] if indexes else None}
 
 
+REQUEST_FIELDS = ["id", "class", "core", "arrival_s", "complete_s",
+                  "latency_s", "dropped", "slo_ok"]
+
+
+def check_requests(path):
+    """Validate one per-request serving log; True on success."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [line.rstrip("\n") for line in f if line.strip()]
+    except OSError as e:
+        return fail(path, str(e)) is not None
+    if len(lines) < 2:
+        return fail(path, "missing header or trailer") is not None
+    try:
+        header = json.loads(lines[0])
+        trailer = json.loads(lines[-1])
+    except json.JSONDecodeError as e:
+        return fail(path, f"header/trailer not JSON: {e}") is not None
+    if header.get("aapm_requests") != 1:
+        return fail(path, "missing or unsupported aapm_requests "
+                          "version") is not None
+    slo = header.get("slo_s")
+    classes = header.get("classes")
+    if not isinstance(slo, (int, float)) or slo <= 0:
+        return fail(path, f"bad slo_s {slo!r}") is not None
+    if not isinstance(classes, list) or not classes:
+        return fail(path, "missing request classes") is not None
+    if "aapm_requests_end" not in trailer:
+        return fail(path, "missing trailer (truncated log?)") \
+               is not None
+
+    rows = lines[1:-1]
+    if header.get("offered") != len(rows):
+        return fail(path, f"header offers {header.get('offered')} "
+                          f"requests but {len(rows)} are present") \
+               is not None
+    completed = dropped = 0
+    for n, line in enumerate(rows, start=2):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            return fail(path, f"line {n}: not JSON: {e}") is not None
+        missing = [f for f in REQUEST_FIELDS if f not in rec]
+        if missing:
+            return fail(path, f"line {n}: missing fields {missing}") \
+                   is not None
+        if rec["id"] != n - 2:
+            return fail(path, f"line {n}: id {rec['id']} breaks the "
+                              f"sequential arrival order") is not None
+        if not 0 <= rec["class"] < len(classes):
+            return fail(path, f"line {n}: class {rec['class']} outside "
+                              f"the {len(classes)}-class mix") \
+                   is not None
+        if rec["dropped"] not in (0, 1) or rec["slo_ok"] not in (0, 1):
+            return fail(path, f"line {n}: dropped/slo_ok not 0/1") \
+                   is not None
+        done = rec["complete_s"] >= 0
+        if rec["dropped"] and done:
+            return fail(path, f"line {n}: dropped request completed") \
+                   is not None
+        if done and rec["complete_s"] < rec["arrival_s"]:
+            return fail(path, f"line {n}: completion precedes "
+                              f"arrival") is not None
+        ok = 1 if done and rec["latency_s"] <= slo else 0
+        if rec["slo_ok"] != ok:
+            return fail(path, f"line {n}: slo_ok={rec['slo_ok']} "
+                              f"disagrees with latency "
+                              f"{rec['latency_s']} vs slo {slo}") \
+                   is not None
+        completed += done
+        dropped += rec["dropped"]
+    if trailer.get("completed") != completed or \
+       trailer.get("dropped") != dropped:
+        return fail(path, f"trailer counts ({trailer.get('completed')} "
+                          f"completed, {trailer.get('dropped')} "
+                          f"dropped) disagree with the records "
+                          f"({completed}, {dropped})") is not None
+    print(f"{path}: OK ({len(rows)} requests, {completed} completed, "
+          f"{dropped} dropped)")
+    return True
+
+
 def check(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -264,12 +357,18 @@ def expand_cluster_base(base):
 def main(argv):
     args = argv[1:]
     cluster = False
+    requests = False
     if args and args[0] == "--cluster":
         cluster = True
+        args = args[1:]
+    elif args and args[0] == "--requests":
+        requests = True
         args = args[1:]
     if not args:
         print(__doc__, file=sys.stderr)
         return 2
+    if requests:
+        return 0 if all([check_requests(p) for p in args]) else 1
     if cluster and len(args) == 1 and not os.path.exists(args[0]):
         args = expand_cluster_base(args[0])
         if args is None:

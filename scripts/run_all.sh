@@ -113,6 +113,30 @@ if [[ "$SANITIZE" == 1 ]]; then
         > build-asan/resilience_inert_smoke.txt
     grep -E "resilience quarantines=0 quarantined-intervals=0" \
         build-asan/resilience_inert_smoke.txt
+    # Serving smoke under the sanitizers: the traffic generator, the
+    # request scheduler's step hook and the per-request log run
+    # end-to-end; two same-seed runs at different pool widths must
+    # report identical tail latencies and complete requests.
+    ASAN_OPTIONS=detect_leaks=0 \
+        build-asan/tools/aapm serve --cluster 64 --budget 448 \
+        --paper-models --rate 4000 --seconds 0.3 --serve-seed 42 \
+        --requests-out build-asan/serve_smoke.jsonl \
+        > build-asan/serve_a.txt
+    ASAN_OPTIONS=detect_leaks=0 AAPM_JOBS=1 \
+        build-asan/tools/aapm serve --cluster 64 --budget 448 \
+        --paper-models --rate 4000 --seconds 0.3 --serve-seed 42 \
+        > build-asan/serve_b.txt
+    grep "^serving offered=" build-asan/serve_a.txt \
+        > build-asan/serve_line_a.txt
+    grep "^serving offered=" build-asan/serve_b.txt \
+        > build-asan/serve_line_b.txt
+    cmp build-asan/serve_line_a.txt build-asan/serve_line_b.txt
+    grep -E "serving offered=[0-9]+ completed=[1-9]" \
+        build-asan/serve_line_a.txt
+    if command -v python3 >/dev/null 2>&1; then
+        python3 scripts/check_trace_schema.py --requests \
+            build-asan/serve_smoke.jsonl
+    fi
     echo "done: sanitize_output.txt"
     exit 0
 fi
@@ -192,6 +216,25 @@ build/tools/aapm run --workload gzip --cluster 256 --budget 2560 \
     > build/resilience_inert_smoke.txt
 grep -E "resilience quarantines=0 quarantined-intervals=0" \
     build/resilience_inert_smoke.txt
+
+# Serving smoke: seeded open-loop traffic on a 64-core capped cluster
+# must complete requests and report bit-identical tail latencies on
+# the parseable `serving ...` line across pool widths; the request
+# log must pass the schema checker.
+build/tools/aapm serve --cluster 64 --budget 448 --paper-models \
+    --rate 4000 --seconds 0.3 --serve-seed 42 \
+    --requests-out build/serve_smoke.jsonl > build/serve_a.txt
+AAPM_JOBS=1 build/tools/aapm serve --cluster 64 --budget 448 \
+    --paper-models --rate 4000 --seconds 0.3 --serve-seed 42 \
+    > build/serve_b.txt
+grep "^serving offered=" build/serve_a.txt > build/serve_line_a.txt
+grep "^serving offered=" build/serve_b.txt > build/serve_line_b.txt
+cmp build/serve_line_a.txt build/serve_line_b.txt
+grep -E "serving offered=[0-9]+ completed=[1-9]" build/serve_line_a.txt
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/check_trace_schema.py --requests \
+        build/serve_smoke.jsonl
+fi
 
 export AAPM_SECONDS="$SECONDS_OPT"
 # Train once, reuse across every harness in the loop below.

@@ -67,6 +67,8 @@
 #include "pmu/rotation.hh"
 #include "power/truth_power.hh"
 #include "sensor/power_sensor.hh"
+#include "serve/serving.hh"
+#include "serve/traffic.hh"
 #include "validation/trace_sim.hh"
 #include "sim/event_queue.hh"
 #include "sim/ticks.hh"

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 
 namespace aapm
 {
@@ -110,13 +111,7 @@ CliOptions::str(const std::string &name) const
 double
 CliOptions::num(const std::string &name) const
 {
-    const std::string v = str(name);
-    char *end = nullptr;
-    const double x = std::strtod(v.c_str(), &end);
-    if (!end || *end != '\0')
-        aapm_fatal("option --%s expects a number, got '%s'",
-                   name.c_str(), v.c_str());
-    return x;
+    return parseStrictDouble(str(name), "option --" + name);
 }
 
 std::string

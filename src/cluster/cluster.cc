@@ -66,6 +66,16 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
                      });
     size_t nextCmd = 0;
     double budget = config_.budgetW;
+    // Commands scheduled at (or before) t = 0 are in force from the
+    // start: apply them before the pre-run allocation round, so the
+    // first interval is both allocated and judged against the dropped
+    // budget rather than the nominal one.
+    while (nextCmd < budgetCmds.size() && budgetCmds[nextCmd].when <= 0) {
+        if (budgetCmds[nextCmd].kind ==
+            ScheduledCommand::Kind::SetPowerLimit)
+            budget = budgetCmds[nextCmd].value;
+        ++nextCmd;
+    }
 
     ClusterResult result;
     result.budgetW = config_.budgetW;
@@ -122,6 +132,10 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
         stat.truePowerW = truePowerW;
         result.allocations.push_back(std::move(stat));
     };
+
+    ClusterStepView view(runs, active);
+    if (config_.stepHook != nullptr)
+        config_.stepHook->begin(view);
 
     // Pre-run round: no samples yet, so every policy splits uniformly.
     for (size_t i = 0; i < n; ++i) {
@@ -270,6 +284,12 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
                 budget = budgetCmds[nextCmd].value;
             ++nextCmd;
         }
+
+        // Serial, deterministic extension point: runs even for the
+        // final interval so hooks can account for work that completed
+        // as the last cores drained.
+        if (config_.stepHook != nullptr)
+            config_.stepHook->interval(now, view);
 
         if (activeN == 0)
             break;

@@ -45,6 +45,60 @@ namespace aapm
  *  redeclared so the cluster layer does not depend on it. */
 using GovernorFactory = std::function<std::unique_ptr<Governor>()>;
 
+/**
+ * Read/steer access to the cluster's per-core runs, handed to a
+ * ClusterStepHook at each serial phase-B point. run(i) stays valid
+ * (and readable) after core i deactivates — hooks use that to account
+ * for work that completed in a core's final interval.
+ */
+class ClusterStepView
+{
+  public:
+    ClusterStepView(std::vector<std::unique_ptr<PlatformRun>> &runs,
+                    const std::vector<char> &active)
+        : runs_(runs), active_(active)
+    {
+    }
+
+    /** Number of cores in the cluster. */
+    size_t coreCount() const { return runs_.size(); }
+
+    /** Core i has not yet finished (its next step() will run). */
+    bool active(size_t i) const { return active_[i] != 0; }
+
+    /** Core i's in-flight run (cursor, counters, governor). */
+    PlatformRun &run(size_t i) const { return *runs_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<PlatformRun>> &runs_;
+    const std::vector<char> &active_;
+};
+
+/**
+ * Optional per-interval driver called serially from the cluster's
+ * phase B — the extension point request-driven scenarios (serve/) use
+ * to feed streaming workload cursors in lockstep. Both calls run on
+ * the stepping thread in deterministic order, so any state a hook
+ * mutates stays bit-identical across AAPM_JOBS values. A null hook
+ * leaves the cluster's behavior exactly as before.
+ */
+class ClusterStepHook
+{
+  public:
+    virtual ~ClusterStepHook() = default;
+
+    /** Once per run, after the cores boot and before the pre-run
+     *  allocation round: seed initial work. */
+    virtual void begin(const ClusterStepView &view) = 0;
+
+    /**
+     * After every lockstep interval (including the final one), before
+     * the allocation round that follows it.
+     * @param now Cluster clock at the end of the interval.
+     */
+    virtual void interval(Tick now, const ClusterStepView &view) = 0;
+};
+
 /** One core of a cluster. */
 struct ClusterCoreConfig
 {
@@ -97,6 +151,12 @@ struct ClusterConfig
      * without one.
      */
     ClusterSupervisor *supervisor = nullptr;
+    /**
+     * Optional lockstep driver (see ClusterStepHook). Not owned; must
+     * outlive the runs. nullptr = no hook, bit-identical to before the
+     * hook existed.
+     */
+    ClusterStepHook *stepHook = nullptr;
 };
 
 /** One allocation round, recorded when recordAllocations is set. */
@@ -180,6 +240,14 @@ class ClusterPlatform
 
     /** The per-core platform (for characterization / training). */
     Platform &platform(size_t core) { return *platforms_[core]; }
+
+    /**
+     * Install (or clear) the lockstep driver after construction —
+     * drivers like serve/'s RequestScheduler need the constructed
+     * cluster (its platforms) to size themselves before they can be
+     * installed. Takes effect on the next run().
+     */
+    void setStepHook(ClusterStepHook *hook) { config_.stepHook = hook; }
 
   private:
     ClusterConfig config_;

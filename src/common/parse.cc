@@ -1,0 +1,55 @@
+#include "common/parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+double
+parseStrictDouble(const std::string &text, const std::string &what)
+{
+    if (text.empty())
+        aapm_fatal("%s: empty numeric value", what.c_str());
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (!end || end == text.c_str() || *end != '\0')
+        aapm_fatal("%s: bad numeric value '%s'", what.c_str(),
+                   text.c_str());
+    if (errno == ERANGE)
+        aapm_fatal("%s: numeric value '%s' out of range", what.c_str(),
+                   text.c_str());
+    if (!std::isfinite(v))
+        aapm_fatal("%s: non-finite numeric value '%s'", what.c_str(),
+                   text.c_str());
+    return v;
+}
+
+uint64_t
+parseStrictU64(const std::string &text, const std::string &what)
+{
+    if (text.empty())
+        aapm_fatal("%s: empty integer value", what.c_str());
+    for (const char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            aapm_fatal("%s: bad integer value '%s'", what.c_str(),
+                       text.c_str());
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (!end || *end != '\0')
+        aapm_fatal("%s: bad integer value '%s'", what.c_str(),
+                   text.c_str());
+    if (errno == ERANGE)
+        aapm_fatal("%s: integer value '%s' out of range", what.c_str(),
+                   text.c_str());
+    return static_cast<uint64_t>(v);
+}
+
+} // namespace aapm

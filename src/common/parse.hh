@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Strict numeric parsing for user-supplied text (manifest directives,
+ * CLI option values). Unlike bare strtod/strtoull, these helpers
+ * reject trailing garbage, overflow/underflow, and non-finite values
+ * ("inf", "nan", "1e999") with a clear fatal() message naming the
+ * offending token and its context.
+ */
+
+#ifndef AAPM_COMMON_PARSE_HH
+#define AAPM_COMMON_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace aapm
+{
+
+/**
+ * Parse a finite double from the full token. fatal() on an empty
+ * token, trailing garbage, overflow/underflow, or a non-finite result.
+ * @param what Context for the error message (e.g. "option --budget").
+ */
+double parseStrictDouble(const std::string &text, const std::string &what);
+
+/**
+ * Parse a base-10 unsigned 64-bit integer from the full token; only
+ * digits are accepted (no sign, no whitespace). fatal() on anything
+ * else or on overflow.
+ * @param what Context for the error message (e.g. "domain-seed").
+ */
+uint64_t parseStrictU64(const std::string &text, const std::string &what);
+
+} // namespace aapm
+
+#endif // AAPM_COMMON_PARSE_HH

@@ -28,7 +28,9 @@ RunningStats::add(double x)
 void
 RunningStats::addWeighted(double x, double weight)
 {
-    aapm_assert(weight >= 0.0, "negative weight %f", weight);
+    aapm_assert(std::isfinite(x), "non-finite sample %f", x);
+    aapm_assert(std::isfinite(weight) && weight >= 0.0,
+                "bad weight %f", weight);
     if (weight == 0.0)
         return;
     ++count_;
@@ -49,7 +51,14 @@ RunningStats::mean() const
 double
 RunningStats::variance() const
 {
-    return (count_ >= 2 && weight_ > 0.0) ? m2_ / weight_ : 0.0;
+    // Reliability-weight population variance: m2_ / weight_, exactly
+    // the unweighted population variance when every sample is added
+    // with weight 1, and invariant under a uniform scaling of all
+    // weights. Gating on the accumulated weight (not the sample count)
+    // keeps the estimator well defined for any nonempty input; the
+    // clamp absorbs the tiny negative m2_ that Welford updates can
+    // accumulate in floating point.
+    return weight_ > 0.0 ? std::max(0.0, m2_ / weight_) : 0.0;
 }
 
 double
@@ -75,8 +84,8 @@ Histogram::add(double x)
         ++underflow_;
         bin = 0;
     } else if (x >= hi_) {
-        if (x > hi_)
-            ++overflow_;
+        // Half-open [lo, hi): the upper bound itself is out of range.
+        ++overflow_;
         bin = counts_.size() - 1;
     } else {
         const double frac = (x - lo_) / (hi_ - lo_);
@@ -109,13 +118,17 @@ Histogram::quantile(double q) const
         return lo_;
     const uint64_t target =
         static_cast<uint64_t>(q * static_cast<double>(total_));
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
     uint64_t seen = 0;
     for (size_t i = 0; i < counts_.size(); ++i) {
         seen += counts_[i];
+        // With half-open bins every in-range sample in bin i is
+        // strictly below the bin's upper edge, so the edge is a sound
+        // "q of the samples fall below this" answer at the boundary.
         if (seen > target)
-            return binCenter(i);
+            return lo_ + static_cast<double>(i + 1) * width;
     }
-    return binCenter(counts_.size() - 1);
+    return hi_;
 }
 
 double

@@ -40,7 +40,12 @@ class RunningStats
     /** Weighted arithmetic mean; 0 when empty. */
     double mean() const;
 
-    /** Weighted population variance; 0 when fewer than 2 samples. */
+    /**
+     * Reliability-weight population variance (sum of w·(x−mean)² over
+     * the sum of weights): equal to the unweighted population variance
+     * when all weights are 1, and invariant under uniform weight
+     * scaling. 0 when empty.
+     */
     double variance() const;
 
     /** Square root of variance(). */
@@ -65,8 +70,9 @@ class RunningStats
 };
 
 /**
- * Fixed-bin histogram over a closed value range; out-of-range samples
- * are clamped into the first/last bin and counted separately.
+ * Fixed-bin histogram over the half-open range [lo, hi); out-of-range
+ * samples (x < lo or x >= hi, including hi itself) are clamped into
+ * the first/last bin and counted separately.
  */
 class Histogram
 {
@@ -96,12 +102,13 @@ class Histogram
     /** Samples that fell below the range (clamped into bin 0). */
     uint64_t underflow() const { return underflow_; }
 
-    /** Samples that fell above the range (clamped into the last bin). */
+    /** Samples at or above hi (clamped into the last bin). */
     uint64_t overflow() const { return overflow_; }
 
     /**
-     * Value below which the given fraction of samples fall
-     * (approximated at bin granularity). q in [0,1].
+     * Value below which the given fraction of samples fall,
+     * approximated at bin granularity as the covering bin's upper
+     * edge (consistent with the half-open bins). q in [0,1].
      */
     double quantile(double q) const;
 

@@ -185,4 +185,36 @@ SweepRunner::runClusters(const std::vector<ClusterRunSpec> &specs)
     return out;
 }
 
+std::vector<ServingResult>
+SweepRunner::runServings(const std::vector<ServingRunSpec> &specs)
+{
+    AAPM_PROF_SCOPE("sweep_servings");
+    static const CounterId runs_id =
+        MetricRegistry::global().counter("sweep.serving_runs");
+    MetricRegistry::global().add(runs_id, specs.size());
+
+    for (const ServingRunSpec &spec : specs) {
+        aapm_assert(spec.cluster != nullptr,
+                    "ServingRunSpec needs a cluster config");
+        aapm_assert(spec.serving != nullptr,
+                    "ServingRunSpec needs a serving config");
+        aapm_assert(static_cast<bool>(spec.allocator),
+                    "ServingRunSpec needs an allocator factory");
+    }
+
+    std::vector<ServingResult> out(specs.size());
+    if (specs.size() == 1) {
+        const auto allocator = specs[0].allocator();
+        out[0] = runServing(*specs[0].cluster, *specs[0].serving,
+                            *allocator, &pool_);
+        return out;
+    }
+    pool_.parallelFor(specs.size(), [&](size_t i) {
+        const auto allocator = specs[i].allocator();
+        out[i] = runServing(*specs[i].cluster, *specs[i].serving,
+                            *allocator, nullptr);
+    });
+    return out;
+}
+
 } // namespace aapm

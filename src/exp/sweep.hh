@@ -30,6 +30,7 @@
 #include "mgmt/governor.hh"
 #include "platform/experiment.hh"
 #include "platform/platform.hh"
+#include "serve/serving.hh"
 
 namespace aapm
 {
@@ -72,6 +73,19 @@ struct ClusterRunSpec
 {
     /** The cluster to run (not owned; must outlive the sweep). */
     const ClusterConfig *cluster = nullptr;
+    /** Budget policy factory; required. */
+    AllocatorFactory allocator;
+};
+
+/** One independent serving run: a cluster and a traffic scenario
+ *  under a budget policy. The core workload pointers in `cluster` are
+ *  ignored — runServing() replaces them with the scenario's menu. */
+struct ServingRunSpec
+{
+    /** The cluster to serve on (not owned; must outlive the sweep). */
+    const ClusterConfig *cluster = nullptr;
+    /** The serving scenario (not owned; must outlive the sweep). */
+    const ServingConfig *serving = nullptr;
     /** Budget policy factory; required. */
     AllocatorFactory allocator;
 };
@@ -190,6 +204,15 @@ class SweepRunner
      */
     std::vector<ClusterResult>
     runClusters(const std::vector<ClusterRunSpec> &specs);
+
+    /**
+     * Execute a grid of serving runs (see runServing()); results are
+     * positional. Parallelization mirrors runClusters(): one point
+     * fans its lockstep intervals over the pool, several points run
+     * concurrently with serial stepping — bit-identical either way.
+     */
+    std::vector<ServingResult>
+    runServings(const std::vector<ServingRunSpec> &specs);
 
     /** The pool, for auxiliary parallelism (e.g. characterization). */
     ThreadPool &pool() { return pool_; }

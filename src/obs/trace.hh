@@ -300,6 +300,23 @@ class IntervalTracer
     std::mutex mutex_;
 };
 
+/**
+ * Is a wall-clock comparison of traced vs untraced runs meaningful on
+ * a host with this many hardware threads? The binary sink's encoding
+ * and I/O run on the flush thread by design, overlapping simulation
+ * whenever a spare hardware thread exists; with one (or an unknown
+ * number of) hardware thread(s) the flush work time-shares the
+ * producer's core, so wall clock double-counts it and only the
+ * producer's own CPU time is an honest overhead measure.
+ * @param hardwareThreads std::thread::hardware_concurrency() (0 =
+ *        unknown, treated as not overlappable).
+ */
+inline bool
+traceWallOverheadMeaningful(unsigned hardwareThreads)
+{
+    return hardwareThreads > 1;
+}
+
 /** A parsed trace file. */
 struct ParsedTrace
 {

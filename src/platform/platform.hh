@@ -192,6 +192,14 @@ class PlatformRun
     /** Instructions retired so far. */
     uint64_t instructionsRetired() const { return cursor_.retired(); }
 
+    /**
+     * The execution cursor. Mutable access exists for request-driven
+     * drivers (serve/) that switch the cursor to streaming mode and
+     * feed it segments between intervals; plain runs never touch it.
+     */
+    WorkloadCursor &cursor() { return cursor_; }
+    const WorkloadCursor &cursor() const { return cursor_; }
+
     /** The p-state menu of the underlying platform. */
     const PStateTable &pstates() const { return config_.pstates; }
 

@@ -1,0 +1,331 @@
+#include "serve/serving.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "workload/synthetic.hh"
+
+namespace aapm
+{
+
+DispatchPolicy
+parseDispatchPolicy(const std::string &name)
+{
+    if (name == "rr")
+        return DispatchPolicy::RoundRobin;
+    if (name == "jsq")
+        return DispatchPolicy::JoinShortestQueue;
+    aapm_fatal("unknown dispatch policy '%s' (expected 'rr' or 'jsq')",
+               name.c_str());
+}
+
+const char *
+dispatchPolicyName(DispatchPolicy policy)
+{
+    switch (policy) {
+      case DispatchPolicy::RoundRobin: return "rr";
+      case DispatchPolicy::JoinShortestQueue: return "jsq";
+    }
+    aapm_panic("bad DispatchPolicy %d", static_cast<int>(policy));
+}
+
+Workload
+servingMenu(const std::vector<RequestClass> &mix,
+            const CoreParams &core_params)
+{
+    aapm_assert(!mix.empty(), "serving menu needs a request mix");
+    Workload menu("serving-menu", 1);
+    for (const RequestClass &cls : mix) {
+        Phase p = cls.phase;
+        p.name = cls.name;
+        menu.add(p);
+    }
+    // The filler phase; streamed segments carry their own instruction
+    // counts, so the sizing duration here is immaterial.
+    menu.add(idlePhase(0.010, core_params));
+    return menu;
+}
+
+RequestScheduler::RequestScheduler(ClusterPlatform &cluster,
+                                   const Workload &menu,
+                                   const ServingConfig &config)
+    : config_(config), traffic_(config.traffic, config.mix)
+{
+    aapm_assert(cluster.coreCount() > 0, "serving needs cores");
+    aapm_assert(menu.phases().size() == config_.mix.size() + 1,
+                "menu/mix mismatch: %zu phases for %zu classes",
+                menu.phases().size(), config_.mix.size());
+    if (config_.horizonS <= 0.0)
+        aapm_fatal("serving horizon must be positive (got %f)",
+                   config_.horizonS);
+    if (config_.sloS <= 0.0)
+        aapm_fatal("serving SLO must be positive (got %f)",
+                   config_.sloS);
+    interval_ = cluster.platform(0).config().sampleInterval;
+    horizon_ = secondsToTicks(config_.horizonS);
+    idlePhase_ = menu.phases().size() - 1;
+
+    // Size the never-drain filler floor in idle instructions. Idle
+    // time is frequency-invariant (the halt-loop CPI scales with the
+    // clock), so one interval retires at most maxIdleFit + 1 idle
+    // instructions at ANY p-state — request work in front only slows
+    // that down. Keeping maxIdleFit + 2 idle instructions queued at
+    // every interval boundary therefore guarantees the cursor cannot
+    // drain before the next one, while costing at most one interval
+    // (~10 ms) of filler latency ahead of any request.
+    lowWater_.reserve(cluster.coreCount());
+    for (size_t i = 0; i < cluster.coreCount(); ++i) {
+        Platform &p = cluster.platform(i);
+        const PhaseTimingTable timing(p.core(), p.truthPower(),
+                                      p.pstates(), menu, interval_);
+        uint64_t maxIdleFit = 0;
+        for (size_t ps = 0; ps < timing.numPStates(); ++ps) {
+            maxIdleFit = std::max(maxIdleFit,
+                                  timing.at(idlePhase_, ps).fitInterval);
+        }
+        lowWater_.push_back(maxIdleFit + 2);
+    }
+}
+
+void
+RequestScheduler::begin(const ClusterStepView &view)
+{
+    aapm_assert(view.coreCount() == lowWater_.size(),
+                "cluster size changed under the scheduler");
+    cores_.assign(view.coreCount(), CoreState());
+    for (size_t i = 0; i < view.coreCount(); ++i) {
+        WorkloadCursor &cursor = view.run(i).cursor();
+        cursor.enableStreaming();
+        cursor.pushSegment(idlePhase_, lowWater_[i]);
+        cores_[i].scheduled = lowWater_[i];
+    }
+}
+
+size_t
+RequestScheduler::pickCore(const ClusterStepView &view)
+{
+    // Returns coreCount() when no core can take work (every core hit
+    // its maxTime cutoff); the caller drops the request.
+    const size_t n = view.coreCount();
+    if (config_.dispatch == DispatchPolicy::RoundRobin) {
+        for (size_t tried = 0; tried < n; ++tried) {
+            const size_t core = rrNext_;
+            rrNext_ = (rrNext_ + 1) % n;
+            if (view.active(core))
+                return core;
+        }
+        return n;
+    }
+    // Join-shortest-queue by outstanding request instructions; ties go
+    // to the lowest core id (strict < keeps the scan deterministic).
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i) {
+        if (!view.active(i))
+            continue;
+        if (best == n ||
+            cores_[i].pendingInstr < cores_[best].pendingInstr) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+void
+RequestScheduler::interval(Tick now, const ClusterStepView &view)
+{
+    // 1. Completions: each core's retired count crossing a request's
+    // scheduled-instruction boundary completes it. The completion tick
+    // is interpolated linearly within the interval from the boundary's
+    // position in the interval's retirement.
+    for (size_t i = 0; i < view.coreCount(); ++i) {
+        CoreState &st = cores_[i];
+        const uint64_t r = view.run(i).cursor().retired();
+        while (!st.inflight.empty() && st.inflight.front().boundary <= r) {
+            const InFlight f = st.inflight.front();
+            st.inflight.pop_front();
+            RequestRecord &rec = records_[f.record];
+            Tick complete = now;
+            if (r > st.prevRetired) {
+                const double frac =
+                    static_cast<double>(f.boundary - st.prevRetired) /
+                    static_cast<double>(r - st.prevRetired);
+                complete = now - interval_ +
+                    static_cast<Tick>(
+                        frac * static_cast<double>(interval_));
+            }
+            rec.complete = std::max(complete, rec.arrival);
+            const double latency = rec.latencyS();
+            latencies_.add(latency);
+            if (latency > config_.sloS)
+                ++lateCompletions_;
+            st.pendingInstr -=
+                config_.mix[rec.cls].phase.instructions;
+            --st.queuedRequests;
+            ++completed_;
+        }
+        st.prevRetired = r;
+        queueDepth_.add(static_cast<double>(st.queuedRequests));
+    }
+
+    // 2. Arrivals up to the horizon, dispatched in arrival order.
+    arrivalBuf_.clear();
+    traffic_.generateUpTo(std::min(now, horizon_), arrivalBuf_);
+    for (const Request &req : arrivalBuf_) {
+        ++offered_;
+        const size_t core = pickCore(view);
+        RequestRecord rec;
+        rec.id = req.id;
+        rec.cls = req.cls;
+        rec.core = static_cast<uint32_t>(core);
+        rec.arrival = req.arrival;
+        if (core == view.coreCount()) {
+            // No live core (maxTime cut the cluster off mid-horizon).
+            rec.dropped = true;
+            records_.push_back(rec);
+            ++dropped_;
+            continue;
+        }
+        CoreState &st = cores_[core];
+        if (config_.queueCap > 0 &&
+            st.queuedRequests >= config_.queueCap) {
+            rec.dropped = true;
+            records_.push_back(rec);
+            ++dropped_;
+            continue;
+        }
+        const uint64_t burst = config_.mix[req.cls].phase.instructions;
+        view.run(core).cursor().pushSegment(req.cls, burst);
+        st.scheduled += burst;
+        st.pendingInstr += burst;
+        ++st.queuedRequests;
+        records_.push_back(rec);
+        st.inflight.push_back({records_.size() - 1, st.scheduled});
+    }
+
+    // 3. Filler: keep every core's queued *idle* instructions above
+    // the never-drain floor until the horizon; afterwards the queues
+    // drain and the cluster stops. Only the idle count matters — idle
+    // retirement speed is p-state-invariant, so the floor is an exact
+    // one-interval guarantee no matter what request work sits in front.
+    if (now < horizon_) {
+        for (size_t i = 0; i < view.coreCount(); ++i) {
+            WorkloadCursor &cursor = view.run(i).cursor();
+            const uint64_t idleQueued =
+                cursor.queuedInstructionsOfPhase(idlePhase_);
+            if (idleQueued < lowWater_[i]) {
+                cursor.pushSegment(idlePhase_,
+                                   lowWater_[i] - idleQueued);
+                cores_[i].scheduled += lowWater_[i] - idleQueued;
+            }
+        }
+    }
+}
+
+ServingResult
+RequestScheduler::finish(ClusterResult cluster)
+{
+    ServingResult res;
+    res.cluster = std::move(cluster);
+    res.sloS = config_.sloS;
+    res.offered = offered_;
+    res.completed = completed_;
+    res.dropped = dropped_;
+    res.unfinished = offered_ - completed_ - dropped_;
+    res.latencies = std::move(latencies_);
+    if (res.latencies.size() > 0) {
+        res.p50S = res.latencies.quantile(0.50);
+        res.p99S = res.latencies.quantile(0.99);
+        res.p999S = res.latencies.quantile(0.999);
+        res.meanLatencyS = res.latencies.mean();
+    }
+    if (offered_ > 0) {
+        res.sloViolationFrac =
+            static_cast<double>(lateCompletions_ + dropped_) /
+            static_cast<double>(offered_);
+    }
+    res.queueDepth = queueDepth_;
+    res.requests = std::move(records_);
+
+    MetricRegistry &reg = MetricRegistry::global();
+    static const CounterId cOffered =
+        reg.counter("serve.requests.offered");
+    static const CounterId cCompleted =
+        reg.counter("serve.requests.completed");
+    static const CounterId cDropped =
+        reg.counter("serve.requests.dropped");
+    static const CounterId cDepthSum =
+        reg.counter("serve.queue.depth_sum");
+    static const CounterId cDepthSamples =
+        reg.counter("serve.queue.depth_samples");
+    reg.add(cOffered, offered_);
+    reg.add(cCompleted, completed_);
+    reg.add(cDropped, dropped_);
+    reg.add(cDepthSum,
+            static_cast<uint64_t>(queueDepth_.sum() + 0.5));
+    reg.add(cDepthSamples, queueDepth_.count());
+    return res;
+}
+
+ServingResult
+runServing(ClusterConfig config, const ServingConfig &serving,
+           PowerBudgetAllocator &allocator, ThreadPool *pool)
+{
+    aapm_assert(!config.cores.empty(), "serving needs cores");
+    ServingConfig s = serving;
+    if (s.mix.empty())
+        s.mix = defaultRequestMix();
+    // Idle-phase sizing uses core 0's parameters; only the phase's
+    // behavior rates matter in streaming mode, so heterogeneous
+    // clusters share the menu.
+    const Workload menu =
+        servingMenu(s.mix, config.cores.front().platform.core);
+    for (ClusterCoreConfig &core : config.cores)
+        core.workload = &menu;
+    ClusterPlatform cluster(std::move(config));
+    RequestScheduler scheduler(cluster, menu, s);
+    cluster.setStepHook(&scheduler);
+    ClusterResult cr = cluster.run(allocator, pool);
+    return scheduler.finish(std::move(cr));
+}
+
+void
+writeRequestLog(const std::string &path, const ServingResult &result,
+                const std::vector<RequestClass> &mix)
+{
+    std::ofstream out(path);
+    if (!out)
+        aapm_fatal("cannot open '%s' for request log", path.c_str());
+    out << "{\"aapm_requests\": 1, \"slo_s\": " << result.sloS
+        << ", \"offered\": " << result.offered << ", \"classes\": [";
+    for (size_t i = 0; i < mix.size(); ++i) {
+        out << "\"" << mix[i].name << "\""
+            << (i + 1 < mix.size() ? ", " : "");
+    }
+    out << "]}\n";
+    for (const RequestRecord &rec : result.requests) {
+        out << "{\"id\": " << rec.id
+            << ", \"class\": " << rec.cls
+            << ", \"core\": " << rec.core
+            << ", \"arrival_s\": " << ticksToSeconds(rec.arrival)
+            << ", \"complete_s\": "
+            << (rec.complete > 0 ? ticksToSeconds(rec.complete) : -1.0)
+            << ", \"latency_s\": "
+            << (rec.complete > 0 ? rec.latencyS() : -1.0)
+            << ", \"dropped\": " << (rec.dropped ? 1 : 0)
+            << ", \"slo_ok\": "
+            << (!rec.dropped && rec.complete > 0 &&
+                        rec.latencyS() <= result.sloS
+                    ? 1
+                    : 0)
+            << "}\n";
+    }
+    out << "{\"aapm_requests_end\": 1, \"completed\": "
+        << result.completed << ", \"dropped\": " << result.dropped
+        << "}\n";
+    if (!out)
+        aapm_fatal("error writing request log '%s'", path.c_str());
+}
+
+} // namespace aapm

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * The request-driven serving scenario: open-loop traffic against a
+ * power-capped cluster, with per-request completion-time percentiles
+ * reported beside energy.
+ *
+ * Architecture: every core runs a fixed *menu* workload (one phase per
+ * request class plus an OS-idle phase), and its WorkloadCursor is
+ * switched to streaming mode. A RequestScheduler — installed as the
+ * cluster's ClusterStepHook, so it runs serially in phase B of the
+ * lockstep loop — drains a seeded TrafficGenerator each interval,
+ * dispatches arrivals onto per-core FIFO queues (round-robin or
+ * join-shortest-queue, bounded by a queue cap with deterministic
+ * drops), and feeds each queue to its cursor as phase-burst segments.
+ * Idle filler segments keep every cursor's backlog above one interval
+ * of work until the traffic horizon, so no core drains (and
+ * deactivates) mid-run; after the horizon the queues drain naturally
+ * and the cluster stops. Completions are detected from retired
+ * instruction counts crossing per-request boundaries, with
+ * sub-interval linear interpolation for the completion tick.
+ *
+ * Determinism: the generator is seeded, dispatch runs serially in core
+ * order, and the cluster's two-phase barrier already guarantees
+ * bit-identical stepping for any AAPM_JOBS value — so serving results
+ * (every latency, drop and joule) are bit-identical across reruns and
+ * pool widths. Dispatch happens at interval granularity, which adds up
+ * to one control interval of queueing latency; that cost is part of
+ * the model, identical across policies being compared.
+ */
+
+#ifndef AAPM_SERVE_SERVING_HH
+#define AAPM_SERVE_SERVING_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "common/stats.hh"
+#include "serve/traffic.hh"
+
+namespace aapm
+{
+
+/** How arrivals are mapped onto per-core queues. */
+enum class DispatchPolicy
+{
+    /** Cores in cyclic order, ignoring queue state. */
+    RoundRobin,
+    /** The core with the least outstanding request work (queued
+     *  instructions); ties go to the lowest core id. */
+    JoinShortestQueue
+};
+
+/** Parse "rr" / "jsq"; fatal() on anything else. */
+DispatchPolicy parseDispatchPolicy(const std::string &name);
+
+/** Canonical name of a dispatch policy. */
+const char *dispatchPolicyName(DispatchPolicy policy);
+
+/** Everything configurable about a serving run. */
+struct ServingConfig
+{
+    TrafficConfig traffic;
+    /** Request-class mix; empty = defaultRequestMix(). */
+    std::vector<RequestClass> mix;
+    /** Traffic horizon, seconds: arrivals occur in (0, horizon]; the
+     *  run then drains every queue and stops. */
+    double horizonS = 1.0;
+    /** Completion-time SLO, seconds. */
+    double sloS = 0.05;
+    /** Per-core queue capacity in requests; arrivals dispatched to a
+     *  full queue are dropped. 0 = unbounded. */
+    size_t queueCap = 64;
+    DispatchPolicy dispatch = DispatchPolicy::JoinShortestQueue;
+};
+
+/** The fate of one request. */
+struct RequestRecord
+{
+    uint64_t id = 0;
+    uint32_t cls = 0;
+    /** Core the request was dispatched to. */
+    uint32_t core = 0;
+    Tick arrival = 0;
+    /** Completion tick (interpolated within its interval); 0 when the
+     *  request never completed. */
+    Tick complete = 0;
+    /** Dropped at dispatch (queue full). */
+    bool dropped = false;
+
+    double
+    latencyS() const
+    {
+        return complete > arrival ? ticksToSeconds(complete - arrival)
+                                  : 0.0;
+    }
+};
+
+/** Everything measured about one serving run. */
+struct ServingResult
+{
+    /** The underlying cluster run (energy, traces, resilience). */
+    ClusterResult cluster;
+    /** The SLO the run was judged against, seconds. */
+    double sloS = 0.0;
+    /** Requests generated within the horizon. */
+    uint64_t offered = 0;
+    /** Requests that completed. */
+    uint64_t completed = 0;
+    /** Requests dropped at dispatch (queue full). */
+    uint64_t dropped = 0;
+    /** Requests still queued when the run was cut off (only possible
+     *  under a maxTime cap; 0 in normal serving runs). */
+    uint64_t unfinished = 0;
+    /** Completion-time samples of every completed request, seconds,
+     *  in completion order. */
+    SampleSeries latencies;
+    /** Completion-time percentiles, seconds (0 when nothing
+     *  completed). */
+    double p50S = 0.0;
+    double p99S = 0.0;
+    double p999S = 0.0;
+    /** Mean completion time, seconds. */
+    double meanLatencyS = 0.0;
+    /** Fraction of offered requests that missed the SLO: completions
+     *  over sloS plus drops, over offered. */
+    double sloViolationFrac = 0.0;
+    /** Queue depth in requests, sampled per core per interval. */
+    RunningStats queueDepth;
+    /** Per-request outcomes, in arrival order. */
+    std::vector<RequestRecord> requests;
+
+    /** Completed requests per second of simulated time. */
+    double
+    completedRps() const
+    {
+        return cluster.seconds > 0.0
+            ? static_cast<double>(completed) / cluster.seconds
+            : 0.0;
+    }
+};
+
+/**
+ * The lockstep driver: dispatches traffic onto streaming cursors from
+ * the cluster's phase B. Construct after the ClusterPlatform (it
+ * tabulates per-core timing to size the never-drain backlog), install
+ * with ClusterPlatform::setStepHook, then run the cluster.
+ * runServing() wraps exactly that sequence.
+ */
+class RequestScheduler : public ClusterStepHook
+{
+  public:
+    /**
+     * @param cluster The cluster about to run (its cores' workload
+     *        must be `menu`).
+     * @param menu The shared menu workload: one phase per mix class,
+     *        in mix order, then one idle phase (see servingMenu()).
+     * @param config Validated serving parameters; config.mix must be
+     *        the mix the menu was built from.
+     */
+    RequestScheduler(ClusterPlatform &cluster, const Workload &menu,
+                     const ServingConfig &config);
+
+    void begin(const ClusterStepView &view) override;
+    void interval(Tick now, const ClusterStepView &view) override;
+
+    /** Assemble the result. Call once, after the cluster run. */
+    ServingResult finish(ClusterResult cluster);
+
+  private:
+    struct InFlight
+    {
+        /** Index into records_. */
+        size_t record;
+        /** Cumulative scheduled-instruction boundary whose crossing
+         *  completes the request. */
+        uint64_t boundary;
+    };
+
+    struct CoreState
+    {
+        /** Instructions pushed to the cursor so far (requests and
+         *  filler). */
+        uint64_t scheduled = 0;
+        /** cursor.retired() at the previous interval boundary. */
+        uint64_t prevRetired = 0;
+        /** Outstanding request instructions (dispatched, not yet
+         *  completed) — the join-shortest-queue ranking key. */
+        uint64_t pendingInstr = 0;
+        /** Outstanding requests — judged against the queue cap. */
+        size_t queuedRequests = 0;
+        std::deque<InFlight> inflight;
+    };
+
+    size_t pickCore(const ClusterStepView &view);
+
+    ServingConfig config_;
+    TrafficGenerator traffic_;
+    Tick interval_;
+    Tick horizon_;
+    /** Menu phase index of the idle filler. */
+    size_t idlePhase_;
+    /** Never-drain filler floor per core, in idle instructions: the
+     *  most the idle phase can retire in one interval at any p-state
+     *  (idle time is frequency-invariant), plus slack. */
+    std::vector<uint64_t> lowWater_;
+    std::vector<CoreState> cores_;
+    std::vector<RequestRecord> records_;
+    std::vector<Request> arrivalBuf_;
+    SampleSeries latencies_;
+    RunningStats queueDepth_;
+    uint64_t offered_ = 0;
+    uint64_t completed_ = 0;
+    uint64_t dropped_ = 0;
+    uint64_t lateCompletions_ = 0;
+    size_t rrNext_ = 0;
+};
+
+/**
+ * Build the menu workload for a mix: one phase per class (in order,
+ * instructions = the class burst) plus a trailing OS-idle phase used
+ * as filler. Every core of a serving cluster runs this menu.
+ */
+Workload servingMenu(const std::vector<RequestClass> &mix,
+                     const CoreParams &core_params);
+
+/**
+ * Run the serving scenario: overwrite every core's workload with the
+ * mix's menu, install a RequestScheduler, and run the cluster to
+ * completion under the allocator.
+ *
+ * @param config Cluster configuration; core workload pointers are
+ *        replaced (they may be null), everything else — governors,
+ *        budget schedule, supervisor, fault plans, tracers — applies
+ *        unchanged.
+ * @param serving Serving parameters.
+ * @param allocator The budget policy.
+ * @param pool Interval fan-out pool; nullptr steps serially
+ *        (bit-identical either way).
+ */
+ServingResult runServing(ClusterConfig config,
+                         const ServingConfig &serving,
+                         PowerBudgetAllocator &allocator,
+                         ThreadPool *pool = nullptr);
+
+/**
+ * Write the per-request log as JSONL: a header object, one record per
+ * request in arrival order, and an end trailer
+ * (scripts/check_trace_schema.py --requests validates the schema).
+ * fatal() on I/O errors.
+ */
+void writeRequestLog(const std::string &path,
+                     const ServingResult &result,
+                     const std::vector<RequestClass> &mix);
+
+} // namespace aapm
+
+#endif // AAPM_SERVE_SERVING_HH

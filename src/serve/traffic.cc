@@ -1,0 +1,279 @@
+#include "serve/traffic.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/parse.hh"
+
+namespace aapm
+{
+
+ArrivalProcess
+parseArrivalProcess(const std::string &name)
+{
+    if (name == "poisson")
+        return ArrivalProcess::Poisson;
+    if (name == "diurnal")
+        return ArrivalProcess::Diurnal;
+    if (name == "bursty")
+        return ArrivalProcess::Bursty;
+    aapm_fatal("unknown arrival process '%s' (expected 'poisson', "
+               "'diurnal' or 'bursty')", name.c_str());
+}
+
+const char *
+arrivalProcessName(ArrivalProcess process)
+{
+    switch (process) {
+      case ArrivalProcess::Poisson: return "poisson";
+      case ArrivalProcess::Diurnal: return "diurnal";
+      case ArrivalProcess::Bursty: return "bursty";
+    }
+    aapm_panic("bad ArrivalProcess %d", static_cast<int>(process));
+}
+
+namespace
+{
+
+/** Behavior templates the mix spec names. */
+Phase
+profilePhase(const std::string &profile)
+{
+    Phase p;
+    p.name = profile;
+    if (profile == "cpu") {
+        // Core-bound, gzip-like: high IPC, small cache footprint.
+        p.baseCpi = 0.7;
+        p.decodeRatio = 1.3;
+        p.memPerInstr = 0.38;
+        p.l1MissPerInstr = 0.012;
+        p.l2MissPerInstr = 0.002;
+        p.prefetchCoverage = 0.25;
+        p.mlp = 2.0;
+        p.l2Mlp = 2.0;
+        p.fpPerInstr = 0.0;
+        p.resourceStallFrac = 0.05;
+    } else if (profile == "mem") {
+        // DRAM-latency-bound, mcf-like pointer chasing.
+        p.baseCpi = 0.9;
+        p.decodeRatio = 1.3;
+        p.memPerInstr = 0.48;
+        p.l1MissPerInstr = 0.09;
+        p.l2MissPerInstr = 0.03;
+        p.prefetchCoverage = 0.1;
+        p.mlp = 1.15;
+        p.l2Mlp = 1.8;
+        p.fpPerInstr = 0.0;
+        p.resourceStallFrac = 0.12;
+    } else if (profile == "mixed") {
+        // In between: vpr-like.
+        p.baseCpi = 0.85;
+        p.decodeRatio = 1.3;
+        p.memPerInstr = 0.42;
+        p.l1MissPerInstr = 0.03;
+        p.l2MissPerInstr = 0.007;
+        p.prefetchCoverage = 0.2;
+        p.mlp = 1.7;
+        p.l2Mlp = 1.8;
+        p.fpPerInstr = 0.02;
+        p.resourceStallFrac = 0.08;
+    } else {
+        aapm_fatal("unknown request profile '%s' (expected 'cpu', "
+                   "'mem' or 'mixed')", profile.c_str());
+    }
+    return p;
+}
+
+RequestClass
+makeClass(const std::string &profile, uint64_t instructions,
+          double weight)
+{
+    if (instructions == 0)
+        aapm_fatal("request class '%s' needs instructions > 0",
+                   profile.c_str());
+    if (weight <= 0.0)
+        aapm_fatal("request class '%s' needs weight > 0",
+                   profile.c_str());
+    RequestClass cls;
+    cls.name = profile;
+    cls.phase = profilePhase(profile);
+    cls.phase.instructions = instructions;
+    cls.weight = weight;
+    return cls;
+}
+
+} // namespace
+
+std::vector<RequestClass>
+defaultRequestMix()
+{
+    // ~1 ms short compute requests dominate; a tail of ~10 ms long
+    // ones and a slice of DRAM-bound work (service times at 2 GHz,
+    // uncapped).
+    std::vector<RequestClass> mix;
+    mix.push_back(makeClass("cpu", 2500000, 0.6));
+    mix.back().name = "small";
+    mix.push_back(makeClass("cpu", 25000000, 0.25));
+    mix.back().name = "large";
+    mix.push_back(makeClass("mem", 6000000, 0.15));
+    return mix;
+}
+
+std::vector<RequestClass>
+parseRequestMix(const std::string &spec)
+{
+    std::vector<RequestClass> mix;
+    std::istringstream ss(spec);
+    std::string entry;
+    while (std::getline(ss, entry, ',')) {
+        if (entry.empty())
+            aapm_fatal("empty entry in request mix '%s'", spec.c_str());
+        const size_t c1 = entry.find(':');
+        const size_t c2 =
+            c1 == std::string::npos ? c1 : entry.find(':', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos ||
+            entry.find(':', c2 + 1) != std::string::npos) {
+            aapm_fatal("bad request-mix entry '%s' (expected "
+                       "profile:instructions:weight)", entry.c_str());
+        }
+        const std::string profile = entry.substr(0, c1);
+        const uint64_t instructions = parseStrictU64(
+            entry.substr(c1 + 1, c2 - c1 - 1),
+            "request-mix instructions");
+        const double weight = parseStrictDouble(
+            entry.substr(c2 + 1), "request-mix weight");
+        mix.push_back(makeClass(profile, instructions, weight));
+    }
+    if (mix.empty())
+        aapm_fatal("request mix '%s' has no entries", spec.c_str());
+    return mix;
+}
+
+TrafficGenerator::TrafficGenerator(const TrafficConfig &config,
+                                   std::vector<RequestClass> mix)
+    : config_(config), mix_(std::move(mix)), rng_(config.seed)
+{
+    aapm_assert(!mix_.empty(), "traffic needs a request mix");
+    if (config_.rateRps <= 0.0)
+        aapm_fatal("arrival rate must be positive (got %f)",
+                   config_.rateRps);
+    double total = 0.0;
+    for (const RequestClass &cls : mix_) {
+        if (cls.weight <= 0.0)
+            aapm_fatal("request class '%s' needs weight > 0",
+                       cls.name.c_str());
+        total += cls.weight;
+        cumWeight_.push_back(total);
+    }
+    switch (config_.process) {
+      case ArrivalProcess::Poisson:
+        break;
+      case ArrivalProcess::Diurnal:
+        if (config_.diurnalPeriodS <= 0.0)
+            aapm_fatal("diurnal period must be positive");
+        if (config_.diurnalDepth < 0.0 || config_.diurnalDepth >= 1.0)
+            aapm_fatal("diurnal depth must be in [0, 1) (got %f)",
+                       config_.diurnalDepth);
+        break;
+      case ArrivalProcess::Bursty: {
+        if (config_.burstRateMultiplier <= 1.0)
+            aapm_fatal("burst multiplier must exceed 1 (got %f)",
+                       config_.burstRateMultiplier);
+        if (config_.burstMeanS <= 0.0 || config_.calmMeanS <= 0.0)
+            aapm_fatal("burst/calm sojourn means must be positive");
+        // Scale the two state rates so the time-average is rateRps:
+        // mean = calmRate * (piCalm + mult * piBurst).
+        const double piBurst = config_.burstMeanS /
+            (config_.burstMeanS + config_.calmMeanS);
+        calmRate_ = config_.rateRps /
+            (1.0 - piBurst + config_.burstRateMultiplier * piBurst);
+        stateEndS_ = expGap(1.0 / config_.calmMeanS);
+        break;
+      }
+    }
+}
+
+double
+TrafficGenerator::expGap(double rate)
+{
+    // -ln(1-U)/rate with U in [0,1): finite, strictly positive gaps.
+    return -std::log(1.0 - rng_.uniform()) / rate;
+}
+
+uint32_t
+TrafficGenerator::drawClass()
+{
+    const double u = rng_.uniform() * cumWeight_.back();
+    for (size_t i = 0; i < cumWeight_.size(); ++i) {
+        if (u < cumWeight_[i])
+            return static_cast<uint32_t>(i);
+    }
+    return static_cast<uint32_t>(cumWeight_.size() - 1);
+}
+
+void
+TrafficGenerator::advanceToNextArrival()
+{
+    switch (config_.process) {
+      case ArrivalProcess::Poisson:
+        clockS_ += expGap(config_.rateRps);
+        return;
+      case ArrivalProcess::Diurnal: {
+        // Thinning against the sinusoid's peak rate.
+        const double peak =
+            config_.rateRps * (1.0 + config_.diurnalDepth);
+        for (;;) {
+            clockS_ += expGap(peak);
+            const double rate = config_.rateRps *
+                (1.0 + config_.diurnalDepth *
+                           std::sin(2.0 * M_PI * clockS_ /
+                                    config_.diurnalPeriodS));
+            if (rng_.uniform() * peak <= rate)
+                return;
+        }
+      }
+      case ArrivalProcess::Bursty:
+        // Exponential sojourns are memoryless, so a gap that crosses
+        // the state boundary is simply re-drawn from the boundary at
+        // the new state's rate.
+        for (;;) {
+            const double rate = inBurst_
+                ? calmRate_ * config_.burstRateMultiplier
+                : calmRate_;
+            const double gap = expGap(rate);
+            if (clockS_ + gap <= stateEndS_) {
+                clockS_ += gap;
+                return;
+            }
+            clockS_ = stateEndS_;
+            inBurst_ = !inBurst_;
+            stateEndS_ = clockS_ +
+                expGap(1.0 / (inBurst_ ? config_.burstMeanS
+                                       : config_.calmMeanS));
+        }
+    }
+    aapm_panic("bad ArrivalProcess %d",
+               static_cast<int>(config_.process));
+}
+
+void
+TrafficGenerator::generateUpTo(Tick until, std::vector<Request> &out)
+{
+    for (;;) {
+        if (!pendingValid_) {
+            advanceToNextArrival();
+            pending_.id = nextId_;
+            pending_.cls = drawClass();
+            pending_.arrival = secondsToTicks(clockS_);
+            ++nextId_;
+            pendingValid_ = true;
+        }
+        if (pending_.arrival > until)
+            return;
+        out.push_back(pending_);
+        pendingValid_ = false;
+    }
+}
+
+} // namespace aapm

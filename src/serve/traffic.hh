@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Open-loop traffic generation for the request-driven serving
+ * scenario: seeded, deterministic arrival processes (Poisson, diurnal,
+ * bursty/MMPP) plus the request-class mix that maps each arrival onto
+ * a phase burst.
+ *
+ * Determinism contract: a TrafficGenerator is a pure function of its
+ * config, mix and seed. generateUpTo() consumes the RNG stream in
+ * arrival order only — an arrival drawn past the requested bound is
+ * held, not re-drawn — so the emitted request sequence is identical
+ * for any partitioning of time into generateUpTo() calls.
+ */
+
+#ifndef AAPM_SERVE_TRAFFIC_HH
+#define AAPM_SERVE_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "sim/ticks.hh"
+#include "workload/phase.hh"
+
+namespace aapm
+{
+
+/** Arrival process families. */
+enum class ArrivalProcess
+{
+    /** Homogeneous Poisson: exponential inter-arrivals at rateRps. */
+    Poisson,
+    /** Inhomogeneous Poisson whose rate follows a sinusoid (period
+     *  diurnalPeriodS, relative swing diurnalDepth) around rateRps —
+     *  a compressed day/night load curve. Sampled by thinning. */
+    Diurnal,
+    /** 2-state Markov-modulated Poisson process: exponential sojourns
+     *  alternate a calm and a burst state; the burst state arrives
+     *  burstRateMultiplier times faster, and the state rates are
+     *  scaled so the long-run mean stays rateRps. */
+    Bursty
+};
+
+/** Parse "poisson" / "diurnal" / "bursty"; fatal() on anything else. */
+ArrivalProcess parseArrivalProcess(const std::string &name);
+
+/** Canonical name of an arrival process. */
+const char *arrivalProcessName(ArrivalProcess process);
+
+/**
+ * One request class: a phase describing the per-instruction behavior
+ * of its bursts (phase.instructions = instructions per request) and
+ * the weight with which arrivals draw it.
+ */
+struct RequestClass
+{
+    std::string name;
+    Phase phase;
+    double weight = 1.0;
+};
+
+/**
+ * The default three-class mix: mostly short compute-bound requests, a
+ * tail of long requests, and a slice of DRAM-bound ones.
+ */
+std::vector<RequestClass> defaultRequestMix();
+
+/**
+ * Parse a mix spec: comma-separated `profile:instructions:weight`
+ * entries, e.g. "cpu:2500000:0.7,mem:6000000:0.3". Profiles: "cpu"
+ * (core-bound), "mem" (DRAM-latency-bound), "mixed" (in between).
+ * fatal() on malformed specs (strict numeric parsing throughout).
+ */
+std::vector<RequestClass> parseRequestMix(const std::string &spec);
+
+/** One generated arrival. */
+struct Request
+{
+    /** Sequential id, assigned in arrival order starting at 0. */
+    uint64_t id = 0;
+    /** Index into the request-class mix. */
+    uint32_t cls = 0;
+    /** Arrival time on the cluster clock. */
+    Tick arrival = 0;
+};
+
+/** Everything configurable about the arrival stream. */
+struct TrafficConfig
+{
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    /** Long-run mean arrival rate, requests/second. */
+    double rateRps = 1000.0;
+    /** RNG seed; equal seeds yield equal request sequences. */
+    uint64_t seed = 1;
+    /** Diurnal: sinusoid period, seconds. */
+    double diurnalPeriodS = 2.0;
+    /** Diurnal: relative rate swing, in [0, 1). */
+    double diurnalDepth = 0.6;
+    /** Bursty: burst-state rate multiplier (> 1). */
+    double burstRateMultiplier = 4.0;
+    /** Bursty: mean burst-state sojourn, seconds. */
+    double burstMeanS = 0.05;
+    /** Bursty: mean calm-state sojourn, seconds. */
+    double calmMeanS = 0.25;
+};
+
+/** Seeded, deterministic open-loop arrival stream. */
+class TrafficGenerator
+{
+  public:
+    /**
+     * @param config Validated arrival-stream parameters.
+     * @param mix Non-empty request-class mix (weights > 0).
+     */
+    TrafficGenerator(const TrafficConfig &config,
+                     std::vector<RequestClass> mix);
+
+    /**
+     * Append every not-yet-emitted arrival with tick <= until, in
+     * arrival order. Subsequent calls continue where the previous one
+     * stopped; `until` must not decrease across calls.
+     */
+    void generateUpTo(Tick until, std::vector<Request> &out);
+
+    /** The request-class mix. */
+    const std::vector<RequestClass> &mix() const { return mix_; }
+
+    /** The configuration. */
+    const TrafficConfig &config() const { return config_; }
+
+  private:
+    /** Advance clockS_ to the next arrival (process-specific). */
+    void advanceToNextArrival();
+
+    double expGap(double rate);
+    uint32_t drawClass();
+
+    TrafficConfig config_;
+    std::vector<RequestClass> mix_;
+    std::vector<double> cumWeight_;
+    Rng rng_;
+    double clockS_ = 0.0;
+    uint64_t nextId_ = 0;
+    /** Bursty state machine. */
+    bool inBurst_ = false;
+    double stateEndS_ = 0.0;
+    double calmRate_ = 0.0;
+    /** First arrival past the last until bound, held for the next
+     *  call. */
+    bool pendingValid_ = false;
+    Request pending_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_SERVE_TRAFFIC_HH

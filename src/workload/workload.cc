@@ -51,9 +51,36 @@ WorkloadCursor::WorkloadCursor(const Workload &workload)
                 "workload '%s' has no phases", workload.name().c_str());
 }
 
+void
+WorkloadCursor::enableStreaming()
+{
+    aapm_assert(retired_ == 0,
+                "enableStreaming after %llu retired instructions",
+                static_cast<unsigned long long>(retired_));
+    streaming_ = true;
+}
+
+void
+WorkloadCursor::pushSegment(size_t phaseIdx, uint64_t instructions)
+{
+    aapm_assert(streaming_, "pushSegment on a non-streaming cursor");
+    aapm_assert(phaseIdx < workload_->phases().size(),
+                "segment phase %zu out of menu range %zu", phaseIdx,
+                workload_->phases().size());
+    aapm_assert(instructions > 0, "empty segment");
+    stream_.push_back({phaseIdx, instructions});
+    queued_ += instructions;
+}
+
 double
 WorkloadCursor::progress() const
 {
+    if (streaming_) {
+        const uint64_t total = retired_ + queued_;
+        return total > 0
+            ? static_cast<double>(retired_) / static_cast<double>(total)
+            : 1.0;
+    }
     const uint64_t total = workload_->totalInstructions();
     return total > 0
         ? static_cast<double>(retired_) / static_cast<double>(total)
@@ -67,6 +94,8 @@ WorkloadCursor::reset()
     iter_ = 0;
     intoPhase_ = 0;
     retired_ = 0;
+    stream_.clear();
+    queued_ = 0;
 }
 
 void

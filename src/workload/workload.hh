@@ -8,6 +8,7 @@
 #define AAPM_WORKLOAD_WORKLOAD_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -75,15 +76,38 @@ class Workload
 /**
  * Execution cursor over a Workload: tracks the current phase and the
  * instructions still to retire within it.
+ *
+ * Besides the default mode (phase list × repeats), the cursor has a
+ * streaming mode for request-driven execution: the workload becomes a
+ * fixed phase *menu* and the cursor consumes an externally fed queue
+ * of (phase index, instructions) segments in FIFO order. The timing
+ * kernel is oblivious to the mode — it only sees phaseIndex(),
+ * remainingInPhase() and retire(), and every streamed phase index
+ * refers to the same menu the per-run timing table was built from.
  */
 class WorkloadCursor
 {
   public:
+    /** One queued slice of work in streaming mode. */
+    struct StreamSegment
+    {
+        /** Index into the menu workload's phase list. */
+        size_t phaseIdx;
+        /** Instructions to retire under that phase's behavior. */
+        uint64_t instructions;
+    };
+
     /** Cursor at the start of the given workload. */
     explicit WorkloadCursor(const Workload &workload);
 
-    /** True when every repeat of every phase has been retired. */
-    bool done() const { return iter_ >= workload_->repeats(); }
+    /** True when every repeat of every phase has been retired (or, in
+     *  streaming mode, when the segment queue is empty). */
+    bool
+    done() const
+    {
+        return streaming_ ? stream_.empty()
+                          : iter_ >= workload_->repeats();
+    }
 
     /** The phase the cursor currently sits in; panics when done. */
     const Phase &
@@ -91,23 +115,33 @@ class WorkloadCursor
     {
         aapm_assert(!done(), "cursor past end of workload '%s'",
                     workload_->name().c_str());
-        return workload_->phases()[phaseIdx_];
+        return workload_->phases()[phaseIndex()];
     }
 
     /** Index of the current phase within the workload's phase list. */
-    size_t phaseIndex() const { return phaseIdx_; }
+    size_t
+    phaseIndex() const
+    {
+        return streaming_ && !stream_.empty() ? stream_.front().phaseIdx
+                                              : phaseIdx_;
+    }
 
-    /** Instructions remaining in the current phase occurrence. */
+    /** Instructions remaining in the current phase occurrence (the
+     *  front segment, in streaming mode). */
     uint64_t
     remainingInPhase() const
     {
+        if (streaming_) {
+            aapm_assert(!stream_.empty(), "streaming cursor drained");
+            return stream_.front().instructions - intoPhase_;
+        }
         return currentPhase().instructions - intoPhase_;
     }
 
     /**
      * Retire n instructions from the current phase; n must not exceed
      * remainingInPhase(). Advances to the next phase (and repeat) when
-     * the phase is exhausted.
+     * the phase is exhausted; pops the front segment in streaming mode.
      */
     void
     retire(uint64_t n)
@@ -118,6 +152,14 @@ class WorkloadCursor
                     static_cast<unsigned long long>(remainingInPhase()));
         intoPhase_ += n;
         retired_ += n;
+        if (streaming_) {
+            queued_ -= n;
+            if (intoPhase_ == stream_.front().instructions) {
+                intoPhase_ = 0;
+                stream_.pop_front();
+            }
+            return;
+        }
         if (intoPhase_ == currentPhase().instructions) {
             intoPhase_ = 0;
             ++phaseIdx_;
@@ -131,10 +173,44 @@ class WorkloadCursor
     /** Total instructions retired so far. */
     uint64_t retired() const { return retired_; }
 
+    /**
+     * Switch to streaming mode. The workload's phase list becomes the
+     * menu; push segments before the next step. Must be called before
+     * anything is retired.
+     */
+    void enableStreaming();
+
+    /** True when enableStreaming() was called. */
+    bool streaming() const { return streaming_; }
+
+    /** Queue one segment (streaming mode only). */
+    void pushSegment(size_t phaseIdx, uint64_t instructions);
+
+    /** Instructions queued but not yet retired (streaming mode). */
+    uint64_t queuedInstructions() const { return queued_; }
+
+    /** Queued not-yet-retired instructions of one menu phase
+     *  (streaming mode; O(queued segments)). */
+    uint64_t
+    queuedInstructionsOfPhase(size_t phaseIdx) const
+    {
+        uint64_t total = 0;
+        for (const StreamSegment &seg : stream_) {
+            if (seg.phaseIdx == phaseIdx)
+                total += seg.instructions;
+        }
+        if (!stream_.empty() && stream_.front().phaseIdx == phaseIdx)
+            total -= intoPhase_;
+        return total;
+    }
+
+    /** Queued segments not yet fully retired (streaming mode). */
+    size_t queuedSegments() const { return stream_.size(); }
+
     /** Fraction of the workload completed, in [0,1]. */
     double progress() const;
 
-    /** Rewind to the start. */
+    /** Rewind to the start (clears the segment queue in streaming). */
     void reset();
 
   private:
@@ -145,6 +221,9 @@ class WorkloadCursor
     uint64_t iter_;
     uint64_t intoPhase_;
     uint64_t retired_;
+    bool streaming_ = false;
+    std::deque<StreamSegment> stream_;
+    uint64_t queued_ = 0;
 };
 
 } // namespace aapm

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 
 namespace aapm
 {
@@ -17,15 +18,11 @@ bool
 applyKey(Phase &phase, const std::string &key, const std::string &value)
 {
     auto num = [&] {
-        char *end = nullptr;
-        const double v = std::strtod(value.c_str(), &end);
-        if (!end || *end != '\0')
-            aapm_fatal("bad numeric value '%s' for key '%s'",
-                       value.c_str(), key.c_str());
-        return v;
+        return parseStrictDouble(value, "phase key '" + key + "'");
     };
     if (key == "instructions")
-        phase.instructions = static_cast<uint64_t>(num());
+        phase.instructions = parseStrictU64(value, "phase key "
+                                            "'instructions'");
     else if (key == "baseCpi")
         phase.baseCpi = num();
     else if (key == "decodeRatio")
@@ -86,7 +83,12 @@ parseWorkload(std::istream &in)
             std::string key;
             while (ls >> key) {
                 if (key == "repeats") {
-                    if (!(ls >> repeats) || repeats == 0)
+                    std::string value;
+                    if (!(ls >> value))
+                        aapm_fatal("line %d: bad repeats", lineno);
+                    repeats = parseStrictU64(value, "workload key "
+                                             "'repeats'");
+                    if (repeats == 0)
                         aapm_fatal("line %d: bad repeats", lineno);
                 } else {
                     aapm_fatal("line %d: unknown workload key '%s'",
@@ -176,12 +178,22 @@ parseClusterManifest(std::istream &in)
         std::string head;
         if (!(ls >> head))
             continue;   // blank line
-        if (head == "topology" || head == "policies" ||
-            head == "domain-plan" || head == "domain-seed") {
-            std::string &slot = head == "topology" ? manifest.topology
-                : head == "policies"               ? manifest.policies
-                : head == "domain-plan"            ? manifest.domainPlan
-                                                   : manifest.domainSeed;
+        const std::map<std::string, std::string *> directives = {
+            {"topology", &manifest.topology},
+            {"policies", &manifest.policies},
+            {"domain-plan", &manifest.domainPlan},
+            {"domain-seed", &manifest.domainSeed},
+            {"arrival", &manifest.arrival},
+            {"rate", &manifest.rate},
+            {"slo", &manifest.slo},
+            {"request-mix", &manifest.requestMix},
+            {"queue-cap", &manifest.queueCap},
+            {"dispatch", &manifest.dispatch},
+            {"serve-seed", &manifest.serveSeed},
+        };
+        const auto dit = directives.find(head);
+        if (dit != directives.end()) {
+            std::string &slot = *dit->second;
             if (!slot.empty())
                 aapm_fatal("line %d: duplicate '%s' directive", lineno,
                            head.c_str());
@@ -196,8 +208,11 @@ parseClusterManifest(std::istream &in)
         }
         if (head != "core")
             aapm_fatal("line %d: unknown directive '%s' (expected "
-                       "'core', 'topology', 'policies', 'domain-plan' "
-                       "or 'domain-seed')", lineno, head.c_str());
+                       "'core', 'topology', 'policies', 'domain-plan', "
+                       "'domain-seed', or a serving directive: "
+                       "'arrival', 'rate', 'slo', 'request-mix', "
+                       "'queue-cap', 'dispatch', 'serve-seed')",
+                       lineno, head.c_str());
 
         ClusterManifestEntry e;
         if (!(ls >> e.workload))
@@ -210,7 +225,12 @@ parseClusterManifest(std::istream &in)
         std::string key;
         while (ls >> key) {
             if (key == "seconds") {
-                if (!(ls >> e.seconds) || e.seconds <= 0.0)
+                std::string value;
+                if (!(ls >> value))
+                    aapm_fatal("line %d: bad seconds", lineno);
+                e.seconds = parseStrictDouble(value, "core key "
+                                              "'seconds'");
+                if (e.seconds <= 0.0)
                     aapm_fatal("line %d: bad seconds", lineno);
             } else {
                 aapm_fatal("line %d: unknown core key '%s'", lineno,
@@ -219,8 +239,13 @@ parseClusterManifest(std::istream &in)
         }
         entries.push_back(std::move(e));
     }
-    if (entries.empty())
+    // A serving manifest drives its cores from the request mix, so
+    // 'core' lines are optional there; a plain cluster manifest still
+    // needs at least one.
+    if (entries.empty() && manifest.arrival.empty() &&
+        manifest.rate.empty()) {
         aapm_fatal("cluster manifest has no 'core' lines");
+    }
     return manifest;
 }
 

@@ -60,6 +60,13 @@ struct ClusterManifestEntry
  *   policies uniform,demand,greedy    # optional, at most once
  *   domain-plan node[1]@0.5:sensor-brownout:40   # optional, at most once
  *   domain-seed 7                     # optional, at most once
+ *   arrival poisson                   # serving directives, optional
+ *   rate 2000
+ *   slo 0.05
+ *   request-mix small:1e8:0.7,large:1e9:0.3
+ *   queue-cap 64
+ *   dispatch jsq
+ *   serve-seed 42
  *   core crafty
  *   core swim seconds 1.5
  *   core file my.wl
@@ -67,9 +74,12 @@ struct ClusterManifestEntry
  * `topology` is a budget-tree fanout spec (rack → … → core; see
  * cluster/budget_tree.hh) and `policies` names one flat policy per
  * level. `domain-plan` is a correlated cluster-fault spec (see
- * fault/domain_plan.hh) and `domain-seed` its derivation seed. All
- * four are kept as raw strings here — the cluster layer parses and
- * validates them — and all are overridable from the CLI.
+ * fault/domain_plan.hh) and `domain-seed` its derivation seed. The
+ * serving directives configure `aapm serve` (see serve/serving.hh).
+ * All are kept as raw strings here — the cluster/serve layers parse
+ * and validate them — and all are overridable from the CLI. A
+ * manifest with serving directives may omit `core` lines (the request
+ * mix drives every core); a plain cluster manifest may not.
  */
 struct ClusterManifest
 {
@@ -84,6 +94,21 @@ struct ClusterManifest
     std::string domainPlan;
     /** Domain-fault derivation seed; empty = the plan's own. */
     std::string domainSeed;
+    /** Serving arrival process ("poisson", "diurnal", "bursty");
+     *  empty = the CLI choice. */
+    std::string arrival;
+    /** Serving mean arrival rate, requests/s. */
+    std::string rate;
+    /** Serving latency SLO, seconds. */
+    std::string slo;
+    /** Request-class mix spec ("name:instructions:weight,..."). */
+    std::string requestMix;
+    /** Per-core queue capacity, requests. */
+    std::string queueCap;
+    /** Dispatch policy ("rr" or "jsq"). */
+    std::string dispatch;
+    /** Traffic-generator seed. */
+    std::string serveSeed;
 };
 
 /** Parse a cluster manifest from a stream; fatal() on bad input. */

@@ -274,5 +274,81 @@ TEST(ClusterManifestTest, RejectsDuplicateOrMalformedDirectives)
     }
 }
 
+// Manifest numerics are parsed strictly: the whole token must be one
+// finite number. The old strtod/strtoull path accepted trailing
+// garbage ("0.5x" read as 0.5) and non-finite spellings, which turned
+// manifest typos into silently wrong runs.
+TEST(WorkloadIoTest, RejectsTrailingGarbageInNumbers)
+{
+    for (const char *bad : {"0.5x", "1e", "5,0"}) {
+        std::istringstream in(std::string("core crafty seconds ") +
+                              bad + "\n");
+        EXPECT_THROW(parseClusterManifest(in), std::runtime_error)
+            << "seconds '" << bad << "' should be rejected";
+    }
+    std::istringstream phase("phase p instructions 10u\n");
+    EXPECT_THROW(parseWorkload(phase), std::runtime_error);
+}
+
+TEST(WorkloadIoTest, RejectsNonFiniteAndOverflowingNumbers)
+{
+    for (const char *bad : {"inf", "nan", "1e999", "-1e999"}) {
+        std::istringstream in(std::string("core crafty seconds ") +
+                              bad + "\n");
+        EXPECT_THROW(parseClusterManifest(in), std::runtime_error)
+            << "seconds '" << bad << "' should be rejected";
+    }
+    std::istringstream wl(
+        "phase p instructions 99999999999999999999999\n");
+    EXPECT_THROW(parseWorkload(wl), std::runtime_error);
+    std::istringstream neg("phase p instructions -3\n");
+    EXPECT_THROW(parseWorkload(neg), std::runtime_error);
+}
+
+TEST(ClusterManifestTest, ParsesServingDirectives)
+{
+    std::istringstream in(
+        "# serving scenario, no per-core entries needed\n"
+        "arrival bursty\n"
+        "rate 2000\n"
+        "slo 0.05\n"
+        "request-mix web:4:0.7,api:12:0.3\n"
+        "queue-cap 64\n"
+        "dispatch rr\n"
+        "serve-seed 7\n");
+    const ClusterManifest m = parseClusterManifest(in);
+    EXPECT_TRUE(m.entries.empty());
+    EXPECT_EQ(m.arrival, "bursty");
+    EXPECT_EQ(m.rate, "2000");
+    EXPECT_EQ(m.slo, "0.05");
+    EXPECT_EQ(m.requestMix, "web:4:0.7,api:12:0.3");
+    EXPECT_EQ(m.queueCap, "64");
+    EXPECT_EQ(m.dispatch, "rr");
+    EXPECT_EQ(m.serveSeed, "7");
+}
+
+TEST(ClusterManifestTest, ServingDirectivesComposeWithCores)
+{
+    std::istringstream in(
+        "arrival poisson\n"
+        "rate 500\n"
+        "topology 2x2\n"
+        "core crafty\n"
+        "core swim\n"
+        "core gzip\n"
+        "core mcf\n");
+    const ClusterManifest m = parseClusterManifest(in);
+    EXPECT_EQ(m.entries.size(), 4u);
+    EXPECT_EQ(m.arrival, "poisson");
+    EXPECT_EQ(m.rate, "500");
+    EXPECT_EQ(m.topology, "2x2");
+}
+
+TEST(ClusterManifestTest, RejectsDuplicateServingDirectives)
+{
+    std::istringstream in("rate 100\nrate 200\n");
+    EXPECT_THROW(parseClusterManifest(in), std::runtime_error);
+}
+
 } // namespace
 } // namespace aapm

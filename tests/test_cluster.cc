@@ -589,5 +589,60 @@ TEST_F(ClusterTest, DemandBeatsUniformOnMixedManifestAt16Cores)
     EXPECT_GT(dem.instructions, uni.instructions);
 }
 
+// A SetPowerLimit scheduled at t = 0 is in force from the very first
+// interval: allocation and the over-budget judgement both see the
+// dropped budget, never the nominal one. (The old code only applied
+// commands after interval 0 had already been allocated and judged, so
+// a run entirely under a t = 0 drop reported fewer violations than it
+// suffered.)
+TEST_F(ClusterTest, BudgetDropAtTimeZeroGovernsFirstInterval)
+{
+    const Workload w = specWorkload("crafty", config().core, 0.3);
+    ClusterConfig cc;
+    cc.cores = {makeCore(&w), makeCore(&w)};
+    cc.budgetW = 40.0;
+    // Effectively unsatisfiable: even the lowest p-state draws more,
+    // so every single interval must count as a violation.
+    cc.budgetCommands.push_back(
+        {0, ScheduledCommand::Kind::SetPowerLimit, 0.001});
+    cc.recordAllocations = true;
+    ClusterPlatform cluster(cc);
+    UniformAllocator uniform;
+    const ClusterResult res = cluster.run(uniform);
+
+    ASSERT_GT(res.intervals, 0u);
+    EXPECT_DOUBLE_EQ(res.fractionOverBudgetTrue, 1.0);
+    ASSERT_FALSE(res.allocations.empty());
+    for (const ClusterIntervalStat &stat : res.allocations)
+        EXPECT_DOUBLE_EQ(stat.budgetW, 0.001)
+            << "tick " << stat.when;
+}
+
+// fractionOverBudgetTrue is a fraction of executed rounds: 0 when no
+// round ran (the documented zero-round convention — never NaN), and
+// exactly violations/rounds on the shortest possible run.
+TEST_F(ClusterTest, FractionOverBudgetDefinedOnDegenerateRuns)
+{
+    const ClusterResult empty;
+    EXPECT_FALSE(std::isnan(empty.fractionOverBudgetTrue));
+    EXPECT_DOUBLE_EQ(empty.fractionOverBudgetTrue, 0.0);
+
+    // One interval of work under a generous budget: one round, zero
+    // violations, fraction exactly 0.
+    Workload w("tiny");
+    Phase p;
+    p.instructions = 1000;
+    p.baseCpi = 1.0;
+    w.add(p);
+    ClusterConfig cc;
+    cc.cores = {makeCore(&w)};
+    cc.budgetW = 1000.0;
+    ClusterPlatform cluster(cc);
+    UniformAllocator uniform;
+    const ClusterResult res = cluster.run(uniform);
+    EXPECT_EQ(res.intervals, 1u);
+    EXPECT_DOUBLE_EQ(res.fractionOverBudgetTrue, 0.0);
+}
+
 } // namespace
 } // namespace aapm

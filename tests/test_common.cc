@@ -9,7 +9,9 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <utility>
 
 #include "common/fit.hh"
 #include "common/logging.hh"
@@ -158,6 +160,52 @@ TEST(RunningStats, NegativeWeightPanics)
     EXPECT_THROW(s.addWeighted(1.0, -1.0), std::logic_error);
 }
 
+// An integer weight must act as replication: addWeighted(x, k) and
+// k plain add(x) calls are the same sample set, so every moment has
+// to agree (this is the reliability-weight contract variance() is
+// documented to implement — frequency-weight code fails it).
+TEST(RunningStats, WeightedVarianceMatchesReplication)
+{
+    RunningStats weighted, replicated;
+    const std::pair<double, int> samples[] = {
+        {2.0, 1}, {4.0, 3}, {5.0, 2}, {9.0, 1}};
+    for (const auto &[x, k] : samples) {
+        weighted.addWeighted(x, static_cast<double>(k));
+        for (int i = 0; i < k; ++i)
+            replicated.add(x);
+    }
+    EXPECT_NEAR(weighted.mean(), replicated.mean(), 1e-12);
+    EXPECT_NEAR(weighted.variance(), replicated.variance(), 1e-12);
+    EXPECT_NEAR(weighted.stddev(), replicated.stddev(), 1e-12);
+}
+
+// Reliability weights carry no unit, so scaling every weight by the
+// same factor must leave mean and variance untouched.
+TEST(RunningStats, VarianceInvariantUnderWeightScaling)
+{
+    RunningStats base, scaled;
+    const double xs[] = {1.5, 2.5, 8.0, 8.0, 11.0};
+    const double ws[] = {0.25, 1.0, 2.0, 0.5, 1.25};
+    for (size_t i = 0; i < 5; ++i) {
+        base.addWeighted(xs[i], ws[i]);
+        scaled.addWeighted(xs[i], ws[i] * 1000.0);
+    }
+    EXPECT_NEAR(base.mean(), scaled.mean(), 1e-12);
+    EXPECT_NEAR(base.variance(), scaled.variance(), 1e-9);
+}
+
+TEST(RunningStats, NonFiniteInputPanics)
+{
+    RunningStats s;
+    EXPECT_THROW(s.add(std::numeric_limits<double>::infinity()),
+                 std::logic_error);
+    EXPECT_THROW(s.add(std::numeric_limits<double>::quiet_NaN()),
+                 std::logic_error);
+    EXPECT_THROW(
+        s.addWeighted(1.0, std::numeric_limits<double>::infinity()),
+        std::logic_error);
+}
+
 TEST(RunningStats, ResetClears)
 {
     RunningStats s;
@@ -195,6 +243,41 @@ TEST(Histogram, QuantileApprox)
         h.add(static_cast<double>(i));
     EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
     EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+// The range is half-open [lo, hi): hi itself is out of range and must
+// count as overflow (clamped into the last bin), while any value
+// strictly below hi is in range. The old closed-upper-bound behavior
+// silently filed hi as a regular sample.
+TEST(Histogram, UpperBoundCountsAsOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(10.0);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    h.add(std::nextafter(10.0, 0.0));
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+// quantile() answers with the covering bin's upper edge: every
+// in-range sample in a half-open bin is strictly below that edge, so
+// the edge is sound even when the quantile lands exactly on a bin
+// boundary.
+TEST(Histogram, QuantileReturnsBinUpperEdge)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (double x : {0.5, 1.5, 2.5, 3.5})
+        h.add(x);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+
+    Histogram top(0.0, 10.0, 5);
+    top.add(10.0);
+    top.add(12.0);
+    EXPECT_DOUBLE_EQ(top.quantile(0.5), 10.0);
 }
 
 TEST(Histogram, InvalidConfigFatal)

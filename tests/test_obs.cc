@@ -566,4 +566,16 @@ TEST(Metrics, PlatformRunsFlowIntoGlobalRegistry)
               traced_before + vec.records().size());
 }
 
+// Wall-clock trace overhead only measures something when the flush
+// thread can overlap the producer: a single hardware thread (or an
+// unknown count, which hardware_concurrency() reports as 0)
+// serializes the flush work onto the producer's core.
+TEST(Trace, WallOverheadMeaningfulNeedsSpareHardwareThread)
+{
+    EXPECT_FALSE(traceWallOverheadMeaningful(0));
+    EXPECT_FALSE(traceWallOverheadMeaningful(1));
+    EXPECT_TRUE(traceWallOverheadMeaningful(2));
+    EXPECT_TRUE(traceWallOverheadMeaningful(64));
+}
+
 } // namespace

@@ -1,0 +1,477 @@
+/**
+ * @file
+ * Serving-subsystem tests: traffic-generator determinism (seed and
+ * time-partition invariance), rate and mix sanity, streaming-cursor
+ * mechanics, end-to-end serving runs (completion accounting, tail
+ * percentiles, SLO fractions, overload drops), bit-identity across
+ * reruns and thread-pool widths, dispatch policies, and the request
+ * log format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/allocator.hh"
+#include "mgmt/performance_maximizer.hh"
+#include "platform/experiment.hh"
+#include "serve/serving.hh"
+#include "serve/traffic.hh"
+#include "workload/spec_suite.hh"
+#include "workload/synthetic.hh"
+
+namespace aapm
+{
+namespace
+{
+
+// --- traffic generator --------------------------------------------------
+
+TEST(Traffic, SameSeedSameSequence)
+{
+    for (ArrivalProcess p : {ArrivalProcess::Poisson,
+                             ArrivalProcess::Diurnal,
+                             ArrivalProcess::Bursty}) {
+        TrafficConfig tc;
+        tc.process = p;
+        tc.rateRps = 500.0;
+        tc.seed = 7;
+        TrafficGenerator a(tc, defaultRequestMix());
+        TrafficGenerator b(tc, defaultRequestMix());
+        std::vector<Request> ra, rb;
+        a.generateUpTo(secondsToTicks(2.0), ra);
+        b.generateUpTo(secondsToTicks(2.0), rb);
+        ASSERT_EQ(ra.size(), rb.size());
+        ASSERT_GT(ra.size(), 0u);
+        for (size_t i = 0; i < ra.size(); ++i) {
+            EXPECT_EQ(ra[i].id, rb[i].id);
+            EXPECT_EQ(ra[i].cls, rb[i].cls);
+            EXPECT_EQ(ra[i].arrival, rb[i].arrival);
+        }
+    }
+}
+
+TEST(Traffic, TimePartitionInvariant)
+{
+    // One big generateUpTo call and many small ones must emit the
+    // exact same sequence: the first arrival past a bound is held, not
+    // re-drawn.
+    for (ArrivalProcess p : {ArrivalProcess::Poisson,
+                             ArrivalProcess::Diurnal,
+                             ArrivalProcess::Bursty}) {
+        TrafficConfig tc;
+        tc.process = p;
+        tc.rateRps = 800.0;
+        tc.seed = 42;
+        TrafficGenerator whole(tc, defaultRequestMix());
+        TrafficGenerator sliced(tc, defaultRequestMix());
+        std::vector<Request> rw, rs;
+        const Tick end = secondsToTicks(1.0);
+        whole.generateUpTo(end, rw);
+        const Tick step = 10 * TicksPerMs;
+        for (Tick t = step; t <= end; t += step)
+            sliced.generateUpTo(t, rs);
+        ASSERT_EQ(rw.size(), rs.size());
+        for (size_t i = 0; i < rw.size(); ++i) {
+            EXPECT_EQ(rw[i].id, rs[i].id);
+            EXPECT_EQ(rw[i].cls, rs[i].cls);
+            EXPECT_EQ(rw[i].arrival, rs[i].arrival);
+        }
+    }
+}
+
+TEST(Traffic, LongRunRateMatchesConfig)
+{
+    // All three processes promise a long-run mean of rateRps. 20 s at
+    // 1000 rps has sigma ~sqrt(20000); accept 5 sigma.
+    for (ArrivalProcess p : {ArrivalProcess::Poisson,
+                             ArrivalProcess::Diurnal,
+                             ArrivalProcess::Bursty}) {
+        TrafficConfig tc;
+        tc.process = p;
+        tc.rateRps = 1000.0;
+        tc.seed = 3;
+        TrafficGenerator gen(tc, defaultRequestMix());
+        std::vector<Request> reqs;
+        gen.generateUpTo(secondsToTicks(20.0), reqs);
+        const double n = static_cast<double>(reqs.size());
+        // The MMPP's state-occupancy fluctuations inflate the count
+        // variance well beyond Poisson's; give it a relative bound.
+        const double tol = p == ArrivalProcess::Bursty
+            ? 0.10 * 20000.0
+            : 5.0 * std::sqrt(20000.0);
+        EXPECT_NEAR(n, 20000.0, tol) << arrivalProcessName(p);
+    }
+}
+
+TEST(Traffic, ArrivalsAreMonotoneWithSequentialIds)
+{
+    TrafficConfig tc;
+    tc.process = ArrivalProcess::Bursty;
+    tc.rateRps = 2000.0;
+    TrafficGenerator gen(tc, defaultRequestMix());
+    std::vector<Request> reqs;
+    gen.generateUpTo(secondsToTicks(1.0), reqs);
+    ASSERT_GT(reqs.size(), 10u);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(reqs[i].id, i);
+        if (i > 0)
+            EXPECT_GE(reqs[i].arrival, reqs[i - 1].arrival);
+        EXPECT_LE(reqs[i].arrival, secondsToTicks(1.0));
+    }
+}
+
+TEST(Traffic, MixWeightsRespected)
+{
+    std::vector<RequestClass> mix = parseRequestMix(
+        "cpu:1000000:0.8,mem:2000000:0.2");
+    ASSERT_EQ(mix.size(), 2u);
+    TrafficConfig tc;
+    tc.rateRps = 2000.0;
+    TrafficGenerator gen(tc, mix);
+    std::vector<Request> reqs;
+    gen.generateUpTo(secondsToTicks(10.0), reqs);
+    size_t cls0 = 0;
+    for (const Request &r : reqs)
+        cls0 += r.cls == 0 ? 1 : 0;
+    const double frac =
+        static_cast<double>(cls0) / static_cast<double>(reqs.size());
+    EXPECT_NEAR(frac, 0.8, 0.03);
+}
+
+TEST(Traffic, ParseRejectsMalformedSpecs)
+{
+    EXPECT_THROW(parseRequestMix(""), std::runtime_error);
+    EXPECT_THROW(parseRequestMix("cpu:1e6"), std::runtime_error);
+    EXPECT_THROW(parseRequestMix("cpu:1e6:0.5:9"), std::runtime_error);
+    EXPECT_THROW(parseRequestMix("gpu:1000000:1"), std::runtime_error);
+    EXPECT_THROW(parseRequestMix("cpu:0:1"), std::runtime_error);
+    EXPECT_THROW(parseRequestMix("cpu:1000000:0"), std::runtime_error);
+    EXPECT_THROW(parseRequestMix("cpu:1000000:nan"),
+                 std::runtime_error);
+    EXPECT_THROW(parseRequestMix("cpu:1.5:1"), std::runtime_error);
+    EXPECT_THROW(parseRequestMix("cpu:1000000x:1"),
+                 std::runtime_error);
+    EXPECT_THROW(parseArrivalProcess("fractal"), std::runtime_error);
+    EXPECT_THROW(parseDispatchPolicy("lifo"), std::runtime_error);
+    EXPECT_EQ(parseArrivalProcess("poisson"), ArrivalProcess::Poisson);
+    EXPECT_EQ(parseDispatchPolicy("jsq"),
+              DispatchPolicy::JoinShortestQueue);
+}
+
+TEST(Traffic, RejectsBadConfigs)
+{
+    TrafficConfig tc;
+    tc.rateRps = 0.0;
+    EXPECT_THROW(TrafficGenerator(tc, defaultRequestMix()),
+                 std::runtime_error);
+    tc.rateRps = 100.0;
+    tc.process = ArrivalProcess::Diurnal;
+    tc.diurnalDepth = 1.0;
+    EXPECT_THROW(TrafficGenerator(tc, defaultRequestMix()),
+                 std::runtime_error);
+    tc.diurnalDepth = 0.5;
+    tc.process = ArrivalProcess::Bursty;
+    tc.burstRateMultiplier = 1.0;
+    EXPECT_THROW(TrafficGenerator(tc, defaultRequestMix()),
+                 std::runtime_error);
+}
+
+// --- streaming cursor ---------------------------------------------------
+
+TEST(StreamingCursor, ConsumesSegmentsFifo)
+{
+    const auto mix = defaultRequestMix();
+    Workload menu("menu", 1);
+    Phase a = mix[0].phase;
+    a.instructions = 1000;
+    Phase b = mix[2].phase;
+    b.instructions = 1000;
+    menu.add(a).add(b);
+
+    WorkloadCursor cursor(menu);
+    cursor.enableStreaming();
+    EXPECT_TRUE(cursor.streaming());
+    EXPECT_TRUE(cursor.done());
+
+    cursor.pushSegment(1, 300);
+    cursor.pushSegment(0, 200);
+    EXPECT_FALSE(cursor.done());
+    EXPECT_EQ(cursor.queuedInstructions(), 500u);
+    EXPECT_EQ(cursor.queuedSegments(), 2u);
+    EXPECT_EQ(cursor.phaseIndex(), 1u);
+    EXPECT_EQ(cursor.remainingInPhase(), 300u);
+
+    cursor.retire(120);
+    EXPECT_EQ(cursor.remainingInPhase(), 180u);
+    cursor.retire(180);
+    EXPECT_EQ(cursor.phaseIndex(), 0u);
+    EXPECT_EQ(cursor.remainingInPhase(), 200u);
+    EXPECT_EQ(cursor.queuedInstructions(), 200u);
+    cursor.retire(200);
+    EXPECT_TRUE(cursor.done());
+    EXPECT_EQ(cursor.retired(), 500u);
+    EXPECT_EQ(cursor.queuedInstructions(), 0u);
+}
+
+TEST(StreamingCursor, GuardsMisuse)
+{
+    Workload menu("menu", 1);
+    Phase a = defaultRequestMix()[0].phase;
+    a.instructions = 1000;
+    menu.add(a);
+
+    WorkloadCursor plain(menu);
+    EXPECT_THROW(plain.pushSegment(0, 10), std::logic_error);
+    plain.retire(10);
+    EXPECT_THROW(plain.enableStreaming(), std::logic_error);
+
+    WorkloadCursor streaming(menu);
+    streaming.enableStreaming();
+    EXPECT_THROW(streaming.pushSegment(1, 10), std::logic_error);
+    EXPECT_THROW(streaming.pushSegment(0, 0), std::logic_error);
+    streaming.pushSegment(0, 10);
+    EXPECT_THROW(streaming.retire(11), std::logic_error);
+    streaming.reset();
+    EXPECT_TRUE(streaming.done());
+    EXPECT_EQ(streaming.queuedInstructions(), 0u);
+}
+
+// --- end-to-end serving -------------------------------------------------
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    static const PlatformConfig &
+    config()
+    {
+        static const PlatformConfig c;
+        return c;
+    }
+
+    static const TrainedModels &
+    models()
+    {
+        static const TrainedModels m = trainModels(config());
+        return m;
+    }
+
+    static const PowerEstimator &
+    powerModel()
+    {
+        static const PowerEstimator p =
+            models().powerEstimator(config().pstates);
+        return p;
+    }
+
+    static ClusterConfig
+    makeCluster(size_t cores, double budgetW)
+    {
+        ClusterConfig cc;
+        for (size_t i = 0; i < cores; ++i) {
+            ClusterCoreConfig core;
+            core.platform = config();
+            core.governor = [] {
+                return std::make_unique<PerformanceMaximizer>(
+                    powerModel(), PmConfig{.powerLimitW = 100.0});
+            };
+            core.powerModel = &powerModel();
+            cc.cores.push_back(std::move(core));
+        }
+        cc.budgetW = budgetW;
+        cc.recordTrace = false;
+        return cc;
+    }
+
+    /** ~45% utilization: the default mix averages 8.65e6 instructions
+     *  per request and a core sustains ~1.4e9 instr/s at full clock. */
+    static ServingConfig
+    lightLoad()
+    {
+        ServingConfig s;
+        s.traffic.rateRps = 300.0;
+        s.traffic.seed = 11;
+        s.horizonS = 0.3;
+        s.sloS = 0.05;
+        return s;
+    }
+};
+
+TEST_F(ServeTest, LightLoadCompletesEverythingWithinAccounting)
+{
+    UniformAllocator uniform;
+    const ServingResult res =
+        runServing(makeCluster(4, 60.0), lightLoad(), uniform);
+
+    EXPECT_GT(res.offered, 50u);
+    EXPECT_EQ(res.offered, res.completed + res.dropped + res.unfinished);
+    EXPECT_EQ(res.unfinished, 0u);
+    EXPECT_EQ(res.dropped, 0u);
+    EXPECT_EQ(res.requests.size(), res.offered);
+    EXPECT_TRUE(res.cluster.finished);
+    EXPECT_GT(res.cluster.trueEnergyJ, 0.0);
+    // Run lasts at least the horizon plus drain.
+    EXPECT_GE(res.cluster.seconds, 0.3);
+
+    ASSERT_EQ(res.latencies.size(), res.completed);
+    EXPECT_GT(res.p50S, 0.0);
+    EXPECT_LE(res.p50S, res.p99S);
+    EXPECT_LE(res.p99S, res.p999S);
+    // Uncongested 60 W x 4 cores: the tail stays within a few control
+    // intervals.
+    EXPECT_LT(res.p999S, 0.2);
+    EXPECT_LT(res.sloViolationFrac, 0.5);
+    EXPECT_GT(res.queueDepth.count(), 0u);
+
+    for (const RequestRecord &rec : res.requests) {
+        EXPECT_FALSE(rec.dropped);
+        EXPECT_GT(rec.complete, 0u);
+        EXPECT_GE(rec.complete, rec.arrival);
+        EXPECT_LT(rec.core, 4u);
+    }
+}
+
+TEST_F(ServeTest, BitIdenticalAcrossRerunsAndPoolWidths)
+{
+    UniformAllocator uniform;
+    const ClusterConfig cc = makeCluster(4, 60.0);
+    const ServingConfig sc = lightLoad();
+
+    const ServingResult serial = runServing(cc, sc, uniform, nullptr);
+    ThreadPool pool(3);
+    const ServingResult pooled = runServing(cc, sc, uniform, &pool);
+    const ServingResult again = runServing(cc, sc, uniform, &pool);
+
+    for (const ServingResult *other : {&pooled, &again}) {
+        EXPECT_EQ(serial.offered, other->offered);
+        EXPECT_EQ(serial.completed, other->completed);
+        EXPECT_EQ(serial.dropped, other->dropped);
+        EXPECT_DOUBLE_EQ(serial.p50S, other->p50S);
+        EXPECT_DOUBLE_EQ(serial.p99S, other->p99S);
+        EXPECT_DOUBLE_EQ(serial.p999S, other->p999S);
+        EXPECT_DOUBLE_EQ(serial.cluster.trueEnergyJ,
+                         other->cluster.trueEnergyJ);
+        ASSERT_EQ(serial.requests.size(), other->requests.size());
+        for (size_t i = 0; i < serial.requests.size(); ++i) {
+            EXPECT_EQ(serial.requests[i].core,
+                      other->requests[i].core);
+            EXPECT_EQ(serial.requests[i].complete,
+                      other->requests[i].complete);
+        }
+    }
+}
+
+TEST_F(ServeTest, OverloadDropsAtTheQueueCap)
+{
+    ServingConfig s;
+    s.traffic.rateRps = 3000.0;
+    s.traffic.seed = 5;
+    s.horizonS = 0.2;
+    s.sloS = 0.02;
+    s.queueCap = 4;
+    UniformAllocator uniform;
+    const ServingResult res =
+        runServing(makeCluster(1, 16.0), s, uniform);
+
+    EXPECT_GT(res.dropped, 0u);
+    EXPECT_GT(res.sloViolationFrac, 0.3);
+    EXPECT_EQ(res.offered, res.completed + res.dropped + res.unfinished);
+    // The cap bounds every queue-depth sample.
+    EXPECT_LE(res.queueDepth.max(), 4.0);
+    size_t droppedRecords = 0;
+    for (const RequestRecord &rec : res.requests) {
+        droppedRecords += rec.dropped ? 1 : 0;
+        if (rec.dropped)
+            EXPECT_EQ(rec.complete, 0u);
+    }
+    EXPECT_EQ(droppedRecords, res.dropped);
+}
+
+TEST_F(ServeTest, MaxTimeCutoffLeavesUnfinishedRequests)
+{
+    ServingConfig s;
+    s.traffic.rateRps = 2500.0;
+    s.traffic.seed = 9;
+    s.horizonS = 0.4;
+    s.queueCap = 0; // unbounded: back up instead of dropping
+    ClusterConfig cc = makeCluster(1, 16.0);
+    for (auto &core : cc.cores)
+        core.options.maxTime = secondsToTicks(0.1);
+    UniformAllocator uniform;
+    const ServingResult res = runServing(cc, s, uniform);
+
+    EXPECT_FALSE(res.cluster.finished);
+    EXPECT_GT(res.unfinished, 0u);
+    EXPECT_EQ(res.offered, res.completed + res.dropped + res.unfinished);
+}
+
+TEST_F(ServeTest, DispatchPoliciesBothServe)
+{
+    UniformAllocator uniform;
+    for (DispatchPolicy policy : {DispatchPolicy::RoundRobin,
+                                  DispatchPolicy::JoinShortestQueue}) {
+        ServingConfig s = lightLoad();
+        s.dispatch = policy;
+        const ServingResult res =
+            runServing(makeCluster(4, 60.0), s, uniform);
+        EXPECT_EQ(res.unfinished, 0u) << dispatchPolicyName(policy);
+        EXPECT_GT(res.completed, 50u) << dispatchPolicyName(policy);
+        // Every core took work.
+        std::vector<size_t> perCore(4, 0);
+        for (const RequestRecord &rec : res.requests)
+            ++perCore[rec.core];
+        for (size_t i = 0; i < perCore.size(); ++i)
+            EXPECT_GT(perCore[i], 0u) << dispatchPolicyName(policy);
+    }
+}
+
+TEST_F(ServeTest, RequestLogRoundTrips)
+{
+    UniformAllocator uniform;
+    const ServingResult res =
+        runServing(makeCluster(2, 30.0), lightLoad(), uniform);
+    const std::string path =
+        testing::TempDir() + "aapm_requests_test.jsonl";
+    writeRequestLog(path, res, defaultRequestMix());
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    size_t lines = 0;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_NE(line.find("\"aapm_requests\": 1"), std::string::npos);
+    EXPECT_NE(line.find("\"offered\": "), std::string::npos);
+    std::string last;
+    while (std::getline(in, line)) {
+        ++lines;
+        last = line;
+    }
+    // offered records + end trailer.
+    EXPECT_EQ(lines, res.offered + 1);
+    EXPECT_NE(last.find("\"aapm_requests_end\": 1"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, ServingMenuShapesFollowTheMix)
+{
+    const auto mix = defaultRequestMix();
+    const Workload menu = servingMenu(mix, config().core);
+    ASSERT_EQ(menu.phases().size(), mix.size() + 1);
+    for (size_t i = 0; i < mix.size(); ++i) {
+        EXPECT_EQ(menu.phases()[i].name, mix[i].name);
+        EXPECT_EQ(menu.phases()[i].instructions,
+                  mix[i].phase.instructions);
+        EXPECT_FALSE(menu.phases()[i].idle);
+    }
+    EXPECT_TRUE(menu.phases().back().idle);
+}
+
+} // namespace
+} // namespace aapm

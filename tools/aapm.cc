@@ -19,6 +19,7 @@
 #include "aapm.hh"
 #include "cli/options.hh"
 #include "cluster/budget_tree.hh"
+#include "common/parse.hh"
 #include "workload/workload_io.hh"
 
 namespace
@@ -256,6 +257,52 @@ corePath(const std::string &path, size_t core)
     return path.substr(0, dot) + tag + path.substr(dot);
 }
 
+/**
+ * Resolve the budget allocator for an n-core cluster. `topology` and
+ * `policies` arrive with the manifest directives already folded in and
+ * the --topology flag already applied; --allocator names one policy
+ * per level when a topology is in force, or a flat policy otherwise.
+ * Reports a human-readable description through `allocDesc`.
+ */
+std::unique_ptr<PowerBudgetAllocator>
+resolveClusterAllocator(const CliOptions &opts,
+                        const std::string &topology,
+                        std::string policies, size_t n,
+                        std::string *allocDesc)
+{
+    std::unique_ptr<PowerBudgetAllocator> allocator;
+    if (!topology.empty()) {
+        if (opts.has("allocator"))
+            policies = opts.str("allocator");
+        BudgetTreeConfig tree;
+        tree.fanout = parseTopology(topology);
+        if (!policies.empty())
+            tree.policies = splitPolicyList(policies);
+        auto treeAlloc =
+            std::make_unique<BudgetTreeAllocator>(std::move(tree));
+        if (treeAlloc->coreCount() != n)
+            aapm_fatal("topology %s addresses %zu cores but the "
+                       "cluster has %zu", topology.c_str(),
+                       treeAlloc->coreCount(), n);
+        *allocDesc = "tree " + treeAlloc->spec();
+        allocator = std::move(treeAlloc);
+    } else {
+        const std::string name =
+            opts.has("allocator") ? opts.str("allocator") : "uniform";
+        allocator = makeAllocator(name);
+        if (!allocator) {
+            std::string names;
+            for (const std::string &a : allocatorNames())
+                names += (names.empty() ? "" : ", ") + a;
+            aapm_fatal("unknown allocator '%s' (one of: %s, greedy-ref,"
+                       " tree:FANOUT[:POLICIES])", name.c_str(),
+                       names.c_str());
+        }
+        *allocDesc = allocator->name();
+    }
+    return allocator;
+}
+
 int
 cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
               const PowerEstimator &power, const PerfEstimator &perf)
@@ -311,37 +358,9 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
     // a topology in force, --allocator names one policy per level.
     if (opts.has("topology"))
         topology = opts.str("topology");
-    std::unique_ptr<PowerBudgetAllocator> allocator;
     std::string allocDesc;
-    if (!topology.empty()) {
-        if (opts.has("allocator"))
-            policies = opts.str("allocator");
-        BudgetTreeConfig tree;
-        tree.fanout = parseTopology(topology);
-        if (!policies.empty())
-            tree.policies = splitPolicyList(policies);
-        auto treeAlloc =
-            std::make_unique<BudgetTreeAllocator>(std::move(tree));
-        if (treeAlloc->coreCount() != n)
-            aapm_fatal("topology %s addresses %zu cores but the "
-                       "cluster has %zu", topology.c_str(),
-                       treeAlloc->coreCount(), n);
-        allocDesc = "tree " + treeAlloc->spec();
-        allocator = std::move(treeAlloc);
-    } else {
-        const std::string name =
-            opts.has("allocator") ? opts.str("allocator") : "uniform";
-        allocator = makeAllocator(name);
-        if (!allocator) {
-            std::string names;
-            for (const std::string &a : allocatorNames())
-                names += (names.empty() ? "" : ", ") + a;
-            aapm_fatal("unknown allocator '%s' (one of: %s, greedy-ref,"
-                       " tree:FANOUT[:POLICIES])", name.c_str(),
-                       names.c_str());
-        }
-        allocDesc = allocator->name();
-    }
+    std::unique_ptr<PowerBudgetAllocator> allocator =
+        resolveClusterAllocator(opts, topology, policies, n, &allocDesc);
 
     RunOptions base_opts;
     applyFaultOptions(opts, base_opts);
@@ -357,7 +376,8 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
         DomainFaultPlan::parse(domainSpec);
     uint64_t domainSeed = domainPlan.seed;
     if (!domainSeedStr.empty())
-        domainSeed = std::strtoull(domainSeedStr.c_str(), nullptr, 10);
+        domainSeed = parseStrictU64(domainSeedStr,
+                                    "manifest domain-seed");
     if (opts.has("domain-seed"))
         domainSeed = static_cast<uint64_t>(opts.num("domain-seed"));
     DerivedDomainFaults derived;
@@ -503,6 +523,287 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
         csv.row({"t_s", "measured_w", "true_w", "freq_mhz", "ipc",
                  "dpc", "temp_c"});
         for (const auto &s : r.trace.samples()) {
+            csv.rowNums({ticksToSeconds(s.when), s.measuredW, s.trueW,
+                         s.freqMhz, s.ipc, s.dpc, s.tempC});
+        }
+        std::printf("cluster trace written to %s\n",
+                    opts.str("csv").c_str());
+    }
+    if (opts.has("metrics-out") &&
+        MetricRegistry::global().writeJson(opts.str("metrics-out"))) {
+        std::printf("metrics written to %s\n",
+                    opts.str("metrics-out").c_str());
+    }
+    return 0;
+}
+
+/**
+ * The request-driven serving scenario: open-loop traffic against a
+ * power-capped cluster, tail-latency percentiles reported beside
+ * energy. Shares the cluster plumbing — allocators, budget trees,
+ * domain faults, supervision, per-core traces — with cmdClusterRun;
+ * the cores' workloads come from the request mix, not a manifest.
+ */
+int
+cmdServe(const CliOptions &opts)
+{
+    PlatformConfig config;
+    if (opts.has("interval"))
+        config.sampleInterval = static_cast<Tick>(
+            opts.num("interval") * static_cast<double>(TicksPerMs));
+
+    PowerEstimator power = PowerEstimator::paperPentiumM();
+    PerfEstimator perf(PerfEstimator::PaperThreshold,
+                       PerfEstimator::PaperExponent);
+    if (opts.has("models")) {
+        const ModelFile file = loadModelFile(opts.str("models"));
+        power = file.powerEstimator(config.pstates);
+        perf = file.perfEstimator();
+    } else if (!opts.flag("paper-models")) {
+        aapm_inform("training models (pass --models FILE or "
+                    "--paper-models to skip)...");
+        const TrainedModels models = trainModels(config);
+        power = models.powerEstimator(config.pstates);
+        perf = models.perfEstimator();
+    }
+
+    if (!opts.has("budget"))
+        aapm_fatal("serving needs --budget WATTS");
+    const double budget = opts.num("budget");
+    const size_t n = static_cast<size_t>(opts.num("cluster"));
+    if (n == 0)
+        aapm_fatal("serving needs --cluster N (N > 0)");
+
+    // Manifest directives seed the defaults; every flag overrides.
+    std::string topology;
+    std::string policies;
+    std::string domainSpec;
+    std::string domainSeedStr;
+    std::string arrival = "poisson";
+    std::string rateStr;
+    std::string sloStr;
+    std::string mixStr;
+    std::string capStr;
+    std::string dispatchStr;
+    std::string seedStr;
+    if (opts.has("manifest")) {
+        ClusterManifest manifest =
+            loadClusterManifest(opts.str("manifest"));
+        if (!manifest.entries.empty()) {
+            aapm_warn("serving ignores the manifest's %zu core "
+                      "line(s): every core runs the request-mix menu",
+                      manifest.entries.size());
+        }
+        topology = manifest.topology;
+        policies = manifest.policies;
+        domainSpec = manifest.domainPlan;
+        domainSeedStr = manifest.domainSeed;
+        if (!manifest.arrival.empty())
+            arrival = manifest.arrival;
+        rateStr = manifest.rate;
+        sloStr = manifest.slo;
+        mixStr = manifest.requestMix;
+        capStr = manifest.queueCap;
+        dispatchStr = manifest.dispatch;
+        seedStr = manifest.serveSeed;
+    }
+    if (opts.has("arrival"))
+        arrival = opts.str("arrival");
+    if (opts.has("rate"))
+        rateStr = opts.str("rate");
+    if (opts.has("slo"))
+        sloStr = opts.str("slo");
+    if (opts.has("request-mix"))
+        mixStr = opts.str("request-mix");
+    if (opts.has("queue-cap"))
+        capStr = opts.str("queue-cap");
+    if (opts.has("dispatch"))
+        dispatchStr = opts.str("dispatch");
+    if (opts.has("serve-seed"))
+        seedStr = opts.str("serve-seed");
+
+    ServingConfig serving;
+    serving.traffic.process = parseArrivalProcess(arrival);
+    if (!rateStr.empty())
+        serving.traffic.rateRps = parseStrictDouble(rateStr, "rate");
+    if (!seedStr.empty())
+        serving.traffic.seed = parseStrictU64(seedStr, "serve-seed");
+    if (!sloStr.empty())
+        serving.sloS = parseStrictDouble(sloStr, "slo");
+    if (!capStr.empty()) {
+        serving.queueCap =
+            static_cast<size_t>(parseStrictU64(capStr, "queue-cap"));
+    }
+    if (!dispatchStr.empty())
+        serving.dispatch = parseDispatchPolicy(dispatchStr);
+    if (!mixStr.empty())
+        serving.mix = parseRequestMix(mixStr);
+    if (opts.has("seconds"))
+        serving.horizonS = opts.num("seconds");
+    const std::vector<RequestClass> mixUsed =
+        serving.mix.empty() ? defaultRequestMix() : serving.mix;
+
+    if (opts.has("topology"))
+        topology = opts.str("topology");
+    std::string allocDesc;
+    std::unique_ptr<PowerBudgetAllocator> allocator =
+        resolveClusterAllocator(opts, topology, policies, n, &allocDesc);
+
+    RunOptions base_opts;
+    applyFaultOptions(opts, base_opts);
+
+    if (opts.has("cluster-fault-plan"))
+        domainSpec = opts.str("cluster-fault-plan");
+    const DomainFaultPlan domainPlan =
+        DomainFaultPlan::parse(domainSpec);
+    uint64_t domainSeed = domainPlan.seed;
+    if (!domainSeedStr.empty())
+        domainSeed = parseStrictU64(domainSeedStr,
+                                    "manifest domain-seed");
+    if (opts.has("domain-seed"))
+        domainSeed = static_cast<uint64_t>(opts.num("domain-seed"));
+    DerivedDomainFaults derived;
+    if (domainPlan.active()) {
+        std::vector<size_t> fanout;
+        if (!topology.empty())
+            fanout = parseTopology(topology);
+        derived = deriveDomainFaults(domainPlan, base_opts.faultPlan,
+                                     fanout, n, domainSeed);
+    }
+
+    std::unique_ptr<TraceFlushThread> trace_flush;
+    std::vector<std::unique_ptr<TraceSink>> sinks;
+    std::vector<std::unique_ptr<IntervalTracer>> tracers;
+    const TraceFormat trace_format =
+        resolveTraceFormat(opts, "trace-format");
+    if (opts.has("trace-out"))
+        trace_flush = std::make_unique<TraceFlushThread>();
+
+    ClusterConfig cc;
+    cc.budgetW = budget;
+    const GovernorFactory factory = clusterGovernorFactory(
+        opts, power, budget / static_cast<double>(n));
+    for (size_t i = 0; i < n; ++i) {
+        ClusterCoreConfig core;
+        core.platform = config;
+        core.workload = nullptr; // runServing installs the menu
+        core.governor = factory;
+        core.options = base_opts;
+        const uint64_t seedBase = opts.has("fault-seed")
+            ? static_cast<uint64_t>(opts.num("fault-seed"))
+            : base_opts.faultPlan.seed;
+        if (domainPlan.active()) {
+            core.options.faultPlan = derived.perCore[i];
+            core.options.faultSeed = opts.has("fault-seed")
+                ? domainCoreSeed(seedBase, i)
+                : 0;
+        } else {
+            core.options.faultSeed = domainCoreSeed(seedBase, i);
+        }
+        core.powerModel = &power;
+        core.perfModel = &perf;
+        if (opts.has("trace-out")) {
+            sinks.push_back(
+                makeTraceSink(corePath(opts.str("trace-out"), i),
+                              trace_format, trace_flush.get()));
+            tracers.push_back(std::make_unique<IntervalTracer>(
+                *sinks.back(),
+                static_cast<uint64_t>(opts.num("trace-every"))));
+            core.options.tracer = tracers.back().get();
+        }
+        cc.cores.push_back(std::move(core));
+    }
+
+    std::vector<BudgetDropEvent> subtreeDrops;
+    if (domainPlan.active()) {
+        const std::vector<ScheduledCommand> globalDrops =
+            budgetDropCommands(derived.drops, budget,
+                               config.sampleInterval, n);
+        cc.budgetCommands.insert(cc.budgetCommands.end(),
+                                 globalDrops.begin(),
+                                 globalDrops.end());
+        for (const BudgetDropEvent &d : derived.drops) {
+            if (d.coreBegin != 0 || d.coreEnd != n)
+                subtreeDrops.push_back(d);
+        }
+    }
+    std::unique_ptr<ClusterSupervisor> supervisor;
+    if (opts.flag("supervise")) {
+        supervisor = std::make_unique<ClusterSupervisor>(
+            ClusterSupervisorConfig(), std::move(subtreeDrops));
+        cc.supervisor = supervisor.get();
+    } else if (!subtreeDrops.empty()) {
+        aapm_warn("domain plan: %zu subtree budget-drop(s) need "
+                  "--supervise to shed hierarchically; ignored",
+                  subtreeDrops.size());
+    }
+
+    ThreadPool pool;
+    const ServingResult r =
+        runServing(std::move(cc), serving, *allocator, &pool);
+
+    tracers.clear();
+    sinks.clear();
+    if (opts.has("trace-out")) {
+        std::printf("per-core traces written to %s\n",
+                    corePath(opts.str("trace-out"), 0).c_str());
+    }
+    if (opts.has("requests-out")) {
+        writeRequestLog(opts.str("requests-out"), r, mixUsed);
+        std::printf("request log written to %s\n",
+                    opts.str("requests-out").c_str());
+    }
+
+    auto u = [](uint64_t v) {
+        return static_cast<unsigned long long>(v);
+    };
+    std::printf("serving   %zu cores under %s, budget %.1f W\n", n,
+                allocDesc.c_str(), budget);
+    std::printf("traffic   %s at %.0f rps for %.2f s (seed %llu, "
+                "%s dispatch, queue cap %zu)\n",
+                arrivalProcessName(serving.traffic.process),
+                serving.traffic.rateRps, serving.horizonS,
+                u(serving.traffic.seed),
+                dispatchPolicyName(serving.dispatch),
+                serving.queueCap);
+    std::printf("requests  %llu offered, %llu completed, %llu "
+                "dropped, %llu unfinished\n", u(r.offered),
+                u(r.completed), u(r.dropped), u(r.unfinished));
+    std::printf("latency   p50 %.2f ms, p99 %.2f ms, p99.9 %.2f ms, "
+                "mean %.2f ms\n", r.p50S * 1e3, r.p99S * 1e3,
+                r.p999S * 1e3, r.meanLatencyS * 1e3);
+    std::printf("slo       %.1f ms: %.2f%% of offered violated "
+                "(late + dropped)\n", r.sloS * 1e3,
+                r.sloViolationFrac * 100.0);
+    std::printf("time      %.3f s, energy %.2f J aggregate\n",
+                r.cluster.seconds, r.cluster.trueEnergyJ);
+    std::printf("over-budget intervals: %.2f%%\n",
+                r.cluster.fractionOverBudgetTrue * 100.0);
+    printRecovery(r.cluster.recovery);
+    if (supervisor != nullptr) {
+        const ClusterResilienceStats &res = r.cluster.resilience;
+        std::printf("resilience quarantines=%llu "
+                    "quarantined-intervals=%llu readmissions=%llu "
+                    "subtree-drops=%llu shed-intervals=%llu "
+                    "shed-watt-intervals=%.2f\n",
+                    u(res.quarantineEntries),
+                    u(res.quarantineIntervals), u(res.readmissions),
+                    u(res.budgetDropsApplied), u(res.shedIntervals),
+                    res.shedWattIntervals);
+    }
+    // One parseable line so scripted smokes can assert determinism.
+    std::printf("serving offered=%llu completed=%llu dropped=%llu "
+                "p50_ms=%.6f p99_ms=%.6f p999_ms=%.6f slo_viol=%.6f "
+                "rps=%.3f energy_j=%.6f\n", u(r.offered),
+                u(r.completed), u(r.dropped), r.p50S * 1e3,
+                r.p99S * 1e3, r.p999S * 1e3, r.sloViolationFrac,
+                r.completedRps(), r.cluster.trueEnergyJ);
+
+    if (opts.has("csv")) {
+        CsvWriter csv(opts.str("csv"));
+        csv.row({"t_s", "measured_w", "true_w", "freq_mhz", "ipc",
+                 "dpc", "temp_c"});
+        for (const auto &s : r.cluster.trace.samples()) {
             csv.rowNums({ticksToSeconds(s.when), s.measuredW, s.trueW,
                          s.freqMhz, s.ipc, s.dpc, s.tempC});
         }
@@ -782,6 +1083,8 @@ usageTop()
         "commands:\n"
         "  train          characterize MS-Loops and fit the models\n"
         "  run            run a workload under a governor\n"
+        "  serve          request-driven serving on a power-capped "
+        "cluster\n"
         "  suite          run the full SPEC proxy suite\n"
         "  trace-convert  convert an interval trace between formats\n"
         "  list           list workloads and governors\n\n"
@@ -935,6 +1238,96 @@ main(int argc, char **argv)
                 return 2;
             }
             return cmdRun(opts);
+        }
+        if (cmd == "serve") {
+            CliOptions opts("aapm serve",
+                            "open-loop request serving on a "
+                            "power-capped cluster: tail-latency "
+                            "percentiles and SLO violations beside "
+                            "energy");
+            opts.addOption("cluster", "N", "16", "cluster width");
+            opts.addOption("budget", "WATTS", "",
+                           "global cluster power budget (required)");
+            opts.addOption("governor", "NAME", "pm",
+                           "per-core governor: pm|pm-f|pm-a");
+            opts.addOption("allocator", "NAME", "",
+                           "budget policy: uniform|demand|greedy|"
+                           "greedy-ref or tree:FANOUT[:POLICIES]; with "
+                           "--topology, a comma list of per-level "
+                           "policies (default uniform)");
+            opts.addOption("topology", "SPEC", "",
+                           "budget-tree fanout rack>...>core, e.g. "
+                           "2x4x8; the product must equal --cluster");
+            opts.addOption("manifest", "FILE", "",
+                           "cluster manifest; its serving directives "
+                           "(arrival/rate/slo/request-mix/queue-cap/"
+                           "dispatch/serve-seed) and topology/"
+                           "policies/domain-plan apply, core lines "
+                           "are ignored");
+            opts.addOption("arrival", "NAME", "",
+                           "arrival process: poisson|diurnal|bursty "
+                           "(default poisson)");
+            opts.addOption("rate", "RPS", "",
+                           "mean arrival rate, requests/s (default "
+                           "1000)");
+            opts.addOption("seconds", "S", "1",
+                           "traffic horizon; queues drain afterwards");
+            opts.addOption("slo", "S", "",
+                           "completion-time SLO, seconds (default "
+                           "0.05)");
+            opts.addOption("request-mix", "SPEC", "",
+                           "profile:instructions:weight list, e.g. "
+                           "cpu:2500000:0.7,mem:6000000:0.3 (default: "
+                           "the built-in three-class mix)");
+            opts.addOption("queue-cap", "N", "",
+                           "per-core queue capacity in requests, 0 = "
+                           "unbounded (default 64)");
+            opts.addOption("dispatch", "NAME", "",
+                           "dispatch policy: rr|jsq (default jsq)");
+            opts.addOption("serve-seed", "N", "",
+                           "traffic-generator seed (default 1)");
+            opts.addOption("requests-out", "FILE", "",
+                           "write the per-request JSONL log");
+            opts.addOption("interval", "MS", "10",
+                           "monitoring interval");
+            opts.addOption("models", "FILE", "",
+                           "load trained constants instead of "
+                           "training");
+            opts.addFlag("paper-models",
+                         "use the paper's published Table II "
+                         "constants");
+            opts.addFlag("supervise",
+                         "wrap every governor in the resilience "
+                         "supervisor and shed subtree budget drops");
+            opts.addOption("fault-plan", "SPEC", "",
+                           "inject faults: mixed:P or key=value list");
+            opts.addOption("fault-seed", "N", "",
+                           "override the fault plan's RNG seed");
+            opts.addOption("cluster-fault-plan", "SPEC", "",
+                           "correlated domain faults (see "
+                           "DomainFaultPlan::parse)");
+            opts.addOption("domain-seed", "N", "",
+                           "per-core seed derivation for the domain "
+                           "plan");
+            opts.addOption("trace-out", "FILE", "",
+                           "write per-core interval traces "
+                           "(trace.coreI.ext)");
+            opts.addOption("trace-format", "FMT", "auto",
+                           "trace format: auto|jsonl|csv|bin");
+            opts.addOption("trace-every", "N", "1",
+                           "record every Nth interval (0 = none)");
+            opts.addOption("csv", "FILE", "",
+                           "write the aggregate cluster trace");
+            opts.addOption("metrics-out", "FILE", "",
+                           "write the metric registry snapshot "
+                           "(JSON)");
+            if (!opts.parse(args, &error)) {
+                std::printf("%s", opts.usage().c_str());
+                if (!opts.helpRequested())
+                    std::fprintf(stderr, "error: %s\n", error.c_str());
+                return opts.helpRequested() ? 0 : 2;
+            }
+            return cmdServe(opts);
         }
         if (cmd == "trace-convert") {
             CliOptions opts("aapm trace-convert",
