@@ -1448,6 +1448,281 @@ emitServingBaseline()
     return 0;
 }
 
+/**
+ * Read the idle baselines recorded in an existing BENCH_idle.json,
+ * keyed "energy@race" (deterministic Joules, lower is better),
+ * "p99@race" (deterministic ms, lower is better) and "rps@race"
+ * (wall-clock requests stepped per second, host-speed dependent,
+ * higher is better). Empty when the file is absent. Relies on the
+ * one-row-per-line layout emitIdleBaseline() writes.
+ */
+std::map<std::string, double>
+recordedIdleBaseline(const std::string &path)
+{
+    std::map<std::string, double> recorded;
+    std::ifstream in(path);
+    if (!in)
+        return recorded;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto value = [&line](const std::string &key, double &out) {
+            const size_t pos = line.find("\"" + key + "\":");
+            if (pos == std::string::npos)
+                return false;
+            out = std::strtod(line.c_str() + pos + key.size() + 3,
+                              nullptr);
+            return true;
+        };
+        const size_t tag_pos = line.find("\"policy\": \"");
+        if (tag_pos == std::string::npos)
+            continue;
+        const size_t tag_start = tag_pos + 11;
+        const size_t tag_end = line.find('"', tag_start);
+        if (tag_end == std::string::npos)
+            continue;
+        const std::string tag =
+            line.substr(tag_start, tag_end - tag_start);
+        double energy = 0.0, p99 = 0.0, rps = 0.0;
+        if (value("energy_j", energy) && value("p99_ms", p99) &&
+            value("requests_per_wall_sec", rps)) {
+            recorded["energy@" + tag] = energy;
+            recorded["p99@" + tag] = p99;
+            recorded["rps@" + tag] = rps;
+        }
+    }
+    return recorded;
+}
+
+/**
+ * Idle baseline: the ISSUE's flagship race-vs-crawl comparison on a
+ * 256-core bursty serving cluster. Both policies face the same seeded
+ * MMPP traffic (default mix, JSQ dispatch, 50 ms SLO, 0.5 s horizon):
+ *
+ *   race   RACE governor over the two-deep reference ladder
+ *          (C1:0.4W:2us;C6:0.05W:150us) — sprint the backlog at the
+ *          power cap, then park the core in the deepest state the
+ *          menu rule trusts.
+ *   crawl  StaticClock pinned at the slowest p-state with a C0-only
+ *          ladder — stretch the work, never sleep.
+ *
+ * Three numbers per row go into BENCH_idle.json (override with
+ * AAPM_IDLE_JSON): energy_j and p99_ms (deterministic) plus
+ * requests_per_wall_sec (host-speed dependent). The guard fails the
+ * binary when the race row regresses >20% against the recorded file
+ * on any of the three, when either policy completes zero requests,
+ * or when the subsystem's reason to exist stops holding: race must
+ * finish the same traffic with less energy at an equal-or-better SLO
+ * violation fraction than crawl. AAPM_BENCH_NO_GUARD=1 overrides.
+ */
+int
+emitIdleBaseline()
+{
+    const auto power = std::make_shared<PowerEstimator>(
+        PowerEstimator::paperPentiumM());
+    const PerfEstimator perf;
+    const double limit = 7.0;
+    const size_t cores = 256;
+    const char *ladder_spec = "C1:0.4W:2us;C6:0.05W:150us";
+    const auto ladder = std::make_shared<CStateLadder>(
+        CStateLadder::parse(ladder_spec, "idle baseline ladder"));
+
+    struct Policy
+    {
+        const char *name;
+        CStateLadder ladder;
+        GovernorFactory factory;
+    };
+    const std::vector<Policy> policies = {
+        {"race", *ladder,
+         [power, ladder, limit] {
+             return std::make_unique<RaceToIdleGovernor>(
+                 *power, *ladder, PmConfig{.powerLimitW = limit});
+         }},
+        {"crawl", CStateLadder(),
+         [] { return std::make_unique<StaticClock>(0); }},
+    };
+
+    struct Row
+    {
+        std::string policy;
+        double wallSeconds;
+        double requestsPerWallSec;
+        double sleepCoreS;
+        uint64_t wakeups;
+        ServingResult result;
+    };
+    std::vector<Row> rows;
+    ThreadPool pool;
+    for (const Policy &policy : policies) {
+        ClusterConfig cc;
+        for (size_t i = 0; i < cores; ++i) {
+            ClusterCoreConfig core;
+            core.platform = PlatformConfig();
+            core.platform.cstates = policy.ladder;
+            core.governor = policy.factory;
+            core.powerModel = power.get();
+            core.perfModel = &perf;
+            cc.cores.push_back(std::move(core));
+        }
+        cc.budgetW = limit * static_cast<double>(cores);
+        cc.recordTrace = false;
+
+        ServingConfig serving;
+        // Same ~40% load point as the serving baseline, but bursty:
+        // the MMPP calm/burst alternation is what gives the race
+        // policy its idle gaps and the crawl policy its queue spikes.
+        serving.traffic.rateRps = 40.0 * static_cast<double>(cores);
+        serving.traffic.process = ArrivalProcess::Bursty;
+        serving.traffic.seed = 42;
+        serving.horizonS = 0.5;
+        serving.sloS = 0.05;
+
+        UniformAllocator uniform;
+        double best_s = 0.0;
+        ServingResult best;
+        for (int rep = 0; rep < 2; ++rep) {
+            const auto start = std::chrono::steady_clock::now();
+            ServingResult r =
+                runServing(cc, serving, uniform, &pool);
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            if (rep == 0 || elapsed.count() < best_s) {
+                best_s = elapsed.count();
+                best = std::move(r);
+            }
+        }
+        double sleep_s = 0.0;
+        uint64_t wakeups = 0;
+        for (const RunResult &r : best.cluster.cores) {
+            sleep_s += r.idle.sleepSeconds;
+            wakeups += r.idle.wakeups;
+        }
+        const double per_sec = best_s > 0.0
+            ? static_cast<double>(best.offered) / best_s
+            : 0.0;
+        std::printf("idle: %-5s %6.1f J, p99 %6.2f ms, %.2f%% SLO "
+                    "misses, %7.1f core-s asleep, %llu wakeups, "
+                    "%.3f s wall\n",
+                    policy.name, best.cluster.trueEnergyJ,
+                    best.p99S * 1e3, best.sloViolationFrac * 100.0,
+                    sleep_s,
+                    static_cast<unsigned long long>(wakeups), best_s);
+        rows.push_back({policy.name, best_s, per_sec, sleep_s,
+                        wakeups, std::move(best)});
+    }
+
+    const char *path_env = std::getenv("AAPM_IDLE_JSON");
+    const std::string path =
+        path_env && *path_env ? path_env : "BENCH_idle.json";
+    const auto recorded = recordedIdleBaseline(path);
+    const bool guard_off = std::getenv("AAPM_BENCH_NO_GUARD") != nullptr;
+    bool regressed = false;
+    for (const Row &row : rows) {
+        if (row.result.completed == 0) {
+            std::fprintf(stderr,
+                         "idle regression: %s run completed zero "
+                         "requests\n", row.policy.c_str());
+            regressed = true;
+        }
+    }
+    const Row &race = rows[0];
+    const Row &crawl = rows[1];
+    if (race.result.cluster.trueEnergyJ >=
+        crawl.result.cluster.trueEnergyJ) {
+        std::fprintf(stderr,
+                     "idle regression: race burned %.1f J, not below "
+                     "crawl's %.1f J\n",
+                     race.result.cluster.trueEnergyJ,
+                     crawl.result.cluster.trueEnergyJ);
+        regressed = true;
+    }
+    if (race.result.sloViolationFrac >
+        crawl.result.sloViolationFrac) {
+        std::fprintf(stderr,
+                     "idle regression: race missed the SLO on %.2f%% "
+                     "of requests, worse than crawl's %.2f%%\n",
+                     race.result.sloViolationFrac * 100.0,
+                     crawl.result.sloViolationFrac * 100.0);
+        regressed = true;
+    }
+    if (race.sleepCoreS <= 0.0) {
+        std::fprintf(stderr,
+                     "idle regression: race accumulated no sleep "
+                     "residency\n");
+        regressed = true;
+    }
+    const auto energy = recorded.find("energy@race");
+    if (energy != recorded.end() && energy->second > 0.0 &&
+        race.result.cluster.trueEnergyJ > 1.2 * energy->second) {
+        std::fprintf(stderr,
+                     "idle energy regression: race burned %.1f J, "
+                     ">20%% above the recorded %.1f in %s\n",
+                     race.result.cluster.trueEnergyJ, energy->second,
+                     path.c_str());
+        regressed = true;
+    }
+    const auto p99 = recorded.find("p99@race");
+    if (p99 != recorded.end() && p99->second > 0.0 &&
+        race.result.p99S * 1e3 > 1.2 * p99->second) {
+        std::fprintf(stderr,
+                     "idle latency regression: race p99 %.2f ms, "
+                     ">20%% above the recorded %.2f ms in %s\n",
+                     race.result.p99S * 1e3, p99->second,
+                     path.c_str());
+        regressed = true;
+    }
+    const auto rps = recorded.find("rps@race");
+    if (rps != recorded.end() && rps->second > 0.0 &&
+        race.requestsPerWallSec < 0.8 * rps->second) {
+        std::fprintf(stderr,
+                     "idle throughput regression: race stepped %.0f "
+                     "req/s, >20%% below the recorded %.0f in %s\n",
+                     race.requestsPerWallSec, rps->second,
+                     path.c_str());
+        regressed = true;
+    }
+    if (regressed && !guard_off) {
+        std::fprintf(stderr,
+                     "set AAPM_BENCH_NO_GUARD=1 to override\n");
+        return 1;
+    }
+
+    std::ofstream out(path);
+    out.precision(6);
+    out << "{\n"
+        << "  \"benchmark\": \"idle_baseline\",\n"
+        << "  \"cores\": " << cores << ",\n"
+        << "  \"budget_w\": " << limit * static_cast<double>(cores)
+        << ",\n"
+        << "  \"arrival\": \"bursty\",\n"
+        << "  \"ladder\": \"" << ladder_spec << "\",\n"
+        << "  \"slo_ms\": 50,\n"
+        << "  \"horizon_s\": 0.5,\n"
+        << "  \"seed\": 42,\n"
+        << "  \"pool_jobs\": " << pool.jobs() << ",\n"
+        << "  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        const ServingResult &r = row.result;
+        out << "    {\"policy\": \"" << row.policy << "\""
+            << ", \"energy_j\": " << r.cluster.trueEnergyJ
+            << ", \"offered\": " << r.offered
+            << ", \"completed\": " << r.completed
+            << ", \"dropped\": " << r.dropped
+            << ", \"p50_ms\": " << r.p50S * 1e3
+            << ", \"p99_ms\": " << r.p99S * 1e3
+            << ", \"slo_violation_frac\": " << r.sloViolationFrac
+            << ", \"sleep_core_s\": " << row.sleepCoreS
+            << ", \"wakeups\": " << row.wakeups
+            << ", \"wall_seconds\": " << row.wallSeconds
+            << ", \"requests_per_wall_sec\": "
+            << row.requestsPerWallSec << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1463,8 +1738,10 @@ main(int argc, char **argv)
     const int kernel_rc = emitKernelTimings();
     const int cluster_rc = emitClusterTimings();
     const int serving_rc = emitServingBaseline();
+    const int idle_rc = emitIdleBaseline();
     return kernel_rc != 0 ? kernel_rc
         : cluster_rc != 0  ? cluster_rc
         : serving_rc != 0  ? serving_rc
+        : idle_rc != 0     ? idle_rc
                            : faults_rc;
 }

@@ -59,7 +59,8 @@ FIELDS = [
     "measured_w", "temp_c", "pstate", "last_actuation", "true_w",
     "true_ipc", "true_dpc", "die_temp_c", "pred_valid", "pred_w",
     "proj_ipc", "mem_class", "decided", "decision", "actuation",
-    "stall_ticks", "fallback", "blind", "substitutions",
+    "stall_ticks", "fallback", "blind", "substitutions", "idle_s",
+    "cstate",
 ]
 
 HEADER_KEYS = {"aapm_trace", "workload", "governor", "interval_ticks",

@@ -137,6 +137,30 @@ if [[ "$SANITIZE" == 1 ]]; then
         python3 scripts/check_trace_schema.py --requests \
             build-asan/serve_smoke.jsonl
     fi
+    # Idle-serving smoke under the sanitizers: the c-state ladder,
+    # RACE's sprint/crawl split and the platform's sleep/wake stepping
+    # run end-to-end; same-seed runs at different pool widths must
+    # agree, and the cores must actually sleep (nonzero sleep_s).
+    ASAN_OPTIONS=detect_leaks=0 \
+        build-asan/tools/aapm serve --cluster 64 --budget 448 \
+        --paper-models --rate 2560 --seconds 0.3 --arrival bursty \
+        --serve-seed 42 --governor race \
+        --c-states "C1:0.4W:2us;C6:0.05W:150us" \
+        > build-asan/idle_a.txt
+    ASAN_OPTIONS=detect_leaks=0 AAPM_JOBS=1 \
+        build-asan/tools/aapm serve --cluster 64 --budget 448 \
+        --paper-models --rate 2560 --seconds 0.3 --arrival bursty \
+        --serve-seed 42 --governor race \
+        --c-states "C1:0.4W:2us;C6:0.05W:150us" \
+        > build-asan/idle_b.txt
+    grep "^serving offered=" build-asan/idle_a.txt \
+        > build-asan/idle_line_a.txt
+    grep "^serving offered=" build-asan/idle_b.txt \
+        > build-asan/idle_line_b.txt
+    cmp build-asan/idle_line_a.txt build-asan/idle_line_b.txt
+    grep -E "serving offered=[0-9]+ completed=[1-9]" \
+        build-asan/idle_line_a.txt
+    grep -vq "sleep_s=0\.000000" build-asan/idle_line_a.txt
     echo "done: sanitize_output.txt"
     exit 0
 fi
@@ -235,6 +259,24 @@ if command -v python3 >/dev/null 2>&1; then
     python3 scripts/check_trace_schema.py --requests \
         build/serve_smoke.jsonl
 fi
+
+# Idle-serving smoke: bursty traffic on a race-governed cluster with a
+# two-deep c-state ladder must stay deterministic across pool widths
+# and actually put cores to sleep (nonzero sleep_s on the parseable
+# line).
+build/tools/aapm serve --cluster 64 --budget 448 --paper-models \
+    --rate 2560 --seconds 0.3 --arrival bursty --serve-seed 42 \
+    --governor race --c-states "C1:0.4W:2us;C6:0.05W:150us" \
+    > build/idle_a.txt
+AAPM_JOBS=1 build/tools/aapm serve --cluster 64 --budget 448 \
+    --paper-models --rate 2560 --seconds 0.3 --arrival bursty \
+    --serve-seed 42 --governor race \
+    --c-states "C1:0.4W:2us;C6:0.05W:150us" > build/idle_b.txt
+grep "^serving offered=" build/idle_a.txt > build/idle_line_a.txt
+grep "^serving offered=" build/idle_b.txt > build/idle_line_b.txt
+cmp build/idle_line_a.txt build/idle_line_b.txt
+grep -E "serving offered=[0-9]+ completed=[1-9]" build/idle_line_a.txt
+grep -vq "sleep_s=0\.000000" build/idle_line_a.txt
 
 export AAPM_SECONDS="$SECONDS_OPT"
 # Train once, reuse across every harness in the loop below.

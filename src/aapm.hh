@@ -37,16 +37,19 @@
 #include "fault/fault_injector.hh"
 #include "fault/fault_plan.hh"
 #include "fault/telemetry.hh"
+#include "idle/cstate.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/hierarchy.hh"
 #include "mem/prefetcher.hh"
 #include "mgmt/demand_based.hh"
 #include "mgmt/governor.hh"
+#include "mgmt/idle_governor.hh"
 #include "mgmt/performance_maximizer.hh"
 #include "mgmt/pm_adaptive.hh"
 #include "mgmt/pm_feedback.hh"
 #include "mgmt/power_save.hh"
+#include "mgmt/race_to_idle.hh"
 #include "mgmt/static_clock.hh"
 #include "mgmt/supervisor.hh"
 #include "mgmt/thermal_cap.hh"

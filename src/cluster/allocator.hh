@@ -83,6 +83,20 @@ struct CoreDemand
      * in the interval right after a denied write.
      */
     bool actuatorPinned = false;
+    /**
+     * Current c-state index (0 = awake). A sleeping core draws only
+     * retention power; the cluster prices it out of the split — masked
+     * inactive with a token retention floor — so its budget re-absorbs
+     * into the pool, exactly like a quarantined core's.
+     */
+    size_t cstate = 0;
+    /** Retention power of the current c-state, Watts (0 while awake):
+     *  the token floor a masked sleeping core keeps. */
+    double retentionW = 0.0;
+    /** Cumulative wake attempts denied by stuck-wakeup faults; the
+     *  ClusterSupervisor reads the per-interval delta as a wake-path
+     *  health signal. */
+    uint64_t deniedWakeups = 0;
 };
 
 /**

@@ -86,6 +86,7 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
     std::vector<double> limits;
     std::vector<double> lastLimit(n, NAN);
     std::vector<char> pinned(n, 0);
+    std::vector<char> sleepMasked(n, 0);
     std::vector<CoreDemand> demands(n);
 
     // Fields that never change during the run.
@@ -102,13 +103,41 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
     // sub-threshold jitter is not redelivered, so a steady allocation
     // leaves raise hysteresis untouched.
     const auto allocateAndDeliver = [&] {
+        // Sleep masking: a sleeping core draws only retention power,
+        // so it is priced out of the split like a quarantined core —
+        // masked inactive with a token retention floor — and its share
+        // re-absorbs into the pool. With every core awake (any C0-only
+        // cluster) no demand bit changes and no arithmetic runs, so
+        // the round is bit-identical to a cluster without the idle
+        // subsystem.
+        double sleepFloorW = 0.0;
+        size_t sleepers = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (demands[i].active && demands[i].cstate != 0) {
+                sleepFloorW += demands[i].retentionW;
+                demands[i].active = false;
+                sleepMasked[i] = 1;
+                ++sleepers;
+            } else {
+                sleepMasked[i] = 0;
+            }
+        }
+        const double poolW = sleepers > 0
+            ? std::max(0.0, budget - sleepFloorW)
+            : budget;
         if (sup != nullptr)
-            sup->allocate(allocator, now, budget, demands, limits);
+            sup->allocate(allocator, now, poolW, demands, limits);
         else
-            allocator.allocate(budget, demands, limits);
+            allocator.allocate(poolW, demands, limits);
         aapm_assert(limits.size() == n,
                     "allocator returned %zu limits for %zu cores",
                     limits.size(), n);
+        for (size_t i = 0; i < n; ++i) {
+            if (sleepMasked[i]) {
+                demands[i].active = true;
+                limits[i] = demands[i].retentionW;
+            }
+        }
         for (size_t i = 0; i < n; ++i) {
             if (!active[i])
                 continue;
@@ -176,6 +205,17 @@ ClusterPlatform::run(PowerBudgetAllocator &allocator, ThreadPool *pool)
                 continue;
             cont[i] = runs[i]->step() ? 1 : 0;
             stepTrueW[i] = runs[i]->lastTruePowerW();
+            // Idle-subsystem state is gathered regardless of insight:
+            // sleep masking applies to every policy. currentCState()
+            // after step() is the state the core occupies during the
+            // *next* interval — exactly what the next round allocates
+            // for. All zeros on sleep-incapable cores.
+            CoreDemand &dm = demands[i];
+            dm.cstate = runs[i]->currentCState();
+            dm.deniedWakeups = runs[i]->deniedWakeups();
+            dm.retentionW = dm.cstate != 0
+                ? config_.cores[i].platform.cstates[dm.cstate].powerW
+                : 0.0;
             if (config_.recordTrace) {
                 const MonitorSample &s = runs[i]->lastSample();
                 traceStats[i] = {

@@ -55,29 +55,40 @@ ClusterSupervisor::observe(Tick, const std::vector<CoreDemand> &demands)
         CoreHealth &h = health_[i];
         bool bad = false;
         if (d.sampled) {
-            // Three governor-visible blindness signals: the sticky
+            // Four governor-visible blindness signals: the sticky
             // actuator latch (Stuck/Rejected until a write provably
-            // lands), a dropped power sample, and the per-core
-            // supervisor reporting exhausted counters or fallback.
+            // lands), a dropped power sample, the per-core supervisor
+            // reporting exhausted counters or fallback, and a denied
+            // c-state wakeup this interval (a core stuck asleep with
+            // work pending is as unresponsive as a pinned actuator).
+            // An ordinary sleeping core (cstate != 0, no denial) is
+            // healthy — sleep is a decision, not a failure.
             const bool blindSensor =
                 !MonitorSample::available(d.sample.measuredPowerW);
             const bool blindGovernor = d.insight.valid &&
                 (d.insight.blindCounters || d.insight.fallback);
-            bad = d.actuatorPinned || blindSensor || blindGovernor;
+            const bool stuckWake = d.deniedWakeups > h.deniedSeen;
+            bad = d.actuatorPinned || blindSensor || blindGovernor ||
+                  stuckWake;
         }
+        h.deniedSeen = std::max(h.deniedSeen, d.deniedWakeups);
         if (h.quarantined) {
             ++h.quarantinedFor;
             ++stats_.quarantineIntervals;
             h.healthyStreak = bad ? 0 : h.healthyStreak + 1;
             if (h.quarantinedFor >= config_.minQuarantineIntervals &&
                 h.healthyStreak >= config_.readmitHealthy) {
+                const uint64_t seen = h.deniedSeen;
                 h = CoreHealth();
+                h.deniedSeen = seen;
                 ++stats_.readmissions;
             }
         } else {
             h.badStreak = bad ? h.badStreak + 1 : 0;
             if (h.badStreak >= config_.quarantineAfter) {
+                const uint64_t seen = h.deniedSeen;
                 h = CoreHealth();
+                h.deniedSeen = seen;
                 h.quarantined = true;
                 ++stats_.quarantineEntries;
             }

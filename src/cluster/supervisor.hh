@@ -11,8 +11,9 @@
  * **Core quarantine.** Each interval the supervisor reads every core's
  * governor-visible demand snapshot — the sticky actuator-pinned latch
  * (DvfsActuation Stuck/Rejected), a NaN power sample (sensor
- * brownout) and the per-core supervisor's blind-counters / fallback
- * flags — and runs a per-core health state machine:
+ * brownout), the per-core supervisor's blind-counters / fallback
+ * flags and a denied c-state wakeup (the core is stuck asleep with
+ * work pending) — and runs a per-core health state machine:
  *
  *   Healthy --(bad signal for quarantineAfter consecutive
  *              intervals)--> Quarantined
@@ -155,6 +156,9 @@ class ClusterSupervisor
         uint64_t healthyStreak = 0;
         uint64_t quarantinedFor = 0;
         bool quarantined = false;
+        /** deniedWakeups high-water mark; survives state resets so a
+         *  historical denial is never re-counted as a fresh one. */
+        uint64_t deniedSeen = 0;
     };
 
     /** Floor grant for a quarantined core. */

@@ -72,9 +72,14 @@ parseDomainKind(const std::string &name)
         return Kind::PmuBlackout;
     if (name == "budget-drop")
         return Kind::BudgetDrop;
+    if (name == "wake-stuck")
+        return Kind::WakeStuckStorm;
+    if (name == "wake-slow")
+        return Kind::WakeSlowStorm;
     aapm_fatal("domain plan: unknown fault kind '%s' (one of: "
                "sensor-brownout, dvfs-stuck, dvfs-latency, "
-               "pmu-dropout, budget-drop)", name.c_str());
+               "pmu-dropout, wake-stuck, wake-slow, budget-drop)",
+               name.c_str());
 }
 
 /** "SCOPE@SEC:KIND:INTERVALS[:FRACTION]" → a DomainFaultEntry. */
@@ -181,6 +186,10 @@ scheduledKindOf(DomainFaultEntry::Kind kind)
         return ScheduledFault::Kind::DvfsLatency;
       case Kind::PmuBlackout:
         return ScheduledFault::Kind::PmuDropout;
+      case Kind::WakeStuckStorm:
+        return ScheduledFault::Kind::WakeStuck;
+      case Kind::WakeSlowStorm:
+        return ScheduledFault::Kind::WakeSlow;
       case Kind::BudgetDrop:
         break;
     }

@@ -70,7 +70,9 @@ struct DomainFaultEntry
         DvfsStuckStorm,   ///< members' p-state writes are denied
         DvfsLatencyStorm, ///< members' accepted writes stall longer
         PmuBlackout,      ///< members' PMU slots read zero
-        BudgetDrop        ///< the scope's power cap is cut
+        BudgetDrop,       ///< the scope's power cap is cut
+        WakeStuckStorm,   ///< members' c-state wakeups are denied
+        WakeSlowStorm     ///< members' wakeup exit latencies inflate
     };
 
     Kind kind = Kind::SensorBrownout;
@@ -116,8 +118,9 @@ struct DomainFaultPlan
      *   SCOPE@SEC:KIND:INTERVALS[:FRACTION]
      * with SCOPE one of cluster, rack[I], node[I], socket[I], core[I]
      * (I a domain index or '*'), KIND one of sensor-brownout,
-     * dvfs-stuck, dvfs-latency, pmu-dropout, budget-drop (FRACTION
-     * required, in (0, 1]), plus "seed=N" entries. Example:
+     * dvfs-stuck, dvfs-latency, pmu-dropout, wake-stuck, wake-slow,
+     * budget-drop (FRACTION required, in (0, 1]), plus "seed=N"
+     * entries. Example:
      *   "node[1]@0.5:sensor-brownout:40;cluster@2:budget-drop:50:0.3"
      * Fatal on malformed scopes, kinds or values.
      */

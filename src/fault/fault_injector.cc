@@ -15,6 +15,8 @@ FaultInjector::FaultInjector(const FaultPlan &plan, uint64_t seed_override)
         aapm_fatal("PMU spike factor must be >= 1");
     if (plan_.dvfsLatencyFactor < 1.0)
         aapm_fatal("DVFS latency factor must be >= 1");
+    if (plan_.wakeSlowFactor < 1.0)
+        aapm_fatal("wake slow factor must be >= 1");
     if (plan_.pmuWrapBits < 8 || plan_.pmuWrapBits > 63)
         aapm_fatal("implausible wraparound width %u bits",
                    plan_.pmuWrapBits);
@@ -34,6 +36,10 @@ FaultInjector::beginInterval(Tick interval_start)
         --stuckLeft_;
     if (latencyLeft_ > 0)
         --latencyLeft_;
+    if (wakeStuckLeft_ > 0)
+        --wakeStuckLeft_;
+    if (wakeSlowLeft_ > 0)
+        --wakeSlowLeft_;
 
     // Fire scheduled one-shots that have come due.
     while (nextScheduled_ < plan_.scheduled.size() &&
@@ -53,6 +59,12 @@ FaultInjector::beginInterval(Tick interval_start)
             break;
           case ScheduledFault::Kind::DvfsLatency:
             latencyLeft_ = std::max(latencyLeft_, f.intervals);
+            break;
+          case ScheduledFault::Kind::WakeStuck:
+            wakeStuckLeft_ = std::max(wakeStuckLeft_, f.intervals);
+            break;
+          case ScheduledFault::Kind::WakeSlow:
+            wakeSlowLeft_ = std::max(wakeSlowLeft_, f.intervals);
             break;
         }
     }
@@ -125,6 +137,39 @@ FaultInjector::stallMultiplier()
         rng_.chance(plan_.dvfsLatencyProb)) {
         ++tel_.dvfsLatencySpikes;
         return plan_.dvfsLatencyFactor;
+    }
+    return 1.0;
+}
+
+bool
+FaultInjector::filterWakeup()
+{
+    // The scheduled window wins without touching the RNG stream (the
+    // inert-plan bit-identity contract); only a nonzero probability
+    // ever draws.
+    if (wakeStuckLeft_ > 0) {
+        ++tel_.wakeStuckDenied;
+        return false;
+    }
+    if (plan_.wakeStuckProb > 0.0 && rng_.chance(plan_.wakeStuckProb)) {
+        // The attempt that trips the window is itself denied.
+        wakeStuckLeft_ = plan_.wakeStuckIntervals;
+        ++tel_.wakeStuckDenied;
+        return false;
+    }
+    return true;
+}
+
+double
+FaultInjector::wakeLatencyMultiplier()
+{
+    if (wakeSlowLeft_ > 0) {
+        ++tel_.wakeSlowSpikes;
+        return plan_.wakeSlowFactor;
+    }
+    if (plan_.wakeSlowProb > 0.0 && rng_.chance(plan_.wakeSlowProb)) {
+        ++tel_.wakeSlowSpikes;
+        return plan_.wakeSlowFactor;
     }
     return 1.0;
 }

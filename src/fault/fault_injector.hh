@@ -85,6 +85,21 @@ class FaultInjector
      */
     double filterSensorSample(double measured);
 
+    /**
+     * Idle layer: fate of a c-state wake attempt. False means the
+     * wakeup is denied and the core stays asleep this interval (a
+     * stuck wakeup); the platform retries every interval until the
+     * window passes. Only sleeping cores call this, so a plan without
+     * wake faults draws nothing here.
+     */
+    bool filterWakeup();
+
+    /**
+     * Idle layer: exit-latency multiplier for a granted wakeup (1.0 or
+     * the plan's slow-wakeup factor).
+     */
+    double wakeLatencyMultiplier();
+
     /** Injected-fault counters accumulated so far. */
     const RecoveryTelemetry &telemetry() const { return tel_; }
 
@@ -108,6 +123,10 @@ class FaultInjector
     uint64_t latencyLeft_ = 0;
     /** Remaining scheduled sensor-dropout samples. */
     uint64_t sensorDropLeft_ = 0;
+    /** Remaining stuck-asleep (wakeup-denied) intervals. */
+    uint64_t wakeStuckLeft_ = 0;
+    /** Remaining slow-wakeup intervals. */
+    uint64_t wakeSlowLeft_ = 0;
     /** Next scheduled fault to fire. */
     size_t nextScheduled_ = 0;
 };

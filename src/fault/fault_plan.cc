@@ -46,6 +46,10 @@ parseKind(const std::string &name)
         return ScheduledFault::Kind::SensorDrop;
     if (name == "dvfs-latency")
         return ScheduledFault::Kind::DvfsLatency;
+    if (name == "wake-stuck")
+        return ScheduledFault::Kind::WakeStuck;
+    if (name == "wake-slow")
+        return ScheduledFault::Kind::WakeSlow;
     aapm_fatal("fault plan: unknown scheduled fault kind '%s'",
                name.c_str());
 }
@@ -80,6 +84,7 @@ FaultPlan::active() const
            pmuWrapProb > 0.0 || dvfsRejectProb > 0.0 ||
            dvfsDeferProb > 0.0 || dvfsStuckProb > 0.0 ||
            dvfsLatencyProb > 0.0 || sensorDropProb > 0.0 ||
+           wakeStuckProb > 0.0 || wakeSlowProb > 0.0 ||
            !scheduled.empty();
 }
 
@@ -157,6 +162,15 @@ FaultPlan::parse(const std::string &spec)
             plan.dvfsLatencyFactor = parseNum(key, value);
         else if (key == "sensor-drop")
             plan.sensorDropProb = parseProb(key, value);
+        else if (key == "wake-stuck")
+            plan.wakeStuckProb = parseProb(key, value);
+        else if (key == "wake-stuck-intervals")
+            plan.wakeStuckIntervals =
+                static_cast<uint64_t>(parseNum(key, value));
+        else if (key == "wake-slow")
+            plan.wakeSlowProb = parseProb(key, value);
+        else if (key == "wake-slow-factor")
+            plan.wakeSlowFactor = parseNum(key, value);
         else if (key == "seed")
             plan.seed = static_cast<uint64_t>(parseNum(key, value));
         else if (key == "at")

@@ -42,8 +42,11 @@ struct ScheduledFault
         PmuDropout,   ///< zero every configured slot for `intervals`
         DvfsStuck,    ///< deny p-state writes for `intervals`
         SensorDrop,   ///< drop the next `intervals` sensor samples
-        DvfsLatency   ///< inflate accepted writes' stalls for
+        DvfsLatency,  ///< inflate accepted writes' stalls for
                       ///< `intervals` (a latency storm)
+        WakeStuck,    ///< deny c-state wakeups for `intervals` (the
+                      ///< core stays asleep with work pending)
+        WakeSlow      ///< inflate wakeup exit latencies for `intervals`
     };
 
     /** Fires at the first interval starting at or after this tick. */
@@ -88,6 +91,18 @@ struct FaultPlan
     /** Probability a sample is dropped (reported NaN). */
     double sensorDropProb = 0.0;
 
+    // --- Idle/wakeup layer (per wake attempt). Only cores that ever
+    // sleep (a deep c-state ladder plus an idle-aware governor) can
+    // attempt wakeups, so these are inert on p-state-only platforms. ---
+    /** Probability a wake attempt starts a stuck-asleep window. */
+    double wakeStuckProb = 0.0;
+    /** Length of a stuck-asleep window, intervals. */
+    uint64_t wakeStuckIntervals = 10;
+    /** Probability a granted wakeup's exit latency is inflated. */
+    double wakeSlowProb = 0.0;
+    /** Exit-latency multiplier for a slow wakeup. */
+    double wakeSlowFactor = 8.0;
+
     /** Deterministic one-shot faults (sorted by the injector). */
     std::vector<ScheduledFault> scheduled;
 
@@ -109,9 +124,11 @@ struct FaultPlan
      * key=value entries — pmu-dropout, pmu-dropout-intervals,
      * pmu-spike, pmu-spike-factor, pmu-wrap, dvfs-reject, dvfs-defer,
      * dvfs-stuck, dvfs-stuck-intervals, dvfs-latency,
-     * dvfs-latency-factor, sensor-drop, seed, and scheduled one-shots
-     * "at=SEC:KIND:INTERVALS" with KIND in {pmu-dropout, dvfs-stuck,
-     * sensor-drop, dvfs-latency}. Example:
+     * dvfs-latency-factor, sensor-drop, wake-stuck,
+     * wake-stuck-intervals, wake-slow, wake-slow-factor, seed, and
+     * scheduled one-shots "at=SEC:KIND:INTERVALS" with KIND in
+     * {pmu-dropout, dvfs-stuck, sensor-drop, dvfs-latency, wake-stuck,
+     * wake-slow}. Example:
      *   "pmu-dropout=0.05,dvfs-reject=0.1,at=0.5:dvfs-stuck:40"
      * Fatal on unknown keys, out-of-range values, or a scalar key
      * given twice ("at" may repeat; everything else is one setting,

@@ -37,6 +37,10 @@ struct RecoveryTelemetry
     uint64_t dvfsLatencySpikes = 0;
     /** Sensor samples dropped (reported as NaN). */
     uint64_t sensorDrops = 0;
+    /** C-state wake attempts denied (stuck-asleep intervals). */
+    uint64_t wakeStuckDenied = 0;
+    /** Wakeups whose exit latency was inflated (slow wakeups). */
+    uint64_t wakeSlowSpikes = 0;
 
     // --- Recovery actions (written by GovernorSupervisor). ---
     /** Monitor fields replaced by the last plausible value. */
@@ -58,7 +62,7 @@ struct RecoveryTelemetry
     {
         return pmuDropouts + pmuSpikes + pmuWraps + dvfsRejected +
                dvfsDeferred + dvfsStuckDenied + dvfsLatencySpikes +
-               sensorDrops;
+               sensorDrops + wakeStuckDenied + wakeSlowSpikes;
     }
 
     /** Total recovery actions the supervisor took. */
@@ -81,6 +85,8 @@ struct RecoveryTelemetry
         dvfsStuckDenied += o.dvfsStuckDenied;
         dvfsLatencySpikes += o.dvfsLatencySpikes;
         sensorDrops += o.sensorDrops;
+        wakeStuckDenied += o.wakeStuckDenied;
+        wakeSlowSpikes += o.wakeSlowSpikes;
         substitutions += o.substitutions;
         staleLimitHits += o.staleLimitHits;
         dvfsRetries += o.dvfsRetries;

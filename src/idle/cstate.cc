@@ -1,0 +1,172 @@
+#include "idle/cstate.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/parse.hh"
+
+namespace aapm
+{
+
+namespace
+{
+
+/** Split `text` on `sep`, keeping empty pieces (they are errors the
+ *  caller reports with position context). */
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        const size_t pos = text.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(text.substr(start));
+            return out;
+        }
+        out.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+/** Parse a power token, Watts, with an optional trailing 'W'. */
+double
+parsePowerW(std::string text, const std::string &what)
+{
+    if (!text.empty() && (text.back() == 'W' || text.back() == 'w'))
+        text.pop_back();
+    const double w = parseStrictDouble(text, what);
+    if (w < 0.0)
+        aapm_fatal("%s: retention power must be >= 0 (got %g)",
+                   what.c_str(), w);
+    return w;
+}
+
+/** Parse a duration token with a required ns/us/ms/s suffix. */
+Tick
+parseDuration(const std::string &text, const std::string &what)
+{
+    double perUnit = 0.0;
+    size_t cut = std::string::npos;
+    if (text.size() > 2 && text.compare(text.size() - 2, 2, "ns") == 0) {
+        perUnit = static_cast<double>(TicksPerNs);
+        cut = text.size() - 2;
+    } else if (text.size() > 2 &&
+               text.compare(text.size() - 2, 2, "us") == 0) {
+        perUnit = static_cast<double>(TicksPerUs);
+        cut = text.size() - 2;
+    } else if (text.size() > 2 &&
+               text.compare(text.size() - 2, 2, "ms") == 0) {
+        perUnit = static_cast<double>(TicksPerMs);
+        cut = text.size() - 2;
+    } else if (text.size() > 1 && text.back() == 's') {
+        perUnit = static_cast<double>(TicksPerSec);
+        cut = text.size() - 1;
+    } else {
+        aapm_fatal("%s: duration '%s' needs a ns/us/ms/s suffix",
+                   what.c_str(), text.c_str());
+    }
+    const double value = parseStrictDouble(text.substr(0, cut), what);
+    if (value < 0.0)
+        aapm_fatal("%s: duration must be >= 0 (got '%s')", what.c_str(),
+                   text.c_str());
+    return static_cast<Tick>(value * perUnit + 0.5);
+}
+
+} // namespace
+
+CStateLadder::CStateLadder() : states_(1) {}
+
+CStateLadder
+CStateLadder::parse(const std::string &spec, const std::string &what)
+{
+    CStateLadder ladder;
+    if (spec.empty())
+        return ladder;
+
+    for (const std::string &token : splitOn(spec, ';')) {
+        if (token.empty())
+            aapm_fatal("%s: empty c-state entry in '%s'", what.c_str(),
+                       spec.c_str());
+        const std::vector<std::string> fields = splitOn(token, ':');
+        if (fields.size() < 3 || fields.size() > 4)
+            aapm_fatal("%s: c-state '%s' must be "
+                       "NAME:POWER[W]:EXITLAT[:RESIDENCY]",
+                       what.c_str(), token.c_str());
+
+        CState state;
+        state.name = fields[0];
+        if (state.name.empty())
+            aapm_fatal("%s: c-state '%s' has an empty name",
+                       what.c_str(), token.c_str());
+        const std::string ctx = what + " c-state " + state.name;
+        state.powerW = parsePowerW(fields[1], ctx);
+        state.exitLatency = parseDuration(fields[2], ctx);
+        if (state.exitLatency == 0)
+            aapm_fatal("%s: exit latency must be positive", ctx.c_str());
+        state.targetResidency = fields.size() == 4
+            ? parseDuration(fields[3], ctx)
+            : 3 * state.exitLatency;
+        if (state.targetResidency < state.exitLatency)
+            aapm_fatal("%s: target residency %llu ticks below the exit "
+                       "latency %llu — the state could never break even",
+                       ctx.c_str(),
+                       static_cast<unsigned long long>(
+                           state.targetResidency),
+                       static_cast<unsigned long long>(
+                           state.exitLatency));
+
+        const CState &prev = ladder.states_.back();
+        for (const CState &existing : ladder.states_) {
+            if (existing.name == state.name)
+                aapm_fatal("%s: duplicate c-state name '%s'",
+                           what.c_str(), state.name.c_str());
+        }
+        // Depth ordering: each deeper state must actually be deeper.
+        if (ladder.states_.size() > 1 && state.powerW >= prev.powerW)
+            aapm_fatal("%s: %s retention power %g W not below %s's %g W "
+                       "(states must be listed shallowest-first)",
+                       what.c_str(), state.name.c_str(), state.powerW,
+                       prev.name.c_str(), prev.powerW);
+        if (state.exitLatency <= prev.exitLatency)
+            aapm_fatal("%s: %s exit latency not above %s's "
+                       "(states must be listed shallowest-first)",
+                       what.c_str(), state.name.c_str(),
+                       prev.name.c_str());
+        ladder.states_.push_back(std::move(state));
+    }
+    return ladder;
+}
+
+size_t
+CStateLadder::deepestFor(Tick predictedIdle) const
+{
+    size_t best = 0;
+    for (size_t i = 1; i < states_.size(); ++i) {
+        if (states_[i].targetResidency <= predictedIdle)
+            best = i;
+    }
+    return best;
+}
+
+std::string
+CStateLadder::spec() const
+{
+    std::string out;
+    char buf[128];
+    for (size_t i = 1; i < states_.size(); ++i) {
+        const CState &s = states_[i];
+        if (!out.empty())
+            out += ';';
+        snprintf(buf, sizeof(buf), "%s:%.17gW:%.17gus:%.17gus",
+                 s.name.c_str(), s.powerW,
+                 static_cast<double>(s.exitLatency) /
+                     static_cast<double>(TicksPerUs),
+                 static_cast<double>(s.targetResidency) /
+                     static_cast<double>(TicksPerUs));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace aapm

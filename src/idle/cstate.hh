@@ -1,0 +1,108 @@
+/**
+ * @file
+ * C-state ladder: the idle-state dimension of the actuator menu.
+ *
+ * The p-state table answers "how fast should a busy core run"; the
+ * ladder answers "how deep should an empty core sleep". Each state
+ * names a retention power (what the rails still burn while the clocks
+ * are gated), an exit latency (the stall a wakeup charges before the
+ * next instruction retires), and a target residency — the break-even
+ * sleep length below which entering the state costs more than it saves.
+ * The structure follows the RUNTIME_IDLE / STANDBY / STOP / SOFT_OFF
+ * ladders of embedded power appnotes: strictly deeper states burn
+ * strictly less but take strictly longer to leave.
+ *
+ * State 0 is always C0 (running); a default-constructed ladder is
+ * C0-only and the whole idle subsystem is inert — the platform's
+ * stepping, RNG streams and FP operations are bit-identical to a build
+ * without it.
+ */
+
+#ifndef AAPM_IDLE_CSTATE_HH
+#define AAPM_IDLE_CSTATE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace aapm
+{
+
+/** One sleep state of the ladder. */
+struct CState
+{
+    /** Display name ("C0", "C1", "C6", ...). */
+    std::string name = "C0";
+    /** Retention power while resident, Watts at the leakage-nominal
+     *  temperature (the truth model scales it with die temperature
+     *  exactly like active leakage). Zero for C0 — a running core's
+     *  power comes from the activity model instead. */
+    double powerW = 0.0;
+    /** Stall charged between the wakeup and the next retired
+     *  instruction, ticks. Zero for C0. */
+    Tick exitLatency = 0;
+    /** Break-even residency: sleeps expected to be shorter than this
+     *  should pick a shallower state. Zero for C0. */
+    Tick targetResidency = 0;
+};
+
+/**
+ * An ordered ladder of sleep states, index 0 = C0 (running), deeper
+ * states at higher indices with strictly lower retention power and
+ * strictly higher exit latency.
+ */
+class CStateLadder
+{
+  public:
+    /** C0-only ladder: the idle subsystem stays inert. */
+    CStateLadder();
+
+    /**
+     * Parse a ladder spec: semicolon-separated states, each
+     * `NAME:POWER[W]:EXITLAT[ns|us|ms]` with an optional fourth
+     * `:RESIDENCY[ns|us|ms]` field (default 3x the exit latency —
+     * the classic menu-governor rule of thumb). Example:
+     * `"C1:0.4W:2us;C6:0.05W:150us"`. C0 is implicit and must not be
+     * listed. States must appear shallowest-first with strictly
+     * decreasing power and strictly increasing exit latency; anything
+     * else is fatal() with `what` naming the source.
+     * An empty spec yields the C0-only ladder.
+     */
+    static CStateLadder parse(const std::string &spec,
+                              const std::string &what);
+
+    /** Number of states, C0 included (>= 1). */
+    size_t size() const { return states_.size(); }
+
+    /** State by index. */
+    const CState &operator[](size_t i) const { return states_[i]; }
+
+    /** The state list, shallowest first. */
+    const std::vector<CState> &states() const { return states_; }
+
+    /** True for a C0-only ladder (no sleep states). */
+    bool trivial() const { return states_.size() == 1; }
+
+    /** At least one real sleep state exists. */
+    bool hasDeepStates() const { return states_.size() > 1; }
+
+    /**
+     * Deepest state whose target residency fits within a predicted
+     * idle duration; 0 (C0: don't sleep) when even the shallowest
+     * sleep state would not break even.
+     */
+    size_t deepestFor(Tick predictedIdle) const;
+
+    /** Canonical spec string (round-trips through parse()). Empty for
+     *  the C0-only ladder. */
+    std::string spec() const;
+
+  private:
+    std::vector<CState> states_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_IDLE_CSTATE_HH

@@ -71,6 +71,12 @@ struct GovernorInsight
     int memBoundClass = -1;
     /** The p-state the governor decided on. */
     size_t targetPState = 0;
+    /** Idle governors: the c-state decided for the coming interval
+     *  (0 = stay in / return to C0). */
+    size_t targetCState = 0;
+    /** Idle governors: predicted length of the current/upcoming idle
+     *  period, seconds (the residency-break-even input). */
+    double predictedIdleS = NAN;
     /** Supervisor only: holding the safe state after a breach. */
     bool fallback = false;
     /** Supervisor only: counter sanitization is out of good values. */
@@ -98,6 +104,27 @@ class Governor
      * @return P-state index to run next (may equal current).
      */
     virtual size_t decide(const MonitorSample &sample, size_t current) = 0;
+
+    /**
+     * Idle-state decision, consulted by platforms whose c-state ladder
+     * has deep states — after decide() while the core is awake, or
+     * instead of decide() while it sleeps (a gated core produces no
+     * counters worth estimating from).
+     * @param sample The interval's measurements (utilization 0 and
+     *        zero counter rates while asleep).
+     * @param current C-state the core is in (0 = awake).
+     * @return C-state for the coming interval: 0 means stay awake /
+     *         wake up; anything else enters (or stays in / retargets)
+     *         that ladder state. Default: never sleep — which keeps
+     *         every pre-idle governor's behavior bit-identical.
+     */
+    virtual size_t
+    decideCState(const MonitorSample &sample, size_t current)
+    {
+        (void)sample;
+        (void)current;
+        return 0;
+    }
 
     /** Discard adaptive state between runs. */
     virtual void reset() {}

@@ -1,0 +1,133 @@
+#include "mgmt/idle_governor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace aapm
+{
+
+size_t
+menuCStateStep(const MonitorSample &sample, size_t current,
+               const CStateLadder &ladder, const IdleConfig &config,
+               double *ewma_idle_s, double *run_idle_s,
+               double *predicted_out)
+{
+    const bool idle = sample.utilization <= config.idleUtilization;
+    if (!idle) {
+        // A busy interval ends any idle run: fold its length into the
+        // prediction and wake up.
+        if (*run_idle_s > 0.0) {
+            *ewma_idle_s = std::isnan(*ewma_idle_s)
+                ? *run_idle_s
+                : config.ewmaAlpha * *run_idle_s +
+                      (1.0 - config.ewmaAlpha) * *ewma_idle_s;
+            *run_idle_s = 0.0;
+        }
+        *predicted_out = std::isnan(*ewma_idle_s) ? 0.0 : *ewma_idle_s;
+        return 0;
+    }
+
+    *run_idle_s += sample.intervalSeconds;
+    // The run in progress is itself a lower bound on the idle length;
+    // a long-running idle period deepens even when history was short.
+    const double history = std::isnan(*ewma_idle_s) ? 0.0 : *ewma_idle_s;
+    const double predicted = std::max(history, *run_idle_s);
+    *predicted_out = predicted;
+    const size_t pick = ladder.deepestFor(secondsToTicks(predicted));
+    // Never demote a sleeping core to a shallower sleep: re-entry paid
+    // the deep state's cost already, and waking to demote would charge
+    // the exit latency for nothing.
+    return std::max(pick, current);
+}
+
+IdleGovernor::IdleGovernor(std::unique_ptr<Governor> inner,
+                           CStateLadder ladder, IdleConfig config)
+    : owned_(std::move(inner)), inner_(owned_.get()),
+      ladder_(std::move(ladder)), config_(config),
+      ewmaIdleS_(NAN), runIdleS_(0.0)
+{
+    aapm_assert(inner_ != nullptr, "IdleGovernor needs a governor");
+    name_ = std::string(inner_->name()) + "+idle";
+}
+
+IdleGovernor::IdleGovernor(Governor &inner, CStateLadder ladder,
+                           IdleConfig config)
+    : inner_(&inner), ladder_(std::move(ladder)), config_(config),
+      ewmaIdleS_(NAN), runIdleS_(0.0)
+{
+    name_ = std::string(inner_->name()) + "+idle";
+}
+
+void
+IdleGovernor::configureCounters(Pmu &pmu)
+{
+    inner_->configureCounters(pmu);
+}
+
+size_t
+IdleGovernor::decide(const MonitorSample &sample, size_t current)
+{
+    const size_t next = inner_->decide(sample, current);
+    if (insightWanted_) {
+        // Forward the wrapped policy's estimate; decideCState()
+        // overlays the idle fields afterwards (the platform calls it
+        // right after decide()).
+        insight_ = inner_->insight();
+        insight_.valid = true;
+        insight_.targetPState = next;
+    }
+    return next;
+}
+
+size_t
+IdleGovernor::decideCState(const MonitorSample &sample, size_t current)
+{
+    double predicted = 0.0;
+    const size_t pick = menuCStateStep(sample, current, ladder_, config_,
+                                       &ewmaIdleS_, &runIdleS_,
+                                       &predicted);
+    if (insightWanted_) {
+        insight_.valid = true;
+        insight_.targetCState = pick;
+        insight_.predictedIdleS = predicted;
+    }
+    return pick;
+}
+
+void
+IdleGovernor::reset()
+{
+    inner_->reset();
+    ewmaIdleS_ = NAN;
+    runIdleS_ = 0.0;
+    insight_ = GovernorInsight();
+}
+
+void
+IdleGovernor::setPowerLimit(double watts)
+{
+    inner_->setPowerLimit(watts);
+}
+
+void
+IdleGovernor::setPerformanceFloor(double floor)
+{
+    inner_->setPerformanceFloor(floor);
+}
+
+void
+IdleGovernor::exportTelemetry(RecoveryTelemetry &out) const
+{
+    inner_->exportTelemetry(out);
+}
+
+double
+IdleGovernor::predictedIdleS() const
+{
+    return std::max(std::isnan(ewmaIdleS_) ? 0.0 : ewmaIdleS_,
+                    runIdleS_);
+}
+
+} // namespace aapm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * IdleGovernor: menu-driven c-state selection layered on any p-state
+ * governor.
+ *
+ * The decorator leaves the busy-side policy (p-state selection) to the
+ * wrapped governor and adds the idle axis: it tracks how long the
+ * core's idle periods tend to last (an EWMA over completed idle runs,
+ * plus the length of the run in progress) and, on an idle interval,
+ * enters the deepest ladder state whose target residency the predicted
+ * idle duration covers — the classic menu-governor break-even rule.
+ * A busy interval always returns C0.
+ */
+
+#ifndef AAPM_MGMT_IDLE_GOVERNOR_HH
+#define AAPM_MGMT_IDLE_GOVERNOR_HH
+
+#include <memory>
+#include <string>
+
+#include "idle/cstate.hh"
+#include "mgmt/governor.hh"
+
+namespace aapm
+{
+
+/** Idle-selection tuning knobs. */
+struct IdleConfig
+{
+    /** Utilization at or below which an interval counts as idle. */
+    double idleUtilization = 0.01;
+    /** EWMA weight of the newest completed idle-run length. */
+    double ewmaAlpha = 0.25;
+    /** RACE only: crawling is admissible only while the observed
+     *  utilization, rescaled to the crawl frequency, stays at or
+     *  below this ceiling. Above it the backlog is inelastic — the
+     *  stretched work would no longer fit inside the period — so the
+     *  per-unit-work energy comparison is moot and RACE sprints. */
+    double crawlUtilizationCeiling = 0.9;
+};
+
+/** The menu-style idle decorator. */
+class IdleGovernor : public Governor
+{
+  public:
+    /**
+     * Owning form.
+     * @param inner The p-state governor handling busy intervals.
+     * @param ladder The platform's c-state menu.
+     * @param config Tuning knobs.
+     */
+    IdleGovernor(std::unique_ptr<Governor> inner, CStateLadder ladder,
+                 IdleConfig config = IdleConfig());
+
+    /** Non-owning form: `inner` must outlive the governor. */
+    IdleGovernor(Governor &inner, CStateLadder ladder,
+                 IdleConfig config = IdleConfig());
+
+    const char *name() const override { return name_.c_str(); }
+    void configureCounters(Pmu &pmu) override;
+    size_t decide(const MonitorSample &sample, size_t current) override;
+    size_t decideCState(const MonitorSample &sample,
+                        size_t current) override;
+    void reset() override;
+    void setPowerLimit(double watts) override;
+    void setPerformanceFloor(double floor) override;
+    void exportTelemetry(RecoveryTelemetry &out) const override;
+
+    void
+    setInsightWanted(bool wanted) override
+    {
+        Governor::setInsightWanted(wanted);
+        inner_->setInsightWanted(wanted);
+    }
+
+    /** The wrapped governor. */
+    Governor &inner() { return *inner_; }
+
+    /** The ladder in use. */
+    const CStateLadder &ladder() const { return ladder_; }
+
+    /** Current idle-run length prediction, seconds. */
+    double predictedIdleS() const;
+
+  private:
+    std::unique_ptr<Governor> owned_;
+    Governor *inner_;
+    CStateLadder ladder_;
+    IdleConfig config_;
+    std::string name_;
+    /** EWMA of completed idle-run lengths, seconds (NaN = none yet). */
+    double ewmaIdleS_;
+    /** Length of the idle run in progress, seconds. */
+    double runIdleS_;
+};
+
+/**
+ * Shared implementation of the menu rule, used by IdleGovernor and
+ * RaceToIdleGovernor: update the idle-run tracker with one interval
+ * and return the c-state the break-even rule selects.
+ */
+size_t menuCStateStep(const MonitorSample &sample, size_t current,
+                      const CStateLadder &ladder,
+                      const IdleConfig &config, double *ewma_idle_s,
+                      double *run_idle_s, double *predicted_out);
+
+} // namespace aapm
+
+#endif // AAPM_MGMT_IDLE_GOVERNOR_HH

@@ -65,16 +65,18 @@ class PerformanceMaximizer : public Governor
     virtual double predictPower(size_t from, double dpc, size_t to,
                                 const MonitorSample &sample) const;
 
-  private:
     /**
      * Highest-index p-state predicted to fit under the limit. Also
      * reports the raw (guardband-free) power estimate at the returned
      * state, which the scan computed anyway — explain() reuses it
-     * instead of paying a second model evaluation.
+     * instead of paying a second model evaluation. Protected so RACE
+     * can sprint a backlog straight to the cap without waiting out
+     * the raise window.
      */
     size_t highestSafe(const MonitorSample &sample, size_t current,
                        double *est_out) const;
 
+  private:
     PowerEstimator estimator_;
     PmConfig config_;
     size_t raiseStreak_;

@@ -1,0 +1,113 @@
+#include "mgmt/race_to_idle.hh"
+
+#include <cmath>
+
+namespace aapm
+{
+
+RaceToIdleGovernor::RaceToIdleGovernor(PowerEstimator estimator,
+                                       CStateLadder ladder, PmConfig pm,
+                                       IdleConfig idle)
+    : PerformanceMaximizer(std::move(estimator), pm),
+      ladder_(std::move(ladder)), idleConfig_(idle), ewmaIdleS_(NAN),
+      runIdleS_(0.0)
+{
+}
+
+size_t
+RaceToIdleGovernor::decide(const MonitorSample &sample, size_t current)
+{
+    const size_t sprint = PerformanceMaximizer::decide(sample, current);
+    crawl_ = false;
+    if (!ladder_.hasDeepStates() ||
+        !MonitorSample::available(sample.dpc))
+        return sprint;
+
+    const PStateTable &table = estimator().table();
+    const double f_crawl = table[0].freqGhz();
+
+    // The race-vs-crawl comparison below assumes the work is elastic —
+    // that stretched to f_crawl it still fits inside the period. A
+    // backlogged core violates that: its utilization rescaled to the
+    // crawl frequency exceeds 1, the queue grows without bound, and
+    // there is no reclaimed idle on either side of the ledger. Step
+    // those intervals up to the slowest state that still fits the
+    // observed load (capped by the power limit), bypassing PM's raise
+    // window — it exists to damp cap overshoot on steady work, but an
+    // interactive core rarely stays awake long enough to win it, and
+    // the guardbanded scan plus next-interval lowering still bound
+    // the excursion. A saturated core climbs one state per interval
+    // this way (utilization pins at 1 until the backlog drains), a
+    // merely-busy one settles just above the ceiling.
+    const double f_now = table[sample.pstate].freqGhz();
+    const double projected =
+        sample.utilization * (f_now / f_crawl);
+    if (!(projected <= idleConfig_.crawlUtilizationCeiling)) {
+        double est = NAN;
+        const size_t safe = highestSafe(sample, current, &est);
+        size_t fit = 0;
+        while (fit < safe &&
+               sample.utilization * f_now / table[fit].freqGhz() >
+                   idleConfig_.crawlUtilizationCeiling)
+            ++fit;
+        if (fit != sprint && insightWanted_) {
+            insight_.targetPState = fit;
+            insight_.predictedPowerW =
+                predictPower(sample.pstate, sample.dpc, fit, sample);
+        }
+        return fit;
+    }
+    if (sprint == 0)
+        return sprint;
+
+    // Race vs crawl for the same work W, judged over the time the
+    // crawl would take (T = W / f_crawl): racing runs W / f_sprint at
+    // the sprint state's predicted power, then sleeps the reclaimed
+    // time at the deepest retention power. W cancels, leaving a
+    // per-unit-work energy comparison.
+    const double f_sprint = table[sprint].freqGhz();
+    const double p_sprint =
+        predictPower(sample.pstate, sample.dpc, sprint, sample);
+    const double p_crawl =
+        predictPower(sample.pstate, sample.dpc, 0, sample);
+    const double p_sleep = ladder_.states().back().powerW;
+    const double e_race = p_sprint / f_sprint +
+                          p_sleep * (1.0 / f_crawl - 1.0 / f_sprint);
+    const double e_crawl = p_crawl / f_crawl;
+    if (e_crawl < e_race) {
+        crawl_ = true;
+        if (insightWanted_) {
+            insight_.targetPState = 0;
+            insight_.predictedPowerW = p_crawl;
+        }
+        return 0;
+    }
+    return sprint;
+}
+
+size_t
+RaceToIdleGovernor::decideCState(const MonitorSample &sample,
+                                 size_t current)
+{
+    double predicted = 0.0;
+    const size_t pick = menuCStateStep(sample, current, ladder_,
+                                       idleConfig_, &ewmaIdleS_,
+                                       &runIdleS_, &predicted);
+    if (insightWanted_) {
+        insight_.valid = true;
+        insight_.targetCState = pick;
+        insight_.predictedIdleS = predicted;
+    }
+    return pick;
+}
+
+void
+RaceToIdleGovernor::reset()
+{
+    PerformanceMaximizer::reset();
+    crawl_ = false;
+    ewmaIdleS_ = NAN;
+    runIdleS_ = 0.0;
+}
+
+} // namespace aapm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * RaceToIdleGovernor (RACE): sprint-then-sleep vs crawl, decided under
+ * the same predicted-power contract the PM family uses.
+ *
+ * Busy intervals run the PerformanceMaximizer policy — the highest
+ * p-state whose predicted power fits the limit — but before actuating,
+ * the governor asks the race-to-idle question: for the same amount of
+ * work, is it cheaper to finish fast and sleep the reclaimed time at
+ * the ladder's deepest retention power, or to stretch the work across
+ * the whole period at the slowest p-state? Both sides of the
+ * comparison come from the estimator's cross-state power predictions
+ * (Equation 4 DPC projection + per-state linear model), so the choice
+ * degrades gracefully with model error exactly like PM's cap
+ * enforcement. Idle intervals use the same menu break-even rule as
+ * IdleGovernor to pick how deep to sleep.
+ */
+
+#ifndef AAPM_MGMT_RACE_TO_IDLE_HH
+#define AAPM_MGMT_RACE_TO_IDLE_HH
+
+#include "idle/cstate.hh"
+#include "mgmt/idle_governor.hh"
+#include "mgmt/performance_maximizer.hh"
+
+namespace aapm
+{
+
+/** The combined p-state × c-state governor. */
+class RaceToIdleGovernor : public PerformanceMaximizer
+{
+  public:
+    /**
+     * @param estimator Trained (or paper Table II) power model.
+     * @param ladder The platform's c-state menu; a C0-only ladder
+     *        degenerates RACE into plain PM (crawling can then never
+     *        win — there is no cheap state to reclaim time into).
+     * @param pm Busy-side (PM) tuning knobs.
+     * @param idle Idle-side (menu) tuning knobs.
+     */
+    RaceToIdleGovernor(PowerEstimator estimator, CStateLadder ladder,
+                       PmConfig pm = PmConfig(),
+                       IdleConfig idle = IdleConfig());
+
+    const char *name() const override { return "RACE"; }
+    size_t decide(const MonitorSample &sample, size_t current) override;
+    size_t decideCState(const MonitorSample &sample,
+                        size_t current) override;
+    void reset() override;
+
+    /** The ladder in use. */
+    const CStateLadder &ladder() const { return ladder_; }
+
+    /** The most recent decide() chose to crawl instead of sprint. */
+    bool crawling() const { return crawl_; }
+
+  private:
+    CStateLadder ladder_;
+    IdleConfig idleConfig_;
+    bool crawl_ = false;
+    /** EWMA of completed idle-run lengths, seconds (NaN = none yet). */
+    double ewmaIdleS_;
+    /** Length of the idle run in progress, seconds. */
+    double runIdleS_;
+};
+
+} // namespace aapm
+
+#endif // AAPM_MGMT_RACE_TO_IDLE_HH

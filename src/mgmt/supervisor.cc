@@ -146,6 +146,27 @@ GovernorSupervisor::decide(const MonitorSample &sample, size_t current)
 }
 
 size_t
+GovernorSupervisor::decideCState(const MonitorSample &sample,
+                                 size_t current)
+{
+    // While degraded the supervisor keeps the core awake: a fallback
+    // exists to restore observability, and a sleeping core produces no
+    // counters to recover with. Waking is always actuator-safe (wakeups
+    // are not DVFS writes), so forcing C0 cannot wedge.
+    if (fallbackLeft_ > 0 || blindCounters_) {
+        if (insightWanted_)
+            insight_.targetCState = 0;
+        return 0;
+    }
+    const size_t next = inner_->decideCState(sample, current);
+    if (insightWanted_) {
+        insight_.targetCState = next;
+        insight_.predictedIdleS = inner_->insight().predictedIdleS;
+    }
+    return next;
+}
+
+size_t
 GovernorSupervisor::decideImpl(const MonitorSample &sample, size_t current)
 {
     MonitorSample s = sample;

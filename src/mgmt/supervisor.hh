@@ -100,6 +100,8 @@ class GovernorSupervisor : public Governor
     const char *name() const override { return name_.c_str(); }
     void configureCounters(Pmu &pmu) override;
     size_t decide(const MonitorSample &sample, size_t current) override;
+    size_t decideCState(const MonitorSample &sample,
+                        size_t current) override;
     void reset() override;
     void setPowerLimit(double watts) override;
     void setPerformanceFloor(double floor) override;

@@ -33,6 +33,7 @@ constexpr bool kAffineOk[kNumColumns] = {
     false,                      // die_temp_c
     false, false,               // pred_w proj_ipc
     false, false,               // stall subs
+    false,                      // idle_s
 };
 
 constexpr bool kRleOk[kNumColumns] = {
@@ -47,6 +48,8 @@ constexpr bool kRleOk[kNumColumns] = {
     false,                      // die_temp_c (noise)
     true,  true,                // pred_w proj_ipc
     true,  true,                // stall subs
+    true,                       // idle_s (zero while awake, full
+                                // intervals while asleep)
 };
 
 /** Row-major block buffer: cap rows of one record each. */
@@ -321,7 +324,8 @@ BinaryTraceSink::record(const IntervalRecord &rec)
     insight.substitutions = rec.substitutions;
     append(rec.index, rec.when, rec.toSample(), rec.trueW, rec.evCycles,
            rec.evRetired, rec.evDecoded, rec.dieTempC, insight,
-           rec.decided, rec.decision, rec.actuation, rec.stallTicks);
+           rec.decided, rec.decision, rec.actuation, rec.stallTicks,
+           rec.idleS, rec.cstate);
 }
 
 void
@@ -587,8 +591,12 @@ readTraceBinary(const std::string &path, ParsedTrace &out)
     uint32_t version = 0, cap = 0, columns = 0;
     uint32_t workload_len = 0, governor_len = 0;
     uint64_t u = 0;
-    if (!readU32(in, &version) || version != kVersion)
+    // Version 1 predates the idle subsystem: one fewer column (no
+    // idle_s) and 44 used flag bits. Decode it as always-awake.
+    if (!readU32(in, &version) || version < 1 || version > kVersion)
         return false;
+    const bool v1 = version == 1;
+    const size_t ncols = v1 ? kNumColumns - 1 : kNumColumns;
     if (!readU32(in, &cap) || cap == 0)
         return false;
     if (!readU64(in, &u))
@@ -605,7 +613,7 @@ readTraceBinary(const std::string &path, ParsedTrace &out)
     if (!readU64(in, &u))
         return false;
     out.meta.cores = u;
-    if (!readU32(in, &columns) || columns != kNumColumns)
+    if (!readU32(in, &columns) || columns != ncols)
         return false;
     if (!readU32(in, &workload_len) || !readU32(in, &governor_len) ||
         workload_len > (1u << 20) || governor_len > (1u << 20)) {
@@ -659,9 +667,9 @@ readTraceBinary(const std::string &path, ParsedTrace &out)
             return false;
         next_index = first_index + uint64_t(n) * stride;
         uint8_t enc[kNumColumns];
-        if (!readExact(in, enc, kNumColumns))
+        if (!readExact(in, enc, ncols))
             return false;
-        for (size_t k = 0; k < kNumColumns; ++k) {
+        for (size_t k = 0; k < ncols; ++k) {
             if (enc[k] > RLE)
                 return false;
             if (!decodeColumn(in, enc[k], n, col[k]))
@@ -698,6 +706,7 @@ readTraceBinary(const std::string &path, ParsedTrace &out)
             rec.projectedIpc = f64(ColProjIpc, r);
             rec.stallTicks = u64v(ColStall, r);
             rec.substitutions = u64v(ColSubs, r);
+            rec.idleS = v1 ? 0.0 : f64(ColIdleS, r);
 
             // The very divides recordTraceInterval() performs — same
             // operands, same order — so the reconstruction is
@@ -708,7 +717,7 @@ readTraceBinary(const std::string &path, ParsedTrace &out)
                 ? rec.evDecoded / rec.evCycles : 0.0;
 
             const uint64_t flags = u64v(ColFlags, r);
-            if (flags >> 44)
+            if (flags >> (v1 ? 44 : 48))
                 return false; // reserved bits
             const uint8_t last_act = (flags >> 12) & 0xf;
             const uint8_t actuation = (flags >> 38) & 0xf;
@@ -726,6 +735,7 @@ readTraceBinary(const std::string &path, ParsedTrace &out)
             rec.actuation = static_cast<DvfsOutcome>(actuation);
             rec.fallback = (flags >> 42) & 1;
             rec.blind = (flags >> 43) & 1;
+            rec.cstate = v1 ? 0 : ((flags >> 44) & 0xfu);
             out.records.push_back(rec);
         }
     }

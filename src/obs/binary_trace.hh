@@ -4,7 +4,7 @@
  *
  * The JSONL/CSV sinks spend hundreds of nanoseconds formatting every
  * record; at cluster scale that makes full tracing unaffordable. This
- * sink stores the same 27-field schema as a compact binary file:
+ * sink stores the same 29-field schema as a compact binary file:
  * fixed-width little-endian values laid out column-major in fixed-size
  * blocks, with a per-block, per-column encoding byte — RAW (n values),
  * CONST (one value, the whole column is bitwise equal), AFFINE (base +
@@ -22,10 +22,11 @@
  *    index order with a fixed stride (the tracer's `every`), so the
  *    column is reconstructed as firstIndex + k * every from the block
  *    framing and the run header;
- *  - nine narrow fields (pstate, last_actuation, pred_valid,
- *    mem_class, decided, decision, actuation, fallback, blind) are
- *    packed into one 64-bit "flags" column — one store instead of
- *    nine, and the column run-length-encodes to almost nothing;
+ *  - ten narrow fields (pstate, last_actuation, pred_valid,
+ *    mem_class, decided, decision, actuation, fallback, blind,
+ *    cstate) are packed into one 64-bit "flags" column — one store
+ *    instead of ten, and the column run-length-encodes to almost
+ *    nothing;
  *  - true_ipc / true_dpc are not stored; the raw event totals
  *    (ev_cycles, ev_retired, ev_decoded) are. The reader performs the
  *    identical IEEE divides recordTraceInterval() would have done, so
@@ -89,7 +90,13 @@ namespace obsbin
 constexpr char kFileMagic[8] = {'A', 'A', 'P', 'M', 'T', 'R', 'C', 0};
 constexpr char kEndMagic[8] = {'A', 'A', 'P', 'M', 'E', 'N', 'D', 0};
 constexpr uint32_t kBlockMagic = 0x4B4C4241u; // "ABLK"
-constexpr uint32_t kVersion = 1;
+/**
+ * Version 2 added the idle subsystem's columns: idle_s as a stored
+ * column and the c-state index in flags bits [44,48). The reader still
+ * accepts version-1 files (one fewer column, 44 flag bits), decoding
+ * them as always-awake records.
+ */
+constexpr uint32_t kVersion = 2;
 
 /** Per-block, per-column encodings. */
 enum Encoding : uint8_t
@@ -128,28 +135,30 @@ enum Column : size_t
     ColProjIpc,   ///< model-projected IPC (f64)
     ColStall,     ///< actuation stall ticks (u64)
     ColSubs,      ///< supervisor substitution count (u64)
+    ColIdleS,     ///< seconds asleep this interval (f64; v2+)
     kNumColumns,
 };
 
 constexpr size_t kColumnWidth = 8;
 
 /**
- * Pack the nine narrow per-record fields into the flags column. The
+ * Pack the ten narrow per-record fields into the flags column. The
  * field ranges are invariants of the models that produce them:
- * p-state menus and decision indices fit 12 bits, DvfsOutcome and
- * the memory-boundedness class are tiny enums, the rest are bools.
- * memClass is biased by +1 so its -1 "unknown" value encodes as 0.
+ * p-state menus and decision indices fit 12 bits, DvfsOutcome, the
+ * memory-boundedness class and the c-state ladder index are tiny
+ * enums, the rest are bools. memClass is biased by +1 so its -1
+ * "unknown" value encodes as 0.
  *
  *   [0,12)   pstate        [25,26)  decided
  *   [12,16)  last_actuation[26,38)  decision
  *   [16,17)  pred_valid    [38,42)  actuation
  *   [17,25)  mem_class + 1 [42,43)  fallback
- *                          [43,44)  blind
+ *   [44,48)  cstate (v2+)  [43,44)  blind
  */
 constexpr uint64_t
 packFlags(size_t pstate, uint8_t lastAct, bool predValid, int memClass,
           bool decided, size_t decision, uint8_t actuation, bool fallback,
-          bool blind)
+          bool blind, size_t cstate)
 {
     return (uint64_t(pstate) & 0xfffu) | (uint64_t(lastAct & 0xfu) << 12) |
            (uint64_t(predValid) << 16) |
@@ -157,7 +166,7 @@ packFlags(size_t pstate, uint8_t lastAct, bool predValid, int memClass,
            (uint64_t(decided) << 25) |
            ((uint64_t(decision) & 0xfffu) << 26) |
            (uint64_t(actuation & 0xfu) << 38) | (uint64_t(fallback) << 42) |
-           (uint64_t(blind) << 43);
+           (uint64_t(blind) << 43) | ((uint64_t(cstate) & 0xfu) << 44);
 }
 
 /** Fixed bytes per record in a block buffer. */
@@ -269,11 +278,11 @@ class BinaryTraceSink : public TraceSink
     BinaryTraceSink *binary() override { return this; }
 
     /**
-     * The single-producer fast path: nineteen stores into one
-     * sequential 152-byte row, no lock, no virtual dispatch, no
+     * The single-producer fast path: twenty stores into one
+     * sequential 160-byte row, no lock, no virtual dispatch, no
      * divides. The in-memory block is row-major — the appender writes
      * one hardware-prefetchable stream instead of scattering across
-     * nineteen column buffers — and the asynchronous flush thread
+     * twenty column buffers — and the asynchronous flush thread
      * transposes to the on-disk column-major layout before encoding.
      * Callers pass exactly what recordTraceInterval() would have put
      * in an IntervalRecord, so a binary trace decodes bit-identically
@@ -285,7 +294,8 @@ class BinaryTraceSink : public TraceSink
     append(uint64_t index, Tick when, const MonitorSample &s, double trueW,
            double evCycles, double evRetired, double evDecoded,
            double dieTempC, const GovernorInsight &insight, bool decided,
-           size_t decision, DvfsOutcome actuation, Tick stallTicks)
+           size_t decision, DvfsOutcome actuation, Tick stallTicks,
+           double idleS, size_t cstate)
     {
         using namespace obsbin;
         const uint32_t n = n_;
@@ -307,7 +317,7 @@ class BinaryTraceSink : public TraceSink
             s.pstate, static_cast<uint8_t>(s.lastActuation), insight.valid,
             insight.memBoundClass, decided, decision,
             static_cast<uint8_t>(actuation), insight.fallback,
-            insight.blindCounters);
+            insight.blindCounters, cstate);
         drow[ColTrueW] = trueW;
         drow[ColEvCycles] = evCycles;
         drow[ColEvRetired] = evRetired;
@@ -317,6 +327,7 @@ class BinaryTraceSink : public TraceSink
         drow[ColProjIpc] = insight.projectedIpc;
         row[ColStall] = stallTicks;
         row[ColSubs] = insight.substitutions;
+        drow[ColIdleS] = idleS;
         if (++n_ == blockRecords_)
             sealFull();
     }

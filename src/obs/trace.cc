@@ -24,7 +24,8 @@ const char *const kFieldNames[] = {
     "true_w",      "true_ipc",   "true_dpc",    "die_temp_c",
     "pred_valid",  "pred_w",     "proj_ipc",    "mem_class",
     "decided",     "decision",   "actuation",   "stall_ticks",
-    "fallback",    "blind",      "substitutions",
+    "fallback",    "blind",      "substitutions", "idle_s",
+    "cstate",
 };
 constexpr size_t kNumFields =
     sizeof(kFieldNames) / sizeof(kFieldNames[0]);
@@ -178,6 +179,8 @@ recordToJson(const IntervalRecord &r)
        << ", \"fallback\": " << (r.fallback ? "true" : "false")
        << ", \"blind\": " << (r.blind ? "true" : "false")
        << ", \"substitutions\": " << r.substitutions
+       << ", \"idle_s\": " << jsonNum(r.idleS)
+       << ", \"cstate\": " << r.cstate
        << "}";
     return os.str();
 }
@@ -249,6 +252,12 @@ recordFromJson(const std::string &line, IntervalRecord *r)
     }
     if (!jsonU64(line, "substitutions", &r->substitutions))
         return false;
+    // Idle columns arrived with the idle subsystem; their absence (an
+    // older trace) means an always-awake record.
+    if (jsonDouble(line, "idle_s", &d))
+        r->idleS = d;
+    if (jsonU64(line, "cstate", &u))
+        r->cstate = u;
     return true;
 }
 
@@ -461,7 +470,8 @@ CsvTraceSink::record(const IntervalRecord &r)
         << (r.decided ? 1 : 0) << ',' << r.decision << ','
         << dvfsOutcomeName(r.actuation) << ',' << r.stallTicks << ','
         << (r.fallback ? 1 : 0) << ',' << (r.blind ? 1 : 0) << ','
-        << r.substitutions << '\n';
+        << r.substitutions << ',' << fmtDouble(r.idleS) << ','
+        << r.cstate << '\n';
     ++impl_->records;
 }
 
@@ -602,6 +612,9 @@ readTraceCsv(const std::string &path, ParsedTrace &out)
         flag(&r.fallback);
         flag(&r.blind);
         u64(&r.substitutions);
+        num(&r.idleS);
+        u64(&u);
+        r.cstate = u;
         if (!ok)
             return false;
         out.records.push_back(r);

@@ -101,6 +101,12 @@ struct IntervalRecord
     bool blind = false;
     uint64_t substitutions = 0;
 
+    // --- Idle subsystem (zero on a C0-only ladder). ---
+    /** Seconds of this interval spent in a non-C0 state. */
+    double idleS = 0.0;
+    /** C-state index at the interval's start (0 = awake). */
+    size_t cstate = 0;
+
     /** Reassemble the MonitorSample the governor was given. */
     MonitorSample toSample() const;
 };

@@ -31,7 +31,8 @@ recordTraceInterval(IntervalTracer &tracer, Governor &governor,
                     const MonitorSample &sample, double true_avg,
                     const EventTotals &interval_events, double die_temp,
                     bool stopping, size_t decided_state,
-                    DvfsOutcome act_outcome, Tick act_stall)
+                    DvfsOutcome act_outcome, Tick act_stall,
+                    double idle_s, size_t interval_cstate)
 {
     IntervalRecord rec;
     rec.index = interval_index;
@@ -72,6 +73,8 @@ recordTraceInterval(IntervalTracer &tracer, Governor &governor,
     rec.fallback = insight.fallback;
     rec.blind = insight.blindCounters;
     rec.substitutions = insight.substitutions;
+    rec.idleS = idle_s;
+    rec.cstate = interval_cstate;
     tracer.record(rec);
 }
 
@@ -144,6 +147,12 @@ PlatformRun::PlatformRun(const PlatformConfig &config,
     governor_.reset();
     governor_.configureCounters(pmu_);
 
+    // Idle subsystem: a C0-only ladder leaves sleepCapable_ false and
+    // cstate_ pinned at 0, so no idle branch below ever fires — the
+    // stepping is bit-identical to a platform without the subsystem.
+    sleepCapable_ = config_.cstates.hasDeepStates();
+    residencyTicks_.assign(config_.cstates.size(), 0);
+
     // Fault injection is strictly opt-in: with an inactive plan no
     // injector exists, no extra RNG stream is created and every filter
     // below is skipped, keeping the clean path bit-identical.
@@ -210,6 +219,82 @@ PlatformRun::step()
     EventTotals interval_events;   // experimenter-side counters
     Tick used_total = 0;
     bool integrated = false;
+    const size_t interval_cstate = cstate_;
+    Tick slept = 0;
+
+    if (cstate_ != 0) {
+        // --- Asleep: consume queued idle time without clocking. The
+        // loop mirrors timing_.advance()'s floor arithmetic exactly, so
+        // the cursor lands where an awake C0-idle core's would — but no
+        // PMU event fires and only retention power is drawn. Waking is
+        // demand-driven (real work reaches the queue front) or latched
+        // by the governor last interval; either way the wake pays the
+        // state's exit latency as a stall before the first instruction.
+        const Tick budget = config_.sampleInterval;
+        bool want_wake = wakeRequested_;
+        if (!want_wake) {
+            while (slept < budget && !cursor_.done()) {
+                const PhaseTiming &row = timing_.at(
+                    cursor_.phaseIndex(), dvfs_.currentIndex());
+                if (!row.idle)
+                    break;   // real work at the front: wake up
+                const Tick left = budget - slept;
+                const uint64_t fit = static_cast<uint64_t>(
+                    static_cast<double>(left) / row.tpiPs);
+                const uint64_t n = std::min<uint64_t>(
+                    fit, cursor_.remainingInPhase());
+                if (n == 0) {
+                    // Sub-instruction remainder: sleep through it.
+                    slept = budget;
+                    break;
+                }
+                Tick dur = static_cast<Tick>(
+                    static_cast<double>(n) * row.tpiPs);
+                if (dur > left)
+                    dur = left;
+                cursor_.retire(n);
+                slept += dur;
+            }
+            want_wake = slept < budget;
+        }
+        if (want_wake) {
+            if (injector_ && !injector_->filterWakeup()) {
+                // Stuck wakeup: the core stays asleep with work
+                // pending; the attempt repeats next interval.
+                slept = budget;
+                wakeRequested_ = true;
+                ++result_.idle.deniedWakeups;
+            } else {
+                const double mult = injector_
+                    ? injector_->wakeLatencyMultiplier()
+                    : 1.0;
+                pendingStall_ += static_cast<Tick>(
+                    static_cast<double>(
+                        config_.cstates[cstate_].exitLatency) * mult);
+                cstate_ = 0;
+                wakeRequested_ = false;
+                ++result_.idle.wakeups;
+            }
+        }
+        if (slept > 0) {
+            // Retention draw: the ladder state's rail power under the
+            // same temperature scaling as active leakage.
+            const double dt = ticksToSeconds(slept);
+            const double t_c = config_.thermalFeedback
+                ? thermal_.temperature()
+                : truth_.config().leakNominalTempC;
+            const double p = truth_.leakagePowerFromBase(
+                config_.cstates[interval_cstate].powerW, t_c);
+            interval_energy += p * dt;
+            if (config_.thermalFeedback)
+                thermal_.step(p, dt);
+            idle_ticks += slept;
+            used_total += slept;
+            result_.idle.sleepEnergyJ += p * dt;
+            sleepTicks_ += slept;
+            residencyTicks_[interval_cstate] += slept;
+        }
+    }
 
     // --- Fast path: the whole interval inside one phase at one
     // frequency with no stall or phase boundary intervening — the
@@ -220,7 +305,8 @@ PlatformRun::step()
     // without materializing chunks: bit-identical instruction and
     // PMU totals, with a fallback whenever the chunked path would
     // have split the interval.
-    if (fastAllowed_ && pendingStall_ == 0 && !cursor_.done()) {
+    if (fastAllowed_ && pendingStall_ == 0 && slept == 0 &&
+        !cursor_.done()) {
         const PhaseTiming &row =
             timing_.at(cursor_.phaseIndex(), dvfs_.currentIndex());
         if (row.fastEligible &&
@@ -252,7 +338,7 @@ PlatformRun::step()
         // --- Chunked reference path: stalls, phase boundaries and
         // the end of the workload. ---
         chunks_.clear();
-        Tick budget = config_.sampleInterval;
+        Tick budget = config_.sampleInterval - slept;
         while (budget > 0 && !cursor_.done()) {
             if (pendingStall_ > 0) {
                 const Tick s = std::min(pendingStall_, budget);
@@ -293,6 +379,8 @@ PlatformRun::step()
 
     if (integrated)
         ++fastIntervals_;
+    else if (slept == config_.sampleInterval)
+        ++sleepIntervals_;
     else
         ++chunkedIntervals_;
 
@@ -398,16 +486,43 @@ PlatformRun::step()
     DvfsOutcome act_outcome = DvfsOutcome::Unchanged;
     Tick act_stall = 0;
     if (!stopping) {
-        const size_t next =
-            governor_.decide(sample, dvfs_.currentIndex());
-        decided_state = next;
-        if (next != dvfs_.currentIndex()) {
-            const DvfsActuation act = dvfs_.applyPState(next);
-            pendingStall_ += act.stallTicks;
-            lastActuation_ = act.outcome;
-            act_outcome = act.outcome;
-            act_stall = act.stallTicks;
+        if (cstate_ == 0) {
+            const size_t next =
+                governor_.decide(sample, dvfs_.currentIndex());
+            decided_state = next;
+            if (next != dvfs_.currentIndex()) {
+                const DvfsActuation act = dvfs_.applyPState(next);
+                pendingStall_ += act.stallTicks;
+                lastActuation_ = act.outcome;
+                act_outcome = act.outcome;
+                act_stall = act.stallTicks;
+            } else {
+                lastActuation_ = DvfsOutcome::Unchanged;
+            }
+            // Sleep only from a quiescent interval: a pending stall is
+            // the PLL relocking, not idle time to sleep through.
+            if (sleepCapable_ && pendingStall_ == 0) {
+                const size_t cs = governor_.decideCState(sample, 0);
+                if (cs != 0) {
+                    aapm_assert(cs < config_.cstates.size(),
+                                "governor chose c-state %zu beyond "
+                                "the ladder", cs);
+                    cstate_ = cs;
+                }
+            }
         } else {
+            // Asleep: the p-state plane is parked, so only the c-state
+            // question is asked — stay (possibly deeper) or latch a
+            // wake for the next interval boundary.
+            const size_t cs = governor_.decideCState(sample, cstate_);
+            if (cs == 0) {
+                wakeRequested_ = true;
+            } else {
+                aapm_assert(cs < config_.cstates.size(),
+                            "governor chose c-state %zu beyond "
+                            "the ladder", cs);
+                cstate_ = cs;
+            }
             lastActuation_ = DvfsOutcome::Unchanged;
         }
     }
@@ -430,13 +545,15 @@ PlatformRun::step()
                                 thermal_.temperature(),
                                 stopping ? kNone : governor_.insight(),
                                 !stopping, decided_state, act_outcome,
-                                act_stall);
+                                act_stall, ticksToSeconds(slept),
+                                interval_cstate);
         } else {
             recordTraceInterval(*tracer_, governor_, intervalIndex_,
                                 endTick_, sample, true_avg,
                                 interval_events, thermal_.temperature(),
                                 stopping, decided_state, act_outcome,
-                                act_stall);
+                                act_stall, ticksToSeconds(slept),
+                                interval_cstate);
         }
         ++tracedRecords_;
     }
@@ -464,6 +581,11 @@ PlatformRun::finish()
         ? result_.trueEnergyJ / result_.seconds
         : 0.0;
     result_.dvfs = dvfs_.stats();
+    result_.idle.sleepSeconds = ticksToSeconds(sleepTicks_);
+    result_.idle.residencySeconds.assign(config_.cstates.size(), 0.0);
+    for (size_t i = 0; i < residencyTicks_.size(); ++i)
+        result_.idle.residencySeconds[i] =
+            ticksToSeconds(residencyTicks_[i]);
     if (injector_)
         result_.recovery = injector_->telemetry();
     if (injector_ && injector_->unfiredScheduled() > 0) {
@@ -490,12 +612,24 @@ PlatformRun::finish()
         MetricRegistry::global().counter("platform.chunked_intervals");
     static const CounterId traced_id =
         MetricRegistry::global().counter("platform.traced_records");
+    static const CounterId sleep_id =
+        MetricRegistry::global().counter("idle.sleep_intervals");
+    static const CounterId wake_id =
+        MetricRegistry::global().counter("idle.wakeups");
+    static const CounterId denied_id =
+        MetricRegistry::global().counter("idle.denied_wakeups");
     MetricRegistry &reg = MetricRegistry::global();
     reg.add(runs_id, 1);
     reg.add(fast_id, fastIntervals_);
     reg.add(chunked_id, chunkedIntervals_);
     if (tracedRecords_ > 0)
         reg.add(traced_id, tracedRecords_);
+    if (sleepIntervals_ > 0)
+        reg.add(sleep_id, sleepIntervals_);
+    if (result_.idle.wakeups > 0)
+        reg.add(wake_id, result_.idle.wakeups);
+    if (result_.idle.deniedWakeups > 0)
+        reg.add(denied_id, result_.idle.deniedWakeups);
     return std::move(result_);
 }
 

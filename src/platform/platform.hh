@@ -19,6 +19,7 @@
 #include "dvfs/dvfs_controller.hh"
 #include "fault/fault_plan.hh"
 #include "fault/telemetry.hh"
+#include "idle/cstate.hh"
 #include "mem/hierarchy.hh"
 #include "mgmt/governor.hh"
 #include "pmu/pmu.hh"
@@ -46,6 +47,13 @@ struct PlatformConfig
     SensorConfig sensor;
     DvfsConfig dvfs;
     PStateTable pstates = PStateTable::pentiumM();
+    /**
+     * C-state ladder. The default (C0-only) ladder keeps the idle
+     * subsystem inert: stepping is bit-identical to a platform without
+     * it. Deep states only engage through a governor whose
+     * decideCState() asks for them.
+     */
+    CStateLadder cstates;
     /** Monitoring/control interval (paper: 10 ms). */
     Tick sampleInterval = 10 * TicksPerMs;
     /** P-state the platform boots in; default = fastest. */
@@ -104,6 +112,23 @@ struct RunOptions
     size_t traceCores = 1;
 };
 
+/** Idle-subsystem accounting for one run (all zero when the ladder is
+ *  C0-only or the governor never sleeps). */
+struct IdleStats
+{
+    /** Completed sleep → wake transitions. */
+    uint64_t wakeups = 0;
+    /** Wake attempts denied by a stuck-wakeup fault window. */
+    uint64_t deniedWakeups = 0;
+    /** Total time spent in non-C0 states, seconds. */
+    double sleepSeconds = 0.0;
+    /** Energy consumed while asleep (retention power), Joules. */
+    double sleepEnergyJ = 0.0;
+    /** Per-ladder-state residency, seconds ([0] stays 0 — C0 time is
+     *  everything else). Sized to the ladder. */
+    std::vector<double> residencySeconds;
+};
+
 /** Everything measured about one run. */
 struct RunResult
 {
@@ -120,6 +145,8 @@ struct RunResult
     DvfsStats dvfs;
     /** Injected-fault and recovery counters (all zero when clean). */
     RecoveryTelemetry recovery;
+    /** C-state residency and wakeup accounting. */
+    IdleStats idle;
 
     /** Instructions per second over the whole run. */
     double
@@ -186,6 +213,18 @@ class PlatformRun
     /** Current p-state index. */
     size_t currentPState() const { return dvfs_.currentIndex(); }
 
+    /** Current c-state index (0 = awake/C0). */
+    size_t currentCState() const { return cstate_; }
+
+    /** True when the config's ladder has deep states to enter. */
+    bool sleepCapable() const { return sleepCapable_; }
+
+    /** Completed sleep → wake transitions so far. */
+    uint64_t wakeups() const { return result_.idle.wakeups; }
+
+    /** Wake attempts denied by stuck-wakeup faults so far. */
+    uint64_t deniedWakeups() const { return result_.idle.deniedWakeups; }
+
     /** Intervals executed so far. */
     uint64_t intervals() const { return intervalIndex_; }
 
@@ -232,6 +271,7 @@ class PlatformRun
     double lastDtS_ = 0.0;
     uint64_t fastIntervals_ = 0;
     uint64_t chunkedIntervals_ = 0;
+    uint64_t sleepIntervals_ = 0;
     uint64_t tracedRecords_ = 0;
     std::vector<ScheduledCommand> commands_;
     size_t nextCmd_ = 0;
@@ -244,6 +284,17 @@ class PlatformRun
     bool stop_ = false;
     Tick now_ = 0;
     uint64_t intervalIndex_ = 0;
+    /** Current c-state; 0 = awake. Everything below is dead weight on
+     *  a C0-only ladder: no branch that touches it ever fires. */
+    size_t cstate_ = 0;
+    /** The ladder has deep states (cached from config). */
+    bool sleepCapable_ = false;
+    /** A wake was requested (governor, or denied by a fault) and must
+     *  be retried at the next interval boundary. */
+    bool wakeRequested_ = false;
+    /** Total ticks spent asleep, and per-ladder-state residency. */
+    Tick sleepTicks_ = 0;
+    std::vector<Tick> residencyTicks_;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "serve/serving.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 
 #include "common/logging.hh"
@@ -57,11 +58,14 @@ RequestScheduler::RequestScheduler(ClusterPlatform &cluster,
     aapm_assert(menu.phases().size() == config_.mix.size() + 1,
                 "menu/mix mismatch: %zu phases for %zu classes",
                 menu.phases().size(), config_.mix.size());
-    if (config_.horizonS <= 0.0)
-        aapm_fatal("serving horizon must be positive (got %f)",
-                   config_.horizonS);
-    if (config_.sloS <= 0.0)
-        aapm_fatal("serving SLO must be positive (got %f)",
+    // Non-finite-aware gates (NaN fails every ordered comparison, so
+    // `x <= 0` would admit it and the run would silently serve
+    // nothing); see the matching TrafficGenerator validation.
+    if (!(config_.horizonS > 0.0) || !std::isfinite(config_.horizonS))
+        aapm_fatal("serving horizon must be positive and finite "
+                   "(got %f)", config_.horizonS);
+    if (!(config_.sloS > 0.0) || !std::isfinite(config_.sloS))
+        aapm_fatal("serving SLO must be positive and finite (got %f)",
                    config_.sloS);
     interval_ = cluster.platform(0).config().sampleInterval;
     horizon_ = secondsToTicks(config_.horizonS);
@@ -95,6 +99,11 @@ RequestScheduler::begin(const ClusterStepView &view)
     aapm_assert(view.coreCount() == lowWater_.size(),
                 "cluster size changed under the scheduler");
     cores_.assign(view.coreCount(), CoreState());
+    classLatencies_.assign(config_.mix.size(), SampleSeries());
+    classOffered_.assign(config_.mix.size(), 0);
+    classCompleted_.assign(config_.mix.size(), 0);
+    classDropped_.assign(config_.mix.size(), 0);
+    classLate_.assign(config_.mix.size(), 0);
     for (size_t i = 0; i < view.coreCount(); ++i) {
         WorkloadCursor &cursor = view.run(i).cursor();
         cursor.enableStreaming();
@@ -158,8 +167,12 @@ RequestScheduler::interval(Tick now, const ClusterStepView &view)
             rec.complete = std::max(complete, rec.arrival);
             const double latency = rec.latencyS();
             latencies_.add(latency);
-            if (latency > config_.sloS)
+            classLatencies_[rec.cls].add(latency);
+            ++classCompleted_[rec.cls];
+            if (latency > config_.sloS) {
                 ++lateCompletions_;
+                ++classLate_[rec.cls];
+            }
             st.pendingInstr -=
                 config_.mix[rec.cls].phase.instructions;
             --st.queuedRequests;
@@ -174,6 +187,7 @@ RequestScheduler::interval(Tick now, const ClusterStepView &view)
     traffic_.generateUpTo(std::min(now, horizon_), arrivalBuf_);
     for (const Request &req : arrivalBuf_) {
         ++offered_;
+        ++classOffered_[req.cls];
         const size_t core = pickCore(view);
         RequestRecord rec;
         rec.id = req.id;
@@ -185,6 +199,7 @@ RequestScheduler::interval(Tick now, const ClusterStepView &view)
             rec.dropped = true;
             records_.push_back(rec);
             ++dropped_;
+            ++classDropped_[req.cls];
             continue;
         }
         CoreState &st = cores_[core];
@@ -193,6 +208,7 @@ RequestScheduler::interval(Tick now, const ClusterStepView &view)
             rec.dropped = true;
             records_.push_back(rec);
             ++dropped_;
+            ++classDropped_[req.cls];
             continue;
         }
         const uint64_t burst = config_.mix[req.cls].phase.instructions;
@@ -246,6 +262,28 @@ RequestScheduler::finish(ClusterResult cluster)
             static_cast<double>(offered_);
     }
     res.queueDepth = queueDepth_;
+    classLatencies_.resize(config_.mix.size());
+    classOffered_.resize(config_.mix.size(), 0);
+    classCompleted_.resize(config_.mix.size(), 0);
+    classDropped_.resize(config_.mix.size(), 0);
+    classLate_.resize(config_.mix.size(), 0);
+    for (size_t c = 0; c < config_.mix.size(); ++c) {
+        ClassSloStats cs;
+        cs.name = config_.mix[c].name;
+        cs.offered = classOffered_[c];
+        cs.completed = classCompleted_[c];
+        cs.dropped = classDropped_[c];
+        if (classLatencies_[c].size() > 0) {
+            cs.p50S = classLatencies_[c].quantile(0.50);
+            cs.p99S = classLatencies_[c].quantile(0.99);
+        }
+        if (cs.offered > 0) {
+            cs.violationFrac =
+                static_cast<double>(classLate_[c] + classDropped_[c]) /
+                static_cast<double>(cs.offered);
+        }
+        res.classes.push_back(std::move(cs));
+    }
     res.requests = std::move(records_);
 
     MetricRegistry &reg = MetricRegistry::global();
@@ -323,7 +361,19 @@ writeRequestLog(const std::string &path, const ServingResult &result,
     }
     out << "{\"aapm_requests_end\": 1, \"completed\": "
         << result.completed << ", \"dropped\": " << result.dropped
-        << "}\n";
+        << ", \"class_stats\": [";
+    for (size_t i = 0; i < result.classes.size(); ++i) {
+        const ClassSloStats &cs = result.classes[i];
+        out << "{\"name\": \"" << cs.name
+            << "\", \"offered\": " << cs.offered
+            << ", \"completed\": " << cs.completed
+            << ", \"dropped\": " << cs.dropped
+            << ", \"p50_s\": " << cs.p50S
+            << ", \"p99_s\": " << cs.p99S
+            << ", \"violation_frac\": " << cs.violationFrac << "}"
+            << (i + 1 < result.classes.size() ? ", " : "");
+    }
+    out << "]}\n";
     if (!out)
         aapm_fatal("error writing request log '%s'", path.c_str());
 }

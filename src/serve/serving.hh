@@ -97,6 +97,28 @@ struct RequestRecord
     }
 };
 
+/** Per-request-class latency and SLO breakdown. Aggregate p99 hides
+ *  which class pays the tail: a mixed workload can meet its global SLO
+ *  while the long-request class misses it every time. */
+struct ClassSloStats
+{
+    /** Class name, from the mix. */
+    std::string name;
+    /** Arrivals of this class within the horizon. */
+    uint64_t offered = 0;
+    /** Completions of this class. */
+    uint64_t completed = 0;
+    /** Drops of this class at dispatch. */
+    uint64_t dropped = 0;
+    /** Completion-time percentiles, seconds (0 when nothing of this
+     *  class completed). */
+    double p50S = 0.0;
+    double p99S = 0.0;
+    /** Late completions plus drops, over offered (0 when nothing of
+     *  this class was offered). */
+    double violationFrac = 0.0;
+};
+
 /** Everything measured about one serving run. */
 struct ServingResult
 {
@@ -128,6 +150,8 @@ struct ServingResult
     double sloViolationFrac = 0.0;
     /** Queue depth in requests, sampled per core per interval. */
     RunningStats queueDepth;
+    /** Per-class SLO breakdown, in mix order. */
+    std::vector<ClassSloStats> classes;
     /** Per-request outcomes, in arrival order. */
     std::vector<RequestRecord> requests;
 
@@ -215,6 +239,12 @@ class RequestScheduler : public ClusterStepHook
     uint64_t dropped_ = 0;
     uint64_t lateCompletions_ = 0;
     size_t rrNext_ = 0;
+    /** Per-class accounting, indexed by mix class. */
+    std::vector<SampleSeries> classLatencies_;
+    std::vector<uint64_t> classOffered_;
+    std::vector<uint64_t> classCompleted_;
+    std::vector<uint64_t> classDropped_;
+    std::vector<uint64_t> classLate_;
 };
 
 /**

@@ -92,9 +92,11 @@ makeClass(const std::string &profile, uint64_t instructions,
     if (instructions == 0)
         aapm_fatal("request class '%s' needs instructions > 0",
                    profile.c_str());
-    if (weight <= 0.0)
-        aapm_fatal("request class '%s' needs weight > 0",
-                   profile.c_str());
+    // !(x > 0) rather than x <= 0: NaN fails every comparison, so the
+    // latter silently admits it and the generator then emits nothing.
+    if (!(weight > 0.0) || !std::isfinite(weight))
+        aapm_fatal("request class '%s' needs a finite weight > 0 "
+                   "(got %f)", profile.c_str(), weight);
     RequestClass cls;
     cls.name = profile;
     cls.phase = profilePhase(profile);
@@ -155,14 +157,19 @@ TrafficGenerator::TrafficGenerator(const TrafficConfig &config,
     : config_(config), mix_(std::move(mix)), rng_(config.seed)
 {
     aapm_assert(!mix_.empty(), "traffic needs a request mix");
-    if (config_.rateRps <= 0.0)
-        aapm_fatal("arrival rate must be positive (got %f)",
+    // Validation is non-finite-aware throughout: NaN fails every
+    // ordered comparison, so a plain `x <= 0` gate waves it through
+    // and the generator then silently emits zero requests (NaN clock
+    // -> every arrival lands past any bound). Library callers bypass
+    // parseStrictDouble, so the constructor must catch this itself.
+    if (!(config_.rateRps > 0.0) || !std::isfinite(config_.rateRps))
+        aapm_fatal("arrival rate must be positive and finite (got %f)",
                    config_.rateRps);
     double total = 0.0;
     for (const RequestClass &cls : mix_) {
-        if (cls.weight <= 0.0)
-            aapm_fatal("request class '%s' needs weight > 0",
-                       cls.name.c_str());
+        if (!(cls.weight > 0.0) || !std::isfinite(cls.weight))
+            aapm_fatal("request class '%s' needs a finite weight > 0 "
+                       "(got %f)", cls.name.c_str(), cls.weight);
         total += cls.weight;
         cumWeight_.push_back(total);
     }
@@ -170,18 +177,27 @@ TrafficGenerator::TrafficGenerator(const TrafficConfig &config,
       case ArrivalProcess::Poisson:
         break;
       case ArrivalProcess::Diurnal:
-        if (config_.diurnalPeriodS <= 0.0)
-            aapm_fatal("diurnal period must be positive");
-        if (config_.diurnalDepth < 0.0 || config_.diurnalDepth >= 1.0)
+        if (!(config_.diurnalPeriodS > 0.0) ||
+            !std::isfinite(config_.diurnalPeriodS))
+            aapm_fatal("diurnal period must be positive and finite "
+                       "(got %f)", config_.diurnalPeriodS);
+        if (!(config_.diurnalDepth >= 0.0) ||
+            config_.diurnalDepth >= 1.0)
             aapm_fatal("diurnal depth must be in [0, 1) (got %f)",
                        config_.diurnalDepth);
         break;
       case ArrivalProcess::Bursty: {
-        if (config_.burstRateMultiplier <= 1.0)
-            aapm_fatal("burst multiplier must exceed 1 (got %f)",
-                       config_.burstRateMultiplier);
-        if (config_.burstMeanS <= 0.0 || config_.calmMeanS <= 0.0)
-            aapm_fatal("burst/calm sojourn means must be positive");
+        if (!(config_.burstRateMultiplier > 1.0) ||
+            !std::isfinite(config_.burstRateMultiplier))
+            aapm_fatal("burst multiplier must exceed 1 and be finite "
+                       "(got %f)", config_.burstRateMultiplier);
+        if (!(config_.burstMeanS > 0.0) ||
+            !std::isfinite(config_.burstMeanS) ||
+            !(config_.calmMeanS > 0.0) ||
+            !std::isfinite(config_.calmMeanS))
+            aapm_fatal("burst/calm sojourn means must be positive and "
+                       "finite (got %f / %f)", config_.burstMeanS,
+                       config_.calmMeanS);
         // Scale the two state rates so the time-average is rateRps:
         // mean = calmRate * (piCalm + mult * piBurst).
         const double piBurst = config_.burstMeanS /

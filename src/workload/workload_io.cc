@@ -183,6 +183,7 @@ parseClusterManifest(std::istream &in)
             {"policies", &manifest.policies},
             {"domain-plan", &manifest.domainPlan},
             {"domain-seed", &manifest.domainSeed},
+            {"c-states", &manifest.cstates},
             {"arrival", &manifest.arrival},
             {"rate", &manifest.rate},
             {"slo", &manifest.slo},
@@ -209,10 +210,10 @@ parseClusterManifest(std::istream &in)
         if (head != "core")
             aapm_fatal("line %d: unknown directive '%s' (expected "
                        "'core', 'topology', 'policies', 'domain-plan', "
-                       "'domain-seed', or a serving directive: "
-                       "'arrival', 'rate', 'slo', 'request-mix', "
-                       "'queue-cap', 'dispatch', 'serve-seed')",
-                       lineno, head.c_str());
+                       "'domain-seed', 'c-states', or a serving "
+                       "directive: 'arrival', 'rate', 'slo', "
+                       "'request-mix', 'queue-cap', 'dispatch', "
+                       "'serve-seed')", lineno, head.c_str());
 
         ClusterManifestEntry e;
         if (!(ls >> e.workload))

@@ -60,6 +60,7 @@ struct ClusterManifestEntry
  *   policies uniform,demand,greedy    # optional, at most once
  *   domain-plan node[1]@0.5:sensor-brownout:40   # optional, at most once
  *   domain-seed 7                     # optional, at most once
+ *   c-states C1:0.4W:2us;C6:0.05W:150us          # optional, at most once
  *   arrival poisson                   # serving directives, optional
  *   rate 2000
  *   slo 0.05
@@ -94,6 +95,8 @@ struct ClusterManifest
     std::string domainPlan;
     /** Domain-fault derivation seed; empty = the plan's own. */
     std::string domainSeed;
+    /** C-state ladder spec (idle/cstate.hh); empty = C0-only. */
+    std::string cstates;
     /** Serving arrival process ("poisson", "diurnal", "bursty");
      *  empty = the CLI choice. */
     std::string arrival;

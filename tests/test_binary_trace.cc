@@ -86,6 +86,8 @@ expectRecordsEqual(const IntervalRecord &a, const IntervalRecord &b,
     EXPECT_EQ(a.fallback, b.fallback);
     EXPECT_EQ(a.blind, b.blind);
     EXPECT_EQ(a.substitutions, b.substitutions);
+    EXPECT_TRUE(feq(a.idleS, b.idleS));
+    EXPECT_EQ(a.cstate, b.cstate);
 }
 
 void
@@ -399,6 +401,60 @@ TEST(BinaryTrace, FaultedActuationsRoundTripThroughBinary)
             ++denied;
     }
     EXPECT_GT(denied, 0u);
+}
+
+TEST(BinaryTrace, SleepResidencyRoundTripsThroughBinary)
+{
+    // A run that actually sleeps: the idle_s / cstate columns carry
+    // nonzero payloads and must survive both formats bit-exactly.
+    PlatformConfig config;
+    config.cstates =
+        CStateLadder::parse("C1:0.4W:2us;C6:0.05W:150us", "test");
+    Platform platform(config);
+    const Workload duty = dutyCycledWorkload(
+        "duty30", specWorkload("gzip", config.core, 1.0).phases()[0],
+        0.3, 0.05, 0.3, config.core);
+    const PowerEstimator power = PowerEstimator::paperPentiumM();
+
+    auto run = [&](IntervalTracer *tracer) {
+        IdleGovernor gov(std::make_unique<PerformanceMaximizer>(
+                             power, PmConfig{.powerLimitW = 14.5}),
+                         config.cstates);
+        return platform.run(duty, gov, traceOpts(tracer));
+    };
+
+    const std::string jpath = tempPath("bt_idle.jsonl");
+    const std::string bpath = tempPath("bt_idle.bin");
+    {
+        JsonlTraceSink js(jpath);
+        IntervalTracer jt(js, 1);
+        run(&jt);
+    }
+    RunResult res;
+    {
+        BinaryTraceSink bs(bpath, nullptr, 7);
+        IntervalTracer bt(bs, 1);
+        res = run(&bt);
+    }
+    ASSERT_GT(res.idle.sleepSeconds, 0.0);
+
+    ParsedTrace pj, pb;
+    ASSERT_TRUE(readTraceJsonl(jpath, pj));
+    ASSERT_TRUE(readTraceBinary(bpath, pb));
+    expectTracesEqual(pj, pb, /*compare_events=*/false);
+
+    // The sleep shows up in the columns: some intervals spent time in
+    // a deep state, and idle_s sums to the run's sleep total.
+    double idleSum = 0.0;
+    size_t deep = 0;
+    for (const IntervalRecord &r : pb.records) {
+        idleSum += r.idleS;
+        deep += r.cstate > 0 ? 1 : 0;
+    }
+    EXPECT_GT(deep, 0u);
+    EXPECT_NEAR(idleSum, res.idle.sleepSeconds, 1e-9);
+    std::remove(jpath.c_str());
+    std::remove(bpath.c_str());
 }
 
 // ------------------------------------------------------------------ //

@@ -1,0 +1,716 @@
+/**
+ * @file
+ * Idle-state subsystem tests: C-state ladder parsing and validation,
+ * the menu break-even rule, the IdleGovernor decorator and the
+ * RaceToIdleGovernor, platform sleep/wake accounting, the inertness
+ * contracts (a C0-only ladder — or a deep ladder under a governor
+ * that never sleeps — is bit-identical to a build without the
+ * subsystem), wakeup-path fault injection, and the cluster-level
+ * behavior of sleeping cores (budget re-absorption, wake-storm
+ * quarantine, determinism across thread-pool widths).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/allocator.hh"
+#include "cluster/cluster.hh"
+#include "cluster/supervisor.hh"
+#include "fault/fault_plan.hh"
+#include "idle/cstate.hh"
+#include "mgmt/idle_governor.hh"
+#include "mgmt/performance_maximizer.hh"
+#include "mgmt/race_to_idle.hh"
+#include "mgmt/supervisor.hh"
+#include "platform/experiment.hh"
+#include "serve/serving.hh"
+#include "workload/spec_suite.hh"
+#include "workload/synthetic.hh"
+
+namespace aapm
+{
+namespace
+{
+
+/** The ladder used throughout: C1 (6 us break-even) and C6 (450 us). */
+const char *kLadderSpec = "C1:0.4W:2us;C6:0.05W:150us";
+
+CStateLadder
+testLadder()
+{
+    return CStateLadder::parse(kLadderSpec, "test ladder");
+}
+
+// --- ladder parsing ----------------------------------------------------
+
+TEST(CStateLadderSpec, DefaultIsC0Only)
+{
+    const CStateLadder ladder;
+    EXPECT_EQ(ladder.size(), 1u);
+    EXPECT_TRUE(ladder.trivial());
+    EXPECT_FALSE(ladder.hasDeepStates());
+    EXPECT_EQ(ladder[0].name, "C0");
+    EXPECT_DOUBLE_EQ(ladder[0].powerW, 0.0);
+    EXPECT_EQ(ladder[0].exitLatency, 0u);
+    EXPECT_TRUE(ladder.spec().empty());
+    // Nothing to sleep into, no matter the prediction.
+    EXPECT_EQ(ladder.deepestFor(secondsToTicks(100.0)), 0u);
+    // An empty spec round-trips to the same C0-only ladder.
+    EXPECT_TRUE(CStateLadder::parse("", "t").trivial());
+}
+
+TEST(CStateLadderSpec, ParseAndRoundTrip)
+{
+    const CStateLadder ladder = testLadder();
+    ASSERT_EQ(ladder.size(), 3u);
+    EXPECT_TRUE(ladder.hasDeepStates());
+    EXPECT_EQ(ladder[0].name, "C0");
+    EXPECT_EQ(ladder[1].name, "C1");
+    EXPECT_EQ(ladder[2].name, "C6");
+    EXPECT_DOUBLE_EQ(ladder[1].powerW, 0.4);
+    EXPECT_DOUBLE_EQ(ladder[2].powerW, 0.05);
+    EXPECT_EQ(ladder[1].exitLatency, 2 * TicksPerUs);
+    EXPECT_EQ(ladder[2].exitLatency, 150 * TicksPerUs);
+    // Default residency: the 3x rule of thumb.
+    EXPECT_EQ(ladder[1].targetResidency, 6 * TicksPerUs);
+    EXPECT_EQ(ladder[2].targetResidency, 450 * TicksPerUs);
+
+    // The canonical spec reparses to an identical ladder.
+    const CStateLadder again =
+        CStateLadder::parse(ladder.spec(), "round-trip");
+    ASSERT_EQ(again.size(), ladder.size());
+    for (size_t i = 0; i < ladder.size(); ++i) {
+        EXPECT_EQ(again[i].name, ladder[i].name) << i;
+        EXPECT_DOUBLE_EQ(again[i].powerW, ladder[i].powerW) << i;
+        EXPECT_EQ(again[i].exitLatency, ladder[i].exitLatency) << i;
+        EXPECT_EQ(again[i].targetResidency,
+                  ladder[i].targetResidency) << i;
+    }
+    EXPECT_EQ(again.spec(), ladder.spec());
+}
+
+TEST(CStateLadderSpec, ExplicitResidencyAndUnits)
+{
+    const CStateLadder ladder =
+        CStateLadder::parse("C1:0.5:800ns:10us;C3:0.1W:1ms", "t");
+    ASSERT_EQ(ladder.size(), 3u);
+    EXPECT_EQ(ladder[1].exitLatency, 800 * TicksPerNs);
+    EXPECT_EQ(ladder[1].targetResidency, 10 * TicksPerUs);
+    EXPECT_EQ(ladder[2].exitLatency, TicksPerMs);
+    EXPECT_EQ(ladder[2].targetResidency, 3 * TicksPerMs);
+}
+
+TEST(CStateLadderSpec, DeepestForHonorsBreakEven)
+{
+    const CStateLadder ladder = testLadder();
+    EXPECT_EQ(ladder.deepestFor(0), 0u);
+    EXPECT_EQ(ladder.deepestFor(5 * TicksPerUs), 0u);
+    EXPECT_EQ(ladder.deepestFor(6 * TicksPerUs), 1u);
+    EXPECT_EQ(ladder.deepestFor(449 * TicksPerUs), 1u);
+    EXPECT_EQ(ladder.deepestFor(450 * TicksPerUs), 2u);
+    EXPECT_EQ(ladder.deepestFor(secondsToTicks(1.0)), 2u);
+}
+
+TEST(CStateLadderSpec, RejectsMalformedSpecs)
+{
+    auto parse = [](const char *s) {
+        return CStateLadder::parse(s, "t");
+    };
+    EXPECT_THROW(parse("garbage"), std::runtime_error);
+    EXPECT_THROW(parse("C1:0.4W"), std::runtime_error);
+    EXPECT_THROW(parse("C1:0.4W:2us:6us:9"), std::runtime_error);
+    EXPECT_THROW(parse(":0.4W:2us"), std::runtime_error);
+    // Durations need a unit suffix; bare numbers are ambiguous.
+    EXPECT_THROW(parse("C1:0.4W:2"), std::runtime_error);
+    EXPECT_THROW(parse("C1:0.4W:0us"), std::runtime_error);
+    EXPECT_THROW(parse("C1:-0.4W:2us"), std::runtime_error);
+    EXPECT_THROW(parse("C1:nanW:2us"), std::runtime_error);
+    // Residency below the exit latency can never break even.
+    EXPECT_THROW(parse("C1:0.4W:10us:5us"), std::runtime_error);
+    // Depth ordering: power strictly down, latency strictly up.
+    EXPECT_THROW(parse("C1:0.4W:2us;C2:0.4W:10us"),
+                 std::runtime_error);
+    EXPECT_THROW(parse("C1:0.4W:2us;C2:0.1W:2us"), std::runtime_error);
+    EXPECT_THROW(parse("C1:0.4W:2us;C1:0.1W:10us"),
+                 std::runtime_error);
+    EXPECT_THROW(parse("C1:0.4W:2us;;C6:0.05W:150us"),
+                 std::runtime_error);
+}
+
+// --- the menu rule -----------------------------------------------------
+
+TEST(MenuRule, DeepensWithTheRunInProgress)
+{
+    const CStateLadder ladder = testLadder();
+    const IdleConfig config;
+    double ewma = NAN, run = 0.0, predicted = 0.0;
+
+    MonitorSample idle;
+    idle.utilization = 0.0;
+    idle.intervalSeconds = 10e-6;   // 10 us per interval
+    MonitorSample busy;
+    busy.utilization = 1.0;
+    busy.intervalSeconds = 10e-6;
+
+    // With no history the run in progress is the prediction: 10 us
+    // clears C1's 6 us break-even but not C6's 450 us.
+    size_t state = menuCStateStep(idle, 0, ladder, config, &ewma, &run,
+                                  &predicted);
+    EXPECT_EQ(state, 1u);
+    EXPECT_DOUBLE_EQ(predicted, 10e-6);
+
+    // A long-running idle period deepens as its lower bound grows.
+    for (int i = 0; i < 60; ++i)
+        state = menuCStateStep(idle, state, ladder, config, &ewma,
+                               &run, &predicted);
+    EXPECT_EQ(state, 2u);
+    EXPECT_GE(predicted, 450e-6);
+
+    // A busy interval wakes the core and folds the completed run into
+    // the EWMA history.
+    state = menuCStateStep(busy, state, ladder, config, &ewma, &run,
+                           &predicted);
+    EXPECT_EQ(state, 0u);
+    EXPECT_DOUBLE_EQ(run, 0.0);
+    EXPECT_NEAR(ewma, 61 * 10e-6, 1e-9);
+}
+
+TEST(MenuRule, NeverDemotesASleepingCore)
+{
+    const CStateLadder ladder = testLadder();
+    const IdleConfig config;
+    double ewma = NAN, run = 0.0, predicted = 0.0;
+
+    MonitorSample idle;
+    idle.utilization = 0.0;
+    idle.intervalSeconds = 10e-6;
+
+    // Prediction only justifies C1, but the core already paid C6's
+    // entry: waking just to demote would charge the exit latency for
+    // nothing.
+    EXPECT_EQ(menuCStateStep(idle, 2, ladder, config, &ewma, &run,
+                             &predicted),
+              2u);
+}
+
+// --- governor units ----------------------------------------------------
+
+class IdleGovernorTest : public ::testing::Test
+{
+  protected:
+    static const PlatformConfig &
+    config()
+    {
+        static const PlatformConfig c;
+        return c;
+    }
+
+    static const PowerEstimator &
+    powerModel()
+    {
+        static const TrainedModels m = trainModels(config());
+        static const PowerEstimator p =
+            m.powerEstimator(config().pstates);
+        return p;
+    }
+
+    static std::unique_ptr<PerformanceMaximizer>
+    makePm(double limitW = 20.0)
+    {
+        return std::make_unique<PerformanceMaximizer>(
+            powerModel(), PmConfig{.powerLimitW = limitW});
+    }
+};
+
+TEST_F(IdleGovernorTest, DecoratorWakesBusySleepsIdle)
+{
+    IdleGovernor gov(makePm(), testLadder());
+    EXPECT_STREQ(gov.name(), "PM+idle");
+
+    MonitorSample busy;
+    busy.utilization = 1.0;
+    busy.intervalSeconds = 0.01;
+    EXPECT_EQ(gov.decideCState(busy, 0), 0u);
+
+    // One full 10 ms idle interval dwarfs every break-even residency.
+    MonitorSample idle;
+    idle.utilization = 0.0;
+    idle.intervalSeconds = 0.01;
+    EXPECT_EQ(gov.decideCState(idle, 0), 2u);
+    EXPECT_DOUBLE_EQ(gov.predictedIdleS(), 0.01);
+
+    gov.reset();
+    EXPECT_DOUBLE_EQ(gov.predictedIdleS(), 0.0);
+}
+
+TEST_F(IdleGovernorTest, SupervisorForwardsHealthyForcesAwakeBlind)
+{
+    auto idleGov =
+        std::make_unique<IdleGovernor>(makePm(), testLadder());
+    // No divergence watchdog (null model): the test drives the
+    // fallback through counter staleness alone.
+    GovernorSupervisor sup(std::move(idleGov), SupervisorConfig(),
+                           nullptr);
+
+    MonitorSample idle;
+    idle.utilization = 0.0;
+    idle.intervalSeconds = 0.01;
+    // Healthy supervisor forwards the menu's pick.
+    EXPECT_EQ(sup.decideCState(idle, 0), 2u);
+
+    // Establish good counter readings, then go dark past the
+    // staleness budget: the supervisor turns blind and enters its
+    // fallback. While degraded it must keep the core awake — a
+    // sleeping core produces no counters to recover with.
+    MonitorSample good;
+    good.intervalSeconds = 0.01;
+    good.ipc = 1.0;
+    good.dpc = 1.2;
+    good.dcuPerCycle = 0.05;
+    good.measuredPowerW = 10.0;
+    good.utilization = 1.0;
+    sup.decide(good, 0);
+    MonitorSample dark = good;
+    dark.ipc = NAN;
+    dark.dpc = NAN;
+    dark.dcuPerCycle = NAN;
+    for (int i = 0; i < 10; ++i)
+        sup.decide(dark, 0);
+    EXPECT_EQ(sup.decideCState(idle, 0), 0u);
+}
+
+// --- platform integration ----------------------------------------------
+
+class IdlePlatformTest : public ::testing::Test
+{
+  protected:
+    static const PlatformConfig &
+    config()
+    {
+        static const PlatformConfig c;
+        return c;
+    }
+
+    static const PowerEstimator &
+    powerModel()
+    {
+        static const TrainedModels m = trainModels(config());
+        static const PowerEstimator p =
+            m.powerEstimator(config().pstates);
+        return p;
+    }
+
+    /** 30% duty cycle: 15 ms of gzip then 35 ms idle, times eight. */
+    static const Workload &
+    dutyWorkload()
+    {
+        static const Workload w = dutyCycledWorkload(
+            "duty30", specWorkload("gzip", config().core, 1.0)
+                          .phases()[0],
+            0.3, 0.05, 0.4, config().core);
+        return w;
+    }
+
+    static RunResult
+    runWith(const CStateLadder &ladder, bool idle_wrap,
+            const FaultPlan &plan = FaultPlan{})
+    {
+        PlatformConfig cfg = config();
+        cfg.cstates = ladder;
+        Platform platform(cfg);
+        RunOptions opts;
+        opts.faultPlan = plan;
+        auto pm = std::make_unique<PerformanceMaximizer>(
+            powerModel(), PmConfig{.powerLimitW = 20.0});
+        if (!idle_wrap)
+            return platform.run(dutyWorkload(), *pm, opts);
+        IdleGovernor gov(std::move(pm), ladder);
+        return platform.run(dutyWorkload(), gov, opts);
+    }
+};
+
+TEST_F(IdlePlatformTest, UnusedDeepLadderIsBitIdentical)
+{
+    // The inertness contract from the other side: a deep ladder under
+    // a governor that never asks to sleep (plain PM's decideCState is
+    // always C0) must not perturb a single bit of the run.
+    const RunResult base = runWith(CStateLadder(), false);
+    const RunResult armed = runWith(testLadder(), false);
+
+    EXPECT_EQ(base.instructions, armed.instructions);
+    EXPECT_DOUBLE_EQ(base.seconds, armed.seconds);
+    EXPECT_DOUBLE_EQ(base.trueEnergyJ, armed.trueEnergyJ);
+    EXPECT_DOUBLE_EQ(base.measuredEnergyJ, armed.measuredEnergyJ);
+    EXPECT_DOUBLE_EQ(base.finalTempC, armed.finalTempC);
+    EXPECT_EQ(base.dvfs.transitions, armed.dvfs.transitions);
+    EXPECT_EQ(base.dvfs.stallTicks, armed.dvfs.stallTicks);
+    EXPECT_EQ(armed.idle.wakeups, 0u);
+    EXPECT_DOUBLE_EQ(armed.idle.sleepSeconds, 0.0);
+    ASSERT_EQ(base.trace.samples().size(), armed.trace.samples().size());
+    for (size_t i = 0; i < base.trace.samples().size(); ++i) {
+        EXPECT_DOUBLE_EQ(base.trace.samples()[i].trueW,
+                         armed.trace.samples()[i].trueW) << i;
+    }
+}
+
+TEST_F(IdlePlatformTest, SleepsThroughIdlePhasesAndSavesEnergy)
+{
+    const RunResult awake = runWith(CStateLadder(), false);
+    const RunResult slept = runWith(testLadder(), true);
+
+    EXPECT_TRUE(slept.finished);
+    EXPECT_EQ(slept.instructions, awake.instructions);
+    EXPECT_GT(slept.idle.wakeups, 0u);
+    EXPECT_EQ(slept.idle.deniedWakeups, 0u);
+    EXPECT_GT(slept.idle.sleepSeconds, 0.05);
+    EXPECT_GT(slept.idle.sleepEnergyJ, 0.0);
+
+    // Residency bookkeeping: per-state time sums to the total, C0's
+    // slot stays zero, and some of it is deep (the 35 ms idle gaps
+    // clear C6's 450 us break-even easily).
+    ASSERT_EQ(slept.idle.residencySeconds.size(), 3u);
+    EXPECT_DOUBLE_EQ(slept.idle.residencySeconds[0], 0.0);
+    EXPECT_NEAR(slept.idle.residencySeconds[1] +
+                    slept.idle.residencySeconds[2],
+                slept.idle.sleepSeconds, 1e-9);
+    EXPECT_GT(slept.idle.residencySeconds[2], 0.0);
+
+    // Sleeping the idle gaps at retention power beats idling at C0.
+    EXPECT_LT(slept.trueEnergyJ, awake.trueEnergyJ);
+}
+
+TEST_F(IdlePlatformTest, SleepRunsAreReproducible)
+{
+    const RunResult a = runWith(testLadder(), true);
+    const RunResult b = runWith(testLadder(), true);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_DOUBLE_EQ(a.trueEnergyJ, b.trueEnergyJ);
+    EXPECT_EQ(a.idle.wakeups, b.idle.wakeups);
+    EXPECT_DOUBLE_EQ(a.idle.sleepSeconds, b.idle.sleepSeconds);
+}
+
+TEST_F(IdlePlatformTest, RaceSleepsOnDutyCycledWork)
+{
+    PlatformConfig cfg = config();
+    cfg.cstates = testLadder();
+    Platform platform(cfg);
+    RaceToIdleGovernor race(powerModel(), testLadder(),
+                            PmConfig{.powerLimitW = 20.0});
+    const RunResult r = platform.run(dutyWorkload(), race);
+    EXPECT_TRUE(r.finished);
+    EXPECT_GT(r.idle.sleepSeconds, 0.0);
+    EXPECT_GT(r.idle.wakeups, 0u);
+}
+
+TEST_F(IdlePlatformTest, RaceDegeneratesToPmOnTrivialLadder)
+{
+    // With no sleep state to reclaim time into, crawling can never
+    // win: RACE must match plain PM bit for bit.
+    const Workload w = specWorkload("ammp", config().core, 0.5);
+    Platform platform(config());
+    PerformanceMaximizer pm(powerModel(),
+                            PmConfig{.powerLimitW = 20.0});
+    const RunResult base = platform.run(w, pm);
+    RaceToIdleGovernor race(powerModel(), CStateLadder(),
+                            PmConfig{.powerLimitW = 20.0});
+    const RunResult raced = platform.run(w, race);
+    EXPECT_EQ(base.instructions, raced.instructions);
+    EXPECT_DOUBLE_EQ(base.seconds, raced.seconds);
+    EXPECT_DOUBLE_EQ(base.trueEnergyJ, raced.trueEnergyJ);
+    EXPECT_EQ(base.dvfs.transitions, raced.dvfs.transitions);
+    EXPECT_FALSE(race.crawling());
+}
+
+// --- wakeup-path faults ------------------------------------------------
+
+TEST_F(IdlePlatformTest, InertWakePlanIsBitIdentical)
+{
+    // Wake faults armed at certainty — but on a platform that never
+    // sleeps there is no wake path to fault, and the armed injector
+    // must not perturb anything.
+    FaultPlan wake;
+    wake.wakeStuckProb = 1.0;
+    wake.wakeSlowProb = 1.0;
+    ASSERT_TRUE(wake.active());
+
+    const RunResult clean = runWith(CStateLadder(), false);
+    const RunResult armed = runWith(CStateLadder(), false, wake);
+    EXPECT_EQ(clean.instructions, armed.instructions);
+    EXPECT_DOUBLE_EQ(clean.seconds, armed.seconds);
+    EXPECT_DOUBLE_EQ(clean.trueEnergyJ, armed.trueEnergyJ);
+    EXPECT_DOUBLE_EQ(clean.measuredEnergyJ, armed.measuredEnergyJ);
+    EXPECT_EQ(clean.dvfs.transitions, armed.dvfs.transitions);
+    EXPECT_EQ(clean.dvfs.stallTicks, armed.dvfs.stallTicks);
+    EXPECT_EQ(armed.recovery.faultsSeen(), 0u);
+    EXPECT_EQ(armed.idle.deniedWakeups, 0u);
+}
+
+TEST_F(IdlePlatformTest, StuckWakeupsDenyAndDelay)
+{
+    // Deterministic stuck windows: each arms mid-way through an idle
+    // gap (the duty cycle sleeps 15 ms -> 50 ms of every period) and
+    // spans the next busy phase's arrival, so the wake attempts at
+    // 50 ms are denied until the window expires.
+    FaultPlan plan;
+    plan.scheduled.push_back(
+        {secondsToTicks(0.02), ScheduledFault::Kind::WakeStuck, 6});
+    plan.scheduled.push_back(
+        {secondsToTicks(0.12), ScheduledFault::Kind::WakeStuck, 6});
+
+    const RunResult clean = runWith(testLadder(), true);
+    const RunResult stuck = runWith(testLadder(), true, plan);
+
+    EXPECT_GT(stuck.idle.deniedWakeups, 0u);
+    EXPECT_GT(stuck.recovery.wakeStuckDenied, 0u);
+    EXPECT_EQ(stuck.recovery.wakeStuckDenied,
+              stuck.idle.deniedWakeups);
+    // Work waits while the core is pinned asleep.
+    EXPECT_GT(stuck.seconds, clean.seconds);
+    EXPECT_EQ(stuck.instructions, clean.instructions);
+
+    // Same plan, same seed: the fault stream is reproducible.
+    const RunResult again = runWith(testLadder(), true, plan);
+    EXPECT_EQ(stuck.idle.deniedWakeups, again.idle.deniedWakeups);
+    EXPECT_DOUBLE_EQ(stuck.trueEnergyJ, again.trueEnergyJ);
+}
+
+TEST_F(IdlePlatformTest, SlowWakeupsSpikeTheExitLatency)
+{
+    FaultPlan plan;
+    plan.wakeSlowProb = 1.0;
+    plan.wakeSlowFactor = 64.0;
+
+    const RunResult clean = runWith(testLadder(), true);
+    const RunResult slow = runWith(testLadder(), true, plan);
+
+    EXPECT_GT(slow.recovery.wakeSlowSpikes, 0u);
+    EXPECT_EQ(slow.idle.deniedWakeups, 0u);
+    // Inflated exit latencies stretch the run, never lose work.
+    EXPECT_GE(slow.seconds, clean.seconds);
+    EXPECT_EQ(slow.instructions, clean.instructions);
+}
+
+// --- cluster integration -----------------------------------------------
+
+class IdleClusterTest : public ::testing::Test
+{
+  protected:
+    static const PlatformConfig &
+    config()
+    {
+        static const PlatformConfig c;
+        return c;
+    }
+
+    static const PowerEstimator &
+    powerModel()
+    {
+        static const TrainedModels m = trainModels(config());
+        static const PowerEstimator p =
+            m.powerEstimator(config().pstates);
+        return p;
+    }
+
+    static ClusterCoreConfig
+    makeCore(const Workload *w, const CStateLadder &ladder)
+    {
+        ClusterCoreConfig core;
+        core.platform = config();
+        core.platform.cstates = ladder;
+        core.workload = w;
+        core.governor = [ladder] {
+            return std::make_unique<IdleGovernor>(
+                std::make_unique<PerformanceMaximizer>(
+                    powerModel(), PmConfig{.powerLimitW = 100.0}),
+                ladder);
+        };
+        core.powerModel = &powerModel();
+        return core;
+    }
+};
+
+TEST_F(IdleClusterTest, SleepingCoresDeterministicAcrossPoolWidths)
+{
+    const CStateLadder ladder = testLadder();
+    const Workload busy = specWorkload("ammp", config().core, 0.4);
+    const Workload duty = dutyCycledWorkload(
+        "duty30", specWorkload("gzip", config().core, 1.0).phases()[0],
+        0.3, 0.05, 0.4, config().core);
+
+    ClusterConfig cc;
+    cc.cores.push_back(makeCore(&busy, ladder));
+    cc.cores.push_back(makeCore(&duty, ladder));
+    cc.cores.push_back(makeCore(&duty, ladder));
+    cc.budgetW = 45.0;
+    cc.recordTrace = false;
+
+    ClusterPlatform cluster(cc);
+    UniformAllocator uniform;
+    const ClusterResult serial = cluster.run(uniform, nullptr);
+
+    ASSERT_EQ(serial.cores.size(), 3u);
+    // The duty-cycled cores sleep; the busy core never does.
+    EXPECT_DOUBLE_EQ(serial.cores[0].idle.sleepSeconds, 0.0);
+    EXPECT_GT(serial.cores[1].idle.sleepSeconds, 0.05);
+    EXPECT_GT(serial.cores[2].idle.sleepSeconds, 0.05);
+
+    // Sleep masking happens in the serial allocation phase, so the
+    // result must not depend on how intervals fan out on a pool.
+    ThreadPool pool(3);
+    const ClusterResult pooled = cluster.run(uniform, &pool);
+    for (size_t i = 0; i < serial.cores.size(); ++i) {
+        EXPECT_EQ(serial.cores[i].instructions,
+                  pooled.cores[i].instructions) << i;
+        EXPECT_DOUBLE_EQ(serial.cores[i].trueEnergyJ,
+                         pooled.cores[i].trueEnergyJ) << i;
+        EXPECT_EQ(serial.cores[i].idle.wakeups,
+                  pooled.cores[i].idle.wakeups) << i;
+        EXPECT_DOUBLE_EQ(serial.cores[i].idle.sleepSeconds,
+                         pooled.cores[i].idle.sleepSeconds) << i;
+    }
+}
+
+TEST_F(IdleClusterTest, WakeStormTripsTheQuarantine)
+{
+    const CStateLadder ladder = testLadder();
+    const Workload duty = dutyCycledWorkload(
+        "duty30", specWorkload("gzip", config().core, 1.0).phases()[0],
+        0.3, 0.05, 0.4, config().core);
+
+    ClusterConfig cc;
+    for (int i = 0; i < 2; ++i) {
+        cc.cores.push_back(makeCore(&duty, ladder));
+        // A probability-1 stuck fault re-arms on every attempt, so
+        // core 1 never wakes again: bound the run by wall-clock.
+        cc.cores.back().options.maxTime = secondsToTicks(1.0);
+    }
+    // Core 1's wake path is broken: every wake attempt starts a long
+    // stuck window, so its denied-wakeup counter climbs interval after
+    // interval.
+    cc.cores[1].options.faultPlan.wakeStuckProb = 1.0;
+    cc.cores[1].options.faultPlan.wakeStuckIntervals = 12;
+    cc.budgetW = 30.0;
+    cc.recordTrace = false;
+
+    ClusterSupervisorConfig scfg;
+    scfg.quarantineAfter = 2;
+    ClusterSupervisor sup(scfg);
+    cc.supervisor = &sup;
+
+    ClusterPlatform cluster(cc);
+    UniformAllocator uniform;
+    const ClusterResult r = cluster.run(uniform, nullptr);
+
+    EXPECT_GT(r.cores[1].idle.deniedWakeups, 0u);
+    EXPECT_GT(r.resilience.quarantineEntries, 0u);
+    EXPECT_GT(r.resilience.quarantineIntervals, 0u);
+}
+
+TEST(ClusterSupervisorWakeHealth, DeniedDeltasJoinTheBadSignal)
+{
+    ClusterSupervisorConfig cfg;
+    cfg.quarantineAfter = 2;
+    ClusterSupervisor sup(cfg);
+    sup.beginRun(2, 1);
+
+    auto demand = [](uint64_t denied) {
+        CoreDemand d;
+        d.active = true;
+        d.sampled = true;
+        d.sample.measuredPowerW = 8.0;
+        d.deniedWakeups = denied;
+        return d;
+    };
+
+    // Core 1's denials keep climbing: bad every interval, quarantined
+    // at the threshold. Core 0 never denies and never trips.
+    std::vector<CoreDemand> demands = {demand(0), demand(1)};
+    sup.observe(1, demands);
+    EXPECT_FALSE(sup.quarantined(1));
+    demands[1] = demand(2);
+    sup.observe(2, demands);
+    EXPECT_TRUE(sup.quarantined(1));
+    EXPECT_FALSE(sup.quarantined(0));
+    EXPECT_EQ(sup.stats().quarantineEntries, 1u);
+}
+
+TEST(ClusterSupervisorWakeHealth, StaleDenialCountIsHealthy)
+{
+    // A historical denial total that stopped moving is not a health
+    // problem: only the per-interval delta counts.
+    ClusterSupervisorConfig cfg;
+    cfg.quarantineAfter = 2;
+    ClusterSupervisor sup(cfg);
+    sup.beginRun(1, 1);
+
+    CoreDemand d;
+    d.active = true;
+    d.sampled = true;
+    d.sample.measuredPowerW = 8.0;
+    d.deniedWakeups = 5;
+    std::vector<CoreDemand> demands = {d};
+    // First observation sees the jump 0 -> 5 (bad); after that the
+    // count is stale and the core reads healthy forever.
+    for (Tick t = 1; t <= 6; ++t)
+        sup.observe(t, demands);
+    EXPECT_FALSE(sup.quarantined(0));
+    EXPECT_EQ(sup.stats().quarantineEntries, 0u);
+}
+
+// --- serving integration -----------------------------------------------
+
+TEST_F(IdleClusterTest, ServingSleepsBetweenRequests)
+{
+    const CStateLadder ladder = testLadder();
+    ClusterConfig cc;
+    for (int i = 0; i < 4; ++i)
+        cc.cores.push_back(makeCore(nullptr, ladder));
+    cc.budgetW = 60.0;
+    cc.recordTrace = false;
+
+    ServingConfig s;
+    s.traffic.rateRps = 120.0;
+    s.traffic.seed = 11;
+    s.horizonS = 0.3;
+    s.sloS = 0.05;
+
+    UniformAllocator uniform;
+    const ServingResult serial = runServing(cc, s, uniform, nullptr);
+
+    EXPECT_EQ(serial.offered,
+              serial.completed + serial.dropped + serial.unfinished);
+    EXPECT_EQ(serial.unfinished, 0u);
+    double sleepS = 0.0;
+    uint64_t wakeups = 0;
+    for (const RunResult &core : serial.cluster.cores) {
+        sleepS += core.idle.sleepSeconds;
+        wakeups += core.idle.wakeups;
+    }
+    EXPECT_GT(sleepS, 0.0);
+    EXPECT_GT(wakeups, 0u);
+    // Sleeping cores still meet a light load's SLO comfortably.
+    EXPECT_LT(serial.sloViolationFrac, 0.5);
+
+    // And the whole sleep-aware serving path stays bit-identical
+    // across thread-pool widths.
+    ThreadPool pool(3);
+    const ServingResult pooled = runServing(cc, s, uniform, &pool);
+    EXPECT_EQ(serial.offered, pooled.offered);
+    EXPECT_EQ(serial.completed, pooled.completed);
+    EXPECT_DOUBLE_EQ(serial.p99S, pooled.p99S);
+    EXPECT_DOUBLE_EQ(serial.cluster.trueEnergyJ,
+                     pooled.cluster.trueEnergyJ);
+    ASSERT_EQ(serial.requests.size(), pooled.requests.size());
+    for (size_t i = 0; i < serial.requests.size(); ++i) {
+        EXPECT_EQ(serial.requests[i].complete,
+                  pooled.requests[i].complete) << i;
+    }
+}
+
+} // namespace
+} // namespace aapm

@@ -265,6 +265,8 @@ expectRecordsEqual(const IntervalRecord &a, const IntervalRecord &b,
     EXPECT_EQ(a.fallback, b.fallback);
     EXPECT_EQ(a.blind, b.blind);
     EXPECT_EQ(a.substitutions, b.substitutions);
+    EXPECT_TRUE(sameDouble(a.idleS, b.idleS));
+    EXPECT_EQ(a.cstate, b.cstate);
 }
 
 /** Run `w` under a fresh PM and capture every interval in memory. */
@@ -283,11 +285,13 @@ tracedPmRun(Platform &platform, const Workload &w, VectorTraceSink &vec,
 TEST(Trace, SchemaIsStable)
 {
     const auto &names = traceFieldNames();
-    ASSERT_EQ(names.size(), 27u);
+    ASSERT_EQ(names.size(), 29u);
     EXPECT_EQ(names.front(), "i");
     EXPECT_EQ(names[1], "t_tick");
     EXPECT_EQ(names[16], "pred_valid");
-    EXPECT_EQ(names.back(), "substitutions");
+    EXPECT_EQ(names[26], "substitutions");
+    EXPECT_EQ(names[27], "idle_s");
+    EXPECT_EQ(names.back(), "cstate");
 }
 
 TEST(Trace, RunIsBitIdenticalWithTracingOnAndOff)

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -183,6 +184,47 @@ TEST(Traffic, RejectsBadConfigs)
                  std::runtime_error);
 }
 
+TEST(Traffic, RejectsNonFiniteConfigs)
+{
+    // Regression: NaN fails every `>` comparison, so a plain
+    // `rate <= 0` guard let NaN through — and a NaN rate makes every
+    // exponential gap NaN, which silently generates zero requests.
+    // Library callers bypass the CLI's parseStrictDouble, so the
+    // constructor itself must reject non-finite parameters.
+    TrafficConfig tc;
+    tc.rateRps = std::nan("");
+    EXPECT_THROW(TrafficGenerator(tc, defaultRequestMix()),
+                 std::runtime_error);
+    tc.rateRps = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(TrafficGenerator(tc, defaultRequestMix()),
+                 std::runtime_error);
+
+    tc = TrafficConfig();
+    auto mix = defaultRequestMix();
+    mix[0].weight = std::nan("");
+    EXPECT_THROW(TrafficGenerator(tc, mix), std::runtime_error);
+
+    tc = TrafficConfig();
+    tc.process = ArrivalProcess::Diurnal;
+    tc.diurnalPeriodS = std::nan("");
+    EXPECT_THROW(TrafficGenerator(tc, defaultRequestMix()),
+                 std::runtime_error);
+
+    tc = TrafficConfig();
+    tc.process = ArrivalProcess::Bursty;
+    tc.burstMeanS = std::nan("");
+    EXPECT_THROW(TrafficGenerator(tc, defaultRequestMix()),
+                 std::runtime_error);
+    tc.burstMeanS = 0.05;
+    tc.calmMeanS = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(TrafficGenerator(tc, defaultRequestMix()),
+                 std::runtime_error);
+    tc.calmMeanS = 0.25;
+    tc.burstRateMultiplier = std::nan("");
+    EXPECT_THROW(TrafficGenerator(tc, defaultRequestMix()),
+                 std::runtime_error);
+}
+
 // --- streaming cursor ---------------------------------------------------
 
 TEST(StreamingCursor, ConsumesSegmentsFifo)
@@ -241,6 +283,76 @@ TEST(StreamingCursor, GuardsMisuse)
     streaming.reset();
     EXPECT_TRUE(streaming.done());
     EXPECT_EQ(streaming.queuedInstructions(), 0u);
+}
+
+TEST(StreamingCursor, SingleInstructionBursts)
+{
+    // The degenerate burst: many one-instruction segments. Every
+    // retire(1) crosses a segment boundary, so boundary bookkeeping
+    // runs at its maximum rate.
+    Workload menu("menu", 1);
+    Phase a = defaultRequestMix()[0].phase;
+    a.instructions = 1000;
+    Phase b = defaultRequestMix()[1].phase;
+    b.instructions = 1000;
+    menu.add(a).add(b);
+
+    WorkloadCursor cursor(menu);
+    cursor.enableStreaming();
+    const size_t n = 200;
+    for (size_t i = 0; i < n; ++i)
+        cursor.pushSegment(i % 2, 1);
+    EXPECT_EQ(cursor.queuedInstructions(), n);
+    EXPECT_EQ(cursor.queuedSegments(), n);
+
+    for (size_t i = 0; i < n; ++i) {
+        ASSERT_FALSE(cursor.done()) << i;
+        EXPECT_EQ(cursor.phaseIndex(), i % 2) << i;
+        EXPECT_EQ(cursor.remainingInPhase(), 1u) << i;
+        cursor.retire(1);
+    }
+    EXPECT_TRUE(cursor.done());
+    EXPECT_EQ(cursor.retired(), n);
+    EXPECT_EQ(cursor.queuedInstructions(), 0u);
+}
+
+TEST(StreamingCursor, BackToBackBoundariesWithinOneDrain)
+{
+    // Segments of the same phase queued back to back stay distinct:
+    // remainingInPhase() is bounded by the front segment, and an exact
+    // front-sized retire pops straight into the next one.
+    Workload menu("menu", 1);
+    Phase a = defaultRequestMix()[0].phase;
+    a.instructions = 1000;
+    menu.add(a);
+
+    WorkloadCursor cursor(menu);
+    cursor.enableStreaming();
+    cursor.pushSegment(0, 100);
+    cursor.pushSegment(0, 50);
+    cursor.pushSegment(0, 25);
+
+    EXPECT_EQ(cursor.remainingInPhase(), 100u);
+    // A retire can never straddle a segment boundary.
+    EXPECT_THROW(cursor.retire(101), std::logic_error);
+    cursor.retire(100);
+    EXPECT_EQ(cursor.remainingInPhase(), 50u);
+    EXPECT_EQ(cursor.queuedSegments(), 2u);
+    cursor.retire(50);
+    EXPECT_EQ(cursor.remainingInPhase(), 25u);
+    // Partial retires inside the last segment accumulate correctly.
+    cursor.retire(24);
+    EXPECT_EQ(cursor.remainingInPhase(), 1u);
+    cursor.retire(1);
+    EXPECT_TRUE(cursor.done());
+    EXPECT_EQ(cursor.retired(), 175u);
+
+    // Refilling a drained cursor works; done() flips back.
+    cursor.pushSegment(0, 10);
+    EXPECT_FALSE(cursor.done());
+    cursor.retire(10);
+    EXPECT_TRUE(cursor.done());
+    EXPECT_EQ(cursor.retired(), 185u);
 }
 
 // --- end-to-end serving -------------------------------------------------
@@ -456,7 +568,88 @@ TEST_F(ServeTest, RequestLogRoundTrips)
     EXPECT_EQ(lines, res.offered + 1);
     EXPECT_NE(last.find("\"aapm_requests_end\": 1"),
               std::string::npos);
+    // The trailer carries the per-class SLO breakdown.
+    EXPECT_NE(last.find("\"class_stats\": ["), std::string::npos);
+    EXPECT_NE(last.find("\"violation_frac\": "), std::string::npos);
     std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, ClassStatsPartitionTheAggregate)
+{
+    UniformAllocator uniform;
+    const ServingResult res =
+        runServing(makeCluster(4, 60.0), lightLoad(), uniform);
+    const auto mix = defaultRequestMix();
+
+    ASSERT_EQ(res.classes.size(), mix.size());
+    uint64_t offered = 0, completed = 0, dropped = 0;
+    for (size_t i = 0; i < res.classes.size(); ++i) {
+        const ClassSloStats &cls = res.classes[i];
+        EXPECT_EQ(cls.name, mix[i].name) << i;
+        offered += cls.offered;
+        completed += cls.completed;
+        dropped += cls.dropped;
+        EXPECT_GE(cls.violationFrac, 0.0) << i;
+        EXPECT_LE(cls.violationFrac, 1.0) << i;
+        if (cls.completed > 0) {
+            EXPECT_GT(cls.p50S, 0.0) << i;
+            EXPECT_LE(cls.p50S, cls.p99S) << i;
+        }
+    }
+    // The classes partition the aggregate counts exactly.
+    EXPECT_EQ(offered, res.offered);
+    EXPECT_EQ(completed, res.completed);
+    EXPECT_EQ(dropped, res.dropped);
+
+    // Cross-check one class against the raw request records.
+    uint64_t cls0 = 0;
+    for (const RequestRecord &rec : res.requests)
+        cls0 += rec.cls == 0 ? 1 : 0;
+    EXPECT_EQ(cls0, res.classes[0].offered);
+}
+
+TEST_F(ServeTest, RejectsNonFiniteServingConfig)
+{
+    UniformAllocator uniform;
+    ServingConfig s = lightLoad();
+    s.horizonS = std::nan("");
+    EXPECT_THROW(runServing(makeCluster(1, 16.0), s, uniform),
+                 std::runtime_error);
+    s = lightLoad();
+    s.sloS = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(runServing(makeCluster(1, 16.0), s, uniform),
+                 std::runtime_error);
+}
+
+TEST_F(ServeTest, TinyRequestsCompleteViaRetireWatermark)
+{
+    // Requests so short that many finish inside a single control
+    // interval: completions must come from the retire watermark, not
+    // from interval boundaries, and every arrival must be accounted.
+    ServingConfig s;
+    s.traffic.rateRps = 2000.0;
+    s.traffic.seed = 17;
+    s.horizonS = 0.2;
+    s.sloS = 0.05;
+    s.mix = parseRequestMix("cpu:1000:0.9,mem:100000:0.1");
+    UniformAllocator uniform;
+    const ServingResult res =
+        runServing(makeCluster(2, 30.0), s, uniform);
+
+    EXPECT_EQ(res.offered, res.completed + res.dropped + res.unfinished);
+    EXPECT_EQ(res.unfinished, 0u);
+    EXPECT_GT(res.completed, 100u);
+    for (const RequestRecord &rec : res.requests) {
+        if (rec.dropped)
+            continue;
+        EXPECT_GT(rec.complete, 0u);
+        // Completion interpolates within the interval, so latency is
+        // positive and tiny — well under one 10 ms control interval
+        // for most requests, never behind the arrival.
+        EXPECT_GE(rec.complete, rec.arrival);
+    }
+    EXPECT_GT(res.p50S, 0.0);
+    EXPECT_LT(res.p50S, 0.01);
 }
 
 TEST_F(ServeTest, ServingMenuShapesFollowTheMix)

@@ -44,6 +44,12 @@ cmdList()
     std::printf("  static   fixed p-state (needs --pstate)\n");
     std::printf("  dbs      demand-based switching baseline\n");
     std::printf("  thermal  predictive thermal cap (--tmax)\n");
+    std::printf("  race     race-to-idle: PM busy policy + "
+                "sprint-vs-crawl economics (--limit; needs "
+                "--c-states)\n");
+    std::printf("\nwith --c-states LADDER, any governor gains the "
+                "menu idle policy\n(race handles the idle axis "
+                "itself)\n");
     return 0;
 }
 
@@ -147,6 +153,11 @@ resolveGovernor(const CliOptions &opts, const PlatformConfig &config,
         cfg.ambientC = config.thermal.ambientC;
         return std::make_unique<ThermalCap>(power, cfg);
     }
+    if (gov == "race") {
+        return std::make_unique<RaceToIdleGovernor>(
+            power, config.cstates,
+            PmConfig{.powerLimitW = opts.num("limit")});
+    }
     aapm_fatal("unknown governor '%s' (try `aapm list`)", gov.c_str());
 }
 
@@ -172,6 +183,36 @@ maybeSupervise(const CliOptions &opts, std::unique_ptr<Governor> gov,
         std::move(gov), SupervisorConfig(), &power);
 }
 
+/**
+ * Layer the menu idle policy over a p-state governor when the ladder
+ * has deep states. RACE handles the idle axis itself; every other
+ * governor would otherwise never leave C0 (decideCState defaults to
+ * 0), making --c-states a silent no-op.
+ */
+std::unique_ptr<Governor>
+maybeIdleWrap(const CliOptions &opts, std::unique_ptr<Governor> gov,
+              const CStateLadder &ladder)
+{
+    if (!ladder.hasDeepStates() || opts.str("governor") == "race")
+        return gov;
+    return std::make_unique<IdleGovernor>(std::move(gov), ladder);
+}
+
+/** Resolve the c-state ladder: the --c-states flag beats the manifest
+ *  directive; both empty leaves the C0-only default (idle subsystem
+ *  inert, bit-identical to pre-idle runs). */
+CStateLadder
+resolveCStates(const CliOptions &opts, const std::string &manifestSpec)
+{
+    if (opts.has("c-states"))
+        return CStateLadder::parse(opts.str("c-states"),
+                                   "option --c-states");
+    if (!manifestSpec.empty())
+        return CStateLadder::parse(manifestSpec,
+                                   "manifest c-states directive");
+    return CStateLadder();
+}
+
 void
 printRecovery(const RecoveryTelemetry &t)
 {
@@ -191,6 +232,11 @@ printRecovery(const RecoveryTelemetry &t)
                 u(t.dvfsStuckDenied), u(t.dvfsLatencySpikes));
     std::printf("          sensor %llu drops, %llu clamped inputs\n",
                 u(t.sensorDrops), u(t.sensorClamped));
+    if (t.wakeStuckDenied > 0 || t.wakeSlowSpikes > 0) {
+        std::printf("          wake %llu stuck-denied, %llu slow "
+                    "spikes\n", u(t.wakeStuckDenied),
+                    u(t.wakeSlowSpikes));
+    }
     std::printf("recovery  %llu substitutions (%llu stale-outs), "
                 "%llu dvfs retries, %llu fallbacks "
                 "(%llu degraded intervals)\n",
@@ -206,23 +252,32 @@ printRecovery(const RecoveryTelemetry &t)
  */
 GovernorFactory
 clusterGovernorFactory(const CliOptions &opts,
-                       const PowerEstimator &power, double placeholderW)
+                       const PowerEstimator &power, double placeholderW,
+                       const CStateLadder &ladder)
 {
     const std::string gov = opts.str("governor");
-    if (gov != "pm" && gov != "pm-f" && gov != "pm-a") {
+    if (gov != "pm" && gov != "pm-f" && gov != "pm-a" &&
+        gov != "race") {
         aapm_fatal("cluster mode needs a power-capped governor "
-                   "(pm, pm-f or pm-a), not '%s'", gov.c_str());
+                   "(pm, pm-f, pm-a or race), not '%s'", gov.c_str());
     }
     const bool supervise = opts.flag("supervise");
-    return [gov, supervise, &power, placeholderW] {
+    return [gov, supervise, &power, placeholderW, ladder] {
         std::unique_ptr<Governor> g;
         const PmConfig cfg{.powerLimitW = placeholderW};
         if (gov == "pm")
             g = std::make_unique<PerformanceMaximizer>(power, cfg);
         else if (gov == "pm-f")
             g = std::make_unique<PmFeedback>(power, cfg);
-        else
+        else if (gov == "pm-a")
             g = std::make_unique<PmAdaptive>(power, cfg);
+        else
+            g = std::make_unique<RaceToIdleGovernor>(power, ladder,
+                                                     cfg);
+        // Non-RACE governors never leave C0 on their own; the menu
+        // decorator supplies the idle axis when the ladder is real.
+        if (gov != "race" && ladder.hasDeepStates())
+            g = std::make_unique<IdleGovernor>(std::move(g), ladder);
         if (supervise) {
             g = std::make_unique<GovernorSupervisor>(
                 std::move(g), SupervisorConfig(), &power);
@@ -318,6 +373,7 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
     std::string policies;
     std::string domainSpec;
     std::string domainSeedStr;
+    std::string cstatesSpec;
     if (opts.has("manifest")) {
         ClusterManifest manifest =
             loadClusterManifest(opts.str("manifest"));
@@ -326,6 +382,7 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
         policies = manifest.policies;
         domainSpec = manifest.domainPlan;
         domainSeedStr = manifest.domainSeed;
+        cstatesSpec = manifest.cstates;
     } else if (opts.has("workload") || opts.has("workload-file")) {
         ClusterManifestEntry e;
         if (opts.has("workload-file")) {
@@ -400,13 +457,18 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
     if (opts.has("trace-out"))
         trace_flush = std::make_unique<TraceFlushThread>();
 
+    // The c-state ladder applies cluster-wide; C0-only stays inert.
+    const CStateLadder ladder = resolveCStates(opts, cstatesSpec);
+    PlatformConfig coreConfig = config;
+    coreConfig.cstates = ladder;
+
     ClusterConfig cc;
     cc.budgetW = budget;
     const GovernorFactory factory = clusterGovernorFactory(
-        opts, power, budget / static_cast<double>(n));
+        opts, power, budget / static_cast<double>(n), ladder);
     for (size_t i = 0; i < n; ++i) {
         ClusterCoreConfig core;
-        core.platform = config;
+        core.platform = coreConfig;
         core.workload = &workloads[i % workloads.size()];
         core.governor = factory;
         core.options = base_opts;
@@ -501,6 +563,21 @@ cmdClusterRun(const CliOptions &opts, const PlatformConfig &config,
     std::printf("over-budget intervals: %.2f%%\n",
                 r.fractionOverBudgetTrue * 100.0);
     printRecovery(r.recovery);
+    {
+        double sleepS = 0.0;
+        uint64_t wakeups = 0, denied = 0;
+        for (const RunResult &c : r.cores) {
+            sleepS += c.idle.sleepSeconds;
+            wakeups += c.idle.wakeups;
+            denied += c.idle.deniedWakeups;
+        }
+        if (sleepS > 0.0 || wakeups > 0 || denied > 0) {
+            std::printf("idle      %.3f core-s asleep, %llu wakeups, "
+                        "%llu denied\n", sleepS,
+                        static_cast<unsigned long long>(wakeups),
+                        static_cast<unsigned long long>(denied));
+        }
+    }
     if (supervisor != nullptr) {
         // One parseable line, printed even when all-zero, so scripted
         // smokes can assert both the active and the inert case.
@@ -579,6 +656,7 @@ cmdServe(const CliOptions &opts)
     std::string policies;
     std::string domainSpec;
     std::string domainSeedStr;
+    std::string cstatesSpec;
     std::string arrival = "poisson";
     std::string rateStr;
     std::string sloStr;
@@ -598,6 +676,7 @@ cmdServe(const CliOptions &opts)
         policies = manifest.policies;
         domainSpec = manifest.domainPlan;
         domainSeedStr = manifest.domainSeed;
+        cstatesSpec = manifest.cstates;
         if (!manifest.arrival.empty())
             arrival = manifest.arrival;
         rateStr = manifest.rate;
@@ -679,10 +758,13 @@ cmdServe(const CliOptions &opts)
     if (opts.has("trace-out"))
         trace_flush = std::make_unique<TraceFlushThread>();
 
+    const CStateLadder ladder = resolveCStates(opts, cstatesSpec);
+    config.cstates = ladder;
+
     ClusterConfig cc;
     cc.budgetW = budget;
     const GovernorFactory factory = clusterGovernorFactory(
-        opts, power, budget / static_cast<double>(n));
+        opts, power, budget / static_cast<double>(n), ladder);
     for (size_t i = 0; i < n; ++i) {
         ClusterCoreConfig core;
         core.platform = config;
@@ -775,6 +857,12 @@ cmdServe(const CliOptions &opts)
     std::printf("slo       %.1f ms: %.2f%% of offered violated "
                 "(late + dropped)\n", r.sloS * 1e3,
                 r.sloViolationFrac * 100.0);
+    for (const ClassSloStats &cs : r.classes) {
+        std::printf("  class %-8s %llu offered, p50 %.2f ms, "
+                    "p99 %.2f ms, %.2f%% violated\n", cs.name.c_str(),
+                    u(cs.offered), cs.p50S * 1e3, cs.p99S * 1e3,
+                    cs.violationFrac * 100.0);
+    }
     std::printf("time      %.3f s, energy %.2f J aggregate\n",
                 r.cluster.seconds, r.cluster.trueEnergyJ);
     std::printf("over-budget intervals: %.2f%%\n",
@@ -791,13 +879,34 @@ cmdServe(const CliOptions &opts)
                     u(res.budgetDropsApplied), u(res.shedIntervals),
                     res.shedWattIntervals);
     }
+    double sleepS = 0.0;
+    uint64_t wakeups = 0, deniedWakes = 0;
+    for (const RunResult &c : r.cluster.cores) {
+        sleepS += c.idle.sleepSeconds;
+        wakeups += c.idle.wakeups;
+        deniedWakes += c.idle.deniedWakeups;
+    }
+    if (sleepS > 0.0 || wakeups > 0 || deniedWakes > 0) {
+        std::printf("idle      %.3f core-s asleep, %llu wakeups, "
+                    "%llu denied\n", sleepS, u(wakeups),
+                    u(deniedWakes));
+    }
     // One parseable line so scripted smokes can assert determinism.
     std::printf("serving offered=%llu completed=%llu dropped=%llu "
                 "p50_ms=%.6f p99_ms=%.6f p999_ms=%.6f slo_viol=%.6f "
-                "rps=%.3f energy_j=%.6f\n", u(r.offered),
+                "rps=%.3f energy_j=%.6f sleep_s=%.6f\n", u(r.offered),
                 u(r.completed), u(r.dropped), r.p50S * 1e3,
                 r.p99S * 1e3, r.p999S * 1e3, r.sloViolationFrac,
-                r.completedRps(), r.cluster.trueEnergyJ);
+                r.completedRps(), r.cluster.trueEnergyJ, sleepS);
+    // Per-class breakdown, equally parseable: aggregate p99 hides
+    // which class pays the tail.
+    for (const ClassSloStats &cs : r.classes) {
+        std::printf("serving-class name=%s offered=%llu "
+                    "completed=%llu dropped=%llu p50_ms=%.6f "
+                    "p99_ms=%.6f slo_viol=%.6f\n", cs.name.c_str(),
+                    u(cs.offered), u(cs.completed), u(cs.dropped),
+                    cs.p50S * 1e3, cs.p99S * 1e3, cs.violationFrac);
+    }
 
     if (opts.has("csv")) {
         CsvWriter csv(opts.str("csv"));
@@ -825,6 +934,9 @@ cmdRun(const CliOptions &opts)
     if (opts.has("interval"))
         config.sampleInterval = static_cast<Tick>(
             opts.num("interval") * static_cast<double>(TicksPerMs));
+    if (opts.has("c-states"))
+        config.cstates = CStateLadder::parse(opts.str("c-states"),
+                                             "option --c-states");
     Platform platform(config);
 
     PowerEstimator power = PowerEstimator::paperPentiumM();
@@ -847,7 +959,10 @@ cmdRun(const CliOptions &opts)
 
     const Workload workload = resolveWorkload(opts, config);
     auto governor = maybeSupervise(
-        opts, resolveGovernor(opts, config, power, perf), power);
+        opts,
+        maybeIdleWrap(opts, resolveGovernor(opts, config, power, perf),
+                      config.cstates),
+        power);
 
     RunOptions run_opts;
     applyFaultOptions(opts, run_opts);
@@ -894,6 +1009,23 @@ cmdRun(const CliOptions &opts)
         if (frac > 0.001) {
             std::printf("  %4.0f MHz %5.1f%%\n",
                         config.pstates[i].freqMhz, frac * 100.0);
+        }
+    }
+    if (r.idle.sleepSeconds > 0.0 || r.idle.wakeups > 0 ||
+        r.idle.deniedWakeups > 0) {
+        std::printf("idle      %.3f s asleep (%.2f J retention), "
+                    "%llu wakeups, %llu denied\n", r.idle.sleepSeconds,
+                    r.idle.sleepEnergyJ,
+                    static_cast<unsigned long long>(r.idle.wakeups),
+                    static_cast<unsigned long long>(
+                        r.idle.deniedWakeups));
+        for (size_t i = 1; i < r.idle.residencySeconds.size(); ++i) {
+            const double s = r.idle.residencySeconds[i];
+            if (s > 0.0) {
+                std::printf("  %-4s %8.3f s %5.1f%%\n",
+                            config.cstates[i].name.c_str(), s,
+                            s / r.seconds * 100.0);
+            }
         }
     }
     if (opts.has("limit")) {
@@ -1160,9 +1292,9 @@ main(int argc, char **argv)
             opts.addOption("workload-file", "FILE", "",
                            "workload definition file");
             opts.addOption("governor", "NAME", "pm",
-                           "pm|pm-f|pm-a|ps|static|dbs|thermal");
+                           "pm|pm-f|pm-a|ps|static|dbs|thermal|race");
             opts.addOption("limit", "WATTS", "14.5",
-                           "power limit for pm/pm-f/pm-a");
+                           "power limit for pm/pm-f/pm-a/race");
             opts.addOption("floor", "FRACTION", "0.8",
                            "performance floor for ps");
             opts.addOption("pstate", "INDEX", "7",
@@ -1225,6 +1357,11 @@ main(int argc, char **argv)
             opts.addOption("domain-seed", "N", "",
                            "per-core seed derivation for the domain "
                            "plan (default: the plan's seed)");
+            opts.addOption("c-states", "LADDER", "",
+                           "c-state ladder NAME:POWER[W]:EXITLAT"
+                           "[:RESIDENCY] ';'-separated, e.g. "
+                           "\"C1:0.4W:2us;C6:0.05W:150us\" (default: "
+                           "C0-only, no sleeping)");
             if (!opts.parse(args, &error)) {
                 std::printf("%s", opts.usage().c_str());
                 if (!opts.helpRequested())
@@ -1249,7 +1386,11 @@ main(int argc, char **argv)
             opts.addOption("budget", "WATTS", "",
                            "global cluster power budget (required)");
             opts.addOption("governor", "NAME", "pm",
-                           "per-core governor: pm|pm-f|pm-a");
+                           "per-core governor: pm|pm-f|pm-a|race");
+            opts.addOption("c-states", "LADDER", "",
+                           "c-state ladder NAME:POWER[W]:EXITLAT"
+                           "[:RESIDENCY] ';'-separated (default: "
+                           "C0-only)");
             opts.addOption("allocator", "NAME", "",
                            "budget policy: uniform|demand|greedy|"
                            "greedy-ref or tree:FANOUT[:POLICIES]; with "
